@@ -1,0 +1,62 @@
+/// R-F13 (extension) — The dual contract: latency-budgeted buffering.
+///
+/// LbKSlack is given a mean buffering-latency budget and must maximize
+/// quality. Sweeps budgets on a stationary and a step workload. Reproduced
+/// shape: measured latency pins to the budget (the regulation property);
+/// quality rises with budget along the same trade-off curve that fixed-K
+/// traces from the other axis; under the step the controller re-pins
+/// latency while quality absorbs the regime change.
+
+#include <iostream>
+
+#include "bench/bench_util.h"
+
+namespace streamq {
+namespace bench {
+namespace {
+
+void Run() {
+  WindowedAggregation::Options wopts;
+  wopts.window = WindowSpec::Tumbling(Millis(50));
+  wopts.aggregate.kind = AggKind::kSum;
+
+  TableWriter table(
+      "R-F13: latency-budgeted buffering (LbKSlack): quality bought per ms",
+      {"workload", "budget_ms", "measured_latency_ms", "value_quality",
+       "coverage"});
+
+  for (const NamedWorkload& nw : StandardWorkloads(80000)) {
+    if (nw.name != "exp-20ms" && nw.name != "step-x5") continue;
+    const GeneratedWorkload w = GenerateWorkload(nw.config);
+    const OracleEvaluator oracle(w.arrival_order, wopts.window,
+                                 wopts.aggregate);
+    for (DurationUs budget :
+         {Millis(2), Millis(5), Millis(10), Millis(20), Millis(40),
+          Millis(80)}) {
+      LbKSlack::Options options;
+      options.latency_budget = budget;
+      ContinuousQuery q;
+      q.name = "f13";
+      q.handler = DisorderHandlerSpec::Lb(options);
+      q.window = wopts;
+      const ScoredRun r = RunScored(q, w, oracle);
+      table.BeginRow();
+      table.Cell(nw.name);
+      table.Cell(ToMillis(budget), 0);
+      table.Cell(r.report.handler_stats.buffering_latency_us.mean() / 1000.0,
+                 3);
+      table.Cell(r.quality.MeanQualityIncludingMissed(), 4);
+      table.Cell(r.quality.coverage.mean, 4);
+    }
+  }
+  EmitTable(table, "f13_latency_budget.csv");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace streamq
+
+int main() {
+  streamq::bench::Run();
+  return 0;
+}

@@ -1,0 +1,163 @@
+/// R-F9 — Operator throughput (google-benchmark).
+///
+/// Per-handler processing rate on a pre-generated 200k-tuple stream, with
+/// and without the downstream window operator. Reproduced shape: all
+/// buffering handlers sit within a small factor of pass-through; the
+/// quality-control loop adds only a small overhead on top of fixed K-slack
+/// (its work is O(1) amortized per tuple plus a quantile query per
+/// adaptation interval).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "disorder/event_sink.h"
+#include "window/paned_window_operator.h"
+
+namespace streamq {
+namespace bench {
+namespace {
+
+const GeneratedWorkload& Workload() {
+  static const GeneratedWorkload* w = [] {
+    WorkloadConfig cfg = BaseConfig(200000);
+    cfg.delay.model = DelayModel::kExponential;
+    cfg.delay.a = 20000.0;
+    return new GeneratedWorkload(GenerateWorkload(cfg));
+  }();
+  return *w;
+}
+
+DisorderHandlerSpec SpecFor(int which) {
+  switch (which) {
+    case 0:
+      return DisorderHandlerSpec::PassThroughSpec();
+    case 1:
+      return DisorderHandlerSpec::FixedK(Millis(30));
+    case 2: {
+      MpKSlack::Options mp;
+      return DisorderHandlerSpec::Mp(mp);
+    }
+    case 3: {
+      AqKSlack::Options aq;
+      aq.target_quality = 0.95;
+      return DisorderHandlerSpec::Aq(aq);
+    }
+    default: {
+      WatermarkReorderer::Options wm;
+      wm.bound = Millis(30);
+      wm.period_events = 32;
+      return DisorderHandlerSpec::Watermark(wm);
+    }
+  }
+}
+
+const char* NameFor(int which) {
+  switch (which) {
+    case 0:
+      return "pass-through";
+    case 1:
+      return "fixed-kslack";
+    case 2:
+      return "mp-kslack";
+    case 3:
+      return "aq-kslack";
+    default:
+      return "watermark";
+  }
+}
+
+/// Handler alone, results discarded (isolates the disorder-handling cost).
+void BM_HandlerOnly(benchmark::State& state) {
+  const auto& w = Workload();
+  for (auto _ : state) {
+    auto handler =
+        MakeDisorderHandler(SpecFor(static_cast<int>(state.range(0))));
+    CountingSink sink;
+    for (const Event& e : w.arrival_order) handler->OnEvent(e, &sink);
+    handler->Flush(&sink);
+    benchmark::DoNotOptimize(sink.checksum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(w.arrival_order.size()));
+  state.SetLabel(NameFor(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_HandlerOnly)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+/// Full pipeline: handler + windowed aggregation.
+void BM_FullPipeline(benchmark::State& state) {
+  const auto& w = Workload();
+  for (auto _ : state) {
+    ContinuousQuery q;
+    q.name = "bench";
+    q.handler = SpecFor(static_cast<int>(state.range(0)));
+    q.window.window = WindowSpec::Tumbling(Millis(50));
+    q.window.aggregate.kind = AggKind::kSum;
+    QueryExecutor exec(q);
+    for (const Event& e : w.arrival_order) exec.Feed(e);
+    exec.Finish();
+    benchmark::DoNotOptimize(exec.results().size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(w.arrival_order.size()));
+  state.SetLabel(NameFor(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_FullPipeline)->DenseRange(0, 4)->Unit(benchmark::kMillisecond);
+
+/// Sliding windows multiply per-tuple work by size/slide; measure scaling.
+void BM_SlidingWindowFanout(benchmark::State& state) {
+  const auto& w = Workload();
+  const int64_t fanout = state.range(0);
+  for (auto _ : state) {
+    ContinuousQuery q;
+    q.name = "bench";
+    q.handler = DisorderHandlerSpec::FixedK(Millis(30));
+    q.window.window =
+        WindowSpec::Sliding(Millis(50) * fanout, Millis(50));
+    q.window.aggregate.kind = AggKind::kSum;
+    QueryExecutor exec(q);
+    for (const Event& e : w.arrival_order) exec.Feed(e);
+    exec.Finish();
+    benchmark::DoNotOptimize(exec.results().size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(w.arrival_order.size()));
+}
+BENCHMARK(BM_SlidingWindowFanout)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+/// R-F14: the pane optimization — same query shape as above, but tuples
+/// fold into one pane instead of size/slide windows. Compare against
+/// BM_SlidingWindowFanout at equal fanout.
+void BM_PanedSlidingWindowFanout(benchmark::State& state) {
+  const auto& w = Workload();
+  const int64_t fanout = state.range(0);
+  for (auto _ : state) {
+    auto handler = MakeDisorderHandler(DisorderHandlerSpec::FixedK(Millis(30)));
+    PanedWindowedAggregation::Options options;
+    options.window = WindowSpec::Sliding(Millis(50) * fanout, Millis(50));
+    options.aggregate.kind = AggKind::kSum;
+    CollectingResultSink results;
+    PanedWindowedAggregation op(options, &results);
+    for (const Event& e : w.arrival_order) handler->OnEvent(e, &op);
+    handler->Flush(&op);
+    benchmark::DoNotOptimize(results.results.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(w.arrival_order.size()));
+}
+BENCHMARK(BM_PanedSlidingWindowFanout)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace bench
+}  // namespace streamq
+
+BENCHMARK_MAIN();

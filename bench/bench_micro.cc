@@ -1,0 +1,114 @@
+/// Component microbenchmarks (google-benchmark): the per-tuple costs that
+/// determine engine throughput — buffer operations, the lateness sketch,
+/// the control step, window assignment and aggregate updates.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "agg/aggregate.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "control/pi_controller.h"
+#include "disorder/reorder_buffer.h"
+#include "window/window.h"
+
+namespace streamq {
+namespace {
+
+void BM_ReorderBufferPushPop(benchmark::State& state) {
+  const int64_t buffered = state.range(0);
+  Rng rng(1);
+  std::vector<Event> events(static_cast<size_t>(buffered) + 1024);
+  for (size_t i = 0; i < events.size(); ++i) {
+    events[i].id = static_cast<int64_t>(i);
+    events[i].event_time = rng.NextInt(0, 1 << 20);
+  }
+  ReorderBuffer buf;
+  size_t next = 0;
+  for (int64_t i = 0; i < buffered; ++i) buf.Push(events[next++]);
+  Event out;
+  for (auto _ : state) {
+    // Steady state: one push + one pop at constant occupancy.
+    buf.Push(events[next % events.size()]);
+    ++next;
+    buf.PopMin(&out);
+    benchmark::DoNotOptimize(out.event_time);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReorderBufferPushPop)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_SlidingSketchAdd(benchmark::State& state) {
+  SlidingWindowQuantile sketch(static_cast<size_t>(state.range(0)));
+  Rng rng(2);
+  for (auto _ : state) {
+    sketch.Add(rng.NextDouble());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SlidingSketchAdd)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_SlidingSketchQuantile(benchmark::State& state) {
+  SlidingWindowQuantile sketch(static_cast<size_t>(state.range(0)));
+  Rng rng(3);
+  for (int64_t i = 0; i < state.range(0); ++i) sketch.Add(rng.NextDouble());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.Quantile(0.95));
+  }
+}
+BENCHMARK(BM_SlidingSketchQuantile)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_P2QuantileAdd(benchmark::State& state) {
+  P2Quantile est(0.95);
+  Rng rng(4);
+  for (auto _ : state) {
+    est.Add(rng.NextDouble());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_P2QuantileAdd);
+
+void BM_PiControllerUpdate(benchmark::State& state) {
+  PiController pi(PiController::Options{});
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pi.Update(rng.NextDouble() - 0.5));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PiControllerUpdate);
+
+void BM_AssignWindowsSliding(benchmark::State& state) {
+  const WindowSpec spec =
+      WindowSpec::Sliding(Millis(50) * state.range(0), Millis(50));
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        AssignWindows(spec, rng.NextInt(0, Seconds(100))));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AssignWindowsSliding)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_AggregatorAdd(benchmark::State& state) {
+  AggregateSpec spec;
+  spec.kind = static_cast<AggKind>(state.range(0));
+  auto agg = MakeAggregator(spec);
+  Rng rng(7);
+  for (auto _ : state) {
+    agg->Add(rng.NextDouble());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel(spec.Describe());
+}
+BENCHMARK(BM_AggregatorAdd)
+    ->Arg(static_cast<int>(AggKind::kSum))
+    ->Arg(static_cast<int>(AggKind::kMean))
+    ->Arg(static_cast<int>(AggKind::kMax))
+    ->Arg(static_cast<int>(AggKind::kMedian));
+
+}  // namespace
+}  // namespace streamq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,85 @@
+/// Scenario: multi-tenant analytics over one ingest stream.
+///
+/// One metrics stream feeds several teams' continuous queries, each with
+/// its own accuracy contract: alerting wants 85% fast, billing wants 99%
+/// whatever it costs, and a capacity dashboard has a hard freshness budget
+/// (latency-constrained rather than quality-constrained). The example runs
+/// the mixed query set both independently and behind a shared buffer, and
+/// prints the bill: who pays what, under which plan.
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/table_writer.h"
+#include "core/multi_query.h"
+#include "quality/oracle.h"
+#include "quality/quality_metrics.h"
+#include "stream/generator.h"
+
+using namespace streamq;  // Example code only.
+
+int main() {
+  WorkloadConfig workload;
+  workload.num_events = 120000;
+  workload.events_per_second = 12000.0;
+  workload.delay.model = DelayModel::kLogNormal;
+  workload.delay.a = 9.3;
+  workload.delay.b = 0.9;
+  workload.seed = 21;
+  const GeneratedWorkload stream = GenerateWorkload(workload);
+
+  auto make_queries = [] {
+    return std::vector<ContinuousQuery>{
+        QueryBuilder("alerting(q>=0.85)")
+            .Tumbling(Millis(100))
+            .Aggregate("max")
+            .QualityTarget(0.85)
+            .Build(),
+        QueryBuilder("billing(q>=0.99)")
+            .Tumbling(Millis(100))
+            .Aggregate("sum")
+            .QualityTarget(0.99)
+            .Build(),
+        QueryBuilder("capacity(L<=10ms)")
+            .Tumbling(Millis(100))
+            .Aggregate("mean")
+            .LatencyBudget(Millis(10))
+            .Build(),
+    };
+  };
+
+  TableWriter table("multi-tenant plans: independent vs shared buffering",
+                    {"plan", "query", "quality", "buf_latency_mean",
+                     "peak_buffer"});
+  for (auto plan : {MultiQueryRunner::Plan::kIndependent,
+                    MultiQueryRunner::Plan::kSharedHandler}) {
+    MultiQueryRunner runner(plan);
+    auto queries = make_queries();
+    for (const ContinuousQuery& q : queries) runner.AddQuery(q);
+    VectorSource source(stream.arrival_order);
+    const auto reports = runner.Run(&source);
+
+    for (size_t i = 0; i < reports.size(); ++i) {
+      const OracleEvaluator oracle(stream.arrival_order,
+                                   queries[i].window.window,
+                                   queries[i].window.aggregate);
+      const QualityReport quality =
+          EvaluateQuality(reports[i].results, oracle);
+      table.BeginRow();
+      table.Cell(plan == MultiQueryRunner::Plan::kIndependent ? "independent"
+                                                              : "shared");
+      table.Cell(reports[i].query_name);
+      table.Cell(quality.MeanQualityIncludingMissed(), 4);
+      table.Cell(FormatDuration(static_cast<DurationUs>(
+          reports[i].handler_stats.buffering_latency_us.mean())));
+      table.Cell(reports[i].handler_stats.max_buffer_size);
+    }
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nUnder the shared plan every query rides the strictest (billing) "
+      "buffer:\nquality contracts all hold, memory is paid once, but "
+      "alerting and capacity\nlose their low-latency edge — the trade-off "
+      "R-F12 quantifies.\n");
+  return 0;
+}

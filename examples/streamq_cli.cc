@@ -1,0 +1,196 @@
+/// streamq_cli — run a continuous query over a trace file from the command
+/// line; the operational front door for evaluating the engine on recorded
+/// feeds.
+///
+/// Usage:
+///   streamq_cli --trace=feed.csv [options]
+///   streamq_cli --demo            (generate a demo workload instead)
+///
+/// Options:
+///   --window=<ms>          window size, default 50
+///   --slide=<ms>           slide, default = window (tumbling)
+///   --agg=<name>           count|sum|mean|min|max|var|stddev|median|
+///                          quantile:<q>|distinct, default sum
+///   --strategy=<s>         aq (default) | lb | fixed | mp | watermark | none
+///   --quality=<q>          AQ target, default 0.95
+///   --latency-budget=<ms>  LB budget, default 10
+///   --k=<ms>               fixed K, default 30
+///   --per-key              per-key disorder handling
+///   --lateness=<ms>        allowed lateness (revisions), default 0
+///   --audit                score results against the exact oracle
+///   --results=<n>          print the first n results, default 0
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/executor.h"
+#include "quality/oracle.h"
+#include "quality/quality_metrics.h"
+#include "stream/disorder_metrics.h"
+#include "stream/generator.h"
+#include "stream/trace_io.h"
+
+using namespace streamq;  // Example/tool code only.
+
+namespace {
+
+struct Flags {
+  std::string trace;
+  bool demo = false;
+  int64_t window_ms = 50;
+  int64_t slide_ms = -1;
+  std::string agg = "sum";
+  std::string strategy = "aq";
+  double quality = 0.95;
+  int64_t latency_budget_ms = 10;
+  int64_t k_ms = 30;
+  bool per_key = false;
+  int64_t lateness_ms = 0;
+  bool audit = false;
+  int64_t print_results = 0;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  const size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--demo") == 0) {
+      flags->demo = true;
+    } else if (std::strcmp(arg, "--per-key") == 0) {
+      flags->per_key = true;
+    } else if (std::strcmp(arg, "--audit") == 0) {
+      flags->audit = true;
+    } else if (ParseFlag(arg, "--trace", &value)) {
+      flags->trace = value;
+    } else if (ParseFlag(arg, "--window", &value)) {
+      flags->window_ms = std::atoll(value.c_str());
+    } else if (ParseFlag(arg, "--slide", &value)) {
+      flags->slide_ms = std::atoll(value.c_str());
+    } else if (ParseFlag(arg, "--agg", &value)) {
+      flags->agg = value;
+    } else if (ParseFlag(arg, "--strategy", &value)) {
+      flags->strategy = value;
+    } else if (ParseFlag(arg, "--quality", &value)) {
+      flags->quality = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--latency-budget", &value)) {
+      flags->latency_budget_ms = std::atoll(value.c_str());
+    } else if (ParseFlag(arg, "--k", &value)) {
+      flags->k_ms = std::atoll(value.c_str());
+    } else if (ParseFlag(arg, "--lateness", &value)) {
+      flags->lateness_ms = std::atoll(value.c_str());
+    } else if (ParseFlag(arg, "--results", &value)) {
+      flags->print_results = std::atoll(value.c_str());
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      return false;
+    }
+  }
+  if (flags->trace.empty() && !flags->demo) {
+    std::fprintf(stderr,
+                 "usage: streamq_cli --trace=feed.csv | --demo [options]\n"
+                 "(see the header of examples/streamq_cli.cc)\n");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) return 2;
+
+  // --- Load or generate the stream.
+  std::vector<Event> events;
+  if (flags.demo) {
+    WorkloadConfig cfg;
+    cfg.num_events = 100000;
+    cfg.num_keys = 4;
+    cfg.delay.model = DelayModel::kLogNormal;
+    cfg.delay.a = 9.5;
+    cfg.delay.b = 1.0;
+    events = GenerateWorkload(cfg).arrival_order;
+    std::printf("generated demo workload: 100000 events\n");
+  } else {
+    auto loaded = LoadTrace(flags.trace);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "failed to load %s: %s\n", flags.trace.c_str(),
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    events = std::move(loaded).value();
+  }
+  std::printf("stream: %s\n", ComputeDisorderStats(events).ToString().c_str());
+
+  // --- Build the query.
+  const DurationUs window = Millis(flags.window_ms);
+  const DurationUs slide =
+      flags.slide_ms > 0 ? Millis(flags.slide_ms) : window;
+  QueryBuilder builder("cli");
+  builder.Sliding(window, slide);
+  auto agg = ParseAggregateSpec(flags.agg);
+  if (!agg.ok()) {
+    std::fprintf(stderr, "bad --agg: %s\n", agg.status().ToString().c_str());
+    return 2;
+  }
+  builder.Aggregate(agg.value());
+  builder.AllowedLateness(Millis(flags.lateness_ms));
+
+  if (flags.strategy == "aq") {
+    builder.QualityTarget(flags.quality);
+  } else if (flags.strategy == "lb") {
+    builder.LatencyBudget(Millis(flags.latency_budget_ms));
+  } else if (flags.strategy == "fixed") {
+    builder.FixedSlack(Millis(flags.k_ms));
+  } else if (flags.strategy == "mp") {
+    builder.AdaptiveMaxSlack();
+  } else if (flags.strategy == "watermark") {
+    WatermarkReorderer::Options wm;
+    wm.bound = Millis(flags.k_ms);
+    wm.allowed_lateness = Millis(flags.lateness_ms);
+    builder.Watermark(wm);
+  } else if (flags.strategy == "none") {
+    builder.NoDisorderHandling();
+  } else {
+    std::fprintf(stderr, "unknown --strategy: %s\n", flags.strategy.c_str());
+    return 2;
+  }
+  if (flags.per_key) builder.PerKey();
+
+  const ContinuousQuery query = builder.Build();
+  std::printf("query: %s\n", query.Describe().c_str());
+
+  // --- Run.
+  QueryExecutor exec(query);
+  VectorSource source(std::move(events));
+  const RunReport report = exec.Run(&source);
+  std::printf("%s\n", report.ToString().c_str());
+
+  for (int64_t i = 0;
+       i < flags.print_results &&
+       i < static_cast<int64_t>(report.results.size());
+       ++i) {
+    std::printf("  %s\n",
+                report.results[static_cast<size_t>(i)].ToString().c_str());
+  }
+
+  // --- Optional oracle audit.
+  if (flags.audit) {
+    const OracleEvaluator oracle(source.events(), query.window.window,
+                                 query.window.aggregate);
+    const QualityReport quality = EvaluateQuality(report.results, oracle);
+    std::printf("audit: %s\n", quality.ToString().c_str());
+  }
+  return 0;
+}

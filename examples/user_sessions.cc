@@ -1,0 +1,82 @@
+/// Scenario: clickstream sessionization.
+///
+/// Click events from web/mobile clients arrive out of order (mobile
+/// batches, proxy retries). A session ends after 500ms of inactivity; the
+/// analytics team wants, per user, each session's click count as soon as
+/// the session closes.
+///
+/// Session windows are where upstream reordering earns its keep: fed
+/// in-order, an event can only extend the newest session — fed out of
+/// order, sessions fragment. The example shows the same stream
+/// sessionized behind (a) a quality-driven reorderer and (b) no reordering,
+/// and compares session counts against the in-order truth.
+
+#include <cstdio>
+
+#include "disorder/handler_factory.h"
+#include "stream/disorder_metrics.h"
+#include "stream/generator.h"
+#include "window/session_window_operator.h"
+
+using namespace streamq;  // Example code only.
+
+namespace {
+
+SessionWindowedAggregation::Stats Sessionize(
+    const std::vector<Event>& arrivals, const DisorderHandlerSpec& spec,
+    std::vector<WindowResult>* out) {
+  CollectingResultSink results;
+  SessionWindowedAggregation::Options options;
+  options.gap = Micros(500);
+  options.aggregate.kind = AggKind::kCount;
+  SessionWindowedAggregation op(options, &results);
+  auto handler = MakeDisorderHandler(spec);
+  for (const Event& e : arrivals) handler->OnEvent(e, &op);
+  handler->Flush(&op);
+  *out = results.results;
+  return op.stats();
+}
+
+}  // namespace
+
+int main() {
+  WorkloadConfig workload;
+  workload.num_events = 100000;
+  workload.events_per_second = 8000.0;  // Bursty inter-click gaps (Poisson).
+  workload.num_keys = 200;              // Users.
+  workload.key_zipf_s = 0.8;            // Power users.
+  workload.delay.model = DelayModel::kLogNormal;
+  workload.delay.a = 6.0;  // Median ~0.4ms, tail to tens of ms.
+  workload.delay.b = 1.5;
+  workload.seed = 11;
+  const GeneratedWorkload stream = GenerateWorkload(workload);
+  std::printf("stream: %s\n",
+              ComputeDisorderStats(stream.arrival_order).ToString().c_str());
+
+  // Ground truth: sessionize the in-order stream.
+  std::vector<WindowResult> truth;
+  Sessionize(stream.InOrder(), DisorderHandlerSpec::PassThroughSpec(),
+             &truth);
+
+  AqKSlack::Options aq;
+  aq.target_quality = 0.98;
+  std::vector<WindowResult> with_reorder, without_reorder;
+  const auto s_with = Sessionize(stream.arrival_order,
+                                 DisorderHandlerSpec::Aq(aq), &with_reorder);
+  const auto s_without =
+      Sessionize(stream.arrival_order,
+                 DisorderHandlerSpec::PassThroughSpec(), &without_reorder);
+
+  std::printf("\ntrue sessions:                 %zu\n", truth.size());
+  std::printf("with quality-driven reordering: %zu  (dropped clicks: %lld)\n",
+              with_reorder.size(),
+              static_cast<long long>(s_with.late_dropped));
+  std::printf("without reordering:             %zu  (dropped clicks: %lld)\n",
+              without_reorder.size(),
+              static_cast<long long>(s_without.late_dropped));
+  std::printf(
+      "\nWithout reordering, late clicks are lost and long sessions split "
+      "at\nthe points where their tuples were shed — session counts and "
+      "lengths drift.\n");
+  return 0;
+}

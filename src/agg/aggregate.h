@@ -1,0 +1,83 @@
+#ifndef STREAMQ_AGG_AGGREGATE_H_
+#define STREAMQ_AGG_AGGREGATE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace streamq {
+
+/// Aggregate functions computable over a window of values.
+enum class AggKind {
+  kCount,
+  kSum,
+  kMean,
+  kMin,
+  kMax,
+  kVariance,  // Population variance.
+  kStdDev,
+  kMedian,
+  kQuantile,       // Arbitrary q, exact (stores values).
+  kDistinctCount,  // Exact distinct count of (bit-exact) values.
+};
+
+/// Parameterized aggregate selection.
+struct AggregateSpec {
+  AggKind kind = AggKind::kSum;
+  /// For kQuantile: the quantile in (0, 1).
+  double quantile_q = 0.5;
+
+  /// "sum", "quantile(0.90)", ...
+  std::string Describe() const;
+
+  Status Validate() const;
+};
+
+/// Parses "count", "sum", "mean"/"avg", "min", "max", "variance"/"var",
+/// "stddev", "median", "quantile:<q>" (e.g. "quantile:0.9"), "distinct".
+Result<AggregateSpec> ParseAggregateSpec(const std::string& text);
+
+/// Incremental accumulator for one window instance. Implementations are
+/// mergeable so partial (pre-)aggregation and tests can combine them.
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+
+  /// Folds one value in.
+  virtual void Add(double v) = 0;
+
+  /// Merges another accumulator of the same concrete type. Aborts on type
+  /// mismatch (programming error).
+  virtual void Merge(const Aggregator& other) = 0;
+
+  /// Current aggregate value. Result for an empty window is
+  /// aggregate-specific (0 for count/sum, NaN for mean/min/max/quantiles).
+  virtual double Value() const = 0;
+
+  /// Number of values folded in.
+  virtual int64_t count() const = 0;
+
+  /// Fresh empty accumulator of the same kind.
+  virtual std::unique_ptr<Aggregator> MakeEmpty() const = 0;
+
+  virtual std::string_view name() const = 0;
+};
+
+/// Instantiates an accumulator. Aborts on invalid spec (Validate() first
+/// for recoverable handling).
+std::unique_ptr<Aggregator> MakeAggregator(const AggregateSpec& spec);
+
+/// Default quality-model exponent (see PowerQualityModel) for each
+/// aggregate: how sharply missing tuples translate into result error.
+/// Order-statistics aggregates (min/max/quantile) are robust (gamma < 1);
+/// mass aggregates (count/sum) are proportional (gamma = 1); spread
+/// aggregates are slightly amplifying. These defaults are starting points —
+/// quality/value_error_model.h fits gamma per workload.
+double DefaultQualityGamma(AggKind kind);
+
+}  // namespace streamq
+
+#endif  // STREAMQ_AGG_AGGREGATE_H_

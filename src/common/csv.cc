@@ -1,0 +1,70 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace streamq {
+namespace csv {
+
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  for (char ch : line) {
+    if (ch == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (ch != '\r') {
+      field.push_back(ch);
+    }
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+std::string JoinLine(const std::vector<std::string>& fields) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += fields[i];
+  }
+  return out;
+}
+
+Result<std::vector<std::vector<std::string>>> ReadFile(const std::string& path,
+                                                       bool skip_header) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (first && skip_header) {
+      first = false;
+      continue;
+    }
+    first = false;
+    if (line.empty()) continue;
+    rows.push_back(SplitLine(line));
+  }
+  return rows;
+}
+
+Status WriteFile(const std::string& path,
+                 const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  for (const auto& row : rows) {
+    out << JoinLine(row) << "\n";
+  }
+  if (!out) {
+    return Status::IOError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace csv
+}  // namespace streamq

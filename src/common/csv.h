@@ -1,0 +1,35 @@
+#ifndef STREAMQ_COMMON_CSV_H_
+#define STREAMQ_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace streamq {
+
+/// Minimal CSV support for trace files. Fields must not contain commas or
+/// newlines (trace fields are numeric); quoting is intentionally out of
+/// scope.
+namespace csv {
+
+/// Splits one CSV line into fields.
+std::vector<std::string> SplitLine(const std::string& line);
+
+/// Joins fields into one CSV line (no trailing newline).
+std::string JoinLine(const std::vector<std::string>& fields);
+
+/// Reads an entire CSV file. If `skip_header` is true the first line is
+/// dropped. Returns rows of fields.
+Result<std::vector<std::vector<std::string>>> ReadFile(
+    const std::string& path, bool skip_header);
+
+/// Writes rows (with optional header as first row already included by the
+/// caller) to `path`, overwriting it.
+Status WriteFile(const std::string& path,
+                 const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace csv
+}  // namespace streamq
+
+#endif  // STREAMQ_COMMON_CSV_H_

@@ -1,0 +1,90 @@
+#ifndef STREAMQ_COMMON_LOGGING_H_
+#define STREAMQ_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace streamq {
+
+/// Severity levels for the library's minimal logger.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Process-wide minimum level; messages below it are dropped.
+/// Defaults to kInfo. Not thread-synchronized: set it once at startup.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log message; writes on destruction. Fatal messages abort.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a log statement when it is compiled out.
+class NullLog {
+ public:
+  template <typename T>
+  NullLog& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace streamq
+
+#define STREAMQ_LOG(level)                                          \
+  ::streamq::internal::LogMessage(::streamq::LogLevel::k##level, \
+                                  __FILE__, __LINE__)
+
+/// Invariant checks. These stay enabled in release builds: in a stream
+/// engine a silently-corrupt buffer is far worse than an abort.
+#define STREAMQ_CHECK(cond)                                         \
+  if (!(cond))                                                      \
+  STREAMQ_LOG(Fatal) << "Check failed: " #cond " "
+
+#define STREAMQ_CHECK_OP(a, b, op)                                          \
+  if (!((a)op(b)))                                                          \
+  STREAMQ_LOG(Fatal) << "Check failed: " #a " " #op " " #b " (" << (a)      \
+                     << " vs " << (b) << ") "
+
+#define STREAMQ_CHECK_EQ(a, b) STREAMQ_CHECK_OP(a, b, ==)
+#define STREAMQ_CHECK_NE(a, b) STREAMQ_CHECK_OP(a, b, !=)
+#define STREAMQ_CHECK_LT(a, b) STREAMQ_CHECK_OP(a, b, <)
+#define STREAMQ_CHECK_LE(a, b) STREAMQ_CHECK_OP(a, b, <=)
+#define STREAMQ_CHECK_GT(a, b) STREAMQ_CHECK_OP(a, b, >)
+#define STREAMQ_CHECK_GE(a, b) STREAMQ_CHECK_OP(a, b, >=)
+
+/// Aborts if a Status-returning expression fails. For use in examples,
+/// benches and tests where the error is unrecoverable.
+#define STREAMQ_CHECK_OK(expr)                                    \
+  do {                                                            \
+    ::streamq::Status _st = (expr);                               \
+    STREAMQ_CHECK(_st.ok()) << _st.ToString();                    \
+  } while (false)
+
+#endif  // STREAMQ_COMMON_LOGGING_H_

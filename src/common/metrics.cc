@@ -1,0 +1,46 @@
+#include "common/metrics.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace streamq {
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Series* MetricsRegistry::series(const std::string& name) {
+  auto& slot = series_[name];
+  if (!slot) slot = std::make_unique<Series>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::Report() const {
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    out << name << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    out << name << " " << g->value() << "\n";
+  }
+  for (const auto& [name, s] : series_) {
+    out << name << " " << s->Summarize().ToString() << "\n";
+  }
+  return out.str();
+}
+
+void MetricsRegistry::ResetAll() {
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, s] : series_) s->Reset();
+}
+
+}  // namespace streamq

@@ -1,0 +1,72 @@
+#ifndef STREAMQ_COMMON_METRICS_H_
+#define STREAMQ_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace streamq {
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void Increment(int64_t by = 1) { value_ += by; }
+  int64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  int64_t value_ = 0;
+};
+
+/// Last-write-wins gauge.
+class Gauge {
+ public:
+  void Set(double v) { value_ = v; }
+  double value() const { return value_; }
+  void Reset() { value_ = 0.0; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Full-sample series metric: records every observation so that experiment
+/// harnesses can compute exact percentiles. For unbounded production use,
+/// prefer `FixedHistogram`; the evaluation harness wants exactness.
+class Series {
+ public:
+  void Record(double v) { values_.push_back(v); }
+  const std::vector<double>& values() const { return values_; }
+  DistributionSummary Summarize() const { return ::streamq::Summarize(values_); }
+  void Reset() { values_.clear(); }
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Named registry of metrics owned by one pipeline/operator. Single-threaded
+/// by design (the engine is single-threaded per pipeline; see DESIGN.md).
+class MetricsRegistry {
+ public:
+  /// Returns the counter with `name`, creating it on first use.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Series* series(const std::string& name);
+
+  /// Renders all metrics as "name value" lines, sorted by name.
+  std::string Report() const;
+
+  void ResetAll();
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Series>> series_;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_COMMON_METRICS_H_

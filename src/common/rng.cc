@@ -1,0 +1,170 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace streamq {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+std::string FormatParams(const char* fmt, double a, double b) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), fmt, a, b);
+  return buf;
+}
+
+std::string FormatParam(const char* fmt, double a) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), fmt, a);
+  return buf;
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  STREAMQ_CHECK_LE(lo, hi);
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(NextUint64());  // Full range.
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t v = NextUint64();
+  while (v >= limit) v = NextUint64();
+  return lo + static_cast<int64_t>(v % range);
+}
+
+double Rng::NextUniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::NextGaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = NextDouble();
+  while (u1 <= 1e-300) u1 = NextDouble();
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+std::string ConstantDelay::Describe() const {
+  return FormatParam("constant(%.0fus)", value_);
+}
+
+std::string UniformDelay::Describe() const {
+  return FormatParams("uniform[%.0f, %.0f)us", lo_, hi_);
+}
+
+double ExponentialDelay::Sample(Rng* rng) {
+  double u = rng->NextDouble();
+  while (u <= 1e-300) u = rng->NextDouble();
+  return -mean_ * std::log(u);
+}
+
+std::string ExponentialDelay::Describe() const {
+  return FormatParam("exponential(mean=%.0fus)", mean_);
+}
+
+double NormalDelay::Sample(Rng* rng) {
+  const double v = mean_ + stddev_ * rng->NextGaussian();
+  return v < 0.0 ? 0.0 : v;
+}
+
+std::string NormalDelay::Describe() const {
+  return FormatParams("normal(mean=%.0fus, sd=%.0fus)", mean_, stddev_);
+}
+
+double LogNormalDelay::Sample(Rng* rng) {
+  return std::exp(mu_ + sigma_ * rng->NextGaussian());
+}
+
+double LogNormalDelay::Mean() const {
+  return std::exp(mu_ + sigma_ * sigma_ / 2.0);
+}
+
+std::string LogNormalDelay::Describe() const {
+  return FormatParams("lognormal(mu=%.2f, sigma=%.2f)", mu_, sigma_);
+}
+
+double ParetoDelay::Sample(Rng* rng) {
+  double u = rng->NextDouble();
+  while (u <= 1e-300) u = rng->NextDouble();
+  return xm_ / std::pow(u, 1.0 / alpha_);
+}
+
+double ParetoDelay::Mean() const {
+  if (alpha_ <= 1.0) return std::numeric_limits<double>::infinity();
+  return alpha_ * xm_ / (alpha_ - 1.0);
+}
+
+std::string ParetoDelay::Describe() const {
+  return FormatParams("pareto(xm=%.0fus, alpha=%.2f)", xm_, alpha_);
+}
+
+ZipfSampler::ZipfSampler(int64_t n, double s) : n_(n), s_(s) {
+  STREAMQ_CHECK_GT(n, 0);
+  cdf_.resize(static_cast<size_t>(n));
+  double total = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[static_cast<size_t>(i)] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+}
+
+int64_t ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  // Binary search the CDF.
+  int64_t lo = 0, hi = n_ - 1;
+  while (lo < hi) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    if (cdf_[static_cast<size_t>(mid)] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace streamq

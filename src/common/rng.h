@@ -1,0 +1,152 @@
+#ifndef STREAMQ_COMMON_RNG_H_
+#define STREAMQ_COMMON_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace streamq {
+
+/// Deterministic, fast PRNG (xoshiro256**). Reproducible across platforms,
+/// which matters for the evaluation harness: every experiment is seeded and
+/// re-runs bit-identically.
+class Rng {
+ public:
+  /// Seeds the generator via SplitMix64 expansion of `seed`.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double NextUniform(double lo, double hi);
+
+  /// Standard normal via Box–Muller (cached pair).
+  double NextGaussian();
+
+  /// Bernoulli trial with probability `p` of true.
+  bool NextBool(double p);
+
+ private:
+  uint64_t state_[4];
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+/// Samples a non-negative random delay; the workload generator composes
+/// these to model network/queueing delay of out-of-order tuples.
+class DelaySampler {
+ public:
+  virtual ~DelaySampler() = default;
+
+  /// Draws one delay sample (microseconds, >= 0).
+  virtual double Sample(Rng* rng) = 0;
+
+  /// Analytic mean of the distribution, for workload tables.
+  virtual double Mean() const = 0;
+
+  /// Human-readable description, e.g. "exponential(mean=20ms)".
+  virtual std::string Describe() const = 0;
+};
+
+/// Constant delay (in-order stream when used alone).
+class ConstantDelay : public DelaySampler {
+ public:
+  explicit ConstantDelay(double value) : value_(value) {}
+  double Sample(Rng*) override { return value_; }
+  double Mean() const override { return value_; }
+  std::string Describe() const override;
+
+ private:
+  double value_;
+};
+
+/// Uniform delay on [lo, hi).
+class UniformDelay : public DelaySampler {
+ public:
+  UniformDelay(double lo, double hi) : lo_(lo), hi_(hi) {}
+  double Sample(Rng* rng) override { return rng->NextUniform(lo_, hi_); }
+  double Mean() const override { return (lo_ + hi_) / 2.0; }
+  std::string Describe() const override;
+
+ private:
+  double lo_, hi_;
+};
+
+/// Exponential delay with the given mean. Classic light-tailed model.
+class ExponentialDelay : public DelaySampler {
+ public:
+  explicit ExponentialDelay(double mean) : mean_(mean) {}
+  double Sample(Rng* rng) override;
+  double Mean() const override { return mean_; }
+  std::string Describe() const override;
+
+ private:
+  double mean_;
+};
+
+/// Normal delay truncated at zero.
+class NormalDelay : public DelaySampler {
+ public:
+  NormalDelay(double mean, double stddev) : mean_(mean), stddev_(stddev) {}
+  double Sample(Rng* rng) override;
+  double Mean() const override { return mean_; }  // Approximate (truncation).
+  std::string Describe() const override;
+
+ private:
+  double mean_, stddev_;
+};
+
+/// Log-normal delay parameterized by the underlying normal's mu/sigma.
+/// Heavy-ish tail; common fit for network one-way delays.
+class LogNormalDelay : public DelaySampler {
+ public:
+  LogNormalDelay(double mu, double sigma) : mu_(mu), sigma_(sigma) {}
+  double Sample(Rng* rng) override;
+  double Mean() const override;
+  std::string Describe() const override;
+
+ private:
+  double mu_, sigma_;
+};
+
+/// Pareto delay (scale xm, shape alpha). Heavy tail; stresses any
+/// disorder-bound-tracking baseline.
+class ParetoDelay : public DelaySampler {
+ public:
+  ParetoDelay(double xm, double alpha) : xm_(xm), alpha_(alpha) {}
+  double Sample(Rng* rng) override;
+  double Mean() const override;
+  std::string Describe() const override;
+
+ private:
+  double xm_, alpha_;
+};
+
+/// Zipf-distributed integer sampler over {0, ..., n-1} with exponent `s`.
+/// Used for key skew in keyed workloads (not for delays).
+class ZipfSampler {
+ public:
+  ZipfSampler(int64_t n, double s);
+
+  /// Draws one key.
+  int64_t Sample(Rng* rng) const;
+
+  int64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  int64_t n_;
+  double s_;
+  std::vector<double> cdf_;  // Precomputed cumulative probabilities.
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_COMMON_RNG_H_

@@ -1,0 +1,145 @@
+#ifndef STREAMQ_COMMON_STATUS_H_
+#define STREAMQ_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace streamq {
+
+/// Error categories used across the library. Values are stable and may be
+/// logged or serialized.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kNotFound = 3,
+  kAlreadyExists = 4,
+  kFailedPrecondition = 5,
+  kResourceExhausted = 6,
+  kUnimplemented = 7,
+  kInternal = 8,
+  kIOError = 9,
+  kCancelled = 10,
+};
+
+/// Returns a short stable name for a status code, e.g. "InvalidArgument".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Arrow/RocksDB-style operation outcome. The library does not throw
+/// exceptions across API boundaries; fallible operations return a `Status`
+/// (or a `Result<T>`, see below).
+///
+/// `Status` is cheap to copy in the OK case (no allocation).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Holds either a value of type `T` or an error `Status`. Accessing the
+/// value of an errored `Result` aborts the process (programming error).
+template <typename T>
+class Result {
+ public:
+  /// Implicit so functions can `return value;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit so functions can `return Status::...;`. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return value_.value(); }
+  T& value() & { return value_.value(); }
+  T&& value() && { return std::move(value_).value(); }
+
+  /// Returns the contained value, or `fallback` if errored.
+  T value_or(T fallback) const {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ engaged.
+};
+
+}  // namespace streamq
+
+/// Propagates a non-OK Status from an expression, Arrow-style.
+#define STREAMQ_RETURN_NOT_OK(expr)            \
+  do {                                         \
+    ::streamq::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+/// Evaluates a Result-returning expression; on error returns its Status,
+/// otherwise assigns the value to `lhs`.
+#define STREAMQ_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value();
+
+#define STREAMQ_ASSIGN_OR_RETURN_CAT(a, b) a##b
+#define STREAMQ_ASSIGN_OR_RETURN_NAME(a, b) STREAMQ_ASSIGN_OR_RETURN_CAT(a, b)
+#define STREAMQ_ASSIGN_OR_RETURN(lhs, expr)                                  \
+  STREAMQ_ASSIGN_OR_RETURN_IMPL(                                             \
+      STREAMQ_ASSIGN_OR_RETURN_NAME(_streamq_result_, __LINE__), lhs, expr)
+
+#endif  // STREAMQ_COMMON_STATUS_H_

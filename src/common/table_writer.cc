@@ -1,0 +1,80 @@
+#include "common/table_writer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace streamq {
+
+TableWriter::TableWriter(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  STREAMQ_CHECK(!columns_.empty());
+}
+
+void TableWriter::BeginRow() { rows_.emplace_back(); }
+
+void TableWriter::Cell(const std::string& v) {
+  STREAMQ_CHECK(!rows_.empty()) << "Cell() before BeginRow()";
+  STREAMQ_CHECK_LT(rows_.back().size(), columns_.size());
+  rows_.back().push_back(v);
+}
+
+void TableWriter::Cell(const char* v) { Cell(std::string(v)); }
+
+void TableWriter::Cell(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  Cell(std::string(buf));
+}
+
+void TableWriter::Cell(int64_t v) { Cell(std::to_string(v)); }
+
+size_t TableWriter::row_count() const { return rows_.size(); }
+
+std::string TableWriter::ToString() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream out;
+  out << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string();
+      out << "  " << v;
+      for (size_t pad = v.size(); pad < widths[c]; ++pad) out << ' ';
+    }
+    out << "\n";
+  };
+  emit_row(columns_);
+  size_t total = 2;
+  for (size_t w : widths) total += w + 2;
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string TableWriter::ToCsv() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out << ",";
+      out << cells[c];
+    }
+    out << "\n";
+  };
+  emit(columns_);
+  for (const auto& row : rows_) emit(row);
+  return out.str();
+}
+
+void TableWriter::Print(std::ostream& os) const { os << ToString(); }
+
+}  // namespace streamq

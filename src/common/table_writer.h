@@ -1,0 +1,48 @@
+#ifndef STREAMQ_COMMON_TABLE_WRITER_H_
+#define STREAMQ_COMMON_TABLE_WRITER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace streamq {
+
+/// Column-aligned text table used by the experiment harnesses to print the
+/// rows a paper table/figure would contain. Also exports CSV so figures can
+/// be re-plotted.
+class TableWriter {
+ public:
+  /// `title` is printed above the table; `columns` are the header cells.
+  TableWriter(std::string title, std::vector<std::string> columns);
+
+  /// Starts a new row; subsequent Cell() calls fill it left to right.
+  void BeginRow();
+  void Cell(const std::string& v);
+  void Cell(const char* v);
+  void Cell(double v, int precision = 3);
+  void Cell(int64_t v);
+  void Cell(int v) { Cell(static_cast<int64_t>(v)); }
+  void Cell(size_t v) { Cell(static_cast<int64_t>(v)); }
+
+  /// Number of completed data rows.
+  size_t row_count() const;
+
+  /// Renders the aligned table.
+  std::string ToString() const;
+
+  /// Renders as CSV (header + rows).
+  std::string ToCsv() const;
+
+  /// Prints ToString() to stdout.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_COMMON_TABLE_WRITER_H_

@@ -1,0 +1,28 @@
+#include "common/time.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+namespace streamq {
+
+std::string FormatDuration(DurationUs d) {
+  char buf[64];
+  const double abs_d = std::abs(static_cast<double>(d));
+  if (abs_d >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(d) / 1e6);
+  } else if (abs_d >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(d) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldus", static_cast<long long>(d));
+  }
+  return buf;
+}
+
+TimestampUs WallClockMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace streamq

@@ -1,0 +1,47 @@
+#ifndef STREAMQ_COMMON_TIME_H_
+#define STREAMQ_COMMON_TIME_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace streamq {
+
+/// Event time and processing time are both expressed in microseconds since
+/// an arbitrary epoch. Signed so that differences (delays, slacks) are
+/// representable directly.
+using TimestampUs = int64_t;
+
+/// Durations in microseconds.
+using DurationUs = int64_t;
+
+/// Sentinel used for "no timestamp yet" (e.g. watermark before any event).
+inline constexpr TimestampUs kMinTimestamp =
+    std::numeric_limits<TimestampUs>::min();
+
+/// Sentinel used for "end of stream" watermarks.
+inline constexpr TimestampUs kMaxTimestamp =
+    std::numeric_limits<TimestampUs>::max();
+
+/// Convenience constructors.
+inline constexpr DurationUs Micros(int64_t n) { return n; }
+inline constexpr DurationUs Millis(int64_t n) { return n * 1000; }
+inline constexpr DurationUs Seconds(int64_t n) { return n * 1000 * 1000; }
+
+/// Converts a duration to fractional seconds (for reporting).
+inline double ToSeconds(DurationUs d) { return static_cast<double>(d) / 1e6; }
+
+/// Converts a duration to fractional milliseconds (for reporting).
+inline double ToMillis(DurationUs d) { return static_cast<double>(d) / 1e3; }
+
+/// Formats a timestamp/duration as a human-readable string, e.g. "1.250s",
+/// "13.2ms", "640us".
+std::string FormatDuration(DurationUs d);
+
+/// Monotonic wall clock in microseconds. Used only for throughput
+/// measurements; the engine itself is driven by stream progress.
+TimestampUs WallClockMicros();
+
+}  // namespace streamq
+
+#endif  // STREAMQ_COMMON_TIME_H_

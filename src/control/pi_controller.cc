@@ -1,0 +1,89 @@
+#include "control/pi_controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace streamq {
+
+PiController::PiController(const Options& options) : options_(options) {
+  STREAMQ_CHECK_LE(options.out_min, options.out_max);
+  STREAMQ_CHECK_GE(options.integral_limit, 0.0);
+}
+
+double PiController::Update(double error) {
+  const double p_term = options_.kp * error;
+
+  // Tentatively integrate, then apply anti-windup: if the clamped output is
+  // saturated and the error pushes further into saturation, roll back.
+  const double new_integral = std::clamp(integral_ + options_.ki * error,
+                                         -options_.integral_limit,
+                                         options_.integral_limit);
+  double raw = p_term + new_integral;
+  const double clamped = std::clamp(raw, options_.out_min, options_.out_max);
+  const bool saturated_high = raw > options_.out_max && error > 0.0;
+  const bool saturated_low = raw < options_.out_min && error < 0.0;
+  if (!saturated_high && !saturated_low) {
+    integral_ = new_integral;
+  }
+  output_ = clamped;
+  return output_;
+}
+
+void PiController::Reset() {
+  integral_ = 0.0;
+  output_ = 0.0;
+}
+
+std::string PiController::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "PI{kp=%.3f ki=%.3f out=%.4f integral=%.4f}", options_.kp,
+                options_.ki, output_, integral_);
+  return buf;
+}
+
+SlewRateLimiter::SlewRateLimiter(double max_delta) : max_delta_(max_delta) {
+  STREAMQ_CHECK_GT(max_delta, 0.0);
+}
+
+double SlewRateLimiter::Apply(double target) {
+  if (!initialized_) {
+    value_ = target;
+    initialized_ = true;
+    return value_;
+  }
+  const double delta = std::clamp(target - value_, -max_delta_, max_delta_);
+  value_ += delta;
+  return value_;
+}
+
+void SlewRateLimiter::Reset() {
+  value_ = 0.0;
+  initialized_ = false;
+}
+
+Deadband::Deadband(double width) : width_(width) {
+  STREAMQ_CHECK_GE(width, 0.0);
+}
+
+double Deadband::Apply(double target) {
+  if (!initialized_) {
+    value_ = target;
+    initialized_ = true;
+    return value_;
+  }
+  if (std::fabs(target - value_) > width_) {
+    value_ = target;
+  }
+  return value_;
+}
+
+void Deadband::Reset() {
+  value_ = 0.0;
+  initialized_ = false;
+}
+
+}  // namespace streamq

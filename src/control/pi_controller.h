@@ -1,0 +1,85 @@
+#ifndef STREAMQ_CONTROL_PI_CONTROLLER_H_
+#define STREAMQ_CONTROL_PI_CONTROLLER_H_
+
+#include <string>
+
+namespace streamq {
+
+/// Discrete proportional–integral controller with output clamping and
+/// conditional anti-windup (the integrator freezes while the output is
+/// saturated in the direction of the error).
+///
+/// Used by the quality-driven buffer: error = target quality - achieved
+/// quality; output = trim applied to the delay-quantile setpoint.
+class PiController {
+ public:
+  struct Options {
+    double kp = 0.5;
+    double ki = 0.1;
+    double out_min = -1.0;
+    double out_max = 1.0;
+    /// Absolute clamp for the integral term's contribution.
+    double integral_limit = 1.0;
+  };
+
+  explicit PiController(const Options& options);
+
+  /// Feeds one error sample; returns the new control output.
+  double Update(double error);
+
+  /// Last output (0 before the first update).
+  double output() const { return output_; }
+
+  /// Current integral accumulator (ki-weighted).
+  double integral() const { return integral_; }
+
+  void Reset();
+
+  const Options& options() const { return options_; }
+
+  std::string ToString() const;
+
+ private:
+  Options options_;
+  double integral_ = 0.0;
+  double output_ = 0.0;
+};
+
+/// Limits the per-step change of a signal; protects the buffer from
+/// whiplash when a noisy quality estimate jumps.
+class SlewRateLimiter {
+ public:
+  /// `max_delta` is the largest allowed |change| per Apply() call.
+  explicit SlewRateLimiter(double max_delta);
+
+  /// Returns `target` moved toward from the previous output by at most
+  /// max_delta. First call passes through.
+  double Apply(double target);
+
+  void Reset();
+
+ private:
+  double max_delta_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Suppresses changes smaller than a threshold (returns the held value),
+/// avoiding constant micro-adjustments of the buffer bound.
+class Deadband {
+ public:
+  explicit Deadband(double width);
+
+  double Apply(double target);
+
+  void Reset();
+
+ private:
+  double width_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_CONTROL_PI_CONTROLLER_H_

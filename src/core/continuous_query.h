@@ -1,0 +1,106 @@
+#ifndef STREAMQ_CORE_CONTINUOUS_QUERY_H_
+#define STREAMQ_CORE_CONTINUOUS_QUERY_H_
+
+#include <string>
+
+#include "agg/aggregate.h"
+#include "common/status.h"
+#include "disorder/handler_factory.h"
+#include "window/window_operator.h"
+
+namespace streamq {
+
+/// A continuous query: disorder handling strategy + windowed aggregation.
+/// Build with QueryBuilder; run with QueryExecutor.
+struct ContinuousQuery {
+  std::string name = "query";
+  DisorderHandlerSpec handler;
+  WindowedAggregation::Options window;
+
+  Status Validate() const;
+
+  /// e.g. "q1: sliding(10s/1s) sum via aq-kslack(q*=0.950)".
+  std::string Describe() const;
+};
+
+/// Fluent builder for ContinuousQuery. Example:
+///
+///   ContinuousQuery q = QueryBuilder("avg-load")
+///       .Sliding(Seconds(10), Seconds(1))
+///       .Aggregate("mean")
+///       .QualityTarget(0.95)       // quality-driven buffering (the paper)
+///       .Build();
+///
+/// Alternatives to QualityTarget: FixedSlack(k), AdaptiveMaxSlack(),
+/// Watermark(bound), NoDisorderHandling().
+class QueryBuilder {
+ public:
+  explicit QueryBuilder(std::string name = "query");
+
+  /// Window shape.
+  QueryBuilder& Tumbling(DurationUs size);
+  QueryBuilder& Sliding(DurationUs size, DurationUs slide);
+
+  /// Aggregate function: by spec or by name ("sum", "quantile:0.9", ...).
+  /// The string form aborts on parse error (use ParseAggregateSpec for
+  /// recoverable handling).
+  QueryBuilder& Aggregate(const AggregateSpec& spec);
+  QueryBuilder& Aggregate(const std::string& name);
+
+  /// How long after window close late tuples may still amend results.
+  QueryBuilder& AllowedLateness(DurationUs lateness);
+
+  /// Emit one revision per late update (default) or batch at purge time.
+  QueryBuilder& RevisionPerUpdate(bool on);
+
+  /// --- Disorder handling strategies (choose exactly one; the last call
+  /// wins). Default: QualityTarget(0.95). ---
+
+  /// The paper's operator: meet a result-quality target with minimal
+  /// buffering latency. The coverage→quality model defaults to the
+  /// aggregate's DefaultQualityGamma; override with `gamma` > 0, or pass
+  /// gamma = 1 for the pure coverage metric.
+  QueryBuilder& QualityTarget(double target, double gamma = 0.0);
+
+  /// QualityTarget with full AqKSlack options control.
+  QueryBuilder& QualityDriven(const AqKSlack::Options& options,
+                              double gamma = 0.0);
+
+  /// The dual contract: "mean buffering latency at most `budget`, quality
+  /// as high as that allows" (LbKSlack).
+  QueryBuilder& LatencyBudget(DurationUs budget);
+
+  /// LatencyBudget with full LbKSlack options control.
+  QueryBuilder& LatencyConstrained(const LbKSlack::Options& options);
+
+  /// Classic fixed K-slack.
+  QueryBuilder& FixedSlack(DurationUs k);
+
+  /// Disorder-bound-tracking baseline.
+  QueryBuilder& AdaptiveMaxSlack(
+      const MpKSlack::Options& options = MpKSlack::Options{});
+
+  /// Flink-style heuristic watermark baseline.
+  QueryBuilder& Watermark(const WatermarkReorderer::Options& options);
+
+  /// No reordering at all (use with AllowedLateness for the speculative
+  /// emit-then-amend strategy).
+  QueryBuilder& NoDisorderHandling();
+
+  /// Runs the chosen disorder strategy per key (one buffer per key, merged
+  /// minimum watermark). Call after choosing the strategy.
+  QueryBuilder& PerKey(bool on = true);
+
+  /// Finalizes the query. Aborts if the configuration is invalid.
+  ContinuousQuery Build() const;
+
+ private:
+  ContinuousQuery query_;
+  bool explicit_gamma_ = false;
+  double gamma_override_ = 0.0;
+  bool quality_driven_ = true;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_CORE_CONTINUOUS_QUERY_H_

@@ -1,0 +1,73 @@
+#include "core/executor.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+#include "common/time.h"
+
+namespace streamq {
+
+std::string RunReport::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "RunReport{%s: events=%lld results=%zu (revisions=%lld) "
+      "throughput=%.0f ev/s buf_latency_mean=%s late=%lld dropped=%lld}",
+      query_name.c_str(), static_cast<long long>(events_processed),
+      results.size(), static_cast<long long>(window_stats.revisions),
+      throughput_eps,
+      FormatDuration(
+          static_cast<DurationUs>(handler_stats.buffering_latency_us.mean()))
+          .c_str(),
+      static_cast<long long>(handler_stats.events_late),
+      static_cast<long long>(window_stats.late_dropped));
+  return buf;
+}
+
+QueryExecutor::QueryExecutor(const ContinuousQuery& query) : query_(query) {
+  STREAMQ_CHECK_OK(query.Validate());
+  handler_ = MakeDisorderHandler(query.handler);
+  window_op_ =
+      std::make_unique<WindowedAggregation>(query.window, &result_sink_);
+}
+
+void QueryExecutor::Feed(const Event& e) {
+  ++events_processed_;
+  handler_->OnEvent(e, window_op_.get());
+}
+
+void QueryExecutor::FeedHeartbeat(TimestampUs event_time_bound,
+                                  TimestampUs stream_time) {
+  handler_->OnHeartbeat(event_time_bound, stream_time, window_op_.get());
+}
+
+void QueryExecutor::Finish() { handler_->Flush(window_op_.get()); }
+
+RunReport QueryExecutor::Run(EventSource* source) {
+  const TimestampUs start = WallClockMicros();
+  Event e;
+  while (source->Next(&e)) {
+    Feed(e);
+  }
+  Finish();
+  wall_seconds_ = ToSeconds(WallClockMicros() - start);
+  return Report();
+}
+
+RunReport QueryExecutor::Report() const {
+  RunReport report;
+  report.query_name = query_.name;
+  report.events_processed = events_processed_;
+  report.wall_seconds = wall_seconds_;
+  report.throughput_eps =
+      wall_seconds_ > 0.0
+          ? static_cast<double>(events_processed_) / wall_seconds_
+          : 0.0;
+  report.handler_stats = handler_->stats();
+  report.window_stats = window_op_->stats();
+  report.results = result_sink_.results;
+  report.final_slack = handler_->current_slack();
+  return report;
+}
+
+}  // namespace streamq

@@ -1,0 +1,82 @@
+#ifndef STREAMQ_CORE_EXECUTOR_H_
+#define STREAMQ_CORE_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/continuous_query.h"
+#include "disorder/disorder_handler.h"
+#include "stream/source.h"
+#include "window/window_operator.h"
+
+namespace streamq {
+
+/// Outcome of executing a query over a finite stream.
+struct RunReport {
+  std::string query_name;
+  int64_t events_processed = 0;
+
+  /// Wall-clock execution time and derived throughput (the only place wall
+  /// time appears; everything else is stream time).
+  double wall_seconds = 0.0;
+  double throughput_eps = 0.0;
+
+  DisorderHandlerStats handler_stats;
+  WindowedAggregation::Stats window_stats;
+
+  /// Every emitted result, revisions included, in emission order.
+  std::vector<WindowResult> results;
+
+  /// Handler slack at end of run (instrumentation).
+  DurationUs final_slack = 0;
+
+  std::string ToString() const;
+};
+
+/// Single-query pipeline: EventSource -> DisorderHandler ->
+/// WindowedAggregation -> results. Use Run() for whole-stream execution or
+/// the Feed()/Finish() pair to drive it incrementally (e.g. interleaved with
+/// other pipelines).
+class QueryExecutor {
+ public:
+  explicit QueryExecutor(const ContinuousQuery& query);
+
+  /// Processes one arrival.
+  void Feed(const Event& e);
+
+  /// Injects a source heartbeat: no future tuple will carry event_time <
+  /// `event_time_bound`. Drains buffers / closes windows during idle gaps.
+  void FeedHeartbeat(TimestampUs event_time_bound, TimestampUs stream_time);
+
+  /// Ends the stream: drains buffers, fires and purges remaining windows.
+  void Finish();
+
+  /// Feed-everything convenience; calls Finish() and returns the report.
+  RunReport Run(EventSource* source);
+
+  /// Results collected so far (also included in the RunReport).
+  const std::vector<WindowResult>& results() const {
+    return result_sink_.results;
+  }
+
+  DisorderHandler* handler() { return handler_.get(); }
+  const DisorderHandler* handler() const { return handler_.get(); }
+  WindowedAggregation* window_op() { return window_op_.get(); }
+  const ContinuousQuery& query() const { return query_; }
+
+  /// Builds the report from current state (without finishing).
+  RunReport Report() const;
+
+ private:
+  ContinuousQuery query_;
+  CollectingResultSink result_sink_;
+  std::unique_ptr<DisorderHandler> handler_;
+  std::unique_ptr<WindowedAggregation> window_op_;
+  int64_t events_processed_ = 0;
+  double wall_seconds_ = 0.0;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_CORE_EXECUTOR_H_

@@ -1,0 +1,154 @@
+#include "core/stream_join.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+
+namespace streamq {
+
+/// Adapts the DisorderHandler EventSink protocol onto the join core.
+class WindowedStreamJoin::SideSink : public EventSink {
+ public:
+  SideSink(WindowedStreamJoin* join, bool is_left)
+      : join_(join), is_left_(is_left) {}
+
+  void OnEvent(const Event& e) override {
+    join_->OnOrderedEvent(e, is_left_);
+  }
+  void OnWatermark(TimestampUs watermark, TimestampUs stream_time) override {
+    join_->OnSideWatermark(watermark, stream_time, is_left_);
+  }
+  void OnLateEvent(const Event&) override {
+    if (is_left_) {
+      ++join_->stats_.left_late_dropped;
+    } else {
+      ++join_->stats_.right_late_dropped;
+    }
+  }
+
+ private:
+  WindowedStreamJoin* join_;
+  bool is_left_;
+};
+
+WindowedStreamJoin::WindowedStreamJoin(const Options& options, JoinSink* sink)
+    : options_(options), sink_(sink) {
+  STREAMQ_CHECK(sink != nullptr);
+  STREAMQ_CHECK_GE(options.join_window, 0);
+  left_handler_ = MakeDisorderHandler(options.left_handler);
+  right_handler_ = MakeDisorderHandler(options.right_handler);
+  left_sink_ = std::make_unique<SideSink>(this, /*is_left=*/true);
+  right_sink_ = std::make_unique<SideSink>(this, /*is_left=*/false);
+}
+
+WindowedStreamJoin::~WindowedStreamJoin() = default;
+
+void WindowedStreamJoin::FeedLeft(const Event& e) {
+  ++stats_.left_in;
+  left_handler_->OnEvent(e, left_sink_.get());
+}
+
+void WindowedStreamJoin::FeedRight(const Event& e) {
+  ++stats_.right_in;
+  right_handler_->OnEvent(e, right_sink_.get());
+}
+
+void WindowedStreamJoin::Finish() {
+  left_handler_->Flush(left_sink_.get());
+  right_handler_->Flush(right_sink_.get());
+}
+
+void WindowedStreamJoin::OnOrderedEvent(const Event& e, bool from_left) {
+  SideStore& own = from_left ? left_store_ : right_store_;
+  SideStore& other = from_left ? right_store_ : left_store_;
+
+  const TimestampUs now =
+      std::max(e.arrival_time,
+               std::max(own.last_stream_time, other.last_stream_time));
+
+  // Probe the opposite store: partners with |ts - e.ts| <= W.
+  const auto it = other.by_key.find(e.key);
+  if (it != other.by_key.end()) {
+    const TimestampUs lo = e.event_time - options_.join_window;
+    const TimestampUs hi = e.event_time + options_.join_window;
+    for (const Event& partner : it->second) {
+      if (partner.event_time > hi) break;  // Deque is event-time ordered.
+      if (partner.event_time < lo) continue;
+      JoinedPair pair;
+      pair.key = e.key;
+      pair.left = from_left ? e : partner;
+      pair.right = from_left ? partner : e;
+      pair.emit_stream_time = now;
+      ++stats_.pairs_emitted;
+      sink_->OnPair(pair);
+    }
+  }
+
+  // Store for future partners from the other side.
+  own.by_key[e.key].push_back(e);
+  ++own.size;
+  stats_.max_store_size =
+      std::max(stats_.max_store_size, left_store_.size + right_store_.size);
+}
+
+void WindowedStreamJoin::OnSideWatermark(TimestampUs watermark,
+                                         TimestampUs stream_time,
+                                         bool from_left) {
+  SideStore& own = from_left ? left_store_ : right_store_;
+  SideStore& other = from_left ? right_store_ : left_store_;
+  own.watermark = watermark;
+  own.last_stream_time = std::max(own.last_stream_time, stream_time);
+  // This side's watermark bounds the event times of its future output, so
+  // the *other* store can evict everything older than watermark - W.
+  Evict(&other, watermark);
+}
+
+void WindowedStreamJoin::Evict(SideStore* store,
+                               TimestampUs other_watermark) {
+  if (other_watermark == kMinTimestamp) return;
+  const TimestampUs cutoff =
+      (other_watermark < kMinTimestamp + options_.join_window)
+          ? kMinTimestamp
+          : other_watermark - options_.join_window;
+  auto it = store->by_key.begin();
+  while (it != store->by_key.end()) {
+    auto& dq = it->second;
+    while (!dq.empty() && dq.front().event_time < cutoff) {
+      dq.pop_front();
+      --store->size;
+    }
+    if (dq.empty()) {
+      it = store->by_key.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+int64_t OracleJoinCount(const std::vector<Event>& left,
+                        const std::vector<Event>& right,
+                        DurationUs join_window) {
+  std::map<int64_t, std::vector<TimestampUs>> l_by_key, r_by_key;
+  for (const Event& e : left) l_by_key[e.key].push_back(e.event_time);
+  for (const Event& e : right) r_by_key[e.key].push_back(e.event_time);
+
+  int64_t pairs = 0;
+  for (auto& [key, ls] : l_by_key) {
+    auto rit = r_by_key.find(key);
+    if (rit == r_by_key.end()) continue;
+    auto& rs = rit->second;
+    std::sort(ls.begin(), ls.end());
+    std::sort(rs.begin(), rs.end());
+    size_t lo = 0, hi = 0;
+    for (const TimestampUs tl : ls) {
+      while (lo < rs.size() && rs[lo] < tl - join_window) ++lo;
+      if (hi < lo) hi = lo;
+      while (hi < rs.size() && rs[hi] <= tl + join_window) ++hi;
+      pairs += static_cast<int64_t>(hi - lo);
+    }
+  }
+  return pairs;
+}
+
+}  // namespace streamq

@@ -1,0 +1,139 @@
+#ifndef STREAMQ_CORE_STREAM_JOIN_H_
+#define STREAMQ_CORE_STREAM_JOIN_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "disorder/disorder_handler.h"
+#include "disorder/handler_factory.h"
+#include "stream/event.h"
+
+namespace streamq {
+
+/// One joined tuple pair.
+struct JoinedPair {
+  int64_t key = 0;
+  Event left;
+  Event right;
+  /// Stream time at which the pair was produced.
+  TimestampUs emit_stream_time = 0;
+};
+
+/// Consumer of join output.
+class JoinSink {
+ public:
+  virtual ~JoinSink() = default;
+  virtual void OnPair(const JoinedPair& pair) = 0;
+};
+
+/// Counts pairs and keeps a value checksum (bench/tests).
+class CountingJoinSink : public JoinSink {
+ public:
+  void OnPair(const JoinedPair& pair) override {
+    ++pairs;
+    checksum += pair.left.value * pair.right.value;
+  }
+  int64_t pairs = 0;
+  double checksum = 0.0;
+};
+
+/// Records every pair (tests).
+class CollectingJoinSink : public JoinSink {
+ public:
+  void OnPair(const JoinedPair& pair) override { pairs.push_back(pair); }
+  std::vector<JoinedPair> pairs;
+};
+
+/// Event-time windowed equi-join of two out-of-order streams:
+/// emit (l, r) iff l.key == r.key and |l.event_time - r.event_time| <=
+/// join_window. Each input passes through its own disorder handler; the
+/// join core is a symmetric hash join over the handlers' in-order outputs,
+/// with state evicted by the *other* side's watermark (a right event can
+/// stop waiting for left partners once the left watermark has passed
+/// r.ts + join_window).
+///
+/// Quality semantics: tuples a handler sheds as late lose all their pairs —
+/// join recall (pairs found / true pairs, see OracleJoinCount) is the
+/// quality metric, and it composes multiplicatively from per-side coverage.
+/// This makes the join the sharpest consumer of quality-driven buffering:
+/// at per-side coverage c, recall is ~c², so hitting a recall target
+/// requires per-side targets of sqrt(target).
+class WindowedStreamJoin {
+ public:
+  struct Options {
+    /// Maximum event-time distance between joined tuples (>= 0).
+    DurationUs join_window = Millis(100);
+    DisorderHandlerSpec left_handler;
+    DisorderHandlerSpec right_handler;
+  };
+
+  struct Stats {
+    int64_t pairs_emitted = 0;
+    int64_t left_in = 0;
+    int64_t right_in = 0;
+    int64_t left_late_dropped = 0;
+    int64_t right_late_dropped = 0;
+    /// Peak total tuples held in the two join stores.
+    int64_t max_store_size = 0;
+  };
+
+  WindowedStreamJoin(const Options& options, JoinSink* sink);
+  ~WindowedStreamJoin();  // Out-of-line: SideSink is defined in the .cc.
+
+  /// Feeds one arrival on each input (arrival-ordered per input).
+  void FeedLeft(const Event& e);
+  void FeedRight(const Event& e);
+
+  /// Ends both streams, draining handler buffers and emitting remaining
+  /// pairs.
+  void Finish();
+
+  const Stats& stats() const { return stats_; }
+  const DisorderHandler& left_handler() const { return *left_handler_; }
+  const DisorderHandler& right_handler() const { return *right_handler_; }
+
+ private:
+  /// Per-side in-order store: per key, events in event-time order.
+  struct SideStore {
+    std::unordered_map<int64_t, std::deque<Event>> by_key;
+    int64_t size = 0;
+    TimestampUs watermark = kMinTimestamp;
+    TimestampUs last_stream_time = 0;
+  };
+
+  /// EventSink adapter for one input side.
+  class SideSink;
+
+  /// Handles an in-order event from `from`: probe the opposite store, emit
+  /// pairs, insert into own store.
+  void OnOrderedEvent(const Event& e, bool from_left);
+  void OnSideWatermark(TimestampUs watermark, TimestampUs stream_time,
+                       bool from_left);
+  /// Evicts from `store` everything no future event of the *other* side can
+  /// join with.
+  void Evict(SideStore* store, TimestampUs other_watermark);
+
+  Options options_;
+  JoinSink* sink_;
+  std::unique_ptr<DisorderHandler> left_handler_;
+  std::unique_ptr<DisorderHandler> right_handler_;
+  std::unique_ptr<SideSink> left_sink_;
+  std::unique_ptr<SideSink> right_sink_;
+  SideStore left_store_;
+  SideStore right_store_;
+  Stats stats_;
+};
+
+/// Ground truth: the number of (left, right) pairs with equal key and
+/// event-time distance <= join_window, over the complete streams. O(n log n
+/// + pairs-scan) two-pointer sweep per key.
+int64_t OracleJoinCount(const std::vector<Event>& left,
+                        const std::vector<Event>& right,
+                        DurationUs join_window);
+
+}  // namespace streamq
+
+#endif  // STREAMQ_CORE_STREAM_JOIN_H_

@@ -1,0 +1,69 @@
+#ifndef STREAMQ_DISORDER_BUFFERED_HANDLER_BASE_H_
+#define STREAMQ_DISORDER_BUFFERED_HANDLER_BASE_H_
+
+#include <algorithm>
+
+#include "disorder/disorder_handler.h"
+#include "disorder/reorder_buffer.h"
+
+namespace streamq {
+
+/// Shared machinery for every buffering handler: the reorder buffer, the
+/// event-time frontier `t_max`, the output watermark, and the release
+/// procedure. Subclasses only decide *when* and *up to where* to release.
+class BufferedHandlerBase : public DisorderHandler {
+ public:
+  explicit BufferedHandlerBase(bool collect_latency_samples = true)
+      : DisorderHandler(collect_latency_samples) {}
+
+  size_t buffered() const override { return buffer_.size(); }
+
+  /// Advances the frontier to the promised bound and releases with the
+  /// handler's current slack. Works for every buffered handler because the
+  /// release bound is current_slack(), which subclasses keep up to date.
+  void OnHeartbeat(TimestampUs event_time_bound, TimestampUs stream_time,
+                   EventSink* sink) override;
+
+  /// Event-time frontier: max event time seen so far.
+  TimestampUs frontier() const { return t_max_; }
+
+  /// Current output watermark (last emitted).
+  TimestampUs watermark() const { return emitted_frontier_; }
+
+ protected:
+  /// Inserts `e` into the buffer unless it is already behind the output
+  /// watermark, in which case it is diverted to OnLateEvent. Updates t_max
+  /// and stats. Returns true if the event was buffered.
+  bool Ingest(const Event& e, EventSink* sink);
+
+  /// Releases (in order) all buffered events with event_time <= threshold,
+  /// advances the watermark to max(watermark, threshold) and notifies the
+  /// sink. `now` is the arrival time driving latency accounting.
+  void ReleaseUpTo(TimestampUs threshold, TimestampUs now, EventSink* sink);
+
+  /// Computes `t_max - slack` without underflow. Returns kMinTimestamp when
+  /// no event has been seen.
+  TimestampUs ReleaseThreshold(DurationUs slack) const {
+    if (t_max_ == kMinTimestamp) return kMinTimestamp;
+    if (slack < 0) slack = 0;
+    if (t_max_ < kMinTimestamp + slack) return kMinTimestamp;
+    return t_max_ - slack;
+  }
+
+  /// Drains the entire buffer (end of stream) and emits kMaxTimestamp.
+  void DrainAll(TimestampUs now, EventSink* sink);
+
+  ReorderBuffer buffer_;
+  TimestampUs t_max_ = kMinTimestamp;
+  TimestampUs emitted_frontier_ = kMinTimestamp;
+  /// Arrival time of the latest activity (event or heartbeat); used as
+  /// "now" for terminal flushes.
+  TimestampUs last_activity_ = 0;
+
+ private:
+  std::vector<Event> release_scratch_;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_DISORDER_BUFFERED_HANDLER_BASE_H_

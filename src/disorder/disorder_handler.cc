@@ -1,0 +1,36 @@
+#include "disorder/disorder_handler.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace streamq {
+
+std::string DisorderHandlerStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "HandlerStats{in=%lld out=%lld late=%lld max_buf=%lld "
+                "lat_mean=%s lat_max=%s}",
+                static_cast<long long>(events_in),
+                static_cast<long long>(events_out),
+                static_cast<long long>(events_late),
+                static_cast<long long>(max_buffer_size),
+                FormatDuration(static_cast<DurationUs>(
+                                   buffering_latency_us.mean()))
+                    .c_str(),
+                FormatDuration(static_cast<DurationUs>(
+                                   buffering_latency_us.max()))
+                    .c_str());
+  return buf;
+}
+
+void DisorderHandler::RecordRelease(const Event& released, TimestampUs now) {
+  ++stats_.events_out;
+  const auto latency =
+      static_cast<double>(std::max<TimestampUs>(0, now - released.arrival_time));
+  stats_.buffering_latency_us.Add(latency);
+  if (collect_latency_samples_) {
+    stats_.latency_samples.push_back(latency);
+  }
+}
+
+}  // namespace streamq

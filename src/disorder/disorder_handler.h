@@ -1,0 +1,99 @@
+#ifndef STREAMQ_DISORDER_DISORDER_HANDLER_H_
+#define STREAMQ_DISORDER_DISORDER_HANDLER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/time.h"
+#include "disorder/event_sink.h"
+#include "stream/event.h"
+
+namespace streamq {
+
+/// Instrumentation shared by all disorder handlers.
+struct DisorderHandlerStats {
+  int64_t events_in = 0;
+  int64_t events_out = 0;
+  /// Tuples that missed the output watermark and were diverted to
+  /// OnLateEvent.
+  int64_t events_late = 0;
+  /// Tuples discarded entirely (beyond a handler's allowed lateness); a
+  /// subset of the quality loss that is not even visible downstream.
+  int64_t events_dropped = 0;
+  /// Largest buffer occupancy observed.
+  int64_t max_buffer_size = 0;
+
+  /// Per-tuple buffering latency in microseconds of stream (arrival) time:
+  /// the gap between a tuple's arrival and the arrival that triggered its
+  /// release. Zero for tuples forwarded immediately.
+  RunningMoments buffering_latency_us;
+
+  /// Full latency sample (kept when `collect_latency_samples` is on), for
+  /// exact percentile reporting in the evaluation harness.
+  std::vector<double> latency_samples;
+
+  std::string ToString() const;
+};
+
+/// A disorder handler consumes an arrival-ordered stream and produces an
+/// event-time-ordered stream plus watermarks (see EventSink contract).
+///
+/// Handlers are single-threaded and driven purely by arrivals: "now" is the
+/// arrival timestamp of the tuple being processed, which makes every run
+/// deterministic and lets experiments measure buffering latency exactly.
+class DisorderHandler {
+ public:
+  explicit DisorderHandler(bool collect_latency_samples = true)
+      : collect_latency_samples_(collect_latency_samples) {}
+  virtual ~DisorderHandler() = default;
+
+  DisorderHandler(const DisorderHandler&) = delete;
+  DisorderHandler& operator=(const DisorderHandler&) = delete;
+
+  /// Stable identifier, e.g. "fixed-kslack".
+  virtual std::string_view name() const = 0;
+
+  /// Processes one arrival. May call sink->OnEvent / OnWatermark /
+  /// OnLateEvent zero or more times.
+  virtual void OnEvent(const Event& e, EventSink* sink) = 0;
+
+  /// Source-issued heartbeat (punctuation): a promise that no future tuple
+  /// carries event_time < `event_time_bound`. Lets buffers drain and
+  /// windows close during idle periods, when no arrival would otherwise
+  /// advance the frontier. `stream_time` is "now" on the arrival clock.
+  /// Default: ignored (handlers that do not buffer need no progress).
+  virtual void OnHeartbeat(TimestampUs event_time_bound,
+                           TimestampUs stream_time, EventSink* sink) {
+    (void)event_time_bound;
+    (void)stream_time;
+    (void)sink;
+  }
+
+  /// End of stream: drains any buffered tuples in order and emits a final
+  /// watermark of kMaxTimestamp.
+  virtual void Flush(EventSink* sink) = 0;
+
+  /// The current slack bound K in event-time microseconds (0 for
+  /// non-buffering handlers). Instrumentation only.
+  virtual DurationUs current_slack() const { return 0; }
+
+  /// Current buffer occupancy in tuples.
+  virtual size_t buffered() const { return 0; }
+
+  const DisorderHandlerStats& stats() const { return stats_; }
+
+ protected:
+  /// Records a released tuple's buffering latency; `now` is the arrival time
+  /// of the tuple whose processing triggered the release.
+  void RecordRelease(const Event& released, TimestampUs now);
+
+  DisorderHandlerStats stats_;
+  bool collect_latency_samples_;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_DISORDER_DISORDER_HANDLER_H_

@@ -1,0 +1,94 @@
+#ifndef STREAMQ_DISORDER_EVENT_SINK_H_
+#define STREAMQ_DISORDER_EVENT_SINK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+#include "stream/event.h"
+
+namespace streamq {
+
+/// Consumer of a disorder handler's output.
+///
+/// Contract: between two OnWatermark(w1), OnWatermark(w2) calls (w2 >= w1),
+/// every OnEvent carries event_time >= w1, and OnEvent calls are in
+/// non-decreasing event-time order. Events that violate the watermark (i.e.
+/// arrived after their slot was already released) are delivered through
+/// OnLateEvent instead, so downstream can decide to drop or amend.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  /// An in-order event, ready for processing.
+  virtual void OnEvent(const Event& e) = 0;
+
+  /// The output watermark advanced: no future OnEvent will carry
+  /// event_time < `watermark`. `stream_time` is the arrival timestamp of the
+  /// tuple whose processing produced this watermark — i.e. "now" on the
+  /// stream clock — which downstream operators use to timestamp emissions.
+  virtual void OnWatermark(TimestampUs watermark, TimestampUs stream_time) = 0;
+
+  /// A tuple that missed the watermark. Default: ignore (drop).
+  virtual void OnLateEvent(const Event& e) { (void)e; }
+
+  /// Per-key watermark from a keyed disorder handler: no future OnEvent
+  /// *of this key* will carry event_time < `watermark`. Keyed handlers
+  /// emit these alongside the merged-minimum OnWatermark; with them, an
+  /// OnEvent may be behind the merged watermark but never behind its own
+  /// key's keyed watermark. Default: ignored (global consumers only need
+  /// OnWatermark).
+  virtual void OnKeyedWatermark(int64_t key, TimestampUs watermark,
+                                TimestampUs stream_time) {
+    (void)key;
+    (void)watermark;
+    (void)stream_time;
+  }
+};
+
+/// Test/harness sink that records everything it receives.
+class CollectingSink : public EventSink {
+ public:
+  void OnEvent(const Event& e) override { events.push_back(e); }
+  void OnWatermark(TimestampUs watermark, TimestampUs stream_time) override {
+    watermarks.push_back(watermark);
+    watermark_stream_times.push_back(stream_time);
+  }
+  void OnLateEvent(const Event& e) override { late_events.push_back(e); }
+
+  void Clear() {
+    events.clear();
+    watermarks.clear();
+    watermark_stream_times.clear();
+    late_events.clear();
+  }
+
+  std::vector<Event> events;
+  std::vector<TimestampUs> watermarks;
+  std::vector<TimestampUs> watermark_stream_times;
+  std::vector<Event> late_events;
+};
+
+/// Sink that only counts (for throughput benchmarks; avoids allocation).
+class CountingSink : public EventSink {
+ public:
+  void OnEvent(const Event& e) override {
+    ++num_events;
+    checksum += e.value;
+  }
+  void OnWatermark(TimestampUs watermark, TimestampUs) override {
+    ++num_watermarks;
+    last_watermark = watermark;
+  }
+  void OnLateEvent(const Event&) override { ++num_late; }
+
+  int64_t num_events = 0;
+  int64_t num_watermarks = 0;
+  int64_t num_late = 0;
+  TimestampUs last_watermark = kMinTimestamp;
+  double checksum = 0.0;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_DISORDER_EVENT_SINK_H_

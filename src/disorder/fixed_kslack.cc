@@ -1,0 +1,19 @@
+#include "disorder/fixed_kslack.h"
+
+#include "common/logging.h"
+
+namespace streamq {
+
+FixedKSlack::FixedKSlack(DurationUs k, bool collect_latency_samples)
+    : BufferedHandlerBase(collect_latency_samples), k_(k) {
+  STREAMQ_CHECK_GE(k, 0);
+}
+
+void FixedKSlack::OnEvent(const Event& e, EventSink* sink) {
+  if (!Ingest(e, sink)) return;
+  ReleaseUpTo(ReleaseThreshold(k_), e.arrival_time, sink);
+}
+
+void FixedKSlack::Flush(EventSink* sink) { DrainAll(last_activity_, sink); }
+
+}  // namespace streamq

@@ -1,0 +1,119 @@
+#include "disorder/handler_factory.h"
+
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace streamq {
+
+DisorderHandlerSpec DisorderHandlerSpec::PassThroughSpec() {
+  DisorderHandlerSpec s;
+  s.kind = Kind::kPassThrough;
+  return s;
+}
+
+DisorderHandlerSpec DisorderHandlerSpec::FixedK(DurationUs k) {
+  DisorderHandlerSpec s;
+  s.kind = Kind::kFixedKSlack;
+  s.fixed_k = k;
+  return s;
+}
+
+DisorderHandlerSpec DisorderHandlerSpec::Mp(const MpKSlack::Options& options) {
+  DisorderHandlerSpec s;
+  s.kind = Kind::kMpKSlack;
+  s.mp = options;
+  return s;
+}
+
+DisorderHandlerSpec DisorderHandlerSpec::Aq(const AqKSlack::Options& options,
+                                            double quality_gamma) {
+  DisorderHandlerSpec s;
+  s.kind = Kind::kAqKSlack;
+  s.aq = options;
+  s.aq_quality_gamma = quality_gamma;
+  return s;
+}
+
+DisorderHandlerSpec DisorderHandlerSpec::Lb(const LbKSlack::Options& options) {
+  DisorderHandlerSpec s;
+  s.kind = Kind::kLbKSlack;
+  s.lb = options;
+  return s;
+}
+
+DisorderHandlerSpec DisorderHandlerSpec::Watermark(
+    const WatermarkReorderer::Options& options) {
+  DisorderHandlerSpec s;
+  s.kind = Kind::kWatermark;
+  s.wm = options;
+  return s;
+}
+
+std::string DisorderHandlerSpec::Describe() const {
+  if (per_key) {
+    DisorderHandlerSpec inner = *this;
+    inner.per_key = false;
+    return "per-key[" + inner.Describe() + "]";
+  }
+  char buf[128];
+  switch (kind) {
+    case Kind::kPassThrough:
+      return "pass-through";
+    case Kind::kFixedKSlack:
+      std::snprintf(buf, sizeof(buf), "fixed-kslack(K=%s)",
+                    FormatDuration(fixed_k).c_str());
+      return buf;
+    case Kind::kMpKSlack:
+      std::snprintf(buf, sizeof(buf), "mp-kslack(%s, w=%lld, beta=%.2f)",
+                    mp.mode == MpKSlack::Mode::kGrowOnly ? "grow" : "sliding",
+                    static_cast<long long>(mp.window_size), mp.safety_factor);
+      return buf;
+    case Kind::kAqKSlack:
+      std::snprintf(buf, sizeof(buf), "aq-kslack(q*=%.3f)", aq.target_quality);
+      return buf;
+    case Kind::kLbKSlack:
+      std::snprintf(buf, sizeof(buf), "lb-kslack(L*=%s)",
+                    FormatDuration(lb.latency_budget).c_str());
+      return buf;
+    case Kind::kWatermark:
+      std::snprintf(buf, sizeof(buf), "watermark(bound=%s, lateness=%s)",
+                    FormatDuration(wm.bound).c_str(),
+                    FormatDuration(wm.allowed_lateness).c_str());
+      return buf;
+  }
+  return "?";
+}
+
+std::unique_ptr<DisorderHandler> MakeDisorderHandler(
+    const DisorderHandlerSpec& spec) {
+  if (spec.per_key && spec.kind != DisorderHandlerSpec::Kind::kPassThrough) {
+    DisorderHandlerSpec inner = spec;
+    inner.per_key = false;
+    return std::make_unique<KeyedDisorderHandler>(
+        [inner] { return MakeDisorderHandler(inner); });
+  }
+  switch (spec.kind) {
+    case DisorderHandlerSpec::Kind::kPassThrough:
+      return std::make_unique<PassThrough>();
+    case DisorderHandlerSpec::Kind::kFixedKSlack:
+      return std::make_unique<FixedKSlack>(spec.fixed_k);
+    case DisorderHandlerSpec::Kind::kMpKSlack:
+      return std::make_unique<MpKSlack>(spec.mp);
+    case DisorderHandlerSpec::Kind::kAqKSlack: {
+      std::unique_ptr<QualityModel> model;
+      if (spec.aq_quality_gamma > 0.0) {
+        model = MakePowerQualityModel(spec.aq_quality_gamma);
+      }
+      return std::make_unique<AqKSlack>(spec.aq, std::move(model));
+    }
+    case DisorderHandlerSpec::Kind::kLbKSlack:
+      return std::make_unique<LbKSlack>(spec.lb);
+    case DisorderHandlerSpec::Kind::kWatermark:
+      return std::make_unique<WatermarkReorderer>(spec.wm);
+  }
+  STREAMQ_LOG(Fatal) << "unknown disorder handler kind";
+  return nullptr;
+}
+
+}  // namespace streamq

@@ -1,0 +1,65 @@
+#ifndef STREAMQ_DISORDER_HANDLER_FACTORY_H_
+#define STREAMQ_DISORDER_HANDLER_FACTORY_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "disorder/aq_kslack.h"
+#include "disorder/disorder_handler.h"
+#include "disorder/fixed_kslack.h"
+#include "disorder/keyed_handler.h"
+#include "disorder/lb_kslack.h"
+#include "disorder/mp_kslack.h"
+#include "disorder/pass_through.h"
+#include "disorder/watermark_reorderer.h"
+
+namespace streamq {
+
+/// Tagged-union configuration for any disorder handler; lets query specs,
+/// examples and experiment harnesses choose handlers by name.
+struct DisorderHandlerSpec {
+  enum class Kind {
+    kPassThrough,
+    kFixedKSlack,
+    kMpKSlack,
+    kAqKSlack,
+    kLbKSlack,
+    kWatermark,
+  };
+
+  Kind kind = Kind::kAqKSlack;
+  DurationUs fixed_k = 0;               // kFixedKSlack
+  MpKSlack::Options mp;                 // kMpKSlack
+  AqKSlack::Options aq;                 // kAqKSlack
+  LbKSlack::Options lb;                 // kLbKSlack
+  WatermarkReorderer::Options wm;       // kWatermark
+  /// Optional quality-model exponent for AqKSlack; <= 0 means coverage model.
+  double aq_quality_gamma = 0.0;
+
+  /// If true, the configured handler runs *per key* (one instance per key,
+  /// merged minimum watermark) via KeyedDisorderHandler. Right choice when
+  /// keys have heterogeneous delay distributions. Ignored for kPassThrough.
+  bool per_key = false;
+
+  /// Convenience constructors.
+  static DisorderHandlerSpec PassThroughSpec();
+  static DisorderHandlerSpec FixedK(DurationUs k);
+  static DisorderHandlerSpec Mp(const MpKSlack::Options& options);
+  static DisorderHandlerSpec Aq(const AqKSlack::Options& options,
+                                double quality_gamma = 0.0);
+  static DisorderHandlerSpec Lb(const LbKSlack::Options& options);
+  static DisorderHandlerSpec Watermark(
+      const WatermarkReorderer::Options& options);
+
+  /// Human-readable name of the configured handler.
+  std::string Describe() const;
+};
+
+/// Instantiates the configured handler.
+std::unique_ptr<DisorderHandler> MakeDisorderHandler(
+    const DisorderHandlerSpec& spec);
+
+}  // namespace streamq
+
+#endif  // STREAMQ_DISORDER_HANDLER_FACTORY_H_

@@ -1,0 +1,137 @@
+#include "disorder/keyed_handler.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace streamq {
+
+/// One key's inner handler plus the sink adapter that captures its
+/// watermarks (which must not reach downstream directly: only the merged
+/// minimum may).
+struct KeyedDisorderHandler::Shard {
+  class Intercept : public EventSink {
+   public:
+    Intercept(KeyedDisorderHandler* outer, Shard* shard)
+        : outer_(outer), shard_(shard) {}
+
+    void OnEvent(const Event& e) override {
+      outer_->RecordRelease(e, now_);
+      out_->OnEvent(e);
+    }
+    void OnWatermark(TimestampUs watermark, TimestampUs stream_time) override {
+      if (watermark > shard_->watermark) {
+        shard_->watermark = watermark;
+        out_->OnKeyedWatermark(shard_->key, watermark, stream_time);
+      }
+    }
+    void OnLateEvent(const Event& e) override {
+      ++outer_->stats_.events_late;
+      out_->OnLateEvent(e);
+    }
+
+    /// Per-call context: the downstream sink and the stream time at which
+    /// releases happen.
+    void Arm(EventSink* out, TimestampUs now) {
+      out_ = out;
+      now_ = now;
+    }
+
+   private:
+    KeyedDisorderHandler* outer_;
+    Shard* shard_;
+    EventSink* out_ = nullptr;
+    TimestampUs now_ = 0;
+  };
+
+  Shard(KeyedDisorderHandler* outer, int64_t shard_key)
+      : key(shard_key), intercept(outer, this) {}
+
+  int64_t key;
+  std::unique_ptr<DisorderHandler> handler;
+  TimestampUs watermark = kMinTimestamp;
+  Intercept intercept;
+};
+
+KeyedDisorderHandler::KeyedDisorderHandler(HandlerFactory factory)
+    : factory_(std::move(factory)) {
+  STREAMQ_CHECK(factory_ != nullptr);
+}
+
+KeyedDisorderHandler::~KeyedDisorderHandler() = default;
+
+void KeyedDisorderHandler::OnEvent(const Event& e, EventSink* sink) {
+  ++stats_.events_in;
+  last_stream_time_ = std::max(last_stream_time_, e.arrival_time);
+  auto& slot = shards_[e.key];
+  if (!slot) {
+    slot = std::make_unique<Shard>(this, e.key);
+    slot->handler = factory_();
+    STREAMQ_CHECK(slot->handler != nullptr);
+  }
+  slot->intercept.Arm(sink, e.arrival_time);
+  slot->handler->OnEvent(e, &slot->intercept);
+  stats_.max_buffer_size =
+      std::max(stats_.max_buffer_size,
+               stats_.events_in - stats_.events_out - stats_.events_late);
+  MaybeEmitMergedWatermark(e.arrival_time, sink);
+}
+
+void KeyedDisorderHandler::OnHeartbeat(TimestampUs event_time_bound,
+                                       TimestampUs stream_time,
+                                       EventSink* sink) {
+  last_stream_time_ = std::max(last_stream_time_, stream_time);
+  for (auto& [key, shard] : shards_) {
+    shard->intercept.Arm(sink, stream_time);
+    shard->handler->OnHeartbeat(event_time_bound, stream_time,
+                                &shard->intercept);
+  }
+  MaybeEmitMergedWatermark(stream_time, sink);
+}
+
+void KeyedDisorderHandler::Flush(EventSink* sink) {
+  for (auto& [key, shard] : shards_) {
+    shard->intercept.Arm(sink, last_stream_time_);
+    shard->handler->Flush(&shard->intercept);
+  }
+  merged_watermark_ = kMaxTimestamp;
+  sink->OnWatermark(kMaxTimestamp, last_stream_time_);
+}
+
+void KeyedDisorderHandler::MaybeEmitMergedWatermark(TimestampUs stream_time,
+                                                    EventSink* sink) {
+  if (shards_.empty()) return;
+  TimestampUs merged = kMaxTimestamp;
+  for (const auto& [key, shard] : shards_) {
+    merged = std::min(merged, shard->watermark);
+  }
+  if (merged != kMinTimestamp &&
+      (merged_watermark_ == kMinTimestamp || merged > merged_watermark_)) {
+    merged_watermark_ = merged;
+    sink->OnWatermark(merged_watermark_, stream_time);
+  }
+}
+
+DurationUs KeyedDisorderHandler::current_slack() const {
+  if (shards_.empty()) return 0;
+  double total = 0.0;
+  for (const auto& [key, shard] : shards_) {
+    total += static_cast<double>(shard->handler->current_slack());
+  }
+  return static_cast<DurationUs>(total / static_cast<double>(shards_.size()));
+}
+
+size_t KeyedDisorderHandler::buffered() const {
+  size_t total = 0;
+  for (const auto& [key, shard] : shards_) {
+    total += shard->handler->buffered();
+  }
+  return total;
+}
+
+const DisorderHandler* KeyedDisorderHandler::shard(int64_t key) const {
+  const auto it = shards_.find(key);
+  return it == shards_.end() ? nullptr : it->second->handler.get();
+}
+
+}  // namespace streamq

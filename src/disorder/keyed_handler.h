@@ -1,0 +1,67 @@
+#ifndef STREAMQ_DISORDER_KEYED_HANDLER_H_
+#define STREAMQ_DISORDER_KEYED_HANDLER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+
+#include "disorder/disorder_handler.h"
+
+namespace streamq {
+
+/// Per-key disorder handling: one inner handler instance per key, with the
+/// output watermark taken as the *minimum* over per-key watermarks.
+///
+/// When keys have heterogeneous delay distributions (sources behind
+/// different gateways), one global buffer must be sized for the worst key —
+/// every key pays the slowest key's latency. Per-key buffers let each key
+/// run at its own quantile. The costs: state per key, and the merged
+/// watermark trails the slowest key (an idle key stalls it — feed
+/// heartbeats to advance idle keys; OnHeartbeat fans out to every inner
+/// handler).
+///
+/// Output contract: OnEvent calls are event-time ordered *per key* (not
+/// globally), and every emitted event is >= the last emitted merged
+/// watermark. This is exactly what keyed window state needs; downstream
+/// operators that require global order should use a global handler.
+class KeyedDisorderHandler : public DisorderHandler {
+ public:
+  /// Builds one inner handler per key on first sight of that key.
+  using HandlerFactory = std::function<std::unique_ptr<DisorderHandler>()>;
+
+  explicit KeyedDisorderHandler(HandlerFactory factory);
+  ~KeyedDisorderHandler() override;
+
+  std::string_view name() const override { return "keyed"; }
+
+  void OnEvent(const Event& e, EventSink* sink) override;
+  void OnHeartbeat(TimestampUs event_time_bound, TimestampUs stream_time,
+                   EventSink* sink) override;
+  void Flush(EventSink* sink) override;
+
+  /// Mean of per-key slacks (instrumentation; keys may differ wildly).
+  DurationUs current_slack() const override;
+
+  size_t buffered() const override;
+
+  /// Number of distinct keys seen.
+  size_t key_count() const { return shards_.size(); }
+
+  /// Inner handler for `key`, or nullptr if the key was never seen.
+  const DisorderHandler* shard(int64_t key) const;
+
+ private:
+  struct Shard;
+
+  /// Recomputes the merged watermark and forwards it if it advanced.
+  void MaybeEmitMergedWatermark(TimestampUs stream_time, EventSink* sink);
+
+  HandlerFactory factory_;
+  std::map<int64_t, std::unique_ptr<Shard>> shards_;
+  TimestampUs merged_watermark_ = kMinTimestamp;
+  TimestampUs last_stream_time_ = 0;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_DISORDER_KEYED_HANDLER_H_

@@ -1,0 +1,65 @@
+#include "disorder/reorder_buffer.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace streamq {
+
+void ReorderBuffer::Push(const Event& e) {
+  heap_.push_back(e);
+  SiftUp(heap_.size() - 1);
+  max_size_ = std::max(max_size_, heap_.size());
+}
+
+TimestampUs ReorderBuffer::MinEventTime() const {
+  STREAMQ_CHECK(!heap_.empty());
+  return heap_.front().event_time;
+}
+
+void ReorderBuffer::PopMin(Event* out) {
+  STREAMQ_CHECK(!heap_.empty());
+  *out = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDown(0);
+}
+
+size_t ReorderBuffer::PopUpTo(TimestampUs threshold, std::vector<Event>* out) {
+  size_t popped = 0;
+  Event e;
+  while (!heap_.empty() && heap_.front().event_time <= threshold) {
+    PopMin(&e);
+    out->push_back(e);
+    ++popped;
+  }
+  return popped;
+}
+
+void ReorderBuffer::Clear() { heap_.clear(); }
+
+void ReorderBuffer::SiftUp(size_t i) {
+  while (i > 0) {
+    const size_t parent = (i - 1) / 2;
+    if (!Less(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void ReorderBuffer::SiftDown(size_t i) {
+  const size_t n = heap_.size();
+  while (true) {
+    const size_t left = 2 * i + 1;
+    const size_t right = 2 * i + 2;
+    size_t smallest = i;
+    if (left < n && Less(heap_[left], heap_[smallest])) smallest = left;
+    if (right < n && Less(heap_[right], heap_[smallest])) smallest = right;
+    if (smallest == i) break;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+}  // namespace streamq

@@ -1,0 +1,52 @@
+#ifndef STREAMQ_DISORDER_REORDER_BUFFER_H_
+#define STREAMQ_DISORDER_REORDER_BUFFER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/time.h"
+#include "stream/event.h"
+
+namespace streamq {
+
+/// Min-heap of events keyed by (event_time, id). The common substrate of
+/// every buffering disorder handler: insert on arrival, pop in event-time
+/// order up to a release threshold.
+class ReorderBuffer {
+ public:
+  void Push(const Event& e);
+
+  /// True if the buffer is empty.
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  /// Largest size ever reached (memory footprint instrumentation).
+  size_t max_size() const { return max_size_; }
+
+  /// Event time of the earliest buffered event. Buffer must be non-empty.
+  TimestampUs MinEventTime() const;
+
+  /// Pops the earliest event into `*out`. Buffer must be non-empty.
+  void PopMin(Event* out);
+
+  /// Pops every event with event_time <= threshold, appending to `*out` in
+  /// event-time order. Returns the number popped.
+  size_t PopUpTo(TimestampUs threshold, std::vector<Event>* out);
+
+  void Clear();
+
+ private:
+  void SiftUp(size_t i);
+  void SiftDown(size_t i);
+  static bool Less(const Event& a, const Event& b) {
+    if (a.event_time != b.event_time) return a.event_time < b.event_time;
+    return a.id < b.id;
+  }
+
+  std::vector<Event> heap_;
+  size_t max_size_ = 0;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_DISORDER_REORDER_BUFFER_H_

@@ -1,0 +1,39 @@
+#include "disorder/watermark_reorderer.h"
+
+#include "common/logging.h"
+
+namespace streamq {
+
+WatermarkReorderer::WatermarkReorderer(const Options& options)
+    : BufferedHandlerBase(options.collect_latency_samples),
+      options_(options) {
+  STREAMQ_CHECK_GE(options.bound, 0);
+  STREAMQ_CHECK_GT(options.period_events, 0);
+  STREAMQ_CHECK_GE(options.allowed_lateness, 0);
+}
+
+void WatermarkReorderer::OnEvent(const Event& e, EventSink* sink) {
+  // Drop hopeless tuples before the generic late-divert path: beyond the
+  // allowed lateness they would be useless downstream.
+  if (emitted_frontier_ != kMinTimestamp &&
+      e.event_time < emitted_frontier_ &&
+      emitted_frontier_ - e.event_time > options_.allowed_lateness) {
+    ++stats_.events_in;
+    ++stats_.events_late;
+    ++stats_.events_dropped;
+    return;
+  }
+
+  Ingest(e, sink);
+
+  if (++since_tick_ >= options_.period_events) {
+    since_tick_ = 0;
+    ReleaseUpTo(ReleaseThreshold(options_.bound), e.arrival_time, sink);
+  }
+}
+
+void WatermarkReorderer::Flush(EventSink* sink) {
+  DrainAll(last_activity_, sink);
+}
+
+}  // namespace streamq

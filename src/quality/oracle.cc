@@ -1,0 +1,44 @@
+#include "quality/oracle.h"
+
+#include <memory>
+
+#include "common/logging.h"
+
+namespace streamq {
+
+OracleEvaluator::OracleEvaluator(const std::vector<Event>& events,
+                                 const WindowSpec& window,
+                                 const AggregateSpec& aggregate) {
+  STREAMQ_CHECK_OK(window.Validate());
+  STREAMQ_CHECK_OK(aggregate.Validate());
+
+  std::map<std::pair<TimestampUs, int64_t>, std::unique_ptr<Aggregator>> accs;
+  for (const Event& e : events) {
+    for (const WindowBounds& w : AssignWindows(window, e.event_time)) {
+      auto& acc = accs[{w.start, e.key}];
+      if (!acc) acc = MakeAggregator(aggregate);
+      acc->Add(e.value);
+    }
+  }
+
+  results_.reserve(accs.size());
+  for (const auto& [sk, acc] : accs) {
+    WindowResult r;
+    r.bounds = WindowBounds{sk.first, sk.first + window.size};
+    r.key = sk.second;
+    r.value = acc->Value();
+    r.tuple_count = acc->count();
+    r.emit_stream_time = r.bounds.end;
+    index_[sk] = results_.size();
+    results_.push_back(r);
+  }
+}
+
+const WindowResult* OracleEvaluator::Lookup(TimestampUs window_start,
+                                            int64_t key) const {
+  const auto it = index_.find({window_start, key});
+  if (it == index_.end()) return nullptr;
+  return &results_[it->second];
+}
+
+}  // namespace streamq

@@ -1,0 +1,44 @@
+#ifndef STREAMQ_QUALITY_ORACLE_H_
+#define STREAMQ_QUALITY_ORACLE_H_
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "agg/aggregate.h"
+#include "stream/event.h"
+#include "window/window.h"
+
+namespace streamq {
+
+/// Ground-truth window results: what a query would produce if every tuple
+/// were processed, regardless of arrival order. The evaluation substrate —
+/// every quality number in the experiments is "produced result vs oracle".
+class OracleEvaluator {
+ public:
+  /// Computes exact results for every (window, key) touched by `events`
+  /// (any order; the oracle is order-insensitive by construction).
+  OracleEvaluator(const std::vector<Event>& events, const WindowSpec& window,
+                  const AggregateSpec& aggregate);
+
+  /// Exact result for one window instance, or nullptr if no tuple of that
+  /// key falls into it.
+  const WindowResult* Lookup(TimestampUs window_start, int64_t key) const;
+
+  /// All exact results, ordered by (window start, key). emit_stream_time is
+  /// set to the window end (the earliest semantically possible emission).
+  const std::vector<WindowResult>& results() const { return results_; }
+
+  int64_t total_windows() const {
+    return static_cast<int64_t>(results_.size());
+  }
+
+ private:
+  std::map<std::pair<TimestampUs, int64_t>, size_t> index_;
+  std::vector<WindowResult> results_;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_QUALITY_ORACLE_H_

@@ -1,0 +1,137 @@
+#include "quality/quality_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace streamq {
+
+double QualityReport::FractionMeeting(double threshold) const {
+  const int64_t total =
+      static_cast<int64_t>(per_window.size()) + missed_windows;
+  if (total == 0) return 1.0;
+  int64_t meeting = 0;
+  for (const WindowQuality& w : per_window) {
+    if (w.value_quality >= threshold) ++meeting;
+  }
+  return static_cast<double>(meeting) / static_cast<double>(total);
+}
+
+double QualityReport::MeanQualityIncludingMissed() const {
+  const int64_t total =
+      static_cast<int64_t>(per_window.size()) + missed_windows;
+  if (total == 0) return 1.0;
+  double sum = 0.0;
+  for (const WindowQuality& w : per_window) sum += w.value_quality;
+  return sum / static_cast<double>(total);
+}
+
+std::string QualityReport::ToString() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "QualityReport{windows=%zu missed=%lld spurious=%lld "
+                "coverage_mean=%.4f value_quality_mean=%.4f "
+                "rel_err_mean=%.4f resp_latency_mean=%s resp_latency_p95=%s}",
+                per_window.size(), static_cast<long long>(missed_windows),
+                static_cast<long long>(spurious_windows), coverage.mean,
+                value_quality.mean, relative_error.mean,
+                FormatDuration(static_cast<DurationUs>(
+                                   response_latency_us.mean))
+                    .c_str(),
+                FormatDuration(static_cast<DurationUs>(
+                                   response_latency_us.p95))
+                    .c_str());
+  return buf;
+}
+
+QualityReport EvaluateQuality(const std::vector<WindowResult>& produced,
+                              const OracleEvaluator& oracle,
+                              const QualityEvalOptions& options) {
+  // Pick one emission per (window, key): first or last per options. Also
+  // remember the first emission's time for latency (latency is always about
+  // the first answer the consumer saw).
+  struct Picked {
+    const WindowResult* judged = nullptr;
+    TimestampUs first_emit = 0;
+  };
+  std::map<std::pair<TimestampUs, int64_t>, Picked> picked;
+  for (const WindowResult& r : produced) {
+    auto [it, inserted] =
+        picked.try_emplace({r.bounds.start, r.key}, Picked{&r, r.emit_stream_time});
+    if (!inserted) {
+      if (options.use_final_emission) it->second.judged = &r;
+      it->second.first_emit =
+          std::min(it->second.first_emit, r.emit_stream_time);
+    }
+  }
+
+  QualityReport report;
+  report.per_window.reserve(picked.size());
+  std::vector<double> coverages, value_qualities, rel_errors, latencies;
+
+  int64_t matched = 0;
+  for (const auto& [sk, p] : picked) {
+    const WindowResult* truth = oracle.Lookup(sk.first, sk.second);
+    if (truth == nullptr) {
+      ++report.spurious_windows;
+      continue;
+    }
+    ++matched;
+    const WindowResult& r = *p.judged;
+
+    WindowQuality q;
+    q.bounds = r.bounds;
+    q.key = r.key;
+    q.coverage =
+        truth->tuple_count > 0
+            ? std::min(1.0, static_cast<double>(r.tuple_count) /
+                                static_cast<double>(truth->tuple_count))
+            : 1.0;
+
+    const double denom = std::max(std::fabs(truth->value), options.epsilon);
+    double err;
+    if (std::isnan(truth->value) && std::isnan(r.value)) {
+      err = 0.0;  // Both empty-window sentinels: agreement.
+    } else if (std::isnan(r.value) || std::isnan(truth->value)) {
+      err = 1.0;
+    } else {
+      err = std::fabs(r.value - truth->value) / denom;
+    }
+    q.relative_error = err;
+    q.value_quality = 1.0 - std::min(1.0, err);
+    q.response_latency_us =
+        std::max<DurationUs>(0, p.first_emit - r.bounds.end);
+
+    coverages.push_back(q.coverage);
+    value_qualities.push_back(q.value_quality);
+    rel_errors.push_back(q.relative_error);
+    latencies.push_back(static_cast<double>(q.response_latency_us));
+    report.per_window.push_back(q);
+  }
+
+  report.missed_windows = oracle.total_windows() - matched;
+  STREAMQ_CHECK_GE(report.missed_windows, 0);
+  report.coverage = Summarize(coverages);
+  report.value_quality = Summarize(value_qualities);
+  report.relative_error = Summarize(rel_errors);
+  report.response_latency_us = Summarize(latencies);
+  return report;
+}
+
+std::vector<double> ResponseLatencies(
+    const std::vector<WindowResult>& results) {
+  std::vector<double> out;
+  out.reserve(results.size());
+  for (const WindowResult& r : results) {
+    if (r.is_revision) continue;
+    out.push_back(static_cast<double>(
+        std::max<DurationUs>(0, r.emit_stream_time - r.bounds.end)));
+  }
+  return out;
+}
+
+}  // namespace streamq

@@ -1,0 +1,78 @@
+#ifndef STREAMQ_QUALITY_QUALITY_METRICS_H_
+#define STREAMQ_QUALITY_QUALITY_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "quality/oracle.h"
+#include "window/window.h"
+
+namespace streamq {
+
+/// Quality of one produced window result against the oracle.
+struct WindowQuality {
+  WindowBounds bounds;
+  int64_t key = 0;
+
+  /// tuple coverage = produced tuple count / true tuple count, in [0, 1].
+  double coverage = 0.0;
+
+  /// value quality = 1 - min(1, |produced - true| / max(|true|, eps)):
+  /// 1 when exact, 0 when off by 100% (or more) of the true magnitude.
+  double value_quality = 0.0;
+
+  /// Relative error |produced - true| / max(|true|, eps) (unclamped).
+  double relative_error = 0.0;
+
+  /// Response latency: emission stream time - window end. Negative never
+  /// happens for watermark-fired windows.
+  DurationUs response_latency_us = 0;
+};
+
+/// Aggregated quality over a run.
+struct QualityReport {
+  std::vector<WindowQuality> per_window;
+
+  /// Windows the oracle has but the run never produced (fully missed).
+  int64_t missed_windows = 0;
+  /// Produced windows with no oracle counterpart (should be zero; indicates
+  /// a bug or spurious emissions).
+  int64_t spurious_windows = 0;
+
+  DistributionSummary coverage;
+  DistributionSummary value_quality;
+  DistributionSummary relative_error;
+  DistributionSummary response_latency_us;
+
+  /// Fraction of (oracle) windows whose value quality >= threshold.
+  double FractionMeeting(double threshold) const;
+
+  /// Mean value quality with fully-missed windows counted as quality 0.
+  double MeanQualityIncludingMissed() const;
+
+  std::string ToString() const;
+};
+
+struct QualityEvalOptions {
+  /// If true, judge each window by its *last* emission (final revision);
+  /// otherwise by its *first* emission (what a consumer acting immediately
+  /// would have seen).
+  bool use_final_emission = false;
+
+  /// Denominator floor for relative error (protects near-zero true values).
+  double epsilon = 1e-9;
+};
+
+/// Scores produced results against the oracle.
+QualityReport EvaluateQuality(const std::vector<WindowResult>& produced,
+                              const OracleEvaluator& oracle,
+                              const QualityEvalOptions& options = {});
+
+/// Response latencies (emit - window end) of first emissions, microseconds.
+std::vector<double> ResponseLatencies(const std::vector<WindowResult>& results);
+
+}  // namespace streamq
+
+#endif  // STREAMQ_QUALITY_QUALITY_METRICS_H_

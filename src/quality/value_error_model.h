@@ -1,0 +1,56 @@
+#ifndef STREAMQ_QUALITY_VALUE_ERROR_MODEL_H_
+#define STREAMQ_QUALITY_VALUE_ERROR_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "agg/aggregate.h"
+#include "stream/event.h"
+#include "window/window.h"
+
+namespace streamq {
+
+/// Options for the offline gamma fit.
+struct GammaFitOptions {
+  /// Coverage levels to probe.
+  std::vector<double> coverage_grid = {0.5,  0.6,  0.7,  0.8,
+                                       0.9,  0.95, 0.99};
+  /// Independent subsampling trials per coverage level.
+  int trials = 3;
+  uint64_t seed = 1234;
+};
+
+/// One probed point of the coverage→quality curve.
+struct CoverageQualityPoint {
+  double coverage = 0.0;
+  double mean_quality = 0.0;
+};
+
+/// Result of fitting quality ≈ coverage^gamma.
+struct GammaFit {
+  double gamma = 1.0;
+  /// Residual RMS of log-quality (fit diagnostics).
+  double rms_residual = 0.0;
+  std::vector<CoverageQualityPoint> curve;
+
+  std::string ToString() const;
+};
+
+/// Empirically fits the PowerQualityModel exponent for `aggregate` on this
+/// workload: subsamples each window's tuples at each coverage level,
+/// measures the resulting value quality against the exact result, and
+/// least-squares fits `log q = gamma * log c`.
+///
+/// This is the offline calibration that turns the generic quality-driven
+/// buffer into an aggregate-aware one: feed the fitted gamma to
+/// MakePowerQualityModel and AqKSlack will hit *value* quality targets, not
+/// just coverage targets.
+GammaFit FitQualityGamma(const std::vector<Event>& events,
+                         const WindowSpec& window,
+                         const AggregateSpec& aggregate,
+                         const GammaFitOptions& options = {});
+
+}  // namespace streamq
+
+#endif  // STREAMQ_QUALITY_VALUE_ERROR_MODEL_H_

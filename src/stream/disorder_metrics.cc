@@ -1,0 +1,81 @@
+#include "stream/disorder_metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/stats.h"
+
+namespace streamq {
+
+std::vector<DurationUs> ComputeLateness(
+    const std::vector<Event>& arrival_order) {
+  std::vector<DurationUs> lateness;
+  lateness.reserve(arrival_order.size());
+  TimestampUs frontier = kMinTimestamp;
+  for (const Event& e : arrival_order) {
+    if (frontier == kMinTimestamp || e.event_time >= frontier) {
+      lateness.push_back(0);
+    } else {
+      lateness.push_back(frontier - e.event_time);
+    }
+    frontier = std::max(frontier, e.event_time);
+  }
+  return lateness;
+}
+
+DisorderStats ComputeDisorderStats(const std::vector<Event>& arrival_order) {
+  DisorderStats s;
+  s.count = static_cast<int64_t>(arrival_order.size());
+  if (arrival_order.empty()) return s;
+
+  const std::vector<DurationUs> lateness = ComputeLateness(arrival_order);
+  std::vector<double> as_double;
+  as_double.reserve(lateness.size());
+  int64_t late = 0;
+  for (DurationUs d : lateness) {
+    as_double.push_back(static_cast<double>(d));
+    if (d > 0) ++late;
+  }
+  const DistributionSummary sum = Summarize(as_double);
+  s.out_of_order_fraction =
+      static_cast<double>(late) / static_cast<double>(s.count);
+  s.mean_lateness_us = sum.mean;
+  s.p50_lateness_us = static_cast<DurationUs>(sum.p50);
+  s.p95_lateness_us = static_cast<DurationUs>(sum.p95);
+  s.p99_lateness_us = static_cast<DurationUs>(sum.p99);
+  s.max_lateness_us = static_cast<DurationUs>(sum.max);
+
+  // Max displacement: rank in arrival order minus rank in event-time order.
+  // Compute event-time ranks by sorting indices.
+  std::vector<int64_t> idx(arrival_order.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = static_cast<int64_t>(i);
+  std::sort(idx.begin(), idx.end(), [&](int64_t a, int64_t b) {
+    const Event& ea = arrival_order[static_cast<size_t>(a)];
+    const Event& eb = arrival_order[static_cast<size_t>(b)];
+    if (ea.event_time != eb.event_time) return ea.event_time < eb.event_time;
+    return ea.id < eb.id;
+  });
+  // idx[r] = arrival position of the tuple with event-time rank r.
+  for (size_t r = 0; r < idx.size(); ++r) {
+    const int64_t displacement = idx[r] - static_cast<int64_t>(r);
+    s.max_displacement = std::max(s.max_displacement, displacement);
+  }
+  return s;
+}
+
+std::string DisorderStats::ToString() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "DisorderStats{n=%lld ooo=%.1f%% mean=%s p95=%s p99=%s max=%s "
+      "max_disp=%lld}",
+      static_cast<long long>(count), out_of_order_fraction * 100.0,
+      FormatDuration(static_cast<DurationUs>(mean_lateness_us)).c_str(),
+      FormatDuration(p95_lateness_us).c_str(),
+      FormatDuration(p99_lateness_us).c_str(),
+      FormatDuration(max_lateness_us).c_str(),
+      static_cast<long long>(max_displacement));
+  return buf;
+}
+
+}  // namespace streamq

@@ -1,0 +1,47 @@
+#ifndef STREAMQ_STREAM_DISORDER_METRICS_H_
+#define STREAMQ_STREAM_DISORDER_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "stream/event.h"
+
+namespace streamq {
+
+/// Characterization of how disordered an arrival-ordered stream is.
+/// The lateness of a tuple is `max(0, max_event_time_seen_before - ts)`:
+/// how far behind the stream's event-time frontier the tuple arrives. A
+/// disorder handler with slack `K` delivers exactly the tuples with
+/// lateness <= K in order.
+struct DisorderStats {
+  int64_t count = 0;
+
+  /// Fraction of tuples with positive lateness.
+  double out_of_order_fraction = 0.0;
+
+  /// Lateness distribution (over all tuples; in-order tuples contribute 0).
+  double mean_lateness_us = 0.0;
+  DurationUs p50_lateness_us = 0;
+  DurationUs p95_lateness_us = 0;
+  DurationUs p99_lateness_us = 0;
+  DurationUs max_lateness_us = 0;
+
+  /// Largest number of positions a tuple would have to move left to restore
+  /// event-time order (a buffer-size-in-tuples view of disorder).
+  int64_t max_displacement = 0;
+
+  std::string ToString() const;
+};
+
+/// Computes disorder statistics over an arrival-ordered stream.
+DisorderStats ComputeDisorderStats(const std::vector<Event>& arrival_order);
+
+/// Returns, for each tuple in arrival order, its lateness w.r.t. the
+/// event-time frontier (>= 0). Useful for plotting delay traces.
+std::vector<DurationUs> ComputeLateness(const std::vector<Event>& arrival_order);
+
+}  // namespace streamq
+
+#endif  // STREAMQ_STREAM_DISORDER_METRICS_H_

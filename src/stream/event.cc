@@ -1,0 +1,31 @@
+#include "stream/event.h"
+
+#include <cstdio>
+
+namespace streamq {
+
+std::string ToString(const Event& e) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "Event{id=%lld key=%lld ts=%lld at=%lld v=%g}",
+                static_cast<long long>(e.id), static_cast<long long>(e.key),
+                static_cast<long long>(e.event_time),
+                static_cast<long long>(e.arrival_time), e.value);
+  return buf;
+}
+
+bool IsEventTimeOrdered(const std::vector<Event>& events) {
+  for (size_t i = 1; i < events.size(); ++i) {
+    if (events[i].event_time < events[i - 1].event_time) return false;
+  }
+  return true;
+}
+
+bool IsArrivalTimeOrdered(const std::vector<Event>& events) {
+  for (size_t i = 1; i < events.size(); ++i) {
+    if (events[i].arrival_time < events[i - 1].arrival_time) return false;
+  }
+  return true;
+}
+
+}  // namespace streamq

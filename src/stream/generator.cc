@@ -1,0 +1,224 @@
+#include "stream/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace streamq {
+
+std::unique_ptr<DelaySampler> DelayModelSpec::MakeSampler() const {
+  switch (model) {
+    case DelayModel::kConstant:
+      return std::make_unique<ConstantDelay>(a);
+    case DelayModel::kUniform:
+      return std::make_unique<UniformDelay>(a, b);
+    case DelayModel::kExponential:
+      return std::make_unique<ExponentialDelay>(a);
+    case DelayModel::kNormal:
+      return std::make_unique<NormalDelay>(a, b);
+    case DelayModel::kLogNormal:
+      return std::make_unique<LogNormalDelay>(a, b);
+    case DelayModel::kPareto:
+      return std::make_unique<ParetoDelay>(a, b);
+  }
+  STREAMQ_LOG(Fatal) << "unknown delay model";
+  return nullptr;
+}
+
+std::string DelayModelSpec::Describe() const {
+  return MakeSampler()->Describe();
+}
+
+double DelayDynamics::ScaleAt(TimestampUs t) const {
+  switch (kind) {
+    case DynamicsKind::kStationary:
+      return 1.0;
+    case DynamicsKind::kStep:
+      return t < t0 ? 1.0 : factor;
+    case DynamicsKind::kRamp: {
+      if (t <= t0) return 1.0;
+      if (t >= t1) return factor;
+      const double frac = static_cast<double>(t - t0) /
+                          static_cast<double>(t1 - t0);
+      return 1.0 + (factor - 1.0) * frac;
+    }
+    case DynamicsKind::kSine: {
+      STREAMQ_CHECK_GT(period, 0);
+      const double phase = 2.0 * M_PI * static_cast<double>(t) /
+                           static_cast<double>(period);
+      return std::max(0.05, 1.0 + amplitude * std::sin(phase));
+    }
+    case DynamicsKind::kBurst: {
+      if (t < t0) return 1.0;
+      const auto since = t - t0;
+      const auto offset = period > 0 ? since % period : since;
+      return offset < duration ? factor : 1.0;
+    }
+  }
+  STREAMQ_LOG(Fatal) << "unknown dynamics kind";
+  return 1.0;
+}
+
+std::string DelayDynamics::Describe() const {
+  char buf[160];
+  switch (kind) {
+    case DynamicsKind::kStationary:
+      return "stationary";
+    case DynamicsKind::kStep:
+      std::snprintf(buf, sizeof(buf), "step(x%.1f at %s)", factor,
+                    FormatDuration(t0).c_str());
+      return buf;
+    case DynamicsKind::kRamp:
+      std::snprintf(buf, sizeof(buf), "ramp(to x%.1f over [%s, %s])", factor,
+                    FormatDuration(t0).c_str(), FormatDuration(t1).c_str());
+      return buf;
+    case DynamicsKind::kSine:
+      std::snprintf(buf, sizeof(buf), "sine(amp=%.2f period=%s)", amplitude,
+                    FormatDuration(period).c_str());
+      return buf;
+    case DynamicsKind::kBurst:
+      std::snprintf(buf, sizeof(buf), "burst(x%.1f for %s every %s)", factor,
+                    FormatDuration(duration).c_str(),
+                    FormatDuration(period).c_str());
+      return buf;
+  }
+  return "?";
+}
+
+Status WorkloadConfig::Validate() const {
+  if (num_events <= 0) {
+    return Status::InvalidArgument("num_events must be positive");
+  }
+  if (events_per_second <= 0.0) {
+    return Status::InvalidArgument("events_per_second must be positive");
+  }
+  if (num_keys <= 0) {
+    return Status::InvalidArgument("num_keys must be positive");
+  }
+  if (delayed_fraction > 1.0) {
+    return Status::InvalidArgument("delayed_fraction must be <= 1");
+  }
+  if (key_delay_spread <= 0.0) {
+    return Status::InvalidArgument("key_delay_spread must be positive");
+  }
+  if (dynamics.kind == DynamicsKind::kSine && dynamics.period <= 0) {
+    return Status::InvalidArgument("sine dynamics require period > 0");
+  }
+  if (dynamics.kind == DynamicsKind::kRamp && dynamics.t1 <= dynamics.t0) {
+    return Status::InvalidArgument("ramp dynamics require t1 > t0");
+  }
+  if (dynamics.kind == DynamicsKind::kBurst && dynamics.duration <= 0) {
+    return Status::InvalidArgument("burst dynamics require duration > 0");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Stateful value process evaluated in event-time order.
+class ValueProcess {
+ public:
+  ValueProcess(const ValueModelSpec& spec, Rng* rng)
+      : spec_(spec), rng_(rng), walk_(spec.a) {}
+
+  double Next(TimestampUs t) {
+    switch (spec_.model) {
+      case ValueModel::kConstant:
+        return spec_.a;
+      case ValueModel::kUniform:
+        return rng_->NextUniform(spec_.a, spec_.b);
+      case ValueModel::kGaussian:
+        return spec_.a + spec_.b * rng_->NextGaussian();
+      case ValueModel::kRandomWalk:
+        walk_ += spec_.b * rng_->NextGaussian();
+        return walk_;
+      case ValueModel::kSine: {
+        const double period = spec_.b > 0 ? spec_.b : 1e6;
+        const double base =
+            spec_.a * std::sin(2.0 * M_PI * static_cast<double>(t) / period);
+        return base + spec_.c * rng_->NextGaussian();
+      }
+    }
+    STREAMQ_LOG(Fatal) << "unknown value model";
+    return 0.0;
+  }
+
+ private:
+  ValueModelSpec spec_;
+  Rng* rng_;
+  double walk_;
+};
+
+}  // namespace
+
+GeneratedWorkload GenerateWorkload(const WorkloadConfig& config) {
+  STREAMQ_CHECK_OK(config.Validate());
+
+  Rng rng(config.seed);
+  auto delay_sampler = config.delay.MakeSampler();
+  ValueProcess values(config.value, &rng);
+
+  std::unique_ptr<ZipfSampler> zipf;
+  if (config.num_keys > 1 && config.key_zipf_s > 0.0) {
+    zipf = std::make_unique<ZipfSampler>(config.num_keys, config.key_zipf_s);
+  }
+
+  const double mean_gap_us = 1e6 / config.events_per_second;
+
+  GeneratedWorkload out;
+  out.config = config;
+  out.arrival_order.reserve(static_cast<size_t>(config.num_events));
+
+  double event_clock = 0.0;
+  for (int64_t i = 0; i < config.num_events; ++i) {
+    if (config.poisson_arrivals) {
+      double u = rng.NextDouble();
+      while (u <= 1e-300) u = rng.NextDouble();
+      event_clock += -mean_gap_us * std::log(u);
+    } else {
+      event_clock += mean_gap_us;
+    }
+
+    Event e;
+    e.id = i;
+    e.event_time = static_cast<TimestampUs>(event_clock);
+    if (config.num_keys == 1) {
+      e.key = 0;
+    } else if (zipf) {
+      e.key = zipf->Sample(&rng);
+    } else {
+      e.key = rng.NextInt(0, config.num_keys - 1);
+    }
+    e.value = values.Next(e.event_time);
+
+    double delay = 0.0;
+    const bool delayed =
+        config.delayed_fraction < 0.0 || rng.NextBool(config.delayed_fraction);
+    if (delayed) {
+      delay = delay_sampler->Sample(&rng) *
+              config.dynamics.ScaleAt(e.event_time);
+      if (config.key_delay_spread != 1.0 && config.num_keys > 1) {
+        const double frac = static_cast<double>(e.key) /
+                            static_cast<double>(config.num_keys - 1);
+        delay *= std::pow(config.key_delay_spread, frac);
+      }
+      if (delay < 0.0) delay = 0.0;
+    }
+    e.arrival_time = e.event_time + static_cast<DurationUs>(delay);
+    out.arrival_order.push_back(e);
+  }
+
+  std::stable_sort(out.arrival_order.begin(), out.arrival_order.end(),
+                   ArrivalTimeLess());
+  return out;
+}
+
+std::vector<Event> GeneratedWorkload::InOrder() const {
+  std::vector<Event> sorted = arrival_order;
+  std::sort(sorted.begin(), sorted.end(), EventTimeLess());
+  return sorted;
+}
+
+}  // namespace streamq

@@ -1,0 +1,144 @@
+#ifndef STREAMQ_STREAM_GENERATOR_H_
+#define STREAMQ_STREAM_GENERATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "stream/event.h"
+
+namespace streamq {
+
+/// Which delay distribution to sample tuple delays from.
+enum class DelayModel {
+  kConstant,     // a = value
+  kUniform,      // [a, b)
+  kExponential,  // mean = a
+  kNormal,       // mean = a, stddev = b (truncated at 0)
+  kLogNormal,    // mu = a, sigma = b
+  kPareto,       // xm = a, alpha = b
+};
+
+/// Parameterized delay distribution (interpretation of a/b per DelayModel).
+struct DelayModelSpec {
+  DelayModel model = DelayModel::kExponential;
+  double a = 20000.0;  // 20ms mean by default.
+  double b = 0.0;
+
+  /// Instantiates the matching sampler.
+  std::unique_ptr<DelaySampler> MakeSampler() const;
+
+  std::string Describe() const;
+};
+
+/// How the delay scale evolves over event time. The sampled base delay is
+/// multiplied by ScaleAt(event_time). Non-stationarity is what separates the
+/// adaptive operators from fixed-K; every adaptation experiment uses one of
+/// these regimes.
+enum class DynamicsKind {
+  kStationary,  // scale == 1 always
+  kStep,        // 1 before t0, `factor` from t0 on
+  kRamp,        // 1 before t0, linear to `factor` at t1, `factor` after
+  kSine,        // 1 + amplitude * sin(2*pi*(t/period)), floored at 0.05
+  kBurst,       // `factor` during [t0 + k*period, t0 + k*period + duration)
+};
+
+/// Time-varying delay scale.
+struct DelayDynamics {
+  DynamicsKind kind = DynamicsKind::kStationary;
+  double factor = 1.0;
+  double amplitude = 0.0;
+  TimestampUs t0 = 0;
+  TimestampUs t1 = 0;
+  DurationUs period = 0;
+  DurationUs duration = 0;
+
+  /// Multiplicative delay scale at event time `t`.
+  double ScaleAt(TimestampUs t) const;
+
+  std::string Describe() const;
+};
+
+/// What values the tuples carry (evaluated in event-time order).
+enum class ValueModel {
+  kConstant,    // a
+  kUniform,     // [a, b)
+  kGaussian,    // mean a, stddev b
+  kRandomWalk,  // start a, step stddev b
+  kSine,        // a * sin(2*pi*t/period_us = b) + gaussian noise c
+};
+
+/// Parameterized value process.
+struct ValueModelSpec {
+  ValueModel model = ValueModel::kUniform;
+  double a = 0.0;
+  double b = 1.0;
+  double c = 0.0;
+};
+
+/// Full synthetic workload description. Defaults give a 100k-tuple, 10k
+/// events/s stream with exponential 20ms delays — moderately disordered.
+struct WorkloadConfig {
+  /// Number of tuples to generate.
+  int64_t num_events = 100000;
+
+  /// Mean event-time rate (events per second of event time).
+  double events_per_second = 10000.0;
+
+  /// If true, inter-event gaps are exponential (Poisson process); otherwise
+  /// events are equally spaced.
+  bool poisson_arrivals = true;
+
+  /// Number of distinct keys; keys drawn Zipf(`key_zipf_s`) if s > 0, else
+  /// uniformly.
+  int64_t num_keys = 1;
+  double key_zipf_s = 0.0;
+
+  /// Per-key delay heterogeneity: key k's delays are additionally scaled by
+  /// `key_delay_spread^(k / (num_keys-1))`, so the last key's delays are
+  /// `key_delay_spread`x the first key's. 1.0 (default) = homogeneous.
+  /// Models sources behind different gateways/paths — the regime where
+  /// per-key disorder handling beats one global buffer.
+  double key_delay_spread = 1.0;
+
+  /// Delay distribution and its dynamics.
+  DelayModelSpec delay;
+  DelayDynamics dynamics;
+
+  /// If in [0, 1], only this fraction of tuples receive a sampled delay; the
+  /// rest arrive with zero delay. < 0 means "all tuples sampled" (default).
+  double delayed_fraction = -1.0;
+
+  /// Value process.
+  ValueModelSpec value;
+
+  /// PRNG seed; equal seeds give bit-identical workloads.
+  uint64_t seed = 42;
+
+  /// Validates parameter ranges.
+  Status Validate() const;
+};
+
+/// A generated workload: the arrival-ordered stream (the engine's input).
+/// Event ids are assigned in event-time order, so sorting by id recovers the
+/// in-order stream for oracle evaluation.
+struct GeneratedWorkload {
+  WorkloadConfig config;
+  std::vector<Event> arrival_order;
+
+  /// The same events sorted by event time (oracle input). Computed lazily by
+  /// InOrder().
+  std::vector<Event> InOrder() const;
+};
+
+/// Generates a workload. Aborts on invalid config (call Validate() first for
+/// recoverable handling).
+GeneratedWorkload GenerateWorkload(const WorkloadConfig& config);
+
+}  // namespace streamq
+
+#endif  // STREAMQ_STREAM_GENERATOR_H_

@@ -1,0 +1,15 @@
+#include "stream/source.h"
+
+namespace streamq {
+
+std::vector<Event> DrainSource(EventSource* source) {
+  std::vector<Event> out;
+  if (source->size_hint() > 0) {
+    out.reserve(static_cast<size_t>(source->size_hint()));
+  }
+  Event e;
+  while (source->Next(&e)) out.push_back(e);
+  return out;
+}
+
+}  // namespace streamq

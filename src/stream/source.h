@@ -1,0 +1,59 @@
+#ifndef STREAMQ_STREAM_SOURCE_H_
+#define STREAMQ_STREAM_SOURCE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "stream/event.h"
+
+namespace streamq {
+
+/// Pull-based event source. Events are delivered in *arrival order* —
+/// i.e., possibly out of event-time order; that is the whole point.
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+
+  /// Fills `*out` with the next event and returns true, or returns false at
+  /// end of stream.
+  virtual bool Next(Event* out) = 0;
+
+  /// Restarts the stream from the beginning, if supported. Sources backed by
+  /// materialized data support this; one-shot sources may not.
+  virtual void Reset() = 0;
+
+  /// Total number of events, if known in advance; -1 otherwise.
+  virtual int64_t size_hint() const { return -1; }
+};
+
+/// Source over a pre-materialized, arrival-ordered vector of events.
+class VectorSource : public EventSource {
+ public:
+  explicit VectorSource(std::vector<Event> events)
+      : events_(std::move(events)) {}
+
+  bool Next(Event* out) override {
+    if (pos_ >= events_.size()) return false;
+    *out = events_[pos_++];
+    return true;
+  }
+
+  void Reset() override { pos_ = 0; }
+
+  int64_t size_hint() const override {
+    return static_cast<int64_t>(events_.size());
+  }
+
+  const std::vector<Event>& events() const { return events_; }
+
+ private:
+  std::vector<Event> events_;
+  size_t pos_ = 0;
+};
+
+/// Drains a source into a vector (testing/harness convenience).
+std::vector<Event> DrainSource(EventSource* source);
+
+}  // namespace streamq
+
+#endif  // STREAMQ_STREAM_SOURCE_H_

@@ -1,0 +1,81 @@
+#include "stream/trace_io.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/csv.h"
+
+namespace streamq {
+
+namespace {
+
+bool ParseInt64(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Status SaveTrace(const std::string& path, const std::vector<Event>& events) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(events.size() + 1);
+  rows.push_back({"id", "key", "event_time", "arrival_time", "value"});
+  char buf[64];
+  for (const Event& e : events) {
+    std::vector<std::string> row;
+    row.reserve(5);
+    row.push_back(std::to_string(e.id));
+    row.push_back(std::to_string(e.key));
+    row.push_back(std::to_string(e.event_time));
+    row.push_back(std::to_string(e.arrival_time));
+    std::snprintf(buf, sizeof(buf), "%.17g", e.value);
+    row.push_back(buf);
+    rows.push_back(std::move(row));
+  }
+  return csv::WriteFile(path, rows);
+}
+
+Result<std::vector<Event>> LoadTrace(const std::string& path) {
+  STREAMQ_ASSIGN_OR_RETURN(auto rows, csv::ReadFile(path, /*skip_header=*/true));
+  std::vector<Event> events;
+  events.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& row = rows[i];
+    if (row.size() != 5) {
+      return Status::IOError("trace row " + std::to_string(i + 2) + " has " +
+                             std::to_string(row.size()) +
+                             " fields, expected 5: " + path);
+    }
+    Event e;
+    if (!ParseInt64(row[0], &e.id) || !ParseInt64(row[1], &e.key) ||
+        !ParseInt64(row[2], &e.event_time) ||
+        !ParseInt64(row[3], &e.arrival_time) ||
+        !ParseDouble(row[4], &e.value)) {
+      return Status::IOError("trace row " + std::to_string(i + 2) +
+                             " failed to parse: " + path);
+    }
+    events.push_back(e);
+  }
+  std::stable_sort(events.begin(), events.end(), ArrivalTimeLess());
+  return events;
+}
+
+}  // namespace streamq

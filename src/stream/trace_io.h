@@ -1,0 +1,25 @@
+#ifndef STREAMQ_STREAM_TRACE_IO_H_
+#define STREAMQ_STREAM_TRACE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "stream/event.h"
+
+namespace streamq {
+
+/// Persists an arrival-ordered event stream as CSV with header
+/// `id,key,event_time,arrival_time,value`. This is the interchange format
+/// standing in for the paper's proprietary traces: any real feed converted
+/// to this format replays through the engine unchanged.
+Status SaveTrace(const std::string& path, const std::vector<Event>& events);
+
+/// Loads a trace saved by SaveTrace (or produced externally in the same
+/// format). Validates field count and numeric parse; does NOT require
+/// arrival order (it re-sorts), so externally recorded traces are safe.
+Result<std::vector<Event>> LoadTrace(const std::string& path);
+
+}  // namespace streamq
+
+#endif  // STREAMQ_STREAM_TRACE_IO_H_

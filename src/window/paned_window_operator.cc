@@ -1,0 +1,130 @@
+#include "window/paned_window_operator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace streamq {
+
+namespace {
+
+int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+}  // namespace
+
+PanedWindowedAggregation::PanedWindowedAggregation(const Options& options,
+                                                   WindowResultSink* sink)
+    : options_(options), sink_(sink) {
+  STREAMQ_CHECK(sink != nullptr);
+  STREAMQ_CHECK_OK(options.window.Validate());
+  STREAMQ_CHECK_OK(options.aggregate.Validate());
+  STREAMQ_CHECK_LE(options.window.slide, options.window.size)
+      << "paned aggregation requires slide <= size";
+  STREAMQ_CHECK_EQ(options.window.size % options.window.slide, 0)
+      << "paned aggregation requires size % slide == 0";
+}
+
+void PanedWindowedAggregation::OnEvent(const Event& e) {
+  ++stats_.events;
+  const TimestampUs pane_start =
+      FloorDiv(e.event_time, options_.window.slide) * options_.window.slide;
+  auto& acc = panes_[{pane_start, e.key}];
+  if (!acc) acc = MakeAggregator(options_.aggregate);
+  acc->Add(e.value);
+  stats_.max_live_panes = std::max(stats_.max_live_panes,
+                                   static_cast<int64_t>(panes_.size()));
+  // The earliest window containing this pane starts size - slide before it.
+  const TimestampUs first_window_start =
+      pane_start - (options_.window.size - options_.window.slide);
+  if (fire_cursor_ == kMinTimestamp) {
+    fire_cursor_ = first_window_start;
+  } else if (panes_.size() == 1 && first_window_start > fire_cursor_) {
+    // The operator was idle (no live panes): every window between the
+    // cursor and this pane is empty, so skip them instead of firing each.
+    fire_cursor_ = first_window_start;
+  }
+}
+
+void PanedWindowedAggregation::FireWindow(TimestampUs start,
+                                          TimestampUs stream_time) {
+  const TimestampUs end = start + options_.window.size;
+  // Scan the window's panes, grouped per key. Entries are ordered by
+  // (pane_start, key); collect per-key merged accumulators.
+  std::map<int64_t, std::unique_ptr<Aggregator>> per_key;
+  for (auto it = panes_.lower_bound({start, INT64_MIN});
+       it != panes_.end() && it->first.first < end; ++it) {
+    auto& merged = per_key[it->first.second];
+    if (!merged) merged = it->second->MakeEmpty();
+    merged->Merge(*it->second);
+  }
+  for (const auto& [key, acc] : per_key) {
+    if (acc->count() == 0) continue;
+    WindowResult r;
+    r.bounds = WindowBounds{start, end};
+    r.key = key;
+    r.value = acc->Value();
+    r.tuple_count = acc->count();
+    r.emit_stream_time = stream_time;
+    ++stats_.windows_fired;
+    sink_->OnResult(r);
+  }
+}
+
+void PanedWindowedAggregation::OnWatermark(TimestampUs watermark,
+                                           TimestampUs stream_time) {
+  if (watermark <= last_watermark_) return;
+  last_watermark_ = watermark;
+  if (fire_cursor_ == kMinTimestamp) return;  // No data yet.
+
+  // Fire every complete window with live panes, in order. The !empty()
+  // guard also terminates the kMaxTimestamp (terminal) watermark, which
+  // otherwise satisfies the time condition forever.
+  while (!panes_.empty() &&
+         fire_cursor_ <= kMaxTimestamp - options_.window.size &&
+         fire_cursor_ + options_.window.size <= watermark) {
+    // Windows strictly before the earliest live pane are empty: skip ahead.
+    const TimestampUs earliest_pane = panes_.begin()->first.first;
+    const TimestampUs first_nonempty =
+        earliest_pane - (options_.window.size - options_.window.slide);
+    if (first_nonempty > fire_cursor_) fire_cursor_ = first_nonempty;
+    if (fire_cursor_ > kMaxTimestamp - options_.window.size ||
+        fire_cursor_ + options_.window.size > watermark) {
+      break;
+    }
+    FireWindow(fire_cursor_, stream_time);
+    // Purge panes no future window needs: pane [p, p+slide) is dead once
+    // the window starting at p has fired, i.e. p <= fire_cursor_.
+    auto it = panes_.begin();
+    while (it != panes_.end() && it->first.first <= fire_cursor_) {
+      it = panes_.erase(it);
+    }
+    fire_cursor_ += options_.window.slide;
+  }
+}
+
+void PanedWindowedAggregation::OnLateEvent(const Event& e) {
+  ++stats_.events;
+  const TimestampUs pane_start =
+      FloorDiv(e.event_time, options_.window.slide) * options_.window.slide;
+  // A live (not yet purged) pane only feeds windows that have not fired, so
+  // folding the late tuple in affects exactly the still-open windows — the
+  // same semantics as WindowedAggregation with allowed_lateness = 0.
+  if (fire_cursor_ != kMinTimestamp && pane_start < fire_cursor_) {
+    ++stats_.late_dropped;
+    return;
+  }
+  auto& acc = panes_[{pane_start, e.key}];
+  if (!acc) acc = MakeAggregator(options_.aggregate);
+  acc->Add(e.value);
+  ++stats_.late_applied;
+  if (fire_cursor_ == kMinTimestamp) {
+    fire_cursor_ =
+        pane_start - (options_.window.size - options_.window.slide);
+  }
+}
+
+}  // namespace streamq

@@ -1,0 +1,74 @@
+#ifndef STREAMQ_WINDOW_PANED_WINDOW_OPERATOR_H_
+#define STREAMQ_WINDOW_PANED_WINDOW_OPERATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "agg/aggregate.h"
+#include "common/time.h"
+#include "disorder/event_sink.h"
+#include "window/window_operator.h"
+
+namespace streamq {
+
+/// Pane-optimized sliding-window aggregation (the classic "panes" / slicing
+/// technique): each tuple is folded into exactly ONE pane — the
+/// slide-aligned interval containing it — instead of into all size/slide
+/// overlapping windows. A window result is produced by merging its
+/// size/slide pane partials at fire time.
+///
+/// Per-tuple cost drops from O(size/slide) to O(1); fire cost is
+/// O(size/slide) per window, amortized O(1/slide·size) per tuple only at
+/// window boundaries. For a 60s/1s sliding window this is a 60x per-tuple
+/// reduction — the ablation bench R-F14 measures it.
+///
+/// Requirements: size % slide == 0 (exact pane tiling) and mergeable
+/// aggregates (all of ours are). Late amendments are not supported
+/// (allowed_lateness is effectively 0: late tuples are counted dropped) —
+/// refinement needs per-window state, which is exactly what panes share
+/// away. Results are identical to WindowedAggregation with
+/// allowed_lateness = 0, which the equivalence tests assert.
+class PanedWindowedAggregation : public EventSink {
+ public:
+  struct Options {
+    WindowSpec window = WindowSpec::Sliding(Seconds(10), Seconds(1));
+    AggregateSpec aggregate;
+  };
+
+  struct Stats {
+    int64_t events = 0;
+    int64_t late_applied = 0;  // Late tuples folded into a live pane.
+    int64_t late_dropped = 0;  // Late tuples whose pane was already consumed.
+    int64_t windows_fired = 0;
+    int64_t max_live_panes = 0;
+  };
+
+  PanedWindowedAggregation(const Options& options, WindowResultSink* sink);
+
+  void OnEvent(const Event& e) override;
+  void OnWatermark(TimestampUs watermark, TimestampUs stream_time) override;
+  void OnLateEvent(const Event& e) override;
+
+  const Stats& stats() const { return stats_; }
+  size_t live_panes() const { return panes_.size(); }
+
+ private:
+  using PaneKey = std::pair<TimestampUs, int64_t>;  // (pane start, key).
+
+  /// Fires the window starting at `start` for every key with data in it.
+  void FireWindow(TimestampUs start, TimestampUs stream_time);
+
+  Options options_;
+  WindowResultSink* sink_;
+  std::map<PaneKey, std::unique_ptr<Aggregator>> panes_;
+  /// Next window start to consider firing; kMinTimestamp until first event.
+  TimestampUs fire_cursor_ = kMinTimestamp;
+  TimestampUs last_watermark_ = kMinTimestamp;
+  Stats stats_;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_WINDOW_PANED_WINDOW_OPERATOR_H_

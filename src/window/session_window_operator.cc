@@ -1,0 +1,82 @@
+#include "window/session_window_operator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace streamq {
+
+SessionWindowedAggregation::SessionWindowedAggregation(
+    const Options& options, WindowResultSink* sink)
+    : options_(options), sink_(sink) {
+  STREAMQ_CHECK(sink != nullptr);
+  STREAMQ_CHECK_GT(options.gap, 0);
+  STREAMQ_CHECK_OK(options.aggregate.Validate());
+}
+
+void SessionWindowedAggregation::OnEvent(const Event& e) {
+  ++stats_.events;
+  auto& key_sessions = sessions_[e.key];
+  if (!key_sessions.empty() &&
+      e.event_time < key_sessions.back().last_ts + options_.gap) {
+    // Extends the newest session. In-order input guarantees
+    // e.event_time >= last_ts, so `last_ts` only moves forward.
+    Session& s = key_sessions.back();
+    s.last_ts = std::max(s.last_ts, e.event_time);
+    s.acc->Add(e.value);
+    return;
+  }
+  Session s;
+  s.start = e.event_time;
+  s.last_ts = e.event_time;
+  s.acc = MakeAggregator(options_.aggregate);
+  s.acc->Add(e.value);
+  key_sessions.push_back(std::move(s));
+  ++open_sessions_;
+  stats_.max_open_sessions = std::max(
+      stats_.max_open_sessions, static_cast<int64_t>(open_sessions_));
+}
+
+void SessionWindowedAggregation::OnWatermark(TimestampUs watermark,
+                                             TimestampUs stream_time) {
+  if (watermark <= last_watermark_) return;
+  last_watermark_ = watermark;
+
+  auto key_it = sessions_.begin();
+  while (key_it != sessions_.end()) {
+    auto& key_sessions = key_it->second;
+    while (!key_sessions.empty()) {
+      Session& s = key_sessions.front();
+      // Closed once no in-order event can extend it: every future event has
+      // ts >= watermark >= last_ts + gap.
+      const bool saturating =
+          s.last_ts > kMaxTimestamp - options_.gap;  // Overflow guard.
+      if (!saturating && s.last_ts + options_.gap > watermark) break;
+
+      WindowResult r;
+      r.bounds = WindowBounds{
+          s.start, saturating ? kMaxTimestamp : s.last_ts + options_.gap};
+      r.key = key_it->first;
+      r.value = s.acc->Value();
+      r.tuple_count = s.acc->count();
+      r.emit_stream_time = stream_time;
+      sink_->OnResult(r);
+      ++stats_.sessions_fired;
+      key_sessions.pop_front();
+      --open_sessions_;
+    }
+    if (key_sessions.empty()) {
+      key_it = sessions_.erase(key_it);
+    } else {
+      ++key_it;
+    }
+  }
+}
+
+void SessionWindowedAggregation::OnLateEvent(const Event& e) {
+  (void)e;
+  ++stats_.events;
+  ++stats_.late_dropped;
+}
+
+}  // namespace streamq

@@ -1,0 +1,73 @@
+#ifndef STREAMQ_WINDOW_SESSION_WINDOW_OPERATOR_H_
+#define STREAMQ_WINDOW_SESSION_WINDOW_OPERATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "agg/aggregate.h"
+#include "common/time.h"
+#include "disorder/event_sink.h"
+#include "window/window_operator.h"
+
+namespace streamq {
+
+/// Keyed session windows (gap-based): a session groups consecutive tuples
+/// of a key whose inter-event gaps are < `gap`; it closes once the
+/// watermark passes `last_event + gap`.
+///
+/// Session windows are the strongest argument for upstream reordering: with
+/// an in-order input, an event can only extend the key's newest session or
+/// start a new one, so no window merging is ever needed. Fed out of order,
+/// sessions fragment and must be merged retroactively (what Flink's merging
+/// window sets do). This operator therefore requires a reordering disorder
+/// handler; tuples behind the watermark are counted as dropped quality loss
+/// (the coverage metric still applies).
+class SessionWindowedAggregation : public EventSink {
+ public:
+  struct Options {
+    /// Maximum inter-event gap within one session (> 0). A tuple with
+    /// ts >= last_ts + gap starts a new session (half-open semantics).
+    DurationUs gap = Seconds(1);
+    AggregateSpec aggregate;
+  };
+
+  struct Stats {
+    int64_t events = 0;
+    int64_t late_dropped = 0;
+    int64_t sessions_fired = 0;
+    int64_t max_open_sessions = 0;
+  };
+
+  SessionWindowedAggregation(const Options& options, WindowResultSink* sink);
+
+  /// EventSink interface (fed by a DisorderHandler).
+  void OnEvent(const Event& e) override;
+  void OnWatermark(TimestampUs watermark, TimestampUs stream_time) override;
+  void OnLateEvent(const Event& e) override;
+
+  const Stats& stats() const { return stats_; }
+  const Options& options() const { return options_; }
+  size_t open_sessions() const { return open_sessions_; }
+
+ private:
+  struct Session {
+    TimestampUs start;
+    TimestampUs last_ts;
+    std::unique_ptr<Aggregator> acc;
+  };
+
+  Options options_;
+  WindowResultSink* sink_;
+  /// Per key, open sessions ordered oldest-first; only the back can absorb
+  /// new in-order events.
+  std::map<int64_t, std::deque<Session>> sessions_;
+  size_t open_sessions_ = 0;
+  TimestampUs last_watermark_ = kMinTimestamp;
+  Stats stats_;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_WINDOW_SESSION_WINDOW_OPERATOR_H_

@@ -1,0 +1,79 @@
+#include "window/window.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace streamq {
+
+namespace {
+
+/// Floor division for int64 (rounds toward negative infinity).
+int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+}  // namespace
+
+std::string WindowBounds::ToString() const {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "[%lld, %lld)",
+                static_cast<long long>(start), static_cast<long long>(end));
+  return buf;
+}
+
+Status WindowSpec::Validate() const {
+  if (size <= 0) return Status::InvalidArgument("window size must be > 0");
+  if (slide <= 0) return Status::InvalidArgument("window slide must be > 0");
+  return Status::OK();
+}
+
+std::string WindowSpec::Describe() const {
+  char buf[96];
+  if (IsTumbling()) {
+    std::snprintf(buf, sizeof(buf), "tumbling(%s)",
+                  FormatDuration(size).c_str());
+  } else {
+    std::snprintf(buf, sizeof(buf), "sliding(%s/%s)",
+                  FormatDuration(size).c_str(),
+                  FormatDuration(slide).c_str());
+  }
+  return buf;
+}
+
+TimestampUs FirstWindowStart(const WindowSpec& spec, TimestampUs ts) {
+  // Window starts are the multiples of `slide`; [start, start+size) covers
+  // ts iff ts - size < start <= ts. The earliest such start is the smallest
+  // multiple of slide strictly greater than ts - size.
+  return (FloorDiv(ts - spec.size, spec.slide) + 1) * spec.slide;
+}
+
+std::vector<WindowBounds> AssignWindows(const WindowSpec& spec,
+                                        TimestampUs ts) {
+  STREAMQ_CHECK_OK(spec.Validate());
+  std::vector<WindowBounds> out;
+  const TimestampUs last_start = FloorDiv(ts, spec.slide) * spec.slide;
+  for (TimestampUs start = last_start;
+       start + spec.size > ts;
+       start -= spec.slide) {
+    out.push_back(WindowBounds{start, start + spec.size});
+  }
+  // Emitted latest-first above; reverse to earliest-first.
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string WindowResult::ToString() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "WindowResult{%s key=%lld v=%g n=%lld emit=%lld rev=%d}",
+                bounds.ToString().c_str(), static_cast<long long>(key),
+                value, static_cast<long long>(tuple_count),
+                static_cast<long long>(emit_stream_time), revision_index);
+  return buf;
+}
+
+}  // namespace streamq

@@ -1,0 +1,79 @@
+#ifndef STREAMQ_WINDOW_WINDOW_H_
+#define STREAMQ_WINDOW_WINDOW_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+
+namespace streamq {
+
+/// Half-open event-time interval [start, end).
+struct WindowBounds {
+  TimestampUs start = 0;
+  TimestampUs end = 0;
+
+  DurationUs length() const { return end - start; }
+  bool Contains(TimestampUs ts) const { return ts >= start && ts < end; }
+  bool operator==(const WindowBounds& other) const = default;
+
+  std::string ToString() const;
+};
+
+/// Time-based window family: tumbling when slide == size, sliding (hopping)
+/// when slide < size, sampling when slide > size.
+struct WindowSpec {
+  DurationUs size = Seconds(1);
+  DurationUs slide = Seconds(1);
+
+  static WindowSpec Tumbling(DurationUs size) { return {size, size}; }
+  static WindowSpec Sliding(DurationUs size, DurationUs slide) {
+    return {size, slide};
+  }
+
+  bool IsTumbling() const { return size == slide; }
+
+  Status Validate() const;
+
+  std::string Describe() const;
+};
+
+/// Enumerates the windows containing `ts` under `spec`, earliest first.
+/// Works for negative timestamps too (floor semantics).
+std::vector<WindowBounds> AssignWindows(const WindowSpec& spec,
+                                        TimestampUs ts);
+
+/// Start of the earliest window containing `ts`.
+TimestampUs FirstWindowStart(const WindowSpec& spec, TimestampUs ts);
+
+/// One emitted window result.
+struct WindowResult {
+  WindowBounds bounds;
+  int64_t key = 0;
+
+  /// Aggregate value over the tuples that were present at emission time.
+  double value = 0.0;
+
+  /// Number of tuples that contributed.
+  int64_t tuple_count = 0;
+
+  /// Stream (arrival) time at which the result was produced. Response
+  /// latency of the result = emit_stream_time - bounds.end (how long after
+  /// the window semantically closed the answer appeared).
+  TimestampUs emit_stream_time = 0;
+
+  /// True if this emission amends an earlier one for the same window
+  /// (speculative / allowed-lateness refinement).
+  bool is_revision = false;
+
+  /// 0 for the first emission of a window, 1 for its first revision, ...
+  int32_t revision_index = 0;
+
+  std::string ToString() const;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_WINDOW_WINDOW_H_

@@ -1,0 +1,163 @@
+#include "window/window_operator.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace streamq {
+
+WindowedAggregation::WindowedAggregation(const Options& options,
+                                         WindowResultSink* sink)
+    : options_(options), sink_(sink), agg_spec_(options.aggregate) {
+  STREAMQ_CHECK(sink != nullptr);
+  STREAMQ_CHECK_OK(options.window.Validate());
+  STREAMQ_CHECK_OK(options.aggregate.Validate());
+  STREAMQ_CHECK_GE(options.allowed_lateness, 0);
+}
+
+WindowedAggregation::WindowState* WindowedAggregation::GetOrCreateState(
+    TimestampUs window_start, int64_t key) {
+  const StateKey sk{window_start, key};
+  auto it = windows_.find(sk);
+  if (it == windows_.end()) {
+    WindowState state;
+    state.acc = MakeAggregator(agg_spec_);
+    it = windows_.emplace(sk, std::move(state)).first;
+    stats_.max_live_windows = std::max(
+        stats_.max_live_windows, static_cast<int64_t>(windows_.size()));
+  }
+  return &it->second;
+}
+
+void WindowedAggregation::OnEvent(const Event& e) {
+  ++stats_.events;
+  last_activity_ = std::max(last_activity_, e.arrival_time);
+  for (const WindowBounds& w : AssignWindows(options_.window, e.event_time)) {
+    WindowState* state = GetOrCreateState(w.start, e.key);
+    state->acc->Add(e.value);
+    // In-order events never target fired windows (their window end is above
+    // the watermark by construction), so no revision logic here.
+  }
+}
+
+void WindowedAggregation::Emit(const StateKey& sk, WindowState* state,
+                               TimestampUs now, bool revision) {
+  WindowResult r;
+  r.bounds = WindowBounds{sk.first, sk.first + options_.window.size};
+  r.key = sk.second;
+  r.value = state->acc->Value();
+  r.tuple_count = state->acc->count();
+  r.emit_stream_time = now;
+  r.is_revision = revision;
+  r.revision_index = revision ? ++state->revisions : 0;
+  state->fired = true;
+  state->dirty_since_fire = false;
+  if (revision) {
+    ++stats_.revisions;
+  } else {
+    ++stats_.windows_fired;
+  }
+  sink_->OnResult(r);
+}
+
+void WindowedAggregation::OnWatermark(TimestampUs watermark,
+                                      TimestampUs stream_time) {
+  if (watermark <= last_watermark_) return;
+  last_watermark_ = watermark;
+
+  auto it = windows_.begin();
+  while (it != windows_.end()) {
+    const TimestampUs end = it->first.first + options_.window.size;
+    const bool fire = end <= watermark && !it->second.fired;
+    // Saturating end + allowed_lateness (watermark can be kMaxTimestamp).
+    const TimestampUs retire_at =
+        (end > kMaxTimestamp - options_.allowed_lateness)
+            ? kMaxTimestamp
+            : end + options_.allowed_lateness;
+    const bool purge = retire_at <= watermark || watermark == kMaxTimestamp;
+    if (!fire && !purge && end > watermark) {
+      // Map is ordered by window start; with fixed-size windows, both the
+      // fire and purge conditions are monotone — nothing further can match.
+      break;
+    }
+    if (fire) {
+      Emit(it->first, &it->second, stream_time, /*revision=*/false);
+    }
+    if (purge) {
+      if (it->second.fired && it->second.dirty_since_fire) {
+        // Batch-refinement mode: flush pending amendments as one revision.
+        Emit(it->first, &it->second, stream_time, /*revision=*/true);
+      } else if (!it->second.fired) {
+        // Purge without fire can only happen at the terminal watermark for
+        // windows that never saw their end watermark; fire them now.
+        Emit(it->first, &it->second, stream_time, /*revision=*/false);
+      }
+      it = windows_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void WindowedAggregation::OnKeyedWatermark(int64_t key, TimestampUs watermark,
+                                           TimestampUs stream_time) {
+  if (!options_.per_key_watermarks) return;
+  // Fire this key's complete windows without waiting for the merged
+  // watermark. Purge stays with the merged watermark (OnWatermark).
+  for (auto& [sk, state] : windows_) {
+    if (sk.second != key || state.fired) continue;
+    const TimestampUs end = sk.first + options_.window.size;
+    if (end > watermark) break;  // Ordered by start; later entries are later.
+    Emit(sk, &state, stream_time, /*revision=*/false);
+  }
+}
+
+void WindowedAggregation::OnLateEvent(const Event& e) {
+  ++stats_.events;
+  last_activity_ = std::max(last_activity_, e.arrival_time);
+  for (const WindowBounds& w : AssignWindows(options_.window, e.event_time)) {
+    const StateKey sk{w.start, e.key};
+    auto it = windows_.find(sk);
+    if (it == windows_.end()) {
+      // No state yet: either the window was purged (a real quality loss) or
+      // no on-time tuple of this key ever touched it. Admit the tuple when
+      // the window is still open (it has not fired, so the contribution is
+      // free) or when the lateness policy allows amending.
+      const bool window_open = w.end > last_watermark_;
+      if (window_open ||
+          (options_.allowed_lateness > 0 &&
+           w.end + options_.allowed_lateness > last_watermark_)) {
+        // Window state never existed (no on-time tuple) but is still within
+        // lateness: create it so the late tuple is not lost.
+        WindowState* state = GetOrCreateState(w.start, e.key);
+        state->acc->Add(e.value);
+        ++stats_.late_applied;
+        if (w.end <= last_watermark_) {
+          // Window already semantically closed: this is a (first) firing
+          // with the late data included.
+          if (options_.emit_revision_per_update) {
+            Emit(sk, state, e.arrival_time, /*revision=*/false);
+          } else {
+            state->dirty_since_fire = true;
+            state->fired = true;
+          }
+        }
+        continue;
+      }
+      ++stats_.late_dropped;
+      continue;
+    }
+    WindowState* state = &it->second;
+    state->acc->Add(e.value);
+    ++stats_.late_applied;
+    if (state->fired) {
+      if (options_.emit_revision_per_update) {
+        Emit(sk, state, e.arrival_time, /*revision=*/true);
+      } else {
+        state->dirty_since_fire = true;
+      }
+    }
+  }
+}
+
+}  // namespace streamq

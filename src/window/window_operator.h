@@ -1,0 +1,121 @@
+#ifndef STREAMQ_WINDOW_WINDOW_OPERATOR_H_
+#define STREAMQ_WINDOW_WINDOW_OPERATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "agg/aggregate.h"
+#include "common/time.h"
+#include "disorder/event_sink.h"
+#include "window/window.h"
+
+namespace streamq {
+
+/// Consumer of window results.
+class WindowResultSink {
+ public:
+  virtual ~WindowResultSink() = default;
+  virtual void OnResult(const WindowResult& result) = 0;
+};
+
+/// Records every result (tests/harness).
+class CollectingResultSink : public WindowResultSink {
+ public:
+  void OnResult(const WindowResult& result) override {
+    results.push_back(result);
+  }
+  std::vector<WindowResult> results;
+};
+
+/// Keyed, windowed aggregation driven by the EventSink protocol of a
+/// disorder handler:
+///
+///  * OnEvent    — in-order tuple: fold into all covering windows.
+///  * OnWatermark — fire every unfired window whose end <= watermark.
+///  * OnLateEvent — tuple behind the watermark: if the window state still
+///    exists (within allowed lateness), fold it in; if the window already
+///    fired, emit a *revision* result. Otherwise count it as dropped.
+///
+/// Window state is purged once the watermark passes end + allowed_lateness.
+/// With a PassThrough disorder handler and allowed_lateness > 0 this
+/// implements the speculative strategy: results appear immediately and are
+/// amended as stragglers arrive.
+class WindowedAggregation : public EventSink {
+ public:
+  struct Options {
+    WindowSpec window = WindowSpec::Tumbling(Seconds(1));
+    AggregateSpec aggregate;
+
+    /// How long after a window's end (in event time) late tuples may still
+    /// amend it. 0 = late tuples beyond the watermark are dropped.
+    DurationUs allowed_lateness = 0;
+
+    /// If true, every late tuple that amends an already-fired window
+    /// triggers an immediate revision emission. If false, amendments
+    /// accumulate silently and a single revision fires when the window is
+    /// purged (batch refinement).
+    bool emit_revision_per_update = true;
+
+    /// If true, windows fire on per-key watermarks (OnKeyedWatermark) from
+    /// a KeyedDisorderHandler: key k's windows close as soon as key k's own
+    /// progress allows, instead of waiting for the slowest key's merged
+    /// watermark. Purging still follows the merged watermark.
+    bool per_key_watermarks = false;
+  };
+
+  struct Stats {
+    int64_t events = 0;
+    int64_t late_applied = 0;   // Late tuples folded into live state.
+    int64_t late_dropped = 0;   // Late tuples whose window was gone.
+    int64_t windows_fired = 0;  // First emissions.
+    int64_t revisions = 0;      // Amendment emissions.
+    int64_t max_live_windows = 0;
+  };
+
+  WindowedAggregation(const Options& options, WindowResultSink* sink);
+
+  /// EventSink interface (fed by a DisorderHandler).
+  void OnEvent(const Event& e) override;
+  void OnWatermark(TimestampUs watermark, TimestampUs stream_time) override;
+  void OnKeyedWatermark(int64_t key, TimestampUs watermark,
+                        TimestampUs stream_time) override;
+  void OnLateEvent(const Event& e) override;
+
+  const Stats& stats() const { return stats_; }
+  const Options& options() const { return options_; }
+
+  /// Number of window instances currently holding state.
+  size_t live_windows() const { return windows_.size(); }
+
+ private:
+  struct WindowState {
+    std::unique_ptr<Aggregator> acc;
+    bool fired = false;
+    int32_t revisions = 0;
+    /// Dirty since last emission (for batch refinement mode).
+    bool dirty_since_fire = false;
+  };
+
+  /// State key ordered by (window start, key) so firing scans stop early.
+  using StateKey = std::pair<TimestampUs, int64_t>;
+
+  WindowState* GetOrCreateState(TimestampUs window_start, int64_t key);
+  void Emit(const StateKey& sk, WindowState* state, TimestampUs now,
+            bool revision);
+
+  Options options_;
+  WindowResultSink* sink_;
+  AggregateSpec agg_spec_;
+  std::map<StateKey, WindowState> windows_;
+  TimestampUs last_watermark_ = kMinTimestamp;
+  TimestampUs last_activity_ = 0;  // Arrival time of last event seen.
+  Stats stats_;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_WINDOW_WINDOW_OPERATOR_H_

@@ -1,0 +1,98 @@
+#include "stream/event.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/source.h"
+
+namespace streamq {
+namespace {
+
+Event MakeEvent(int64_t id, TimestampUs ts, TimestampUs at) {
+  Event e;
+  e.id = id;
+  e.event_time = ts;
+  e.arrival_time = at;
+  return e;
+}
+
+TEST(EventTest, DelayIsArrivalMinusEventTime) {
+  const Event e = MakeEvent(1, 1000, 1700);
+  EXPECT_EQ(e.delay(), 700);
+}
+
+TEST(EventTest, EqualityIsFieldwise) {
+  Event a = MakeEvent(1, 10, 20);
+  Event b = a;
+  EXPECT_EQ(a, b);
+  b.value = 1.0;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(EventTest, ToStringContainsFields) {
+  Event e = MakeEvent(3, 1000, 1500);
+  e.key = 1;
+  e.value = 2.5;
+  const std::string s = ToString(e);
+  EXPECT_NE(s.find("id=3"), std::string::npos);
+  EXPECT_NE(s.find("ts=1000"), std::string::npos);
+  EXPECT_NE(s.find("at=1500"), std::string::npos);
+  EXPECT_NE(s.find("v=2.5"), std::string::npos);
+}
+
+TEST(EventOrderTest, EventTimeLessBreaksTiesById) {
+  const Event a = MakeEvent(1, 100, 0);
+  const Event b = MakeEvent(2, 100, 0);
+  const Event c = MakeEvent(0, 200, 0);
+  EventTimeLess less;
+  EXPECT_TRUE(less(a, b));
+  EXPECT_FALSE(less(b, a));
+  EXPECT_TRUE(less(a, c));
+}
+
+TEST(EventOrderTest, ArrivalTimeLess) {
+  const Event a = MakeEvent(1, 100, 50);
+  const Event b = MakeEvent(2, 10, 60);
+  ArrivalTimeLess less;
+  EXPECT_TRUE(less(a, b));
+  EXPECT_FALSE(less(b, a));
+}
+
+TEST(EventOrderTest, OrderPredicates) {
+  std::vector<Event> in_order = {MakeEvent(0, 10, 10), MakeEvent(1, 20, 30),
+                                 MakeEvent(2, 20, 40)};
+  EXPECT_TRUE(IsEventTimeOrdered(in_order));
+  EXPECT_TRUE(IsArrivalTimeOrdered(in_order));
+
+  std::vector<Event> disordered = {MakeEvent(0, 30, 10), MakeEvent(1, 20, 20)};
+  EXPECT_FALSE(IsEventTimeOrdered(disordered));
+  EXPECT_TRUE(IsArrivalTimeOrdered(disordered));
+
+  EXPECT_TRUE(IsEventTimeOrdered({}));
+  EXPECT_TRUE(IsArrivalTimeOrdered({}));
+}
+
+TEST(VectorSourceTest, DrainsAllEventsInOrder) {
+  std::vector<Event> events = {MakeEvent(0, 1, 1), MakeEvent(1, 2, 2),
+                               MakeEvent(2, 3, 3)};
+  VectorSource source(events);
+  EXPECT_EQ(source.size_hint(), 3);
+  const std::vector<Event> drained = DrainSource(&source);
+  EXPECT_EQ(drained, events);
+
+  // Exhausted until reset.
+  Event e;
+  EXPECT_FALSE(source.Next(&e));
+  source.Reset();
+  EXPECT_TRUE(source.Next(&e));
+  EXPECT_EQ(e.id, 0);
+}
+
+TEST(VectorSourceTest, EmptySource) {
+  VectorSource source({});
+  Event e;
+  EXPECT_FALSE(source.Next(&e));
+  EXPECT_EQ(source.size_hint(), 0);
+}
+
+}  // namespace
+}  // namespace streamq

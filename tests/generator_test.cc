@@ -1,0 +1,323 @@
+#include "stream/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/stats.h"
+#include "stream/disorder_metrics.h"
+
+namespace streamq {
+namespace {
+
+WorkloadConfig SmallConfig() {
+  WorkloadConfig cfg;
+  cfg.num_events = 5000;
+  cfg.events_per_second = 10000.0;
+  cfg.delay.model = DelayModel::kExponential;
+  cfg.delay.a = 20000.0;
+  cfg.seed = 42;
+  return cfg;
+}
+
+TEST(WorkloadConfigTest, DefaultValidates) {
+  EXPECT_TRUE(WorkloadConfig{}.Validate().ok());
+}
+
+TEST(WorkloadConfigTest, RejectsBadParameters) {
+  WorkloadConfig cfg;
+  cfg.num_events = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+
+  cfg = WorkloadConfig{};
+  cfg.events_per_second = -1.0;
+  EXPECT_FALSE(cfg.Validate().ok());
+
+  cfg = WorkloadConfig{};
+  cfg.num_keys = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+
+  cfg = WorkloadConfig{};
+  cfg.delayed_fraction = 1.5;
+  EXPECT_FALSE(cfg.Validate().ok());
+
+  cfg = WorkloadConfig{};
+  cfg.dynamics.kind = DynamicsKind::kSine;
+  cfg.dynamics.period = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+
+  cfg = WorkloadConfig{};
+  cfg.dynamics.kind = DynamicsKind::kRamp;
+  cfg.dynamics.t0 = 100;
+  cfg.dynamics.t1 = 100;
+  EXPECT_FALSE(cfg.Validate().ok());
+
+  cfg = WorkloadConfig{};
+  cfg.dynamics.kind = DynamicsKind::kBurst;
+  cfg.dynamics.duration = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(GenerateWorkloadTest, ProducesRequestedCount) {
+  const GeneratedWorkload w = GenerateWorkload(SmallConfig());
+  EXPECT_EQ(w.arrival_order.size(), 5000u);
+}
+
+TEST(GenerateWorkloadTest, ArrivalOrderIsSorted) {
+  const GeneratedWorkload w = GenerateWorkload(SmallConfig());
+  EXPECT_TRUE(IsArrivalTimeOrdered(w.arrival_order));
+}
+
+TEST(GenerateWorkloadTest, ArrivalNeverBeforeEvent) {
+  const GeneratedWorkload w = GenerateWorkload(SmallConfig());
+  for (const Event& e : w.arrival_order) {
+    EXPECT_GE(e.arrival_time, e.event_time);
+  }
+}
+
+TEST(GenerateWorkloadTest, IdsAreEventTimeRanks) {
+  const GeneratedWorkload w = GenerateWorkload(SmallConfig());
+  const std::vector<Event> in_order = w.InOrder();
+  EXPECT_TRUE(IsEventTimeOrdered(in_order));
+  for (size_t i = 0; i < in_order.size(); ++i) {
+    EXPECT_EQ(in_order[i].id, static_cast<int64_t>(i));
+  }
+}
+
+TEST(GenerateWorkloadTest, DeterministicForEqualSeeds) {
+  const GeneratedWorkload a = GenerateWorkload(SmallConfig());
+  const GeneratedWorkload b = GenerateWorkload(SmallConfig());
+  ASSERT_EQ(a.arrival_order.size(), b.arrival_order.size());
+  EXPECT_EQ(a.arrival_order, b.arrival_order);
+}
+
+TEST(GenerateWorkloadTest, SeedChangesStream) {
+  WorkloadConfig cfg = SmallConfig();
+  cfg.seed = 43;
+  const GeneratedWorkload a = GenerateWorkload(SmallConfig());
+  const GeneratedWorkload b = GenerateWorkload(cfg);
+  EXPECT_NE(a.arrival_order, b.arrival_order);
+}
+
+TEST(GenerateWorkloadTest, EventRateApproximatelyHonored) {
+  WorkloadConfig cfg = SmallConfig();
+  cfg.num_events = 50000;
+  const GeneratedWorkload w = GenerateWorkload(cfg);
+  const std::vector<Event> in_order = w.InOrder();
+  const double span_s = ToSeconds(in_order.back().event_time -
+                                  in_order.front().event_time);
+  const double rate = static_cast<double>(cfg.num_events) / span_s;
+  EXPECT_NEAR(rate, cfg.events_per_second, cfg.events_per_second * 0.05);
+}
+
+TEST(GenerateWorkloadTest, RegularArrivalsAreEquallySpaced) {
+  WorkloadConfig cfg = SmallConfig();
+  cfg.poisson_arrivals = false;
+  cfg.delay.model = DelayModel::kConstant;
+  cfg.delay.a = 0.0;
+  const GeneratedWorkload w = GenerateWorkload(cfg);
+  const std::vector<Event> in_order = w.InOrder();
+  const DurationUs gap = in_order[1].event_time - in_order[0].event_time;
+  for (size_t i = 2; i < 100; ++i) {
+    EXPECT_EQ(in_order[i].event_time - in_order[i - 1].event_time, gap);
+  }
+}
+
+TEST(GenerateWorkloadTest, ZeroDelayMeansInOrder) {
+  WorkloadConfig cfg = SmallConfig();
+  cfg.delay.model = DelayModel::kConstant;
+  cfg.delay.a = 0.0;
+  const GeneratedWorkload w = GenerateWorkload(cfg);
+  EXPECT_TRUE(IsEventTimeOrdered(w.arrival_order));
+}
+
+TEST(GenerateWorkloadTest, ConstantDelayAlsoInOrder) {
+  // A constant shift preserves order.
+  WorkloadConfig cfg = SmallConfig();
+  cfg.delay.model = DelayModel::kConstant;
+  cfg.delay.a = 123456.0;
+  const GeneratedWorkload w = GenerateWorkload(cfg);
+  EXPECT_TRUE(IsEventTimeOrdered(w.arrival_order));
+}
+
+TEST(GenerateWorkloadTest, RandomDelaysCreateDisorder) {
+  const GeneratedWorkload w = GenerateWorkload(SmallConfig());
+  const DisorderStats stats = ComputeDisorderStats(w.arrival_order);
+  EXPECT_GT(stats.out_of_order_fraction, 0.2);
+  EXPECT_GT(stats.max_lateness_us, 0);
+}
+
+TEST(GenerateWorkloadTest, DelayedFractionLimitsDisorder) {
+  WorkloadConfig cfg = SmallConfig();
+  cfg.delayed_fraction = 0.05;
+  const GeneratedWorkload w = GenerateWorkload(cfg);
+  const DisorderStats stats = ComputeDisorderStats(w.arrival_order);
+  // Only ~5% of tuples are delayed, so disorder is bounded accordingly
+  // (each delayed tuple can make at most itself late).
+  EXPECT_LT(stats.out_of_order_fraction, 0.1);
+}
+
+TEST(GenerateWorkloadTest, KeysStayInRange) {
+  WorkloadConfig cfg = SmallConfig();
+  cfg.num_keys = 7;
+  const GeneratedWorkload w = GenerateWorkload(cfg);
+  std::set<int64_t> seen;
+  for (const Event& e : w.arrival_order) {
+    ASSERT_GE(e.key, 0);
+    ASSERT_LT(e.key, 7);
+    seen.insert(e.key);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(GenerateWorkloadTest, ZipfKeysAreSkewed) {
+  WorkloadConfig cfg = SmallConfig();
+  cfg.num_events = 20000;
+  cfg.num_keys = 100;
+  cfg.key_zipf_s = 1.2;
+  const GeneratedWorkload w = GenerateWorkload(cfg);
+  int64_t key0 = 0;
+  for (const Event& e : w.arrival_order) {
+    if (e.key == 0) ++key0;
+  }
+  // Uniform would give ~200; Zipf(1.2) head should be far above.
+  EXPECT_GT(key0, 1000);
+}
+
+TEST(GenerateWorkloadTest, SingleKeyByDefault) {
+  const GeneratedWorkload w = GenerateWorkload(SmallConfig());
+  for (const Event& e : w.arrival_order) EXPECT_EQ(e.key, 0);
+}
+
+TEST(DelayDynamicsTest, StationaryIsUnit) {
+  DelayDynamics d;
+  EXPECT_DOUBLE_EQ(d.ScaleAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(d.ScaleAt(Seconds(100)), 1.0);
+}
+
+TEST(DelayDynamicsTest, StepSwitchesAtT0) {
+  DelayDynamics d;
+  d.kind = DynamicsKind::kStep;
+  d.factor = 4.0;
+  d.t0 = Seconds(10);
+  EXPECT_DOUBLE_EQ(d.ScaleAt(Seconds(9)), 1.0);
+  EXPECT_DOUBLE_EQ(d.ScaleAt(Seconds(10)), 4.0);
+  EXPECT_DOUBLE_EQ(d.ScaleAt(Seconds(100)), 4.0);
+}
+
+TEST(DelayDynamicsTest, RampInterpolates) {
+  DelayDynamics d;
+  d.kind = DynamicsKind::kRamp;
+  d.factor = 3.0;
+  d.t0 = Seconds(10);
+  d.t1 = Seconds(20);
+  EXPECT_DOUBLE_EQ(d.ScaleAt(Seconds(10)), 1.0);
+  EXPECT_DOUBLE_EQ(d.ScaleAt(Seconds(15)), 2.0);
+  EXPECT_DOUBLE_EQ(d.ScaleAt(Seconds(20)), 3.0);
+  EXPECT_DOUBLE_EQ(d.ScaleAt(Seconds(25)), 3.0);
+}
+
+TEST(DelayDynamicsTest, SineOscillatesAndStaysPositive) {
+  DelayDynamics d;
+  d.kind = DynamicsKind::kSine;
+  d.amplitude = 2.0;  // Would dip negative without flooring.
+  d.period = Seconds(4);
+  double lo = 1e9, hi = -1e9;
+  for (TimestampUs t = 0; t < Seconds(8); t += Millis(10)) {
+    const double s = d.ScaleAt(t);
+    EXPECT_GT(s, 0.0);
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  EXPECT_DOUBLE_EQ(lo, 0.05);  // Floored.
+  EXPECT_NEAR(hi, 3.0, 0.01);
+}
+
+TEST(DelayDynamicsTest, BurstRepeatsWithPeriod) {
+  DelayDynamics d;
+  d.kind = DynamicsKind::kBurst;
+  d.factor = 10.0;
+  d.t0 = Seconds(1);
+  d.period = Seconds(10);
+  d.duration = Seconds(2);
+  EXPECT_DOUBLE_EQ(d.ScaleAt(0), 1.0);
+  EXPECT_DOUBLE_EQ(d.ScaleAt(Seconds(1)), 10.0);
+  EXPECT_DOUBLE_EQ(d.ScaleAt(Seconds(2)), 10.0);
+  EXPECT_DOUBLE_EQ(d.ScaleAt(Seconds(4)), 1.0);
+  EXPECT_DOUBLE_EQ(d.ScaleAt(Seconds(11)), 10.0);  // Next period.
+  EXPECT_DOUBLE_EQ(d.ScaleAt(Seconds(14)), 1.0);
+}
+
+TEST(DelayDynamicsTest, StepDynamicsIncreaseLateDelays) {
+  WorkloadConfig cfg = SmallConfig();
+  cfg.num_events = 20000;
+  cfg.dynamics.kind = DynamicsKind::kStep;
+  cfg.dynamics.factor = 8.0;
+  cfg.dynamics.t0 = Seconds(1);
+  const GeneratedWorkload w = GenerateWorkload(cfg);
+
+  RunningMoments before, after;
+  for (const Event& e : w.arrival_order) {
+    (e.event_time < Seconds(1) ? before : after)
+        .Add(static_cast<double>(e.delay()));
+  }
+  EXPECT_GT(after.mean(), before.mean() * 4.0);
+}
+
+TEST(ValueModelTest, ConstantValues) {
+  WorkloadConfig cfg = SmallConfig();
+  cfg.value.model = ValueModel::kConstant;
+  cfg.value.a = 3.25;
+  const GeneratedWorkload w = GenerateWorkload(cfg);
+  for (const Event& e : w.arrival_order) EXPECT_DOUBLE_EQ(e.value, 3.25);
+}
+
+TEST(ValueModelTest, UniformValuesInRange) {
+  WorkloadConfig cfg = SmallConfig();
+  cfg.value.model = ValueModel::kUniform;
+  cfg.value.a = -2.0;
+  cfg.value.b = 2.0;
+  const GeneratedWorkload w = GenerateWorkload(cfg);
+  for (const Event& e : w.arrival_order) {
+    EXPECT_GE(e.value, -2.0);
+    EXPECT_LT(e.value, 2.0);
+  }
+}
+
+TEST(ValueModelTest, GaussianMoments) {
+  WorkloadConfig cfg = SmallConfig();
+  cfg.num_events = 50000;
+  cfg.value.model = ValueModel::kGaussian;
+  cfg.value.a = 10.0;
+  cfg.value.b = 2.0;
+  const GeneratedWorkload w = GenerateWorkload(cfg);
+  RunningMoments m;
+  for (const Event& e : w.arrival_order) m.Add(e.value);
+  EXPECT_NEAR(m.mean(), 10.0, 0.1);
+  EXPECT_NEAR(m.stddev(), 2.0, 0.1);
+}
+
+TEST(ValueModelTest, RandomWalkIsContinuous) {
+  WorkloadConfig cfg = SmallConfig();
+  cfg.value.model = ValueModel::kRandomWalk;
+  cfg.value.a = 100.0;
+  cfg.value.b = 0.5;
+  const GeneratedWorkload w = GenerateWorkload(cfg);
+  const std::vector<Event> in_order = w.InOrder();
+  for (size_t i = 1; i < in_order.size(); ++i) {
+    // Steps are N(0, 0.5); 6 sigma bound.
+    EXPECT_LT(std::abs(in_order[i].value - in_order[i - 1].value), 3.0);
+  }
+}
+
+TEST(DescribeTest, SpecsDescribeThemselves) {
+  EXPECT_FALSE(SmallConfig().delay.Describe().empty());
+  DelayDynamics d;
+  EXPECT_EQ(d.Describe(), "stationary");
+  d.kind = DynamicsKind::kStep;
+  EXPECT_NE(d.Describe().find("step"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace streamq

@@ -1,0 +1,109 @@
+/// Heartbeat (punctuation) semantics: progress during idle stream periods.
+
+#include <gtest/gtest.h>
+
+#include "core/executor.h"
+#include "disorder/fixed_kslack.h"
+#include "disorder/pass_through.h"
+#include "tests/test_util.h"
+
+namespace streamq {
+namespace {
+
+using testutil::E;
+
+TEST(HeartbeatTest, DrainsIdleBuffer) {
+  FixedKSlack handler(100);
+  CollectingSink sink;
+  handler.OnEvent(E(0, 1000, 1000), &sink);
+  EXPECT_TRUE(sink.events.empty());  // Held: frontier 1000, K 100.
+  // Source goes idle but promises progress: no future ts < 2000.
+  handler.OnHeartbeat(2000, 2500, &sink);
+  ASSERT_EQ(sink.events.size(), 1u);
+  EXPECT_EQ(sink.watermarks.back(), 1900);
+}
+
+TEST(HeartbeatTest, LatencyChargedToHeartbeatTime) {
+  FixedKSlack handler(100);
+  CollectingSink sink;
+  handler.OnEvent(E(0, 1000, 1000), &sink);
+  handler.OnHeartbeat(2000, 5000, &sink);
+  // The tuple waited from arrival (1000) to the heartbeat (5000).
+  EXPECT_DOUBLE_EQ(handler.stats().buffering_latency_us.max(), 4000.0);
+}
+
+TEST(HeartbeatTest, DoesNotRegressFrontier) {
+  FixedKSlack handler(0);
+  CollectingSink sink;
+  handler.OnEvent(E(0, 1000, 1000), &sink);
+  const TimestampUs wm_before = sink.watermarks.back();
+  handler.OnHeartbeat(500, 1100, &sink);  // Stale bound: ignored.
+  EXPECT_EQ(sink.watermarks.back(), wm_before);
+  handler.OnEvent(E(1, 1200, 1200), &sink);  // Still works afterwards.
+  EXPECT_EQ(sink.events.size(), 2u);
+}
+
+TEST(HeartbeatTest, EventAfterHeartbeatBoundIsNotLate) {
+  FixedKSlack handler(0);
+  CollectingSink sink;
+  handler.OnHeartbeat(1000, 1000, &sink);
+  handler.OnEvent(E(0, 1000, 1100), &sink);  // Exactly at the bound: fine.
+  EXPECT_EQ(sink.events.size(), 1u);
+  EXPECT_TRUE(sink.late_events.empty());
+}
+
+TEST(HeartbeatTest, EventBehindHeartbeatBoundIsLate) {
+  FixedKSlack handler(0);
+  CollectingSink sink;
+  handler.OnHeartbeat(1000, 1000, &sink);
+  handler.OnEvent(E(0, 900, 1100), &sink);  // Violates the promise.
+  EXPECT_EQ(handler.stats().events_late, 1);
+}
+
+TEST(HeartbeatTest, PassThroughAdvancesWatermarkOnly) {
+  PassThrough handler;
+  CollectingSink sink;
+  handler.OnEvent(E(0, 100, 100), &sink);
+  handler.OnHeartbeat(500, 600, &sink);
+  EXPECT_EQ(sink.events.size(), 1u);
+  EXPECT_EQ(sink.watermarks.back(), 500);
+}
+
+TEST(HeartbeatTest, ClosesWindowsDuringIdlePeriod) {
+  // An idle tail: without heartbeats the last window only fires at
+  // Finish(); with them it fires as soon as the source vouches for
+  // progress.
+  QueryExecutor exec(QueryBuilder("hb")
+                         .Tumbling(Millis(10))
+                         .Aggregate("count")
+                         .FixedSlack(Millis(5))
+                         .Build());
+  exec.Feed(E(0, Millis(2), Millis(2)));
+  exec.Feed(E(1, Millis(4), Millis(4)));
+  EXPECT_TRUE(exec.results().empty());
+  // Idle... source heartbeats to Millis(20).
+  exec.FeedHeartbeat(Millis(20), Millis(30));
+  ASSERT_EQ(exec.results().size(), 1u);
+  EXPECT_DOUBLE_EQ(exec.results()[0].value, 2.0);
+  EXPECT_EQ(exec.results()[0].emit_stream_time, Millis(30));
+  exec.Finish();
+}
+
+TEST(HeartbeatTest, AdaptiveHandlersHonorHeartbeats) {
+  AqKSlack::Options aq;
+  aq.target_quality = 0.9;
+  AqKSlack handler(aq);
+  CollectingSink sink;
+  // Feed some disordered tuples to build a sketch, then heartbeat far ahead.
+  const auto w = testutil::DisorderedWorkload(2000);
+  for (const Event& e : w.arrival_order) handler.OnEvent(e, &sink);
+  const size_t before = sink.events.size();
+  EXPECT_GT(handler.buffered(), 0u);
+  const TimestampUs far = w.arrival_order.back().arrival_time + Seconds(10);
+  handler.OnHeartbeat(far, far, &sink);
+  EXPECT_EQ(handler.buffered(), 0u);  // Fully drained.
+  EXPECT_GT(sink.events.size(), before);
+}
+
+}  // namespace
+}  // namespace streamq

@@ -1,0 +1,113 @@
+/// Direct unit tests for WindowedAggregation's per-key watermark firing
+/// (the consumer half of KeyedDisorderHandler's keyed protocol).
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "window/window_operator.h"
+
+namespace streamq {
+namespace {
+
+using testutil::E;
+
+WindowedAggregation::Options Opt(bool per_key) {
+  WindowedAggregation::Options o;
+  o.window = WindowSpec::Tumbling(100);
+  o.aggregate.kind = AggKind::kSum;
+  o.per_key_watermarks = per_key;
+  return o;
+}
+
+TEST(KeyedWatermarkWindowTest, IgnoredWhenFlagOff) {
+  CollectingResultSink results;
+  WindowedAggregation op(Opt(false), &results);
+  op.OnEvent(E(5, 10, 10, /*key=*/1));
+  op.OnKeyedWatermark(1, 200, 200);
+  EXPECT_TRUE(results.results.empty());  // Only merged watermarks fire.
+  op.OnWatermark(200, 200);
+  EXPECT_EQ(results.results.size(), 1u);
+}
+
+TEST(KeyedWatermarkWindowTest, FiresOnlyTheNamedKey) {
+  CollectingResultSink results;
+  WindowedAggregation op(Opt(true), &results);
+  op.OnEvent(E(5, 10, 10, /*key=*/1));
+  op.OnEvent(E(7, 20, 20, /*key=*/2));
+  op.OnKeyedWatermark(1, 150, 150);
+  ASSERT_EQ(results.results.size(), 1u);
+  EXPECT_EQ(results.results[0].key, 1);
+  EXPECT_DOUBLE_EQ(results.results[0].value, 5.0);
+  // Key 2's window is still open.
+  op.OnKeyedWatermark(2, 150, 160);
+  ASSERT_EQ(results.results.size(), 2u);
+  EXPECT_EQ(results.results[1].key, 2);
+}
+
+TEST(KeyedWatermarkWindowTest, FiresBeforeMergedWatermark) {
+  // The whole point: key 1's window fires on its own progress, ahead of the
+  // merged (minimum) watermark.
+  CollectingResultSink results;
+  WindowedAggregation op(Opt(true), &results);
+  op.OnEvent(E(5, 10, 10, 1));
+  op.OnKeyedWatermark(1, 500, 500);   // Key 1 far ahead.
+  ASSERT_EQ(results.results.size(), 1u);
+  EXPECT_EQ(results.results[0].emit_stream_time, 500);
+  // Merged watermark arrives later; the window must not fire twice, and the
+  // purge must reclaim the state.
+  op.OnWatermark(500, 900);
+  EXPECT_EQ(results.results.size(), 1u);
+  EXPECT_EQ(op.live_windows(), 0u);
+}
+
+TEST(KeyedWatermarkWindowTest, DoesNotFireIncompleteWindows) {
+  CollectingResultSink results;
+  WindowedAggregation op(Opt(true), &results);
+  op.OnEvent(E(5, 10, 10, 1));
+  op.OnKeyedWatermark(1, 99, 99);  // End 100 > 99: not complete.
+  EXPECT_TRUE(results.results.empty());
+  op.OnKeyedWatermark(1, 100, 120);
+  EXPECT_EQ(results.results.size(), 1u);
+}
+
+TEST(KeyedWatermarkWindowTest, LateAmendmentsStillWorkAfterKeyedFire) {
+  WindowedAggregation::Options o = Opt(true);
+  o.allowed_lateness = 1000;
+  CollectingResultSink results;
+  WindowedAggregation op(o, &results);
+  op.OnEvent(E(5, 10, 10, 1));
+  op.OnKeyedWatermark(1, 200, 200);  // Fires with 5.
+  ASSERT_EQ(results.results.size(), 1u);
+  op.OnLateEvent(E(3, 20, 210, 1));  // Amends: revision with 8.
+  ASSERT_EQ(results.results.size(), 2u);
+  EXPECT_TRUE(results.results[1].is_revision);
+  EXPECT_DOUBLE_EQ(results.results[1].value, 8.0);
+}
+
+TEST(KeyedWatermarkWindowTest, SlidingWindowsPerKey) {
+  WindowedAggregation::Options o = Opt(true);
+  o.window = WindowSpec::Sliding(100, 50);
+  CollectingResultSink results;
+  WindowedAggregation op(o, &results);
+  op.OnEvent(E(5, 75, 75, 1));  // Windows [0,100) and [50,150).
+  op.OnKeyedWatermark(1, 120, 120);
+  ASSERT_EQ(results.results.size(), 1u);  // Only [0,100) complete.
+  op.OnKeyedWatermark(1, 150, 150);
+  EXPECT_EQ(results.results.size(), 2u);
+}
+
+TEST(KeyedWatermarkWindowTest, TerminalMergedWatermarkFiresTheRest) {
+  CollectingResultSink results;
+  WindowedAggregation op(Opt(true), &results);
+  op.OnEvent(E(5, 10, 10, 1));
+  op.OnEvent(E(7, 10, 10, 2));
+  op.OnKeyedWatermark(1, 200, 200);  // Key 1 fires; key 2 never gets one.
+  ASSERT_EQ(results.results.size(), 1u);
+  op.OnWatermark(kMaxTimestamp, 300);  // Flush: fires key 2, purges all.
+  ASSERT_EQ(results.results.size(), 2u);
+  EXPECT_EQ(results.results[1].key, 2);
+  EXPECT_EQ(op.live_windows(), 0u);
+}
+
+}  // namespace
+}  // namespace streamq

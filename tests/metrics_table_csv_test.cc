@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/csv.h"
+#include "common/metrics.h"
+#include "common/table_writer.h"
+#include "common/time.h"
+
+namespace streamq {
+namespace {
+
+TEST(MetricsTest, CounterLifecycle) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("events");
+  EXPECT_EQ(c->value(), 0);
+  c->Increment();
+  c->Increment(5);
+  EXPECT_EQ(c->value(), 6);
+  EXPECT_EQ(reg.counter("events"), c);  // Same instance by name.
+  reg.ResetAll();
+  EXPECT_EQ(c->value(), 0);
+}
+
+TEST(MetricsTest, GaugeSetsLastValue) {
+  MetricsRegistry reg;
+  Gauge* g = reg.gauge("k");
+  g->Set(5.0);
+  g->Set(2.5);
+  EXPECT_DOUBLE_EQ(g->value(), 2.5);
+}
+
+TEST(MetricsTest, SeriesSummarizes) {
+  MetricsRegistry reg;
+  Series* s = reg.series("latency");
+  for (int i = 1; i <= 10; ++i) s->Record(i);
+  EXPECT_EQ(s->Summarize().count, 10);
+  EXPECT_DOUBLE_EQ(s->Summarize().mean, 5.5);
+}
+
+TEST(MetricsTest, ReportContainsAllNames) {
+  MetricsRegistry reg;
+  reg.counter("a")->Increment();
+  reg.gauge("b")->Set(1.0);
+  reg.series("c")->Record(1.0);
+  const std::string report = reg.Report();
+  EXPECT_NE(report.find("a 1"), std::string::npos);
+  EXPECT_NE(report.find("b 1"), std::string::npos);
+  EXPECT_NE(report.find("c n=1"), std::string::npos);
+}
+
+TEST(TableWriterTest, AlignedOutput) {
+  TableWriter t("demo", {"name", "value"});
+  t.BeginRow();
+  t.Cell("alpha");
+  t.Cell(int64_t{42});
+  t.BeginRow();
+  t.Cell("b");
+  t.Cell(3.14159, 2);
+  EXPECT_EQ(t.row_count(), 2u);
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("42"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+}
+
+TEST(TableWriterTest, CsvExport) {
+  TableWriter t("t", {"x", "y"});
+  t.BeginRow();
+  t.Cell(int64_t{1});
+  t.Cell(int64_t{2});
+  EXPECT_EQ(t.ToCsv(), "x,y\n1,2\n");
+}
+
+TEST(CsvTest, SplitAndJoinRoundTrip) {
+  const std::string line = "a,b,,d";
+  const auto fields = csv::SplitLine(line);
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[2], "");
+  EXPECT_EQ(csv::JoinLine(fields), line);
+}
+
+TEST(CsvTest, SplitStripsCarriageReturn) {
+  const auto fields = csv::SplitLine("a,b\r");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[1], "b");
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/streamq_csv_test.csv";
+  ASSERT_TRUE(csv::WriteFile(path, {{"h1", "h2"}, {"1", "2"}, {"3", "4"}}).ok());
+
+  auto with_header = csv::ReadFile(path, /*skip_header=*/false);
+  ASSERT_TRUE(with_header.ok());
+  EXPECT_EQ(with_header.value().size(), 3u);
+
+  auto skipped = csv::ReadFile(path, /*skip_header=*/true);
+  ASSERT_TRUE(skipped.ok());
+  ASSERT_EQ(skipped.value().size(), 2u);
+  EXPECT_EQ(skipped.value()[0][0], "1");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIOError) {
+  auto r = csv::ReadFile("/nonexistent/streamq/definitely_missing.csv", false);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(TimeTest, Conversions) {
+  EXPECT_EQ(Millis(3), 3000);
+  EXPECT_EQ(Seconds(2), 2000000);
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(5)), 5.0);
+  EXPECT_DOUBLE_EQ(ToMillis(Millis(7)), 7.0);
+}
+
+TEST(TimeTest, FormatDuration) {
+  EXPECT_EQ(FormatDuration(Micros(640)), "640us");
+  EXPECT_EQ(FormatDuration(Millis(13)), "13.00ms");
+  EXPECT_EQ(FormatDuration(Seconds(1) + Millis(250)), "1.250s");
+  EXPECT_EQ(FormatDuration(Micros(-5)), "-5us");
+}
+
+TEST(TimeTest, WallClockIsMonotonicNonDecreasing) {
+  const TimestampUs a = WallClockMicros();
+  const TimestampUs b = WallClockMicros();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace streamq

@@ -1,0 +1,154 @@
+#include "disorder/mp_kslack.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/disorder_metrics.h"
+#include "tests/test_util.h"
+
+namespace streamq {
+namespace {
+
+using testutil::E;
+
+MpKSlack::Options GrowOnly() {
+  MpKSlack::Options o;
+  o.mode = MpKSlack::Mode::kGrowOnly;
+  return o;
+}
+
+MpKSlack::Options Sliding(int64_t window) {
+  MpKSlack::Options o;
+  o.mode = MpKSlack::Mode::kSlidingMax;
+  o.window_size = window;
+  return o;
+}
+
+TEST(MpKSlackTest, SlackStartsAtZero) {
+  MpKSlack handler(GrowOnly());
+  EXPECT_EQ(handler.current_slack(), 0);
+}
+
+TEST(MpKSlackTest, GrowOnlyTracksMaxLateness) {
+  MpKSlack handler(GrowOnly());
+  CollectingSink sink;
+  handler.OnEvent(E(0, 1000, 1000), &sink);
+  handler.OnEvent(E(1, 2000, 2000), &sink);
+  handler.OnEvent(E(2, 1500, 2010), &sink);  // 500 late.
+  EXPECT_EQ(handler.current_slack(), 500);
+  handler.OnEvent(E(3, 3000, 3000), &sink);
+  handler.OnEvent(E(4, 2900, 3010), &sink);  // Only 100 late: no shrink.
+  EXPECT_EQ(handler.current_slack(), 500);
+}
+
+TEST(MpKSlackTest, GrowOnlyEventuallyLosesNothing) {
+  // After warm-up the bound covers the max lateness; quality loss is
+  // limited to the warm-up phase.
+  const auto w = testutil::DisorderedWorkload(10000);
+  MpKSlack handler(GrowOnly());
+  CollectingSink sink;
+  testutil::RunHandler(&handler, w.arrival_order, &sink);
+  EXPECT_TRUE(IsEventTimeOrdered(sink.events));
+  // Much less than the out-of-order fraction (~60% of tuples).
+  EXPECT_LT(handler.stats().events_late,
+            static_cast<int64_t>(w.arrival_order.size() / 10));
+}
+
+TEST(MpKSlackTest, SafetyFactorScalesBound) {
+  MpKSlack::Options o = GrowOnly();
+  o.safety_factor = 2.0;
+  MpKSlack handler(o);
+  CollectingSink sink;
+  handler.OnEvent(E(0, 1000, 1000), &sink);
+  handler.OnEvent(E(1, 2000, 2000), &sink);
+  handler.OnEvent(E(2, 1500, 2010), &sink);  // 500 late -> K = 1000.
+  EXPECT_EQ(handler.current_slack(), 1000);
+}
+
+TEST(MpKSlackTest, SlidingMaxShrinksAfterBurstLeavesWindow) {
+  MpKSlack handler(Sliding(10));
+  CollectingSink sink;
+  TimestampUs ts = 1000;
+  int64_t id = 0;
+  // One big lateness spike.
+  handler.OnEvent(E(id++, ts, ts), &sink);
+  ts += 1000;
+  handler.OnEvent(E(id++, ts, ts), &sink);
+  handler.OnEvent(E(id++, ts - 900, ts + 1), &sink);  // 900 late.
+  EXPECT_GE(handler.current_slack(), 900);
+  // 20 in-order tuples push the spike out of the 10-tuple window.
+  for (int i = 0; i < 20; ++i) {
+    ts += 1000;
+    handler.OnEvent(E(id++, ts, ts), &sink);
+  }
+  EXPECT_EQ(handler.current_slack(), 0);
+}
+
+TEST(MpKSlackTest, SlidingWindowBoundsQualityLocally) {
+  const auto w = testutil::DisorderedWorkload(10000);
+  MpKSlack handler(Sliding(2000));
+  CollectingSink sink;
+  testutil::RunHandler(&handler, w.arrival_order, &sink);
+  EXPECT_TRUE(IsEventTimeOrdered(sink.events));
+  EXPECT_EQ(sink.events.size() + sink.late_events.size(),
+            w.arrival_order.size());
+}
+
+TEST(MpKSlackTest, GrowOnlyNeverExceedsGlobalMaxLateness) {
+  const auto w = testutil::DisorderedWorkload(5000);
+  const DisorderStats stats = ComputeDisorderStats(w.arrival_order);
+  MpKSlack handler(GrowOnly());
+  CollectingSink sink;
+  testutil::RunHandler(&handler, w.arrival_order, &sink);
+  EXPECT_LE(handler.current_slack(), stats.max_lateness_us);
+}
+
+TEST(MpKSlackTest, OrderingContractHolds) {
+  for (auto options : {GrowOnly(), Sliding(100), Sliding(5000)}) {
+    MpKSlack handler(options);
+    testutil::ContractCheckingSink sink;
+    testutil::RunHandler(&handler,
+                         testutil::DisorderedWorkload(3000).arrival_order,
+                         &sink);
+    EXPECT_TRUE(sink.ordered);
+    EXPECT_TRUE(sink.respects_watermark);
+    EXPECT_TRUE(sink.watermarks_monotone);
+  }
+}
+
+TEST(MpKSlackTest, HeavyTailInflatesLatencyVsQualityDriven) {
+  // The motivating pathology: with Pareto delays the observed max keeps
+  // growing, and the disorder-bound tracker buffers for the worst case.
+  WorkloadConfig cfg;
+  cfg.num_events = 20000;
+  cfg.delay.model = DelayModel::kPareto;
+  cfg.delay.a = 1000.0;
+  cfg.delay.b = 1.2;  // Very heavy tail.
+  cfg.seed = 9;
+  const auto w = GenerateWorkload(cfg);
+
+  MpKSlack grow(GrowOnly());
+  CollectingSink sink;
+  testutil::RunHandler(&grow, w.arrival_order, &sink);
+
+  const DisorderStats stats = ComputeDisorderStats(w.arrival_order);
+  // The final bound is within an order of magnitude of the global max and
+  // far above the p95 lateness: the tail dominates.
+  EXPECT_GT(grow.current_slack(), stats.p95_lateness_us * 5);
+}
+
+TEST(MpKSlackTest, RejectsBadOptions) {
+  MpKSlack::Options o;
+  o.window_size = 0;
+  EXPECT_DEATH(MpKSlack handler(o), "Check failed");
+  MpKSlack::Options o2;
+  o2.safety_factor = -1.0;
+  EXPECT_DEATH(MpKSlack handler(o2), "Check failed");
+}
+
+TEST(MpKSlackTest, Name) {
+  MpKSlack handler(GrowOnly());
+  EXPECT_EQ(handler.name(), "mp-kslack");
+}
+
+}  // namespace
+}  // namespace streamq

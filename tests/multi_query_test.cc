@@ -1,0 +1,143 @@
+#include "core/multi_query.h"
+
+#include <gtest/gtest.h>
+
+#include "quality/oracle.h"
+#include "quality/quality_metrics.h"
+#include "tests/test_util.h"
+
+namespace streamq {
+namespace {
+
+ContinuousQuery MakeQuery(const std::string& name, double target,
+                          AggKind kind = AggKind::kSum) {
+  AggregateSpec agg;
+  agg.kind = kind;
+  return QueryBuilder(name)
+      .Tumbling(Millis(50))
+      .Aggregate(agg)
+      .QualityTarget(target, /*gamma=*/1.0)
+      .Build();
+}
+
+TEST(MultiQueryTest, SharedSpecPicksStrictestTarget) {
+  const std::vector<ContinuousQuery> queries = {
+      MakeQuery("a", 0.85), MakeQuery("b", 0.99), MakeQuery("c", 0.90)};
+  const DisorderHandlerSpec spec = MultiQueryRunner::SharedHandlerSpec(queries);
+  EXPECT_EQ(spec.kind, DisorderHandlerSpec::Kind::kAqKSlack);
+  EXPECT_DOUBLE_EQ(spec.aq.target_quality, 0.99);
+}
+
+TEST(MultiQueryTest, SharedSpecFallsBackToFirstHandler) {
+  ContinuousQuery fixed = MakeQuery("f", 0.9);
+  fixed.handler = DisorderHandlerSpec::FixedK(Millis(7));
+  ContinuousQuery pass = MakeQuery("p", 0.9);
+  pass.handler = DisorderHandlerSpec::PassThroughSpec();
+  const DisorderHandlerSpec spec =
+      MultiQueryRunner::SharedHandlerSpec({fixed, pass});
+  EXPECT_EQ(spec.kind, DisorderHandlerSpec::Kind::kFixedKSlack);
+  EXPECT_EQ(spec.fixed_k, Millis(7));
+}
+
+TEST(MultiQueryTest, IndependentMatchesSingleQueryRuns) {
+  const auto w = testutil::DisorderedWorkload(10000);
+  const ContinuousQuery q1 = MakeQuery("q1", 0.90);
+  const ContinuousQuery q2 = MakeQuery("q2", 0.99, AggKind::kCount);
+
+  MultiQueryRunner runner(MultiQueryRunner::Plan::kIndependent);
+  runner.AddQuery(q1);
+  runner.AddQuery(q2);
+  VectorSource source(w.arrival_order);
+  const auto reports = runner.Run(&source);
+  ASSERT_EQ(reports.size(), 2u);
+
+  for (size_t i = 0; i < 2; ++i) {
+    QueryExecutor solo(i == 0 ? q1 : q2);
+    VectorSource solo_source(w.arrival_order);
+    const RunReport solo_report = solo.Run(&solo_source);
+    ASSERT_EQ(reports[i].results.size(), solo_report.results.size())
+        << reports[i].query_name;
+    for (size_t j = 0; j < solo_report.results.size(); ++j) {
+      EXPECT_EQ(reports[i].results[j].bounds, solo_report.results[j].bounds);
+      EXPECT_DOUBLE_EQ(reports[i].results[j].value,
+                       solo_report.results[j].value);
+    }
+  }
+}
+
+TEST(MultiQueryTest, SharedHandlerMeetsEveryTarget) {
+  const auto w = testutil::DisorderedWorkload(30000, 3);
+  MultiQueryRunner runner(MultiQueryRunner::Plan::kSharedHandler);
+  runner.AddQuery(MakeQuery("loose", 0.85));
+  runner.AddQuery(MakeQuery("strict", 0.97));
+  VectorSource source(w.arrival_order);
+  const auto reports = runner.Run(&source);
+  ASSERT_EQ(reports.size(), 2u);
+
+  AggregateSpec sum;
+  sum.kind = AggKind::kSum;
+  const OracleEvaluator oracle(w.arrival_order, WindowSpec::Tumbling(Millis(50)),
+                               sum);
+  for (const RunReport& r : reports) {
+    const QualityReport quality = EvaluateQuality(r.results, oracle);
+    // The shared handler runs at the strictest target, so both queries see
+    // quality >= 0.97-ish.
+    EXPECT_GE(quality.MeanQualityIncludingMissed(), 0.93) << r.query_name;
+  }
+  // Both reports describe the same shared handler.
+  EXPECT_EQ(reports[0].handler_stats.events_in,
+            reports[1].handler_stats.events_in);
+  EXPECT_EQ(reports[0].final_slack, reports[1].final_slack);
+}
+
+TEST(MultiQueryTest, SharedHandlerCostsLooseQueriesLatency) {
+  // The documented trade-off: under sharing, the loose query inherits the
+  // strict query's buffering latency.
+  const auto w = testutil::DisorderedWorkload(30000, 5);
+
+  MultiQueryRunner shared(MultiQueryRunner::Plan::kSharedHandler);
+  shared.AddQuery(MakeQuery("loose", 0.80));
+  shared.AddQuery(MakeQuery("strict", 0.99));
+  VectorSource s1(w.arrival_order);
+  const auto shared_reports = shared.Run(&s1);
+
+  MultiQueryRunner indep(MultiQueryRunner::Plan::kIndependent);
+  indep.AddQuery(MakeQuery("loose", 0.80));
+  indep.AddQuery(MakeQuery("strict", 0.99));
+  VectorSource s2(w.arrival_order);
+  const auto indep_reports = indep.Run(&s2);
+
+  const double shared_loose_latency =
+      shared_reports[0].handler_stats.buffering_latency_us.mean();
+  const double indep_loose_latency =
+      indep_reports[0].handler_stats.buffering_latency_us.mean();
+  EXPECT_GT(shared_loose_latency, indep_loose_latency * 1.5);
+}
+
+TEST(MultiQueryTest, ManyQueriesOneStream) {
+  const auto w = testutil::DisorderedWorkload(10000);
+  MultiQueryRunner runner(MultiQueryRunner::Plan::kSharedHandler);
+  const AggKind kinds[] = {AggKind::kSum, AggKind::kCount, AggKind::kMean,
+                           AggKind::kMax, AggKind::kMin};
+  int i = 0;
+  for (AggKind kind : kinds) {
+    runner.AddQuery(MakeQuery("q" + std::to_string(i++), 0.95, kind));
+  }
+  VectorSource source(w.arrival_order);
+  const auto reports = runner.Run(&source);
+  ASSERT_EQ(reports.size(), 5u);
+  for (const RunReport& r : reports) {
+    EXPECT_GT(r.results.size(), 10u) << r.query_name;
+    EXPECT_EQ(r.events_processed,
+              static_cast<int64_t>(w.arrival_order.size()));
+  }
+}
+
+TEST(MultiQueryTest, RunWithoutQueriesAborts) {
+  MultiQueryRunner runner(MultiQueryRunner::Plan::kIndependent);
+  VectorSource source({});
+  EXPECT_DEATH(runner.Run(&source), "no queries added");
+}
+
+}  // namespace
+}  // namespace streamq

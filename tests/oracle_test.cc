@@ -1,0 +1,91 @@
+#include "quality/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tests/test_util.h"
+
+namespace streamq {
+namespace {
+
+using testutil::E;
+
+AggregateSpec Sum() {
+  AggregateSpec s;
+  s.kind = AggKind::kSum;
+  return s;
+}
+
+TEST(OracleTest, EmptyStream) {
+  const OracleEvaluator oracle({}, WindowSpec::Tumbling(100), Sum());
+  EXPECT_EQ(oracle.total_windows(), 0);
+  EXPECT_EQ(oracle.Lookup(0, 0), nullptr);
+}
+
+TEST(OracleTest, SingleWindowSum) {
+  const std::vector<Event> events = {E(1, 10, 0), E(2, 20, 0), E(3, 99, 0)};
+  const OracleEvaluator oracle(events, WindowSpec::Tumbling(100), Sum());
+  ASSERT_EQ(oracle.total_windows(), 1);
+  const WindowResult* r = oracle.Lookup(0, 0);
+  ASSERT_NE(r, nullptr);
+  EXPECT_DOUBLE_EQ(r->value, 6.0);
+  EXPECT_EQ(r->tuple_count, 3);
+  EXPECT_EQ(r->emit_stream_time, 100);  // Window end.
+}
+
+TEST(OracleTest, OrderInsensitive) {
+  std::vector<Event> events = {E(1, 10, 5), E(2, 250, 6), E(3, 120, 7)};
+  const OracleEvaluator a(events, WindowSpec::Tumbling(100), Sum());
+  std::reverse(events.begin(), events.end());
+  const OracleEvaluator b(events, WindowSpec::Tumbling(100), Sum());
+  ASSERT_EQ(a.total_windows(), b.total_windows());
+  for (const WindowResult& r : a.results()) {
+    const WindowResult* other = b.Lookup(r.bounds.start, r.key);
+    ASSERT_NE(other, nullptr);
+    EXPECT_DOUBLE_EQ(r.value, other->value);
+  }
+}
+
+TEST(OracleTest, KeysSeparated) {
+  const std::vector<Event> events = {E(1, 10, 0, 1), E(2, 20, 0, 2),
+                                     E(3, 30, 0, 1)};
+  const OracleEvaluator oracle(events, WindowSpec::Tumbling(100), Sum());
+  EXPECT_EQ(oracle.total_windows(), 2);
+  EXPECT_DOUBLE_EQ(oracle.Lookup(0, 1)->value, 4.0);
+  EXPECT_DOUBLE_EQ(oracle.Lookup(0, 2)->value, 2.0);
+  EXPECT_EQ(oracle.Lookup(0, 3), nullptr);
+}
+
+TEST(OracleTest, SlidingWindowsCoverEachTupleMultipleTimes) {
+  const std::vector<Event> events = {E(1, 75, 0)};
+  const OracleEvaluator oracle(events, WindowSpec::Sliding(100, 50), Sum());
+  EXPECT_EQ(oracle.total_windows(), 2);  // [0,100) and [50,150).
+  EXPECT_NE(oracle.Lookup(0, 0), nullptr);
+  EXPECT_NE(oracle.Lookup(50, 0), nullptr);
+}
+
+TEST(OracleTest, ResultsOrderedByStartThenKey) {
+  const std::vector<Event> events = {E(1, 250, 0, 2), E(2, 10, 0, 1),
+                                     E(3, 20, 0, 2)};
+  const OracleEvaluator oracle(events, WindowSpec::Tumbling(100), Sum());
+  const auto& rs = oracle.results();
+  ASSERT_EQ(rs.size(), 3u);
+  EXPECT_LE(rs[0].bounds.start, rs[1].bounds.start);
+  EXPECT_LE(rs[1].bounds.start, rs[2].bounds.start);
+  EXPECT_EQ(rs[0].key, 1);  // (0, 1) before (0, 2).
+  EXPECT_EQ(rs[1].key, 2);
+}
+
+TEST(OracleTest, AgreesWithFullSlackPipeline) {
+  const auto w = testutil::DisorderedWorkload(2000);
+  const OracleEvaluator oracle(w.arrival_order, WindowSpec::Tumbling(Millis(20)),
+                               Sum());
+  // Oracle total tuples across tumbling windows == stream size.
+  int64_t total = 0;
+  for (const WindowResult& r : oracle.results()) total += r.tuple_count;
+  EXPECT_EQ(total, static_cast<int64_t>(w.arrival_order.size()));
+}
+
+}  // namespace
+}  // namespace streamq

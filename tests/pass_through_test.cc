@@ -1,0 +1,93 @@
+#include "disorder/pass_through.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace streamq {
+namespace {
+
+using testutil::E;
+
+TEST(PassThroughTest, ForwardsInOrderImmediately) {
+  PassThrough handler;
+  CollectingSink sink;
+  handler.OnEvent(E(0, 100, 100), &sink);
+  handler.OnEvent(E(1, 200, 210), &sink);
+  EXPECT_EQ(sink.events.size(), 2u);
+  EXPECT_TRUE(sink.late_events.empty());
+  EXPECT_EQ(sink.watermarks.back(), 200);
+}
+
+TEST(PassThroughTest, DivertsLateEvents) {
+  PassThrough handler;
+  CollectingSink sink;
+  handler.OnEvent(E(0, 100, 100), &sink);
+  handler.OnEvent(E(2, 300, 310), &sink);
+  handler.OnEvent(E(1, 200, 320), &sink);  // Behind frontier 300.
+  EXPECT_EQ(sink.events.size(), 2u);
+  ASSERT_EQ(sink.late_events.size(), 1u);
+  EXPECT_EQ(sink.late_events[0].id, 1);
+  EXPECT_EQ(handler.stats().events_late, 1);
+}
+
+TEST(PassThroughTest, EqualTimestampIsNotLate) {
+  PassThrough handler;
+  CollectingSink sink;
+  handler.OnEvent(E(0, 100, 100), &sink);
+  handler.OnEvent(E(1, 100, 110), &sink);
+  EXPECT_EQ(sink.events.size(), 2u);
+  EXPECT_TRUE(sink.late_events.empty());
+}
+
+TEST(PassThroughTest, ZeroBufferingLatency) {
+  PassThrough handler;
+  CollectingSink sink;
+  testutil::RunHandler(&handler, testutil::DisorderedWorkload(1000).arrival_order,
+                       &sink);
+  EXPECT_DOUBLE_EQ(handler.stats().buffering_latency_us.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(handler.stats().buffering_latency_us.max(), 0.0);
+}
+
+TEST(PassThroughTest, OutputSatisfiesOrderingContract) {
+  PassThrough handler;
+  testutil::ContractCheckingSink sink;
+  testutil::RunHandler(&handler, testutil::DisorderedWorkload(2000).arrival_order,
+                       &sink);
+  EXPECT_TRUE(sink.ordered);
+  EXPECT_TRUE(sink.respects_watermark);
+  EXPECT_TRUE(sink.watermarks_monotone);
+  EXPECT_EQ(sink.current_watermark, kMaxTimestamp);  // Flush emitted it.
+}
+
+TEST(PassThroughTest, ConservationOfTuples) {
+  PassThrough handler;
+  CollectingSink sink;
+  const auto w = testutil::DisorderedWorkload(3000);
+  testutil::RunHandler(&handler, w.arrival_order, &sink);
+  EXPECT_EQ(sink.events.size() + sink.late_events.size(),
+            w.arrival_order.size());
+  EXPECT_EQ(handler.stats().events_in,
+            static_cast<int64_t>(w.arrival_order.size()));
+  EXPECT_EQ(handler.stats().events_out,
+            static_cast<int64_t>(sink.events.size()));
+}
+
+TEST(PassThroughTest, DisorderedInputYieldsLateEvents) {
+  PassThrough handler;
+  CollectingSink sink;
+  testutil::RunHandler(&handler, testutil::DisorderedWorkload(3000).arrival_order,
+                       &sink);
+  // The workload is heavily disordered; pass-through must shed a lot.
+  EXPECT_GT(sink.late_events.size(), 500u);
+}
+
+TEST(PassThroughTest, NameAndSlack) {
+  PassThrough handler;
+  EXPECT_EQ(handler.name(), "pass-through");
+  EXPECT_EQ(handler.current_slack(), 0);
+  EXPECT_EQ(handler.buffered(), 0u);
+}
+
+}  // namespace
+}  // namespace streamq

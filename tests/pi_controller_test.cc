@@ -1,0 +1,148 @@
+#include "control/pi_controller.h"
+
+#include <gtest/gtest.h>
+
+namespace streamq {
+namespace {
+
+PiController::Options Opt(double kp, double ki, double lo = -1.0,
+                          double hi = 1.0) {
+  PiController::Options o;
+  o.kp = kp;
+  o.ki = ki;
+  o.out_min = lo;
+  o.out_max = hi;
+  o.integral_limit = 1.0;
+  return o;
+}
+
+TEST(PiControllerTest, ZeroErrorZeroOutput) {
+  PiController pi(Opt(1.0, 0.5));
+  EXPECT_DOUBLE_EQ(pi.Update(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(pi.output(), 0.0);
+}
+
+TEST(PiControllerTest, ProportionalTerm) {
+  PiController pi(Opt(2.0, 0.0));
+  EXPECT_DOUBLE_EQ(pi.Update(0.25), 0.5);
+  EXPECT_DOUBLE_EQ(pi.Update(-0.25), -0.5);
+}
+
+TEST(PiControllerTest, IntegralAccumulates) {
+  PiController pi(Opt(0.0, 0.1));
+  EXPECT_DOUBLE_EQ(pi.Update(1.0), 0.1);
+  EXPECT_DOUBLE_EQ(pi.Update(1.0), 0.2);
+  EXPECT_DOUBLE_EQ(pi.Update(1.0), 0.3);
+}
+
+TEST(PiControllerTest, IntegralDischargesOnOppositeError) {
+  PiController pi(Opt(0.0, 0.5));
+  pi.Update(1.0);
+  pi.Update(1.0);
+  EXPECT_DOUBLE_EQ(pi.integral(), 1.0);
+  pi.Update(-1.0);
+  EXPECT_DOUBLE_EQ(pi.integral(), 0.5);
+}
+
+TEST(PiControllerTest, OutputClamped) {
+  PiController pi(Opt(10.0, 0.0, -0.3, 0.3));
+  EXPECT_DOUBLE_EQ(pi.Update(1.0), 0.3);
+  EXPECT_DOUBLE_EQ(pi.Update(-1.0), -0.3);
+}
+
+TEST(PiControllerTest, AntiWindupFreezesIntegralWhenSaturated) {
+  PiController pi(Opt(0.0, 0.5, -0.2, 0.2));
+  for (int i = 0; i < 100; ++i) pi.Update(1.0);
+  // Without anti-windup the integral would be 50; it must stay near the
+  // clamp so recovery is immediate.
+  EXPECT_LE(pi.integral(), 0.5 + 1e-12);
+  // One opposite error should start pulling the output down right away.
+  pi.Update(-1.0);
+  pi.Update(-1.0);
+  EXPECT_LT(pi.output(), 0.2);
+}
+
+TEST(PiControllerTest, IntegralLimitRespected) {
+  PiController::Options o = Opt(0.0, 1.0, -10.0, 10.0);
+  o.integral_limit = 0.5;
+  PiController pi(o);
+  for (int i = 0; i < 100; ++i) pi.Update(1.0);
+  EXPECT_LE(pi.integral(), 0.5);
+  EXPECT_LE(pi.output(), 0.5);
+}
+
+TEST(PiControllerTest, ConvergesOnFirstOrderPlant) {
+  // Classic closed-loop check: plant y += 0.5 * u; target 1.0. The loop
+  // must settle close to the setpoint without oscillating forever.
+  PiController pi(Opt(0.8, 0.3, -10.0, 10.0));
+  double y = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double u = pi.Update(1.0 - y);
+    y += 0.5 * u;
+  }
+  EXPECT_NEAR(y, 1.0, 0.02);
+}
+
+TEST(PiControllerTest, Reset) {
+  PiController pi(Opt(1.0, 1.0));
+  pi.Update(0.5);
+  pi.Reset();
+  EXPECT_DOUBLE_EQ(pi.output(), 0.0);
+  EXPECT_DOUBLE_EQ(pi.integral(), 0.0);
+}
+
+TEST(PiControllerTest, RejectsInvertedBounds) {
+  EXPECT_DEATH(PiController pi(Opt(1.0, 1.0, 1.0, -1.0)), "Check failed");
+}
+
+TEST(PiControllerTest, ToStringHasGains) {
+  PiController pi(Opt(0.25, 0.125));
+  const std::string s = pi.ToString();
+  EXPECT_NE(s.find("kp=0.250"), std::string::npos);
+  EXPECT_NE(s.find("ki=0.125"), std::string::npos);
+}
+
+TEST(SlewRateLimiterTest, FirstValuePassesThrough) {
+  SlewRateLimiter s(0.1);
+  EXPECT_DOUBLE_EQ(s.Apply(5.0), 5.0);
+}
+
+TEST(SlewRateLimiterTest, LimitsStep) {
+  SlewRateLimiter s(0.1);
+  s.Apply(0.0);
+  EXPECT_DOUBLE_EQ(s.Apply(1.0), 0.1);
+  EXPECT_DOUBLE_EQ(s.Apply(1.0), 0.2);
+  EXPECT_DOUBLE_EQ(s.Apply(-1.0), 0.1);
+}
+
+TEST(SlewRateLimiterTest, ReachesTargetEventually) {
+  SlewRateLimiter s(0.25);
+  s.Apply(0.0);
+  double v = 0.0;
+  for (int i = 0; i < 10; ++i) v = s.Apply(1.0);
+  EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(SlewRateLimiterTest, Reset) {
+  SlewRateLimiter s(0.1);
+  s.Apply(100.0);
+  s.Reset();
+  EXPECT_DOUBLE_EQ(s.Apply(3.0), 3.0);
+}
+
+TEST(DeadbandTest, HoldsSmallChanges) {
+  Deadband d(0.5);
+  EXPECT_DOUBLE_EQ(d.Apply(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(d.Apply(1.3), 1.0);  // Within band.
+  EXPECT_DOUBLE_EQ(d.Apply(1.6), 1.6);  // Exceeds band.
+  EXPECT_DOUBLE_EQ(d.Apply(1.2), 1.6);  // Within band of new value.
+}
+
+TEST(DeadbandTest, ZeroWidthPassesEverything) {
+  Deadband d(0.0);
+  d.Apply(1.0);
+  EXPECT_DOUBLE_EQ(d.Apply(1.0001), 1.0001);
+}
+
+}  // namespace
+}  // namespace streamq

@@ -1,0 +1,172 @@
+#include "quality/quality_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "disorder/fixed_kslack.h"
+#include "tests/test_util.h"
+#include "window/window_operator.h"
+
+namespace streamq {
+namespace {
+
+using testutil::E;
+
+AggregateSpec Sum() {
+  AggregateSpec s;
+  s.kind = AggKind::kSum;
+  return s;
+}
+
+WindowResult MakeResult(TimestampUs start, TimestampUs end, double value,
+                        int64_t count, TimestampUs emit, bool revision = false,
+                        int32_t rev_index = 0) {
+  WindowResult r;
+  r.bounds = {start, end};
+  r.value = value;
+  r.tuple_count = count;
+  r.emit_stream_time = emit;
+  r.is_revision = revision;
+  r.revision_index = rev_index;
+  return r;
+}
+
+TEST(QualityMetricsTest, PerfectRun) {
+  const std::vector<Event> events = {E(1, 10, 10), E(2, 20, 20)};
+  const OracleEvaluator oracle(events, WindowSpec::Tumbling(100), Sum());
+  const std::vector<WindowResult> produced = {MakeResult(0, 100, 3.0, 2, 150)};
+  const QualityReport report = EvaluateQuality(produced, oracle);
+  ASSERT_EQ(report.per_window.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.per_window[0].coverage, 1.0);
+  EXPECT_DOUBLE_EQ(report.per_window[0].value_quality, 1.0);
+  EXPECT_DOUBLE_EQ(report.per_window[0].relative_error, 0.0);
+  EXPECT_EQ(report.per_window[0].response_latency_us, 50);
+  EXPECT_EQ(report.missed_windows, 0);
+  EXPECT_EQ(report.spurious_windows, 0);
+  EXPECT_DOUBLE_EQ(report.FractionMeeting(0.99), 1.0);
+}
+
+TEST(QualityMetricsTest, PartialCoverageAndError) {
+  const std::vector<Event> events = {E(1, 10, 10), E(2, 20, 20),
+                                     E(3, 30, 30), E(4, 40, 40)};
+  const OracleEvaluator oracle(events, WindowSpec::Tumbling(100), Sum());
+  // Produced saw only values 1+2=3 of the true 10: coverage 0.5,
+  // relative error 0.7.
+  const std::vector<WindowResult> produced = {MakeResult(0, 100, 3.0, 2, 100)};
+  const QualityReport report = EvaluateQuality(produced, oracle);
+  ASSERT_EQ(report.per_window.size(), 1u);
+  EXPECT_DOUBLE_EQ(report.per_window[0].coverage, 0.5);
+  EXPECT_NEAR(report.per_window[0].relative_error, 0.7, 1e-12);
+  EXPECT_NEAR(report.per_window[0].value_quality, 0.3, 1e-12);
+}
+
+TEST(QualityMetricsTest, MissedWindowsCounted) {
+  const std::vector<Event> events = {E(1, 10, 10), E(2, 150, 150)};
+  const OracleEvaluator oracle(events, WindowSpec::Tumbling(100), Sum());
+  const std::vector<WindowResult> produced = {MakeResult(0, 100, 1.0, 1, 100)};
+  const QualityReport report = EvaluateQuality(produced, oracle);
+  EXPECT_EQ(report.missed_windows, 1);  // [100,200) never produced.
+  EXPECT_DOUBLE_EQ(report.MeanQualityIncludingMissed(), 0.5);
+  EXPECT_DOUBLE_EQ(report.FractionMeeting(0.9), 0.5);
+}
+
+TEST(QualityMetricsTest, SpuriousWindowsCounted) {
+  const std::vector<Event> events = {E(1, 10, 10)};
+  const OracleEvaluator oracle(events, WindowSpec::Tumbling(100), Sum());
+  const std::vector<WindowResult> produced = {
+      MakeResult(0, 100, 1.0, 1, 100), MakeResult(500, 600, 9.0, 1, 600)};
+  const QualityReport report = EvaluateQuality(produced, oracle);
+  EXPECT_EQ(report.spurious_windows, 1);
+  EXPECT_EQ(report.per_window.size(), 1u);
+}
+
+TEST(QualityMetricsTest, FirstVsFinalEmission) {
+  const std::vector<Event> events = {E(1, 10, 10), E(2, 20, 20)};
+  const OracleEvaluator oracle(events, WindowSpec::Tumbling(100), Sum());
+  const std::vector<WindowResult> produced = {
+      MakeResult(0, 100, 1.0, 1, 100),               // First: half the sum.
+      MakeResult(0, 100, 3.0, 2, 150, true, 1),      // Revision: exact.
+  };
+  QualityEvalOptions first;
+  first.use_final_emission = false;
+  const QualityReport rf = EvaluateQuality(produced, oracle, first);
+  EXPECT_NEAR(rf.per_window[0].value_quality, 1.0 - 2.0 / 3.0, 1e-12);
+
+  QualityEvalOptions final_opt;
+  final_opt.use_final_emission = true;
+  const QualityReport rl = EvaluateQuality(produced, oracle, final_opt);
+  EXPECT_DOUBLE_EQ(rl.per_window[0].value_quality, 1.0);
+  // Latency is judged on the FIRST emission in both modes.
+  EXPECT_EQ(rl.per_window[0].response_latency_us, 0);
+}
+
+TEST(QualityMetricsTest, NearZeroTruthUsesEpsilon) {
+  const std::vector<Event> events = {E(1, 10, 10)};  // Value 1.
+  OracleEvaluator oracle(events, WindowSpec::Tumbling(100), Sum());
+  // Pretend produced is 0.0 while truth is 1.0: error 1.0 -> quality 0.
+  const std::vector<WindowResult> produced = {MakeResult(0, 100, 0.0, 0, 100)};
+  const QualityReport report = EvaluateQuality(produced, oracle);
+  EXPECT_DOUBLE_EQ(report.per_window[0].value_quality, 0.0);
+}
+
+TEST(QualityMetricsTest, ResponseLatenciesSkipRevisions) {
+  const std::vector<WindowResult> results = {
+      MakeResult(0, 100, 1.0, 1, 160),
+      MakeResult(0, 100, 2.0, 2, 220, true, 1),
+      MakeResult(100, 200, 1.0, 1, 230),
+  };
+  const auto latencies = ResponseLatencies(results);
+  ASSERT_EQ(latencies.size(), 2u);
+  EXPECT_DOUBLE_EQ(latencies[0], 60.0);
+  EXPECT_DOUBLE_EQ(latencies[1], 30.0);
+}
+
+TEST(QualityMetricsTest, EndToEndFullSlackIsPerfect) {
+  const auto w = testutil::DisorderedWorkload(3000);
+  const WindowSpec spec = WindowSpec::Tumbling(Millis(20));
+  WindowedAggregation::Options o;
+  o.window = spec;
+  o.aggregate = Sum();
+  CollectingResultSink results;
+  WindowedAggregation op(o, &results);
+  FixedKSlack handler(Seconds(1000));
+  testutil::RunHandler(&handler, w.arrival_order, &op);
+
+  const OracleEvaluator oracle(w.arrival_order, spec, Sum());
+  const QualityReport report = EvaluateQuality(results.results, oracle);
+  EXPECT_EQ(report.missed_windows, 0);
+  EXPECT_EQ(report.spurious_windows, 0);
+  EXPECT_NEAR(report.value_quality.mean, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(report.coverage.mean, 1.0);
+}
+
+TEST(QualityMetricsTest, SmallerSlackLowersQuality) {
+  const auto w = testutil::DisorderedWorkload(5000);
+  const WindowSpec spec = WindowSpec::Tumbling(Millis(20));
+  double prev_quality = -1.0;
+  for (DurationUs k : {Millis(1), Millis(10), Millis(200)}) {
+    WindowedAggregation::Options o;
+    o.window = spec;
+    o.aggregate = Sum();
+    CollectingResultSink results;
+    WindowedAggregation op(o, &results);
+    FixedKSlack handler(k);
+    testutil::RunHandler(&handler, w.arrival_order, &op);
+    const OracleEvaluator oracle(w.arrival_order, spec, Sum());
+    const QualityReport report = EvaluateQuality(results.results, oracle);
+    const double q = report.MeanQualityIncludingMissed();
+    EXPECT_GT(q, prev_quality) << "K=" << k;
+    prev_quality = q;
+  }
+  EXPECT_GT(prev_quality, 0.99);  // 200ms slack covers ~1-e^-10 of delays.
+}
+
+TEST(QualityMetricsTest, ReportToString) {
+  const std::vector<Event> events = {E(1, 10, 10)};
+  const OracleEvaluator oracle(events, WindowSpec::Tumbling(100), Sum());
+  const QualityReport report =
+      EvaluateQuality({MakeResult(0, 100, 1.0, 1, 100)}, oracle);
+  EXPECT_NE(report.ToString().find("QualityReport{"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace streamq

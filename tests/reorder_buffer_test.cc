@@ -1,0 +1,141 @@
+#include "disorder/reorder_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace streamq {
+namespace {
+
+Event MakeEvent(int64_t id, TimestampUs ts) {
+  Event e;
+  e.id = id;
+  e.event_time = ts;
+  return e;
+}
+
+TEST(ReorderBufferTest, StartsEmpty) {
+  ReorderBuffer buf;
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.max_size(), 0u);
+}
+
+TEST(ReorderBufferTest, PopMinReturnsEarliest) {
+  ReorderBuffer buf;
+  buf.Push(MakeEvent(0, 300));
+  buf.Push(MakeEvent(1, 100));
+  buf.Push(MakeEvent(2, 200));
+  EXPECT_EQ(buf.MinEventTime(), 100);
+  Event e;
+  buf.PopMin(&e);
+  EXPECT_EQ(e.event_time, 100);
+  buf.PopMin(&e);
+  EXPECT_EQ(e.event_time, 200);
+  buf.PopMin(&e);
+  EXPECT_EQ(e.event_time, 300);
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(ReorderBufferTest, TieBrokenById) {
+  ReorderBuffer buf;
+  buf.Push(MakeEvent(5, 100));
+  buf.Push(MakeEvent(2, 100));
+  buf.Push(MakeEvent(9, 100));
+  Event e;
+  buf.PopMin(&e);
+  EXPECT_EQ(e.id, 2);
+  buf.PopMin(&e);
+  EXPECT_EQ(e.id, 5);
+  buf.PopMin(&e);
+  EXPECT_EQ(e.id, 9);
+}
+
+TEST(ReorderBufferTest, PopUpToReleasesPrefixOnly) {
+  ReorderBuffer buf;
+  for (int i = 0; i < 10; ++i) buf.Push(MakeEvent(i, i * 100));
+  std::vector<Event> out;
+  const size_t n = buf.PopUpTo(450, &out);
+  EXPECT_EQ(n, 5u);  // ts 0, 100, 200, 300, 400.
+  EXPECT_EQ(buf.size(), 5u);
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LE(out[i - 1].event_time, out[i].event_time);
+  }
+  EXPECT_EQ(out.back().event_time, 400);
+}
+
+TEST(ReorderBufferTest, PopUpToInclusiveThreshold) {
+  ReorderBuffer buf;
+  buf.Push(MakeEvent(0, 100));
+  std::vector<Event> out;
+  EXPECT_EQ(buf.PopUpTo(99, &out), 0u);
+  EXPECT_EQ(buf.PopUpTo(100, &out), 1u);
+}
+
+TEST(ReorderBufferTest, MaxSizeTracksHighWater) {
+  ReorderBuffer buf;
+  for (int i = 0; i < 5; ++i) buf.Push(MakeEvent(i, i));
+  std::vector<Event> out;
+  buf.PopUpTo(10, &out);
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.max_size(), 5u);
+  buf.Push(MakeEvent(9, 9));
+  EXPECT_EQ(buf.max_size(), 5u);  // Unchanged.
+}
+
+TEST(ReorderBufferTest, ClearEmpties) {
+  ReorderBuffer buf;
+  buf.Push(MakeEvent(0, 1));
+  buf.Clear();
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(ReorderBufferTest, RandomizedHeapProperty) {
+  // Property test: pushing N random events and popping them all yields a
+  // sorted sequence identical to std::sort.
+  Rng rng(4242);
+  for (int trial = 0; trial < 20; ++trial) {
+    ReorderBuffer buf;
+    std::vector<Event> reference;
+    const int n = static_cast<int>(rng.NextInt(1, 500));
+    for (int i = 0; i < n; ++i) {
+      const Event e = MakeEvent(i, rng.NextInt(0, 1000));
+      buf.Push(e);
+      reference.push_back(e);
+    }
+    std::sort(reference.begin(), reference.end(), EventTimeLess());
+    std::vector<Event> popped;
+    buf.PopUpTo(kMaxTimestamp, &popped);
+    ASSERT_EQ(popped.size(), reference.size());
+    for (size_t i = 0; i < popped.size(); ++i) {
+      EXPECT_EQ(popped[i].id, reference[i].id) << "trial " << trial;
+    }
+  }
+}
+
+TEST(ReorderBufferTest, InterleavedPushPop) {
+  // Pops between pushes must still produce globally plausible order for
+  // the released prefixes.
+  Rng rng(7);
+  ReorderBuffer buf;
+  std::vector<Event> released;
+  TimestampUs threshold = 0;
+  for (int i = 0; i < 1000; ++i) {
+    buf.Push(MakeEvent(i, rng.NextInt(threshold, threshold + 200)));
+    if (i % 10 == 9) {
+      threshold += 50;
+      buf.PopUpTo(threshold, &released);
+    }
+  }
+  buf.PopUpTo(kMaxTimestamp, &released);
+  EXPECT_EQ(released.size(), 1000u);
+  for (size_t i = 1; i < released.size(); ++i) {
+    EXPECT_LE(released[i - 1].event_time, released[i].event_time);
+  }
+}
+
+}  // namespace
+}  // namespace streamq

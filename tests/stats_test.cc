@@ -1,0 +1,295 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace streamq {
+namespace {
+
+TEST(RunningMomentsTest, Empty) {
+  RunningMoments m;
+  EXPECT_EQ(m.count(), 0);
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+}
+
+TEST(RunningMomentsTest, SingleValue) {
+  RunningMoments m;
+  m.Add(7.5);
+  EXPECT_EQ(m.count(), 1);
+  EXPECT_DOUBLE_EQ(m.mean(), 7.5);
+  EXPECT_DOUBLE_EQ(m.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(m.min(), 7.5);
+  EXPECT_DOUBLE_EQ(m.max(), 7.5);
+}
+
+TEST(RunningMomentsTest, KnownSequence) {
+  RunningMoments m;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) m.Add(v);
+  EXPECT_DOUBLE_EQ(m.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(m.variance(), 4.0);  // Classic textbook example.
+  EXPECT_DOUBLE_EQ(m.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(m.min(), 2.0);
+  EXPECT_DOUBLE_EQ(m.max(), 9.0);
+  EXPECT_DOUBLE_EQ(m.sum(), 40.0);
+}
+
+TEST(RunningMomentsTest, MergeMatchesCombinedStream) {
+  Rng rng(7);
+  RunningMoments all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextGaussian() * 3.0 + 1.0;
+    all.Add(v);
+    (i < 400 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningMomentsTest, MergeWithEmpty) {
+  RunningMoments a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  const double mean = a.mean();
+  a.Merge(b);  // No-op.
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  b.Merge(a);  // Copy.
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+  EXPECT_EQ(b.count(), 2);
+}
+
+TEST(RunningMomentsTest, Reset) {
+  RunningMoments m;
+  m.Add(5.0);
+  m.Reset();
+  EXPECT_EQ(m.count(), 0);
+  EXPECT_DOUBLE_EQ(m.mean(), 0.0);
+}
+
+TEST(EwmaTest, FirstSamplePassesThrough) {
+  Ewma e(0.5);
+  EXPECT_TRUE(e.empty());
+  e.Add(10.0);
+  EXPECT_FALSE(e.empty());
+  EXPECT_DOUBLE_EQ(e.value(), 10.0);
+}
+
+TEST(EwmaTest, ConvergesToConstant) {
+  Ewma e(0.2);
+  for (int i = 0; i < 200; ++i) e.Add(3.0);
+  EXPECT_NEAR(e.value(), 3.0, 1e-12);
+}
+
+TEST(EwmaTest, WeightsNewSamples) {
+  Ewma e(0.5);
+  e.Add(0.0);
+  e.Add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+  e.Add(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 7.5);
+}
+
+TEST(EwmaTest, Reset) {
+  Ewma e(0.5);
+  e.Add(1.0);
+  e.Reset();
+  EXPECT_TRUE(e.empty());
+}
+
+TEST(ReservoirSampleTest, KeepsAllBelowCapacity) {
+  ReservoirSample r(100, 1);
+  for (int i = 0; i < 50; ++i) r.Add(i);
+  EXPECT_EQ(r.seen(), 50);
+  EXPECT_EQ(r.samples().size(), 50u);
+}
+
+TEST(ReservoirSampleTest, CapsAtCapacity) {
+  ReservoirSample r(64, 1);
+  for (int i = 0; i < 10000; ++i) r.Add(i);
+  EXPECT_EQ(r.seen(), 10000);
+  EXPECT_EQ(r.samples().size(), 64u);
+}
+
+TEST(ReservoirSampleTest, IsApproximatelyUniform) {
+  // Mean of reservoir over uniform [0, 1) input should be near 0.5.
+  ReservoirSample r(512, 99);
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) r.Add(rng.NextDouble());
+  double sum = 0.0;
+  for (double v : r.samples()) sum += v;
+  EXPECT_NEAR(sum / static_cast<double>(r.samples().size()), 0.5, 0.05);
+}
+
+TEST(ReservoirSampleTest, QuantileOfKnownData) {
+  ReservoirSample r(1000, 1);
+  for (int i = 1; i <= 1000; ++i) r.Add(i);  // Below capacity: exact.
+  EXPECT_NEAR(r.Quantile(0.5), 500.5, 1.0);
+  EXPECT_NEAR(r.Quantile(0.99), 990.0, 1.5);
+}
+
+TEST(ExactQuantileTest, EdgeCases) {
+  EXPECT_DOUBLE_EQ(ExactQuantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ExactQuantile({42.0}, 0.0), 42.0);
+  EXPECT_DOUBLE_EQ(ExactQuantile({42.0}, 1.0), 42.0);
+  EXPECT_DOUBLE_EQ(ExactQuantile({1.0, 2.0}, 0.5), 1.5);
+  EXPECT_DOUBLE_EQ(ExactQuantile({3.0, 1.0, 2.0}, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(ExactQuantile({3.0, 1.0, 2.0}, 0.0), 1.0);
+}
+
+TEST(ExactQuantileTest, ClampsQ) {
+  EXPECT_DOUBLE_EQ(ExactQuantile({1.0, 2.0, 3.0}, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(ExactQuantile({1.0, 2.0, 3.0}, 1.5), 3.0);
+}
+
+class P2QuantileParamTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(P2QuantileParamTest, TracksExactQuantileOnGaussian) {
+  const double q = GetParam();
+  P2Quantile est(q);
+  Rng rng(11);
+  std::vector<double> all;
+  for (int i = 0; i < 20000; ++i) {
+    const double v = rng.NextGaussian();
+    est.Add(v);
+    all.push_back(v);
+  }
+  const double exact = ExactQuantile(all, q);
+  EXPECT_NEAR(est.value(), exact, 0.06) << "q=" << q;
+}
+
+INSTANTIATE_TEST_SUITE_P(Quantiles, P2QuantileParamTest,
+                         ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9, 0.95,
+                                           0.99));
+
+TEST(P2QuantileTest, ExactForFewSamples) {
+  P2Quantile est(0.5);
+  est.Add(3.0);
+  EXPECT_DOUBLE_EQ(est.value(), 3.0);
+  est.Add(1.0);
+  EXPECT_DOUBLE_EQ(est.value(), 2.0);
+  est.Add(2.0);
+  EXPECT_DOUBLE_EQ(est.value(), 2.0);
+}
+
+TEST(P2QuantileTest, EmptyIsZero) {
+  P2Quantile est(0.9);
+  EXPECT_DOUBLE_EQ(est.value(), 0.0);
+  EXPECT_EQ(est.count(), 0);
+}
+
+TEST(SlidingWindowQuantileTest, WindowEviction) {
+  SlidingWindowQuantile s(4);
+  for (double v : {1.0, 2.0, 3.0, 4.0, 100.0, 100.0, 100.0, 100.0}) s.Add(v);
+  EXPECT_EQ(s.size(), 4u);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.0), 100.0);  // Old small values evicted.
+  EXPECT_EQ(s.seen(), 8);
+}
+
+TEST(SlidingWindowQuantileTest, QuantileAndCdfConsistency) {
+  SlidingWindowQuantile s(1000);
+  for (int i = 1; i <= 1000; ++i) s.Add(i);
+  const double p95 = s.Quantile(0.95);
+  EXPECT_NEAR(p95, 950.0, 2.0);
+  EXPECT_NEAR(s.CdfAt(p95), 0.95, 0.01);
+  EXPECT_DOUBLE_EQ(s.CdfAt(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.CdfAt(1e9), 1.0);
+}
+
+TEST(SlidingWindowQuantileTest, EmptyDefaults) {
+  SlidingWindowQuantile s(10);
+  EXPECT_DOUBLE_EQ(s.Quantile(0.5), 0.0);
+  // Optimistic prior: no observed delays means "everything on time".
+  EXPECT_DOUBLE_EQ(s.CdfAt(123.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+}
+
+TEST(SlidingWindowQuantileTest, MaxAndMean) {
+  SlidingWindowQuantile s(3);
+  s.Add(1.0);
+  s.Add(5.0);
+  s.Add(3.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.0);
+  s.Add(10.0);  // Evicts 1.0.
+  EXPECT_DOUBLE_EQ(s.Max(), 10.0);
+  EXPECT_DOUBLE_EQ(s.Mean(), 6.0);
+}
+
+TEST(SlidingWindowQuantileTest, TracksDistributionShift) {
+  // After a step change, the windowed quantile must follow the new regime —
+  // the property the adaptive buffer depends on.
+  SlidingWindowQuantile s(500);
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) s.Add(rng.NextUniform(0.0, 10.0));
+  EXPECT_LT(s.Quantile(0.95), 11.0);
+  for (int i = 0; i < 2000; ++i) s.Add(rng.NextUniform(100.0, 110.0));
+  EXPECT_GT(s.Quantile(0.5), 99.0);
+}
+
+TEST(FixedHistogramTest, QuantilesOfUniformData) {
+  FixedHistogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100000; ++i) {
+    h.Add(static_cast<double>(i % 100) + 0.5);
+  }
+  EXPECT_EQ(h.count(), 100000);
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.Quantile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(h.Mean(), 50.0, 0.5);
+}
+
+TEST(FixedHistogramTest, ClampsOutOfRange) {
+  FixedHistogram h(0.0, 10.0, 10);
+  h.Add(-5.0);
+  h.Add(100.0);
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_EQ(h.buckets().front(), 1);
+  EXPECT_EQ(h.buckets().back(), 1);
+}
+
+TEST(FixedHistogramTest, Reset) {
+  FixedHistogram h(0.0, 10.0, 10);
+  h.Add(5.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(SummarizeTest, EmptyInput) {
+  const DistributionSummary s = Summarize({});
+  EXPECT_EQ(s.count, 0);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(SummarizeTest, KnownPercentiles) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(i);
+  const DistributionSummary s = Summarize(v);
+  EXPECT_EQ(s.count, 100);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_NEAR(s.p50, 50.5, 0.01);
+  EXPECT_NEAR(s.p90, 90.1, 0.01);
+  EXPECT_NEAR(s.p99, 99.01, 0.01);
+}
+
+TEST(SummarizeTest, ToStringMentionsFields) {
+  const DistributionSummary s = Summarize({1.0, 2.0, 3.0});
+  const std::string str = s.ToString();
+  EXPECT_NE(str.find("n=3"), std::string::npos);
+  EXPECT_NE(str.find("mean="), std::string::npos);
+  EXPECT_NE(str.find("p99="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace streamq

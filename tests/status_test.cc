@@ -1,0 +1,125 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace streamq {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllFactoryCodes) {
+  EXPECT_EQ(Status::InvalidArgument("m").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("m").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("m").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("m").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("m").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::ResourceExhausted("m").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::Unimplemented("m").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("m").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::IOError("m").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::Cancelled("m").code(), StatusCode::kCancelled);
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kIOError), "IOError");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string(1000, 'x'));
+  ASSERT_TRUE(r.ok());
+  const std::string v = std::move(r).value();
+  EXPECT_EQ(v.size(), 1000u);
+}
+
+TEST(ResultTest, OkStatusIsCoercedToInternalError) {
+  // Constructing a Result from an OK status is a bug; it must not silently
+  // pretend to hold a value.
+  Result<int> r{Status::OK()};
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::OutOfRange("negative");
+  return Status::OK();
+}
+
+Status UseReturnNotOk(int x, int* calls) {
+  STREAMQ_RETURN_NOT_OK(FailIfNegative(x));
+  ++*calls;
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, ReturnNotOkPropagates) {
+  int calls = 0;
+  EXPECT_TRUE(UseReturnNotOk(1, &calls).ok());
+  EXPECT_EQ(calls, 1);
+  const Status s = UseReturnNotOk(-1, &calls);
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(calls, 1);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Status UseAssignOrReturn(int x, int* out) {
+  STREAMQ_ASSIGN_OR_RETURN(*out, Half(x));
+  return Status::OK();
+}
+
+TEST(StatusMacroTest, AssignOrReturn) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_EQ(UseAssignOrReturn(3, &out).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(out, 5);  // Unchanged on error.
+}
+
+}  // namespace
+}  // namespace streamq

@@ -1,0 +1,211 @@
+#include "core/stream_join.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "stream/generator.h"
+#include "tests/test_util.h"
+
+namespace streamq {
+namespace {
+
+using testutil::E;
+
+WindowedStreamJoin::Options Opt(DurationUs window,
+                                DurationUs slack = Seconds(1000)) {
+  WindowedStreamJoin::Options o;
+  o.join_window = window;
+  o.left_handler = DisorderHandlerSpec::FixedK(slack);
+  o.right_handler = DisorderHandlerSpec::FixedK(slack);
+  return o;
+}
+
+/// Interleaves two arrival-ordered streams into the join by arrival time.
+void FeedMerged(WindowedStreamJoin* join, const std::vector<Event>& left,
+                const std::vector<Event>& right) {
+  size_t li = 0, ri = 0;
+  while (li < left.size() || ri < right.size()) {
+    const bool take_left =
+        ri >= right.size() ||
+        (li < left.size() && left[li].arrival_time <= right[ri].arrival_time);
+    if (take_left) {
+      join->FeedLeft(left[li++]);
+    } else {
+      join->FeedRight(right[ri++]);
+    }
+  }
+  join->Finish();
+}
+
+TEST(StreamJoinTest, BasicMatchWithinWindow) {
+  CollectingJoinSink sink;
+  WindowedStreamJoin join(Opt(100), &sink);
+  join.FeedLeft(E(0, 1000, 1000));
+  join.FeedRight(E(1, 1050, 1050));  // 50 apart: match.
+  join.FeedRight(E(2, 1200, 1200));  // 200 apart: no match.
+  join.Finish();
+  ASSERT_EQ(sink.pairs.size(), 1u);
+  EXPECT_EQ(sink.pairs[0].left.id, 0);
+  EXPECT_EQ(sink.pairs[0].right.id, 1);
+}
+
+TEST(StreamJoinTest, WindowBoundaryIsInclusive) {
+  CollectingJoinSink sink;
+  WindowedStreamJoin join(Opt(100), &sink);
+  join.FeedLeft(E(0, 1000, 1000));
+  join.FeedRight(E(1, 1100, 1100));  // Exactly 100 apart.
+  join.FeedRight(E(2, 899, 1101));   // 101 apart: out.
+  join.Finish();
+  ASSERT_EQ(sink.pairs.size(), 1u);
+  EXPECT_EQ(sink.pairs[0].right.id, 1);
+}
+
+TEST(StreamJoinTest, KeysMustMatch) {
+  CollectingJoinSink sink;
+  WindowedStreamJoin join(Opt(100), &sink);
+  join.FeedLeft(E(0, 1000, 1000, /*key=*/1));
+  join.FeedRight(E(1, 1000, 1001, /*key=*/2));
+  join.Finish();
+  EXPECT_TRUE(sink.pairs.empty());
+}
+
+TEST(StreamJoinTest, SymmetricProbing) {
+  // Matches are found regardless of which side arrives first.
+  CollectingJoinSink sink;
+  WindowedStreamJoin join(Opt(100), &sink);
+  join.FeedRight(E(0, 1000, 1000));
+  join.FeedLeft(E(1, 1050, 1050));
+  join.FeedRight(E(2, 1080, 1080));
+  join.Finish();
+  EXPECT_EQ(sink.pairs.size(), 2u);  // (1,0) and (1,2).
+}
+
+TEST(StreamJoinTest, OracleJoinCountTwoPointer) {
+  std::vector<Event> left = {E(0, 100, 0), E(1, 200, 0), E(2, 300, 0)};
+  std::vector<Event> right = {E(3, 150, 0), E(4, 250, 0), E(5, 1000, 0)};
+  // W=60: pairs (100,150),(200,150),(200,250),(300,250) = 4.
+  EXPECT_EQ(OracleJoinCount(left, right, 60), 4);
+  EXPECT_EQ(OracleJoinCount(left, right, 0), 0);
+  EXPECT_EQ(OracleJoinCount(left, right, 10000), 9);
+  EXPECT_EQ(OracleJoinCount({}, right, 100), 0);
+}
+
+TEST(StreamJoinTest, OracleCountIsKeyAware) {
+  std::vector<Event> left = {E(0, 100, 0, 1), E(1, 100, 0, 2)};
+  std::vector<Event> right = {E(2, 100, 0, 1), E(3, 100, 0, 3)};
+  EXPECT_EQ(OracleJoinCount(left, right, 10), 1);
+}
+
+GeneratedWorkload Side(uint64_t seed, int64_t n = 4000) {
+  WorkloadConfig cfg;
+  cfg.num_events = n;
+  cfg.events_per_second = 5000.0;
+  cfg.num_keys = 32;
+  cfg.delay.model = DelayModel::kExponential;
+  cfg.delay.a = 15000.0;
+  cfg.seed = seed;
+  return GenerateWorkload(cfg);
+}
+
+TEST(StreamJoinTest, FullSlackRecoversEveryOraclePair) {
+  const auto l = Side(1), r = Side(2);
+  CountingJoinSink sink;
+  WindowedStreamJoin join(Opt(Millis(5)), &sink);
+  FeedMerged(&join, l.arrival_order, r.arrival_order);
+  const int64_t truth =
+      OracleJoinCount(l.arrival_order, r.arrival_order, Millis(5));
+  EXPECT_EQ(sink.pairs, truth);
+  EXPECT_GT(truth, 100);  // The workload actually joins.
+  EXPECT_EQ(join.stats().pairs_emitted, truth);
+  EXPECT_EQ(join.stats().left_late_dropped, 0);
+  EXPECT_EQ(join.stats().right_late_dropped, 0);
+}
+
+TEST(StreamJoinTest, NoDuplicatePairs) {
+  const auto l = Side(3, 1000), r = Side(4, 1000);
+  CollectingJoinSink sink;
+  WindowedStreamJoin join(Opt(Millis(5)), &sink);
+  FeedMerged(&join, l.arrival_order, r.arrival_order);
+  std::vector<std::pair<int64_t, int64_t>> ids;
+  ids.reserve(sink.pairs.size());
+  for (const JoinedPair& p : sink.pairs) {
+    ids.emplace_back(p.left.id, p.right.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(std::adjacent_find(ids.begin(), ids.end()), ids.end());
+}
+
+TEST(StreamJoinTest, SmallSlackLosesPairs) {
+  const auto l = Side(5), r = Side(6);
+  const int64_t truth =
+      OracleJoinCount(l.arrival_order, r.arrival_order, Millis(5));
+
+  WindowedStreamJoin::Options o = Opt(Millis(5));
+  o.left_handler = DisorderHandlerSpec::FixedK(Millis(2));
+  o.right_handler = DisorderHandlerSpec::FixedK(Millis(2));
+  CountingJoinSink sink;
+  WindowedStreamJoin join(o, &sink);
+  FeedMerged(&join, l.arrival_order, r.arrival_order);
+  EXPECT_LT(sink.pairs, truth);
+  EXPECT_GT(join.stats().left_late_dropped, 0);
+}
+
+TEST(StreamJoinTest, QualityDrivenHandlersApproachTargetSquared) {
+  // Per-side coverage c gives pair recall ~c^2: with q* = 0.97 per side,
+  // recall should be >= ~0.90.
+  const auto l = Side(7, 8000), r = Side(8, 8000);
+  const int64_t truth =
+      OracleJoinCount(l.arrival_order, r.arrival_order, Millis(5));
+
+  WindowedStreamJoin::Options o = Opt(Millis(5));
+  AqKSlack::Options aq;
+  aq.target_quality = 0.97;
+  o.left_handler = DisorderHandlerSpec::Aq(aq);
+  o.right_handler = DisorderHandlerSpec::Aq(aq);
+  CountingJoinSink sink;
+  WindowedStreamJoin join(o, &sink);
+  FeedMerged(&join, l.arrival_order, r.arrival_order);
+  const double recall =
+      static_cast<double>(sink.pairs) / static_cast<double>(truth);
+  EXPECT_GE(recall, 0.88);
+  EXPECT_LE(recall, 1.0);
+}
+
+TEST(StreamJoinTest, EvictionBoundsStoreSize) {
+  // With bounded slack and bounded join window, the store must not grow
+  // with stream length.
+  const auto l = Side(9, 8000), r = Side(10, 8000);
+  WindowedStreamJoin::Options o = Opt(Millis(5), /*slack=*/Millis(50));
+  CountingJoinSink sink;
+  WindowedStreamJoin join(o, &sink);
+  FeedMerged(&join, l.arrival_order, r.arrival_order);
+  // ~5000 events/s per side, horizon = slack + window ~ 55ms -> ~550 tuples
+  // stored; allow generous headroom but forbid O(n).
+  EXPECT_LT(join.stats().max_store_size, 4000);
+}
+
+TEST(StreamJoinTest, ZeroWindowMatchesEqualTimestampsOnly) {
+  CollectingJoinSink sink;
+  WindowedStreamJoin join(Opt(0), &sink);
+  join.FeedLeft(E(0, 1000, 1000));
+  join.FeedRight(E(1, 1000, 1001));
+  join.FeedRight(E(2, 1001, 1002));
+  join.Finish();
+  ASSERT_EQ(sink.pairs.size(), 1u);
+  EXPECT_EQ(sink.pairs[0].right.id, 1);
+}
+
+TEST(StreamJoinTest, StatsCountInputs) {
+  CollectingJoinSink sink;
+  WindowedStreamJoin join(Opt(100), &sink);
+  join.FeedLeft(E(0, 1, 1));
+  join.FeedRight(E(1, 2, 2));
+  join.FeedRight(E(2, 3, 3));
+  join.Finish();
+  EXPECT_EQ(join.stats().left_in, 1);
+  EXPECT_EQ(join.stats().right_in, 2);
+}
+
+}  // namespace
+}  // namespace streamq

@@ -1,0 +1,105 @@
+#include "stream/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "stream/generator.h"
+
+namespace streamq {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(TraceIoTest, RoundTripPreservesEvents) {
+  WorkloadConfig cfg;
+  cfg.num_events = 500;
+  cfg.num_keys = 3;
+  cfg.seed = 5;
+  const GeneratedWorkload w = GenerateWorkload(cfg);
+
+  const std::string path = TempPath("trace_roundtrip.csv");
+  ASSERT_TRUE(SaveTrace(path, w.arrival_order).ok());
+  auto loaded = LoadTrace(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value(), w.arrival_order);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, LoadSortsByArrival) {
+  // Write a trace out of arrival order; LoadTrace must normalize.
+  const std::string path = TempPath("trace_unsorted.csv");
+  {
+    std::ofstream out(path);
+    out << "id,key,event_time,arrival_time,value\n";
+    out << "1,0,200,900,2.5\n";
+    out << "0,0,100,400,1.5\n";
+  }
+  auto loaded = LoadTrace(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), 2u);
+  EXPECT_EQ(loaded.value()[0].id, 0);
+  EXPECT_EQ(loaded.value()[1].id, 1);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, RejectsWrongFieldCount) {
+  const std::string path = TempPath("trace_badfields.csv");
+  {
+    std::ofstream out(path);
+    out << "id,key,event_time,arrival_time,value\n";
+    out << "1,0,200\n";
+  }
+  auto loaded = LoadTrace(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, RejectsNonNumeric) {
+  const std::string path = TempPath("trace_nonnum.csv");
+  {
+    std::ofstream out(path);
+    out << "id,key,event_time,arrival_time,value\n";
+    out << "1,0,abc,900,2.5\n";
+  }
+  auto loaded = LoadTrace(path);
+  ASSERT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, MissingFileFails) {
+  auto loaded = LoadTrace("/nonexistent/streamq_trace.csv");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIOError);
+}
+
+TEST(TraceIoTest, PreservesExactDoubleValues) {
+  Event e;
+  e.id = 0;
+  e.key = 1;
+  e.event_time = 10;
+  e.arrival_time = 20;
+  e.value = 0.1 + 0.2;  // Not exactly representable as short decimal.
+  const std::string path = TempPath("trace_doubles.csv");
+  ASSERT_TRUE(SaveTrace(path, {e}).ok());
+  auto loaded = LoadTrace(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value()[0].value, e.value);  // Bit-exact via %.17g.
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, EmptyTraceRoundTrips) {
+  const std::string path = TempPath("trace_empty.csv");
+  ASSERT_TRUE(SaveTrace(path, {}).ok());
+  auto loaded = LoadTrace(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace streamq

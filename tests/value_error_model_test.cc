@@ -1,0 +1,106 @@
+#include "quality/value_error_model.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/generator.h"
+
+namespace streamq {
+namespace {
+
+GeneratedWorkload SmallWorkload() {
+  WorkloadConfig cfg;
+  cfg.num_events = 4000;
+  cfg.events_per_second = 10000.0;
+  cfg.value.model = ValueModel::kUniform;
+  cfg.value.a = 0.5;
+  cfg.value.b = 1.5;
+  cfg.seed = 7;
+  return GenerateWorkload(cfg);
+}
+
+AggregateSpec Spec(AggKind kind) {
+  AggregateSpec s;
+  s.kind = kind;
+  return s;
+}
+
+GammaFitOptions FastFit() {
+  GammaFitOptions o;
+  o.coverage_grid = {0.6, 0.8, 0.95};
+  o.trials = 2;
+  return o;
+}
+
+TEST(GammaFitTest, SumGammaIsNearOne) {
+  // For sum over positive values, missing a fraction (1-c) of tuples makes
+  // the relative error ~(1-c): quality ~ c, i.e. gamma ~ 1.
+  const auto w = SmallWorkload();
+  const GammaFit fit = FitQualityGamma(w.arrival_order,
+                                       WindowSpec::Tumbling(Millis(20)),
+                                       Spec(AggKind::kSum), FastFit());
+  EXPECT_NEAR(fit.gamma, 1.0, 0.25);
+}
+
+TEST(GammaFitTest, MaxIsMoreRobustThanSum) {
+  const auto w = SmallWorkload();
+  const WindowSpec spec = WindowSpec::Tumbling(Millis(20));
+  const GammaFit sum_fit =
+      FitQualityGamma(w.arrival_order, spec, Spec(AggKind::kSum), FastFit());
+  const GammaFit max_fit =
+      FitQualityGamma(w.arrival_order, spec, Spec(AggKind::kMax), FastFit());
+  EXPECT_LT(max_fit.gamma, sum_fit.gamma * 0.7)
+      << "sum=" << sum_fit.ToString() << " max=" << max_fit.ToString();
+}
+
+TEST(GammaFitTest, CountGammaNearOne) {
+  const auto w = SmallWorkload();
+  const GammaFit fit = FitQualityGamma(w.arrival_order,
+                                       WindowSpec::Tumbling(Millis(20)),
+                                       Spec(AggKind::kCount), FastFit());
+  EXPECT_NEAR(fit.gamma, 1.0, 0.2);
+}
+
+TEST(GammaFitTest, CurveIsMonotoneInCoverage) {
+  const auto w = SmallWorkload();
+  const GammaFit fit = FitQualityGamma(w.arrival_order,
+                                       WindowSpec::Tumbling(Millis(20)),
+                                       Spec(AggKind::kSum), FastFit());
+  ASSERT_EQ(fit.curve.size(), 3u);
+  for (size_t i = 1; i < fit.curve.size(); ++i) {
+    EXPECT_GE(fit.curve[i].mean_quality + 0.02,
+              fit.curve[i - 1].mean_quality);
+  }
+}
+
+TEST(GammaFitTest, FullCoverageIsPerfectQuality) {
+  const auto w = SmallWorkload();
+  GammaFitOptions o;
+  o.coverage_grid = {1.0};
+  o.trials = 1;
+  const GammaFit fit = FitQualityGamma(w.arrival_order,
+                                       WindowSpec::Tumbling(Millis(20)),
+                                       Spec(AggKind::kSum), o);
+  ASSERT_EQ(fit.curve.size(), 1u);
+  EXPECT_DOUBLE_EQ(fit.curve[0].mean_quality, 1.0);
+  EXPECT_DOUBLE_EQ(fit.gamma, 1.0);  // No informative points: default.
+}
+
+TEST(GammaFitTest, DeterministicForSeed) {
+  const auto w = SmallWorkload();
+  const GammaFit a = FitQualityGamma(w.arrival_order,
+                                     WindowSpec::Tumbling(Millis(20)),
+                                     Spec(AggKind::kMean), FastFit());
+  const GammaFit b = FitQualityGamma(w.arrival_order,
+                                     WindowSpec::Tumbling(Millis(20)),
+                                     Spec(AggKind::kMean), FastFit());
+  EXPECT_DOUBLE_EQ(a.gamma, b.gamma);
+}
+
+TEST(GammaFitTest, ToStringHasGamma) {
+  GammaFit fit;
+  fit.gamma = 0.5;
+  EXPECT_NE(fit.ToString().find("gamma=0.500"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace streamq

@@ -1,0 +1,141 @@
+#include "disorder/watermark_reorderer.h"
+
+#include <gtest/gtest.h>
+
+#include "disorder/fixed_kslack.h"
+#include "tests/test_util.h"
+
+namespace streamq {
+namespace {
+
+using testutil::E;
+
+WatermarkReorderer::Options Opt(DurationUs bound, int64_t period,
+                                DurationUs lateness = 0) {
+  WatermarkReorderer::Options o;
+  o.bound = bound;
+  o.period_events = period;
+  o.allowed_lateness = lateness;
+  return o;
+}
+
+TEST(WatermarkReordererTest, ReleasesOnlyAtTicks) {
+  WatermarkReorderer handler(Opt(0, 3));
+  CollectingSink sink;
+  handler.OnEvent(E(0, 100, 100), &sink);
+  handler.OnEvent(E(1, 200, 200), &sink);
+  EXPECT_TRUE(sink.events.empty());  // No tick yet.
+  handler.OnEvent(E(2, 300, 300), &sink);  // Tick: watermark 300.
+  EXPECT_EQ(sink.events.size(), 3u);
+  EXPECT_EQ(sink.watermarks.back(), 300);
+}
+
+TEST(WatermarkReordererTest, PeriodOneMatchesFixedKSlack) {
+  // With per-tuple watermarks and no allowed lateness, the watermark
+  // baseline degenerates to fixed K-slack: identical releases, identical
+  // late diverts.
+  const auto w = testutil::DisorderedWorkload(3000);
+  const DurationUs bound = Millis(15);
+
+  WatermarkReorderer wm(Opt(bound, 1));
+  CollectingSink wm_sink;
+  testutil::RunHandler(&wm, w.arrival_order, &wm_sink);
+
+  FixedKSlack ks(bound);
+  CollectingSink ks_sink;
+  testutil::RunHandler(&ks, w.arrival_order, &ks_sink);
+
+  ASSERT_EQ(wm_sink.events.size(), ks_sink.events.size());
+  for (size_t i = 0; i < wm_sink.events.size(); ++i) {
+    EXPECT_EQ(wm_sink.events[i].id, ks_sink.events[i].id);
+  }
+  EXPECT_EQ(wm.stats().events_late, ks.stats().events_late);
+}
+
+TEST(WatermarkReordererTest, LargerPeriodDelaysReleases) {
+  const auto w = testutil::DisorderedWorkload(5000);
+  double latency_p1, latency_p64;
+  {
+    WatermarkReorderer handler(Opt(Millis(10), 1));
+    CollectingSink sink;
+    testutil::RunHandler(&handler, w.arrival_order, &sink);
+    latency_p1 = handler.stats().buffering_latency_us.mean();
+  }
+  {
+    WatermarkReorderer handler(Opt(Millis(10), 64));
+    CollectingSink sink;
+    testutil::RunHandler(&handler, w.arrival_order, &sink);
+    latency_p64 = handler.stats().buffering_latency_us.mean();
+  }
+  EXPECT_GT(latency_p64, latency_p1);
+}
+
+TEST(WatermarkReordererTest, AllowedLatenessForwardsInsteadOfDropping) {
+  WatermarkReorderer handler(Opt(0, 1, /*lateness=*/Millis(1)));
+  CollectingSink sink;
+  handler.OnEvent(E(0, Millis(10), Millis(10)), &sink);
+  // 0.5ms behind the watermark: forwarded late.
+  handler.OnEvent(E(1, Millis(10) - 500, Millis(11)), &sink);
+  EXPECT_EQ(sink.late_events.size(), 1u);
+  EXPECT_EQ(handler.stats().events_dropped, 0);
+  // 5ms behind: dropped.
+  handler.OnEvent(E(2, Millis(5), Millis(12)), &sink);
+  EXPECT_EQ(sink.late_events.size(), 1u);
+  EXPECT_EQ(handler.stats().events_dropped, 1);
+}
+
+TEST(WatermarkReordererTest, DropsBeyondAllowedLatenessCountedAsLate) {
+  WatermarkReorderer handler(Opt(0, 1, 0));
+  CollectingSink sink;
+  handler.OnEvent(E(0, Millis(10), Millis(10)), &sink);
+  handler.OnEvent(E(1, Millis(1), Millis(11)), &sink);
+  EXPECT_EQ(handler.stats().events_late, 1);
+  EXPECT_EQ(handler.stats().events_dropped, 1);
+  EXPECT_TRUE(sink.late_events.empty());
+  EXPECT_EQ(handler.stats().events_in, 2);
+}
+
+TEST(WatermarkReordererTest, OrderingContractHolds) {
+  for (int64_t period : {int64_t{1}, int64_t{16}, int64_t{256}}) {
+    WatermarkReorderer handler(Opt(Millis(20), period, Millis(5)));
+    testutil::ContractCheckingSink sink;
+    testutil::RunHandler(&handler,
+                         testutil::DisorderedWorkload(3000).arrival_order,
+                         &sink);
+    EXPECT_TRUE(sink.ordered) << period;
+    EXPECT_TRUE(sink.respects_watermark) << period;
+    EXPECT_TRUE(sink.watermarks_monotone) << period;
+  }
+}
+
+TEST(WatermarkReordererTest, FlushDrains) {
+  WatermarkReorderer handler(Opt(Millis(100), 1000));
+  CollectingSink sink;
+  handler.OnEvent(E(0, 100, 100), &sink);
+  handler.Flush(&sink);
+  EXPECT_EQ(sink.events.size(), 1u);
+  EXPECT_EQ(sink.watermarks.back(), kMaxTimestamp);
+}
+
+TEST(WatermarkReordererTest, ConservationWithDrops) {
+  WatermarkReorderer handler(Opt(Millis(2), 8, Millis(1)));
+  CollectingSink sink;
+  const auto w = testutil::DisorderedWorkload(5000);
+  testutil::RunHandler(&handler, w.arrival_order, &sink);
+  EXPECT_EQ(static_cast<int64_t>(sink.events.size() + sink.late_events.size()) +
+                handler.stats().events_dropped,
+            static_cast<int64_t>(w.arrival_order.size()));
+}
+
+TEST(WatermarkReordererTest, RejectsBadOptions) {
+  EXPECT_DEATH(WatermarkReorderer handler(Opt(-1, 1)), "Check failed");
+  EXPECT_DEATH(WatermarkReorderer handler(Opt(0, 0)), "Check failed");
+}
+
+TEST(WatermarkReordererTest, Name) {
+  WatermarkReorderer handler(Opt(0, 1));
+  EXPECT_EQ(handler.name(), "watermark");
+}
+
+}  // namespace
+}  // namespace streamq

@@ -1,0 +1,149 @@
+#include "window/window.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace streamq {
+namespace {
+
+TEST(WindowSpecTest, Factories) {
+  const WindowSpec t = WindowSpec::Tumbling(Seconds(5));
+  EXPECT_TRUE(t.IsTumbling());
+  EXPECT_EQ(t.size, Seconds(5));
+  EXPECT_EQ(t.slide, Seconds(5));
+
+  const WindowSpec s = WindowSpec::Sliding(Seconds(10), Seconds(2));
+  EXPECT_FALSE(s.IsTumbling());
+}
+
+TEST(WindowSpecTest, Validation) {
+  EXPECT_TRUE(WindowSpec::Tumbling(1).Validate().ok());
+  EXPECT_FALSE((WindowSpec{0, 1}).Validate().ok());
+  EXPECT_FALSE((WindowSpec{1, 0}).Validate().ok());
+  EXPECT_FALSE((WindowSpec{-5, 5}).Validate().ok());
+}
+
+TEST(WindowSpecTest, Describe) {
+  EXPECT_NE(WindowSpec::Tumbling(Seconds(1)).Describe().find("tumbling"),
+            std::string::npos);
+  EXPECT_NE(
+      WindowSpec::Sliding(Seconds(2), Seconds(1)).Describe().find("sliding"),
+      std::string::npos);
+}
+
+TEST(WindowBoundsTest, ContainsIsHalfOpen) {
+  const WindowBounds w{100, 200};
+  EXPECT_TRUE(w.Contains(100));
+  EXPECT_TRUE(w.Contains(199));
+  EXPECT_FALSE(w.Contains(200));
+  EXPECT_FALSE(w.Contains(99));
+  EXPECT_EQ(w.length(), 100);
+}
+
+TEST(AssignWindowsTest, TumblingAssignsExactlyOne) {
+  const WindowSpec spec = WindowSpec::Tumbling(100);
+  for (TimestampUs ts : {0, 1, 50, 99, 100, 101, 999}) {
+    const auto windows = AssignWindows(spec, ts);
+    ASSERT_EQ(windows.size(), 1u) << "ts=" << ts;
+    EXPECT_TRUE(windows[0].Contains(ts));
+    EXPECT_EQ(windows[0].start % 100, 0);
+  }
+}
+
+TEST(AssignWindowsTest, TumblingBoundaries) {
+  const WindowSpec spec = WindowSpec::Tumbling(100);
+  EXPECT_EQ(AssignWindows(spec, 0)[0], (WindowBounds{0, 100}));
+  EXPECT_EQ(AssignWindows(spec, 99)[0], (WindowBounds{0, 100}));
+  EXPECT_EQ(AssignWindows(spec, 100)[0], (WindowBounds{100, 200}));
+}
+
+TEST(AssignWindowsTest, SlidingAssignsSizeOverSlideWindows) {
+  const WindowSpec spec = WindowSpec::Sliding(100, 25);
+  const auto windows = AssignWindows(spec, 110);
+  ASSERT_EQ(windows.size(), 4u);  // size/slide = 4.
+  // Earliest-first, each contains ts, consecutive starts differ by slide.
+  for (size_t i = 0; i < windows.size(); ++i) {
+    EXPECT_TRUE(windows[i].Contains(110));
+    if (i > 0) {
+      EXPECT_EQ(windows[i].start - windows[i - 1].start, 25);
+    }
+  }
+  EXPECT_EQ(windows.front().start, 25);
+  EXPECT_EQ(windows.back().start, 100);
+}
+
+TEST(AssignWindowsTest, NegativeTimestamps) {
+  const WindowSpec spec = WindowSpec::Tumbling(100);
+  const auto windows = AssignWindows(spec, -1);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0], (WindowBounds{-100, 0}));
+  EXPECT_TRUE(windows[0].Contains(-1));
+}
+
+TEST(AssignWindowsTest, SamplingWindowsMayBeEmpty) {
+  // slide > size: gaps between windows.
+  const WindowSpec spec{/*size=*/10, /*slide=*/100};
+  EXPECT_EQ(AssignWindows(spec, 5).size(), 1u);
+  EXPECT_TRUE(AssignWindows(spec, 50).empty());
+}
+
+TEST(AssignWindowsTest, PropertyEveryAssignedWindowContainsTs) {
+  Rng rng(55);
+  const WindowSpec specs[] = {
+      WindowSpec::Tumbling(1000), WindowSpec::Sliding(1000, 100),
+      WindowSpec::Sliding(999, 100), WindowSpec::Sliding(7, 3)};
+  for (const WindowSpec& spec : specs) {
+    for (int i = 0; i < 2000; ++i) {
+      const TimestampUs ts = rng.NextInt(-100000, 100000);
+      const auto windows = AssignWindows(spec, ts);
+      const size_t expected =
+          spec.slide >= spec.size
+              ? windows.size()  // 0 or 1, checked below.
+              : static_cast<size_t>((spec.size + spec.slide - 1) / spec.slide);
+      if (spec.slide < spec.size) {
+        // Number of covering windows is ceil(size/slide) or one less.
+        EXPECT_GE(windows.size(), expected - 1);
+        EXPECT_LE(windows.size(), expected);
+      } else {
+        EXPECT_LE(windows.size(), 1u);
+      }
+      for (const WindowBounds& w : windows) {
+        EXPECT_TRUE(w.Contains(ts))
+            << spec.Describe() << " ts=" << ts << " w=" << w.ToString();
+        EXPECT_EQ(w.length(), spec.size);
+        // Start is aligned to slide.
+        EXPECT_EQ(((w.start % spec.slide) + spec.slide) % spec.slide, 0);
+      }
+      // Earliest-first and distinct.
+      for (size_t j = 1; j < windows.size(); ++j) {
+        EXPECT_LT(windows[j - 1].start, windows[j].start);
+      }
+    }
+  }
+}
+
+TEST(FirstWindowStartTest, MatchesAssignWindows) {
+  Rng rng(56);
+  const WindowSpec spec = WindowSpec::Sliding(1000, 300);
+  for (int i = 0; i < 2000; ++i) {
+    const TimestampUs ts = rng.NextInt(-50000, 50000);
+    const auto windows = AssignWindows(spec, ts);
+    ASSERT_FALSE(windows.empty());
+    EXPECT_EQ(FirstWindowStart(spec, ts), windows.front().start);
+  }
+}
+
+TEST(WindowResultTest, ToStringHasFields) {
+  WindowResult r;
+  r.bounds = {0, 100};
+  r.key = 3;
+  r.value = 1.5;
+  r.tuple_count = 7;
+  const std::string s = r.ToString();
+  EXPECT_NE(s.find("key=3"), std::string::npos);
+  EXPECT_NE(s.find("n=7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace streamq
