@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f10_per_aggregate.dir/bench_f10_per_aggregate.cc.o"
+  "CMakeFiles/bench_f10_per_aggregate.dir/bench_f10_per_aggregate.cc.o.d"
+  "bench_f10_per_aggregate"
+  "bench_f10_per_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f10_per_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f11_join.dir/bench_f11_join.cc.o"
+  "CMakeFiles/bench_f11_join.dir/bench_f11_join.cc.o.d"
+  "bench_f11_join"
+  "bench_f11_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f11_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f12_sharing.dir/bench_f12_sharing.cc.o"
+  "CMakeFiles/bench_f12_sharing.dir/bench_f12_sharing.cc.o.d"
+  "bench_f12_sharing"
+  "bench_f12_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f12_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f15_keyed.dir/bench_f15_keyed.cc.o"
+  "CMakeFiles/bench_f15_keyed.dir/bench_f15_keyed.cc.o.d"
+  "bench_f15_keyed"
+  "bench_f15_keyed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f15_keyed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_adaptation.dir/bench_f5_adaptation.cc.o"
+  "CMakeFiles/bench_f5_adaptation.dir/bench_f5_adaptation.cc.o.d"
+  "bench_f5_adaptation"
+  "bench_f5_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

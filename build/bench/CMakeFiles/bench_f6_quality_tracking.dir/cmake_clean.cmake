@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_quality_tracking.dir/bench_f6_quality_tracking.cc.o"
+  "CMakeFiles/bench_f6_quality_tracking.dir/bench_f6_quality_tracking.cc.o.d"
+  "bench_f6_quality_tracking"
+  "bench_f6_quality_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_quality_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

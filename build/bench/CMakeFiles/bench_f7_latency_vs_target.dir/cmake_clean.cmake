@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f7_latency_vs_target.dir/bench_f7_latency_vs_target.cc.o"
+  "CMakeFiles/bench_f7_latency_vs_target.dir/bench_f7_latency_vs_target.cc.o.d"
+  "bench_f7_latency_vs_target"
+  "bench_f7_latency_vs_target.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f7_latency_vs_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

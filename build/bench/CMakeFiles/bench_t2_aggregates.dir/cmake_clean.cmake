@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t2_aggregates.dir/bench_t2_aggregates.cc.o"
+  "CMakeFiles/bench_t2_aggregates.dir/bench_t2_aggregates.cc.o.d"
+  "bench_t2_aggregates"
+  "bench_t2_aggregates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t2_aggregates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

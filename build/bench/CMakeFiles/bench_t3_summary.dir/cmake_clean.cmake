@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_t3_summary.dir/bench_t3_summary.cc.o"
+  "CMakeFiles/bench_t3_summary.dir/bench_t3_summary.cc.o.d"
+  "bench_t3_summary"
+  "bench_t3_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_t3_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamq_cli.dir/streamq_cli.cc.o"
+  "CMakeFiles/streamq_cli.dir/streamq_cli.cc.o.d"
+  "streamq_cli"
+  "streamq_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamq_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

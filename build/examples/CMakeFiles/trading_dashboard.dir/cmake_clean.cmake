@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trading_dashboard.dir/trading_dashboard.cc.o"
+  "CMakeFiles/trading_dashboard.dir/trading_dashboard.cc.o.d"
+  "trading_dashboard"
+  "trading_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trading_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_sessions.dir/user_sessions.cc.o"
+  "CMakeFiles/user_sessions.dir/user_sessions.cc.o.d"
+  "user_sessions"
+  "user_sessions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_sessions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

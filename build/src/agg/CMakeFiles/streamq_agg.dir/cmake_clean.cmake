@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamq_agg.dir/aggregate.cc.o"
+  "CMakeFiles/streamq_agg.dir/aggregate.cc.o.d"
+  "libstreamq_agg.a"
+  "libstreamq_agg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamq_agg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamq_common.dir/csv.cc.o"
+  "CMakeFiles/streamq_common.dir/csv.cc.o.d"
+  "CMakeFiles/streamq_common.dir/logging.cc.o"
+  "CMakeFiles/streamq_common.dir/logging.cc.o.d"
+  "CMakeFiles/streamq_common.dir/metrics.cc.o"
+  "CMakeFiles/streamq_common.dir/metrics.cc.o.d"
+  "CMakeFiles/streamq_common.dir/rng.cc.o"
+  "CMakeFiles/streamq_common.dir/rng.cc.o.d"
+  "CMakeFiles/streamq_common.dir/stats.cc.o"
+  "CMakeFiles/streamq_common.dir/stats.cc.o.d"
+  "CMakeFiles/streamq_common.dir/status.cc.o"
+  "CMakeFiles/streamq_common.dir/status.cc.o.d"
+  "CMakeFiles/streamq_common.dir/table_writer.cc.o"
+  "CMakeFiles/streamq_common.dir/table_writer.cc.o.d"
+  "CMakeFiles/streamq_common.dir/time.cc.o"
+  "CMakeFiles/streamq_common.dir/time.cc.o.d"
+  "libstreamq_common.a"
+  "libstreamq_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamq_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamq_control.dir/pi_controller.cc.o"
+  "CMakeFiles/streamq_control.dir/pi_controller.cc.o.d"
+  "libstreamq_control.a"
+  "libstreamq_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamq_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

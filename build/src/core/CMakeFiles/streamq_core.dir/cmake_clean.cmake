@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamq_core.dir/continuous_query.cc.o"
+  "CMakeFiles/streamq_core.dir/continuous_query.cc.o.d"
+  "CMakeFiles/streamq_core.dir/executor.cc.o"
+  "CMakeFiles/streamq_core.dir/executor.cc.o.d"
+  "CMakeFiles/streamq_core.dir/multi_query.cc.o"
+  "CMakeFiles/streamq_core.dir/multi_query.cc.o.d"
+  "CMakeFiles/streamq_core.dir/stream_join.cc.o"
+  "CMakeFiles/streamq_core.dir/stream_join.cc.o.d"
+  "libstreamq_core.a"
+  "libstreamq_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamq_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

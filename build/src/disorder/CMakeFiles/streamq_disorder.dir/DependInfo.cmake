@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/disorder/aq_kslack.cc" "src/disorder/CMakeFiles/streamq_disorder.dir/aq_kslack.cc.o" "gcc" "src/disorder/CMakeFiles/streamq_disorder.dir/aq_kslack.cc.o.d"
+  "/root/repo/src/disorder/buffered_handler_base.cc" "src/disorder/CMakeFiles/streamq_disorder.dir/buffered_handler_base.cc.o" "gcc" "src/disorder/CMakeFiles/streamq_disorder.dir/buffered_handler_base.cc.o.d"
+  "/root/repo/src/disorder/disorder_handler.cc" "src/disorder/CMakeFiles/streamq_disorder.dir/disorder_handler.cc.o" "gcc" "src/disorder/CMakeFiles/streamq_disorder.dir/disorder_handler.cc.o.d"
+  "/root/repo/src/disorder/fixed_kslack.cc" "src/disorder/CMakeFiles/streamq_disorder.dir/fixed_kslack.cc.o" "gcc" "src/disorder/CMakeFiles/streamq_disorder.dir/fixed_kslack.cc.o.d"
+  "/root/repo/src/disorder/handler_factory.cc" "src/disorder/CMakeFiles/streamq_disorder.dir/handler_factory.cc.o" "gcc" "src/disorder/CMakeFiles/streamq_disorder.dir/handler_factory.cc.o.d"
+  "/root/repo/src/disorder/keyed_handler.cc" "src/disorder/CMakeFiles/streamq_disorder.dir/keyed_handler.cc.o" "gcc" "src/disorder/CMakeFiles/streamq_disorder.dir/keyed_handler.cc.o.d"
+  "/root/repo/src/disorder/lb_kslack.cc" "src/disorder/CMakeFiles/streamq_disorder.dir/lb_kslack.cc.o" "gcc" "src/disorder/CMakeFiles/streamq_disorder.dir/lb_kslack.cc.o.d"
+  "/root/repo/src/disorder/mp_kslack.cc" "src/disorder/CMakeFiles/streamq_disorder.dir/mp_kslack.cc.o" "gcc" "src/disorder/CMakeFiles/streamq_disorder.dir/mp_kslack.cc.o.d"
+  "/root/repo/src/disorder/pass_through.cc" "src/disorder/CMakeFiles/streamq_disorder.dir/pass_through.cc.o" "gcc" "src/disorder/CMakeFiles/streamq_disorder.dir/pass_through.cc.o.d"
+  "/root/repo/src/disorder/quality_model.cc" "src/disorder/CMakeFiles/streamq_disorder.dir/quality_model.cc.o" "gcc" "src/disorder/CMakeFiles/streamq_disorder.dir/quality_model.cc.o.d"
+  "/root/repo/src/disorder/reorder_buffer.cc" "src/disorder/CMakeFiles/streamq_disorder.dir/reorder_buffer.cc.o" "gcc" "src/disorder/CMakeFiles/streamq_disorder.dir/reorder_buffer.cc.o.d"
+  "/root/repo/src/disorder/watermark_reorderer.cc" "src/disorder/CMakeFiles/streamq_disorder.dir/watermark_reorderer.cc.o" "gcc" "src/disorder/CMakeFiles/streamq_disorder.dir/watermark_reorderer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/streamq_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/streamq_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/streamq_stream.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamq_disorder.dir/aq_kslack.cc.o"
+  "CMakeFiles/streamq_disorder.dir/aq_kslack.cc.o.d"
+  "CMakeFiles/streamq_disorder.dir/buffered_handler_base.cc.o"
+  "CMakeFiles/streamq_disorder.dir/buffered_handler_base.cc.o.d"
+  "CMakeFiles/streamq_disorder.dir/disorder_handler.cc.o"
+  "CMakeFiles/streamq_disorder.dir/disorder_handler.cc.o.d"
+  "CMakeFiles/streamq_disorder.dir/fixed_kslack.cc.o"
+  "CMakeFiles/streamq_disorder.dir/fixed_kslack.cc.o.d"
+  "CMakeFiles/streamq_disorder.dir/handler_factory.cc.o"
+  "CMakeFiles/streamq_disorder.dir/handler_factory.cc.o.d"
+  "CMakeFiles/streamq_disorder.dir/keyed_handler.cc.o"
+  "CMakeFiles/streamq_disorder.dir/keyed_handler.cc.o.d"
+  "CMakeFiles/streamq_disorder.dir/lb_kslack.cc.o"
+  "CMakeFiles/streamq_disorder.dir/lb_kslack.cc.o.d"
+  "CMakeFiles/streamq_disorder.dir/mp_kslack.cc.o"
+  "CMakeFiles/streamq_disorder.dir/mp_kslack.cc.o.d"
+  "CMakeFiles/streamq_disorder.dir/pass_through.cc.o"
+  "CMakeFiles/streamq_disorder.dir/pass_through.cc.o.d"
+  "CMakeFiles/streamq_disorder.dir/quality_model.cc.o"
+  "CMakeFiles/streamq_disorder.dir/quality_model.cc.o.d"
+  "CMakeFiles/streamq_disorder.dir/reorder_buffer.cc.o"
+  "CMakeFiles/streamq_disorder.dir/reorder_buffer.cc.o.d"
+  "CMakeFiles/streamq_disorder.dir/watermark_reorderer.cc.o"
+  "CMakeFiles/streamq_disorder.dir/watermark_reorderer.cc.o.d"
+  "libstreamq_disorder.a"
+  "libstreamq_disorder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamq_disorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamq_quality.dir/oracle.cc.o"
+  "CMakeFiles/streamq_quality.dir/oracle.cc.o.d"
+  "CMakeFiles/streamq_quality.dir/quality_metrics.cc.o"
+  "CMakeFiles/streamq_quality.dir/quality_metrics.cc.o.d"
+  "CMakeFiles/streamq_quality.dir/value_error_model.cc.o"
+  "CMakeFiles/streamq_quality.dir/value_error_model.cc.o.d"
+  "libstreamq_quality.a"
+  "libstreamq_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamq_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

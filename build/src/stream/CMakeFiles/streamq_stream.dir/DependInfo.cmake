@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/disorder_metrics.cc" "src/stream/CMakeFiles/streamq_stream.dir/disorder_metrics.cc.o" "gcc" "src/stream/CMakeFiles/streamq_stream.dir/disorder_metrics.cc.o.d"
+  "/root/repo/src/stream/event.cc" "src/stream/CMakeFiles/streamq_stream.dir/event.cc.o" "gcc" "src/stream/CMakeFiles/streamq_stream.dir/event.cc.o.d"
+  "/root/repo/src/stream/generator.cc" "src/stream/CMakeFiles/streamq_stream.dir/generator.cc.o" "gcc" "src/stream/CMakeFiles/streamq_stream.dir/generator.cc.o.d"
+  "/root/repo/src/stream/source.cc" "src/stream/CMakeFiles/streamq_stream.dir/source.cc.o" "gcc" "src/stream/CMakeFiles/streamq_stream.dir/source.cc.o.d"
+  "/root/repo/src/stream/trace_io.cc" "src/stream/CMakeFiles/streamq_stream.dir/trace_io.cc.o" "gcc" "src/stream/CMakeFiles/streamq_stream.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/streamq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamq_stream.dir/disorder_metrics.cc.o"
+  "CMakeFiles/streamq_stream.dir/disorder_metrics.cc.o.d"
+  "CMakeFiles/streamq_stream.dir/event.cc.o"
+  "CMakeFiles/streamq_stream.dir/event.cc.o.d"
+  "CMakeFiles/streamq_stream.dir/generator.cc.o"
+  "CMakeFiles/streamq_stream.dir/generator.cc.o.d"
+  "CMakeFiles/streamq_stream.dir/source.cc.o"
+  "CMakeFiles/streamq_stream.dir/source.cc.o.d"
+  "CMakeFiles/streamq_stream.dir/trace_io.cc.o"
+  "CMakeFiles/streamq_stream.dir/trace_io.cc.o.d"
+  "libstreamq_stream.a"
+  "libstreamq_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamq_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

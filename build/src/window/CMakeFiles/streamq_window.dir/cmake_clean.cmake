@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streamq_window.dir/paned_window_operator.cc.o"
+  "CMakeFiles/streamq_window.dir/paned_window_operator.cc.o.d"
+  "CMakeFiles/streamq_window.dir/session_window_operator.cc.o"
+  "CMakeFiles/streamq_window.dir/session_window_operator.cc.o.d"
+  "CMakeFiles/streamq_window.dir/window.cc.o"
+  "CMakeFiles/streamq_window.dir/window.cc.o.d"
+  "CMakeFiles/streamq_window.dir/window_operator.cc.o"
+  "CMakeFiles/streamq_window.dir/window_operator.cc.o.d"
+  "libstreamq_window.a"
+  "libstreamq_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streamq_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aq_kslack_test.dir/aq_kslack_test.cc.o"
+  "CMakeFiles/aq_kslack_test.dir/aq_kslack_test.cc.o.d"
+  "aq_kslack_test"
+  "aq_kslack_test.pdb"
+  "aq_kslack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aq_kslack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

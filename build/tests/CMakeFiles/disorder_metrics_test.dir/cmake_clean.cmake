@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disorder_metrics_test.dir/disorder_metrics_test.cc.o"
+  "CMakeFiles/disorder_metrics_test.dir/disorder_metrics_test.cc.o.d"
+  "disorder_metrics_test"
+  "disorder_metrics_test.pdb"
+  "disorder_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disorder_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

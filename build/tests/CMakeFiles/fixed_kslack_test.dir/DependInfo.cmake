@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fixed_kslack_test.cc" "tests/CMakeFiles/fixed_kslack_test.dir/fixed_kslack_test.cc.o" "gcc" "tests/CMakeFiles/fixed_kslack_test.dir/fixed_kslack_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/streamq_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/quality/CMakeFiles/streamq_quality.dir/DependInfo.cmake"
+  "/root/repo/build/src/window/CMakeFiles/streamq_window.dir/DependInfo.cmake"
+  "/root/repo/build/src/disorder/CMakeFiles/streamq_disorder.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/streamq_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/agg/CMakeFiles/streamq_agg.dir/DependInfo.cmake"
+  "/root/repo/build/src/control/CMakeFiles/streamq_control.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/streamq_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

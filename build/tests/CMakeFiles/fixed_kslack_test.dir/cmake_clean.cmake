@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fixed_kslack_test.dir/fixed_kslack_test.cc.o"
+  "CMakeFiles/fixed_kslack_test.dir/fixed_kslack_test.cc.o.d"
+  "fixed_kslack_test"
+  "fixed_kslack_test.pdb"
+  "fixed_kslack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fixed_kslack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

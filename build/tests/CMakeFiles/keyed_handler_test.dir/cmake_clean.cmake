@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyed_handler_test.dir/keyed_handler_test.cc.o"
+  "CMakeFiles/keyed_handler_test.dir/keyed_handler_test.cc.o.d"
+  "keyed_handler_test"
+  "keyed_handler_test.pdb"
+  "keyed_handler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyed_handler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyed_watermark_window_test.dir/keyed_watermark_window_test.cc.o"
+  "CMakeFiles/keyed_watermark_window_test.dir/keyed_watermark_window_test.cc.o.d"
+  "keyed_watermark_window_test"
+  "keyed_watermark_window_test.pdb"
+  "keyed_watermark_window_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyed_watermark_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

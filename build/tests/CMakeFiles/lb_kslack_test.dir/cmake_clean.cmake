@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lb_kslack_test.dir/lb_kslack_test.cc.o"
+  "CMakeFiles/lb_kslack_test.dir/lb_kslack_test.cc.o.d"
+  "lb_kslack_test"
+  "lb_kslack_test.pdb"
+  "lb_kslack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lb_kslack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

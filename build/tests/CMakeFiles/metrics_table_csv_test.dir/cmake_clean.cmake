@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_table_csv_test.dir/metrics_table_csv_test.cc.o"
+  "CMakeFiles/metrics_table_csv_test.dir/metrics_table_csv_test.cc.o.d"
+  "metrics_table_csv_test"
+  "metrics_table_csv_test.pdb"
+  "metrics_table_csv_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_table_csv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

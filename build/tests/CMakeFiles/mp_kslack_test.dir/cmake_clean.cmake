@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mp_kslack_test.dir/mp_kslack_test.cc.o"
+  "CMakeFiles/mp_kslack_test.dir/mp_kslack_test.cc.o.d"
+  "mp_kslack_test"
+  "mp_kslack_test.pdb"
+  "mp_kslack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mp_kslack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

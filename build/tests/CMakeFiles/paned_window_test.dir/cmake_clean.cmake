@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paned_window_test.dir/paned_window_test.cc.o"
+  "CMakeFiles/paned_window_test.dir/paned_window_test.cc.o.d"
+  "paned_window_test"
+  "paned_window_test.pdb"
+  "paned_window_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paned_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

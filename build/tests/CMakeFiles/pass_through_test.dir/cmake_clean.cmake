@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pass_through_test.dir/pass_through_test.cc.o"
+  "CMakeFiles/pass_through_test.dir/pass_through_test.cc.o.d"
+  "pass_through_test"
+  "pass_through_test.pdb"
+  "pass_through_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pass_through_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

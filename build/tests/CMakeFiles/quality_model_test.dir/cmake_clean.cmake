@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quality_model_test.dir/quality_model_test.cc.o"
+  "CMakeFiles/quality_model_test.dir/quality_model_test.cc.o.d"
+  "quality_model_test"
+  "quality_model_test.pdb"
+  "quality_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quality_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_window_test.dir/session_window_test.cc.o"
+  "CMakeFiles/session_window_test.dir/session_window_test.cc.o.d"
+  "session_window_test"
+  "session_window_test.pdb"
+  "session_window_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

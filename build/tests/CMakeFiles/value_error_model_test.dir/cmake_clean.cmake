@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/value_error_model_test.dir/value_error_model_test.cc.o"
+  "CMakeFiles/value_error_model_test.dir/value_error_model_test.cc.o.d"
+  "value_error_model_test"
+  "value_error_model_test.pdb"
+  "value_error_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/value_error_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

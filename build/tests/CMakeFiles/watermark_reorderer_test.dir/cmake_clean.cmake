@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/watermark_reorderer_test.dir/watermark_reorderer_test.cc.o"
+  "CMakeFiles/watermark_reorderer_test.dir/watermark_reorderer_test.cc.o.d"
+  "watermark_reorderer_test"
+  "watermark_reorderer_test.pdb"
+  "watermark_reorderer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/watermark_reorderer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
