@@ -36,6 +36,11 @@ void QueryExecutor::Feed(const Event& e) {
   handler_->OnEvent(e, window_op_.get());
 }
 
+void QueryExecutor::FeedBatch(std::span<const Event> batch) {
+  events_processed_ += static_cast<int64_t>(batch.size());
+  handler_->OnBatch(batch, window_op_.get());
+}
+
 void QueryExecutor::FeedHeartbeat(TimestampUs event_time_bound,
                                   TimestampUs stream_time) {
   handler_->OnHeartbeat(event_time_bound, stream_time, window_op_.get());
@@ -43,11 +48,20 @@ void QueryExecutor::FeedHeartbeat(TimestampUs event_time_bound,
 
 void QueryExecutor::Finish() { handler_->Flush(window_op_.get()); }
 
-RunReport QueryExecutor::Run(EventSource* source) {
+RunReport QueryExecutor::Run(EventSource* source, size_t batch_size) {
   const TimestampUs start = WallClockMicros();
-  Event e;
-  while (source->Next(&e)) {
-    Feed(e);
+  if (batch_size == 0) {
+    Event e;
+    while (source->Next(&e)) {
+      Feed(e);
+    }
+  } else {
+    std::vector<Event> chunk;
+    chunk.reserve(batch_size);
+    while (source->NextBatch(&chunk, batch_size) > 0) {
+      FeedBatch(chunk);
+      chunk.clear();
+    }
   }
   Finish();
   wall_seconds_ = ToSeconds(WallClockMicros() - start);

@@ -1,7 +1,9 @@
 #ifndef STREAMQ_CORE_EXECUTOR_H_
 #define STREAMQ_CORE_EXECUTOR_H_
 
+#include <cstddef>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -45,6 +47,12 @@ class QueryExecutor {
   /// Processes one arrival.
   void Feed(const Event& e);
 
+  /// Processes a chunk of consecutive arrivals (arrival order). Semantically
+  /// identical to calling Feed() on each element in order, but routes through
+  /// DisorderHandler::OnBatch so per-tuple virtual dispatch and buffer churn
+  /// are amortized across the chunk.
+  void FeedBatch(std::span<const Event> batch);
+
   /// Injects a source heartbeat: no future tuple will carry event_time <
   /// `event_time_bound`. Drains buffers / closes windows during idle gaps.
   void FeedHeartbeat(TimestampUs event_time_bound, TimestampUs stream_time);
@@ -52,8 +60,14 @@ class QueryExecutor {
   /// Ends the stream: drains buffers, fires and purges remaining windows.
   void Finish();
 
+  /// Chunk size used by Run(): large enough to amortize dispatch, small
+  /// enough to stay cache-resident (512 events * 40 B = 20 KiB).
+  static constexpr size_t kDefaultRunBatchSize = 512;
+
   /// Feed-everything convenience; calls Finish() and returns the report.
-  RunReport Run(EventSource* source);
+  /// Pulls `batch_size` events at a time through FeedBatch; pass 0 for the
+  /// legacy one-event-at-a-time loop.
+  RunReport Run(EventSource* source, size_t batch_size = kDefaultRunBatchSize);
 
   /// Results collected so far (also included in the RunReport).
   const std::vector<WindowResult>& results() const {

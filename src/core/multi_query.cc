@@ -16,6 +16,9 @@ class FanOutSink : public EventSink {
   void OnEvent(const Event& e) override {
     for (EventSink* s : sinks_) s->OnEvent(e);
   }
+  void OnEvents(std::span<const Event> events) override {
+    for (EventSink* s : sinks_) s->OnEvents(events);
+  }
   void OnWatermark(TimestampUs watermark, TimestampUs stream_time) override {
     for (EventSink* s : sinks_) s->OnWatermark(watermark, stream_time);
   }
@@ -61,9 +64,11 @@ std::vector<RunReport> MultiQueryRunner::RunIndependent(EventSource* source) {
     executors.push_back(std::make_unique<QueryExecutor>(q));
   }
   const TimestampUs start = WallClockMicros();
-  Event e;
-  while (source->Next(&e)) {
-    for (auto& exec : executors) exec->Feed(e);
+  std::vector<Event> chunk;
+  chunk.reserve(QueryExecutor::kDefaultRunBatchSize);
+  while (source->NextBatch(&chunk, QueryExecutor::kDefaultRunBatchSize) > 0) {
+    for (auto& exec : executors) exec->FeedBatch(chunk);
+    chunk.clear();
   }
   for (auto& exec : executors) exec->Finish();
   const double wall_seconds = ToSeconds(WallClockMicros() - start);
@@ -100,10 +105,12 @@ std::vector<RunReport> MultiQueryRunner::RunShared(EventSource* source) {
 
   const TimestampUs start = WallClockMicros();
   int64_t events = 0;
-  Event e;
-  while (source->Next(&e)) {
-    ++events;
-    handler->OnEvent(e, &fan);
+  std::vector<Event> chunk;
+  chunk.reserve(QueryExecutor::kDefaultRunBatchSize);
+  while (source->NextBatch(&chunk, QueryExecutor::kDefaultRunBatchSize) > 0) {
+    events += static_cast<int64_t>(chunk.size());
+    handler->OnBatch(chunk, &fan);
+    chunk.clear();
   }
   handler->Flush(&fan);
   const double wall_seconds = ToSeconds(WallClockMicros() - start);

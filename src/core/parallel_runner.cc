@@ -1,0 +1,197 @@
+#include "core/parallel_runner.h"
+
+#include <algorithm>
+#include <thread>
+#include <tuple>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/time.h"
+#include "core/spsc_queue.h"
+#include "stream/event.h"
+
+namespace streamq {
+
+namespace {
+
+/// One batch crossing a thread boundary. Shared because the independent
+/// runner publishes the same batch to every worker; nullptr is the
+/// end-of-stream sentinel.
+using BatchPtr = std::shared_ptr<const std::vector<Event>>;
+using BatchQueue = SpscQueue<BatchPtr>;
+
+}  // namespace
+
+void ParallelMultiQueryRunner::AddQuery(const ContinuousQuery& query) {
+  STREAMQ_CHECK_OK(query.Validate());
+  queries_.push_back(query);
+}
+
+std::vector<RunReport> ParallelMultiQueryRunner::Run(EventSource* source) {
+  STREAMQ_CHECK(!queries_.empty()) << "no queries added";
+  const size_t n = queries_.size();
+
+  std::vector<std::unique_ptr<QueryExecutor>> executors;
+  std::vector<std::unique_ptr<BatchQueue>> queues;
+  executors.reserve(n);
+  queues.reserve(n);
+  for (const ContinuousQuery& q : queries_) {
+    executors.push_back(std::make_unique<QueryExecutor>(q));
+    queues.push_back(std::make_unique<BatchQueue>(options_.queue_capacity));
+  }
+
+  const TimestampUs start = WallClockMicros();
+
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers.emplace_back([exec = executors[i].get(), q = queues[i].get()] {
+      while (BatchPtr batch = q->Pop()) {
+        exec->FeedBatch(*batch);
+      }
+      exec->Finish();
+    });
+  }
+
+  // Driver: pull arrival-ordered batches and publish each to every worker.
+  std::vector<Event> chunk;
+  chunk.reserve(options_.batch_size);
+  while (source->NextBatch(&chunk, options_.batch_size) > 0) {
+    auto batch = std::make_shared<const std::vector<Event>>(std::move(chunk));
+    for (auto& q : queues) q->Push(batch);
+    chunk = std::vector<Event>();
+    chunk.reserve(options_.batch_size);
+  }
+  for (auto& q : queues) q->Push(nullptr);  // End of stream.
+  for (std::thread& t : workers) t.join();
+
+  const double wall_seconds = ToSeconds(WallClockMicros() - start);
+
+  std::vector<RunReport> reports;
+  reports.reserve(n);
+  for (auto& exec : executors) {
+    RunReport r = exec->Report();
+    // Workers do not time themselves; charge the shared parallel wall time.
+    r.wall_seconds = wall_seconds;
+    r.throughput_eps =
+        wall_seconds > 0.0
+            ? static_cast<double>(r.events_processed) / wall_seconds
+            : 0.0;
+    reports.push_back(std::move(r));
+  }
+  return reports;
+}
+
+ShardedKeyedRunner::ShardedKeyedRunner(const ContinuousQuery& query,
+                                       size_t num_shards,
+                                       ParallelOptions options)
+    : query_(query), num_shards_(num_shards), options_(options) {
+  STREAMQ_CHECK_GT(num_shards, 0u);
+  STREAMQ_CHECK_OK(query.Validate());
+  STREAMQ_CHECK(query.handler.per_key)
+      << "ShardedKeyedRunner requires a per-key disorder handler";
+  // Per-key watermarks make a window's first emission depend only on its
+  // key's subsequence, which is what makes sharding result-preserving.
+  query_.window.per_key_watermarks = true;
+}
+
+size_t ShardedKeyedRunner::ShardOf(int64_t key, size_t num_shards) {
+  // splitmix64 finalizer.
+  uint64_t x = static_cast<uint64_t>(key);
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<size_t>(x % num_shards);
+}
+
+RunReport ShardedKeyedRunner::Run(EventSource* source) {
+  const size_t n = num_shards_;
+
+  std::vector<std::unique_ptr<QueryExecutor>> executors;
+  std::vector<std::unique_ptr<BatchQueue>> queues;
+  executors.reserve(n);
+  queues.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    executors.push_back(std::make_unique<QueryExecutor>(query_));
+    queues.push_back(std::make_unique<BatchQueue>(options_.queue_capacity));
+  }
+
+  const TimestampUs start = WallClockMicros();
+
+  std::vector<std::thread> workers;
+  workers.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers.emplace_back([exec = executors[i].get(), q = queues[i].get()] {
+      while (BatchPtr batch = q->Pop()) {
+        exec->FeedBatch(*batch);
+      }
+      exec->Finish();
+    });
+  }
+
+  // Driver: pull arrival-ordered batches, partition by key hash, and send
+  // each shard its (arrival-ordered) sub-batch.
+  std::vector<Event> chunk;
+  chunk.reserve(options_.batch_size);
+  std::vector<std::vector<Event>> shard_chunks(n);
+  while (source->NextBatch(&chunk, options_.batch_size) > 0) {
+    for (const Event& e : chunk) {
+      shard_chunks[ShardOf(e.key, n)].push_back(e);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (shard_chunks[i].empty()) continue;
+      queues[i]->Push(std::make_shared<const std::vector<Event>>(
+          std::move(shard_chunks[i])));
+      shard_chunks[i] = std::vector<Event>();
+    }
+    chunk.clear();
+  }
+  for (auto& q : queues) q->Push(nullptr);  // End of stream.
+  for (std::thread& t : workers) t.join();
+
+  const double wall_seconds = ToSeconds(WallClockMicros() - start);
+
+  // Merge shard reports into one.
+  RunReport merged;
+  merged.query_name = query_.name;
+  merged.wall_seconds = wall_seconds;
+  for (auto& exec : executors) {
+    RunReport r = exec->Report();
+    merged.events_processed += r.events_processed;
+    merged.handler_stats.events_in += r.handler_stats.events_in;
+    merged.handler_stats.events_out += r.handler_stats.events_out;
+    merged.handler_stats.events_late += r.handler_stats.events_late;
+    merged.handler_stats.events_dropped += r.handler_stats.events_dropped;
+    // Shards buffer concurrently; the sum bounds aggregate memory.
+    merged.handler_stats.max_buffer_size += r.handler_stats.max_buffer_size;
+    merged.handler_stats.buffering_latency_us.Merge(
+        r.handler_stats.buffering_latency_us);
+    merged.handler_stats.latency_samples.insert(
+        merged.handler_stats.latency_samples.end(),
+        r.handler_stats.latency_samples.begin(),
+        r.handler_stats.latency_samples.end());
+    merged.window_stats.events += r.window_stats.events;
+    merged.window_stats.late_applied += r.window_stats.late_applied;
+    merged.window_stats.late_dropped += r.window_stats.late_dropped;
+    merged.window_stats.windows_fired += r.window_stats.windows_fired;
+    merged.window_stats.revisions += r.window_stats.revisions;
+    merged.window_stats.max_live_windows += r.window_stats.max_live_windows;
+    merged.final_slack = std::max(merged.final_slack, r.final_slack);
+    merged.results.insert(merged.results.end(),
+                          std::make_move_iterator(r.results.begin()),
+                          std::make_move_iterator(r.results.end()));
+  }
+  merged.throughput_eps =
+      wall_seconds > 0.0
+          ? static_cast<double>(merged.events_processed) / wall_seconds
+          : 0.0;
+  std::stable_sort(merged.results.begin(), merged.results.end(),
+                   [](const WindowResult& a, const WindowResult& b) {
+                     return std::tie(a.bounds.start, a.key, a.revision_index) <
+                            std::tie(b.bounds.start, b.key, b.revision_index);
+                   });
+  return merged;
+}
+
+}  // namespace streamq

@@ -1,0 +1,98 @@
+#ifndef STREAMQ_CORE_PARALLEL_RUNNER_H_
+#define STREAMQ_CORE_PARALLEL_RUNNER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/continuous_query.h"
+#include "core/executor.h"
+#include "stream/source.h"
+
+namespace streamq {
+
+/// Shared knobs for the threaded runners below.
+struct ParallelOptions {
+  /// Events per batch handed across the thread boundary. Batches are the
+  /// unit of queue traffic, so this trades dispatch amortization against
+  /// pipeline latency; the default matches QueryExecutor::Run.
+  size_t batch_size = QueryExecutor::kDefaultRunBatchSize;
+
+  /// Bound (in batches) on each worker's input queue. Limits memory to
+  /// queue_capacity * batch_size events per worker when the source outruns
+  /// a query.
+  size_t queue_capacity = 64;
+};
+
+/// Runs N independent continuous queries over one arrival-ordered stream,
+/// one worker thread per query.
+///
+/// A driver thread (the caller) pulls batches from the source and publishes
+/// each batch — one shared, immutable copy — to every worker's bounded SPSC
+/// queue. Each worker drives its own QueryExecutor::FeedBatch over exactly
+/// the stream prefix order the sequential MultiQueryRunner would have fed
+/// it, so every query's results, stats, and watermarks are byte-identical
+/// to a sequential kIndependent run (and therefore deterministic): threads
+/// change *when* work happens, never *what* each query observes.
+class ParallelMultiQueryRunner {
+ public:
+  explicit ParallelMultiQueryRunner(ParallelOptions options = {})
+      : options_(options) {}
+
+  /// Registers a query. All queries must be added before Run().
+  void AddQuery(const ContinuousQuery& query);
+
+  /// Runs all queries to completion; reports are in AddQuery order, with
+  /// wall_seconds/throughput measured over the shared (parallel) run.
+  std::vector<RunReport> Run(EventSource* source);
+
+  const ParallelOptions& options() const { return options_; }
+
+ private:
+  ParallelOptions options_;
+  std::vector<ContinuousQuery> queries_;
+};
+
+/// Runs ONE keyed query with its key space sharded across worker threads.
+///
+/// Each shard owns a full pipeline (per-key disorder handler + window
+/// operator with per-key watermarks) and receives exactly the arrival-order
+/// subsequence of tuples whose key hashes to it. Because a per-key handler's
+/// buffering and a per-key-watermark window's *first emission* for key k
+/// depend only on key k's own subsequence, every window's first emission
+/// (bounds, key, value, tuple_count) is identical to the unsharded run.
+/// What sharding may legitimately change: each shard's merged watermark is
+/// at least the global one (fewer keys to wait for), so terminal-flush
+/// emission times and revision/purge timing can differ. Results are merged
+/// and sorted by (window start, key, revision index) for a deterministic
+/// output order.
+class ShardedKeyedRunner {
+ public:
+  /// `query` must use a per-key disorder handler (handler.per_key); the
+  /// window operator is forced to per_key_watermarks to make first
+  /// emissions shard-invariant (see class comment).
+  ShardedKeyedRunner(const ContinuousQuery& query, size_t num_shards,
+                     ParallelOptions options = {});
+
+  /// Runs the query to completion and returns one merged report: counters
+  /// summed, latency moments merged, max_buffer_size summed across shards
+  /// (aggregate memory bound), final_slack = max over shards.
+  RunReport Run(EventSource* source);
+
+  size_t num_shards() const { return num_shards_; }
+
+  /// Shard assignment: splitmix64-style mix of the key, mod num_shards.
+  /// Raw keys are often sequential, so a plain modulo would alias key
+  /// patterns onto shards; the mix makes placement uniform regardless.
+  static size_t ShardOf(int64_t key, size_t num_shards);
+
+ private:
+  ContinuousQuery query_;
+  size_t num_shards_;
+  ParallelOptions options_;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_CORE_PARALLEL_RUNNER_H_

@@ -1,0 +1,95 @@
+#ifndef STREAMQ_CORE_SPSC_QUEUE_H_
+#define STREAMQ_CORE_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace streamq {
+
+/// Bounded single-producer / single-consumer ring queue.
+///
+/// Lock-free in the fast path: the producer owns `tail_`, the consumer owns
+/// `head_`, and each side only *reads* the other's index (acquire) before
+/// publishing its own (release). Capacity is rounded up to a power of two so
+/// index wrapping is a mask. The blocking Push/Pop spin briefly and then
+/// yield, which is the right shape for the pipeline here: queues are sized
+/// so that blocking means the other side is genuinely busy, not gone.
+///
+/// This is the fan-out primitive of ParallelMultiQueryRunner: the driver
+/// thread is the single producer for every worker's queue, and each worker
+/// is the single consumer of its own. Do not share one side between threads.
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(size_t min_capacity) : slots_(RoundUpPow2(min_capacity)) {
+    mask_ = slots_.size() - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  size_t capacity() const { return slots_.size(); }
+
+  /// Producer side. Returns false when the ring is full.
+  bool TryPush(T&& value) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) == slots_.size()) {
+      return false;
+    }
+    slots_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side; spins (then yields) until the consumer makes room.
+  void Push(T value) {
+    Backoff backoff;
+    while (!TryPush(std::move(value))) backoff.Pause();
+  }
+
+  /// Consumer side. Returns false when the ring is empty.
+  bool TryPop(T* out) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    *out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side; spins (then yields) until an element is available.
+  T Pop() {
+    T out;
+    Backoff backoff;
+    while (!TryPop(&out)) backoff.Pause();
+    return out;
+  }
+
+ private:
+  struct Backoff {
+    int spins = 0;
+    void Pause() {
+      if (++spins < 64) return;  // Stay on-core while the wait is short.
+      std::this_thread::yield();
+    }
+  };
+
+  static size_t RoundUpPow2(size_t n) {
+    STREAMQ_CHECK_GT(n, 0u);
+    size_t p = 1;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  std::vector<T> slots_;
+  size_t mask_;
+  alignas(64) std::atomic<size_t> head_{0};  // Next slot to pop (consumer).
+  alignas(64) std::atomic<size_t> tail_{0};  // Next slot to fill (producer).
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_CORE_SPSC_QUEUE_H_

@@ -63,6 +63,30 @@ void AqKSlack::OnEvent(const Event& e, EventSink* sink) {
   }
 }
 
+void AqKSlack::OnBatch(std::span<const Event> batch, EventSink* sink) {
+  struct Policy {
+    AqKSlack* self;
+    void BeforeIngest(const Event& e) {
+      ++self->tuple_index_;
+      ++self->interval_events_;
+      if (self->t_max_ != kMinTimestamp && e.event_time < self->t_max_) {
+        self->ObserveLateness(static_cast<double>(self->t_max_ - e.event_time));
+      } else {
+        self->ObserveLateness(0.0);
+      }
+    }
+    void AfterIngest(const Event& e, bool was_buffered) {
+      // Ingest returns false exactly when it diverted the tuple late.
+      if (!was_buffered) ++self->interval_late_;
+      if (self->interval_events_ >= self->options_.adaptation_interval) {
+        self->Adapt(e.arrival_time);
+      }
+    }
+    DurationUs slack() const { return self->k_; }
+  };
+  ProcessBatch(batch, sink, Policy{this});
+}
+
 void AqKSlack::Adapt(TimestampUs now) {
   // --- Measure: coverage over the last interval -> quality via the model.
   const double interval_coverage =

@@ -83,6 +83,7 @@ class AqKSlack : public BufferedHandlerBase {
   std::string_view name() const override { return "aq-kslack"; }
 
   void OnEvent(const Event& e, EventSink* sink) override;
+  void OnBatch(std::span<const Event> batch, EventSink* sink) override;
   void Flush(EventSink* sink) override;
 
   DurationUs current_slack() const override { return k_; }

@@ -11,44 +11,11 @@ void BufferedHandlerBase::OnHeartbeat(TimestampUs event_time_bound,
   ReleaseUpTo(ReleaseThreshold(current_slack()), stream_time, sink);
 }
 
-bool BufferedHandlerBase::Ingest(const Event& e, EventSink* sink) {
-  ++stats_.events_in;
-  last_activity_ = std::max(last_activity_, e.arrival_time);
-  t_max_ = (t_max_ == kMinTimestamp) ? e.event_time
-                                     : std::max(t_max_, e.event_time);
-  if (emitted_frontier_ != kMinTimestamp &&
-      e.event_time < emitted_frontier_) {
-    ++stats_.events_late;
-    sink->OnLateEvent(e);
-    return false;
-  }
-  buffer_.Push(e);
-  stats_.max_buffer_size = std::max(
-      stats_.max_buffer_size, static_cast<int64_t>(buffer_.size()));
-  return true;
-}
-
-void BufferedHandlerBase::ReleaseUpTo(TimestampUs threshold, TimestampUs now,
-                                      EventSink* sink) {
-  if (threshold == kMinTimestamp) return;
-  release_scratch_.clear();
-  buffer_.PopUpTo(threshold, &release_scratch_);
-  for (const Event& e : release_scratch_) {
-    RecordRelease(e, now);
-    sink->OnEvent(e);
-  }
-  if (emitted_frontier_ == kMinTimestamp || threshold > emitted_frontier_) {
-    emitted_frontier_ = threshold;
-    sink->OnWatermark(emitted_frontier_, now);
-  }
-}
-
 void BufferedHandlerBase::DrainAll(TimestampUs now, EventSink* sink) {
   release_scratch_.clear();
-  buffer_.PopUpTo(kMaxTimestamp, &release_scratch_);
-  for (const Event& e : release_scratch_) {
-    RecordRelease(e, now);
-    sink->OnEvent(e);
+  if (buffer_.DrainInto(&release_scratch_) > 0) {
+    for (const Event& e : release_scratch_) RecordRelease(e, now);
+    sink->OnEvents(release_scratch_);
   }
   emitted_frontier_ = kMaxTimestamp;
   sink->OnWatermark(kMaxTimestamp, now);

@@ -2,6 +2,8 @@
 #define STREAMQ_DISORDER_BUFFERED_HANDLER_BASE_H_
 
 #include <algorithm>
+#include <span>
+#include <vector>
 
 #include "disorder/disorder_handler.h"
 #include "disorder/reorder_buffer.h"
@@ -11,6 +13,12 @@ namespace streamq {
 /// Shared machinery for every buffering handler: the reorder buffer, the
 /// event-time frontier `t_max`, the output watermark, and the release
 /// procedure. Subclasses only decide *when* and *up to where* to release.
+///
+/// The hot-path members (Ingest, ReleaseUpTo, ProcessBatch) are defined
+/// inline so a subclass's OnBatch compiles into one tight loop with no
+/// per-tuple virtual dispatch: the only virtual calls left are the sink
+/// notifications, and releases go out through a single OnEvents call per
+/// release instead of one OnEvent per tuple.
 class BufferedHandlerBase : public DisorderHandler {
  public:
   explicit BufferedHandlerBase(bool collect_latency_samples = true)
@@ -34,12 +42,66 @@ class BufferedHandlerBase : public DisorderHandler {
   /// Inserts `e` into the buffer unless it is already behind the output
   /// watermark, in which case it is diverted to OnLateEvent. Updates t_max
   /// and stats. Returns true if the event was buffered.
-  bool Ingest(const Event& e, EventSink* sink);
+  bool Ingest(const Event& e, EventSink* sink) {
+    ++stats_.events_in;
+    last_activity_ = std::max(last_activity_, e.arrival_time);
+    t_max_ = (t_max_ == kMinTimestamp) ? e.event_time
+                                       : std::max(t_max_, e.event_time);
+    if (emitted_frontier_ != kMinTimestamp &&
+        e.event_time < emitted_frontier_) {
+      ++stats_.events_late;
+      sink->OnLateEvent(e);
+      return false;
+    }
+    buffer_.Push(e);
+    stats_.max_buffer_size = std::max(
+        stats_.max_buffer_size, static_cast<int64_t>(buffer_.size()));
+    return true;
+  }
 
   /// Releases (in order) all buffered events with event_time <= threshold,
   /// advances the watermark to max(watermark, threshold) and notifies the
   /// sink. `now` is the arrival time driving latency accounting.
-  void ReleaseUpTo(TimestampUs threshold, TimestampUs now, EventSink* sink);
+  void ReleaseUpTo(TimestampUs threshold, TimestampUs now, EventSink* sink) {
+    if (threshold == kMinTimestamp) return;
+    release_scratch_.clear();
+    if (buffer_.PopUpTo(threshold, &release_scratch_) > 0) {
+      for (const Event& e : release_scratch_) RecordRelease(e, now);
+      sink->OnEvents(release_scratch_);
+    }
+    if (emitted_frontier_ == kMinTimestamp || threshold > emitted_frontier_) {
+      emitted_frontier_ = threshold;
+      sink->OnWatermark(emitted_frontier_, now);
+    }
+  }
+
+  /// Batched hot loop shared by the K-slack family's OnBatch overrides.
+  /// Replays exactly the per-event sequence — lateness check, buffer
+  /// insert, release, watermark — for each element of `batch`, with the
+  /// subclass's per-event control logic supplied statically via `policy`
+  /// so everything inlines.
+  ///
+  /// Policy contract (each member invoked once per event, in this order):
+  ///   policy.BeforeIngest(e)           — runs before t_max advances
+  ///                                      (lateness observation, counters);
+  ///   policy.AfterIngest(e, buffered)  — runs after the ingest decision
+  ///                                      (adaptation steps); `buffered` is
+  ///                                      false iff the event was diverted
+  ///                                      late;
+  ///   policy.slack()                   — slack bound for this event's
+  ///                                      release (post-adaptation).
+  template <typename Policy>
+  void ProcessBatch(std::span<const Event> batch, EventSink* sink,
+                    Policy&& policy) {
+    for (const Event& e : batch) {
+      policy.BeforeIngest(e);
+      const bool was_buffered = Ingest(e, sink);
+      policy.AfterIngest(e, was_buffered);
+      if (was_buffered) {
+        ReleaseUpTo(ReleaseThreshold(policy.slack()), e.arrival_time, sink);
+      }
+    }
+  }
 
   /// Computes `t_max - slack` without underflow. Returns kMinTimestamp when
   /// no event has been seen.

@@ -2,10 +2,12 @@
 #define STREAMQ_DISORDER_DISORDER_HANDLER_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/stats.h"
 #include "common/time.h"
 #include "disorder/event_sink.h"
@@ -31,8 +33,10 @@ struct DisorderHandlerStats {
   /// release. Zero for tuples forwarded immediately.
   RunningMoments buffering_latency_us;
 
-  /// Full latency sample (kept when `collect_latency_samples` is on), for
-  /// exact percentile reporting in the evaluation harness.
+  /// Latency sample (kept when `collect_latency_samples` is on), for
+  /// percentile reporting in the evaluation harness. Exact up to the
+  /// handler's latency_sample_cap() releases, a deterministic uniform
+  /// reservoir beyond it — so memory stays bounded on unbounded streams.
   std::vector<double> latency_samples;
 
   std::string ToString() const;
@@ -60,6 +64,14 @@ class DisorderHandler {
   /// OnLateEvent zero or more times.
   virtual void OnEvent(const Event& e, EventSink* sink) = 0;
 
+  /// Processes a chunk of consecutive arrivals. Semantically identical to
+  /// calling OnEvent for each element in order — same sink calls, same
+  /// stats — but overridable so buffering handlers can amortize per-tuple
+  /// dispatch and use bulk buffer operations. Default: per-event loop.
+  virtual void OnBatch(std::span<const Event> batch, EventSink* sink) {
+    for (const Event& e : batch) OnEvent(e, sink);
+  }
+
   /// Source-issued heartbeat (punctuation): a promise that no future tuple
   /// carries event_time < `event_time_bound`. Lets buffers drain and
   /// windows close during idle periods, when no arrival would otherwise
@@ -85,6 +97,16 @@ class DisorderHandler {
 
   const DisorderHandlerStats& stats() const { return stats_; }
 
+  /// Maximum number of retained latency samples. Up to the cap the sample
+  /// is the complete series (exact percentiles); beyond it, reservoir
+  /// sampling keeps a uniform subset with bounded memory. The default cap
+  /// covers the evaluation harness's stream lengths, so harness percentiles
+  /// stay exact.
+  size_t latency_sample_cap() const { return latency_sample_cap_; }
+  void set_latency_sample_cap(size_t cap) { latency_sample_cap_ = cap; }
+
+  static constexpr size_t kDefaultLatencySampleCap = 1u << 18;
+
  protected:
   /// Records a released tuple's buffering latency; `now` is the arrival time
   /// of the tuple whose processing triggered the release.
@@ -92,6 +114,15 @@ class DisorderHandler {
 
   DisorderHandlerStats stats_;
   bool collect_latency_samples_;
+
+ private:
+  /// Vitter's algorithm R over the release series (deterministic seed, so
+  /// equal runs keep equal samples).
+  void AddLatencySample(double latency);
+
+  size_t latency_sample_cap_ = kDefaultLatencySampleCap;
+  int64_t latency_samples_seen_ = 0;
+  Rng sample_rng_{0x5AE571E5u};
 };
 
 }  // namespace streamq

@@ -2,6 +2,7 @@
 #define STREAMQ_DISORDER_EVENT_SINK_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/time.h"
@@ -22,6 +23,14 @@ class EventSink {
 
   /// An in-order event, ready for processing.
   virtual void OnEvent(const Event& e) = 0;
+
+  /// A run of in-order events, ready for processing. Semantically identical
+  /// to calling OnEvent for each element in order; handlers use it to hand
+  /// a whole release over in one virtual call, and batch-aware sinks
+  /// override it to amortize per-tuple costs. Default: per-event loop.
+  virtual void OnEvents(std::span<const Event> events) {
+    for (const Event& e : events) OnEvent(e);
+  }
 
   /// The output watermark advanced: no future OnEvent will carry
   /// event_time < `watermark`. `stream_time` is the arrival timestamp of the

@@ -14,6 +14,16 @@ void FixedKSlack::OnEvent(const Event& e, EventSink* sink) {
   ReleaseUpTo(ReleaseThreshold(k_), e.arrival_time, sink);
 }
 
+void FixedKSlack::OnBatch(std::span<const Event> batch, EventSink* sink) {
+  struct Policy {
+    DurationUs k;
+    void BeforeIngest(const Event&) {}
+    void AfterIngest(const Event&, bool) {}
+    DurationUs slack() const { return k; }
+  };
+  ProcessBatch(batch, sink, Policy{k_});
+}
+
 void FixedKSlack::Flush(EventSink* sink) { DrainAll(last_activity_, sink); }
 
 }  // namespace streamq

@@ -93,24 +93,36 @@ std::unique_ptr<DisorderHandler> MakeDisorderHandler(
     return std::make_unique<KeyedDisorderHandler>(
         [inner] { return MakeDisorderHandler(inner); });
   }
+  const bool samples = spec.collect_latency_samples;
   switch (spec.kind) {
     case DisorderHandlerSpec::Kind::kPassThrough:
-      return std::make_unique<PassThrough>();
+      return std::make_unique<PassThrough>(samples);
     case DisorderHandlerSpec::Kind::kFixedKSlack:
-      return std::make_unique<FixedKSlack>(spec.fixed_k);
-    case DisorderHandlerSpec::Kind::kMpKSlack:
-      return std::make_unique<MpKSlack>(spec.mp);
+      return std::make_unique<FixedKSlack>(spec.fixed_k, samples);
+    case DisorderHandlerSpec::Kind::kMpKSlack: {
+      MpKSlack::Options options = spec.mp;
+      options.collect_latency_samples &= samples;
+      return std::make_unique<MpKSlack>(options);
+    }
     case DisorderHandlerSpec::Kind::kAqKSlack: {
       std::unique_ptr<QualityModel> model;
       if (spec.aq_quality_gamma > 0.0) {
         model = MakePowerQualityModel(spec.aq_quality_gamma);
       }
-      return std::make_unique<AqKSlack>(spec.aq, std::move(model));
+      AqKSlack::Options options = spec.aq;
+      options.collect_latency_samples &= samples;
+      return std::make_unique<AqKSlack>(options, std::move(model));
     }
-    case DisorderHandlerSpec::Kind::kLbKSlack:
-      return std::make_unique<LbKSlack>(spec.lb);
-    case DisorderHandlerSpec::Kind::kWatermark:
-      return std::make_unique<WatermarkReorderer>(spec.wm);
+    case DisorderHandlerSpec::Kind::kLbKSlack: {
+      LbKSlack::Options options = spec.lb;
+      options.collect_latency_samples &= samples;
+      return std::make_unique<LbKSlack>(options);
+    }
+    case DisorderHandlerSpec::Kind::kWatermark: {
+      WatermarkReorderer::Options options = spec.wm;
+      options.collect_latency_samples &= samples;
+      return std::make_unique<WatermarkReorderer>(options);
+    }
   }
   STREAMQ_LOG(Fatal) << "unknown disorder handler kind";
   return nullptr;

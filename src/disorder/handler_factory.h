@@ -42,6 +42,12 @@ struct DisorderHandlerSpec {
   /// keys have heterogeneous delay distributions. Ignored for kPassThrough.
   bool per_key = false;
 
+  /// Master switch for per-release latency sampling. ANDed with the
+  /// handler-specific Options flag, so setting this false disables the
+  /// sample vector for every kind — throughput benches use it to keep the
+  /// hot path free of sample bookkeeping.
+  bool collect_latency_samples = true;
+
   /// Convenience constructors.
   static DisorderHandlerSpec PassThroughSpec();
   static DisorderHandlerSpec FixedK(DurationUs k);

@@ -63,18 +63,28 @@ KeyedDisorderHandler::~KeyedDisorderHandler() = default;
 void KeyedDisorderHandler::OnEvent(const Event& e, EventSink* sink) {
   ++stats_.events_in;
   last_stream_time_ = std::max(last_stream_time_, e.arrival_time);
-  auto& slot = shards_[e.key];
-  if (!slot) {
-    slot = std::make_unique<Shard>(this, e.key);
-    slot->handler = factory_();
-    STREAMQ_CHECK(slot->handler != nullptr);
+  Shard* shard = last_shard_;
+  if (shard == nullptr || last_key_ != e.key) {
+    auto& slot = shards_[e.key];
+    if (!slot) {
+      slot = std::make_unique<Shard>(this, e.key);
+      slot->handler = factory_();
+      STREAMQ_CHECK(slot->handler != nullptr);
+    }
+    shard = slot.get();
+    last_key_ = e.key;
+    last_shard_ = shard;
   }
-  slot->intercept.Arm(sink, e.arrival_time);
-  slot->handler->OnEvent(e, &slot->intercept);
+  shard->intercept.Arm(sink, e.arrival_time);
+  const TimestampUs shard_wm_before = shard->watermark;
+  shard->handler->OnEvent(e, &shard->intercept);
   stats_.max_buffer_size =
       std::max(stats_.max_buffer_size,
                stats_.events_in - stats_.events_out - stats_.events_late);
-  MaybeEmitMergedWatermark(e.arrival_time, sink);
+  // The merged minimum can only move when this shard's watermark moved.
+  if (shard->watermark != shard_wm_before) {
+    MaybeEmitMergedWatermark(e.arrival_time, sink);
+  }
 }
 
 void KeyedDisorderHandler::OnHeartbeat(TimestampUs event_time_bound,

@@ -60,6 +60,10 @@ class KeyedDisorderHandler : public DisorderHandler {
   std::map<int64_t, std::unique_ptr<Shard>> shards_;
   TimestampUs merged_watermark_ = kMinTimestamp;
   TimestampUs last_stream_time_ = 0;
+  /// Memo of the last routed key: consecutive same-key arrivals skip the
+  /// shard-map lookup (shard pointers are stable; shards are never erased).
+  int64_t last_key_ = 0;
+  Shard* last_shard_ = nullptr;
 };
 
 }  // namespace streamq

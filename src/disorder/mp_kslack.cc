@@ -46,6 +46,23 @@ void MpKSlack::OnEvent(const Event& e, EventSink* sink) {
   ReleaseUpTo(ReleaseThreshold(k_), e.arrival_time, sink);
 }
 
+void MpKSlack::OnBatch(std::span<const Event> batch, EventSink* sink) {
+  struct Policy {
+    MpKSlack* self;
+    void BeforeIngest(const Event& e) {
+      DurationUs lateness = 0;
+      if (self->t_max_ != kMinTimestamp && e.event_time < self->t_max_) {
+        lateness = self->t_max_ - e.event_time;
+      }
+      ++self->tuple_index_;
+      self->ObserveLateness(lateness);
+    }
+    void AfterIngest(const Event&, bool) {}
+    DurationUs slack() const { return self->k_; }
+  };
+  ProcessBatch(batch, sink, Policy{this});
+}
+
 void MpKSlack::Flush(EventSink* sink) { DrainAll(last_activity_, sink); }
 
 }  // namespace streamq

@@ -39,6 +39,7 @@ class MpKSlack : public BufferedHandlerBase {
   std::string_view name() const override { return "mp-kslack"; }
 
   void OnEvent(const Event& e, EventSink* sink) override;
+  void OnBatch(std::span<const Event> batch, EventSink* sink) override;
   void Flush(EventSink* sink) override;
 
   DurationUs current_slack() const override { return k_; }

@@ -1,7 +1,10 @@
 #ifndef STREAMQ_DISORDER_REORDER_BUFFER_H_
 #define STREAMQ_DISORDER_REORDER_BUFFER_H_
 
+#include <algorithm>
 #include <cstddef>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "common/time.h"
@@ -12,9 +15,27 @@ namespace streamq {
 /// Min-heap of events keyed by (event_time, id). The common substrate of
 /// every buffering disorder handler: insert on arrival, pop in event-time
 /// order up to a release threshold.
+///
+/// Pop order is fully determined by the total order (event_time, id), so the
+/// internal array layout is unobservable; the batch operations below exploit
+/// that to replace per-element sift chains with bulk heapify/partition/sort
+/// passes while remaining exactly equivalent to their one-at-a-time
+/// counterparts.
 class ReorderBuffer {
  public:
-  void Push(const Event& e);
+  /// Inserts one event. Takes the event by value and moves it into the heap
+  /// so the hot path pays a single copy at the call boundary.
+  void Push(Event e) {
+    heap_.push_back(std::move(e));
+    SiftUp(heap_.size() - 1);
+    if (heap_.size() > max_size_) max_size_ = heap_.size();
+  }
+
+  /// Bulk insert: appends the whole span and restores the heap invariant in
+  /// one pass. Equivalent to Push-ing every element in order. Chooses
+  /// between per-element sift-up (small batches) and a full O(n) heapify
+  /// (batches comparable to the buffer) by cost estimate.
+  void PushBatch(std::span<const Event> events);
 
   /// True if the buffer is empty.
   bool empty() const { return heap_.empty(); }
@@ -30,14 +51,23 @@ class ReorderBuffer {
   void PopMin(Event* out);
 
   /// Pops every event with event_time <= threshold, appending to `*out` in
-  /// event-time order. Returns the number popped.
+  /// event-time order. Returns the number popped. Small releases pop one at
+  /// a time; large releases switch to a partition + sort of the releasable
+  /// suffix, which replaces k O(log n) sift-downs with one O(n + k log k)
+  /// pass.
   size_t PopUpTo(TimestampUs threshold, std::vector<Event>* out);
+
+  /// Drains the entire buffer in event-time order into `*out` (end of
+  /// stream). Equivalent to PopUpTo(kMaxTimestamp, out) but sorts the array
+  /// directly instead of popping element by element.
+  size_t DrainInto(std::vector<Event>* out);
 
   void Clear();
 
  private:
   void SiftUp(size_t i);
   void SiftDown(size_t i);
+  void Heapify();
   static bool Less(const Event& a, const Event& b) {
     if (a.event_time != b.event_time) return a.event_time < b.event_time;
     return a.id < b.id;

@@ -1,6 +1,7 @@
 #ifndef STREAMQ_STREAM_SOURCE_H_
 #define STREAMQ_STREAM_SOURCE_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
@@ -17,6 +18,20 @@ class EventSource {
   /// Fills `*out` with the next event and returns true, or returns false at
   /// end of stream.
   virtual bool Next(Event* out) = 0;
+
+  /// Appends up to `max_events` next events to `*out`; returns the number
+  /// appended (0 at end of stream). Same stream, chunked — the batched
+  /// executor path pulls through this to amortize per-event dispatch.
+  /// Default loops Next(); materialized sources override with a bulk copy.
+  virtual size_t NextBatch(std::vector<Event>* out, size_t max_events) {
+    size_t appended = 0;
+    Event e;
+    while (appended < max_events && Next(&e)) {
+      out->push_back(e);
+      ++appended;
+    }
+    return appended;
+  }
 
   /// Restarts the stream from the beginning, if supported. Sources backed by
   /// materialized data support this; one-shot sources may not.
@@ -36,6 +51,14 @@ class VectorSource : public EventSource {
     if (pos_ >= events_.size()) return false;
     *out = events_[pos_++];
     return true;
+  }
+
+  size_t NextBatch(std::vector<Event>* out, size_t max_events) override {
+    const size_t n = std::min(max_events, events_.size() - pos_);
+    out->insert(out->end(), events_.begin() + static_cast<ptrdiff_t>(pos_),
+                events_.begin() + static_cast<ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return n;
   }
 
   void Reset() override { pos_ = 0; }

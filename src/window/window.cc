@@ -7,16 +7,7 @@
 
 namespace streamq {
 
-namespace {
-
-/// Floor division for int64 (rounds toward negative infinity).
-int64_t FloorDiv(int64_t a, int64_t b) {
-  int64_t q = a / b;
-  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
-  return q;
-}
-
-}  // namespace
+using window_internal::FloorDiv;
 
 std::string WindowBounds::ToString() const {
   char buf[96];
@@ -55,14 +46,7 @@ std::vector<WindowBounds> AssignWindows(const WindowSpec& spec,
                                         TimestampUs ts) {
   STREAMQ_CHECK_OK(spec.Validate());
   std::vector<WindowBounds> out;
-  const TimestampUs last_start = FloorDiv(ts, spec.slide) * spec.slide;
-  for (TimestampUs start = last_start;
-       start + spec.size > ts;
-       start -= spec.slide) {
-    out.push_back(WindowBounds{start, start + spec.size});
-  }
-  // Emitted latest-first above; reverse to earliest-first.
-  std::reverse(out.begin(), out.end());
+  ForEachWindow(spec, ts, [&out](const WindowBounds& w) { out.push_back(w); });
   return out;
 }
 

@@ -48,6 +48,34 @@ std::vector<WindowBounds> AssignWindows(const WindowSpec& spec,
 /// Start of the earliest window containing `ts`.
 TimestampUs FirstWindowStart(const WindowSpec& spec, TimestampUs ts);
 
+namespace window_internal {
+
+/// Floor division for int64 (rounds toward negative infinity).
+inline int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+}  // namespace window_internal
+
+/// Invokes `fn(WindowBounds)` for each window containing `ts`, earliest
+/// first — the allocation-free equivalent of AssignWindows for per-tuple
+/// hot paths. Same floor semantics (negative timestamps included); zero
+/// invocations for timestamps in a sampling gap (slide > size).
+template <typename Fn>
+inline void ForEachWindow(const WindowSpec& spec, TimestampUs ts, Fn&& fn) {
+  // Window starts are the multiples of `slide`; [start, start+size) covers
+  // ts iff ts - size < start <= ts (see FirstWindowStart).
+  const TimestampUs first =
+      (window_internal::FloorDiv(ts - spec.size, spec.slide) + 1) * spec.slide;
+  const TimestampUs last =
+      window_internal::FloorDiv(ts, spec.slide) * spec.slide;
+  for (TimestampUs start = first; start <= last; start += spec.slide) {
+    fn(WindowBounds{start, start + spec.size});
+  }
+}
+
 /// One emitted window result.
 struct WindowResult {
   WindowBounds bounds;
@@ -70,6 +98,8 @@ struct WindowResult {
 
   /// 0 for the first emission of a window, 1 for its first revision, ...
   int32_t revision_index = 0;
+
+  bool operator==(const WindowResult& other) const = default;
 
   std::string ToString() const;
 };

@@ -18,6 +18,7 @@ WindowedAggregation::WindowedAggregation(const Options& options,
 WindowedAggregation::WindowState* WindowedAggregation::GetOrCreateState(
     TimestampUs window_start, int64_t key) {
   const StateKey sk{window_start, key};
+  if (cached_state_ != nullptr && cached_key_ == sk) return cached_state_;
   auto it = windows_.find(sk);
   if (it == windows_.end()) {
     WindowState state;
@@ -26,18 +27,27 @@ WindowedAggregation::WindowState* WindowedAggregation::GetOrCreateState(
     stats_.max_live_windows = std::max(
         stats_.max_live_windows, static_cast<int64_t>(windows_.size()));
   }
-  return &it->second;
+  cached_key_ = sk;
+  cached_state_ = &it->second;
+  return cached_state_;
 }
 
-void WindowedAggregation::OnEvent(const Event& e) {
+void WindowedAggregation::FoldEvent(const Event& e) {
   ++stats_.events;
   last_activity_ = std::max(last_activity_, e.arrival_time);
-  for (const WindowBounds& w : AssignWindows(options_.window, e.event_time)) {
+  ForEachWindow(options_.window, e.event_time, [this, &e](
+                                                   const WindowBounds& w) {
     WindowState* state = GetOrCreateState(w.start, e.key);
     state->acc->Add(e.value);
     // In-order events never target fired windows (their window end is above
     // the watermark by construction), so no revision logic here.
-  }
+  });
+}
+
+void WindowedAggregation::OnEvent(const Event& e) { FoldEvent(e); }
+
+void WindowedAggregation::OnEvents(std::span<const Event> events) {
+  for (const Event& e : events) FoldEvent(e);
 }
 
 void WindowedAggregation::Emit(const StateKey& sk, WindowState* state,
@@ -64,6 +74,7 @@ void WindowedAggregation::OnWatermark(TimestampUs watermark,
                                       TimestampUs stream_time) {
   if (watermark <= last_watermark_) return;
   last_watermark_ = watermark;
+  cached_state_ = nullptr;  // The purge loop below may erase the memo target.
 
   auto it = windows_.begin();
   while (it != windows_.end()) {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -80,6 +81,7 @@ class WindowedAggregation : public EventSink {
 
   /// EventSink interface (fed by a DisorderHandler).
   void OnEvent(const Event& e) override;
+  void OnEvents(std::span<const Event> events) override;
   void OnWatermark(TimestampUs watermark, TimestampUs stream_time) override;
   void OnKeyedWatermark(int64_t key, TimestampUs watermark,
                         TimestampUs stream_time) override;
@@ -106,6 +108,9 @@ class WindowedAggregation : public EventSink {
   WindowState* GetOrCreateState(TimestampUs window_start, int64_t key);
   void Emit(const StateKey& sk, WindowState* state, TimestampUs now,
             bool revision);
+  /// Folds one in-order event into all covering windows (shared by OnEvent
+  /// and the batched OnEvents).
+  void FoldEvent(const Event& e);
 
   Options options_;
   WindowResultSink* sink_;
@@ -114,6 +119,12 @@ class WindowedAggregation : public EventSink {
   TimestampUs last_watermark_ = kMinTimestamp;
   TimestampUs last_activity_ = 0;  // Arrival time of last event seen.
   Stats stats_;
+
+  /// Memo of the last state lookup: consecutive tuples overwhelmingly hit
+  /// the same (window, key) slot, and map nodes are stable until erased.
+  /// Invalidated whenever OnWatermark purges state.
+  StateKey cached_key_{};
+  WindowState* cached_state_ = nullptr;
 };
 
 }  // namespace streamq

@@ -121,7 +121,11 @@ TEST(MultiQueryTest, ManyQueriesOneStream) {
                            AggKind::kMax, AggKind::kMin};
   int i = 0;
   for (AggKind kind : kinds) {
-    runner.AddQuery(MakeQuery("q" + std::to_string(i++), 0.95, kind));
+    // Built via += to dodge GCC 12's -Wrestrict false positive on
+    // operator+(const char*, string&&) (GCC PR105651).
+    std::string name = "q";
+    name += std::to_string(i++);
+    runner.AddQuery(MakeQuery(name, 0.95, kind));
   }
   VectorSource source(w.arrival_order);
   const auto reports = runner.Run(&source);
