@@ -67,7 +67,7 @@ void Run() {
     char buf[48];
     std::snprintf(buf, sizeof(buf), "fixed-K(%lldms)",
                   static_cast<long long>(k / 1000));
-    cases.push_back({buf, DisorderHandlerSpec::FixedK(k)});
+    cases.push_back({buf, DisorderHandlerSpec::Fixed(k)});
   }
   for (double recall_target : {0.80, 0.90, 0.95}) {
     AqKSlack::Options aq;

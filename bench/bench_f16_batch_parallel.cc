@@ -39,10 +39,9 @@ DisorderHandlerSpec BenchSpec(bool adaptive) {
     aq.target_quality = 0.95;
     s = DisorderHandlerSpec::Aq(aq);
   } else {
-    s = DisorderHandlerSpec::FixedK(Millis(30));
+    s = DisorderHandlerSpec::Fixed(Millis(30));
   }
-  s.collect_latency_samples = false;
-  return s;
+  return s.WithLatencySamples(false);
 }
 
 ContinuousQuery BenchQuery(const std::string& name, bool adaptive) {
@@ -176,9 +175,8 @@ void ParallelQueries(const GeneratedWorkload& w) {
 void ShardedKeyed(const GeneratedWorkload& w) {
   ContinuousQuery q;
   q.name = "keyed";
-  q.handler = DisorderHandlerSpec::FixedK(Millis(30));
-  q.handler.per_key = true;
-  q.handler.collect_latency_samples = false;
+  q.handler =
+      DisorderHandlerSpec::Fixed(Millis(30)).PerKey().WithLatencySamples(false);
   q.window.window = WindowSpec::Tumbling(Millis(50));
   q.window.aggregate.kind = AggKind::kSum;
   q.window.per_key_watermarks = true;

@@ -38,7 +38,7 @@ void Run() {
           Millis(80), Millis(160), Millis(320)}) {
       ContinuousQuery q;
       q.name = "f4";
-      q.handler = DisorderHandlerSpec::FixedK(k);
+      q.handler = DisorderHandlerSpec::Fixed(k);
       q.window = wopts;
       const ScoredRun run = RunScored(q, w, oracle);
       const DistributionSummary lat =

@@ -15,6 +15,16 @@ namespace streamq {
 namespace bench {
 namespace {
 
+/// Captures the operator's adaptation decisions through the observer API
+/// (instead of reaching into the executor for the concrete handler).
+class AdaptationTraceObserver : public PipelineObserver {
+ public:
+  void OnAdaptation(const AdaptationSample& sample) override {
+    trace.push_back(sample);
+  }
+  std::vector<AdaptationSample> trace;
+};
+
 void Run() {
   WorkloadConfig cfg = BaseConfig(120000);
   cfg.delay.model = DelayModel::kExponential;
@@ -33,7 +43,7 @@ void Run() {
   const double targets[] = {0.80, 0.90, 0.95, 0.99};
 
   // Time series of the operator's measured quality, one column per target.
-  std::vector<std::vector<AqKSlack::AdaptationRecord>> traces;
+  std::vector<std::vector<AdaptationSample>> traces;
   TableWriter summary(
       "R-F6 summary: end-to-end quality vs target (sine-modulated delays)",
       {"target", "mean_value_quality", "coverage", "frac_windows>=target",
@@ -49,12 +59,12 @@ void Run() {
     q.window = wopts;
 
     QueryExecutor exec(q);
-    auto* aq = dynamic_cast<AqKSlack*>(exec.handler());
-    aq->set_record_adaptation_trace(true);
+    AdaptationTraceObserver trace_observer;
+    exec.SetObserver(&trace_observer);
     VectorSource source(w.arrival_order);
     const RunReport report = exec.Run(&source);
     const QualityReport quality = EvaluateQuality(report.results, oracle);
-    traces.push_back(aq->adaptation_trace());
+    traces.push_back(std::move(trace_observer.trace));
 
     summary.BeginRow();
     summary.Cell(target, 2);
@@ -73,7 +83,7 @@ void Run() {
     series.BeginRow();
     series.Cell(ToSeconds(traces[0][i].stream_time), 2);
     for (const auto& trace : traces) {
-      series.Cell(i < trace.size() ? trace[i].measured_quality : 0.0, 4);
+      series.Cell(i < trace.size() ? trace[i].measured : 0.0, 4);
     }
   }
   EmitTable(series, "f6_quality_series.csv");

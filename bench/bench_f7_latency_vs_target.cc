@@ -51,7 +51,7 @@ void Run() {
       const DurationUs k_star = OracleTunedFixedK(w, oracle, wopts, target);
       ContinuousQuery q_fixed;
       q_fixed.name = "fixed";
-      q_fixed.handler = DisorderHandlerSpec::FixedK(k_star);
+      q_fixed.handler = DisorderHandlerSpec::Fixed(k_star);
       q_fixed.window = wopts;
       const ScoredRun r_fixed = RunScored(q_fixed, w, oracle);
 

@@ -37,10 +37,10 @@ DisorderHandlerSpec SpecFor(int which) {
   DisorderHandlerSpec s;
   switch (which) {
     case 0:
-      s = DisorderHandlerSpec::PassThroughSpec();
+      s = DisorderHandlerSpec::PassThrough();
       break;
     case 1:
-      s = DisorderHandlerSpec::FixedK(Millis(30));
+      s = DisorderHandlerSpec::Fixed(Millis(30));
       break;
     case 2: {
       MpKSlack::Options mp;
@@ -62,8 +62,7 @@ DisorderHandlerSpec SpecFor(int which) {
     }
   }
   // Throughput runs measure the hot path, not percentile bookkeeping.
-  s.collect_latency_samples = false;
-  return s;
+  return s.WithLatencySamples(false);
 }
 
 const char* NameFor(int which) {
@@ -86,7 +85,7 @@ void BM_HandlerOnly(benchmark::State& state) {
   const auto& w = Workload();
   for (auto _ : state) {
     auto handler =
-        MakeDisorderHandler(SpecFor(static_cast<int>(state.range(0))));
+        MakeDisorderHandlerOrDie(SpecFor(static_cast<int>(state.range(0))));
     CountingSink sink;
     for (const Event& e : w.arrival_order) handler->OnEvent(e, &sink);
     handler->Flush(&sink);
@@ -125,7 +124,7 @@ void BM_SlidingWindowFanout(benchmark::State& state) {
   for (auto _ : state) {
     ContinuousQuery q;
     q.name = "bench";
-    q.handler = DisorderHandlerSpec::FixedK(Millis(30));
+    q.handler = DisorderHandlerSpec::Fixed(Millis(30));
     q.window.window =
         WindowSpec::Sliding(Millis(50) * fanout, Millis(50));
     q.window.aggregate.kind = AggKind::kSum;
@@ -248,7 +247,7 @@ void BM_PanedSlidingWindowFanout(benchmark::State& state) {
   const auto& w = Workload();
   const int64_t fanout = state.range(0);
   for (auto _ : state) {
-    auto handler = MakeDisorderHandler(DisorderHandlerSpec::FixedK(Millis(30)));
+    auto handler = MakeDisorderHandlerOrDie(DisorderHandlerSpec::Fixed(Millis(30)));
     PanedWindowedAggregation::Options options;
     options.window = WindowSpec::Sliding(Millis(50) * fanout, Millis(50));
     options.aggregate.kind = AggKind::kSum;

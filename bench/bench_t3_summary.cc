@@ -44,13 +44,13 @@ void Run() {
 
     {
       ContinuousQuery q;
-      q.handler = DisorderHandlerSpec::PassThroughSpec();
+      q.handler = DisorderHandlerSpec::PassThrough();
       q.window = wopts;
       strategies.push_back({"pass-through", q});
     }
     {
       ContinuousQuery q;
-      q.handler = DisorderHandlerSpec::PassThroughSpec();
+      q.handler = DisorderHandlerSpec::PassThrough();
       q.window = wopts;
       q.window.allowed_lateness = Seconds(2);
       q.window.emit_revision_per_update = false;
@@ -58,7 +58,7 @@ void Run() {
     }
     {
       ContinuousQuery q;
-      q.handler = DisorderHandlerSpec::FixedK(Millis(40));  // One global K.
+      q.handler = DisorderHandlerSpec::Fixed(Millis(40));  // One global K.
       q.window = wopts;
       strategies.push_back({"fixed-K(40ms)", q});
     }

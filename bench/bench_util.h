@@ -132,7 +132,7 @@ inline DurationUs OracleTunedFixedK(const GeneratedWorkload& workload,
   auto quality_at = [&](DurationUs k) {
     ContinuousQuery q;
     q.name = "tuning";
-    q.handler = DisorderHandlerSpec::FixedK(k);
+    q.handler = DisorderHandlerSpec::Fixed(k);
     q.window = wopts;
     return RunScored(q, workload, oracle).quality.MeanQualityIncludingMissed();
   };

@@ -19,6 +19,10 @@
 ///   --lateness=<ms>        allowed lateness (revisions), default 0
 ///   --audit                score results against the exact oracle
 ///   --results=<n>          print the first n results, default 0
+///   --metrics-out=<path>   export pipeline metrics after the run ("-" for
+///                          stdout); also enables a periodic progress line
+///                          on stderr while the stream is running
+///   --metrics-format=<f>   prom (default) | json
 
 #include <cstdio>
 #include <cstdlib>
@@ -26,6 +30,7 @@
 #include <string>
 
 #include "core/executor.h"
+#include "core/metrics_observer.h"
 #include "quality/oracle.h"
 #include "quality/quality_metrics.h"
 #include "stream/disorder_metrics.h"
@@ -50,7 +55,54 @@ struct Flags {
   int64_t lateness_ms = 0;
   bool audit = false;
   int64_t print_results = 0;
+  std::string metrics_out;
+  std::string metrics_format = "prom";
 };
+
+/// The CLI's observer: full metrics collection plus a ~2 Hz progress line on
+/// stderr so long trace replays are visibly alive.
+class CliObserver : public MetricsObserver {
+ public:
+  void OnSourceBatch(int64_t events) override {
+    MetricsObserver::OnSourceBatch(events);
+    events_seen_ += events;
+    const TimestampUs now = WallClockMicros();
+    if (start_ == 0) start_ = now;
+    if (now - last_print_ < Millis(500)) return;
+    last_print_ = now;
+    const double elapsed = ToSeconds(now - start_);
+    std::fprintf(stderr, "[streamq] %lld events in %.1fs (%.0f kev/s)\n",
+                 static_cast<long long>(events_seen_), elapsed,
+                 elapsed > 0.0 ? static_cast<double>(events_seen_) /
+                                     elapsed / 1000.0
+                               : 0.0);
+  }
+
+ private:
+  int64_t events_seen_ = 0;
+  TimestampUs start_ = 0;
+  TimestampUs last_print_ = 0;
+};
+
+/// Writes the snapshot in the requested format to `path` ("-" = stdout).
+bool WriteMetrics(const MetricsSnapshot& snapshot, const std::string& path,
+                  const std::string& format) {
+  const std::string text =
+      format == "json" ? snapshot.ToJson() : snapshot.ToPrometheusText();
+  if (path == "-") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return true;
+  }
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "failed to open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("metrics written to %s (%s)\n", path.c_str(), format.c_str());
+  return true;
+}
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
   const size_t len = std::strlen(name);
@@ -91,6 +143,10 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->lateness_ms = std::atoll(value.c_str());
     } else if (ParseFlag(arg, "--results", &value)) {
       flags->print_results = std::atoll(value.c_str());
+    } else if (ParseFlag(arg, "--metrics-out", &value)) {
+      flags->metrics_out = value;
+    } else if (ParseFlag(arg, "--metrics-format", &value)) {
+      flags->metrics_format = value;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
       return false;
@@ -100,6 +156,11 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
     std::fprintf(stderr,
                  "usage: streamq_cli --trace=feed.csv | --demo [options]\n"
                  "(see the header of examples/streamq_cli.cc)\n");
+    return false;
+  }
+  if (flags->metrics_format != "prom" && flags->metrics_format != "json") {
+    std::fprintf(stderr, "bad --metrics-format: %s (want prom or json)\n",
+                 flags->metrics_format.c_str());
     return false;
   }
   return true;
@@ -173,9 +234,18 @@ int main(int argc, char** argv) {
 
   // --- Run.
   QueryExecutor exec(query);
+  CliObserver observer;
+  const bool want_metrics = !flags.metrics_out.empty();
+  if (want_metrics) exec.SetObserver(&observer);
   VectorSource source(std::move(events));
   const RunReport report = exec.Run(&source);
   std::printf("%s\n", report.ToString().c_str());
+
+  if (want_metrics &&
+      !WriteMetrics(observer.Snapshot(), flags.metrics_out,
+                    flags.metrics_format)) {
+    return 1;
+  }
 
   for (int64_t i = 0;
        i < flags.print_results &&

@@ -30,7 +30,7 @@ SessionWindowedAggregation::Stats Sessionize(
   options.gap = Micros(500);
   options.aggregate.kind = AggKind::kCount;
   SessionWindowedAggregation op(options, &results);
-  auto handler = MakeDisorderHandler(spec);
+  auto handler = MakeDisorderHandlerOrDie(spec);
   for (const Event& e : arrivals) handler->OnEvent(e, &op);
   handler->Flush(&op);
   *out = results.results;
@@ -55,7 +55,7 @@ int main() {
 
   // Ground truth: sessionize the in-order stream.
   std::vector<WindowResult> truth;
-  Sessionize(stream.InOrder(), DisorderHandlerSpec::PassThroughSpec(),
+  Sessionize(stream.InOrder(), DisorderHandlerSpec::PassThrough(),
              &truth);
 
   AqKSlack::Options aq;
@@ -65,7 +65,7 @@ int main() {
                                  DisorderHandlerSpec::Aq(aq), &with_reorder);
   const auto s_without =
       Sessionize(stream.arrival_order,
-                 DisorderHandlerSpec::PassThroughSpec(), &without_reorder);
+                 DisorderHandlerSpec::PassThrough(), &without_reorder);
 
   std::printf("\ntrue sessions:                 %zu\n", truth.size());
   std::printf("with quality-driven reordering: %zu  (dropped clicks: %lld)\n",

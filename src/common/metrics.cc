@@ -1,45 +1,361 @@
 #include "common/metrics.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <sstream>
+
+#include "common/logging.h"
 
 namespace streamq {
 
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void AtomicAdd(std::atomic<double>* a, double x) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (!a->compare_exchange_weak(cur, cur + x, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>* a, double x) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (x < cur &&
+         !a->compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>* a, double x) {
+  double cur = a->load(std::memory_order_relaxed);
+  while (x > cur &&
+         !a->compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+/// Deterministic, compact double formatting shared by both exporters (up to
+/// 10 significant digits; integral values print without an exponent or
+/// trailing zeros, e.g. 42, 0.5, 1.5e+10).
+std::string FormatValue(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+/// Prometheus metric names may only use [a-zA-Z_:][a-zA-Z0-9_:]*.
+std::string PromName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && out.front() >= '0' && out.front() <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count);
+  int64_t cum = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const int64_t c = counts[i];
+    if (static_cast<double>(cum + c) >= target && c > 0) {
+      // Underflow bucket: everything below the first bound; the exact min
+      // is the best (and a conservative) answer.
+      if (i == 0) return min;
+      // Overflow bucket: bounded above only by the exact max.
+      if (upper_bounds[i] == kInf) return max;
+      const double lower = upper_bounds[i - 1];
+      const double upper = upper_bounds[i];
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(c);
+      // Geometric interpolation: buckets are log-spaced, so the mid-bucket
+      // position scales multiplicatively.
+      const double v = lower * std::pow(upper / lower, frac);
+      return std::clamp(v, min, max);
+    }
+    cum += c;
+  }
+  return max;
+}
+
+FixedHistogram::FixedHistogram() : FixedHistogram(Options{}) {}
+
+FixedHistogram::FixedHistogram(const Options& options)
+    : options_(options), num_buckets_(options.buckets) {
+  STREAMQ_CHECK_GT(options.min, 0.0);
+  STREAMQ_CHECK_GT(options.max, options.min);
+  STREAMQ_CHECK_GT(options.buckets, 0u);
+  inv_log_gamma_ = static_cast<double>(num_buckets_) /
+                   std::log(options.max / options.min);
+  log_min_ = std::log(options.min);
+  bucket_counts_ =
+      std::make_unique<std::atomic<int64_t>[]>(num_buckets_ + 2);
+  for (size_t i = 0; i < num_buckets_ + 2; ++i) {
+    bucket_counts_[i].store(0, std::memory_order_relaxed);
+  }
+  min_.store(kInf, std::memory_order_relaxed);
+  max_.store(-kInf, std::memory_order_relaxed);
+}
+
+size_t FixedHistogram::BucketIndex(double x) const {
+  if (!(x >= options_.min)) return 0;  // Also catches NaN.
+  if (x >= options_.max) return num_buckets_ + 1;
+  const double pos = (std::log(x) - log_min_) * inv_log_gamma_;
+  auto idx = static_cast<size_t>(std::max(pos, 0.0));
+  if (idx >= num_buckets_) idx = num_buckets_ - 1;  // FP boundary safety.
+  return idx + 1;
+}
+
+void FixedHistogram::Record(double x) {
+  bucket_counts_[BucketIndex(x)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(&sum_, x);
+  AtomicMin(&min_, x);
+  AtomicMax(&max_, x);
+}
+
+double FixedHistogram::min_seen() const {
+  return count() > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double FixedHistogram::max_seen() const {
+  return count() > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+HistogramSnapshot FixedHistogram::Snapshot() const {
+  HistogramSnapshot snap;
+  const size_t n = num_buckets_ + 2;
+  snap.upper_bounds.resize(n);
+  snap.counts.resize(n);
+  const double gamma = std::exp(1.0 / inv_log_gamma_);
+  double bound = options_.min;
+  snap.upper_bounds[0] = options_.min;
+  for (size_t i = 1; i <= num_buckets_; ++i) {
+    bound *= gamma;
+    snap.upper_bounds[i] = std::min(bound, options_.max);
+  }
+  snap.upper_bounds[num_buckets_] = options_.max;  // Exact top edge.
+  snap.upper_bounds[n - 1] = kInf;
+  for (size_t i = 0; i < n; ++i) {
+    snap.counts[i] = bucket_counts_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count();
+  snap.sum = sum();
+  snap.min = min_seen();
+  snap.max = max_seen();
+  return snap;
+}
+
+void FixedHistogram::Reset() {
+  for (size_t i = 0; i < num_buckets_ + 2; ++i) {
+    bucket_counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(kInf, std::memory_order_relaxed);
+  max_.store(-kInf, std::memory_order_relaxed);
+}
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::ostringstream out;
+  for (const auto& [name, value] : counters) {
+    const std::string n = PromName(name);
+    out << "# TYPE " << n << " counter\n";
+    out << n << " " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string n = PromName(name);
+    out << "# TYPE " << n << " gauge\n";
+    out << n << " " << FormatValue(value) << "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string n = PromName(name);
+    out << "# TYPE " << n << " histogram\n";
+    int64_t cum = 0;
+    for (size_t i = 0; i < h.upper_bounds.size(); ++i) {
+      cum += h.counts[i];
+      const bool inf = h.upper_bounds[i] == std::numeric_limits<double>::infinity();
+      out << n << "_bucket{le=\""
+          << (inf ? std::string("+Inf") : FormatValue(h.upper_bounds[i]))
+          << "\"} " << cum << "\n";
+    }
+    out << n << "_sum " << FormatValue(h.sum) << "\n";
+    out << n << "_count " << h.count << "\n";
+  }
+  for (const auto& [name, s] : series) {
+    const std::string n = PromName(name);
+    out << "# TYPE " << n << " summary\n";
+    out << n << "{quantile=\"0.5\"} " << FormatValue(s.p50) << "\n";
+    out << n << "{quantile=\"0.9\"} " << FormatValue(s.p90) << "\n";
+    out << n << "{quantile=\"0.95\"} " << FormatValue(s.p95) << "\n";
+    out << n << "{quantile=\"0.99\"} " << FormatValue(s.p99) << "\n";
+    out << n << "_sum " << FormatValue(s.mean * static_cast<double>(s.count))
+        << "\n";
+    out << n << "_count " << s.count << "\n";
+  }
+  return out.str();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+        << "\": " << value;
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+        << "\": " << FormatValue(value);
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out << (first ? "" : ",") << "\n    \"" << JsonEscape(name) << "\": {"
+        << "\"count\": " << h.count << ", \"sum\": " << FormatValue(h.sum)
+        << ", \"min\": " << FormatValue(h.min)
+        << ", \"max\": " << FormatValue(h.max)
+        << ", \"p50\": " << FormatValue(h.Quantile(0.5))
+        << ", \"p90\": " << FormatValue(h.Quantile(0.9))
+        << ", \"p99\": " << FormatValue(h.Quantile(0.99))
+        << ", \"buckets\": [";
+    bool first_bucket = true;
+    for (size_t i = 0; i < h.upper_bounds.size(); ++i) {
+      if (h.counts[i] == 0) continue;  // Sparse: most log buckets are empty.
+      const bool inf = h.upper_bounds[i] == std::numeric_limits<double>::infinity();
+      out << (first_bucket ? "" : ", ") << "{\"le\": "
+          << (inf ? std::string("\"+Inf\"") : FormatValue(h.upper_bounds[i]))
+          << ", \"count\": " << h.counts[i] << "}";
+      first_bucket = false;
+    }
+    out << "]}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"series\": {";
+  first = true;
+  for (const auto& [name, s] : series) {
+    out << (first ? "" : ",") << "\n    \"" << JsonEscape(name) << "\": {"
+        << "\"count\": " << s.count << ", \"mean\": " << FormatValue(s.mean)
+        << ", \"p50\": " << FormatValue(s.p50)
+        << ", \"p95\": " << FormatValue(s.p95)
+        << ", \"max\": " << FormatValue(s.max) << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
 Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return slot.get();
 }
 
 Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return slot.get();
 }
 
-Series* MetricsRegistry::series(const std::string& name) {
-  auto& slot = series_[name];
-  if (!slot) slot = std::make_unique<Series>();
+FixedHistogram* MetricsRegistry::histogram(
+    const std::string& name, const FixedHistogram::Options& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<FixedHistogram>(options);
   return slot.get();
 }
 
-std::string MetricsRegistry::Report() const {
-  std::ostringstream out;
-  for (const auto& [name, c] : counters_) {
-    out << name << " " << c->value() << "\n";
-  }
-  for (const auto& [name, g] : gauges_) {
-    out << name << " " << g->value() << "\n";
+Series* MetricsRegistry::series(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = series_[name];
+  if (!slot) slot = std::make_unique<Series>(options_.enable_series);
+  return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = h->Snapshot();
   }
   for (const auto& [name, s] : series_) {
-    out << name << " " << s->Summarize().ToString() << "\n";
+    if (s->enabled()) snap.series[name] = s->Summarize();
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::Report() const {
+  const MetricsSnapshot snap = Snapshot();
+  std::ostringstream out;
+  for (const auto& [name, value] : snap.counters) {
+    out << name << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out << name << " " << value << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    out << name << " count=" << h.count << " sum=" << FormatValue(h.sum)
+        << " p50=" << FormatValue(h.Quantile(0.5))
+        << " p99=" << FormatValue(h.Quantile(0.99)) << "\n";
+  }
+  for (const auto& [name, s] : snap.series) {
+    out << name << " " << s.ToString() << "\n";
   }
   return out.str();
 }
 
 void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
   for (auto& [name, s] : series_) s->Reset();
 }
 

@@ -1,9 +1,12 @@
 #ifndef STREAMQ_COMMON_METRICS_H_
 #define STREAMQ_COMMON_METRICS_H_
 
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -11,59 +14,214 @@
 
 namespace streamq {
 
-/// Monotonic counter.
+/// Monotonic counter. Thread-safe: Increment and value are relaxed atomics
+/// (per-metric ordering does not matter; Snapshot() reads are approximate
+/// under concurrent writes, exact once writers quiesce).
 class Counter {
  public:
-  void Increment(int64_t by = 1) { value_ += by; }
-  int64_t value() const { return value_; }
-  void Reset() { value_ = 0; }
+  void Increment(int64_t by = 1) {
+    value_.fetch_add(by, std::memory_order_relaxed);
+  }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
 
  private:
-  int64_t value_ = 0;
+  std::atomic<int64_t> value_{0};
 };
 
-/// Last-write-wins gauge.
+/// Last-write-wins gauge. Thread-safe.
 class Gauge {
  public:
-  void Set(double v) { value_ = v; }
-  double value() const { return value_; }
-  void Reset() { value_ = 0.0; }
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
 
  private:
-  double value_ = 0.0;
+  std::atomic<double> value_{0.0};
+};
+
+/// Point-in-time copy of one FixedHistogram, with enough structure to
+/// export (bucket bounds + per-bucket counts) and to estimate quantiles.
+struct HistogramSnapshot {
+  /// Upper bound of each bucket (exclusive), ascending. The first entry is
+  /// the underflow bound (= Options::min), the last is +infinity for the
+  /// overflow bucket. `counts` is aligned: counts[i] tuples fell in
+  /// [bounds[i-1], bounds[i]) with bounds[-1] = -infinity.
+  std::vector<double> upper_bounds;
+  std::vector<int64_t> counts;
+
+  int64_t count = 0;
+  double sum = 0.0;
+  /// Exact extremes of everything recorded (0 when empty).
+  double min = 0.0;
+  double max = 0.0;
+
+  /// Quantile estimate, q in [0, 1]: geometric interpolation within the
+  /// containing log bucket, clamped to the exact [min, max] envelope.
+  double Quantile(double q) const;
+
+  double mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+};
+
+/// Bounded log-bucketed histogram: fixed memory regardless of stream
+/// length, exact count/sum/min/max, quantile estimates with relative (not
+/// absolute) bucket error. This is the production-path replacement for the
+/// unbounded full-sample Series.
+///
+/// Buckets are log-spaced over [min, max) with one underflow bucket for
+/// values < min (including zero and negatives) and one overflow bucket for
+/// values >= max. Thread-safe: Record is wait-free relaxed atomics, so
+/// concurrent pipelines may share one instance; Snapshot() taken during
+/// concurrent writes is internally consistent to within in-flight updates.
+class FixedHistogram {
+ public:
+  struct Options {
+    /// Lower edge of the first log bucket (> 0); smaller values underflow.
+    double min = 1.0;
+    /// Upper edge of the last log bucket; larger values overflow.
+    double max = 1e9;
+    /// Number of log-spaced buckets between min and max.
+    size_t buckets = 72;
+  };
+
+  /// Default-constructs with Options{} (defined out-of-line: the nested
+  /// Options' member initializers are not usable inside this class body).
+  FixedHistogram();
+  explicit FixedHistogram(const Options& options);
+
+  FixedHistogram(const FixedHistogram&) = delete;
+  FixedHistogram& operator=(const FixedHistogram&) = delete;
+
+  void Record(double x);
+  /// Legacy spelling used by the stats-style classes.
+  void Add(double x) { Record(x); }
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min_seen() const;
+  double max_seen() const;
+
+  /// Quantile estimate (see HistogramSnapshot::Quantile).
+  double Quantile(double q) const { return Snapshot().Quantile(q); }
+
+  HistogramSnapshot Snapshot() const;
+  void Reset();
+
+  const Options& options() const { return options_; }
+  /// Total bucket count including underflow and overflow.
+  size_t bucket_count() const { return num_buckets_ + 2; }
+
+ private:
+  size_t BucketIndex(double x) const;
+
+  Options options_;
+  size_t num_buckets_;
+  double inv_log_gamma_;  // buckets / ln(max / min): index scale factor.
+  double log_min_;
+  /// [0] underflow, [1 .. num_buckets_] log buckets, [num_buckets_+1]
+  /// overflow.
+  std::unique_ptr<std::atomic<int64_t>[]> bucket_counts_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};  // Valid only when count_ > 0.
+  std::atomic<double> max_{0.0};
 };
 
 /// Full-sample series metric: records every observation so that experiment
-/// harnesses can compute exact percentiles. For unbounded production use,
-/// prefer `FixedHistogram`; the evaluation harness wants exactness.
+/// harnesses can compute exact percentiles. Memory grows without bound, so
+/// the registry hands out *disabled* (no-op) series unless constructed with
+/// enable_series — production paths should use FixedHistogram instead.
 class Series {
  public:
-  void Record(double v) { values_.push_back(v); }
-  const std::vector<double>& values() const { return values_; }
-  DistributionSummary Summarize() const { return ::streamq::Summarize(values_); }
-  void Reset() { values_.clear(); }
+  explicit Series(bool enabled = true) : enabled_(enabled) {}
+
+  void Record(double v) {
+    if (!enabled_) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    values_.push_back(v);
+  }
+  bool enabled() const { return enabled_; }
+  std::vector<double> values() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return values_;
+  }
+  DistributionSummary Summarize() const {
+    return ::streamq::Summarize(values());
+  }
+  void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    values_.clear();
+  }
 
  private:
+  bool enabled_;
+  mutable std::mutex mu_;
   std::vector<double> values_;
 };
 
-/// Named registry of metrics owned by one pipeline/operator. Single-threaded
-/// by design (the engine is single-threaded per pipeline; see DESIGN.md).
+/// Immutable point-in-time view of a whole registry, with deterministic
+/// text exporters (maps are name-sorted; numbers format identically across
+/// runs, which is what makes the golden tests possible).
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+  /// Present only for registries with enable_series.
+  std::map<std::string, DistributionSummary> series;
+
+  /// Prometheus text exposition format: counters/gauges verbatim,
+  /// histograms as cumulative `_bucket{le=...}` lines plus `_sum`/`_count`,
+  /// series as summary quantiles. Metric names are sanitized to
+  /// [a-zA-Z0-9_:].
+  std::string ToPrometheusText() const;
+
+  /// Deterministic JSON document grouped by metric type.
+  std::string ToJson() const;
+};
+
+/// Named registry of metrics owned by one pipeline (or shared by several:
+/// every metric type is individually thread-safe, and registration is
+/// mutex-protected, so concurrent recording + Snapshot() is safe).
 class MetricsRegistry {
  public:
-  /// Returns the counter with `name`, creating it on first use.
+  struct Options {
+    /// Full-sample Series metrics are evaluation-only; leave off in
+    /// production so long streams cannot grow memory without bound.
+    bool enable_series = false;
+  };
+
+  MetricsRegistry() = default;
+  explicit MetricsRegistry(const Options& options) : options_(options) {}
+
+  /// Returns the metric with `name`, creating it on first use. Returned
+  /// pointers stay valid for the registry's lifetime.
   Counter* counter(const std::string& name);
   Gauge* gauge(const std::string& name);
+  /// `options` applies on first creation only.
+  FixedHistogram* histogram(
+      const std::string& name,
+      const FixedHistogram::Options& options = FixedHistogram::Options{});
+  /// Disabled (records are dropped) unless Options::enable_series.
   Series* series(const std::string& name);
+
+  /// Consistent point-in-time copy of every registered metric.
+  MetricsSnapshot Snapshot() const;
 
   /// Renders all metrics as "name value" lines, sorted by name.
   std::string Report() const;
 
   void ResetAll();
 
+  const Options& options() const { return options_; }
+
  private:
+  Options options_;
+  mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<FixedHistogram>> histograms_;
   std::map<std::string, std::unique_ptr<Series>> series_;
 };
 

@@ -231,42 +231,6 @@ double SlidingWindowQuantile::Mean() const {
   return s / static_cast<double>(window_.size());
 }
 
-FixedHistogram::FixedHistogram(double lo, double hi, size_t buckets)
-    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)) {
-  STREAMQ_CHECK_LT(lo, hi);
-  STREAMQ_CHECK_GT(buckets, 0u);
-  counts_.assign(buckets, 0);
-}
-
-void FixedHistogram::Add(double x) {
-  moments_.Add(x);
-  ++count_;
-  auto idx = static_cast<int64_t>((x - lo_) / width_);
-  idx = std::clamp<int64_t>(idx, 0, static_cast<int64_t>(counts_.size()) - 1);
-  ++counts_[static_cast<size_t>(idx)];
-}
-
-void FixedHistogram::Reset() {
-  std::fill(counts_.begin(), counts_.end(), 0);
-  count_ = 0;
-  moments_.Reset();
-}
-
-double FixedHistogram::Quantile(double q) const {
-  if (count_ == 0) return 0.0;
-  const double target = q * static_cast<double>(count_);
-  double cum = 0.0;
-  for (size_t i = 0; i < counts_.size(); ++i) {
-    const auto c = static_cast<double>(counts_[i]);
-    if (cum + c >= target) {
-      const double frac = c > 0 ? (target - cum) / c : 0.0;
-      return lo_ + (static_cast<double>(i) + frac) * width_;
-    }
-    cum += c;
-  }
-  return hi_;
-}
-
 std::string DistributionSummary::ToString() const {
   char buf[256];
   std::snprintf(buf, sizeof(buf),

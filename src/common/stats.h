@@ -138,30 +138,6 @@ class SlidingWindowQuantile {
   mutable std::vector<double> scratch_;
 };
 
-/// Histogram with fixed-width buckets over [lo, hi); out-of-range values
-/// clamp into the first/last bucket. Cheap percentile queries.
-class FixedHistogram {
- public:
-  FixedHistogram(double lo, double hi, size_t buckets);
-
-  void Add(double x);
-  void Reset();
-
-  int64_t count() const { return count_; }
-  /// Approximate quantile by linear interpolation within the bucket.
-  double Quantile(double q) const;
-  double Mean() const { return moments_.mean(); }
-  double Max() const { return moments_.max(); }
-
-  const std::vector<int64_t>& buckets() const { return counts_; }
-
- private:
-  double lo_, hi_, width_;
-  std::vector<int64_t> counts_;
-  int64_t count_ = 0;
-  RunningMoments moments_;
-};
-
 /// Summary of a latency/error series for report tables.
 struct DistributionSummary {
   int64_t count = 0;

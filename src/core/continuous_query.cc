@@ -12,13 +12,7 @@ Status ContinuousQuery::Validate() const {
   if (window.allowed_lateness < 0) {
     return Status::InvalidArgument("allowed_lateness must be >= 0");
   }
-  if (handler.kind == DisorderHandlerSpec::Kind::kAqKSlack) {
-    const auto& aq = handler.aq;
-    if (aq.target_quality <= 0.0 || aq.target_quality > 1.0) {
-      return Status::InvalidArgument("target_quality must be in (0, 1]");
-    }
-  }
-  return Status::OK();
+  return handler.Validate();
 }
 
 std::string ContinuousQuery::Describe() const {
@@ -95,7 +89,7 @@ QueryBuilder& QueryBuilder::LatencyConstrained(const LbKSlack::Options& options)
 }
 
 QueryBuilder& QueryBuilder::FixedSlack(DurationUs k) {
-  query_.handler = DisorderHandlerSpec::FixedK(k);
+  query_.handler = DisorderHandlerSpec::Fixed(k);
   quality_driven_ = false;
   return *this;
 }
@@ -114,13 +108,13 @@ QueryBuilder& QueryBuilder::Watermark(
 }
 
 QueryBuilder& QueryBuilder::NoDisorderHandling() {
-  query_.handler = DisorderHandlerSpec::PassThroughSpec();
+  query_.handler = DisorderHandlerSpec::PassThrough();
   quality_driven_ = false;
   return *this;
 }
 
 QueryBuilder& QueryBuilder::PerKey(bool on) {
-  query_.handler.per_key = on;
+  query_.handler = query_.handler.PerKey(on);
   query_.window.per_key_watermarks = on;
   return *this;
 }

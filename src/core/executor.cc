@@ -26,7 +26,7 @@ std::string RunReport::ToString() const {
 
 QueryExecutor::QueryExecutor(const ContinuousQuery& query) : query_(query) {
   STREAMQ_CHECK_OK(query.Validate());
-  handler_ = MakeDisorderHandler(query.handler);
+  handler_ = MakeDisorderHandlerOrDie(query.handler);
   window_op_ =
       std::make_unique<WindowedAggregation>(query.window, &result_sink_);
 }
@@ -60,11 +60,17 @@ RunReport QueryExecutor::Run(EventSource* source, size_t batch_size) {
     chunk.reserve(batch_size);
     while (source->NextBatch(&chunk, batch_size) > 0) {
       FeedBatch(chunk);
+      if (observer_ != nullptr) {
+        observer_->OnSourceBatch(static_cast<int64_t>(chunk.size()));
+      }
       chunk.clear();
     }
   }
   Finish();
   wall_seconds_ = ToSeconds(WallClockMicros() - start);
+  if (observer_ != nullptr) {
+    observer_->OnRunCompleted(events_processed_, wall_seconds_);
+  }
   return Report();
 }
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/continuous_query.h"
+#include "core/pipeline_observer.h"
 #include "disorder/disorder_handler.h"
 #include "stream/source.h"
 #include "window/window_operator.h"
@@ -74,8 +75,27 @@ class QueryExecutor {
     return result_sink_.results;
   }
 
+  /// Installs a read-only instrumentation observer on the whole pipeline
+  /// (source batches, handler, window operator). nullptr uninstalls. The
+  /// observer must outlive the executor; when unset the pipeline pays only
+  /// pointer null-checks (see core/pipeline_observer.h).
+  void SetObserver(PipelineObserver* observer) {
+    observer_ = observer;
+    handler_->set_observer(observer);
+    window_op_->set_observer(observer);
+  }
+
+  /// Read-only views of the pipeline stages, for inspection (stats, slack,
+  /// buffer occupancy). Mutation goes through the query spec at construction
+  /// or through SetObserver — not by reaching into the stages.
+  const DisorderHandler& handler_view() const { return *handler_; }
+  const WindowedAggregation& window_view() const { return *window_op_; }
+
+  [[deprecated("inspect via handler_view(); mutate via the query spec")]]
   DisorderHandler* handler() { return handler_.get(); }
+  [[deprecated("use handler_view()")]]
   const DisorderHandler* handler() const { return handler_.get(); }
+  [[deprecated("inspect via window_view(); mutate via the query spec")]]
   WindowedAggregation* window_op() { return window_op_.get(); }
   const ContinuousQuery& query() const { return query_; }
 
@@ -87,6 +107,7 @@ class QueryExecutor {
   CollectingResultSink result_sink_;
   std::unique_ptr<DisorderHandler> handler_;
   std::unique_ptr<WindowedAggregation> window_op_;
+  PipelineObserver* observer_ = nullptr;
   int64_t events_processed_ = 0;
   double wall_seconds_ = 0.0;
 };

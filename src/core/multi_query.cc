@@ -90,7 +90,7 @@ std::vector<RunReport> MultiQueryRunner::RunIndependent(EventSource* source) {
 }
 
 std::vector<RunReport> MultiQueryRunner::RunShared(EventSource* source) {
-  auto handler = MakeDisorderHandler(SharedHandlerSpec(queries_));
+  auto handler = MakeDisorderHandlerOrDie(SharedHandlerSpec(queries_));
 
   std::vector<std::unique_ptr<CollectingResultSink>> result_sinks;
   std::vector<std::unique_ptr<WindowedAggregation>> window_ops;

@@ -37,6 +37,7 @@ std::vector<RunReport> ParallelMultiQueryRunner::Run(EventSource* source) {
   queues.reserve(n);
   for (const ContinuousQuery& q : queries_) {
     executors.push_back(std::make_unique<QueryExecutor>(q));
+    if (observer_ != nullptr) executors.back()->SetObserver(observer_);
     queues.push_back(std::make_unique<BatchQueue>(options_.queue_capacity));
   }
 
@@ -56,9 +57,25 @@ std::vector<RunReport> ParallelMultiQueryRunner::Run(EventSource* source) {
   // Driver: pull arrival-ordered batches and publish each to every worker.
   std::vector<Event> chunk;
   chunk.reserve(options_.batch_size);
+  int64_t events_pulled = 0;
   while (source->NextBatch(&chunk, options_.batch_size) > 0) {
     auto batch = std::make_shared<const std::vector<Event>>(std::move(chunk));
-    for (auto& q : queues) q->Push(batch);
+    events_pulled += static_cast<int64_t>(batch->size());
+    if (observer_ == nullptr) {
+      for (auto& q : queues) q->Push(batch);
+    } else {
+      observer_->OnSourceBatch(static_cast<int64_t>(batch->size()));
+      for (size_t i = 0; i < n; ++i) {
+        BatchPtr copy = batch;
+        // A failed TryPush means this worker's ring is full: one stall per
+        // full-queue encounter, then the normal blocking Push.
+        if (!queues[i]->TryPush(std::move(copy))) {
+          observer_->OnBackpressureStall(i);
+          queues[i]->Push(std::move(copy));
+        }
+        observer_->OnQueueDepth(i, queues[i]->size());
+      }
+    }
     chunk = std::vector<Event>();
     chunk.reserve(options_.batch_size);
   }
@@ -66,6 +83,9 @@ std::vector<RunReport> ParallelMultiQueryRunner::Run(EventSource* source) {
   for (std::thread& t : workers) t.join();
 
   const double wall_seconds = ToSeconds(WallClockMicros() - start);
+  if (observer_ != nullptr) {
+    observer_->OnRunCompleted(events_pulled, wall_seconds);
+  }
 
   std::vector<RunReport> reports;
   reports.reserve(n);
@@ -114,6 +134,7 @@ RunReport ShardedKeyedRunner::Run(EventSource* source) {
   queues.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     executors.push_back(std::make_unique<QueryExecutor>(query_));
+    if (observer_ != nullptr) executors.back()->SetObserver(observer_);
     queues.push_back(std::make_unique<BatchQueue>(options_.queue_capacity));
   }
 
@@ -136,13 +157,28 @@ RunReport ShardedKeyedRunner::Run(EventSource* source) {
   chunk.reserve(options_.batch_size);
   std::vector<std::vector<Event>> shard_chunks(n);
   while (source->NextBatch(&chunk, options_.batch_size) > 0) {
+    if (observer_ != nullptr) {
+      observer_->OnSourceBatch(static_cast<int64_t>(chunk.size()));
+    }
     for (const Event& e : chunk) {
       shard_chunks[ShardOf(e.key, n)].push_back(e);
     }
     for (size_t i = 0; i < n; ++i) {
       if (shard_chunks[i].empty()) continue;
-      queues[i]->Push(std::make_shared<const std::vector<Event>>(
-          std::move(shard_chunks[i])));
+      const auto sub_batch_events =
+          static_cast<int64_t>(shard_chunks[i].size());
+      BatchPtr batch = std::make_shared<const std::vector<Event>>(
+          std::move(shard_chunks[i]));
+      if (observer_ == nullptr) {
+        queues[i]->Push(std::move(batch));
+      } else {
+        if (!queues[i]->TryPush(std::move(batch))) {
+          observer_->OnBackpressureStall(i);
+          queues[i]->Push(std::move(batch));
+        }
+        observer_->OnShardBatch(i, sub_batch_events);
+        observer_->OnQueueDepth(i, queues[i]->size());
+      }
       shard_chunks[i] = std::vector<Event>();
     }
     chunk.clear();
@@ -191,6 +227,9 @@ RunReport ShardedKeyedRunner::Run(EventSource* source) {
                      return std::tie(a.bounds.start, a.key, a.revision_index) <
                             std::tie(b.bounds.start, b.key, b.revision_index);
                    });
+  if (observer_ != nullptr) {
+    observer_->OnRunCompleted(merged.events_processed, wall_seconds);
+  }
   return merged;
 }
 

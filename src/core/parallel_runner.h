@@ -8,6 +8,7 @@
 
 #include "core/continuous_query.h"
 #include "core/executor.h"
+#include "core/pipeline_observer.h"
 #include "stream/source.h"
 
 namespace streamq {
@@ -49,9 +50,16 @@ class ParallelMultiQueryRunner {
 
   const ParallelOptions& options() const { return options_; }
 
+  /// Installs one observer on every worker pipeline plus the driver's queue
+  /// instrumentation (per-worker queue depth, backpressure stalls). The
+  /// observer is shared across threads, so it must be thread-safe (e.g.
+  /// MetricsObserver); it must outlive Run().
+  void SetObserver(PipelineObserver* observer) { observer_ = observer; }
+
  private:
   ParallelOptions options_;
   std::vector<ContinuousQuery> queries_;
+  PipelineObserver* observer_ = nullptr;
 };
 
 /// Runs ONE keyed query with its key space sharded across worker threads.
@@ -87,10 +95,15 @@ class ShardedKeyedRunner {
   /// patterns onto shards; the mix makes placement uniform regardless.
   static size_t ShardOf(int64_t key, size_t num_shards);
 
+  /// Installs one observer on every shard pipeline plus the driver's
+  /// per-shard routing counters. Must be thread-safe and outlive Run().
+  void SetObserver(PipelineObserver* observer) { observer_ = observer; }
+
  private:
   ContinuousQuery query_;
   size_t num_shards_;
   ParallelOptions options_;
+  PipelineObserver* observer_ = nullptr;
 };
 
 }  // namespace streamq

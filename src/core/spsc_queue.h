@@ -34,6 +34,15 @@ class SpscQueue {
 
   size_t capacity() const { return slots_.size(); }
 
+  /// Approximate occupancy (instrumentation only): both indices are read
+  /// relaxed, so the value may be momentarily stale from either side, but
+  /// it is always within [0, capacity] for the single producer/consumer.
+  size_t size() const {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t head = head_.load(std::memory_order_relaxed);
+    return tail - head;
+  }
+
   /// Producer side. Returns false when the ring is full.
   bool TryPush(T&& value) {
     const size_t tail = tail_.load(std::memory_order_relaxed);

@@ -36,8 +36,8 @@ WindowedStreamJoin::WindowedStreamJoin(const Options& options, JoinSink* sink)
     : options_(options), sink_(sink) {
   STREAMQ_CHECK(sink != nullptr);
   STREAMQ_CHECK_GE(options.join_window, 0);
-  left_handler_ = MakeDisorderHandler(options.left_handler);
-  right_handler_ = MakeDisorderHandler(options.right_handler);
+  left_handler_ = MakeDisorderHandlerOrDie(options.left_handler);
+  right_handler_ = MakeDisorderHandlerOrDie(options.right_handler);
   left_sink_ = std::make_unique<SideSink>(this, /*is_left=*/true);
   right_sink_ = std::make_unique<SideSink>(this, /*is_left=*/false);
 }

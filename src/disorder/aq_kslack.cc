@@ -125,7 +125,20 @@ void AqKSlack::Adapt(TimestampUs now) {
   p_ += step;
 
   // --- Translate the quantile setpoint into a concrete slack.
+  const DurationUs old_k = k_;
   k_ = static_cast<DurationUs>(std::ceil(LatenessQuantile(p_)));
+
+  if (observer_ != nullptr) {
+    if (k_ != old_k) observer_->OnSlackChanged(old_k, k_);
+    observer_->OnAdaptation(AdaptationSample{
+        .tuple_index = tuple_index_,
+        .stream_time = now,
+        .measured = measured_quality_,
+        .setpoint = p_,
+        .k = k_,
+        .buffer_size = buffer_.size(),
+    });
+  }
 
   if (record_trace_) {
     adaptation_trace_.push_back(AdaptationRecord{

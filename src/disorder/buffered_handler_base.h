@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "core/pipeline_observer.h"
 #include "disorder/disorder_handler.h"
 #include "disorder/reorder_buffer.h"
 
@@ -50,6 +51,7 @@ class BufferedHandlerBase : public DisorderHandler {
     if (emitted_frontier_ != kMinTimestamp &&
         e.event_time < emitted_frontier_) {
       ++stats_.events_late;
+      if (observer_ != nullptr) observer_->OnLateEvent(e);
       sink->OnLateEvent(e);
       return false;
     }
@@ -68,6 +70,11 @@ class BufferedHandlerBase : public DisorderHandler {
     if (buffer_.PopUpTo(threshold, &release_scratch_) > 0) {
       for (const Event& e : release_scratch_) RecordRelease(e, now);
       sink->OnEvents(release_scratch_);
+      if (observer_ != nullptr) {
+        observer_->OnHandlerRelease(
+            static_cast<int64_t>(release_scratch_.size()), buffer_.size(),
+            threshold);
+      }
     }
     if (emitted_frontier_ == kMinTimestamp || threshold > emitted_frontier_) {
       emitted_frontier_ = threshold;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "core/pipeline_observer.h"
+
 namespace streamq {
 
 std::string DisorderHandlerStats::ToString() const {
@@ -31,6 +33,7 @@ void DisorderHandler::RecordRelease(const Event& released, TimestampUs now) {
   if (collect_latency_samples_) {
     AddLatencySample(latency);
   }
+  if (observer_ != nullptr) observer_->OnBufferingLatency(latency);
 }
 
 void DisorderHandler::AddLatencySample(double latency) {

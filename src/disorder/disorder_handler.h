@@ -15,6 +15,8 @@
 
 namespace streamq {
 
+class PipelineObserver;
+
 /// Instrumentation shared by all disorder handlers.
 struct DisorderHandlerStats {
   int64_t events_in = 0;
@@ -105,6 +107,16 @@ class DisorderHandler {
   size_t latency_sample_cap() const { return latency_sample_cap_; }
   void set_latency_sample_cap(size_t cap) { latency_sample_cap_ = cap; }
 
+  /// Installs a read-only instrumentation observer (nullptr = none, the
+  /// default). When unset, the hot path pays only a pointer null-check —
+  /// no virtual calls (the zero-cost-when-off contract of
+  /// core/pipeline_observer.h). Virtual so composite handlers
+  /// (KeyedDisorderHandler) can propagate to their inner handlers.
+  virtual void set_observer(PipelineObserver* observer) {
+    observer_ = observer;
+  }
+  PipelineObserver* observer() const { return observer_; }
+
   static constexpr size_t kDefaultLatencySampleCap = 1u << 18;
 
  protected:
@@ -114,6 +126,7 @@ class DisorderHandler {
 
   DisorderHandlerStats stats_;
   bool collect_latency_samples_;
+  PipelineObserver* observer_ = nullptr;
 
  private:
   /// Vitter's algorithm R over the release series (deterministic seed, so

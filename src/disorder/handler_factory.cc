@@ -6,6 +6,19 @@
 
 namespace streamq {
 
+DisorderHandlerSpec DisorderHandlerSpec::PassThrough() {
+  DisorderHandlerSpec s;
+  s.kind = Kind::kPassThrough;
+  return s;
+}
+
+DisorderHandlerSpec DisorderHandlerSpec::Fixed(DurationUs k) {
+  DisorderHandlerSpec s;
+  s.kind = Kind::kFixedKSlack;
+  s.fixed_k = k;
+  return s;
+}
+
 DisorderHandlerSpec DisorderHandlerSpec::PassThroughSpec() {
   DisorderHandlerSpec s;
   s.kind = Kind::kPassThrough;
@@ -17,6 +30,97 @@ DisorderHandlerSpec DisorderHandlerSpec::FixedK(DurationUs k) {
   s.kind = Kind::kFixedKSlack;
   s.fixed_k = k;
   return s;
+}
+
+DisorderHandlerSpec DisorderHandlerSpec::PerKey(bool enabled) const {
+  DisorderHandlerSpec s = *this;
+  s.per_key = enabled;
+  return s;
+}
+
+DisorderHandlerSpec DisorderHandlerSpec::WithLatencySamples(
+    bool enabled) const {
+  DisorderHandlerSpec s = *this;
+  s.collect_latency_samples = enabled;
+  return s;
+}
+
+Status DisorderHandlerSpec::Validate() const {
+  switch (kind) {
+    case Kind::kPassThrough:
+      break;
+    case Kind::kFixedKSlack:
+      if (fixed_k < 0) {
+        return Status::InvalidArgument("fixed-kslack: K must be >= 0");
+      }
+      break;
+    case Kind::kMpKSlack:
+      if (mp.window_size <= 0) {
+        return Status::InvalidArgument("mp-kslack: window_size must be > 0");
+      }
+      if (mp.safety_factor < 0.0) {
+        return Status::InvalidArgument(
+            "mp-kslack: safety_factor must be >= 0");
+      }
+      break;
+    case Kind::kAqKSlack:
+      if (aq.target_quality <= 0.0 || aq.target_quality > 1.0) {
+        return Status::InvalidArgument(
+            "aq-kslack: target_quality must be in (0, 1]");
+      }
+      if (aq.adaptation_interval <= 0) {
+        return Status::InvalidArgument(
+            "aq-kslack: adaptation_interval must be > 0");
+      }
+      if (aq.p_min <= 0.0 || aq.p_max > 1.0 || aq.p_min >= aq.p_max) {
+        return Status::InvalidArgument(
+            "aq-kslack: need 0 < p_min < p_max <= 1");
+      }
+      if (aq.max_step <= 0.0) {
+        return Status::InvalidArgument("aq-kslack: max_step must be > 0");
+      }
+      if (aq.quality_smoothing_alpha <= 0.0 ||
+          aq.quality_smoothing_alpha > 1.0) {
+        return Status::InvalidArgument(
+            "aq-kslack: quality_smoothing_alpha must be in (0, 1]");
+      }
+      if (aq_quality_gamma < 0.0) {
+        return Status::InvalidArgument(
+            "aq-kslack: quality gamma must be >= 0 (0 = coverage model)");
+      }
+      break;
+    case Kind::kLbKSlack:
+      if (lb.latency_budget <= 0) {
+        return Status::InvalidArgument(
+            "lb-kslack: latency_budget must be > 0");
+      }
+      if (lb.adaptation_interval <= 0) {
+        return Status::InvalidArgument(
+            "lb-kslack: adaptation_interval must be > 0");
+      }
+      if (lb.p_min < 0.0 || lb.p_max > 1.0 || lb.p_min >= lb.p_max) {
+        return Status::InvalidArgument(
+            "lb-kslack: need 0 <= p_min < p_max <= 1");
+      }
+      if (lb.max_step <= 0.0) {
+        return Status::InvalidArgument("lb-kslack: max_step must be > 0");
+      }
+      break;
+    case Kind::kWatermark:
+      if (wm.bound < 0) {
+        return Status::InvalidArgument("watermark: bound must be >= 0");
+      }
+      if (wm.period_events <= 0) {
+        return Status::InvalidArgument(
+            "watermark: period_events must be > 0");
+      }
+      if (wm.allowed_lateness < 0) {
+        return Status::InvalidArgument(
+            "watermark: allowed_lateness must be >= 0");
+      }
+      break;
+  }
+  return Status::OK();
 }
 
 DisorderHandlerSpec DisorderHandlerSpec::Mp(const MpKSlack::Options& options) {
@@ -85,13 +189,15 @@ std::string DisorderHandlerSpec::Describe() const {
   return "?";
 }
 
-std::unique_ptr<DisorderHandler> MakeDisorderHandler(
-    const DisorderHandlerSpec& spec) {
+namespace {
+
+/// Builds a pre-validated spec (shared by the checked and OrDie entry
+/// points; the keyed wrapper recurses here with per_key stripped).
+std::unique_ptr<DisorderHandler> BuildHandler(const DisorderHandlerSpec& spec) {
   if (spec.per_key && spec.kind != DisorderHandlerSpec::Kind::kPassThrough) {
-    DisorderHandlerSpec inner = spec;
-    inner.per_key = false;
+    DisorderHandlerSpec inner = spec.PerKey(false);
     return std::make_unique<KeyedDisorderHandler>(
-        [inner] { return MakeDisorderHandler(inner); });
+        [inner] { return BuildHandler(inner); });
   }
   const bool samples = spec.collect_latency_samples;
   switch (spec.kind) {
@@ -126,6 +232,25 @@ std::unique_ptr<DisorderHandler> MakeDisorderHandler(
   }
   STREAMQ_LOG(Fatal) << "unknown disorder handler kind";
   return nullptr;
+}
+
+}  // namespace
+
+Status MakeDisorderHandler(const DisorderHandlerSpec& spec,
+                           std::unique_ptr<DisorderHandler>* out) {
+  STREAMQ_CHECK(out != nullptr);
+  out->reset();
+  STREAMQ_RETURN_NOT_OK(spec.Validate());
+  *out = BuildHandler(spec);
+  return Status::OK();
+}
+
+std::unique_ptr<DisorderHandler> MakeDisorderHandlerOrDie(
+    const DisorderHandlerSpec& spec) {
+  std::unique_ptr<DisorderHandler> handler;
+  const Status status = MakeDisorderHandler(spec, &handler);
+  STREAMQ_CHECK(status.ok()) << status.ToString();
+  return handler;
 }
 
 }  // namespace streamq

@@ -48,9 +48,11 @@ struct DisorderHandlerSpec {
   /// hot path free of sample bookkeeping.
   bool collect_latency_samples = true;
 
-  /// Convenience constructors.
-  static DisorderHandlerSpec PassThroughSpec();
-  static DisorderHandlerSpec FixedK(DurationUs k);
+  /// Named constructors — the supported way to build a spec. Each sets
+  /// exactly the fields its kind reads; combine with the chainable
+  /// modifiers below instead of assigning fields directly.
+  static DisorderHandlerSpec PassThrough();
+  static DisorderHandlerSpec Fixed(DurationUs k);
   static DisorderHandlerSpec Mp(const MpKSlack::Options& options);
   static DisorderHandlerSpec Aq(const AqKSlack::Options& options,
                                 double quality_gamma = 0.0);
@@ -58,12 +60,34 @@ struct DisorderHandlerSpec {
   static DisorderHandlerSpec Watermark(
       const WatermarkReorderer::Options& options);
 
+  [[deprecated("use PassThrough()")]]
+  static DisorderHandlerSpec PassThroughSpec();
+  [[deprecated("use Fixed(k)")]]
+  static DisorderHandlerSpec FixedK(DurationUs k);
+
+  /// Chainable modifiers: return an adjusted copy, so specs compose in one
+  /// expression, e.g. DisorderHandlerSpec::Fixed(Seconds(1)).PerKey().
+  DisorderHandlerSpec PerKey(bool enabled = true) const;
+  DisorderHandlerSpec WithLatencySamples(bool enabled) const;
+
+  /// Checks every field the configured kind reads (slack signs, quantile
+  /// bounds, controller gains, gamma). MakeDisorderHandler calls this, so a
+  /// spec that passes Validate() is guaranteed to construct.
+  Status Validate() const;
+
   /// Human-readable name of the configured handler.
   std::string Describe() const;
 };
 
-/// Instantiates the configured handler.
-std::unique_ptr<DisorderHandler> MakeDisorderHandler(
+/// Validates `spec` and instantiates the configured handler into `*out`.
+/// On error `*out` is left null and the Status explains which field was
+/// rejected.
+Status MakeDisorderHandler(const DisorderHandlerSpec& spec,
+                           std::unique_ptr<DisorderHandler>* out);
+
+/// Convenience wrapper for callers whose spec is known-good (tests,
+/// benches, already-validated queries): aborts on invalid specs.
+std::unique_ptr<DisorderHandler> MakeDisorderHandlerOrDie(
     const DisorderHandlerSpec& spec);
 
 }  // namespace streamq

@@ -70,6 +70,9 @@ void KeyedDisorderHandler::OnEvent(const Event& e, EventSink* sink) {
       slot = std::make_unique<Shard>(this, e.key);
       slot->handler = factory_();
       STREAMQ_CHECK(slot->handler != nullptr);
+      if (shard_observer_ != nullptr) {
+        slot->handler->set_observer(shard_observer_);
+      }
     }
     shard = slot.get();
     last_key_ = e.key;
@@ -137,6 +140,13 @@ size_t KeyedDisorderHandler::buffered() const {
     total += shard->handler->buffered();
   }
   return total;
+}
+
+void KeyedDisorderHandler::set_observer(PipelineObserver* observer) {
+  shard_observer_ = observer;
+  for (auto& [key, shard] : shards_) {
+    shard->handler->set_observer(observer);
+  }
 }
 
 const DisorderHandler* KeyedDisorderHandler::shard(int64_t key) const {

@@ -50,6 +50,12 @@ class KeyedDisorderHandler : public DisorderHandler {
   /// Inner handler for `key`, or nullptr if the key was never seen.
   const DisorderHandler* shard(int64_t key) const;
 
+  /// Propagates the observer to every inner handler, existing and future.
+  /// The outer handler itself stays unobserved: every release already
+  /// notifies through the inner handler that produced it, and observing
+  /// both layers would double-count latencies and late events.
+  void set_observer(PipelineObserver* observer) override;
+
  private:
   struct Shard;
 
@@ -64,6 +70,8 @@ class KeyedDisorderHandler : public DisorderHandler {
   /// shard-map lookup (shard pointers are stable; shards are never erased).
   int64_t last_key_ = 0;
   Shard* last_shard_ = nullptr;
+  /// Observer handed to every inner handler (including ones created later).
+  PipelineObserver* shard_observer_ = nullptr;
 };
 
 }  // namespace streamq

@@ -71,7 +71,20 @@ void LbKSlack::Adapt() {
   const double step =
       std::clamp(target_p - p_, -options_.max_step, options_.max_step);
   p_ += step;
+  const DurationUs old_k = k_;
   k_ = static_cast<DurationUs>(std::ceil(lateness_sketch_.Quantile(p_)));
+
+  if (observer_ != nullptr) {
+    if (k_ != old_k) observer_->OnSlackChanged(old_k, k_);
+    observer_->OnAdaptation(AdaptationSample{
+        .tuple_index = prev_release_count_,
+        .stream_time = last_activity_,
+        .measured = last_interval_latency_,
+        .setpoint = p_,
+        .k = k_,
+        .buffer_size = buffer_.size(),
+    });
+  }
 }
 
 void LbKSlack::Flush(EventSink* sink) { DrainAll(last_activity_, sink); }

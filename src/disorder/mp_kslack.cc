@@ -14,24 +14,29 @@ MpKSlack::MpKSlack(const Options& options)
 }
 
 void MpKSlack::ObserveLateness(DurationUs lateness) {
+  const DurationUs old_k = k_;
   if (options_.mode == Mode::kGrowOnly) {
     const auto scaled = static_cast<DurationUs>(
         std::ceil(static_cast<double>(lateness) * options_.safety_factor));
     if (scaled > k_) k_ = scaled;
-    return;
+  } else {
+    // Sliding max over the last window_size observations.
+    while (!max_deque_.empty() && max_deque_.back().second <= lateness) {
+      max_deque_.pop_back();
+    }
+    max_deque_.emplace_back(tuple_index_, lateness);
+    const int64_t cutoff = tuple_index_ - options_.window_size;
+    while (!max_deque_.empty() && max_deque_.front().first <= cutoff) {
+      max_deque_.pop_front();
+    }
+    const DurationUs bound =
+        max_deque_.empty() ? 0 : max_deque_.front().second;
+    k_ = static_cast<DurationUs>(
+        std::ceil(static_cast<double>(bound) * options_.safety_factor));
   }
-  // Sliding max over the last window_size observations.
-  while (!max_deque_.empty() && max_deque_.back().second <= lateness) {
-    max_deque_.pop_back();
+  if (observer_ != nullptr && k_ != old_k) {
+    observer_->OnSlackChanged(old_k, k_);
   }
-  max_deque_.emplace_back(tuple_index_, lateness);
-  const int64_t cutoff = tuple_index_ - options_.window_size;
-  while (!max_deque_.empty() && max_deque_.front().first <= cutoff) {
-    max_deque_.pop_front();
-  }
-  const DurationUs bound = max_deque_.empty() ? 0 : max_deque_.front().second;
-  k_ = static_cast<DurationUs>(
-      std::ceil(static_cast<double>(bound) * options_.safety_factor));
 }
 
 void MpKSlack::OnEvent(const Event& e, EventSink* sink) {

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 
+#include "core/pipeline_observer.h"
+
 namespace streamq {
 
 void PassThrough::OnEvent(const Event& e, EventSink* sink) {
   ++stats_.events_in;
   if (frontier_ != kMinTimestamp && e.event_time < frontier_) {
     ++stats_.events_late;
+    if (observer_ != nullptr) observer_->OnLateEvent(e);
     sink->OnLateEvent(e);
     return;
   }

@@ -21,6 +21,10 @@ void WatermarkReorderer::OnEvent(const Event& e, EventSink* sink) {
     ++stats_.events_in;
     ++stats_.events_late;
     ++stats_.events_dropped;
+    if (observer_ != nullptr) {
+      observer_->OnLateEvent(e);  // Dropped tuples are late tuples too.
+      observer_->OnEventDropped(e);
+    }
     return;
   }
 

@@ -68,6 +68,7 @@ void WindowedAggregation::Emit(const StateKey& sk, WindowState* state,
     ++stats_.windows_fired;
   }
   sink_->OnResult(r);
+  if (observer_ != nullptr) observer_->OnWindowFired(r);
 }
 
 void WindowedAggregation::OnWatermark(TimestampUs watermark,
@@ -104,6 +105,7 @@ void WindowedAggregation::OnWatermark(TimestampUs watermark,
         Emit(it->first, &it->second, stream_time, /*revision=*/false);
       }
       it = windows_.erase(it);
+      if (observer_ != nullptr) observer_->OnWindowPurged(end, windows_.size());
     } else {
       ++it;
     }
@@ -156,6 +158,7 @@ void WindowedAggregation::OnLateEvent(const Event& e) {
         continue;
       }
       ++stats_.late_dropped;
+      if (observer_ != nullptr) observer_->OnWindowLateDropped(e);
       continue;
     }
     WindowState* state = &it->second;

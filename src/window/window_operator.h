@@ -11,6 +11,7 @@
 
 #include "agg/aggregate.h"
 #include "common/time.h"
+#include "core/pipeline_observer.h"
 #include "disorder/event_sink.h"
 #include "window/window.h"
 
@@ -93,6 +94,10 @@ class WindowedAggregation : public EventSink {
   /// Number of window instances currently holding state.
   size_t live_windows() const { return windows_.size(); }
 
+  /// Installs a read-only instrumentation observer (nullptr = none). Same
+  /// zero-cost-when-off contract as DisorderHandler::set_observer.
+  void set_observer(PipelineObserver* observer) { observer_ = observer; }
+
  private:
   struct WindowState {
     std::unique_ptr<Aggregator> acc;
@@ -119,6 +124,7 @@ class WindowedAggregation : public EventSink {
   TimestampUs last_watermark_ = kMinTimestamp;
   TimestampUs last_activity_ = 0;  // Arrival time of last event seen.
   Stats stats_;
+  PipelineObserver* observer_ = nullptr;
 
   /// Memo of the last state lookup: consecutive tuples overwhelmingly hit
   /// the same (window, key) slot, and map nodes are stable until erased.

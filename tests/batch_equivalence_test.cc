@@ -26,8 +26,8 @@ namespace {
 /// where per-key applies.
 std::vector<DisorderHandlerSpec> AllSpecs() {
   std::vector<DisorderHandlerSpec> specs;
-  specs.push_back(DisorderHandlerSpec::PassThroughSpec());
-  specs.push_back(DisorderHandlerSpec::FixedK(Millis(30)));
+  specs.push_back(DisorderHandlerSpec::PassThrough());
+  specs.push_back(DisorderHandlerSpec::Fixed(Millis(30)));
   {
     MpKSlack::Options mp;  // Default: sliding estimation window.
     specs.push_back(DisorderHandlerSpec::Mp(mp));
@@ -53,17 +53,11 @@ std::vector<DisorderHandlerSpec> AllSpecs() {
     wm.allowed_lateness = Millis(10);
     specs.push_back(DisorderHandlerSpec::Watermark(wm));
   }
-  {
-    DisorderHandlerSpec keyed = DisorderHandlerSpec::FixedK(Millis(30));
-    keyed.per_key = true;
-    specs.push_back(keyed);
-  }
+  specs.push_back(DisorderHandlerSpec::Fixed(Millis(30)).PerKey());
   {
     AqKSlack::Options aq;
     aq.target_quality = 0.95;
-    DisorderHandlerSpec keyed = DisorderHandlerSpec::Aq(aq);
-    keyed.per_key = true;
-    specs.push_back(keyed);
+    specs.push_back(DisorderHandlerSpec::Aq(aq).PerKey());
   }
   return specs;
 }
@@ -171,7 +165,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 // Sanity: the test stream actually exercises every interesting path.
 TEST(BatchEquivalenceWorkload, ExercisesLatenessAndBuffering) {
-  const ContinuousQuery q = QueryFor(DisorderHandlerSpec::FixedK(Millis(30)));
+  const ContinuousQuery q = QueryFor(DisorderHandlerSpec::Fixed(Millis(30)));
   const RunReport r = RunPerEvent(q);
   EXPECT_GT(r.handler_stats.events_late, 0);
   EXPECT_GT(r.handler_stats.max_buffer_size, 0);

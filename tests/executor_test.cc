@@ -171,17 +171,17 @@ TEST(QueryExecutorTest, ReportToStringMentionsQuery) {
   EXPECT_NE(report.ToString().find("named-query"), std::string::npos);
 }
 
-TEST(QueryExecutorTest, HandlerAndWindowAccessors) {
+TEST(QueryExecutorTest, HandlerAndWindowViews) {
   QueryExecutor exec(
       QueryBuilder("q").Tumbling(Millis(10)).Aggregate("sum").Build());
-  EXPECT_NE(exec.handler(), nullptr);
-  EXPECT_NE(exec.window_op(), nullptr);
-  EXPECT_EQ(exec.handler()->name(), "aq-kslack");
+  EXPECT_EQ(exec.handler_view().name(), "aq-kslack");
+  EXPECT_EQ(exec.handler_view().buffered(), 0u);
+  EXPECT_EQ(exec.window_view().live_windows(), 0u);
 }
 
 TEST(HandlerFactoryTest, DescribeAllKinds) {
-  EXPECT_EQ(DisorderHandlerSpec::PassThroughSpec().Describe(), "pass-through");
-  EXPECT_NE(DisorderHandlerSpec::FixedK(Millis(5)).Describe().find("fixed"),
+  EXPECT_EQ(DisorderHandlerSpec::PassThrough().Describe(), "pass-through");
+  EXPECT_NE(DisorderHandlerSpec::Fixed(Millis(5)).Describe().find("fixed"),
             std::string::npos);
   EXPECT_NE(DisorderHandlerSpec::Mp({}).Describe().find("mp-kslack"),
             std::string::npos);
@@ -192,20 +192,63 @@ TEST(HandlerFactoryTest, DescribeAllKinds) {
 }
 
 TEST(HandlerFactoryTest, MakesMatchingHandlers) {
-  EXPECT_EQ(MakeDisorderHandler(DisorderHandlerSpec::PassThroughSpec())->name(),
+  EXPECT_EQ(MakeDisorderHandlerOrDie(DisorderHandlerSpec::PassThrough())->name(),
             "pass-through");
-  EXPECT_EQ(MakeDisorderHandler(DisorderHandlerSpec::FixedK(1))->name(),
+  EXPECT_EQ(MakeDisorderHandlerOrDie(DisorderHandlerSpec::Fixed(1))->name(),
             "fixed-kslack");
-  EXPECT_EQ(MakeDisorderHandler(DisorderHandlerSpec::Mp({}))->name(),
+  EXPECT_EQ(MakeDisorderHandlerOrDie(DisorderHandlerSpec::Mp({}))->name(),
             "mp-kslack");
-  EXPECT_EQ(MakeDisorderHandler(DisorderHandlerSpec::Aq({}))->name(),
+  EXPECT_EQ(MakeDisorderHandlerOrDie(DisorderHandlerSpec::Aq({}))->name(),
             "aq-kslack");
-  EXPECT_EQ(MakeDisorderHandler(DisorderHandlerSpec::Watermark({}))->name(),
+  EXPECT_EQ(MakeDisorderHandlerOrDie(DisorderHandlerSpec::Watermark({}))->name(),
             "watermark");
 }
 
+TEST(HandlerFactoryTest, RejectsInvalidSpecs) {
+  std::unique_ptr<DisorderHandler> handler;
+  EXPECT_FALSE(
+      MakeDisorderHandler(DisorderHandlerSpec::Fixed(-1), &handler).ok());
+  EXPECT_EQ(handler, nullptr);
+
+  EXPECT_FALSE(
+      MakeDisorderHandler(DisorderHandlerSpec::Aq({}, -0.5), &handler).ok());
+
+  AqKSlack::Options bad_aq;
+  bad_aq.target_quality = 1.5;
+  EXPECT_FALSE(
+      MakeDisorderHandler(DisorderHandlerSpec::Aq(bad_aq), &handler).ok());
+
+  MpKSlack::Options bad_mp;
+  bad_mp.window_size = 0;
+  EXPECT_FALSE(
+      MakeDisorderHandler(DisorderHandlerSpec::Mp(bad_mp), &handler).ok());
+
+  LbKSlack::Options bad_lb;
+  bad_lb.latency_budget = -Millis(1);
+  EXPECT_FALSE(
+      MakeDisorderHandler(DisorderHandlerSpec::Lb(bad_lb), &handler).ok());
+
+  WatermarkReorderer::Options bad_wm;
+  bad_wm.period_events = 0;
+  EXPECT_FALSE(
+      MakeDisorderHandler(DisorderHandlerSpec::Watermark(bad_wm), &handler)
+          .ok());
+
+  // A per-key wrapper validates its inner spec too.
+  EXPECT_FALSE(
+      MakeDisorderHandler(DisorderHandlerSpec::Fixed(-1).PerKey(), &handler)
+          .ok());
+
+  // The checked API also hands back valid handlers.
+  EXPECT_TRUE(
+      MakeDisorderHandler(DisorderHandlerSpec::Fixed(Millis(5)), &handler)
+          .ok());
+  ASSERT_NE(handler, nullptr);
+  EXPECT_EQ(handler->name(), "fixed-kslack");
+}
+
 TEST(HandlerFactoryTest, AqGammaConfiguresPowerModel) {
-  auto handler = MakeDisorderHandler(DisorderHandlerSpec::Aq({}, 0.5));
+  auto handler = MakeDisorderHandlerOrDie(DisorderHandlerSpec::Aq({}, 0.5));
   auto* aq = dynamic_cast<AqKSlack*>(handler.get());
   ASSERT_NE(aq, nullptr);
   EXPECT_EQ(aq->quality_model().name(), "power");

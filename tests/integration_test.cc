@@ -34,8 +34,8 @@ std::vector<PipelineCase> AllHandlers() {
   wm.period_events = 16;
   wm.allowed_lateness = Millis(10);
   return {
-      {"pass-through", DisorderHandlerSpec::PassThroughSpec()},
-      {"fixed-kslack", DisorderHandlerSpec::FixedK(Millis(30))},
+      {"pass-through", DisorderHandlerSpec::PassThrough()},
+      {"fixed-kslack", DisorderHandlerSpec::Fixed(Millis(30))},
       {"mp-kslack", DisorderHandlerSpec::Mp(mp)},
       {"aq-kslack", DisorderHandlerSpec::Aq(aq)},
       {"lb-kslack", DisorderHandlerSpec::Lb(lb)},
@@ -138,7 +138,7 @@ TEST(IntegrationTest, QualityLatencyOrderingAcrossStrategies) {
 
   AqKSlack::Options aq;
   aq.target_quality = 0.90;
-  const auto [q_pt, l_pt] = run(DisorderHandlerSpec::PassThroughSpec());
+  const auto [q_pt, l_pt] = run(DisorderHandlerSpec::PassThrough());
   const auto [q_aq, l_aq] = run(DisorderHandlerSpec::Aq(aq));
   const auto [q_mp, l_mp] = run(DisorderHandlerSpec::Mp({}));
 
@@ -158,8 +158,8 @@ TEST(IntegrationTest, TraceRoundTripReproducesRun) {
   auto loaded = LoadTrace(path);
   ASSERT_TRUE(loaded.ok());
 
-  QueryExecutor a(QueryWith(DisorderHandlerSpec::FixedK(Millis(20))));
-  QueryExecutor b(QueryWith(DisorderHandlerSpec::FixedK(Millis(20))));
+  QueryExecutor a(QueryWith(DisorderHandlerSpec::Fixed(Millis(20))));
+  QueryExecutor b(QueryWith(DisorderHandlerSpec::Fixed(Millis(20))));
   VectorSource sa(w.arrival_order), sb(loaded.value());
   const RunReport ra = a.Run(&sa);
   const RunReport rb = b.Run(&sb);
@@ -178,7 +178,7 @@ TEST(IntegrationTest, KeyedPipelineMatchesOracleAcrossKeys) {
   cfg.seed = 13;
   const auto w = GenerateWorkload(cfg);
 
-  ContinuousQuery q = QueryWith(DisorderHandlerSpec::FixedK(Seconds(1000)));
+  ContinuousQuery q = QueryWith(DisorderHandlerSpec::Fixed(Seconds(1000)));
   q.window.aggregate.kind = AggKind::kMean;
   QueryExecutor exec(q);
   VectorSource source(w.arrival_order);

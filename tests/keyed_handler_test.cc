@@ -104,9 +104,8 @@ TEST(KeyedHandlerTest, PerKeyContractOnHeterogeneousWorkload) {
 
   AqKSlack::Options aq;
   aq.target_quality = 0.95;
-  DisorderHandlerSpec spec = DisorderHandlerSpec::Aq(aq);
-  spec.per_key = true;
-  auto handler = MakeDisorderHandler(spec);
+  const DisorderHandlerSpec spec = DisorderHandlerSpec::Aq(aq).PerKey();
+  auto handler = MakeDisorderHandlerOrDie(spec);
   EXPECT_EQ(handler->name(), "keyed");
 
   PerKeyContractSink sink;

@@ -129,7 +129,7 @@ TEST(LbKSlackTest, BuilderIntegration) {
                                 .Build();
   EXPECT_EQ(q.handler.kind, DisorderHandlerSpec::Kind::kLbKSlack);
   EXPECT_NE(q.Describe().find("lb-kslack"), std::string::npos);
-  auto handler = MakeDisorderHandler(q.handler);
+  auto handler = MakeDisorderHandlerOrDie(q.handler);
   EXPECT_EQ(handler->name(), "lb-kslack");
 }
 

@@ -32,15 +32,25 @@ TEST(MetricsTest, GaugeSetsLastValue) {
 }
 
 TEST(MetricsTest, SeriesSummarizes) {
-  MetricsRegistry reg;
+  MetricsRegistry reg(MetricsRegistry::Options{.enable_series = true});
   Series* s = reg.series("latency");
   for (int i = 1; i <= 10; ++i) s->Record(i);
   EXPECT_EQ(s->Summarize().count, 10);
   EXPECT_DOUBLE_EQ(s->Summarize().mean, 5.5);
 }
 
-TEST(MetricsTest, ReportContainsAllNames) {
+TEST(MetricsTest, SeriesDisabledByDefault) {
+  // Production registries keep Series off: Record() is a no-op, so memory
+  // stays bounded on unbounded streams (the harness opts in explicitly).
   MetricsRegistry reg;
+  Series* s = reg.series("latency");
+  for (int i = 1; i <= 10; ++i) s->Record(i);
+  EXPECT_FALSE(s->enabled());
+  EXPECT_EQ(s->Summarize().count, 0);
+}
+
+TEST(MetricsTest, ReportContainsAllNames) {
+  MetricsRegistry reg(MetricsRegistry::Options{.enable_series = true});
   reg.counter("a")->Increment();
   reg.gauge("b")->Set(1.0);
   reg.series("c")->Record(1.0);

@@ -30,9 +30,9 @@ TEST(MultiQueryTest, SharedSpecPicksStrictestTarget) {
 
 TEST(MultiQueryTest, SharedSpecFallsBackToFirstHandler) {
   ContinuousQuery fixed = MakeQuery("f", 0.9);
-  fixed.handler = DisorderHandlerSpec::FixedK(Millis(7));
+  fixed.handler = DisorderHandlerSpec::Fixed(Millis(7));
   ContinuousQuery pass = MakeQuery("p", 0.9);
-  pass.handler = DisorderHandlerSpec::PassThroughSpec();
+  pass.handler = DisorderHandlerSpec::PassThrough();
   const DisorderHandlerSpec spec =
       MultiQueryRunner::SharedHandlerSpec({fixed, pass});
   EXPECT_EQ(spec.kind, DisorderHandlerSpec::Kind::kFixedKSlack);

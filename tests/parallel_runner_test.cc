@@ -135,8 +135,7 @@ TEST(ParallelMultiQueryRunnerTest, TinyQueueStillDeliversEverything) {
 ContinuousQuery KeyedQuery() {
   ContinuousQuery q;
   q.name = "keyed";
-  q.handler = DisorderHandlerSpec::FixedK(Millis(50));
-  q.handler.per_key = true;
+  q.handler = DisorderHandlerSpec::Fixed(Millis(50)).PerKey();
   q.window.window = WindowSpec::Tumbling(Millis(50));
   q.window.aggregate.kind = AggKind::kSum;
   q.window.per_key_watermarks = true;
@@ -240,7 +239,7 @@ TEST(ShardedKeyedRunnerTest, ShardingPreservesFirstEmissions) {
 
 TEST(ShardedKeyedRunnerTest, RequiresPerKeyHandler) {
   ContinuousQuery q = KeyedQuery();
-  q.handler.per_key = false;
+  q.handler = q.handler.PerKey(false);
   EXPECT_DEATH(ShardedKeyedRunner(q, 2),
                "requires a per-key disorder handler");
 }

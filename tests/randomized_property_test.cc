@@ -67,9 +67,9 @@ DisorderHandlerSpec RandomHandler(uint64_t seed) {
   Rng rng(seed * 40503ULL + 3);
   switch (rng.NextInt(0, 5)) {
     case 0:
-      return DisorderHandlerSpec::PassThroughSpec();
+      return DisorderHandlerSpec::PassThrough();
     case 1:
-      return DisorderHandlerSpec::FixedK(rng.NextInt(0, Millis(80)));
+      return DisorderHandlerSpec::Fixed(rng.NextInt(0, Millis(80)));
     case 2: {
       MpKSlack::Options mp;
       mp.mode = rng.NextBool(0.5) ? MpKSlack::Mode::kGrowOnly
@@ -104,7 +104,7 @@ class RandomizedPipelineTest : public ::testing::TestWithParam<uint64_t> {};
 TEST_P(RandomizedPipelineTest, HandlerInvariantsHold) {
   const uint64_t seed = GetParam();
   const GeneratedWorkload w = GenerateWorkload(RandomWorkload(seed));
-  auto handler = MakeDisorderHandler(RandomHandler(seed));
+  auto handler = MakeDisorderHandlerOrDie(RandomHandler(seed));
 
   testutil::ContractCheckingSink sink;
   for (const Event& e : w.arrival_order) handler->OnEvent(e, &sink);

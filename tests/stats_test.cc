@@ -236,34 +236,6 @@ TEST(SlidingWindowQuantileTest, TracksDistributionShift) {
   EXPECT_GT(s.Quantile(0.5), 99.0);
 }
 
-TEST(FixedHistogramTest, QuantilesOfUniformData) {
-  FixedHistogram h(0.0, 100.0, 100);
-  for (int i = 0; i < 100000; ++i) {
-    h.Add(static_cast<double>(i % 100) + 0.5);
-  }
-  EXPECT_EQ(h.count(), 100000);
-  EXPECT_NEAR(h.Quantile(0.5), 50.0, 1.5);
-  EXPECT_NEAR(h.Quantile(0.9), 90.0, 1.5);
-  EXPECT_NEAR(h.Mean(), 50.0, 0.5);
-}
-
-TEST(FixedHistogramTest, ClampsOutOfRange) {
-  FixedHistogram h(0.0, 10.0, 10);
-  h.Add(-5.0);
-  h.Add(100.0);
-  EXPECT_EQ(h.count(), 2);
-  EXPECT_EQ(h.buckets().front(), 1);
-  EXPECT_EQ(h.buckets().back(), 1);
-}
-
-TEST(FixedHistogramTest, Reset) {
-  FixedHistogram h(0.0, 10.0, 10);
-  h.Add(5.0);
-  h.Reset();
-  EXPECT_EQ(h.count(), 0);
-  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);
-}
-
 TEST(SummarizeTest, EmptyInput) {
   const DistributionSummary s = Summarize({});
   EXPECT_EQ(s.count, 0);

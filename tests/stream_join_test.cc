@@ -16,8 +16,8 @@ WindowedStreamJoin::Options Opt(DurationUs window,
                                 DurationUs slack = Seconds(1000)) {
   WindowedStreamJoin::Options o;
   o.join_window = window;
-  o.left_handler = DisorderHandlerSpec::FixedK(slack);
-  o.right_handler = DisorderHandlerSpec::FixedK(slack);
+  o.left_handler = DisorderHandlerSpec::Fixed(slack);
+  o.right_handler = DisorderHandlerSpec::Fixed(slack);
   return o;
 }
 
@@ -142,8 +142,8 @@ TEST(StreamJoinTest, SmallSlackLosesPairs) {
       OracleJoinCount(l.arrival_order, r.arrival_order, Millis(5));
 
   WindowedStreamJoin::Options o = Opt(Millis(5));
-  o.left_handler = DisorderHandlerSpec::FixedK(Millis(2));
-  o.right_handler = DisorderHandlerSpec::FixedK(Millis(2));
+  o.left_handler = DisorderHandlerSpec::Fixed(Millis(2));
+  o.right_handler = DisorderHandlerSpec::Fixed(Millis(2));
   CountingJoinSink sink;
   WindowedStreamJoin join(o, &sink);
   FeedMerged(&join, l.arrival_order, r.arrival_order);
