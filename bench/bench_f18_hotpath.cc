@@ -1,0 +1,163 @@
+/// R-F18 — Window-operator hot-path cost, engine by engine.
+///
+/// Isolates WindowedAggregation from the disorder stage: a pre-sorted
+/// in-order stream is fed straight into the operator via OnEvents in a
+/// chosen batch size, with a watermark every 1024 tuples (fixed cadence, so
+/// batch size only changes fold granularity, not firing work). Reports
+/// per-tuple cost broken down by aggregate kind, window shape (fold
+/// fanout), batch size and engine:
+///
+///   * legacy      — std::map + virtual Aggregator::Add per (tuple, window)
+///   * hot         — flat store + inline states + fold-plan memo
+///                   (pane sharing under the default kAuto policy, i.e.
+///                   only for grouping-exact kinds on tiling windows)
+///   * hot_paned   — pane sharing forced (inline kinds only): one fold per
+///                   tuple plus one merge per (run, window)
+///
+/// The `checksum` column (sum of emitted values) must agree between legacy
+/// and hot rows of the same configuration — the equivalence evidence rides
+/// in the CSV next to the speedup.
+
+#include <algorithm>
+#include <chrono>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "window/window_operator.h"
+
+namespace streamq {
+namespace bench {
+namespace {
+
+struct NullSink : WindowResultSink {
+  void OnResult(const WindowResult& r) override {
+    checksum += r.value;
+    ++emissions;
+  }
+  double checksum = 0.0;
+  int64_t emissions = 0;
+};
+
+struct Shape {
+  const char* name;
+  WindowSpec spec;
+};
+
+struct RunOutcome {
+  double ns_per_tuple = 0.0;
+  double checksum = 0.0;
+  int64_t emissions = 0;
+};
+
+RunOutcome RunOperator(const WindowedAggregation::Options& opts,
+                       const std::vector<Event>& in_order,
+                       size_t batch_size) {
+  NullSink sink;
+  WindowedAggregation op(opts, &sink);
+  constexpr size_t kWatermarkEvery = 1024;
+  const DurationUs lag = Millis(100);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  size_t since_watermark = 0;
+  for (size_t i = 0; i < in_order.size();) {
+    const size_t m = std::min(batch_size, in_order.size() - i);
+    op.OnEvents(std::span<const Event>(in_order.data() + i, m));
+    i += m;
+    since_watermark += m;
+    if (since_watermark >= kWatermarkEvery) {
+      since_watermark = 0;
+      op.OnWatermark(in_order[i - 1].event_time - lag,
+                     in_order[i - 1].arrival_time);
+    }
+  }
+  op.OnWatermark(kMaxTimestamp, in_order.back().arrival_time);
+  const auto t1 = std::chrono::steady_clock::now();
+
+  RunOutcome out;
+  out.ns_per_tuple =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() /
+      static_cast<double>(in_order.size());
+  out.checksum = sink.checksum;
+  out.emissions = sink.emissions;
+  return out;
+}
+
+void Run() {
+  WorkloadConfig cfg = BaseConfig(200000);
+  cfg.delay.model = DelayModel::kExponential;
+  cfg.delay.a = 20000.0;
+  const GeneratedWorkload w = GenerateWorkload(cfg);
+  std::vector<Event> in_order = w.arrival_order;
+  std::stable_sort(in_order.begin(), in_order.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.event_time < b.event_time;
+                   });
+
+  const Shape shapes[] = {
+      {"tumbling-50ms", WindowSpec::Tumbling(Millis(50))},
+      {"sliding-4x", WindowSpec::Sliding(Millis(200), Millis(50))},
+      {"sliding-16x", WindowSpec::Sliding(Millis(800), Millis(50))},
+  };
+  const AggKind kinds[] = {AggKind::kCount, AggKind::kSum,
+                           AggKind::kMean,  AggKind::kMax,
+                           AggKind::kVariance, AggKind::kMedian};
+  const size_t batch_sizes[] = {1, 64, 1024};
+
+  TableWriter table("R-F18: window-operator hot-path per-tuple cost",
+                    {"aggregate", "shape", "batch", "engine", "ns_per_tuple",
+                     "mtuples_per_s", "emissions", "checksum"});
+
+  for (AggKind kind : kinds) {
+    for (const Shape& shape : shapes) {
+      for (size_t batch : batch_sizes) {
+        struct EngineRow {
+          const char* name;
+          WindowedAggregation::Engine engine;
+          WindowedAggregation::PaneSharing pane;
+        };
+        std::vector<EngineRow> engines = {
+            {"legacy", WindowedAggregation::Engine::kLegacy,
+             WindowedAggregation::PaneSharing::kAuto},
+            {"hot", WindowedAggregation::Engine::kHot,
+             WindowedAggregation::PaneSharing::kAuto},
+        };
+        if (IsInlineAggKind(kind) && !PaneMergeIsExact(kind)) {
+          engines.push_back({"hot_paned", WindowedAggregation::Engine::kHot,
+                             WindowedAggregation::PaneSharing::kForce});
+        }
+        for (const EngineRow& row : engines) {
+          WindowedAggregation::Options opts;
+          opts.window = shape.spec;
+          opts.aggregate.kind = kind;
+          opts.engine = row.engine;
+          opts.pane_sharing = row.pane;
+          const RunOutcome r = RunOperator(opts, in_order, batch);
+
+          AggregateSpec spec;
+          spec.kind = kind;
+          table.BeginRow();
+          table.Cell(spec.Describe());
+          table.Cell(shape.name);
+          table.Cell(static_cast<int64_t>(batch));
+          table.Cell(row.name);
+          table.Cell(r.ns_per_tuple, 2);
+          table.Cell(1000.0 / r.ns_per_tuple, 2);
+          table.Cell(r.emissions);
+          table.Cell(r.checksum, 3);
+        }
+      }
+    }
+  }
+  EmitTable(table, "f18_hotpath.csv");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace streamq
+
+int main() {
+  streamq::bench::Run();
+  return 0;
+}

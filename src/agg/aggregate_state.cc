@@ -1,0 +1,63 @@
+#include "agg/aggregate_state.h"
+
+#include "common/logging.h"
+
+namespace streamq {
+
+namespace {
+
+/// Expands `MACRO(K)` for every inline kind — keeps the three dynamic
+/// dispatchers in lockstep with IsInlineAggKind.
+#define STREAMQ_FOR_EACH_INLINE_KIND(MACRO) \
+  MACRO(AggKind::kCount)                    \
+  MACRO(AggKind::kSum)                      \
+  MACRO(AggKind::kMean)                     \
+  MACRO(AggKind::kMin)                      \
+  MACRO(AggKind::kMax)                      \
+  MACRO(AggKind::kVariance)                 \
+  MACRO(AggKind::kStdDev)
+
+}  // namespace
+
+void InlineFoldDyn(AggKind kind, AggregateState& s, double v) {
+  switch (kind) {
+#define STREAMQ_CASE(K) \
+  case K:               \
+    InlineFold<K>(s, v); \
+    return;
+    STREAMQ_FOR_EACH_INLINE_KIND(STREAMQ_CASE)
+#undef STREAMQ_CASE
+    default:
+      STREAMQ_LOG(Fatal) << "InlineFoldDyn on non-inline aggregate kind";
+  }
+}
+
+void InlineMergeDyn(AggKind kind, AggregateState& s, const AggregateState& o) {
+  switch (kind) {
+#define STREAMQ_CASE(K)  \
+  case K:                \
+    InlineMerge<K>(s, o); \
+    return;
+    STREAMQ_FOR_EACH_INLINE_KIND(STREAMQ_CASE)
+#undef STREAMQ_CASE
+    default:
+      STREAMQ_LOG(Fatal) << "InlineMergeDyn on non-inline aggregate kind";
+  }
+}
+
+double InlineValueDyn(AggKind kind, const AggregateState& s) {
+  switch (kind) {
+#define STREAMQ_CASE(K) \
+  case K:               \
+    return InlineValue<K>(s);
+    STREAMQ_FOR_EACH_INLINE_KIND(STREAMQ_CASE)
+#undef STREAMQ_CASE
+    default:
+      STREAMQ_LOG(Fatal) << "InlineValueDyn on non-inline aggregate kind";
+  }
+  return 0.0;
+}
+
+#undef STREAMQ_FOR_EACH_INLINE_KIND
+
+}  // namespace streamq

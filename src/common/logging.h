@@ -79,6 +79,23 @@ class NullLog {
 #define STREAMQ_CHECK_GT(a, b) STREAMQ_CHECK_OP(a, b, >)
 #define STREAMQ_CHECK_GE(a, b) STREAMQ_CHECK_OP(a, b, >=)
 
+/// Debug-only invariant checks for hot-path interiors where the release
+/// check cost is measurable (per-tuple store probes). Compiled out under
+/// NDEBUG; the condition is still parsed, so variables stay "used".
+#ifdef NDEBUG
+#define STREAMQ_DCHECK(cond) \
+  if (true) {                \
+  } else                     \
+    STREAMQ_CHECK(cond)
+#define STREAMQ_DCHECK_EQ(a, b) \
+  if (true) {                   \
+  } else                        \
+    STREAMQ_CHECK_EQ(a, b)
+#else
+#define STREAMQ_DCHECK(cond) STREAMQ_CHECK(cond)
+#define STREAMQ_DCHECK_EQ(a, b) STREAMQ_CHECK_EQ(a, b)
+#endif
+
 /// Aborts if a Status-returning expression fails. For use in examples,
 /// benches and tests where the error is unrecoverable.
 #define STREAMQ_CHECK_OK(expr)                                    \

@@ -91,12 +91,6 @@ class QueryExecutor {
   const DisorderHandler& handler_view() const { return *handler_; }
   const WindowedAggregation& window_view() const { return *window_op_; }
 
-  [[deprecated("inspect via handler_view(); mutate via the query spec")]]
-  DisorderHandler* handler() { return handler_.get(); }
-  [[deprecated("use handler_view()")]]
-  const DisorderHandler* handler() const { return handler_.get(); }
-  [[deprecated("inspect via window_view(); mutate via the query spec")]]
-  WindowedAggregation* window_op() { return window_op_.get(); }
   const ContinuousQuery& query() const { return query_; }
 
   /// Builds the report from current state (without finishing).

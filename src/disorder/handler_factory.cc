@@ -19,19 +19,6 @@ DisorderHandlerSpec DisorderHandlerSpec::Fixed(DurationUs k) {
   return s;
 }
 
-DisorderHandlerSpec DisorderHandlerSpec::PassThroughSpec() {
-  DisorderHandlerSpec s;
-  s.kind = Kind::kPassThrough;
-  return s;
-}
-
-DisorderHandlerSpec DisorderHandlerSpec::FixedK(DurationUs k) {
-  DisorderHandlerSpec s;
-  s.kind = Kind::kFixedKSlack;
-  s.fixed_k = k;
-  return s;
-}
-
 DisorderHandlerSpec DisorderHandlerSpec::PerKey(bool enabled) const {
   DisorderHandlerSpec s = *this;
   s.per_key = enabled;

@@ -60,11 +60,6 @@ struct DisorderHandlerSpec {
   static DisorderHandlerSpec Watermark(
       const WatermarkReorderer::Options& options);
 
-  [[deprecated("use PassThrough()")]]
-  static DisorderHandlerSpec PassThroughSpec();
-  [[deprecated("use Fixed(k)")]]
-  static DisorderHandlerSpec FixedK(DurationUs k);
-
   /// Chainable modifiers: return an adjusted copy, so specs compose in one
   /// expression, e.g. DisorderHandlerSpec::Fixed(Seconds(1)).PerKey().
   DisorderHandlerSpec PerKey(bool enabled = true) const;

@@ -1,0 +1,148 @@
+#ifndef STREAMQ_WINDOW_FLAT_WINDOW_STORE_H_
+#define STREAMQ_WINDOW_FLAT_WINDOW_STORE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "agg/aggregate.h"
+#include "agg/aggregate_state.h"
+#include "common/time.h"
+#include "window/window.h"
+
+namespace streamq {
+
+/// Flat per-(window-start, key) state store for the window-operator hot
+/// path, replacing the node-based std::map<(start, key), state>:
+///
+///  * Window starts are multiples of the slide, so the time dimension is a
+///    ring of slide-aligned buckets indexed by start/slide modulo a
+///    power-of-two capacity. Locating a bucket is a shift-and-mask; the
+///    ring grows geometrically when the live start span outgrows it
+///    (bucket objects are heap-owned, so growth never moves a bucket).
+///  * Within a bucket, keys live in an open-addressing probe table mapping
+///    key -> dense slot index. Slots are appended in first-touch order and
+///    never erased individually — a bucket dies as a whole when its window
+///    retires — so dense indices are stable for a bucket's lifetime.
+///  * Firing and purging need the ordered (start, key) scan the old map
+///    gave for free: Scan() walks buckets in ascending start order, and
+///    SortedByKey() lazily materializes a key-sorted view of a bucket's
+///    slots (cached until the next insertion).
+///
+/// Lookup is O(1) amortized per tuple; the ordered scan work is
+/// proportional to live buckets, as before.
+///
+/// Pointer stability: Slot pointers are invalidated by insertions into the
+/// same bucket (dense vector growth) and by bucket purges. Every such
+/// mutation bumps epoch(); callers caching Slot pointers (the operator's
+/// fold-plan memo) must revalidate against it.
+class FlatWindowStore {
+ public:
+  struct Slot {
+    AggregateState state;              // Inline aggregate kinds.
+    std::unique_ptr<Aggregator> acc;   // Heavy kinds only; null otherwise.
+    int64_t key = 0;
+    int32_t revisions = 0;
+    bool fired = false;
+    bool dirty_since_fire = false;
+  };
+
+  class Bucket {
+   public:
+    TimestampUs start() const { return start_; }
+    size_t size() const { return slots_.size(); }
+    Slot& slot(uint32_t dense_index) { return slots_[dense_index]; }
+
+    /// O(1) expected; nullptr if the key has no state here.
+    Slot* Find(int64_t key);
+
+    /// Dense slot indices in ascending key order. Lazily rebuilt after
+    /// insertions; firing scans are the only consumers.
+    const std::vector<uint32_t>& SortedByKey();
+
+   private:
+    friend class FlatWindowStore;
+
+    Slot* Insert(int64_t key);  // Key must be absent.
+    void Rehash(size_t new_capacity);
+
+    TimestampUs start_ = 0;
+    std::vector<Slot> slots_;         // First-touch order; indices stable.
+    std::vector<uint32_t> probe_;     // Power-of-two; value = index + 1.
+    std::vector<uint32_t> by_key_;    // Key-sorted dense indices (lazy).
+    bool by_key_valid_ = false;
+  };
+
+  /// What a Scan visitor tells the store to do with the visited bucket.
+  enum class Visit {
+    kKeep,   // Leave the bucket; continue with the next start.
+    kPurge,  // Remove the bucket (all its slots); continue scanning.
+    kStop,   // Leave the bucket and end the scan (monotone early-out).
+  };
+
+  explicit FlatWindowStore(DurationUs slide);
+
+  /// Returns the state slot for (start, key), creating bucket and slot as
+  /// needed. `*created` reports whether the slot is new (the caller
+  /// initializes heavy accumulators). `start` must be a multiple of the
+  /// slide, as produced by window assignment.
+  Slot* GetOrCreate(TimestampUs start, int64_t key, bool* created);
+
+  /// Lookup without creation; nullptr if absent.
+  Slot* Find(TimestampUs start, int64_t key);
+
+  /// Visits live buckets in ascending window-start order. The visitor
+  /// returns a Visit action; purged buckets are removed mid-scan (their
+  /// slots die with them).
+  template <typename Fn>
+  void Scan(Fn&& fn) {
+    if (live_buckets_ == 0) return;
+    for (int64_t q = q_min_; q <= q_max_; ++q) {
+      Bucket* b = BucketAt(q);
+      if (b == nullptr) continue;
+      const Visit action = fn(*b);
+      if (action == Visit::kPurge) {
+        RemoveBucket(q);
+      } else if (action == Visit::kStop) {
+        break;
+      }
+    }
+    TrimFront();
+  }
+
+  /// Live (start, key) states across all buckets.
+  size_t size() const { return slot_count_; }
+  size_t live_buckets() const { return live_buckets_; }
+
+  /// Bumped on every slot insertion and bucket purge — any mutation that
+  /// can invalidate a cached Slot pointer.
+  uint64_t epoch() const { return epoch_; }
+
+ private:
+  size_t IndexOf(int64_t q) const {
+    return static_cast<size_t>(static_cast<uint64_t>(q) &
+                               (ring_.size() - 1));
+  }
+  Bucket* BucketAt(int64_t q) const {
+    Bucket* b = ring_[IndexOf(q)].get();
+    return (b != nullptr && b->start_ == q * slide_) ? b : nullptr;
+  }
+
+  Bucket* GetOrCreateBucket(TimestampUs start);
+  void RemoveBucket(int64_t q);
+  void EnsureSpan(int64_t q);  // Grows the ring to cover q.
+  void TrimFront();            // Advances q_min_ past purged buckets.
+
+  DurationUs slide_;
+  std::vector<std::unique_ptr<Bucket>> ring_;  // Power-of-two capacity.
+  int64_t q_min_ = 0;   // Valid iff live_buckets_ > 0.
+  int64_t q_max_ = -1;
+  size_t live_buckets_ = 0;
+  size_t slot_count_ = 0;
+  uint64_t epoch_ = 0;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_WINDOW_FLAT_WINDOW_STORE_H_

@@ -13,7 +13,69 @@ WindowedAggregation::WindowedAggregation(const Options& options,
   STREAMQ_CHECK_OK(options.window.Validate());
   STREAMQ_CHECK_OK(options.aggregate.Validate());
   STREAMQ_CHECK_GE(options.allowed_lateness, 0);
+  if (options_.engine == Engine::kLegacy) return;
+
+  store_ = std::make_unique<FlatWindowStore>(options_.window.slide);
+  inline_kind_ = IsInlineAggKind(agg_spec_.kind);
+  // Pane sharing folds each same-(pane, key) run once and merges the
+  // partial into every covering window: correct for any window family, but
+  // only profitable when windows overlap, and only byte-identical to the
+  // per-tuple path for grouping-exact kinds. Gate on exactly-tiling
+  // sliding windows; kAuto additionally requires bit-exact merges.
+  const WindowSpec& w = options_.window;
+  const bool tiling_sliding = w.slide < w.size && w.size % w.slide == 0;
+  switch (options_.pane_sharing) {
+    case PaneSharing::kOff:
+      pane_active_ = false;
+      break;
+    case PaneSharing::kAuto:
+      pane_active_ =
+          inline_kind_ && tiling_sliding && PaneMergeIsExact(agg_spec_.kind);
+      break;
+    case PaneSharing::kForce:
+      pane_active_ = inline_kind_ && tiling_sliding;
+      break;
+  }
+  switch (agg_spec_.kind) {
+    case AggKind::kCount:
+      BindHotFns<AggKind::kCount>();
+      break;
+    case AggKind::kSum:
+      BindHotFns<AggKind::kSum>();
+      break;
+    case AggKind::kMean:
+      BindHotFns<AggKind::kMean>();
+      break;
+    case AggKind::kMin:
+      BindHotFns<AggKind::kMin>();
+      break;
+    case AggKind::kMax:
+      BindHotFns<AggKind::kMax>();
+      break;
+    case AggKind::kVariance:
+      BindHotFns<AggKind::kVariance>();
+      break;
+    case AggKind::kStdDev:
+      BindHotFns<AggKind::kStdDev>();
+      break;
+    default:
+      one_fn_ = &WindowedAggregation::FoldEventHeavy;
+      batch_fn_ = &WindowedAggregation::FoldBatchHeavy;
+      break;
+  }
 }
+
+template <AggKind K>
+void WindowedAggregation::BindHotFns() {
+  one_fn_ = &WindowedAggregation::FoldEventHot<K>;
+  batch_fn_ = pane_active_ ? &WindowedAggregation::FoldBatchPaned<K>
+                           : &WindowedAggregation::FoldBatchHot<K>;
+}
+
+// ---------------------------------------------------------------------------
+// Legacy engine: std::map over (start, key), polymorphic accumulators. The
+// reference implementation the hot engine is pinned against.
+// ---------------------------------------------------------------------------
 
 WindowedAggregation::WindowState* WindowedAggregation::GetOrCreateState(
     TimestampUs window_start, int64_t key) {
@@ -44,12 +106,6 @@ void WindowedAggregation::FoldEvent(const Event& e) {
   });
 }
 
-void WindowedAggregation::OnEvent(const Event& e) { FoldEvent(e); }
-
-void WindowedAggregation::OnEvents(std::span<const Event> events) {
-  for (const Event& e : events) FoldEvent(e);
-}
-
 void WindowedAggregation::Emit(const StateKey& sk, WindowState* state,
                                TimestampUs now, bool revision) {
   WindowResult r;
@@ -71,10 +127,8 @@ void WindowedAggregation::Emit(const StateKey& sk, WindowState* state,
   if (observer_ != nullptr) observer_->OnWindowFired(r);
 }
 
-void WindowedAggregation::OnWatermark(TimestampUs watermark,
-                                      TimestampUs stream_time) {
-  if (watermark <= last_watermark_) return;
-  last_watermark_ = watermark;
+void WindowedAggregation::LegacyOnWatermark(TimestampUs watermark,
+                                            TimestampUs stream_time) {
   cached_state_ = nullptr;  // The purge loop below may erase the memo target.
 
   auto it = windows_.begin();
@@ -112,11 +166,16 @@ void WindowedAggregation::OnWatermark(TimestampUs watermark,
   }
 }
 
-void WindowedAggregation::OnKeyedWatermark(int64_t key, TimestampUs watermark,
-                                           TimestampUs stream_time) {
-  if (!options_.per_key_watermarks) return;
+void WindowedAggregation::LegacyOnKeyedWatermark(int64_t key,
+                                                 TimestampUs watermark,
+                                                 TimestampUs stream_time) {
   // Fire this key's complete windows without waiting for the merged
-  // watermark. Purge stays with the merged watermark (OnWatermark).
+  // watermark. Purge stays with the merged watermark (OnWatermark). Firing
+  // mutates state in place (map nodes are stable), but drop the lookup
+  // memo anyway: this path runs interleaved with per-key purge policies and
+  // a stale memo here is the dangling-pointer hazard class the flat store
+  // guards against with its epoch.
+  cached_state_ = nullptr;
   for (auto& [sk, state] : windows_) {
     if (sk.second != key || state.fired) continue;
     const TimestampUs end = sk.first + options_.window.size;
@@ -125,9 +184,7 @@ void WindowedAggregation::OnKeyedWatermark(int64_t key, TimestampUs watermark,
   }
 }
 
-void WindowedAggregation::OnLateEvent(const Event& e) {
-  ++stats_.events;
-  last_activity_ = std::max(last_activity_, e.arrival_time);
+void WindowedAggregation::LegacyOnLateEvent(const Event& e) {
   for (const WindowBounds& w : AssignWindows(options_.window, e.event_time)) {
     const StateKey sk{w.start, e.key};
     auto it = windows_.find(sk);
@@ -171,6 +228,309 @@ void WindowedAggregation::OnLateEvent(const Event& e) {
         state->dirty_since_fire = true;
       }
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hot engine: inline states in a flat store, fold-plan memo, pane-shared
+// batch folding. Result- and stat-equivalent to the legacy engine above
+// (aggregation_equivalence_test pins this byte-for-byte).
+// ---------------------------------------------------------------------------
+
+WindowedAggregation::Slot* WindowedAggregation::GetOrCreateSlot(
+    TimestampUs window_start, int64_t key) {
+  bool created = false;
+  Slot* s = store_->GetOrCreate(window_start, key, &created);
+  if (created) {
+    if (!inline_kind_) s->acc = MakeAggregator(agg_spec_);
+    stats_.max_live_windows = std::max(stats_.max_live_windows,
+                                       static_cast<int64_t>(store_->size()));
+  }
+  return s;
+}
+
+void WindowedAggregation::RebuildPlan(TimestampUs ts, int64_t key) {
+  const DurationUs size = options_.window.size;
+  const DurationUs slide = options_.window.slide;
+  const int64_t q_last = window_internal::FloorDiv(ts, slide);
+  const int64_t q_first = window_internal::FloorDiv(ts - size, slide) + 1;
+  // The covering set {q_first..q_last} is constant while both quotients
+  // are: intersect the two preimage intervals. For sampling gaps
+  // (q_first > q_last) this yields the gap itself and num == 0.
+  plan_.valid_begin = std::max(q_last * slide, (q_first - 1) * slide + size);
+  plan_.valid_end = std::min((q_last + 1) * slide, q_first * slide + size);
+  plan_.key = key;
+  const int64_t num = q_last - q_first + 1;
+  if (num > FoldPlan::kMaxWindows) {
+    // Extreme size/slide fanout: fold via ForEachWindow, no slot memo (and
+    // so no epoch dependency).
+    plan_.num = FoldPlan::kOversized;
+    return;
+  }
+  plan_.num = static_cast<int>(std::max<int64_t>(num, 0));
+  for (int i = 0; i < plan_.num; ++i) {
+    plan_.slots[i] = GetOrCreateSlot((q_first + i) * slide, key);
+  }
+  plan_.epoch = store_->epoch();  // After creation-driven bumps.
+}
+
+template <AggKind K>
+void WindowedAggregation::FoldEventHot(const Event& e) {
+  ++stats_.events;
+  last_activity_ = std::max(last_activity_, e.arrival_time);
+  if (!PlanHits(e)) RebuildPlan(e.event_time, e.key);
+  if (plan_.num >= 0) {
+    for (int i = 0; i < plan_.num; ++i) {
+      InlineFold<K>(plan_.slots[i]->state, e.value);
+    }
+    return;
+  }
+  ForEachWindow(options_.window, e.event_time,
+                [this, &e](const WindowBounds& w) {
+                  InlineFold<K>(GetOrCreateSlot(w.start, e.key)->state,
+                                e.value);
+                });
+}
+
+template <AggKind K>
+void WindowedAggregation::FoldBatchHot(std::span<const Event> events) {
+  for (const Event& e : events) FoldEventHot<K>(e);
+}
+
+template <AggKind K>
+void WindowedAggregation::FoldBatchPaned(std::span<const Event> events) {
+  // Fold each maximal run of events sharing one covering-window set (same
+  // pane, same key) into a single partial, then merge the partial into the
+  // size/slide covering windows once — one fold per tuple plus one merge
+  // per (run, window) instead of one fold per (tuple, window).
+  size_t i = 0;
+  while (i < events.size()) {
+    const Event& head = events[i];
+    ++stats_.events;
+    last_activity_ = std::max(last_activity_, head.arrival_time);
+    if (!PlanHits(head)) RebuildPlan(head.event_time, head.key);
+    if (plan_.num < 0) {  // Oversized fanout: per-tuple fallback.
+      ForEachWindow(options_.window, head.event_time,
+                    [this, &head](const WindowBounds& w) {
+                      InlineFold<K>(GetOrCreateSlot(w.start, head.key)->state,
+                                    head.value);
+                    });
+      ++i;
+      continue;
+    }
+    AggregateState partial;
+    InlineFold<K>(partial, head.value);
+    size_t j = i + 1;
+    // No store mutation inside the run, so the plan stays valid; PlanHits
+    // is interval + key only from here.
+    while (j < events.size() && events[j].key == plan_.key &&
+           events[j].event_time >= plan_.valid_begin &&
+           events[j].event_time < plan_.valid_end) {
+      InlineFold<K>(partial, events[j].value);
+      ++stats_.events;
+      last_activity_ = std::max(last_activity_, events[j].arrival_time);
+      ++j;
+    }
+    for (int k = 0; k < plan_.num; ++k) {
+      InlineMerge<K>(plan_.slots[k]->state, partial);
+    }
+    i = j;
+  }
+}
+
+void WindowedAggregation::FoldEventHeavy(const Event& e) {
+  ++stats_.events;
+  last_activity_ = std::max(last_activity_, e.arrival_time);
+  if (!PlanHits(e)) RebuildPlan(e.event_time, e.key);
+  if (plan_.num >= 0) {
+    for (int i = 0; i < plan_.num; ++i) plan_.slots[i]->acc->Add(e.value);
+    return;
+  }
+  ForEachWindow(options_.window, e.event_time,
+                [this, &e](const WindowBounds& w) {
+                  GetOrCreateSlot(w.start, e.key)->acc->Add(e.value);
+                });
+}
+
+void WindowedAggregation::FoldBatchHeavy(std::span<const Event> events) {
+  for (const Event& e : events) FoldEventHeavy(e);
+}
+
+void WindowedAggregation::FoldValueDyn(Slot& slot, double v) {
+  if (inline_kind_) {
+    InlineFoldDyn(agg_spec_.kind, slot.state, v);
+  } else {
+    slot.acc->Add(v);
+  }
+}
+
+void WindowedAggregation::EmitSlot(TimestampUs window_start, Slot& slot,
+                                   TimestampUs now, bool revision) {
+  WindowResult r;
+  r.bounds = WindowBounds{window_start, window_start + options_.window.size};
+  r.key = slot.key;
+  if (inline_kind_) {
+    r.value = InlineValueDyn(agg_spec_.kind, slot.state);
+    r.tuple_count = slot.state.n;
+  } else {
+    r.value = slot.acc->Value();
+    r.tuple_count = slot.acc->count();
+  }
+  r.emit_stream_time = now;
+  r.is_revision = revision;
+  r.revision_index = revision ? ++slot.revisions : 0;
+  slot.fired = true;
+  slot.dirty_since_fire = false;
+  if (revision) {
+    ++stats_.revisions;
+  } else {
+    ++stats_.windows_fired;
+  }
+  sink_->OnResult(r);
+  if (observer_ != nullptr) observer_->OnWindowFired(r);
+}
+
+void WindowedAggregation::HotOnWatermark(TimestampUs watermark,
+                                         TimestampUs stream_time) {
+  plan_.num = FoldPlan::kInvalid;  // Purges below invalidate slot pointers.
+  // Mirrors LegacyOnWatermark entry for entry: buckets ascend by start and
+  // SortedByKey ascends by key, reproducing the map's (start, key) order;
+  // `live` tracks the post-erase store size the legacy observer call saw.
+  size_t live = store_->size();
+  store_->Scan([&](FlatWindowStore::Bucket& b) {
+    const TimestampUs end = b.start() + options_.window.size;
+    const bool can_fire = end <= watermark;
+    const TimestampUs retire_at =
+        (end > kMaxTimestamp - options_.allowed_lateness)
+            ? kMaxTimestamp
+            : end + options_.allowed_lateness;
+    const bool purge = retire_at <= watermark || watermark == kMaxTimestamp;
+    if (!can_fire && !purge) {
+      // end > watermark and nothing retires: monotone in start, stop.
+      return FlatWindowStore::Visit::kStop;
+    }
+    for (uint32_t idx : b.SortedByKey()) {
+      Slot& s = b.slot(idx);
+      if (can_fire && !s.fired) {
+        EmitSlot(b.start(), s, stream_time, /*revision=*/false);
+      }
+      if (purge) {
+        if (s.fired && s.dirty_since_fire) {
+          // Batch-refinement mode: flush pending amendments as one revision.
+          EmitSlot(b.start(), s, stream_time, /*revision=*/true);
+        } else if (!s.fired) {
+          // Terminal-watermark purge of a window that never saw its end
+          // watermark; fire it now.
+          EmitSlot(b.start(), s, stream_time, /*revision=*/false);
+        }
+        --live;
+        if (observer_ != nullptr) observer_->OnWindowPurged(end, live);
+      }
+    }
+    return purge ? FlatWindowStore::Visit::kPurge
+                 : FlatWindowStore::Visit::kKeep;
+  });
+}
+
+void WindowedAggregation::HotOnKeyedWatermark(int64_t key,
+                                              TimestampUs watermark,
+                                              TimestampUs stream_time) {
+  store_->Scan([&](FlatWindowStore::Bucket& b) {
+    const TimestampUs end = b.start() + options_.window.size;
+    if (end > watermark) return FlatWindowStore::Visit::kStop;
+    Slot* s = b.Find(key);
+    if (s != nullptr && !s->fired) {
+      EmitSlot(b.start(), *s, stream_time, /*revision=*/false);
+    }
+    return FlatWindowStore::Visit::kKeep;
+  });
+}
+
+void WindowedAggregation::HotOnLateEvent(const Event& e) {
+  for (const WindowBounds& w : AssignWindows(options_.window, e.event_time)) {
+    Slot* s = store_->Find(w.start, e.key);
+    if (s == nullptr) {
+      const bool window_open = w.end > last_watermark_;
+      if (window_open ||
+          (options_.allowed_lateness > 0 &&
+           w.end + options_.allowed_lateness > last_watermark_)) {
+        s = GetOrCreateSlot(w.start, e.key);
+        FoldValueDyn(*s, e.value);
+        ++stats_.late_applied;
+        if (w.end <= last_watermark_) {
+          if (options_.emit_revision_per_update) {
+            EmitSlot(w.start, *s, e.arrival_time, /*revision=*/false);
+          } else {
+            s->dirty_since_fire = true;
+            s->fired = true;
+          }
+        }
+        continue;
+      }
+      ++stats_.late_dropped;
+      if (observer_ != nullptr) observer_->OnWindowLateDropped(e);
+      continue;
+    }
+    FoldValueDyn(*s, e.value);
+    ++stats_.late_applied;
+    if (s->fired) {
+      if (options_.emit_revision_per_update) {
+        EmitSlot(w.start, *s, e.arrival_time, /*revision=*/true);
+      } else {
+        s->dirty_since_fire = true;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// EventSink entry points: one engine branch, then straight-line code.
+// ---------------------------------------------------------------------------
+
+void WindowedAggregation::OnEvent(const Event& e) {
+  if (store_ != nullptr) {
+    (this->*one_fn_)(e);
+  } else {
+    FoldEvent(e);
+  }
+}
+
+void WindowedAggregation::OnEvents(std::span<const Event> events) {
+  if (store_ != nullptr) {
+    (this->*batch_fn_)(events);
+  } else {
+    for (const Event& e : events) FoldEvent(e);
+  }
+}
+
+void WindowedAggregation::OnWatermark(TimestampUs watermark,
+                                      TimestampUs stream_time) {
+  if (watermark <= last_watermark_) return;
+  last_watermark_ = watermark;
+  if (store_ != nullptr) {
+    HotOnWatermark(watermark, stream_time);
+  } else {
+    LegacyOnWatermark(watermark, stream_time);
+  }
+}
+
+void WindowedAggregation::OnKeyedWatermark(int64_t key, TimestampUs watermark,
+                                           TimestampUs stream_time) {
+  if (!options_.per_key_watermarks) return;
+  if (store_ != nullptr) {
+    HotOnKeyedWatermark(key, watermark, stream_time);
+  } else {
+    LegacyOnKeyedWatermark(key, watermark, stream_time);
+  }
+}
+
+void WindowedAggregation::OnLateEvent(const Event& e) {
+  ++stats_.events;
+  last_activity_ = std::max(last_activity_, e.arrival_time);
+  if (store_ != nullptr) {
+    HotOnLateEvent(e);
+  } else {
+    LegacyOnLateEvent(e);
   }
 }
 

@@ -10,9 +10,11 @@
 #include <vector>
 
 #include "agg/aggregate.h"
+#include "agg/aggregate_state.h"
 #include "common/time.h"
 #include "core/pipeline_observer.h"
 #include "disorder/event_sink.h"
+#include "window/flat_window_store.h"
 #include "window/window.h"
 
 namespace streamq {
@@ -46,8 +48,42 @@ class CollectingResultSink : public WindowResultSink {
 /// With a PassThrough disorder handler and allowed_lateness > 0 this
 /// implements the speculative strategy: results appear immediately and are
 /// amended as stragglers arrive.
+///
+/// Two result-equivalent execution engines (Options::engine):
+///
+///  * kHot (default) — light aggregate kinds fold into inline
+///    `AggregateState`s (no virtual dispatch, no per-window heap
+///    accumulator) stored in a `FlatWindowStore` (O(1) amortized lookup).
+///    Fold dispatch is resolved once per batch, and for exactly-tiling
+///    sliding windows each batch is folded once per pane run and merged
+///    into the covering windows when that is bit-exact (count/min/max;
+///    Options::pane_sharing). Heavy kinds (median/quantile/distinct) keep
+///    the polymorphic accumulator inside the flat store.
+///  * kLegacy — the original std::map + virtual-Aggregator path, kept as
+///    the reference implementation the equivalence test pins kHot against.
 class WindowedAggregation : public EventSink {
  public:
+  /// Execution engine selection. Both engines produce byte-identical
+  /// results and stats; kLegacy exists as the reference for equivalence
+  /// testing and as an escape hatch.
+  enum class Engine {
+    kHot,
+    kLegacy,
+  };
+
+  /// Pane-shared batch folding policy (kHot engine, light kinds only).
+  enum class PaneSharing {
+    /// Share only when merging partials is bit-identical to per-tuple
+    /// folding (count/min/max) and the window tiles exactly.
+    kAuto,
+    /// Never share; always per-tuple folds.
+    kOff,
+    /// Share for every inline kind. For sum/mean/variance/stddev this
+    /// regroups floating-point reductions and may differ from the
+    /// per-tuple path in the last ulps.
+    kForce,
+  };
+
   struct Options {
     WindowSpec window = WindowSpec::Tumbling(Seconds(1));
     AggregateSpec aggregate;
@@ -67,6 +103,9 @@ class WindowedAggregation : public EventSink {
     /// progress allows, instead of waiting for the slowest key's merged
     /// watermark. Purging still follows the merged watermark.
     bool per_key_watermarks = false;
+
+    Engine engine = Engine::kHot;
+    PaneSharing pane_sharing = PaneSharing::kAuto;
   };
 
   struct Stats {
@@ -92,13 +131,24 @@ class WindowedAggregation : public EventSink {
   const Options& options() const { return options_; }
 
   /// Number of window instances currently holding state.
-  size_t live_windows() const { return windows_.size(); }
+  size_t live_windows() const {
+    return store_ != nullptr ? store_->size() : windows_.size();
+  }
+
+  /// True when this instance runs the devirtualized inline-state fold
+  /// (kHot engine and a light aggregate kind).
+  bool uses_inline_states() const { return store_ != nullptr && inline_kind_; }
+
+  /// True when batches are folded once per pane run and merged.
+  bool uses_pane_sharing() const { return pane_active_; }
 
   /// Installs a read-only instrumentation observer (nullptr = none). Same
   /// zero-cost-when-off contract as DisorderHandler::set_observer.
   void set_observer(PipelineObserver* observer) { observer_ = observer; }
 
  private:
+  // ---- Legacy engine (reference implementation) ----
+
   struct WindowState {
     std::unique_ptr<Aggregator> acc;
     bool fired = false;
@@ -116,21 +166,92 @@ class WindowedAggregation : public EventSink {
   /// Folds one in-order event into all covering windows (shared by OnEvent
   /// and the batched OnEvents).
   void FoldEvent(const Event& e);
+  void LegacyOnWatermark(TimestampUs watermark, TimestampUs stream_time);
+  void LegacyOnKeyedWatermark(int64_t key, TimestampUs watermark,
+                              TimestampUs stream_time);
+  void LegacyOnLateEvent(const Event& e);
+
+  // ---- Hot engine ----
+
+  using Slot = FlatWindowStore::Slot;
+
+  /// Memo of the covering-window slots for the last (timestamp, key)
+  /// resolved. All events with event_time in [valid_begin, valid_end) and
+  /// the same key share the same covering-window set, so consecutive
+  /// tuples skip window assignment and state lookup entirely. Slot
+  /// pointers are revalidated against the store's epoch: any insertion or
+  /// purge (late events, watermarks) invalidates the plan instead of
+  /// leaving it dangling.
+  struct FoldPlan {
+    static constexpr int kMaxWindows = 64;
+    static constexpr int kInvalid = -1;
+    /// The (interval, key) is valid but the covering set is too large to
+    /// memoize; fold via ForEachWindow.
+    static constexpr int kOversized = -2;
+
+    TimestampUs valid_begin = 0;
+    TimestampUs valid_end = 0;  // Empty interval == never hits.
+    int64_t key = 0;
+    uint64_t epoch = 0;
+    int num = kInvalid;
+    Slot* slots[kMaxWindows];
+  };
+
+  bool PlanHits(const Event& e) const {
+    return e.event_time >= plan_.valid_begin &&
+           e.event_time < plan_.valid_end && e.key == plan_.key &&
+           plan_.num != FoldPlan::kInvalid &&
+           (plan_.num == FoldPlan::kOversized ||
+            plan_.epoch == store_->epoch());
+  }
+  void RebuildPlan(TimestampUs ts, int64_t key);
+  Slot* GetOrCreateSlot(TimestampUs window_start, int64_t key);
+  void EmitSlot(TimestampUs window_start, Slot& slot, TimestampUs now,
+                bool revision);
+  /// Folds one value into a slot with runtime kind dispatch (cold paths:
+  /// late events, plan-miss fallbacks for heavy kinds).
+  void FoldValueDyn(Slot& slot, double v);
+
+  template <AggKind K>
+  void FoldEventHot(const Event& e);
+  template <AggKind K>
+  void FoldBatchHot(std::span<const Event> events);
+  template <AggKind K>
+  void FoldBatchPaned(std::span<const Event> events);
+  void FoldEventHeavy(const Event& e);
+  void FoldBatchHeavy(std::span<const Event> events);
+  template <AggKind K>
+  void BindHotFns();
+
+  void HotOnWatermark(TimestampUs watermark, TimestampUs stream_time);
+  void HotOnKeyedWatermark(int64_t key, TimestampUs watermark,
+                           TimestampUs stream_time);
+  void HotOnLateEvent(const Event& e);
 
   Options options_;
   WindowResultSink* sink_;
   AggregateSpec agg_spec_;
-  std::map<StateKey, WindowState> windows_;
+  std::map<StateKey, WindowState> windows_;  // kLegacy engine only.
   TimestampUs last_watermark_ = kMinTimestamp;
   TimestampUs last_activity_ = 0;  // Arrival time of last event seen.
   Stats stats_;
   PipelineObserver* observer_ = nullptr;
 
-  /// Memo of the last state lookup: consecutive tuples overwhelmingly hit
-  /// the same (window, key) slot, and map nodes are stable until erased.
-  /// Invalidated whenever OnWatermark purges state.
+  /// Memo of the last state lookup (kLegacy): consecutive tuples
+  /// overwhelmingly hit the same (window, key) slot, and map nodes are
+  /// stable until erased. Invalidated whenever OnWatermark purges state.
   StateKey cached_key_{};
   WindowState* cached_state_ = nullptr;
+
+  // kHot engine state. Fold dispatch is resolved once, at construction
+  // (one member-function-pointer indirection per event / per batch instead
+  // of a virtual call per tuple per window).
+  std::unique_ptr<FlatWindowStore> store_;  // Null under kLegacy.
+  bool inline_kind_ = false;
+  bool pane_active_ = false;
+  FoldPlan plan_;
+  void (WindowedAggregation::*one_fn_)(const Event&) = nullptr;
+  void (WindowedAggregation::*batch_fn_)(std::span<const Event>) = nullptr;
 };
 
 }  // namespace streamq

@@ -1,0 +1,342 @@
+// Engine-equivalence property test: the devirtualized hot path (inline
+// states + flat store + fold-plan memo + pane-shared batch folding) must be
+// indistinguishable from the legacy std::map + virtual-Aggregator engine —
+// byte-identical WindowResult sequences and window stats — for every
+// aggregate kind, window family, handler spec, revision mode, and feed
+// granularity, including late-tuple, revision and allowed-lateness paths.
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/continuous_query.h"
+#include "core/executor.h"
+#include "stream/generator.h"
+#include "tests/test_util.h"
+#include "window/window.h"
+#include "window/window_operator.h"
+
+namespace streamq {
+namespace {
+
+using Engine = WindowedAggregation::Engine;
+using PaneSharing = WindowedAggregation::PaneSharing;
+
+const std::vector<AggKind> kAllKinds = {
+    AggKind::kCount,    AggKind::kSum,    AggKind::kMean,
+    AggKind::kMin,      AggKind::kMax,    AggKind::kVariance,
+    AggKind::kStdDev,   AggKind::kMedian, AggKind::kQuantile,
+    AggKind::kDistinctCount};
+
+struct Shape {
+  const char* name;
+  WindowSpec spec;
+};
+
+const std::vector<Shape>& Shapes() {
+  static const std::vector<Shape> shapes = {
+      {"tumbling", WindowSpec::Tumbling(Millis(40))},
+      {"sliding_tiling", WindowSpec::Sliding(Millis(50), Millis(25))},
+      {"sliding_nontiling", WindowSpec::Sliding(Millis(50), Millis(30))},
+      {"sampling", WindowSpec::Sliding(Millis(20), Millis(50))},
+  };
+  return shapes;
+}
+
+std::vector<DisorderHandlerSpec> HandlerSpecs() {
+  std::vector<DisorderHandlerSpec> specs;
+  specs.push_back(DisorderHandlerSpec::PassThrough());
+  specs.push_back(DisorderHandlerSpec::Fixed(Millis(30)));
+  {
+    WatermarkReorderer::Options wm;
+    wm.bound = Millis(30);
+    wm.period_events = 7;
+    wm.allowed_lateness = Millis(10);
+    specs.push_back(DisorderHandlerSpec::Watermark(wm));
+  }
+  {
+    AqKSlack::Options aq;
+    aq.target_quality = 0.95;
+    specs.push_back(DisorderHandlerSpec::Aq(aq));
+  }
+  specs.push_back(DisorderHandlerSpec::Fixed(Millis(30)).PerKey());
+  return specs;
+}
+
+const std::vector<Event>& TestStream() {
+  static const std::vector<Event>* events = [] {
+    WorkloadConfig cfg;
+    cfg.num_events = 3000;
+    cfg.events_per_second = 10000.0;
+    cfg.num_keys = 4;
+    cfg.delay.model = DelayModel::kExponential;
+    cfg.delay.a = 20000.0;  // Heavy disorder: plenty of late tuples.
+    cfg.seed = 1234;
+    return new std::vector<Event>(GenerateWorkload(cfg).arrival_order);
+  }();
+  return *events;
+}
+
+ContinuousQuery MakeQuery(AggKind kind, const WindowSpec& shape,
+                          const DisorderHandlerSpec& handler,
+                          bool emit_revision_per_update, Engine engine,
+                          PaneSharing pane) {
+  ContinuousQuery q;
+  q.name = "agg_equiv";
+  q.handler = handler;
+  q.window.window = shape;
+  q.window.aggregate.kind = kind;
+  if (kind == AggKind::kQuantile) q.window.aggregate.quantile_q = 0.9;
+  q.window.allowed_lateness = Millis(20);
+  q.window.emit_revision_per_update = emit_revision_per_update;
+  q.window.per_key_watermarks = handler.per_key;
+  q.window.engine = engine;
+  q.window.pane_sharing = pane;
+  return q;
+}
+
+RunReport RunQuery(const ContinuousQuery& q, bool batched) {
+  QueryExecutor exec(q);
+  if (batched) {
+    exec.FeedBatch(std::span<const Event>(TestStream()));
+  } else {
+    for (const Event& e : TestStream()) exec.Feed(e);
+  }
+  exec.Finish();
+  return exec.Report();
+}
+
+void ExpectBitIdentical(const RunReport& want, const RunReport& got) {
+  EXPECT_EQ(want.events_processed, got.events_processed);
+  ASSERT_EQ(want.results.size(), got.results.size());
+  for (size_t i = 0; i < want.results.size(); ++i) {
+    // operator== would treat two NaNs as different; compare value bits and
+    // everything else structurally.
+    const WindowResult& a = want.results[i];
+    const WindowResult& b = got.results[i];
+    EXPECT_EQ(a.bounds, b.bounds) << "result " << i;
+    EXPECT_EQ(a.key, b.key) << "result " << i;
+    EXPECT_EQ(std::bit_cast<uint64_t>(a.value),
+              std::bit_cast<uint64_t>(b.value))
+        << "result " << i << ": " << a.value << " vs " << b.value;
+    EXPECT_EQ(a.tuple_count, b.tuple_count) << "result " << i;
+    EXPECT_EQ(a.emit_stream_time, b.emit_stream_time) << "result " << i;
+    EXPECT_EQ(a.is_revision, b.is_revision) << "result " << i;
+    EXPECT_EQ(a.revision_index, b.revision_index) << "result " << i;
+  }
+
+  const WindowedAggregation::Stats& wa = want.window_stats;
+  const WindowedAggregation::Stats& wb = got.window_stats;
+  EXPECT_EQ(wa.events, wb.events);
+  EXPECT_EQ(wa.late_applied, wb.late_applied);
+  EXPECT_EQ(wa.late_dropped, wb.late_dropped);
+  EXPECT_EQ(wa.windows_fired, wb.windows_fired);
+  EXPECT_EQ(wa.revisions, wb.revisions);
+  EXPECT_EQ(wa.max_live_windows, wb.max_live_windows);
+
+  // The handler runs upstream of the engine under test; identical stats
+  // confirm the engines cannot perturb it.
+  EXPECT_EQ(want.handler_stats.events_out, got.handler_stats.events_out);
+  EXPECT_EQ(want.handler_stats.events_late, got.handler_stats.events_late);
+  EXPECT_EQ(want.final_slack, got.final_slack);
+}
+
+using Param = std::tuple<int, int>;  // (kind index, shape index)
+
+class AggregationEquivalenceTest : public ::testing::TestWithParam<Param> {};
+
+// Hot engine (default pane policy) == legacy engine, bit for bit, per-event
+// and batched, in both revision modes, under every handler spec.
+TEST_P(AggregationEquivalenceTest, HotMatchesLegacyBitwise) {
+  const auto [kind_index, shape_index] = GetParam();
+  const AggKind kind = kAllKinds[static_cast<size_t>(kind_index)];
+  const Shape& shape = Shapes()[static_cast<size_t>(shape_index)];
+  for (const DisorderHandlerSpec& handler : HandlerSpecs()) {
+    for (bool per_update : {true, false}) {
+      SCOPED_TRACE(handler.Describe() + (per_update ? " perupdate" : " batchrev"));
+      const ContinuousQuery legacy_q =
+          MakeQuery(kind, shape.spec, handler, per_update, Engine::kLegacy,
+                    PaneSharing::kAuto);
+      const ContinuousQuery hot_q =
+          MakeQuery(kind, shape.spec, handler, per_update, Engine::kHot,
+                    PaneSharing::kAuto);
+      const RunReport reference = RunQuery(legacy_q, /*batched=*/false);
+      ExpectBitIdentical(reference, RunQuery(legacy_q, /*batched=*/true));
+      ExpectBitIdentical(reference, RunQuery(hot_q, /*batched=*/false));
+      ExpectBitIdentical(reference, RunQuery(hot_q, /*batched=*/true));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAllShapes, AggregationEquivalenceTest,
+    ::testing::Combine(::testing::Range(0, 10), ::testing::Range(0, 4)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      AggregateSpec spec;
+      spec.kind = kAllKinds[static_cast<size_t>(std::get<0>(info.param))];
+      std::string name = spec.Describe();
+      name.erase(std::remove_if(name.begin(), name.end(),
+                                [](char c) { return !std::isalnum(c); }),
+                 name.end());
+      name += "_";
+      name += Shapes()[static_cast<size_t>(std::get<1>(info.param))].name;
+      return name;
+    });
+
+// Forced pane sharing regroups floating-point folds; results must still
+// match the reference structurally, with values within rounding noise.
+TEST(PaneSharingForcedTest, InexactKindsMatchWithinRounding) {
+  const WindowSpec shape = WindowSpec::Sliding(Millis(50), Millis(25));
+  for (AggKind kind : {AggKind::kSum, AggKind::kMean, AggKind::kVariance,
+                       AggKind::kStdDev}) {
+    SCOPED_TRACE(static_cast<int>(kind));
+    const DisorderHandlerSpec handler = DisorderHandlerSpec::Fixed(Millis(30));
+    const RunReport want =
+        RunQuery(MakeQuery(kind, shape, handler, true, Engine::kLegacy,
+                      PaneSharing::kAuto),
+            /*batched=*/true);
+    const RunReport got =
+        RunQuery(MakeQuery(kind, shape, handler, true, Engine::kHot,
+                      PaneSharing::kForce),
+            /*batched=*/true);
+    ASSERT_EQ(want.results.size(), got.results.size());
+    for (size_t i = 0; i < want.results.size(); ++i) {
+      const WindowResult& a = want.results[i];
+      const WindowResult& b = got.results[i];
+      EXPECT_EQ(a.bounds, b.bounds);
+      EXPECT_EQ(a.key, b.key);
+      EXPECT_EQ(a.tuple_count, b.tuple_count);
+      EXPECT_EQ(a.is_revision, b.is_revision);
+      const double tol = 1e-9 * std::max(1.0, std::abs(a.value));
+      EXPECT_NEAR(a.value, b.value, tol);
+    }
+    EXPECT_EQ(want.window_stats.windows_fired, got.window_stats.windows_fired);
+    EXPECT_EQ(want.window_stats.revisions, got.window_stats.revisions);
+  }
+}
+
+// ...and for the grouping-exact kinds, forced sharing stays bit-identical.
+TEST(PaneSharingForcedTest, ExactKindsStayBitIdentical) {
+  const WindowSpec shape = WindowSpec::Sliding(Millis(100), Millis(25));
+  for (AggKind kind : {AggKind::kCount, AggKind::kMin, AggKind::kMax}) {
+    SCOPED_TRACE(static_cast<int>(kind));
+    const DisorderHandlerSpec handler = DisorderHandlerSpec::Fixed(Millis(30));
+    const RunReport want =
+        RunQuery(MakeQuery(kind, shape, handler, true, Engine::kLegacy,
+                      PaneSharing::kAuto),
+            /*batched=*/true);
+    ExpectBitIdentical(want, RunQuery(MakeQuery(kind, shape, handler, true,
+                                           Engine::kHot, PaneSharing::kForce),
+                                 /*batched=*/true));
+  }
+}
+
+// Engine/pane plumbing sanity.
+TEST(EngineSelectionTest, DefaultsAndGates) {
+  CollectingResultSink sink;
+  {
+    WindowedAggregation::Options o;
+    o.window = WindowSpec::Sliding(Millis(100), Millis(25));
+    o.aggregate.kind = AggKind::kMax;
+    WindowedAggregation op(o, &sink);
+    EXPECT_TRUE(op.uses_inline_states());
+    EXPECT_TRUE(op.uses_pane_sharing());  // Exact kind, tiling window.
+  }
+  {
+    WindowedAggregation::Options o;
+    o.window = WindowSpec::Sliding(Millis(100), Millis(25));
+    o.aggregate.kind = AggKind::kSum;
+    WindowedAggregation op(o, &sink);
+    EXPECT_TRUE(op.uses_inline_states());
+    EXPECT_FALSE(op.uses_pane_sharing());  // Inexact under kAuto.
+    WindowedAggregation::Options f = o;
+    f.pane_sharing = PaneSharing::kForce;
+    WindowedAggregation opf(f, &sink);
+    EXPECT_TRUE(opf.uses_pane_sharing());
+  }
+  {
+    WindowedAggregation::Options o;
+    o.window = WindowSpec::Tumbling(Millis(100));
+    o.aggregate.kind = AggKind::kCount;
+    WindowedAggregation op(o, &sink);
+    EXPECT_FALSE(op.uses_pane_sharing());  // No overlap to share.
+  }
+  {
+    WindowedAggregation::Options o;
+    o.window = WindowSpec::Sliding(Millis(100), Millis(30));
+    o.aggregate.kind = AggKind::kCount;
+    WindowedAggregation op(o, &sink);
+    EXPECT_FALSE(op.uses_pane_sharing());  // Non-tiling.
+  }
+  {
+    WindowedAggregation::Options o;
+    o.aggregate.kind = AggKind::kMedian;
+    WindowedAggregation op(o, &sink);
+    EXPECT_FALSE(op.uses_inline_states());  // Heavy kind.
+  }
+  {
+    WindowedAggregation::Options o;
+    o.engine = Engine::kLegacy;
+    WindowedAggregation op(o, &sink);
+    EXPECT_FALSE(op.uses_inline_states());
+  }
+}
+
+// Regression for the fold-plan dangling-pointer hazard: a late event that
+// inserts a NEW key into buckets the plan memo is caching reallocates those
+// buckets' slot arrays. The epoch check must force a plan rebuild — under
+// ASan a miss here is a use-after-free; here it shows up as wrong sums.
+TEST(FoldPlanInvalidationTest, LateInsertIntoCachedBucketForcesRebuild) {
+  for (Engine engine : {Engine::kHot, Engine::kLegacy}) {
+    SCOPED_TRACE(engine == Engine::kHot ? "hot" : "legacy");
+    WindowedAggregation::Options o;
+    o.window = WindowSpec::Sliding(Seconds(4), Seconds(1));
+    o.aggregate.kind = AggKind::kSum;
+    o.allowed_lateness = Seconds(100);
+    o.engine = engine;
+    CollectingResultSink sink;
+    WindowedAggregation op(o, &sink);
+
+    auto ev = [](TimestampUs ts, int64_t key, double v) {
+      Event e;
+      e.event_time = ts;
+      e.arrival_time = ts;
+      e.key = key;
+      e.value = v;
+      return e;
+    };
+    // Prime the plan memo for key 0 in the pane at t=10s. No watermark in
+    // between: only the store's epoch stands between the memo and the
+    // reallocation below.
+    op.OnEvent(ev(Seconds(10), 0, 1.0));
+    // Late tuples for a DIFFERENT key land in the same buckets the plan is
+    // caching and grow their slot tables (several keys to force realloc).
+    for (int64_t k = 1; k <= 8; ++k) {
+      op.OnLateEvent(ev(Seconds(10) + k, k, 100.0));
+    }
+    // Same pane, same key as the primed plan: must fold into valid slots.
+    op.OnEvent(ev(Seconds(10) + 1, 0, 2.0));
+    op.OnWatermark(kMaxTimestamp, Seconds(20));
+
+    double key0_window_sum = 0.0;
+    int64_t key0_results = 0;
+    for (const WindowResult& r : sink.results) {
+      if (r.key == 0 && r.bounds.start == Seconds(7)) {
+        key0_window_sum = r.value;
+        ++key0_results;
+      }
+    }
+    EXPECT_EQ(key0_results, 1);
+    EXPECT_EQ(key0_window_sum, 3.0);  // Both folds survived the realloc.
+  }
+}
+
+}  // namespace
+}  // namespace streamq

@@ -1,0 +1,188 @@
+// FlatWindowStore invariants: O(1) lookup correctness, ordered scans,
+// whole-bucket purging, ring growth, and the epoch contract that guards
+// cached Slot pointers (the operator's fold-plan memo).
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/time.h"
+#include "window/flat_window_store.h"
+
+namespace streamq {
+namespace {
+
+using Slot = FlatWindowStore::Slot;
+using Visit = FlatWindowStore::Visit;
+
+TEST(FlatWindowStoreTest, GetOrCreateThenFind) {
+  FlatWindowStore store(/*slide=*/100);
+  bool created = false;
+  Slot* s = store.GetOrCreate(300, /*key=*/7, &created);
+  ASSERT_NE(s, nullptr);
+  EXPECT_TRUE(created);
+  EXPECT_EQ(s->key, 7);
+  s->state.n = 42;
+
+  Slot* again = store.GetOrCreate(300, 7, &created);
+  EXPECT_FALSE(created);
+  EXPECT_EQ(again, s);
+  EXPECT_EQ(store.Find(300, 7), s);
+  EXPECT_EQ(store.Find(300, 8), nullptr);
+  EXPECT_EQ(store.Find(200, 7), nullptr);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.live_buckets(), 1u);
+}
+
+TEST(FlatWindowStoreTest, ManyKeysPerBucketSurviveProbeGrowth) {
+  FlatWindowStore store(100);
+  bool created = false;
+  for (int64_t k = 0; k < 500; ++k) {
+    Slot* s = store.GetOrCreate(0, k, &created);
+    ASSERT_TRUE(created);
+    s->state.f0 = static_cast<double>(k);
+  }
+  EXPECT_EQ(store.size(), 500u);
+  for (int64_t k = 0; k < 500; ++k) {
+    Slot* s = store.Find(0, k);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->key, k);
+    EXPECT_EQ(s->state.f0, static_cast<double>(k));
+  }
+  EXPECT_EQ(store.Find(0, 500), nullptr);
+}
+
+TEST(FlatWindowStoreTest, ScanVisitsBucketsInAscendingStartOrder) {
+  FlatWindowStore store(100);
+  bool created = false;
+  // Insert out of order, including negative starts (floor semantics).
+  for (TimestampUs start : {400, -200, 0, 100, -300, 700}) {
+    store.GetOrCreate(start, 1, &created);
+  }
+  std::vector<TimestampUs> seen;
+  store.Scan([&](FlatWindowStore::Bucket& b) {
+    seen.push_back(b.start());
+    return Visit::kKeep;
+  });
+  EXPECT_EQ(seen,
+            (std::vector<TimestampUs>{-300, -200, 0, 100, 400, 700}));
+}
+
+TEST(FlatWindowStoreTest, SortedByKeyOrdersSlots) {
+  FlatWindowStore store(100);
+  bool created = false;
+  for (int64_t k : {9, -3, 5, 0, 12, 7}) store.GetOrCreate(0, k, &created);
+  store.Scan([&](FlatWindowStore::Bucket& b) {
+    std::vector<int64_t> keys;
+    for (uint32_t idx : b.SortedByKey()) keys.push_back(b.slot(idx).key);
+    EXPECT_EQ(keys, (std::vector<int64_t>{-3, 0, 5, 7, 9, 12}));
+    return Visit::kKeep;
+  });
+  // Insertion invalidates the cached order; it must rebuild correctly.
+  store.GetOrCreate(0, 3, &created);
+  store.Scan([&](FlatWindowStore::Bucket& b) {
+    std::vector<int64_t> keys;
+    for (uint32_t idx : b.SortedByKey()) keys.push_back(b.slot(idx).key);
+    EXPECT_EQ(keys, (std::vector<int64_t>{-3, 0, 3, 5, 7, 9, 12}));
+    return Visit::kKeep;
+  });
+}
+
+TEST(FlatWindowStoreTest, PurgeRemovesWholeBucketAndStopsEarly) {
+  FlatWindowStore store(100);
+  bool created = false;
+  for (TimestampUs start : {0, 100, 200, 300}) {
+    store.GetOrCreate(start, 1, &created);
+    store.GetOrCreate(start, 2, &created);
+  }
+  ASSERT_EQ(store.size(), 8u);
+
+  // Purge everything below 200, stop at 200 (monotone early-out).
+  std::vector<TimestampUs> visited;
+  store.Scan([&](FlatWindowStore::Bucket& b) {
+    visited.push_back(b.start());
+    if (b.start() < 200) return Visit::kPurge;
+    return Visit::kStop;
+  });
+  EXPECT_EQ(visited, (std::vector<TimestampUs>{0, 100, 200}));
+  EXPECT_EQ(store.size(), 4u);
+  EXPECT_EQ(store.live_buckets(), 2u);
+  EXPECT_EQ(store.Find(0, 1), nullptr);
+  EXPECT_EQ(store.Find(100, 2), nullptr);
+  EXPECT_NE(store.Find(200, 1), nullptr);
+  EXPECT_NE(store.Find(300, 2), nullptr);
+
+  // After the purge the scan starts at the first live bucket.
+  visited.clear();
+  store.Scan([&](FlatWindowStore::Bucket& b) {
+    visited.push_back(b.start());
+    return Visit::kKeep;
+  });
+  EXPECT_EQ(visited, (std::vector<TimestampUs>{200, 300}));
+}
+
+TEST(FlatWindowStoreTest, RingGrowsPastInitialCapacity) {
+  FlatWindowStore store(10);
+  bool created = false;
+  // 1000 live starts forces repeated geometric ring growth.
+  for (int64_t i = 0; i < 1000; ++i) {
+    Slot* s = store.GetOrCreate(i * 10, /*key=*/i % 3, &created);
+    ASSERT_TRUE(created);
+    s->state.n = i;
+  }
+  EXPECT_EQ(store.live_buckets(), 1000u);
+  for (int64_t i = 0; i < 1000; ++i) {
+    Slot* s = store.Find(i * 10, i % 3);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->state.n, i);
+  }
+  std::vector<TimestampUs> seen;
+  store.Scan([&](FlatWindowStore::Bucket& b) {
+    seen.push_back(b.start());
+    return Visit::kKeep;
+  });
+  ASSERT_EQ(seen.size(), 1000u);
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+}
+
+TEST(FlatWindowStoreTest, SparseStartsFarApart) {
+  FlatWindowStore store(100);
+  bool created = false;
+  store.GetOrCreate(0, 1, &created);
+  store.GetOrCreate(1000000, 1, &created);  // Span 10001 buckets.
+  EXPECT_NE(store.Find(0, 1), nullptr);
+  EXPECT_NE(store.Find(1000000, 1), nullptr);
+  EXPECT_EQ(store.Find(500000, 1), nullptr);
+  EXPECT_EQ(store.live_buckets(), 2u);
+}
+
+TEST(FlatWindowStoreTest, EpochBumpsOnInsertAndPurge) {
+  FlatWindowStore store(100);
+  bool created = false;
+  const uint64_t e0 = store.epoch();
+  store.GetOrCreate(0, 1, &created);
+  const uint64_t e1 = store.epoch();
+  EXPECT_GT(e1, e0);  // Insert bumps (slot vector may have moved).
+
+  store.GetOrCreate(0, 1, &created);  // Pure lookup: no bump.
+  EXPECT_EQ(store.epoch(), e1);
+  store.Find(0, 1);
+  EXPECT_EQ(store.epoch(), e1);
+
+  store.GetOrCreate(0, 2, &created);  // Same-bucket insert bumps.
+  const uint64_t e2 = store.epoch();
+  EXPECT_GT(e2, e1);
+
+  store.Scan([](FlatWindowStore::Bucket&) { return Visit::kPurge; });
+  EXPECT_GT(store.epoch(), e2);  // Purge bumps.
+  EXPECT_EQ(store.size(), 0u);
+
+  // Store is reusable after full purge.
+  store.GetOrCreate(700, 3, &created);
+  EXPECT_TRUE(created);
+  EXPECT_NE(store.Find(700, 3), nullptr);
+}
+
+}  // namespace
+}  // namespace streamq

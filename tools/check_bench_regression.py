@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Soft throughput-regression guard for the R-F18 hot-path benchmark.
+
+Reads a freshly produced f18_hotpath.csv and the committed baseline and
+applies three checks:
+
+  1. Equivalence (hard): within the fresh run, the `checksum` and
+     `emissions` columns must agree between the legacy and hot engines for
+     every (aggregate, shape, batch) configuration. The benchmark doubles
+     as an end-to-end equivalence witness; a mismatch means the hot engine
+     changed results, not just speed.
+  2. Devirtualization win (hard): on the sliding shapes (fold fanout > 1)
+     the hot engine must stay clearly faster than the legacy engine
+     measured in the SAME run -- machine-independent, so it is safe to
+     enforce on shared CI runners. The bound is deliberately loose
+     (hot <= 0.8 * legacy; real ratios are 0.05-0.4).
+  3. Baseline drift (soft): hot-engine ns/tuple beyond DRIFT_FACTOR x the
+     committed baseline prints a warning (GitHub annotation) but does not
+     fail the job -- absolute timings are machine-dependent.
+
+Exit status: 1 on a hard-check failure, 0 otherwise.
+
+Usage: check_bench_regression.py --current CSV [--baseline CSV]
+"""
+
+import argparse
+import csv
+import sys
+
+RELATIVE_BOUND = 0.8  # hot must be <= this fraction of legacy (sliding).
+DRIFT_FACTOR = 1.5    # soft warning threshold vs. committed baseline.
+
+# Kinds with inline AggregateState folds. Heavy kinds (median/quantile/
+# distinct) keep the polymorphic accumulator, so their hot-engine win is
+# only the flat store -- too small to enforce a ratio on.
+INLINE_AGGS = {"count", "sum", "mean", "min", "max", "variance", "stddev"}
+
+
+def load(path):
+    rows = {}
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            key = (row["aggregate"], row["shape"], row["batch"],
+                   row["engine"])
+            rows[key] = row
+    return rows
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--baseline")
+    args = parser.parse_args()
+
+    current = load(args.current)
+    configs = sorted({k[:3] for k in current})
+    failures = []
+    warnings = []
+
+    for agg, shape, batch in configs:
+        legacy = current.get((agg, shape, batch, "legacy"))
+        hot = current.get((agg, shape, batch, "hot"))
+        if legacy is None or hot is None:
+            failures.append(
+                f"{agg}/{shape}/batch={batch}: missing engine row")
+            continue
+
+        # 1. Equivalence: same emissions, same checksum, bit for bit as
+        # printed (3 decimal places is far inside the bitwise guarantee the
+        # unit tests pin; the CSV check catches gross divergence).
+        for col in ("emissions", "checksum"):
+            if legacy[col] != hot[col]:
+                failures.append(
+                    f"{agg}/{shape}/batch={batch}: {col} mismatch "
+                    f"legacy={legacy[col]} hot={hot[col]}")
+
+        # 2. Relative speed on overlapping windows, same machine same run.
+        if shape.startswith("sliding") and agg in INLINE_AGGS:
+            l_ns = float(legacy["ns_per_tuple"])
+            h_ns = float(hot["ns_per_tuple"])
+            if h_ns > l_ns * RELATIVE_BOUND:
+                failures.append(
+                    f"{agg}/{shape}/batch={batch}: hot {h_ns:.2f} ns/tuple "
+                    f"vs legacy {l_ns:.2f} (bound {RELATIVE_BOUND}x)")
+
+    # 3. Soft drift vs. committed baseline.
+    if args.baseline:
+        baseline = load(args.baseline)
+        for key, row in current.items():
+            if key[3] != "hot":
+                continue
+            base = baseline.get(key)
+            if base is None:
+                continue
+            cur_ns = float(row["ns_per_tuple"])
+            base_ns = float(base["ns_per_tuple"])
+            if cur_ns > base_ns * DRIFT_FACTOR:
+                warnings.append(
+                    f"{'/'.join(key[:3])}: hot {cur_ns:.2f} ns/tuple vs "
+                    f"baseline {base_ns:.2f} ({cur_ns / base_ns:.2f}x)")
+
+    for w in warnings:
+        print(f"::warning title=bench_f18 drift::{w}")
+    for f in failures:
+        print(f"::error title=bench_f18 regression::{f}")
+    print(f"checked {len(configs)} configurations: "
+          f"{len(failures)} hard failure(s), {len(warnings)} drift warning(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
