@@ -15,7 +15,7 @@ void BufferedHandlerBase::DrainAll(TimestampUs now, EventSink* sink) {
   release_scratch_.clear();
   if (buffer_.DrainInto(&release_scratch_) > 0) {
     for (const Event& e : release_scratch_) RecordRelease(e, now);
-    sink->OnEvents(release_scratch_);
+    sink->OnEvents(release_scratch_, now);
   }
   emitted_frontier_ = kMaxTimestamp;
   sink->OnWatermark(kMaxTimestamp, now);

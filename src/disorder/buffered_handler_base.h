@@ -27,6 +27,10 @@ class BufferedHandlerBase : public DisorderHandler {
 
   size_t buffered() const override { return buffer_.size(); }
 
+  void set_buffer_engine(ReorderBuffer::Engine engine) override {
+    buffer_.SetEngine(engine);
+  }
+
   /// Advances the frontier to the promised bound and releases with the
   /// handler's current slack. Works for every buffered handler because the
   /// release bound is current_slack(), which subclasses keep up to date.
@@ -69,7 +73,7 @@ class BufferedHandlerBase : public DisorderHandler {
     release_scratch_.clear();
     if (buffer_.PopUpTo(threshold, &release_scratch_) > 0) {
       for (const Event& e : release_scratch_) RecordRelease(e, now);
-      sink->OnEvents(release_scratch_);
+      sink->OnEvents(release_scratch_, now);
       if (observer_ != nullptr) {
         observer_->OnHandlerRelease(
             static_cast<int64_t>(release_scratch_.size()), buffer_.size(),

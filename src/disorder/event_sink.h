@@ -32,6 +32,18 @@ class EventSink {
     for (const Event& e : events) OnEvent(e);
   }
 
+  /// Same as OnEvents(events), but also carries `stream_time` — the arrival
+  /// timestamp ("now") of the tuple or heartbeat whose processing produced
+  /// this release. Composite sinks (keyed shard interceptors) override this
+  /// overload to account per-release latency against the triggering
+  /// arrival; ordinary consumers only need the 1-arg form. Default:
+  /// forwards to OnEvents(events).
+  virtual void OnEvents(std::span<const Event> events,
+                        TimestampUs stream_time) {
+    (void)stream_time;
+    OnEvents(events);
+  }
+
   /// The output watermark advanced: no future OnEvent will carry
   /// event_time < `watermark`. `stream_time` is the arrival timestamp of the
   /// tuple whose processing produced this watermark — i.e. "now" on the

@@ -32,6 +32,13 @@ DisorderHandlerSpec DisorderHandlerSpec::WithLatencySamples(
   return s;
 }
 
+DisorderHandlerSpec DisorderHandlerSpec::WithBufferEngine(
+    ReorderBuffer::Engine engine) const {
+  DisorderHandlerSpec s = *this;
+  s.buffer_engine = engine;
+  return s;
+}
+
 Status DisorderHandlerSpec::Validate() const {
   switch (kind) {
     case Kind::kPassThrough:
@@ -180,7 +187,10 @@ namespace {
 
 /// Builds a pre-validated spec (shared by the checked and OrDie entry
 /// points; the keyed wrapper recurses here with per_key stripped).
-std::unique_ptr<DisorderHandler> BuildHandler(const DisorderHandlerSpec& spec) {
+std::unique_ptr<DisorderHandler> BuildHandler(const DisorderHandlerSpec& spec);
+
+std::unique_ptr<DisorderHandler> BuildHandlerInner(
+    const DisorderHandlerSpec& spec) {
   if (spec.per_key && spec.kind != DisorderHandlerSpec::Kind::kPassThrough) {
     DisorderHandlerSpec inner = spec.PerKey(false);
     return std::make_unique<KeyedDisorderHandler>(
@@ -219,6 +229,15 @@ std::unique_ptr<DisorderHandler> BuildHandler(const DisorderHandlerSpec& spec) {
   }
   STREAMQ_LOG(Fatal) << "unknown disorder handler kind";
   return nullptr;
+}
+
+std::unique_ptr<DisorderHandler> BuildHandler(const DisorderHandlerSpec& spec) {
+  std::unique_ptr<DisorderHandler> handler = BuildHandlerInner(spec);
+  // Applied on every layer (keyed wrapper and shards alike): the wrapper
+  // remembers the engine for shards created later, and shard specs reach
+  // here again through the factory recursion.
+  handler->set_buffer_engine(spec.buffer_engine);
+  return handler;
 }
 
 }  // namespace

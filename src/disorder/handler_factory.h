@@ -48,6 +48,11 @@ struct DisorderHandlerSpec {
   /// hot path free of sample bookkeeping.
   bool collect_latency_samples = true;
 
+  /// ReorderBuffer engine for every buffering handler built from this spec
+  /// (per-key specs propagate it to all shards). The bucket ring is the
+  /// default; kHeap is the reference engine for equivalence checks.
+  ReorderBuffer::Engine buffer_engine = ReorderBuffer::Engine::kRing;
+
   /// Named constructors — the supported way to build a spec. Each sets
   /// exactly the fields its kind reads; combine with the chainable
   /// modifiers below instead of assigning fields directly.
@@ -64,6 +69,7 @@ struct DisorderHandlerSpec {
   /// expression, e.g. DisorderHandlerSpec::Fixed(Seconds(1)).PerKey().
   DisorderHandlerSpec PerKey(bool enabled = true) const;
   DisorderHandlerSpec WithLatencySamples(bool enabled) const;
+  DisorderHandlerSpec WithBufferEngine(ReorderBuffer::Engine engine) const;
 
   /// Checks every field the configured kind reads (slack signs, quantile
   /// bounds, controller gains, gamma). MakeDisorderHandler calls this, so a

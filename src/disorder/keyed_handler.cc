@@ -6,6 +6,20 @@
 
 namespace streamq {
 
+namespace {
+
+/// Fibonacci multiplicative hash (same mix as FlatWindowStore): spreads
+/// sequential keys across the probe table.
+inline size_t MixKey(int64_t key) {
+  uint64_t h = static_cast<uint64_t>(key) * 0x9E3779B97F4A7C15ull;
+  h ^= h >> 32;
+  return static_cast<size_t>(h);
+}
+
+constexpr size_t kInitialProbeCapacity = 16;
+
+}  // namespace
+
 /// One key's inner handler plus the sink adapter that captures its
 /// watermarks (which must not reach downstream directly: only the merged
 /// minimum may).
@@ -16,32 +30,75 @@ struct KeyedDisorderHandler::Shard {
         : outer_(outer), shard_(shard) {}
 
     void OnEvent(const Event& e) override {
-      outer_->RecordRelease(e, now_);
+      // Only non-buffering inner handlers (pass-through) emit per-event;
+      // they forward the tuple being processed, so its own arrival time is
+      // "now" except in the flush fan-out, which pins an explicit now.
+      outer_->RecordRelease(e, use_fixed_now_ ? now_ : e.arrival_time);
       out_->OnEvent(e);
     }
+
+    void OnEvents(std::span<const Event> events) override {
+      OnEvents(events, now_);
+    }
+
+    void OnEvents(std::span<const Event> events,
+                  TimestampUs stream_time) override {
+      if (events.empty()) return;
+      const TimestampUs now = use_fixed_now_ ? now_ : stream_time;
+      for (const Event& e : events) outer_->RecordRelease(e, now);
+      // Occupancy just before this release: the released tuples were still
+      // buffered, and the arrival that triggered the release had already
+      // been inserted. Sampling `pre - 1` here plus the end-of-run total in
+      // FinishShardOp reproduces the per-event occupancy maximum exactly
+      // (occupancy only rises between releases).
+      outer_->ObserveOccupancy(run_base_ + shard_->handler->buffered() +
+                               events.size() - 1);
+      out_->OnEvents(events);
+    }
+
     void OnWatermark(TimestampUs watermark, TimestampUs stream_time) override {
       if (watermark > shard_->watermark) {
         shard_->watermark = watermark;
+        outer_->RaiseShardWatermark(shard_);
         out_->OnKeyedWatermark(shard_->key, watermark, stream_time);
+        // During heartbeat/flush fan-out the merged emission is deferred to
+        // a single end-of-loop check; on the event path it happens here, at
+        // exactly the per-event emission point (at most one watermark move
+        // per tuple).
+        if (!defer_merged_) {
+          outer_->EmitMergedIfAdvanced(stream_time, out_);
+        }
       }
     }
+
     void OnLateEvent(const Event& e) override {
       ++outer_->stats_.events_late;
       out_->OnLateEvent(e);
     }
 
-    /// Per-call context: the downstream sink and the stream time at which
-    /// releases happen.
-    void Arm(EventSink* out, TimestampUs now) {
+    /// Per-shard-op context: the downstream sink, the pinned "now" (used
+    /// for every release when `use_fixed_now`, otherwise only as a
+    /// fallback), merged-emission mode, and the occupancy of all *other*
+    /// shards at op start.
+    void Arm(EventSink* out, TimestampUs now, bool use_fixed_now,
+             bool defer_merged, size_t run_base) {
       out_ = out;
       now_ = now;
+      use_fixed_now_ = use_fixed_now;
+      defer_merged_ = defer_merged;
+      run_base_ = run_base;
     }
+
+    size_t run_base() const { return run_base_; }
 
    private:
     KeyedDisorderHandler* outer_;
     Shard* shard_;
     EventSink* out_ = nullptr;
     TimestampUs now_ = 0;
+    bool use_fixed_now_ = false;
+    bool defer_merged_ = false;
+    size_t run_base_ = 0;
   };
 
   Shard(KeyedDisorderHandler* outer, int64_t shard_key)
@@ -50,6 +107,11 @@ struct KeyedDisorderHandler::Shard {
   int64_t key;
   std::unique_ptr<DisorderHandler> handler;
   TimestampUs watermark = kMinTimestamp;
+  /// Cached aggregate contributions (see FinishShardOp).
+  DurationUs last_slack = 0;
+  size_t last_buffered = 0;
+  /// This shard's position in wm_heap_.
+  size_t heap_pos = 0;
   Intercept intercept;
 };
 
@@ -60,33 +122,133 @@ KeyedDisorderHandler::KeyedDisorderHandler(HandlerFactory factory)
 
 KeyedDisorderHandler::~KeyedDisorderHandler() = default;
 
+KeyedDisorderHandler::Shard* KeyedDisorderHandler::FindShard(
+    int64_t key) const {
+  if (probe_.empty()) return nullptr;
+  const size_t mask = probe_.size() - 1;
+  size_t idx = MixKey(key) & mask;
+  while (true) {
+    const uint32_t slot = probe_[idx];
+    if (slot == 0) return nullptr;
+    Shard* s = shards_[slot - 1].get();
+    if (s->key == key) return s;
+    idx = (idx + 1) & mask;
+  }
+}
+
+void KeyedDisorderHandler::InsertProbe(uint32_t dense_index) {
+  const size_t mask = probe_.size() - 1;
+  size_t idx = MixKey(shards_[dense_index]->key) & mask;
+  while (probe_[idx] != 0) idx = (idx + 1) & mask;
+  probe_[idx] = dense_index + 1;
+}
+
+void KeyedDisorderHandler::RehashProbe(size_t new_capacity) {
+  probe_.assign(new_capacity, 0);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    InsertProbe(static_cast<uint32_t>(i));
+  }
+}
+
+KeyedDisorderHandler::Shard* KeyedDisorderHandler::Route(int64_t key) {
+  Shard* shard = FindShard(key);
+  if (shard == nullptr) {
+    // Keep the probe table under 70% load.
+    if ((shards_.size() + 1) * 10 >= probe_.size() * 7) {
+      RehashProbe(probe_.empty() ? kInitialProbeCapacity : probe_.size() * 2);
+    }
+    auto owned = std::make_unique<Shard>(this, key);
+    owned->handler = factory_();
+    STREAMQ_CHECK(owned->handler != nullptr);
+    if (shard_observer_ != nullptr) {
+      owned->handler->set_observer(shard_observer_);
+    }
+    if (has_buffer_engine_) {
+      owned->handler->set_buffer_engine(buffer_engine_);
+    }
+    shard = owned.get();
+    shards_.push_back(std::move(owned));
+    InsertProbe(static_cast<uint32_t>(shards_.size() - 1));
+    shard->last_slack = shard->handler->current_slack();
+    slack_sum_ += shard->last_slack;
+    shard->last_buffered = shard->handler->buffered();
+    buffered_total_ += shard->last_buffered;
+    shard->heap_pos = wm_heap_.size();
+    wm_heap_.push_back(static_cast<uint32_t>(shards_.size() - 1));
+    WmHeapSiftUp(shard->heap_pos);
+    by_key_dirty_ = true;
+  }
+  last_key_ = key;
+  last_shard_ = shard;
+  return shard;
+}
+
+const std::vector<uint32_t>& KeyedDisorderHandler::SortedByKey() const {
+  if (by_key_dirty_) {
+    by_key_.resize(shards_.size());
+    for (size_t i = 0; i < by_key_.size(); ++i) {
+      by_key_[i] = static_cast<uint32_t>(i);
+    }
+    std::sort(by_key_.begin(), by_key_.end(), [this](uint32_t a, uint32_t b) {
+      return shards_[a]->key < shards_[b]->key;
+    });
+    by_key_dirty_ = false;
+  }
+  return by_key_;
+}
+
+void KeyedDisorderHandler::FinishShardOp(Shard* shard) {
+  const size_t b = shard->handler->buffered();
+  buffered_total_ = shard->intercept.run_base() + b;
+  shard->last_buffered = b;
+  ObserveOccupancy(buffered_total_);
+  const DurationUs s = shard->handler->current_slack();
+  slack_sum_ += s - shard->last_slack;
+  shard->last_slack = s;
+}
+
+void KeyedDisorderHandler::ObserveOccupancy(size_t occupancy) {
+  if (static_cast<int64_t>(occupancy) > stats_.max_buffer_size) {
+    stats_.max_buffer_size = static_cast<int64_t>(occupancy);
+  }
+}
+
 void KeyedDisorderHandler::OnEvent(const Event& e, EventSink* sink) {
   ++stats_.events_in;
   last_stream_time_ = std::max(last_stream_time_, e.arrival_time);
-  Shard* shard = last_shard_;
-  if (shard == nullptr || last_key_ != e.key) {
-    auto& slot = shards_[e.key];
-    if (!slot) {
-      slot = std::make_unique<Shard>(this, e.key);
-      slot->handler = factory_();
-      STREAMQ_CHECK(slot->handler != nullptr);
-      if (shard_observer_ != nullptr) {
-        slot->handler->set_observer(shard_observer_);
-      }
-    }
-    shard = slot.get();
-    last_key_ = e.key;
-    last_shard_ = shard;
-  }
-  shard->intercept.Arm(sink, e.arrival_time);
-  const TimestampUs shard_wm_before = shard->watermark;
+  Shard* shard = (last_shard_ != nullptr && last_key_ == e.key)
+                     ? last_shard_
+                     : Route(e.key);
+  shard->intercept.Arm(sink, e.arrival_time, /*use_fixed_now=*/false,
+                       /*defer_merged=*/false,
+                       buffered_total_ - shard->last_buffered);
   shard->handler->OnEvent(e, &shard->intercept);
-  stats_.max_buffer_size =
-      std::max(stats_.max_buffer_size,
-               stats_.events_in - stats_.events_out - stats_.events_late);
-  // The merged minimum can only move when this shard's watermark moved.
-  if (shard->watermark != shard_wm_before) {
-    MaybeEmitMergedWatermark(e.arrival_time, sink);
+  FinishShardOp(shard);
+}
+
+void KeyedDisorderHandler::OnBatch(std::span<const Event> batch,
+                                   EventSink* sink) {
+  const size_t n = batch.size();
+  size_t i = 0;
+  while (i < n) {
+    const int64_t key = batch[i].key;
+    TimestampUs run_max_arrival = batch[i].arrival_time;
+    size_t j = i + 1;
+    while (j < n && batch[j].key == key) {
+      run_max_arrival = std::max(run_max_arrival, batch[j].arrival_time);
+      ++j;
+    }
+    stats_.events_in += static_cast<int64_t>(j - i);
+    last_stream_time_ = std::max(last_stream_time_, run_max_arrival);
+    Shard* shard =
+        (last_shard_ != nullptr && last_key_ == key) ? last_shard_
+                                                     : Route(key);
+    shard->intercept.Arm(sink, batch[i].arrival_time, /*use_fixed_now=*/false,
+                         /*defer_merged=*/false,
+                         buffered_total_ - shard->last_buffered);
+    shard->handler->OnBatch(batch.subspan(i, j - i), &shard->intercept);
+    FinishShardOp(shard);
+    i = j;
   }
 }
 
@@ -94,30 +256,77 @@ void KeyedDisorderHandler::OnHeartbeat(TimestampUs event_time_bound,
                                        TimestampUs stream_time,
                                        EventSink* sink) {
   last_stream_time_ = std::max(last_stream_time_, stream_time);
-  for (auto& [key, shard] : shards_) {
-    shard->intercept.Arm(sink, stream_time);
+  for (const uint32_t idx : SortedByKey()) {
+    Shard* shard = shards_[idx].get();
+    shard->intercept.Arm(sink, stream_time, /*use_fixed_now=*/false,
+                         /*defer_merged=*/true,
+                         buffered_total_ - shard->last_buffered);
     shard->handler->OnHeartbeat(event_time_bound, stream_time,
                                 &shard->intercept);
+    FinishShardOp(shard);
   }
-  MaybeEmitMergedWatermark(stream_time, sink);
+  if (!shards_.empty()) EmitMergedIfAdvanced(stream_time, sink);
 }
 
 void KeyedDisorderHandler::Flush(EventSink* sink) {
-  for (auto& [key, shard] : shards_) {
-    shard->intercept.Arm(sink, last_stream_time_);
+  for (const uint32_t idx : SortedByKey()) {
+    Shard* shard = shards_[idx].get();
+    shard->intercept.Arm(sink, last_stream_time_, /*use_fixed_now=*/true,
+                         /*defer_merged=*/true,
+                         buffered_total_ - shard->last_buffered);
     shard->handler->Flush(&shard->intercept);
+    FinishShardOp(shard);
   }
   merged_watermark_ = kMaxTimestamp;
   sink->OnWatermark(kMaxTimestamp, last_stream_time_);
 }
 
-void KeyedDisorderHandler::MaybeEmitMergedWatermark(TimestampUs stream_time,
-                                                    EventSink* sink) {
-  if (shards_.empty()) return;
-  TimestampUs merged = kMaxTimestamp;
-  for (const auto& [key, shard] : shards_) {
-    merged = std::min(merged, shard->watermark);
+void KeyedDisorderHandler::RaiseShardWatermark(Shard* shard) {
+  WmHeapSiftDown(shard->heap_pos);
+}
+
+void KeyedDisorderHandler::WmHeapSiftUp(size_t pos) {
+  const uint32_t idx = wm_heap_[pos];
+  const TimestampUs w = shards_[idx]->watermark;
+  while (pos > 0) {
+    const size_t parent = (pos - 1) / 2;
+    if (shards_[wm_heap_[parent]]->watermark <= w) break;
+    wm_heap_[pos] = wm_heap_[parent];
+    shards_[wm_heap_[pos]]->heap_pos = pos;
+    pos = parent;
   }
+  wm_heap_[pos] = idx;
+  shards_[idx]->heap_pos = pos;
+}
+
+void KeyedDisorderHandler::WmHeapSiftDown(size_t pos) {
+  const size_t n = wm_heap_.size();
+  const uint32_t idx = wm_heap_[pos];
+  const TimestampUs w = shards_[idx]->watermark;
+  while (true) {
+    const size_t left = 2 * pos + 1;
+    const size_t right = left + 1;
+    size_t smallest = pos;
+    TimestampUs sw = w;
+    if (left < n && shards_[wm_heap_[left]]->watermark < sw) {
+      smallest = left;
+      sw = shards_[wm_heap_[left]]->watermark;
+    }
+    if (right < n && shards_[wm_heap_[right]]->watermark < sw) {
+      smallest = right;
+    }
+    if (smallest == pos) break;
+    wm_heap_[pos] = wm_heap_[smallest];
+    shards_[wm_heap_[pos]]->heap_pos = pos;
+    pos = smallest;
+  }
+  wm_heap_[pos] = idx;
+  shards_[idx]->heap_pos = pos;
+}
+
+void KeyedDisorderHandler::EmitMergedIfAdvanced(TimestampUs stream_time,
+                                                EventSink* sink) {
+  const TimestampUs merged = shards_[wm_heap_.front()]->watermark;
   if (merged != kMinTimestamp &&
       (merged_watermark_ == kMinTimestamp || merged > merged_watermark_)) {
     merged_watermark_ = merged;
@@ -127,31 +336,30 @@ void KeyedDisorderHandler::MaybeEmitMergedWatermark(TimestampUs stream_time,
 
 DurationUs KeyedDisorderHandler::current_slack() const {
   if (shards_.empty()) return 0;
-  double total = 0.0;
-  for (const auto& [key, shard] : shards_) {
-    total += static_cast<double>(shard->handler->current_slack());
-  }
-  return static_cast<DurationUs>(total / static_cast<double>(shards_.size()));
+  return static_cast<DurationUs>(static_cast<double>(slack_sum_) /
+                                 static_cast<double>(shards_.size()));
 }
 
-size_t KeyedDisorderHandler::buffered() const {
-  size_t total = 0;
-  for (const auto& [key, shard] : shards_) {
-    total += shard->handler->buffered();
-  }
-  return total;
-}
+size_t KeyedDisorderHandler::buffered() const { return buffered_total_; }
 
 void KeyedDisorderHandler::set_observer(PipelineObserver* observer) {
   shard_observer_ = observer;
-  for (auto& [key, shard] : shards_) {
+  for (const auto& shard : shards_) {
     shard->handler->set_observer(observer);
   }
 }
 
+void KeyedDisorderHandler::set_buffer_engine(ReorderBuffer::Engine engine) {
+  has_buffer_engine_ = true;
+  buffer_engine_ = engine;
+  for (const auto& shard : shards_) {
+    shard->handler->set_buffer_engine(engine);
+  }
+}
+
 const DisorderHandler* KeyedDisorderHandler::shard(int64_t key) const {
-  const auto it = shards_.find(key);
-  return it == shards_.end() ? nullptr : it->second->handler.get();
+  const Shard* s = FindShard(key);
+  return s == nullptr ? nullptr : s->handler.get();
 }
 
 }  // namespace streamq

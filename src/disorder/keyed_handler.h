@@ -1,9 +1,11 @@
 #ifndef STREAMQ_DISORDER_KEYED_HANDLER_H_
 #define STREAMQ_DISORDER_KEYED_HANDLER_H_
 
+#include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "disorder/disorder_handler.h"
 
@@ -24,6 +26,16 @@ namespace streamq {
 /// globally), and every emitted event is >= the last emitted merged
 /// watermark. This is exactly what keyed window state needs; downstream
 /// operators that require global order should use a global handler.
+///
+/// Data layout (see DESIGN.md §9): shards live in a dense vector routed
+/// through an open-addressing probe table (same idiom as FlatWindowStore),
+/// so the per-tuple path is one hash + one probe instead of a std::map
+/// walk. The merged minimum watermark is kept in a position-indexed binary
+/// min-heap over shard watermarks (O(log #keys) when a shard's watermark
+/// rises, O(1) to read), and `buffered()` / `current_slack()` are O(1)
+/// reads of incrementally maintained aggregates. OnBatch segments a batch
+/// into consecutive same-key runs and hands each run to the inner
+/// handler's OnBatch, preserving the per-event sink sequence exactly.
 class KeyedDisorderHandler : public DisorderHandler {
  public:
   /// Builds one inner handler per key on first sight of that key.
@@ -35,13 +47,16 @@ class KeyedDisorderHandler : public DisorderHandler {
   std::string_view name() const override { return "keyed"; }
 
   void OnEvent(const Event& e, EventSink* sink) override;
+  void OnBatch(std::span<const Event> batch, EventSink* sink) override;
   void OnHeartbeat(TimestampUs event_time_bound, TimestampUs stream_time,
                    EventSink* sink) override;
   void Flush(EventSink* sink) override;
 
   /// Mean of per-key slacks (instrumentation; keys may differ wildly).
+  /// O(1): reads the incrementally maintained per-shard slack sum.
   DurationUs current_slack() const override;
 
+  /// Total buffered tuples across shards. O(1): incrementally maintained.
   size_t buffered() const override;
 
   /// Number of distinct keys seen.
@@ -56,22 +71,63 @@ class KeyedDisorderHandler : public DisorderHandler {
   /// both layers would double-count latencies and late events.
   void set_observer(PipelineObserver* observer) override;
 
+  /// Propagates the buffer engine to every inner handler, existing and
+  /// future. Only legal before the first arrival.
+  void set_buffer_engine(ReorderBuffer::Engine engine) override;
+
  private:
   struct Shard;
 
-  /// Recomputes the merged watermark and forwards it if it advanced.
-  void MaybeEmitMergedWatermark(TimestampUs stream_time, EventSink* sink);
+  /// Returns the shard for `key`, creating it on first sight; refreshes the
+  /// last-key memo.
+  Shard* Route(int64_t key);
+  Shard* FindShard(int64_t key) const;
+  void InsertProbe(uint32_t dense_index);
+  void RehashProbe(size_t new_capacity);
+
+  /// Shard indices in ascending key order (heartbeat/flush fan-out order,
+  /// matching the per-key determinism of the old ordered-map layout).
+  /// Rebuilt lazily after new keys appear.
+  const std::vector<uint32_t>& SortedByKey() const;
+
+  /// Folds one shard-op's effect into the aggregates: occupancy total and
+  /// peak, and the slack sum.
+  void FinishShardOp(Shard* shard);
+  void ObserveOccupancy(size_t occupancy);
+
+  /// Re-heaps after `shard`'s watermark rose.
+  void RaiseShardWatermark(Shard* shard);
+  void WmHeapSiftUp(size_t pos);
+  void WmHeapSiftDown(size_t pos);
+
+  /// Emits the merged-minimum watermark if it advanced.
+  void EmitMergedIfAdvanced(TimestampUs stream_time, EventSink* sink);
 
   HandlerFactory factory_;
-  std::map<int64_t, std::unique_ptr<Shard>> shards_;
+  /// Dense shard storage (stable pointers; shards are never erased) plus
+  /// the open-addressing probe table: 0 = empty, else dense index + 1.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<uint32_t> probe_;
+  mutable std::vector<uint32_t> by_key_;
+  mutable bool by_key_dirty_ = false;
+  /// Binary min-heap of dense shard indices ordered by shard watermark;
+  /// each shard stores its heap position for O(log n) increase-key.
+  std::vector<uint32_t> wm_heap_;
+
   TimestampUs merged_watermark_ = kMinTimestamp;
   TimestampUs last_stream_time_ = 0;
   /// Memo of the last routed key: consecutive same-key arrivals skip the
-  /// shard-map lookup (shard pointers are stable; shards are never erased).
+  /// probe lookup (shard pointers are stable; shards are never erased).
   int64_t last_key_ = 0;
   Shard* last_shard_ = nullptr;
   /// Observer handed to every inner handler (including ones created later).
   PipelineObserver* shard_observer_ = nullptr;
+  bool has_buffer_engine_ = false;
+  ReorderBuffer::Engine buffer_engine_ = ReorderBuffer::Engine::kRing;
+
+  /// Incremental aggregates over shards (satellite: O(1) reads).
+  size_t buffered_total_ = 0;
+  int64_t slack_sum_ = 0;
 };
 
 }  // namespace streamq

@@ -44,6 +44,28 @@ void LbKSlack::OnEvent(const Event& e, EventSink* sink) {
   }
 }
 
+void LbKSlack::OnBatch(std::span<const Event> batch, EventSink* sink) {
+  struct Policy {
+    LbKSlack* self;
+    void BeforeIngest(const Event& e) {
+      ++self->interval_events_;
+      if (self->t_max_ != kMinTimestamp && e.event_time < self->t_max_) {
+        self->lateness_sketch_.Add(
+            static_cast<double>(self->t_max_ - e.event_time));
+      } else {
+        self->lateness_sketch_.Add(0.0);
+      }
+    }
+    void AfterIngest(const Event&, bool) {
+      if (self->interval_events_ >= self->options_.adaptation_interval) {
+        self->Adapt();
+      }
+    }
+    DurationUs slack() const { return self->k_; }
+  };
+  ProcessBatch(batch, sink, Policy{this});
+}
+
 void LbKSlack::Adapt() {
   interval_events_ = 0;
 

@@ -46,6 +46,7 @@ class LbKSlack : public BufferedHandlerBase {
   std::string_view name() const override { return "lb-kslack"; }
 
   void OnEvent(const Event& e, EventSink* sink) override;
+  void OnBatch(std::span<const Event> batch, EventSink* sink) override;
   void Flush(EventSink* sink) override;
 
   DurationUs current_slack() const override { return k_; }

@@ -10,10 +10,34 @@ namespace {
 /// has popped this many events (bulk drains: heartbeats, batch boundaries).
 constexpr size_t kBulkPopThreshold = 32;
 
+/// Below this release size, skip the reserve entirely and let the output
+/// vector's geometric growth absorb the appends; an exact reserve per tiny
+/// release would defeat amortization.
+constexpr size_t kReserveSkipBound = 32;
+
+/// Bounds for a bucket's first allocation. Growing thousands of tiny
+/// bucket vectors through capacities 1-2-4-8... costs a malloc-and-copy
+/// every few pushes on deep buffers, so a virgin bucket reserves the
+/// buffer's current average population per live bucket (self-scaling:
+/// deep buffers open big buckets, shallow ones stay small), clamped to
+/// these bounds.
+constexpr size_t kBucketMinCapacity = 8;
+constexpr size_t kBucketMaxCapacity = 1024;
+
 }  // namespace
+
+void ReorderBuffer::SetEngine(Engine engine) {
+  if (engine == engine_) return;
+  STREAMQ_CHECK(empty());
+  engine_ = engine;
+}
 
 void ReorderBuffer::PushBatch(std::span<const Event> events) {
   if (events.empty()) return;
+  if (engine_ == Engine::kRing) {
+    for (const Event& e : events) RingPush(e);
+    return;
+  }
   const size_t old_size = heap_.size();
   heap_.insert(heap_.end(), events.begin(), events.end());
   // Per-element sift-up costs O(m log n) worst case but is nearly free for
@@ -29,45 +53,34 @@ void ReorderBuffer::PushBatch(std::span<const Event> events) {
 }
 
 TimestampUs ReorderBuffer::MinEventTime() const {
-  STREAMQ_CHECK(!heap_.empty());
-  return heap_.front().event_time;
+  STREAMQ_CHECK(!empty());
+  if (engine_ == Engine::kHeap) return heap_.front().event_time;
+  // The lowest-index live bucket holds the minimum (q is monotone in time).
+  const RingBucket& b = RingAt(q_min_);
+  if (b.sorted) return b.events[b.head].event_time;
+  TimestampUs min_t = b.events[b.head].event_time;
+  for (size_t i = b.head + 1; i < b.events.size(); ++i) {
+    min_t = std::min(min_t, b.events[i].event_time);
+  }
+  return min_t;
 }
 
 void ReorderBuffer::PopMin(Event* out) {
-  STREAMQ_CHECK(!heap_.empty());
-  *out = std::move(heap_.front());
-  heap_.front() = std::move(heap_.back());
-  heap_.pop_back();
-  if (!heap_.empty()) SiftDown(0);
+  STREAMQ_CHECK(!empty());
+  if (engine_ == Engine::kRing) {
+    RingPopMin(out);
+  } else {
+    HeapPopMin(out);
+  }
 }
 
 size_t ReorderBuffer::PopUpTo(TimestampUs threshold, std::vector<Event>* out) {
-  if (heap_.empty() || heap_.front().event_time > threshold) return 0;
-  out->reserve(out->size() + heap_.size());
-  size_t popped = 0;
-  while (!heap_.empty() && heap_.front().event_time <= threshold) {
-    if (popped >= kBulkPopThreshold) {
-      // Large release: partition the remaining releasable events to the
-      // back, sort them into emission order, and re-heapify the keepers.
-      auto keep_end = std::partition(
-          heap_.begin(), heap_.end(),
-          [threshold](const Event& e) { return e.event_time > threshold; });
-      std::sort(keep_end, heap_.end(), Less);
-      popped += static_cast<size_t>(heap_.end() - keep_end);
-      out->insert(out->end(), std::make_move_iterator(keep_end),
-                  std::make_move_iterator(heap_.end()));
-      heap_.erase(keep_end, heap_.end());
-      Heapify();
-      return popped;
-    }
-    out->emplace_back();
-    PopMin(&out->back());
-    ++popped;
-  }
-  return popped;
+  return engine_ == Engine::kRing ? RingPopUpTo(threshold, out)
+                                  : HeapPopUpTo(threshold, out);
 }
 
 size_t ReorderBuffer::DrainInto(std::vector<Event>* out) {
+  if (engine_ == Engine::kRing) return RingDrainInto(out);
   const size_t drained = heap_.size();
   if (drained == 0) return 0;
   std::sort(heap_.begin(), heap_.end(), Less);
@@ -78,7 +91,53 @@ size_t ReorderBuffer::DrainInto(std::vector<Event>* out) {
   return drained;
 }
 
-void ReorderBuffer::Clear() { heap_.clear(); }
+void ReorderBuffer::Clear() {
+  heap_.clear();
+  if (ring_size_ > 0) {
+    for (int64_t q = q_min_; q <= q_max_; ++q) RingAt(q).Reset();
+    ring_size_ = 0;
+  }
+  q_min_ = 0;
+  q_max_ = -1;
+}
+
+// --- Heap engine ---------------------------------------------------------
+
+void ReorderBuffer::HeapPopMin(Event* out) {
+  *out = std::move(heap_.front());
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) SiftDown(0);
+}
+
+size_t ReorderBuffer::HeapPopUpTo(TimestampUs threshold,
+                                  std::vector<Event>* out) {
+  if (heap_.empty() || heap_.front().event_time > threshold) return 0;
+  size_t popped = 0;
+  while (!heap_.empty() && heap_.front().event_time <= threshold) {
+    if (popped >= kBulkPopThreshold) {
+      // Large release: partition the remaining releasable events to the
+      // back, sort them into emission order, and re-heapify the keepers.
+      // The reserve covers exactly the bulk tail, not the whole buffer.
+      auto keep_end = std::partition(
+          heap_.begin(), heap_.end(),
+          [threshold](const Event& e) { return e.event_time > threshold; });
+      std::sort(keep_end, heap_.end(), Less);
+      const size_t bulk = static_cast<size_t>(heap_.end() - keep_end);
+      out->reserve(out->size() + bulk);
+      popped += bulk;
+      out->insert(out->end(), std::make_move_iterator(keep_end),
+                  std::make_move_iterator(heap_.end()));
+      heap_.erase(keep_end, heap_.end());
+      Heapify();
+      return popped;
+    }
+    out->emplace_back();
+    HeapPopMin(&out->back());
+    ++popped;
+  }
+  return popped;
+}
 
 void ReorderBuffer::Heapify() {
   if (heap_.size() < 2) return;
@@ -118,6 +177,250 @@ void ReorderBuffer::SiftDown(size_t i) {
     i = smallest;
   }
   heap_[i] = std::move(v);
+}
+
+// --- Ring engine ---------------------------------------------------------
+
+namespace {
+
+/// Bucket-granular bounds on the live event-time span: [q_min, q_max]
+/// buckets of width 2^shift cover exactly this closed time interval.
+inline TimestampUs BucketLow(int64_t q, int shift) {
+  return static_cast<TimestampUs>(q) * (TimestampUs{1} << shift);
+}
+inline TimestampUs BucketHigh(int64_t q, int shift) {
+  return BucketLow(q + 1, shift) - 1;
+}
+
+}  // namespace
+
+int ReorderBuffer::DesiredShift(TimestampUs lo, TimestampUs hi) {
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  int s = 0;
+  while (s < kMaxShift &&
+         (span >> s) > static_cast<uint64_t>(kTargetLiveBuckets)) {
+    ++s;
+  }
+  return s;
+}
+
+void ReorderBuffer::RingPush(Event e) {
+  if (ring_.empty()) ring_.resize(kInitialRingCapacity);
+  int64_t q = e.event_time >> shift_;
+  if (ring_size_ == 0) {
+    q_min_ = q_max_ = q;
+  } else if (q < q_min_ || q > q_max_) {
+    int64_t new_min = std::min(q, q_min_);
+    int64_t new_max = std::max(q, q_max_);
+    const int64_t new_span = new_max - new_min + 1;
+    // Widen when the span blows past the hard cap, or earlier when the
+    // buffer is sparse (fewer events than buckets past the target count):
+    // crawling a wide front of one-event buckets costs an allocation and a
+    // cache miss per push, and rebucketing a sparse buffer is cheap.
+    if (new_span > kMaxLiveBuckets ||
+        (new_span > kTargetLiveBuckets &&
+         ring_size_ < static_cast<size_t>(new_span))) {
+      // Span blown (slack grew or an outlier arrived): widen the buckets so
+      // the whole live span refits near the target bucket count.
+      const TimestampUs lo =
+          std::min(e.event_time, BucketLow(q_min_, shift_));
+      const TimestampUs hi =
+          std::max(e.event_time, BucketHigh(q_max_, shift_));
+      RingRebucket(std::max(DesiredShift(lo, hi), shift_ + 1));
+      q = e.event_time >> shift_;
+      new_min = std::min(q, q_min_);
+      new_max = std::max(q, q_max_);
+    }
+    RingGrowCapacity(static_cast<uint64_t>(new_max - new_min + 1));
+    q_min_ = new_min;
+    q_max_ = new_max;
+  }
+  RingBucket& b = RingAt(q);
+  if (b.LiveEmpty()) {
+    b.Reset();
+    b.sorted = true;
+  } else if (b.sorted && Less(e, b.events.back())) {
+    b.sorted = false;
+  }
+  if (b.events.capacity() == 0) b.events.reserve(RingBucketReserve());
+  b.events.push_back(std::move(e));
+  ++ring_size_;
+  if (ring_size_ > max_size_) max_size_ = ring_size_;
+  // Narrow when the live span collapsed to a sliver of wide buckets (slack
+  // shrank): re-split toward the target count. The bucket-granular span
+  // over-estimates the true span, so this only narrows when clearly due --
+  // the kMaxLiveBuckets/kNarrowSpanBuckets gap provides the hysteresis.
+  if (shift_ > 0 && ring_size_ >= kNarrowMinEvents &&
+      q_max_ - q_min_ + 1 <= kNarrowSpanBuckets) {
+    const int desired =
+        DesiredShift(BucketLow(q_min_, shift_), BucketHigh(q_max_, shift_));
+    if (desired < shift_) RingRebucket(desired);
+  }
+}
+
+void ReorderBuffer::RingPopMin(Event* out) {
+  RingBucket& b = RingAt(q_min_);
+  EnsureSortedLive(&b);
+  *out = std::move(b.events[b.head]);
+  ++b.head;
+  if (b.LiveEmpty()) b.Reset();
+  --ring_size_;
+  RingAdvanceMin();
+}
+
+size_t ReorderBuffer::RingPopUpTo(TimestampUs threshold,
+                                  std::vector<Event>* out) {
+  if (ring_size_ == 0) return 0;
+  const int64_t qt = threshold >> shift_;
+  if (qt < q_min_) return 0;
+  // Common per-event case: the threshold lands in the lowest live bucket
+  // and nothing there is releasable yet.
+  if (qt == q_min_) {
+    const RingBucket& b = RingAt(q_min_);
+    if (b.sorted && b.events[b.head].event_time > threshold) return 0;
+  }
+  // Buckets in [q_min_, q_full_end) lie entirely at or below the threshold;
+  // bucket qt (if live) straddles it. Their live populations bound the
+  // release size for the reserve.
+  const int64_t q_full_end = std::min(qt, q_max_ + 1);
+  size_t bound = 0;
+  for (int64_t q = q_min_; q < q_full_end; ++q) bound += RingAt(q).live();
+  if (qt <= q_max_) bound += RingAt(qt).live();
+  if (bound == 0) return 0;
+  if (bound > kReserveSkipBound) out->reserve(out->size() + bound);
+
+  size_t popped = 0;
+  for (int64_t q = q_min_; q < q_full_end; ++q) {
+    RingBucket& b = RingAt(q);
+    if (b.LiveEmpty()) continue;
+    EnsureSortedLive(&b);
+    popped += b.live();
+    out->insert(out->end(),
+                std::make_move_iterator(b.events.begin() +
+                                        static_cast<ptrdiff_t>(b.head)),
+                std::make_move_iterator(b.events.end()));
+    b.Reset();
+  }
+  if (qt <= q_max_) {
+    RingBucket& b = RingAt(qt);
+    if (!b.LiveEmpty()) {
+      EnsureSortedLive(&b);
+      const auto live_begin =
+          b.events.begin() + static_cast<ptrdiff_t>(b.head);
+      if (live_begin->event_time <= threshold) {
+        const auto split = std::upper_bound(
+            live_begin, b.events.end(), threshold,
+            [](TimestampUs t, const Event& e) { return t < e.event_time; });
+        popped += static_cast<size_t>(split - live_begin);
+        out->insert(out->end(), std::make_move_iterator(live_begin),
+                    std::make_move_iterator(split));
+        b.head = static_cast<size_t>(split - b.events.begin());
+        if (b.LiveEmpty()) b.Reset();
+      }
+    }
+  }
+  ring_size_ -= popped;
+  RingAdvanceMin();
+  return popped;
+}
+
+size_t ReorderBuffer::RingDrainInto(std::vector<Event>* out) {
+  const size_t drained = ring_size_;
+  if (drained == 0) return 0;
+  out->reserve(out->size() + drained);
+  for (int64_t q = q_min_; q <= q_max_; ++q) {
+    RingBucket& b = RingAt(q);
+    if (b.LiveEmpty()) continue;
+    EnsureSortedLive(&b);
+    out->insert(out->end(),
+                std::make_move_iterator(b.events.begin() +
+                                        static_cast<ptrdiff_t>(b.head)),
+                std::make_move_iterator(b.events.end()));
+    b.Reset();
+  }
+  ring_size_ = 0;
+  RingAdvanceMin();
+  return drained;
+}
+
+void ReorderBuffer::EnsureSortedLive(RingBucket* b) {
+  if (b->sorted) return;
+  if (b->head > 0) {
+    b->events.erase(b->events.begin(),
+                    b->events.begin() + static_cast<ptrdiff_t>(b->head));
+    b->head = 0;
+  }
+  std::sort(b->events.begin(), b->events.end(), Less);
+  b->sorted = true;
+}
+
+void ReorderBuffer::RingGrowCapacity(uint64_t span) {
+  if (ring_.empty()) ring_.resize(kInitialRingCapacity);
+  if (span <= ring_.size()) return;
+  size_t cap = ring_.size();
+  while (cap < span) cap *= 2;
+  cap *= 2;  // Headroom so a drifting span doesn't regrow immediately.
+  std::vector<RingBucket> old = std::move(ring_);
+  ring_.assign(cap, RingBucket{});
+  if (ring_size_ > 0) {
+    const size_t old_mask = old.size() - 1;
+    for (int64_t q = q_min_; q <= q_max_; ++q) {
+      RingBucket& ob = old[static_cast<size_t>(q) & old_mask];
+      if (ob.LiveEmpty()) continue;
+      ring_[RingIndex(q)] = std::move(ob);
+    }
+  }
+}
+
+void ReorderBuffer::RingRebucket(int new_shift) {
+  std::vector<Event> all;
+  all.reserve(ring_size_);
+  for (int64_t q = q_min_; q <= q_max_; ++q) {
+    RingBucket& b = RingAt(q);
+    if (b.LiveEmpty()) continue;
+    all.insert(all.end(),
+               std::make_move_iterator(b.events.begin() +
+                                       static_cast<ptrdiff_t>(b.head)),
+               std::make_move_iterator(b.events.end()));
+    b.Reset();
+  }
+  shift_ = new_shift;
+  int64_t new_min = all.front().event_time >> shift_;
+  int64_t new_max = new_min;
+  for (const Event& e : all) {
+    const int64_t q = e.event_time >> shift_;
+    new_min = std::min(new_min, q);
+    new_max = std::max(new_max, q);
+  }
+  q_min_ = new_min;
+  q_max_ = new_max;
+  RingGrowCapacity(static_cast<uint64_t>(new_max - new_min + 1));
+  for (Event& e : all) {
+    RingBucket& b = RingAt(e.event_time >> shift_);
+    if (b.events.empty()) {
+      b.sorted = true;
+    } else if (b.sorted && Less(e, b.events.back())) {
+      b.sorted = false;
+    }
+    if (b.events.capacity() == 0) b.events.reserve(RingBucketReserve());
+    b.events.push_back(std::move(e));
+  }
+}
+
+size_t ReorderBuffer::RingBucketReserve() const {
+  const size_t span =
+      ring_size_ == 0 ? 1 : static_cast<size_t>(q_max_ - q_min_ + 1);
+  return std::clamp(ring_size_ / span + 1, kBucketMinCapacity,
+                    kBucketMaxCapacity);
+}
+
+void ReorderBuffer::RingAdvanceMin() {
+  if (ring_size_ == 0) {
+    q_min_ = 0;
+    q_max_ = -1;
+    return;
+  }
+  while (RingAt(q_min_).LiveEmpty()) ++q_min_;
 }
 
 }  // namespace streamq

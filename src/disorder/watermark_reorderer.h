@@ -37,6 +37,7 @@ class WatermarkReorderer : public BufferedHandlerBase {
   std::string_view name() const override { return "watermark"; }
 
   void OnEvent(const Event& e, EventSink* sink) override;
+  void OnBatch(std::span<const Event> batch, EventSink* sink) override;
   void Flush(EventSink* sink) override;
 
   DurationUs current_slack() const override { return options_.bound; }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 
 #include "core/executor.h"
@@ -227,6 +228,90 @@ TEST(KeyedHandlerTest, HeartbeatReachesEveryShard) {
   EXPECT_EQ(handler->buffered(), 0u);
   EXPECT_EQ(sink.events.size(), 2u);
   EXPECT_EQ(sink.watermarks.back(), 4900);
+}
+
+TEST(KeyedHandlerTest, HeartbeatAdvancesIdleKeyAndUnblocksMergedWatermark) {
+  // Regression (both buffer engines): a key that stops receiving events must
+  // still advance its watermark on OnHeartbeat, otherwise its stale minimum
+  // blocks the merged watermark forever.
+  for (const ReorderBuffer::Engine engine :
+       {ReorderBuffer::Engine::kHeap, ReorderBuffer::Engine::kRing}) {
+    SCOPED_TRACE(engine == ReorderBuffer::Engine::kHeap ? "heap" : "ring");
+    auto handler = MakeKeyedFixed(100);
+    handler->set_buffer_engine(engine);
+    CollectingSink sink;
+    handler->OnEvent(E(0, 1000, 1000, /*key=*/1), &sink);
+    ASSERT_EQ(sink.watermarks.back(), 900);
+    // Key 2 arrives once with a low watermark, then goes idle.
+    handler->OnEvent(E(1, 500, 1001, /*key=*/2), &sink);
+    // Key 1 races ahead; merged = min(9900, 400) is still pinned by the
+    // idle key, so the merged watermark cannot advance past 900.
+    handler->OnEvent(E(2, 10000, 10000, /*key=*/1), &sink);
+    EXPECT_EQ(sink.watermarks.back(), 900);
+    EXPECT_EQ(handler->buffered(), 2u);  // ts=500 (key 2), ts=10000 (key 1).
+
+    // The heartbeat reaches the idle shard: key 2's frontier advances to
+    // the bound, its buffered tuple releases, and the merged minimum jumps.
+    handler->OnHeartbeat(8000, 11000, &sink);
+    EXPECT_EQ(sink.watermarks.back(), 7900);
+    EXPECT_EQ(handler->buffered(), 1u);  // Key 1's ts=10000 still held.
+    const auto released = std::find_if(
+        sink.events.begin(), sink.events.end(),
+        [](const Event& e) { return e.id == 1; });
+    EXPECT_NE(released, sink.events.end());
+  }
+}
+
+TEST(KeyedHandlerTest, AggregateAccessorsMatchFullRecompute) {
+  // buffered() and current_slack() are maintained incrementally (O(1) reads
+  // independent of key count); pin them against a full recompute over the
+  // shards after every arrival.
+  WorkloadConfig cfg;
+  cfg.num_events = 6000;
+  cfg.num_keys = 16;
+  cfg.key_delay_spread = 8.0;
+  cfg.delay.model = DelayModel::kExponential;
+  cfg.delay.a = 4000.0;
+  cfg.seed = 31;
+  const auto w = GenerateWorkload(cfg);
+
+  AqKSlack::Options aq;
+  aq.target_quality = 0.95;
+  KeyedDisorderHandler handler(
+      [&aq] { return std::make_unique<AqKSlack>(aq); });
+  CollectingSink sink;
+  size_t fed = 0;
+  auto check = [&] {
+    size_t buffered = 0;
+    int64_t slack_sum = 0;
+    size_t shards = 0;
+    for (int64_t key = 0; key < cfg.num_keys; ++key) {
+      const DisorderHandler* shard = handler.shard(key);
+      if (shard == nullptr) continue;
+      ++shards;
+      buffered += shard->buffered();
+      slack_sum += shard->current_slack();
+    }
+    ASSERT_EQ(handler.key_count(), shards);
+    ASSERT_EQ(handler.buffered(), buffered);
+    const DurationUs mean_slack =
+        shards == 0 ? 0
+                    : static_cast<DurationUs>(static_cast<double>(slack_sum) /
+                                              static_cast<double>(shards));
+    ASSERT_EQ(handler.current_slack(), mean_slack) << "after " << fed;
+  };
+  for (const Event& e : w.arrival_order) {
+    handler.OnEvent(e, &sink);
+    ++fed;
+    if (fed % 97 == 0) check();
+  }
+  check();
+  handler.OnHeartbeat(w.arrival_order.back().event_time,
+                      w.arrival_order.back().arrival_time, &sink);
+  check();
+  handler.Flush(&sink);
+  check();
+  EXPECT_EQ(handler.buffered(), 0u);
 }
 
 TEST(KeyedHandlerTest, EndToEndKeyedQueryMatchesOracleAtFullSlack) {

@@ -10,6 +10,8 @@
 namespace streamq {
 namespace {
 
+using Engine = ReorderBuffer::Engine;
+
 Event MakeEvent(int64_t id, TimestampUs ts) {
   Event e;
   e.id = id;
@@ -17,15 +19,22 @@ Event MakeEvent(int64_t id, TimestampUs ts) {
   return e;
 }
 
-TEST(ReorderBufferTest, StartsEmpty) {
-  ReorderBuffer buf;
+/// Every buffer-contract test runs against both engines: the heap is the
+/// reference, the bucket ring the default.
+class ReorderBufferTest : public ::testing::TestWithParam<Engine> {
+ protected:
+  ReorderBuffer MakeBuffer() const { return ReorderBuffer(GetParam()); }
+};
+
+TEST_P(ReorderBufferTest, StartsEmpty) {
+  ReorderBuffer buf = MakeBuffer();
   EXPECT_TRUE(buf.empty());
   EXPECT_EQ(buf.size(), 0u);
   EXPECT_EQ(buf.max_size(), 0u);
 }
 
-TEST(ReorderBufferTest, PopMinReturnsEarliest) {
-  ReorderBuffer buf;
+TEST_P(ReorderBufferTest, PopMinReturnsEarliest) {
+  ReorderBuffer buf = MakeBuffer();
   buf.Push(MakeEvent(0, 300));
   buf.Push(MakeEvent(1, 100));
   buf.Push(MakeEvent(2, 200));
@@ -40,8 +49,8 @@ TEST(ReorderBufferTest, PopMinReturnsEarliest) {
   EXPECT_TRUE(buf.empty());
 }
 
-TEST(ReorderBufferTest, TieBrokenById) {
-  ReorderBuffer buf;
+TEST_P(ReorderBufferTest, TieBrokenById) {
+  ReorderBuffer buf = MakeBuffer();
   buf.Push(MakeEvent(5, 100));
   buf.Push(MakeEvent(2, 100));
   buf.Push(MakeEvent(9, 100));
@@ -54,8 +63,8 @@ TEST(ReorderBufferTest, TieBrokenById) {
   EXPECT_EQ(e.id, 9);
 }
 
-TEST(ReorderBufferTest, PopUpToReleasesPrefixOnly) {
-  ReorderBuffer buf;
+TEST_P(ReorderBufferTest, PopUpToReleasesPrefixOnly) {
+  ReorderBuffer buf = MakeBuffer();
   for (int i = 0; i < 10; ++i) buf.Push(MakeEvent(i, i * 100));
   std::vector<Event> out;
   const size_t n = buf.PopUpTo(450, &out);
@@ -67,16 +76,16 @@ TEST(ReorderBufferTest, PopUpToReleasesPrefixOnly) {
   EXPECT_EQ(out.back().event_time, 400);
 }
 
-TEST(ReorderBufferTest, PopUpToInclusiveThreshold) {
-  ReorderBuffer buf;
+TEST_P(ReorderBufferTest, PopUpToInclusiveThreshold) {
+  ReorderBuffer buf = MakeBuffer();
   buf.Push(MakeEvent(0, 100));
   std::vector<Event> out;
   EXPECT_EQ(buf.PopUpTo(99, &out), 0u);
   EXPECT_EQ(buf.PopUpTo(100, &out), 1u);
 }
 
-TEST(ReorderBufferTest, MaxSizeTracksHighWater) {
-  ReorderBuffer buf;
+TEST_P(ReorderBufferTest, MaxSizeTracksHighWater) {
+  ReorderBuffer buf = MakeBuffer();
   for (int i = 0; i < 5; ++i) buf.Push(MakeEvent(i, i));
   std::vector<Event> out;
   buf.PopUpTo(10, &out);
@@ -86,19 +95,39 @@ TEST(ReorderBufferTest, MaxSizeTracksHighWater) {
   EXPECT_EQ(buf.max_size(), 5u);  // Unchanged.
 }
 
-TEST(ReorderBufferTest, ClearEmpties) {
-  ReorderBuffer buf;
+TEST_P(ReorderBufferTest, ClearEmpties) {
+  ReorderBuffer buf = MakeBuffer();
   buf.Push(MakeEvent(0, 1));
   buf.Clear();
   EXPECT_TRUE(buf.empty());
+  // Still usable after Clear.
+  buf.Push(MakeEvent(1, 7));
+  EXPECT_EQ(buf.MinEventTime(), 7);
 }
 
-TEST(ReorderBufferTest, RandomizedHeapProperty) {
+TEST_P(ReorderBufferTest, PushBatchMatchesPerPush) {
+  Rng rng(99);
+  std::vector<Event> events;
+  for (int i = 0; i < 300; ++i) {
+    events.push_back(MakeEvent(i, rng.NextInt(0, 5000)));
+  }
+  ReorderBuffer a = MakeBuffer();
+  ReorderBuffer b = MakeBuffer();
+  for (const Event& e : events) a.Push(e);
+  b.PushBatch(events);
+  std::vector<Event> out_a;
+  std::vector<Event> out_b;
+  a.DrainInto(&out_a);
+  b.DrainInto(&out_b);
+  EXPECT_EQ(out_a, out_b);
+}
+
+TEST_P(ReorderBufferTest, RandomizedOrderProperty) {
   // Property test: pushing N random events and popping them all yields a
   // sorted sequence identical to std::sort.
   Rng rng(4242);
   for (int trial = 0; trial < 20; ++trial) {
-    ReorderBuffer buf;
+    ReorderBuffer buf = MakeBuffer();
     std::vector<Event> reference;
     const int n = static_cast<int>(rng.NextInt(1, 500));
     for (int i = 0; i < n; ++i) {
@@ -116,11 +145,11 @@ TEST(ReorderBufferTest, RandomizedHeapProperty) {
   }
 }
 
-TEST(ReorderBufferTest, InterleavedPushPop) {
+TEST_P(ReorderBufferTest, InterleavedPushPop) {
   // Pops between pushes must still produce globally plausible order for
   // the released prefixes.
   Rng rng(7);
-  ReorderBuffer buf;
+  ReorderBuffer buf = MakeBuffer();
   std::vector<Event> released;
   TimestampUs threshold = 0;
   for (int i = 0; i < 1000; ++i) {
@@ -135,6 +164,140 @@ TEST(ReorderBufferTest, InterleavedPushPop) {
   for (size_t i = 1; i < released.size(); ++i) {
     EXPECT_LE(released[i - 1].event_time, released[i].event_time);
   }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothEngines, ReorderBufferTest,
+                         ::testing::Values(Engine::kHeap, Engine::kRing),
+                         [](const ::testing::TestParamInfo<Engine>& info) {
+                           return info.param == Engine::kHeap ? "Heap"
+                                                              : "Ring";
+                         });
+
+// --- Cross-engine and ring-specific behavior -----------------------------
+
+TEST(ReorderBufferEngines, DefaultIsRingAndSetEngineSwitches) {
+  ReorderBuffer buf;
+  EXPECT_EQ(buf.engine(), Engine::kRing);
+  buf.SetEngine(Engine::kHeap);
+  EXPECT_EQ(buf.engine(), Engine::kHeap);
+  buf.SetEngine(Engine::kRing);
+  EXPECT_EQ(buf.engine(), Engine::kRing);
+}
+
+/// Replays an identical interleaved push/pop schedule on both engines and
+/// requires byte-identical releases at every step.
+void ExpectEnginesAgree(uint32_t seed, TimestampUs time_range,
+                        int batch_every) {
+  Rng rng(seed);
+  ReorderBuffer heap(Engine::kHeap);
+  ReorderBuffer ring(Engine::kRing);
+  std::vector<Event> schedule;
+  TimestampUs base = 0;
+  for (int i = 0; i < 3000; ++i) {
+    schedule.push_back(MakeEvent(i, base + rng.NextInt(0, time_range)));
+    base += time_range / 200 + 1;  // Advancing frontier, K-slack style.
+  }
+  std::vector<Event> out_heap;
+  std::vector<Event> out_ring;
+  size_t i = 0;
+  while (i < schedule.size()) {
+    if (batch_every > 0 && i % static_cast<size_t>(batch_every) == 0) {
+      const size_t n =
+          std::min<size_t>(static_cast<size_t>(batch_every), schedule.size() - i);
+      const std::span<const Event> chunk(schedule.data() + i, n);
+      heap.PushBatch(chunk);
+      ring.PushBatch(chunk);
+      i += n;
+    } else {
+      heap.Push(schedule[i]);
+      ring.Push(schedule[i]);
+      ++i;
+    }
+    if (i % 37 == 0) {
+      const TimestampUs threshold = schedule[i - 1].event_time - time_range / 3;
+      ASSERT_EQ(heap.PopUpTo(threshold, &out_heap),
+                ring.PopUpTo(threshold, &out_ring));
+      ASSERT_EQ(out_heap, out_ring);
+      ASSERT_EQ(heap.size(), ring.size());
+    }
+  }
+  heap.DrainInto(&out_heap);
+  ring.DrainInto(&out_ring);
+  EXPECT_EQ(out_heap, out_ring);
+  EXPECT_EQ(out_heap.size(), schedule.size());
+}
+
+TEST(ReorderBufferEngines, AgreeOnNarrowTimeRange) {
+  ExpectEnginesAgree(/*seed=*/11, /*time_range=*/64, /*batch_every=*/0);
+}
+
+TEST(ReorderBufferEngines, AgreeOnWideTimeRange) {
+  // Span far beyond the initial bucket layout: forces widen rebucketing.
+  ExpectEnginesAgree(/*seed=*/12, /*time_range=*/5'000'000, /*batch_every=*/0);
+}
+
+TEST(ReorderBufferEngines, AgreeWithBatchedPushes) {
+  ExpectEnginesAgree(/*seed=*/13, /*time_range=*/100'000, /*batch_every=*/64);
+}
+
+TEST(ReorderBufferEngines, AgreeOnDuplicateTimestamps) {
+  // Heavy ties: pop order must fall back to id deterministically.
+  Rng rng(21);
+  ReorderBuffer heap(Engine::kHeap);
+  ReorderBuffer ring(Engine::kRing);
+  std::vector<Event> out_heap;
+  std::vector<Event> out_ring;
+  for (int i = 0; i < 2000; ++i) {
+    const Event e = MakeEvent(i, rng.NextInt(0, 16));
+    heap.Push(e);
+    ring.Push(e);
+  }
+  heap.PopUpTo(16, &out_heap);
+  ring.PopUpTo(16, &out_ring);
+  EXPECT_EQ(out_heap, out_ring);
+  EXPECT_EQ(out_heap.size(), 2000u);
+}
+
+TEST(ReorderBufferRing, SurvivesSlackCollapseAndGrowth) {
+  // Slack regime change: a wide span (wide buckets) followed by a tight
+  // cluster (narrow rebucketing) followed by another widening. All events
+  // must come back in exact order.
+  ReorderBuffer ring(Engine::kRing);
+  ReorderBuffer heap(Engine::kHeap);
+  int64_t id = 0;
+  auto push_both = [&](TimestampUs t) {
+    const Event e = MakeEvent(id++, t);
+    ring.Push(e);
+    heap.Push(e);
+  };
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) push_both(rng.NextInt(0, 10'000'000));
+  std::vector<Event> out_ring;
+  std::vector<Event> out_heap;
+  ring.PopUpTo(10'000'000, &out_ring);
+  heap.PopUpTo(10'000'000, &out_heap);
+  ASSERT_EQ(out_ring, out_heap);
+  // Tight cluster: hundreds of events inside a few microseconds.
+  for (int i = 0; i < 1000; ++i) push_both(20'000'000 + rng.NextInt(0, 8));
+  // Wide again.
+  for (int i = 0; i < 500; ++i) {
+    push_both(20'000'000 + rng.NextInt(0, 50'000'000));
+  }
+  out_ring.clear();
+  out_heap.clear();
+  ring.DrainInto(&out_ring);
+  heap.DrainInto(&out_heap);
+  EXPECT_EQ(out_ring, out_heap);
+  EXPECT_EQ(out_ring.size(), 1500u);
+}
+
+TEST(ReorderBufferRing, MinEventTimeOnUnsortedBoundaryBucket) {
+  // Two out-of-order events in the same bucket: MinEventTime must scan the
+  // unsorted live range, not report the first insertion.
+  ReorderBuffer ring(Engine::kRing);
+  ring.Push(MakeEvent(0, 150));
+  ring.Push(MakeEvent(1, 120));  // Same 256us bucket, earlier time.
+  EXPECT_EQ(ring.MinEventTime(), 120);
 }
 
 }  // namespace

@@ -1,22 +1,35 @@
 #!/usr/bin/env python3
-"""Soft throughput-regression guard for the R-F18 hot-path benchmark.
+"""Soft throughput-regression guard for the R-F18/R-F19 benchmarks.
 
-Reads a freshly produced f18_hotpath.csv and the committed baseline and
-applies three checks:
+Reads a freshly produced benchmark CSV (f18_hotpath.csv or
+f19_disorder.csv, auto-detected from the header) plus the committed
+baseline and applies per-suite checks:
 
-  1. Equivalence (hard): within the fresh run, the `checksum` and
-     `emissions` columns must agree between the legacy and hot engines for
-     every (aggregate, shape, batch) configuration. The benchmark doubles
-     as an end-to-end equivalence witness; a mismatch means the hot engine
-     changed results, not just speed.
-  2. Devirtualization win (hard): on the sliding shapes (fold fanout > 1)
-     the hot engine must stay clearly faster than the legacy engine
-     measured in the SAME run -- machine-independent, so it is safe to
-     enforce on shared CI runners. The bound is deliberately loose
-     (hot <= 0.8 * legacy; real ratios are 0.05-0.4).
-  3. Baseline drift (soft): hot-engine ns/tuple beyond DRIFT_FACTOR x the
-     committed baseline prints a warning (GitHub annotation) but does not
-     fail the job -- absolute timings are machine-dependent.
+R-F18 (window-operator hot path):
+  1. Equivalence (hard): `checksum` and `emissions` must agree between the
+     legacy and hot engines for every (aggregate, shape, batch)
+     configuration. The benchmark doubles as an end-to-end equivalence
+     witness; a mismatch means the hot engine changed results, not speed.
+  2. Devirtualization win (hard): on sliding shapes (fold fanout > 1) the
+     hot engine must stay clearly faster than legacy measured in the SAME
+     run -- machine-independent, so safe on shared CI runners. The bound
+     is deliberately loose (hot <= 0.8 * legacy; real ratios 0.05-0.4).
+
+R-F19 (disorder-stage layout):
+  1. Equivalence (hard): `checksum` must agree between the heap and ring
+     engines for every (section, config) -- identical released-event
+     sequences are the PR's core guarantee.
+  2. Ring win (hard): in the buffer section at occupancies >= 1e4 the ring
+     engine must beat the heap by RING_BUFFER_BOUND in the same run (real
+     ratios are 6-36x; the heap's per-tuple cost is O(log n) there).
+  3. Batch win (hard): on the deep keyed rows, the run-segmented OnBatch
+     ring row must not be slower than the per-event ring row. The full
+     >= 1.3x target is a soft warning (the margin is real but modest, and
+     shared runners are noisy).
+
+Both suites: baseline drift (soft) -- fast-engine ns/tuple beyond
+DRIFT_FACTOR x the committed baseline prints a GitHub warning annotation
+but does not fail the job; absolute timings are machine-dependent.
 
 Exit status: 1 on a hard-check failure, 0 otherwise.
 
@@ -27,8 +40,15 @@ import argparse
 import csv
 import sys
 
-RELATIVE_BOUND = 0.8  # hot must be <= this fraction of legacy (sliding).
+RELATIVE_BOUND = 0.8  # f18: hot must be <= this fraction of legacy (sliding).
 DRIFT_FACTOR = 1.5    # soft warning threshold vs. committed baseline.
+
+# f19: ring must be <= heap/1.5 on deep buffers, and batch ingestion should
+# be >= 1.3x per-event on the deep keyed rows (soft).
+RING_BUFFER_BOUND = 1.0 / 1.5
+RING_BUFFER_GATED_SIZES = {"size=1e4", "size=1e5", "size=1e6"}
+KEYED_BATCH_TARGET = 1.3
+KEYED_DEEP_PAIR = ("bursty16-deep-perevent", "bursty16-deep-batch256")
 
 # Kinds with inline AggregateState folds. Heavy kinds (median/quantile/
 # distinct) keep the polymorphic accumulator, so their hot-engine win is
@@ -36,23 +56,23 @@ DRIFT_FACTOR = 1.5    # soft warning threshold vs. committed baseline.
 INLINE_AGGS = {"count", "sum", "mean", "min", "max", "variance", "stddev"}
 
 
-def load(path):
+def load(path, key_cols):
     rows = {}
     with open(path, newline="") as f:
         for row in csv.DictReader(f):
-            key = (row["aggregate"], row["shape"], row["batch"],
-                   row["engine"])
-            rows[key] = row
+            rows[tuple(row[c] for c in key_cols)] = row
     return rows
 
 
-def main():
-    parser = argparse.ArgumentParser()
-    parser.add_argument("--current", required=True)
-    parser.add_argument("--baseline")
-    args = parser.parse_args()
+def sniff_suite(path):
+    with open(path, newline="") as f:
+        header = next(csv.reader(f))
+    return "f19" if "section" in header else "f18"
 
-    current = load(args.current)
+
+def check_f18(args):
+    key_cols = ("aggregate", "shape", "batch", "engine")
+    current = load(args.current, key_cols)
     configs = sorted({k[:3] for k in current})
     failures = []
     warnings = []
@@ -85,7 +105,7 @@ def main():
 
     # 3. Soft drift vs. committed baseline.
     if args.baseline:
-        baseline = load(args.baseline)
+        baseline = load(args.baseline, key_cols)
         for key, row in current.items():
             if key[3] != "hot":
                 continue
@@ -99,12 +119,92 @@ def main():
                     f"{'/'.join(key[:3])}: hot {cur_ns:.2f} ns/tuple vs "
                     f"baseline {base_ns:.2f} ({cur_ns / base_ns:.2f}x)")
 
+    return "f18", configs, failures, warnings
+
+
+def check_f19(args):
+    key_cols = ("section", "config", "engine")
+    current = load(args.current, key_cols)
+    configs = sorted({k[:2] for k in current})
+    failures = []
+    warnings = []
+
+    for section, config in configs:
+        heap = current.get((section, config, "heap"))
+        ring = current.get((section, config, "ring"))
+        if heap is None or ring is None:
+            failures.append(f"{section}/{config}: missing engine row")
+            continue
+
+        # 1. Identical released-event sequences, engine for engine.
+        if heap["checksum"] != ring["checksum"]:
+            failures.append(
+                f"{section}/{config}: checksum mismatch "
+                f"heap={heap['checksum']} ring={ring['checksum']}")
+
+        # 2. Ring wins on deep buffers, same machine same run.
+        if section == "buffer" and config in RING_BUFFER_GATED_SIZES:
+            h_ns = float(heap["ns_per_tuple"])
+            r_ns = float(ring["ns_per_tuple"])
+            if r_ns > h_ns * RING_BUFFER_BOUND:
+                failures.append(
+                    f"{section}/{config}: ring {r_ns:.2f} ns/tuple vs heap "
+                    f"{h_ns:.2f} (bound {RING_BUFFER_BOUND:.3f}x)")
+
+    # 3. Batched keyed ingestion on the deep rows (ring, the default
+    # engine): inversion is a hard failure, missing the full target a soft
+    # warning.
+    per_event = current.get(("keyed", KEYED_DEEP_PAIR[0], "ring"))
+    batched = current.get(("keyed", KEYED_DEEP_PAIR[1], "ring"))
+    if per_event is not None and batched is not None:
+        pe_ns = float(per_event["ns_per_tuple"])
+        b_ns = float(batched["ns_per_tuple"])
+        if b_ns > pe_ns:
+            failures.append(
+                f"keyed deep: OnBatch {b_ns:.2f} ns/tuple slower than "
+                f"per-event {pe_ns:.2f}")
+        elif pe_ns < b_ns * KEYED_BATCH_TARGET:
+            warnings.append(
+                f"keyed deep: OnBatch speedup {pe_ns / b_ns:.2f}x below the "
+                f"{KEYED_BATCH_TARGET}x target")
+
+    # 4. Soft drift vs. committed baseline on ring rows.
+    if args.baseline:
+        baseline = load(args.baseline, key_cols)
+        for key, row in current.items():
+            if key[2] != "ring":
+                continue
+            base = baseline.get(key)
+            if base is None:
+                continue
+            cur_ns = float(row["ns_per_tuple"])
+            base_ns = float(base["ns_per_tuple"])
+            if cur_ns > base_ns * DRIFT_FACTOR:
+                warnings.append(
+                    f"{'/'.join(key[:2])}: ring {cur_ns:.2f} ns/tuple vs "
+                    f"baseline {base_ns:.2f} ({cur_ns / base_ns:.2f}x)")
+
+    return "f19", configs, failures, warnings
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--current", required=True)
+    parser.add_argument("--baseline")
+    args = parser.parse_args()
+
+    suite = sniff_suite(args.current)
+    if suite == "f19":
+        suite, configs, failures, warnings = check_f19(args)
+    else:
+        suite, configs, failures, warnings = check_f18(args)
+
     for w in warnings:
-        print(f"::warning title=bench_f18 drift::{w}")
+        print(f"::warning title=bench_{suite} drift::{w}")
     for f in failures:
-        print(f"::error title=bench_f18 regression::{f}")
-    print(f"checked {len(configs)} configurations: "
-          f"{len(failures)} hard failure(s), {len(warnings)} drift warning(s)")
+        print(f"::error title=bench_{suite} regression::{f}")
+    print(f"[{suite}] checked {len(configs)} configurations: "
+          f"{len(failures)} hard failure(s), {len(warnings)} warning(s)")
     return 1 if failures else 0
 
 
