@@ -23,6 +23,25 @@
 ///                          stdout); also enables a periodic progress line
 ///                          on stderr while the stream is running
 ///   --metrics-format=<f>   prom (default) | json
+///
+/// Robustness / degradation:
+///   --buffer-cap=<n>       hard cap on buffered tuples (0 = unbounded)
+///   --shed=<policy>        emit-early (default) | drop-newest | drop-oldest
+///   --max-slack=<ms>       clamp on adaptive K (0 = unbounded)
+///   --validate=<mode>      off (default) | drop | strict ingest validation
+///
+/// Fault injection (all probabilities per tuple, default 0 = off):
+///   --fault-seed=<n>       fault RNG seed, default 42
+///   --fault-drop=<p>       drop the tuple
+///   --fault-dup=<p>        duplicate the tuple
+///   --fault-ts=<p>         corrupt timestamps (negative/overflow/clock
+///                          regression)
+///   --fault-value=<p>      corrupt the value (NaN/Inf)
+///   --fault-stall=<p>      wall-clock stall before delivery
+///   --fault-stall-us=<us>  stall length, default 1000
+///   --fault-burst=<p>      start a disorder burst
+///   --fault-burst-len=<n>  tuples per burst, default 32
+///   --fault-burst-spread=<ms>  event-time spread of a burst, default 100
 
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +53,7 @@
 #include "quality/oracle.h"
 #include "quality/quality_metrics.h"
 #include "stream/disorder_metrics.h"
+#include "stream/fault_injector.h"
 #include "stream/generator.h"
 #include "stream/trace_io.h"
 
@@ -57,7 +77,20 @@ struct Flags {
   int64_t print_results = 0;
   std::string metrics_out;
   std::string metrics_format = "prom";
+  int64_t buffer_cap = 0;
+  std::string shed = "emit-early";
+  int64_t max_slack_ms = 0;
+  std::string validate = "off";
+  FaultSpec fault;
 };
+
+/// True if any fault class is enabled (the injector is only interposed
+/// then, so the default path stays byte-identical to before).
+bool FaultsEnabled(const FaultSpec& f) {
+  return f.drop_prob > 0.0 || f.duplicate_prob > 0.0 ||
+         f.timestamp_corrupt_prob > 0.0 || f.value_corrupt_prob > 0.0 ||
+         f.stall_prob > 0.0 || f.burst_prob > 0.0;
+}
 
 /// The CLI's observer: full metrics collection plus a ~2 Hz progress line on
 /// stderr so long trace replays are visibly alive.
@@ -147,6 +180,34 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->metrics_out = value;
     } else if (ParseFlag(arg, "--metrics-format", &value)) {
       flags->metrics_format = value;
+    } else if (ParseFlag(arg, "--buffer-cap", &value)) {
+      flags->buffer_cap = std::atoll(value.c_str());
+    } else if (ParseFlag(arg, "--shed", &value)) {
+      flags->shed = value;
+    } else if (ParseFlag(arg, "--max-slack", &value)) {
+      flags->max_slack_ms = std::atoll(value.c_str());
+    } else if (ParseFlag(arg, "--validate", &value)) {
+      flags->validate = value;
+    } else if (ParseFlag(arg, "--fault-seed", &value)) {
+      flags->fault.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
+    } else if (ParseFlag(arg, "--fault-drop", &value)) {
+      flags->fault.drop_prob = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--fault-dup", &value)) {
+      flags->fault.duplicate_prob = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--fault-ts", &value)) {
+      flags->fault.timestamp_corrupt_prob = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--fault-value", &value)) {
+      flags->fault.value_corrupt_prob = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--fault-stall", &value)) {
+      flags->fault.stall_prob = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--fault-stall-us", &value)) {
+      flags->fault.stall_us = std::atoll(value.c_str());
+    } else if (ParseFlag(arg, "--fault-burst", &value)) {
+      flags->fault.burst_prob = std::atof(value.c_str());
+    } else if (ParseFlag(arg, "--fault-burst-len", &value)) {
+      flags->fault.burst_len = std::atoll(value.c_str());
+    } else if (ParseFlag(arg, "--fault-burst-spread", &value)) {
+      flags->fault.burst_spread_us = Millis(std::atoll(value.c_str()));
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg);
       return false;
@@ -161,6 +222,38 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
   if (flags->metrics_format != "prom" && flags->metrics_format != "json") {
     std::fprintf(stderr, "bad --metrics-format: %s (want prom or json)\n",
                  flags->metrics_format.c_str());
+    return false;
+  }
+  const Status fault_ok = flags->fault.Validate();
+  if (!fault_ok.ok()) {
+    std::fprintf(stderr, "bad fault flags: %s\n",
+                 fault_ok.ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+bool ParseShedPolicy(const std::string& name, ShedPolicy* out) {
+  if (name == "emit-early") {
+    *out = ShedPolicy::kEmitEarly;
+  } else if (name == "drop-newest") {
+    *out = ShedPolicy::kDropNewest;
+  } else if (name == "drop-oldest") {
+    *out = ShedPolicy::kDropOldest;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool ParseValidation(const std::string& name, IngestValidation* out) {
+  if (name == "off") {
+    *out = IngestValidation::kOff;
+  } else if (name == "drop") {
+    *out = IngestValidation::kDrop;
+  } else if (name == "strict") {
+    *out = IngestValidation::kStrict;
+  } else {
     return false;
   }
   return true;
@@ -229,6 +322,26 @@ int main(int argc, char** argv) {
   }
   if (flags.per_key) builder.PerKey();
 
+  ShedPolicy shed_policy = ShedPolicy::kEmitEarly;
+  if (!ParseShedPolicy(flags.shed, &shed_policy)) {
+    std::fprintf(stderr,
+                 "unknown --shed: %s (want emit-early, drop-newest or "
+                 "drop-oldest)\n",
+                 flags.shed.c_str());
+    return 2;
+  }
+  if (flags.buffer_cap > 0) {
+    builder.BufferCap(static_cast<size_t>(flags.buffer_cap), shed_policy);
+  }
+  if (flags.max_slack_ms > 0) builder.MaxSlack(Millis(flags.max_slack_ms));
+  IngestValidation validation = IngestValidation::kOff;
+  if (!ParseValidation(flags.validate, &validation)) {
+    std::fprintf(stderr, "unknown --validate: %s (want off, drop or strict)\n",
+                 flags.validate.c_str());
+    return 2;
+  }
+  builder.ValidateIngest(validation);
+
   const ContinuousQuery query = builder.Build();
   std::printf("query: %s\n", query.Describe().c_str());
 
@@ -238,8 +351,19 @@ int main(int argc, char** argv) {
   const bool want_metrics = !flags.metrics_out.empty();
   if (want_metrics) exec.SetObserver(&observer);
   VectorSource source(std::move(events));
-  const RunReport report = exec.Run(&source);
+  RunReport report;
+  if (FaultsEnabled(flags.fault)) {
+    FaultInjectingSource faulty(&source, flags.fault);
+    report = exec.Run(&faulty);
+    std::printf("faults: %s\n", faulty.stats().ToString().c_str());
+  } else {
+    report = exec.Run(&source);
+  }
   std::printf("%s\n", report.ToString().c_str());
+  if (!report.status.ok()) {
+    std::fprintf(stderr, "run degraded: %s\n",
+                 report.status.ToString().c_str());
+  }
 
   if (want_metrics &&
       !WriteMetrics(observer.Snapshot(), flags.metrics_out,

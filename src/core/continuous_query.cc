@@ -6,6 +6,18 @@
 
 namespace streamq {
 
+const char* IngestValidationName(IngestValidation validation) {
+  switch (validation) {
+    case IngestValidation::kOff:
+      return "off";
+    case IngestValidation::kDrop:
+      return "drop";
+    case IngestValidation::kStrict:
+      return "strict";
+  }
+  return "?";
+}
+
 Status ContinuousQuery::Validate() const {
   STREAMQ_RETURN_NOT_OK(window.window.Validate());
   STREAMQ_RETURN_NOT_OK(window.aggregate.Validate());
@@ -116,6 +128,22 @@ QueryBuilder& QueryBuilder::NoDisorderHandling() {
 QueryBuilder& QueryBuilder::PerKey(bool on) {
   query_.handler = query_.handler.PerKey(on);
   query_.window.per_key_watermarks = on;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::ValidateIngest(IngestValidation validation) {
+  query_.validation = validation;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::BufferCap(size_t max_buffered_events,
+                                      ShedPolicy policy) {
+  query_.handler = query_.handler.WithBufferCap(max_buffered_events, policy);
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::MaxSlack(DurationUs max_slack) {
+  query_.handler = query_.handler.WithMaxSlack(max_slack);
   return *this;
 }
 

@@ -10,12 +10,29 @@
 
 namespace streamq {
 
+/// What QueryExecutor does with arrivals that fail ValidateEvent
+/// (non-finite value, negative/overflowing timestamp, clock regression).
+enum class IngestValidation {
+  /// Trust the source; feed everything straight to the handler (default —
+  /// zero per-tuple cost, right for generated workloads).
+  kOff,
+  /// Count-and-drop: reject the tuple, bump RunReport::events_rejected,
+  /// keep running. Right for external / fault-injected feeds.
+  kDrop,
+  /// First malformed tuple stops the run: it is rejected and counted, and
+  /// RunReport::status carries the validation error (sticky).
+  kStrict,
+};
+
+const char* IngestValidationName(IngestValidation validation);
+
 /// A continuous query: disorder handling strategy + windowed aggregation.
 /// Build with QueryBuilder; run with QueryExecutor.
 struct ContinuousQuery {
   std::string name = "query";
   DisorderHandlerSpec handler;
   WindowedAggregation::Options window;
+  IngestValidation validation = IngestValidation::kOff;
 
   Status Validate() const;
 
@@ -90,6 +107,17 @@ class QueryBuilder {
   /// Runs the chosen disorder strategy per key (one buffer per key, merged
   /// minimum watermark). Call after choosing the strategy.
   QueryBuilder& PerKey(bool on = true);
+
+  /// Ingest validation policy for malformed arrivals (default kOff).
+  QueryBuilder& ValidateIngest(IngestValidation validation);
+
+  /// Bounded-memory degradation: cap the handler's reorder buffer and shed
+  /// per `policy` once it fills (see DisorderHandlerSpec::WithBufferCap).
+  QueryBuilder& BufferCap(size_t max_buffered_events,
+                          ShedPolicy policy = ShedPolicy::kEmitEarly);
+
+  /// Clamp on the slack adaptive handlers may request (0 = unbounded).
+  QueryBuilder& MaxSlack(DurationUs max_slack);
 
   /// Finalizes the query. Aborts if the configuration is invalid.
   ContinuousQuery Build() const;

@@ -11,17 +11,24 @@ std::string RunReport::ToString() const {
   char buf[512];
   std::snprintf(
       buf, sizeof(buf),
-      "RunReport{%s: events=%lld results=%zu (revisions=%lld) "
-      "throughput=%.0f ev/s buf_latency_mean=%s late=%lld dropped=%lld}",
+      "RunReport{%s: events=%lld rejected=%lld results=%zu (revisions=%lld) "
+      "throughput=%.0f ev/s buf_latency_mean=%s late=%lld dropped=%lld "
+      "shed=%lld",
       query_name.c_str(), static_cast<long long>(events_processed),
-      results.size(), static_cast<long long>(window_stats.revisions),
-      throughput_eps,
+      static_cast<long long>(events_rejected), results.size(),
+      static_cast<long long>(window_stats.revisions), throughput_eps,
       FormatDuration(
           static_cast<DurationUs>(handler_stats.buffering_latency_us.mean()))
           .c_str(),
       static_cast<long long>(handler_stats.events_late),
-      static_cast<long long>(window_stats.late_dropped));
-  return buf;
+      static_cast<long long>(window_stats.late_dropped),
+      static_cast<long long>(handler_stats.events_shed));
+  std::string out = buf;
+  if (!status.ok()) {
+    out += " status=" + status.ToString();
+  }
+  out += "}";
+  return out;
 }
 
 QueryExecutor::QueryExecutor(const ContinuousQuery& query) : query_(query) {
@@ -32,13 +39,57 @@ QueryExecutor::QueryExecutor(const ContinuousQuery& query) : query_(query) {
 }
 
 void QueryExecutor::Feed(const Event& e) {
+  if (query_.validation != IngestValidation::kOff) [[unlikely]] {
+    if (!status_.ok()) return;  // strict mode already tripped
+    Status s = ValidateEvent(e);
+    if (!s.ok()) {
+      RejectEvent(e, std::move(s));
+      return;
+    }
+  }
   ++events_processed_;
   handler_->OnEvent(e, window_op_.get());
 }
 
 void QueryExecutor::FeedBatch(std::span<const Event> batch) {
+  if (query_.validation != IngestValidation::kOff) [[unlikely]] {
+    FeedBatchValidated(batch);
+    return;
+  }
   events_processed_ += static_cast<int64_t>(batch.size());
   handler_->OnBatch(batch, window_op_.get());
+}
+
+void QueryExecutor::FeedBatchValidated(std::span<const Event> batch) {
+  if (!status_.ok()) return;
+  // Feed maximal valid sub-spans so one bad tuple does not force the whole
+  // chunk down the per-event path.
+  size_t begin = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    Status s = ValidateEvent(batch[i]);
+    if (s.ok()) continue;
+    if (i > begin) {
+      events_processed_ += static_cast<int64_t>(i - begin);
+      handler_->OnBatch(batch.subspan(begin, i - begin), window_op_.get());
+    }
+    RejectEvent(batch[i], std::move(s));
+    begin = i + 1;
+    if (!status_.ok()) return;  // strict: stop at the first rejection
+  }
+  if (begin < batch.size()) {
+    events_processed_ += static_cast<int64_t>(batch.size() - begin);
+    handler_->OnBatch(batch.subspan(begin), window_op_.get());
+  }
+}
+
+void QueryExecutor::RejectEvent(const Event& e, Status status) {
+  ++events_rejected_;
+  if (observer_ != nullptr) {
+    observer_->OnEventRejected(e);
+  }
+  if (query_.validation == IngestValidation::kStrict && status_.ok()) {
+    status_ = std::move(status);
+  }
 }
 
 void QueryExecutor::FeedHeartbeat(TimestampUs event_time_bound,
@@ -54,6 +105,7 @@ RunReport QueryExecutor::Run(EventSource* source, size_t batch_size) {
     Event e;
     while (source->Next(&e)) {
       Feed(e);
+      if (!status_.ok()) break;
     }
   } else {
     std::vector<Event> chunk;
@@ -64,6 +116,7 @@ RunReport QueryExecutor::Run(EventSource* source, size_t batch_size) {
         observer_->OnSourceBatch(static_cast<int64_t>(chunk.size()));
       }
       chunk.clear();
+      if (!status_.ok()) break;  // strict validation tripped: stop feeding
     }
   }
   Finish();
@@ -78,6 +131,8 @@ RunReport QueryExecutor::Report() const {
   RunReport report;
   report.query_name = query_.name;
   report.events_processed = events_processed_;
+  report.events_rejected = events_rejected_;
+  report.status = status_;
   report.wall_seconds = wall_seconds_;
   report.throughput_eps =
       wall_seconds_ > 0.0

@@ -20,6 +20,19 @@ struct RunReport {
   std::string query_name;
   int64_t events_processed = 0;
 
+  /// Arrivals rejected by ingest validation before reaching the handler
+  /// (ContinuousQuery::validation != kOff). Not counted in
+  /// events_processed, so total arrivals = events_processed +
+  /// events_rejected.
+  int64_t events_rejected = 0;
+
+  /// Overall run health. Non-OK when strict ingest validation rejected a
+  /// tuple, or (parallel runners) when a worker failed or a shard queue
+  /// stayed stuck past the feed timeout. The pipeline state behind a
+  /// non-OK degraded report is still internally consistent — stats and
+  /// results cover everything processed before the failure.
+  Status status;
+
   /// Wall-clock execution time and derived throughput (the only place wall
   /// time appears; everything else is stream time).
   double wall_seconds = 0.0;
@@ -96,13 +109,23 @@ class QueryExecutor {
   /// Builds the report from current state (without finishing).
   RunReport Report() const;
 
+  /// Sticky run status (see RunReport::status). Always OK unless the query
+  /// uses strict ingest validation.
+  const Status& status() const { return status_; }
+
  private:
+  /// Cold path of Feed/FeedBatch when ingest validation is on.
+  void FeedBatchValidated(std::span<const Event> batch);
+  void RejectEvent(const Event& e, Status status);
+
   ContinuousQuery query_;
   CollectingResultSink result_sink_;
   std::unique_ptr<DisorderHandler> handler_;
   std::unique_ptr<WindowedAggregation> window_op_;
   PipelineObserver* observer_ = nullptr;
   int64_t events_processed_ = 0;
+  int64_t events_rejected_ = 0;
+  Status status_;
   double wall_seconds_ = 0.0;
 };
 

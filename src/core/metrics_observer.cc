@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "disorder/disorder_handler.h"
 #include "stream/event.h"
 #include "window/window.h"
 
@@ -58,6 +59,11 @@ MetricsObserver::MetricsObserver(const MetricsRegistry::Options& options)
           registry_.counter("streamq.handler.dropped_events_total")),
       slack_us_(registry_.gauge("streamq.handler.slack_us")),
       slack_changes_(registry_.counter("streamq.handler.slack_changes_total")),
+      shed_events_(registry_.counter("streamq.handler.shed_events_total")),
+      force_released_events_(
+          registry_.counter("streamq.handler.force_released_events_total")),
+      rejected_events_(
+          registry_.counter("streamq.ingest.rejected_events_total")),
       adaptations_(registry_.counter("streamq.handler.adaptations_total")),
       measured_quality_(registry_.gauge("streamq.handler.measured_quality")),
       setpoint_(registry_.gauge("streamq.handler.setpoint")),
@@ -111,6 +117,19 @@ void MetricsObserver::OnSlackChanged(DurationUs old_k, DurationUs new_k) {
   (void)old_k;
   slack_changes_->Increment();
   slack_us_->Set(static_cast<double>(new_k));
+}
+
+void MetricsObserver::OnShed(int64_t count, ShedPolicy policy) {
+  if (policy == ShedPolicy::kEmitEarly) {
+    force_released_events_->Increment(count);
+  } else {
+    shed_events_->Increment(count);
+  }
+}
+
+void MetricsObserver::OnEventRejected(const Event& e) {
+  (void)e;
+  rejected_events_->Increment();
 }
 
 void MetricsObserver::OnAdaptation(const AdaptationSample& sample) {

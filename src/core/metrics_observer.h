@@ -40,6 +40,8 @@ class MetricsObserver : public PipelineObserver {
   void OnEventDropped(const Event& e) override;
   void OnSlackChanged(DurationUs old_k, DurationUs new_k) override;
   void OnAdaptation(const AdaptationSample& sample) override;
+  void OnShed(int64_t count, ShedPolicy policy) override;
+  void OnEventRejected(const Event& e) override;
 
   // Window operator.
   void OnWindowFired(const WindowResult& result) override;
@@ -71,6 +73,9 @@ class MetricsObserver : public PipelineObserver {
   Counter* dropped_events_;
   Gauge* slack_us_;
   Counter* slack_changes_;
+  Counter* shed_events_;
+  Counter* force_released_events_;
+  Counter* rejected_events_;
   Counter* adaptations_;
   Gauge* measured_quality_;
   Gauge* setpoint_;

@@ -1,6 +1,8 @@
 #include "core/parallel_runner.h"
 
 #include <algorithm>
+#include <exception>
+#include <string>
 #include <thread>
 #include <tuple>
 #include <utility>
@@ -19,6 +21,76 @@ namespace {
 /// end-of-stream sentinel.
 using BatchPtr = std::shared_ptr<const std::vector<Event>>;
 using BatchQueue = SpscQueue<BatchPtr>;
+
+/// Worker loop shared by both runners: drain the queue into the executor,
+/// then flush. Exceptions are contained on the worker thread — the queue is
+/// closed (so the driver stops feeding), drained (so a blocked driver gets
+/// room and the shared batches are released), and the failure lands in
+/// `*status` for the merged report instead of std::terminate.
+void RunWorker(QueryExecutor* exec, BatchQueue* q, Status* status) {
+  try {
+    BatchPtr batch;
+    while (q->Pop(&batch)) {
+      if (batch == nullptr) break;  // End-of-stream sentinel.
+      exec->FeedBatch(*batch);
+      batch.reset();
+    }
+    exec->Finish();
+  } catch (const std::exception& ex) {
+    *status = Status::Internal(std::string("worker failed: ") + ex.what());
+  } catch (...) {
+    *status = Status::Internal("worker failed: non-standard exception");
+  }
+  if (!status->ok()) {
+    q->Close();
+    BatchPtr drain;
+    while (q->TryPop(&drain)) drain.reset();
+  }
+}
+
+/// Driver-side delivery of one batch with bounded patience. Fast path: one
+/// lock-free TryPush. On a full ring: one backpressure-stall notification,
+/// then deadline pushes with exponentially growing timeouts. Returns false
+/// when the worker was abandoned — either it closed the queue itself
+/// (failure; its own status explains why) or it stayed wedged past every
+/// deadline, in which case `*driver_status` gets ResourceExhausted and the
+/// queue is closed so the worker sees early end-of-stream.
+bool FeedQueue(BatchQueue* q, BatchPtr batch, size_t worker,
+               const ParallelOptions& options, PipelineObserver* observer,
+               Status* driver_status) {
+  if (q->TryPush(std::move(batch))) return true;
+  if (q->closed()) return false;
+  if (observer != nullptr) observer->OnBackpressureStall(worker);
+  DurationUs timeout = options.feed_timeout_us;
+  for (int attempt = 0; attempt < options.feed_max_attempts; ++attempt) {
+    // TryPushFor only consumes `batch` on success, so retry keeps it.
+    if (q->TryPushFor(std::move(batch), timeout)) return true;
+    if (q->closed()) return false;
+    timeout *= 2;
+  }
+  *driver_status = Status::ResourceExhausted(
+      "worker " + std::to_string(worker) +
+      " stuck: queue full past feed timeout");
+  q->Close();
+  return false;
+}
+
+/// End-of-stream, unless the worker is already gone.
+void SendEos(BatchQueue* q) {
+  if (!q->closed()) q->Push(nullptr);
+}
+
+/// Report status priority: a worker fault explains more than the driver's
+/// view of it, which explains more than the executor's own (strict
+/// validation) status.
+void ApplyRunStatus(RunReport* report, const Status& worker_status,
+                    const Status& driver_status) {
+  if (!worker_status.ok()) {
+    report->status = worker_status;
+  } else if (!driver_status.ok()) {
+    report->status = driver_status;
+  }
+}
 
 }  // namespace
 
@@ -43,43 +115,45 @@ std::vector<RunReport> ParallelMultiQueryRunner::Run(EventSource* source) {
 
   const TimestampUs start = WallClockMicros();
 
+  std::vector<Status> worker_status(n);
+  std::vector<Status> driver_status(n);
   std::vector<std::thread> workers;
   workers.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    workers.emplace_back([exec = executors[i].get(), q = queues[i].get()] {
-      while (BatchPtr batch = q->Pop()) {
-        exec->FeedBatch(*batch);
-      }
-      exec->Finish();
-    });
+    workers.emplace_back(RunWorker, executors[i].get(), queues[i].get(),
+                         &worker_status[i]);
   }
 
-  // Driver: pull arrival-ordered batches and publish each to every worker.
+  // Driver: pull arrival-ordered batches and publish each to every worker
+  // still accepting input. A failed or stuck worker is abandoned (see
+  // FeedQueue), never waited on forever.
+  std::vector<bool> feeding(n, true);
+  size_t feeding_count = n;
   std::vector<Event> chunk;
   chunk.reserve(options_.batch_size);
   int64_t events_pulled = 0;
-  while (source->NextBatch(&chunk, options_.batch_size) > 0) {
+  while (feeding_count > 0 &&
+         source->NextBatch(&chunk, options_.batch_size) > 0) {
     auto batch = std::make_shared<const std::vector<Event>>(std::move(chunk));
     events_pulled += static_cast<int64_t>(batch->size());
-    if (observer_ == nullptr) {
-      for (auto& q : queues) q->Push(batch);
-    } else {
+    if (observer_ != nullptr) {
       observer_->OnSourceBatch(static_cast<int64_t>(batch->size()));
-      for (size_t i = 0; i < n; ++i) {
-        BatchPtr copy = batch;
-        // A failed TryPush means this worker's ring is full: one stall per
-        // full-queue encounter, then the normal blocking Push.
-        if (!queues[i]->TryPush(std::move(copy))) {
-          observer_->OnBackpressureStall(i);
-          queues[i]->Push(std::move(copy));
-        }
-        observer_->OnQueueDepth(i, queues[i]->size());
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (!feeding[i]) continue;
+      BatchPtr copy = batch;
+      if (!FeedQueue(queues[i].get(), std::move(copy), i, options_, observer_,
+                     &driver_status[i])) {
+        feeding[i] = false;
+        --feeding_count;
+        continue;
       }
+      if (observer_ != nullptr) observer_->OnQueueDepth(i, queues[i]->size());
     }
     chunk = std::vector<Event>();
     chunk.reserve(options_.batch_size);
   }
-  for (auto& q : queues) q->Push(nullptr);  // End of stream.
+  for (auto& q : queues) SendEos(q.get());
   for (std::thread& t : workers) t.join();
 
   const double wall_seconds = ToSeconds(WallClockMicros() - start);
@@ -89,14 +163,15 @@ std::vector<RunReport> ParallelMultiQueryRunner::Run(EventSource* source) {
 
   std::vector<RunReport> reports;
   reports.reserve(n);
-  for (auto& exec : executors) {
-    RunReport r = exec->Report();
+  for (size_t i = 0; i < n; ++i) {
+    RunReport r = executors[i]->Report();
     // Workers do not time themselves; charge the shared parallel wall time.
     r.wall_seconds = wall_seconds;
     r.throughput_eps =
         wall_seconds > 0.0
             ? static_cast<double>(r.events_processed) / wall_seconds
             : 0.0;
+    ApplyRunStatus(&r, worker_status[i], driver_status[i]);
     reports.push_back(std::move(r));
   }
   return reports;
@@ -140,23 +215,25 @@ RunReport ShardedKeyedRunner::Run(EventSource* source) {
 
   const TimestampUs start = WallClockMicros();
 
+  std::vector<Status> worker_status(n);
+  std::vector<Status> driver_status(n);
   std::vector<std::thread> workers;
   workers.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    workers.emplace_back([exec = executors[i].get(), q = queues[i].get()] {
-      while (BatchPtr batch = q->Pop()) {
-        exec->FeedBatch(*batch);
-      }
-      exec->Finish();
-    });
+    workers.emplace_back(RunWorker, executors[i].get(), queues[i].get(),
+                         &worker_status[i]);
   }
 
   // Driver: pull arrival-ordered batches, partition by key hash, and send
-  // each shard its (arrival-ordered) sub-batch.
+  // each shard its (arrival-ordered) sub-batch. A failed or stuck shard is
+  // abandoned (see FeedQueue); the others keep their keys flowing.
+  std::vector<bool> feeding(n, true);
+  size_t feeding_count = n;
   std::vector<Event> chunk;
   chunk.reserve(options_.batch_size);
   std::vector<std::vector<Event>> shard_chunks(n);
-  while (source->NextBatch(&chunk, options_.batch_size) > 0) {
+  while (feeding_count > 0 &&
+         source->NextBatch(&chunk, options_.batch_size) > 0) {
     if (observer_ != nullptr) {
       observer_->OnSourceBatch(static_cast<int64_t>(chunk.size()));
     }
@@ -165,17 +242,19 @@ RunReport ShardedKeyedRunner::Run(EventSource* source) {
     }
     for (size_t i = 0; i < n; ++i) {
       if (shard_chunks[i].empty()) continue;
+      if (!feeding[i]) {
+        shard_chunks[i].clear();
+        continue;
+      }
       const auto sub_batch_events =
           static_cast<int64_t>(shard_chunks[i].size());
       BatchPtr batch = std::make_shared<const std::vector<Event>>(
           std::move(shard_chunks[i]));
-      if (observer_ == nullptr) {
-        queues[i]->Push(std::move(batch));
-      } else {
-        if (!queues[i]->TryPush(std::move(batch))) {
-          observer_->OnBackpressureStall(i);
-          queues[i]->Push(std::move(batch));
-        }
+      if (!FeedQueue(queues[i].get(), std::move(batch), i, options_,
+                     observer_, &driver_status[i])) {
+        feeding[i] = false;
+        --feeding_count;
+      } else if (observer_ != nullptr) {
         observer_->OnShardBatch(i, sub_batch_events);
         observer_->OnQueueDepth(i, queues[i]->size());
       }
@@ -183,7 +262,7 @@ RunReport ShardedKeyedRunner::Run(EventSource* source) {
     }
     chunk.clear();
   }
-  for (auto& q : queues) q->Push(nullptr);  // End of stream.
+  for (auto& q : queues) SendEos(q.get());
   for (std::thread& t : workers) t.join();
 
   const double wall_seconds = ToSeconds(WallClockMicros() - start);
@@ -192,13 +271,19 @@ RunReport ShardedKeyedRunner::Run(EventSource* source) {
   RunReport merged;
   merged.query_name = query_.name;
   merged.wall_seconds = wall_seconds;
-  for (auto& exec : executors) {
-    RunReport r = exec->Report();
+  for (size_t i = 0; i < n; ++i) {
+    RunReport r = executors[i]->Report();
+    ApplyRunStatus(&r, worker_status[i], driver_status[i]);
+    if (merged.status.ok() && !r.status.ok()) merged.status = r.status;
     merged.events_processed += r.events_processed;
+    merged.events_rejected += r.events_rejected;
     merged.handler_stats.events_in += r.handler_stats.events_in;
     merged.handler_stats.events_out += r.handler_stats.events_out;
     merged.handler_stats.events_late += r.handler_stats.events_late;
     merged.handler_stats.events_dropped += r.handler_stats.events_dropped;
+    merged.handler_stats.events_shed += r.handler_stats.events_shed;
+    merged.handler_stats.events_force_released +=
+        r.handler_stats.events_force_released;
     // Shards buffer concurrently; the sum bounds aggregate memory.
     merged.handler_stats.max_buffer_size += r.handler_stats.max_buffer_size;
     merged.handler_stats.buffering_latency_us.Merge(

@@ -24,6 +24,17 @@ struct ParallelOptions {
   /// queue_capacity * batch_size events per worker when the source outruns
   /// a query.
   size_t queue_capacity = 64;
+
+  /// First deadline when a worker's queue stays full. The driver retries
+  /// with this timeout doubled per attempt (exponential backoff), so a
+  /// merely slow worker gets progressively more patience.
+  DurationUs feed_timeout_us = Millis(250);
+
+  /// Attempts before the driver declares the worker stuck, closes its
+  /// queue, and degrades the run (ResourceExhausted in that worker's
+  /// report) instead of blocking forever. With the defaults the driver
+  /// waits ~7.75 s total per worker.
+  int feed_max_attempts = 5;
 };
 
 /// Runs N independent continuous queries over one arrival-ordered stream,
@@ -46,6 +57,13 @@ class ParallelMultiQueryRunner {
 
   /// Runs all queries to completion; reports are in AddQuery order, with
   /// wall_seconds/throughput measured over the shared (parallel) run.
+  ///
+  /// Failure containment: a worker that throws is caught on its own
+  /// thread — its queue is closed, its report comes back with a non-OK
+  /// status covering everything processed up to the failure, and the other
+  /// queries finish normally. A worker whose queue stays full past the
+  /// feed timeout is likewise abandoned with ResourceExhausted instead of
+  /// wedging the driver. The process never terminates on a worker fault.
   std::vector<RunReport> Run(EventSource* source);
 
   const ParallelOptions& options() const { return options_; }

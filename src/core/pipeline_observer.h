@@ -10,6 +10,7 @@ namespace streamq {
 
 struct Event;
 struct WindowResult;
+enum class ShedPolicy : int;
 
 /// One adaptation step of an adaptive disorder handler (AqKSlack/LbKSlack),
 /// reported through PipelineObserver::OnAdaptation. Scalar-only so the
@@ -92,6 +93,17 @@ class PipelineObserver {
 
   /// An adaptive handler completed one control step.
   virtual void OnAdaptation(const AdaptationSample& sample) { (void)sample; }
+
+  /// The buffer cap forced `count` tuples out under `policy`: either
+  /// discarded (kDropNewest/kDropOldest) or force-released early with the
+  /// watermark advanced past them (kEmitEarly).
+  virtual void OnShed(int64_t count, ShedPolicy policy) {
+    (void)count;
+    (void)policy;
+  }
+
+  /// Ingest validation rejected a malformed arrival before the handler.
+  virtual void OnEventRejected(const Event& e) { (void)e; }
 
   // --- Window operator level. ---
 

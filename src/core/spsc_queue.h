@@ -2,11 +2,13 @@
 #define STREAMQ_CORE_SPSC_QUEUE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <thread>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/time.h"
 
 namespace streamq {
 
@@ -15,9 +17,20 @@ namespace streamq {
 /// Lock-free in the fast path: the producer owns `tail_`, the consumer owns
 /// `head_`, and each side only *reads* the other's index (acquire) before
 /// publishing its own (release). Capacity is rounded up to a power of two so
-/// index wrapping is a mask. The blocking Push/Pop spin briefly and then
-/// yield, which is the right shape for the pipeline here: queues are sized
-/// so that blocking means the other side is genuinely busy, not gone.
+/// index wrapping is a mask.
+///
+/// Failure safety: either side may Close() the queue. Close is sticky and
+/// one-way — after it, pushes fail immediately (fast: the producer checks
+/// the flag only when the ring looks full, so the uncontended path is
+/// unchanged), while pops still drain whatever was already published before
+/// returning false. This is how a dying worker tells the driver to stop
+/// feeding it, and how a driver abandons a stuck worker without blocking
+/// forever.
+///
+/// Blocking waits escalate: spin on-core for short waits, yield for medium
+/// ones, and sleep once the peer has clearly stalled — a stalled peer must
+/// not burn a core at 100%. TryPushFor() adds a deadline on top, for callers
+/// that need to distinguish "slow" from "gone".
 ///
 /// This is the fan-out primitive of ParallelMultiQueryRunner: the driver
 /// thread is the single producer for every worker's queue, and each worker
@@ -43,24 +56,61 @@ class SpscQueue {
     return tail - head;
   }
 
-  /// Producer side. Returns false when the ring is full.
+  /// Marks the queue closed (sticky; either side may call it). Elements
+  /// already in the ring stay poppable.
+  void Close() { closed_.store(true, std::memory_order_release); }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Producer side. Returns false when the ring is full or the queue is
+  /// closed; `value` is only consumed (moved from) on success.
   bool TryPush(T&& value) {
     const size_t tail = tail_.load(std::memory_order_relaxed);
     if (tail - head_.load(std::memory_order_acquire) == slots_.size()) {
       return false;
     }
+    if (closed()) return false;
     slots_[tail & mask_] = std::move(value);
     tail_.store(tail + 1, std::memory_order_release);
     return true;
   }
 
-  /// Producer side; spins (then yields) until the consumer makes room.
-  void Push(T value) {
+  /// Producer side; blocks (spin → yield → sleep) until the consumer makes
+  /// room. Returns false — with `value` dropped — only if the queue closes
+  /// while waiting.
+  bool Push(T value) {
     Backoff backoff;
-    while (!TryPush(std::move(value))) backoff.Pause();
+    while (!TryPush(std::move(value))) {
+      if (closed()) return false;
+      backoff.Pause();
+    }
+    return true;
   }
 
-  /// Consumer side. Returns false when the ring is empty.
+  /// Producer side with a deadline: blocks at most ~`timeout_us` wall
+  /// microseconds. Returns false on timeout or close; `value` is only
+  /// consumed on success, so the caller can retry or requeue it.
+  bool TryPushFor(T&& value, DurationUs timeout_us) {
+    Backoff backoff;
+    TimestampUs deadline = 0;  // Resolved lazily: the fast path never reads
+                               // the clock.
+    while (!TryPush(std::move(value))) {
+      if (closed()) return false;
+      if (backoff.spins >= Backoff::kSpinLimit) {
+        const TimestampUs now = WallClockMicros();
+        if (deadline == 0) {
+          deadline = now + timeout_us;
+        } else if (now >= deadline) {
+          return false;
+        }
+      }
+      backoff.Pause();
+    }
+    return true;
+  }
+
+  /// Consumer side. Returns false when the ring is empty (even if closed:
+  /// close never discards published elements).
   bool TryPop(T* out) {
     const size_t head = head_.load(std::memory_order_relaxed);
     if (head == tail_.load(std::memory_order_acquire)) return false;
@@ -69,20 +119,36 @@ class SpscQueue {
     return true;
   }
 
-  /// Consumer side; spins (then yields) until an element is available.
-  T Pop() {
-    T out;
+  /// Consumer side; blocks (spin → yield → sleep) until an element is
+  /// available. Returns false only when the queue is closed *and* drained.
+  bool Pop(T* out) {
     Backoff backoff;
-    while (!TryPop(&out)) backoff.Pause();
-    return out;
+    while (!TryPop(out)) {
+      // Check closed before the final empty test: a producer that pushes
+      // and then closes is never missed (push precedes close).
+      if (closed()) return TryPop(out);
+      backoff.Pause();
+    }
+    return true;
   }
 
  private:
   struct Backoff {
+    static constexpr int kSpinLimit = 64;
+
     int spins = 0;
     void Pause() {
-      if (++spins < 64) return;  // Stay on-core while the wait is short.
-      std::this_thread::yield();
+      ++spins;
+      if (spins < kSpinLimit) return;  // On-core while the wait is short.
+      if (spins < 4096) {
+        std::this_thread::yield();
+        return;
+      }
+      // The peer has been unresponsive for thousands of iterations: stop
+      // burning the core. Short naps first (a GC-less pipeline usually
+      // resumes fast), longer ones once the stall is clearly persistent.
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(spins < 65536 ? 50 : 500));
     }
   };
 
@@ -97,6 +163,7 @@ class SpscQueue {
   size_t mask_;
   alignas(64) std::atomic<size_t> head_{0};  // Next slot to pop (consumer).
   alignas(64) std::atomic<size_t> tail_{0};  // Next slot to fill (producer).
+  alignas(64) std::atomic<bool> closed_{false};
 };
 
 }  // namespace streamq

@@ -124,9 +124,10 @@ void AqKSlack::Adapt(TimestampUs now) {
       std::clamp(target_p - p_, -options_.max_step, options_.max_step);
   p_ += step;
 
-  // --- Translate the quantile setpoint into a concrete slack.
+  // --- Translate the quantile setpoint into a concrete slack (clamped so
+  // the control loop cannot request a buffer the cap forbids).
   const DurationUs old_k = k_;
-  k_ = static_cast<DurationUs>(std::ceil(LatenessQuantile(p_)));
+  k_ = ClampSlack(static_cast<DurationUs>(std::ceil(LatenessQuantile(p_))));
 
   if (observer_ != nullptr) {
     if (k_ != old_k) observer_->OnSlackChanged(old_k, k_);

@@ -31,6 +31,20 @@ class BufferedHandlerBase : public DisorderHandler {
     buffer_.SetEngine(engine);
   }
 
+  void set_buffer_cap(size_t max_buffered_events, ShedPolicy policy) override {
+    max_buffered_events_ = max_buffered_events;
+    shed_policy_ = policy;
+  }
+
+  void set_max_slack(DurationUs max_slack) override {
+    max_slack_ = max_slack < 0 ? 0 : max_slack;
+  }
+
+  /// Sheds down to `target` occupancy (see DisorderHandler). Out-of-line:
+  /// this only runs when the cap is hit, never on the uncapped hot path.
+  size_t ShedToOccupancy(size_t target, ShedPolicy policy, TimestampUs now,
+                         EventSink* sink) override;
+
   /// Advances the frontier to the promised bound and releases with the
   /// handler's current slack. Works for every buffered handler because the
   /// release bound is current_slack(), which subclasses keep up to date.
@@ -52,6 +66,10 @@ class BufferedHandlerBase : public DisorderHandler {
     last_activity_ = std::max(last_activity_, e.arrival_time);
     t_max_ = (t_max_ == kMinTimestamp) ? e.event_time
                                        : std::max(t_max_, e.event_time);
+    if (max_buffered_events_ != 0 &&
+        buffer_.size() >= max_buffered_events_) [[unlikely]] {
+      if (!MakeRoomForIngest(e, sink)) return false;
+    }
     if (emitted_frontier_ != kMinTimestamp &&
         e.event_time < emitted_frontier_) {
       ++stats_.events_late;
@@ -126,6 +144,15 @@ class BufferedHandlerBase : public DisorderHandler {
   /// Drains the entire buffer (end of stream) and emits kMaxTimestamp.
   void DrainAll(TimestampUs now, EventSink* sink);
 
+  /// Applies the adaptive-K clamp (no-op when max_slack is unset).
+  /// Subclasses call this on every recomputed K so control loops cannot
+  /// request a buffer the cap forbids.
+  DurationUs ClampSlack(DurationUs k) const {
+    return (max_slack_ > 0 && k > max_slack_) ? max_slack_ : k;
+  }
+
+  DurationUs max_slack() const { return max_slack_; }
+
   ReorderBuffer buffer_;
   TimestampUs t_max_ = kMinTimestamp;
   TimestampUs emitted_frontier_ = kMinTimestamp;
@@ -134,6 +161,14 @@ class BufferedHandlerBase : public DisorderHandler {
   TimestampUs last_activity_ = 0;
 
  private:
+  /// Cold path of Ingest: the buffer is at its cap. Returns true if the
+  /// caller should proceed to buffer `e` (room was made, or `e` will be
+  /// diverted late anyway), false if `e` was consumed (kDropNewest).
+  bool MakeRoomForIngest(const Event& e, EventSink* sink);
+
+  size_t max_buffered_events_ = 0;
+  ShedPolicy shed_policy_ = ShedPolicy::kEmitEarly;
+  DurationUs max_slack_ = 0;
   std::vector<Event> release_scratch_;
 };
 

@@ -7,14 +7,28 @@
 
 namespace streamq {
 
+const char* ShedPolicyName(ShedPolicy policy) {
+  switch (policy) {
+    case ShedPolicy::kEmitEarly:
+      return "emit-early";
+    case ShedPolicy::kDropNewest:
+      return "drop-newest";
+    case ShedPolicy::kDropOldest:
+      return "drop-oldest";
+  }
+  return "?";
+}
+
 std::string DisorderHandlerStats::ToString() const {
-  char buf[256];
+  char buf[320];
   std::snprintf(buf, sizeof(buf),
-                "HandlerStats{in=%lld out=%lld late=%lld max_buf=%lld "
-                "lat_mean=%s lat_max=%s}",
+                "HandlerStats{in=%lld out=%lld late=%lld shed=%lld "
+                "forced=%lld max_buf=%lld lat_mean=%s lat_max=%s}",
                 static_cast<long long>(events_in),
                 static_cast<long long>(events_out),
                 static_cast<long long>(events_late),
+                static_cast<long long>(events_shed),
+                static_cast<long long>(events_force_released),
                 static_cast<long long>(max_buffer_size),
                 FormatDuration(static_cast<DurationUs>(
                                    buffering_latency_us.mean()))

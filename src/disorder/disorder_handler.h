@@ -18,7 +18,31 @@ namespace streamq {
 
 class PipelineObserver;
 
+/// What a capped handler does with the excess tuple when an arrival finds
+/// the reorder buffer at its `max_buffered_events` bound. Every policy
+/// keeps the memory bound hard; they differ in *which* tuple pays and in
+/// whether it is still visible downstream.
+enum class ShedPolicy : int {
+  /// Force-release the oldest buffered tuples now, advancing the output
+  /// watermark to the last released event time. Nothing is discarded —
+  /// the quality loss is indirect: tuples later than the force-advanced
+  /// watermark are diverted late. The default.
+  kEmitEarly,
+  /// Discard the incoming tuple (counted in events_shed).
+  kDropNewest,
+  /// Discard the oldest buffered tuple (counted in events_shed). The
+  /// watermark does not move, so ordering guarantees are unaffected.
+  kDropOldest,
+};
+
+/// Short stable name, e.g. "emit-early".
+const char* ShedPolicyName(ShedPolicy policy);
+
 /// Instrumentation shared by all disorder handlers.
+///
+/// Accounting identity (after Flush): events_in == events_out +
+/// events_late + events_shed. events_dropped is a subset of events_late;
+/// events_force_released is a subset of events_out.
 struct DisorderHandlerStats {
   int64_t events_in = 0;
   int64_t events_out = 0;
@@ -28,6 +52,13 @@ struct DisorderHandlerStats {
   /// Tuples discarded entirely (beyond a handler's allowed lateness); a
   /// subset of the quality loss that is not even visible downstream.
   int64_t events_dropped = 0;
+  /// Tuples discarded by the buffer cap (kDropNewest/kDropOldest): quality
+  /// loss the memory bound charged directly.
+  int64_t events_shed = 0;
+  /// Tuples the cap forced out early (kEmitEarly). They still reached the
+  /// sink (and are counted in events_out); the loss shows up as extra
+  /// events_late behind the force-advanced watermark.
+  int64_t events_force_released = 0;
   /// Largest buffer occupancy observed.
   int64_t max_buffer_size = 0;
 
@@ -104,6 +135,36 @@ class DisorderHandler {
   /// that do not buffer.
   virtual void set_buffer_engine(ReorderBuffer::Engine engine) {
     (void)engine;
+  }
+
+  /// Hard bound on buffered tuples (0 = unbounded, the default). When an
+  /// arrival finds the buffer at the cap, the handler sheds per `policy`
+  /// and accounts the loss in events_shed / events_force_released. A keyed
+  /// handler treats the cap as a *global* budget across all keys. No-op
+  /// for handlers that do not buffer.
+  virtual void set_buffer_cap(size_t max_buffered_events, ShedPolicy policy) {
+    (void)max_buffered_events;
+    (void)policy;
+  }
+
+  /// Clamp on the slack K an adaptive handler may request (0 = unbounded,
+  /// the default). Bounds the buffer the LB/AQ/MP control loops can ask
+  /// for even when their estimators say otherwise. No-op for handlers with
+  /// a static bound.
+  virtual void set_max_slack(DurationUs max_slack) { (void)max_slack; }
+
+  /// Sheds buffered tuples until occupancy is at most `target`, applying
+  /// `policy` (kEmitEarly emits through `sink`; kDropOldest discards;
+  /// kDropNewest is an arrival-side policy and sheds nothing here).
+  /// Returns the number of tuples removed. Used by composite handlers to
+  /// reclaim budget from their fullest shard.
+  virtual size_t ShedToOccupancy(size_t target, ShedPolicy policy,
+                                 TimestampUs now, EventSink* sink) {
+    (void)target;
+    (void)policy;
+    (void)now;
+    (void)sink;
+    return 0;
   }
 
   const DisorderHandlerStats& stats() const { return stats_; }

@@ -39,7 +39,25 @@ DisorderHandlerSpec DisorderHandlerSpec::WithBufferEngine(
   return s;
 }
 
+DisorderHandlerSpec DisorderHandlerSpec::WithBufferCap(
+    size_t max_buffered_events, ShedPolicy policy) const {
+  DisorderHandlerSpec s = *this;
+  s.max_buffered_events = max_buffered_events;
+  s.shed_policy = policy;
+  return s;
+}
+
+DisorderHandlerSpec DisorderHandlerSpec::WithMaxSlack(
+    DurationUs max_slack) const {
+  DisorderHandlerSpec s = *this;
+  s.max_slack = max_slack;
+  return s;
+}
+
 Status DisorderHandlerSpec::Validate() const {
+  if (max_slack < 0) {
+    return Status::InvalidArgument("spec: max_slack must be >= 0");
+  }
   switch (kind) {
     case Kind::kPassThrough:
       break;
@@ -149,6 +167,14 @@ DisorderHandlerSpec DisorderHandlerSpec::Watermark(
 }
 
 std::string DisorderHandlerSpec::Describe() const {
+  if (max_buffered_events != 0) {
+    DisorderHandlerSpec inner = *this;
+    inner.max_buffered_events = 0;
+    char cap[64];
+    std::snprintf(cap, sizeof(cap), "+cap(%zu,%s)", max_buffered_events,
+                  ShedPolicyName(shed_policy));
+    return inner.Describe() + cap;
+  }
   if (per_key) {
     DisorderHandlerSpec inner = *this;
     inner.per_key = false;
@@ -193,6 +219,9 @@ std::unique_ptr<DisorderHandler> BuildHandlerInner(
     const DisorderHandlerSpec& spec) {
   if (spec.per_key && spec.kind != DisorderHandlerSpec::Kind::kPassThrough) {
     DisorderHandlerSpec inner = spec.PerKey(false);
+    // The keyed wrapper enforces the cap as one global budget across all
+    // keys; shards stay uncapped (max_slack still reaches them below).
+    inner.max_buffered_events = 0;
     return std::make_unique<KeyedDisorderHandler>(
         [inner] { return BuildHandler(inner); });
   }
@@ -237,6 +266,12 @@ std::unique_ptr<DisorderHandler> BuildHandler(const DisorderHandlerSpec& spec) {
   // remembers the engine for shards created later, and shard specs reach
   // here again through the factory recursion.
   handler->set_buffer_engine(spec.buffer_engine);
+  if (spec.max_buffered_events != 0) {
+    handler->set_buffer_cap(spec.max_buffered_events, spec.shed_policy);
+  }
+  if (spec.max_slack > 0) {
+    handler->set_max_slack(spec.max_slack);
+  }
   return handler;
 }
 

@@ -53,6 +53,18 @@ struct DisorderHandlerSpec {
   /// default; kHeap is the reference engine for equivalence checks.
   ReorderBuffer::Engine buffer_engine = ReorderBuffer::Engine::kRing;
 
+  /// Hard cap on buffered tuples (0 = unbounded). Applied to the top-level
+  /// handler only: for a per-key spec the keyed wrapper enforces it as one
+  /// global budget across all keys (shards stay uncapped).
+  size_t max_buffered_events = 0;
+
+  /// What to shed when an arrival finds the buffer at the cap.
+  ShedPolicy shed_policy = ShedPolicy::kEmitEarly;
+
+  /// Clamp on the slack K adaptive handlers may request (0 = unbounded).
+  /// Propagated to every layer, shards included.
+  DurationUs max_slack = 0;
+
   /// Named constructors — the supported way to build a spec. Each sets
   /// exactly the fields its kind reads; combine with the chainable
   /// modifiers below instead of assigning fields directly.
@@ -70,6 +82,13 @@ struct DisorderHandlerSpec {
   DisorderHandlerSpec PerKey(bool enabled = true) const;
   DisorderHandlerSpec WithLatencySamples(bool enabled) const;
   DisorderHandlerSpec WithBufferEngine(ReorderBuffer::Engine engine) const;
+  /// Bounded-memory degradation: cap the buffer at `max_buffered_events`
+  /// tuples, shedding per `policy` (0 removes the cap).
+  DisorderHandlerSpec WithBufferCap(
+      size_t max_buffered_events,
+      ShedPolicy policy = ShedPolicy::kEmitEarly) const;
+  /// Clamp adaptive K at `max_slack` microseconds (0 removes the clamp).
+  DisorderHandlerSpec WithMaxSlack(DurationUs max_slack) const;
 
   /// Checks every field the configured kind reads (slack signs, quantile
   /// bounds, controller gains, gamma). MakeDisorderHandler calls this, so a

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "core/pipeline_observer.h"
 
 namespace streamq {
 
@@ -110,6 +111,10 @@ struct KeyedDisorderHandler::Shard {
   /// Cached aggregate contributions (see FinishShardOp).
   DurationUs last_slack = 0;
   size_t last_buffered = 0;
+  /// Inner events_dropped already mirrored into the keyed stats. Drops
+  /// (e.g. a watermark reorderer discarding beyond allowed lateness) never
+  /// reach the intercept, so they must be reconciled from the inner stats.
+  int64_t last_dropped = 0;
   /// This shard's position in wm_heap_.
   size_t heap_pos = 0;
   Intercept intercept;
@@ -166,6 +171,9 @@ KeyedDisorderHandler::Shard* KeyedDisorderHandler::Route(int64_t key) {
     if (has_buffer_engine_) {
       owned->handler->set_buffer_engine(buffer_engine_);
     }
+    if (max_slack_ > 0) {
+      owned->handler->set_max_slack(max_slack_);
+    }
     shard = owned.get();
     shards_.push_back(std::move(owned));
     InsertProbe(static_cast<uint32_t>(shards_.size() - 1));
@@ -205,6 +213,15 @@ void KeyedDisorderHandler::FinishShardOp(Shard* shard) {
   const DurationUs s = shard->handler->current_slack();
   slack_sum_ += s - shard->last_slack;
   shard->last_slack = s;
+  // Mirror silent inner drops (counted late+dropped there, no sink
+  // callback) so the keyed conservation identity in == out + late + shed
+  // stays exact.
+  const int64_t dropped = shard->handler->stats().events_dropped;
+  if (dropped != shard->last_dropped) {
+    stats_.events_late += dropped - shard->last_dropped;
+    stats_.events_dropped += dropped - shard->last_dropped;
+    shard->last_dropped = dropped;
+  }
 }
 
 void KeyedDisorderHandler::ObserveOccupancy(size_t occupancy) {
@@ -213,7 +230,59 @@ void KeyedDisorderHandler::ObserveOccupancy(size_t occupancy) {
   }
 }
 
+bool KeyedDisorderHandler::MakeRoomForArrival(const Event& e,
+                                              EventSink* sink) {
+  if (shed_policy_ == ShedPolicy::kDropNewest) {
+    ++stats_.events_in;
+    ++stats_.events_shed;
+    last_stream_time_ = std::max(last_stream_time_, e.arrival_time);
+    if (shard_observer_ != nullptr) {
+      shard_observer_->OnShed(1, shed_policy_);
+    }
+    return false;
+  }
+  // Shed one tuple from the fullest shard through its armed intercept, so
+  // releases, per-key watermarks and the merged minimum all follow the
+  // normal bookkeeping.
+  Shard* donor = shed_donor_;
+  if (donor == nullptr || donor->last_buffered == 0) {
+    donor = nullptr;
+    for (const auto& s : shards_) {
+      if (donor == nullptr || s->last_buffered > donor->last_buffered) {
+        donor = s.get();
+      }
+    }
+    shed_donor_ = donor;
+  }
+  if (donor == nullptr || donor->last_buffered == 0) {
+    // Aggregate says full but no shard holds tuples — cannot happen; be
+    // permissive rather than wedge the stream.
+    return true;
+  }
+  donor->intercept.Arm(sink, e.arrival_time, /*use_fixed_now=*/false,
+                       /*defer_merged=*/false,
+                       buffered_total_ - donor->last_buffered);
+  const size_t shed = donor->handler->ShedToOccupancy(
+      donor->last_buffered - 1, shed_policy_, e.arrival_time,
+      &donor->intercept);
+  FinishShardOp(donor);
+  // Mirror the inner handler's accounting at the keyed level (the inner
+  // stats are not merged upward; the intercept already counted any
+  // emit-early releases in events_out). The inner handler also notified
+  // the observer, so no OnShed here.
+  if (shed_policy_ == ShedPolicy::kEmitEarly) {
+    stats_.events_force_released += static_cast<int64_t>(shed);
+  } else {
+    stats_.events_shed += static_cast<int64_t>(shed);
+  }
+  return true;
+}
+
 void KeyedDisorderHandler::OnEvent(const Event& e, EventSink* sink) {
+  if (max_buffered_events_ != 0 &&
+      buffered_total_ >= max_buffered_events_) [[unlikely]] {
+    if (!MakeRoomForArrival(e, sink)) return;
+  }
   ++stats_.events_in;
   last_stream_time_ = std::max(last_stream_time_, e.arrival_time);
   Shard* shard = (last_shard_ != nullptr && last_key_ == e.key)
@@ -237,6 +306,16 @@ void KeyedDisorderHandler::OnBatch(std::span<const Event> batch,
     while (j < n && batch[j].key == key) {
       run_max_arrival = std::max(run_max_arrival, batch[j].arrival_time);
       ++j;
+    }
+    if (max_buffered_events_ != 0 &&
+        buffered_total_ + (j - i) > max_buffered_events_) [[unlikely]] {
+      // The run could overflow the global budget mid-way; fall back to
+      // per-event dispatch so every arrival makes its own room. (When the
+      // whole run provably fits — each arrival adds at most one buffered
+      // tuple — the fast path below cannot violate the cap.)
+      for (size_t k = i; k < j; ++k) OnEvent(batch[k], sink);
+      i = j;
+      continue;
     }
     stats_.events_in += static_cast<int64_t>(j - i);
     last_stream_time_ = std::max(last_stream_time_, run_max_arrival);
@@ -354,6 +433,21 @@ void KeyedDisorderHandler::set_buffer_engine(ReorderBuffer::Engine engine) {
   buffer_engine_ = engine;
   for (const auto& shard : shards_) {
     shard->handler->set_buffer_engine(engine);
+  }
+}
+
+void KeyedDisorderHandler::set_buffer_cap(size_t max_buffered_events,
+                                          ShedPolicy policy) {
+  // Deliberately NOT propagated to the shards: the cap is one global
+  // budget, enforced here, not a per-key allowance.
+  max_buffered_events_ = max_buffered_events;
+  shed_policy_ = policy;
+}
+
+void KeyedDisorderHandler::set_max_slack(DurationUs max_slack) {
+  max_slack_ = max_slack < 0 ? 0 : max_slack;
+  for (const auto& shard : shards_) {
+    shard->handler->set_max_slack(max_slack_);
   }
 }
 

@@ -75,6 +75,15 @@ class KeyedDisorderHandler : public DisorderHandler {
   /// future. Only legal before the first arrival.
   void set_buffer_engine(ReorderBuffer::Engine engine) override;
 
+  /// Global buffer budget across all keys: the keyed handler enforces the
+  /// cap itself (the inner handlers stay uncapped) by shedding from the
+  /// fullest shard before dispatching an arrival that would overflow it.
+  void set_buffer_cap(size_t max_buffered_events, ShedPolicy policy) override;
+
+  /// Propagates the adaptive-K clamp to every inner handler, existing and
+  /// future.
+  void set_max_slack(DurationUs max_slack) override;
+
  private:
   struct Shard;
 
@@ -94,6 +103,11 @@ class KeyedDisorderHandler : public DisorderHandler {
   /// peak, and the slack sum.
   void FinishShardOp(Shard* shard);
   void ObserveOccupancy(size_t occupancy);
+
+  /// Cold path when the global budget is exhausted: sheds one tuple from
+  /// the fullest shard (kEmitEarly/kDropOldest) or consumes the arrival
+  /// (kDropNewest). Returns true if the caller should dispatch `e`.
+  bool MakeRoomForArrival(const Event& e, EventSink* sink);
 
   /// Re-heaps after `shard`'s watermark rose.
   void RaiseShardWatermark(Shard* shard);
@@ -124,6 +138,16 @@ class KeyedDisorderHandler : public DisorderHandler {
   PipelineObserver* shard_observer_ = nullptr;
   bool has_buffer_engine_ = false;
   ReorderBuffer::Engine buffer_engine_ = ReorderBuffer::Engine::kRing;
+
+  /// Global buffer budget (0 = unbounded) and the policy applied when it
+  /// is exhausted.
+  size_t max_buffered_events_ = 0;
+  ShedPolicy shed_policy_ = ShedPolicy::kEmitEarly;
+  /// Adaptive-K clamp handed to every inner handler.
+  DurationUs max_slack_ = 0;
+  /// Donor memo for shedding: the last known fullest shard. Reused until
+  /// it empties, then rescanned — amortized O(1) under a sustained storm.
+  Shard* shed_donor_ = nullptr;
 
   /// Incremental aggregates over shards (satellite: O(1) reads).
   size_t buffered_total_ = 0;

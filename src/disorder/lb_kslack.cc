@@ -94,7 +94,8 @@ void LbKSlack::Adapt() {
       std::clamp(target_p - p_, -options_.max_step, options_.max_step);
   p_ += step;
   const DurationUs old_k = k_;
-  k_ = static_cast<DurationUs>(std::ceil(lateness_sketch_.Quantile(p_)));
+  k_ = ClampSlack(
+      static_cast<DurationUs>(std::ceil(lateness_sketch_.Quantile(p_))));
 
   if (observer_ != nullptr) {
     if (k_ != old_k) observer_->OnSlackChanged(old_k, k_);

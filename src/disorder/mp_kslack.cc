@@ -16,8 +16,8 @@ MpKSlack::MpKSlack(const Options& options)
 void MpKSlack::ObserveLateness(DurationUs lateness) {
   const DurationUs old_k = k_;
   if (options_.mode == Mode::kGrowOnly) {
-    const auto scaled = static_cast<DurationUs>(
-        std::ceil(static_cast<double>(lateness) * options_.safety_factor));
+    const auto scaled = ClampSlack(static_cast<DurationUs>(
+        std::ceil(static_cast<double>(lateness) * options_.safety_factor)));
     if (scaled > k_) k_ = scaled;
   } else {
     // Sliding max over the last window_size observations.
@@ -31,8 +31,8 @@ void MpKSlack::ObserveLateness(DurationUs lateness) {
     }
     const DurationUs bound =
         max_deque_.empty() ? 0 : max_deque_.front().second;
-    k_ = static_cast<DurationUs>(
-        std::ceil(static_cast<double>(bound) * options_.safety_factor));
+    k_ = ClampSlack(static_cast<DurationUs>(
+        std::ceil(static_cast<double>(bound) * options_.safety_factor)));
   }
   if (observer_ != nullptr && k_ != old_k) {
     observer_->OnSlackChanged(old_k, k_);

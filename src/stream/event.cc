@@ -1,5 +1,6 @@
 #include "stream/event.h"
 
+#include <cmath>
 #include <cstdio>
 
 namespace streamq {
@@ -12,6 +13,26 @@ std::string ToString(const Event& e) {
                 static_cast<long long>(e.event_time),
                 static_cast<long long>(e.arrival_time), e.value);
   return buf;
+}
+
+Status ValidateEvent(const Event& e) {
+  if (!std::isfinite(e.value)) {
+    return Status::InvalidArgument("event value is not finite: " +
+                                   ToString(e));
+  }
+  if (e.event_time < 0 || e.arrival_time < 0) {
+    return Status::InvalidArgument("negative timestamp: " + ToString(e));
+  }
+  if (e.event_time > kMaxValidTimestamp ||
+      e.arrival_time > kMaxValidTimestamp) {
+    return Status::InvalidArgument("timestamp overflows valid range: " +
+                                   ToString(e));
+  }
+  if (e.arrival_time < e.event_time) {
+    return Status::InvalidArgument("arrival precedes event time: " +
+                                   ToString(e));
+  }
+  return Status::OK();
 }
 
 bool IsEventTimeOrdered(const std::vector<Event>& events) {

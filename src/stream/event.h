@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "common/time.h"
 
 namespace streamq {
@@ -58,6 +59,21 @@ struct ArrivalTimeLess {
 /// Renders an event for debugging, e.g.
 /// "Event{id=3 key=1 ts=1000 at=1500 v=2.5}".
 std::string ToString(const Event& e);
+
+/// Largest timestamp a well-formed tuple may carry. Half the int64 range:
+/// leaves headroom so window arithmetic (end = start + size, watermark +
+/// slack) cannot overflow even for the last valid tuple.
+inline constexpr TimestampUs kMaxValidTimestamp = kMaxTimestamp / 2;
+
+/// Structural sanity check for one arrival, used by ingest validation
+/// (ContinuousQuery::IngestValidation). Rejects tuples no handler can
+/// process meaningfully:
+///  * non-finite value (NaN/Inf) — poisons any aggregate it touches,
+///  * negative event or arrival time,
+///  * timestamps beyond kMaxValidTimestamp (window-arithmetic overflow),
+///  * arrival_time < event_time (clock regression; delay() would be
+///    negative and lateness estimators would corrupt).
+Status ValidateEvent(const Event& e);
 
 /// Checks whether `events` is sorted by event time (the property every
 /// disorder handler must establish on its output).

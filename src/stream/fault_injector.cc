@@ -1,0 +1,162 @@
+#include "stream/fault_injector.h"
+
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace streamq {
+
+namespace {
+
+Status ValidateProb(double p, const char* name) {
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument(std::string("fault spec: ") + name +
+                                   " must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status FaultSpec::Validate() const {
+  STREAMQ_RETURN_NOT_OK(ValidateProb(drop_prob, "drop_prob"));
+  STREAMQ_RETURN_NOT_OK(ValidateProb(duplicate_prob, "duplicate_prob"));
+  STREAMQ_RETURN_NOT_OK(
+      ValidateProb(timestamp_corrupt_prob, "timestamp_corrupt_prob"));
+  STREAMQ_RETURN_NOT_OK(ValidateProb(value_corrupt_prob, "value_corrupt_prob"));
+  STREAMQ_RETURN_NOT_OK(ValidateProb(stall_prob, "stall_prob"));
+  STREAMQ_RETURN_NOT_OK(ValidateProb(burst_prob, "burst_prob"));
+  if (stall_us < 0) {
+    return Status::InvalidArgument("fault spec: stall_us must be >= 0");
+  }
+  if (burst_len <= 0) {
+    return Status::InvalidArgument("fault spec: burst_len must be > 0");
+  }
+  if (burst_spread_us < 0) {
+    return Status::InvalidArgument("fault spec: burst_spread_us must be >= 0");
+  }
+  return Status::OK();
+}
+
+std::string FaultInjectionStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "FaultInjection{in=%lld out=%lld dropped=%lld dup=%lld "
+                "ts_corrupt=%lld val_corrupt=%lld stalls=%lld bursts=%lld}",
+                static_cast<long long>(events_in),
+                static_cast<long long>(events_out),
+                static_cast<long long>(dropped),
+                static_cast<long long>(duplicated),
+                static_cast<long long>(timestamp_corrupted),
+                static_cast<long long>(value_corrupted),
+                static_cast<long long>(stalls),
+                static_cast<long long>(bursts));
+  return buf;
+}
+
+FaultInjectingSource::FaultInjectingSource(EventSource* inner,
+                                           const FaultSpec& spec)
+    : inner_(inner), spec_(spec), rng_(spec.seed) {
+  STREAMQ_CHECK(inner != nullptr);
+  STREAMQ_CHECK_OK(spec.Validate());
+}
+
+void FaultInjectingSource::CorruptTimestamps(Event* e) {
+  ++stats_.timestamp_corrupted;
+  switch (rng_.NextInt(0, 2)) {
+    case 0:  // Negative event time.
+      e->event_time = -(e->event_time + 1);
+      break;
+    case 1:  // Near the int64 ceiling: bait for window-end arithmetic.
+      e->event_time = kMaxTimestamp - rng_.NextInt(0, Millis(1));
+      break;
+    default:  // Clock regression: the tuple claims to be from the future.
+      e->event_time = e->arrival_time + rng_.NextInt(1, Seconds(1));
+      break;
+  }
+}
+
+void FaultInjectingSource::CorruptValue(Event* e) {
+  ++stats_.value_corrupted;
+  switch (rng_.NextInt(0, 2)) {
+    case 0:
+      e->value = std::numeric_limits<double>::quiet_NaN();
+      break;
+    case 1:
+      e->value = std::numeric_limits<double>::infinity();
+      break;
+    default:
+      e->value = -std::numeric_limits<double>::infinity();
+      break;
+  }
+}
+
+bool FaultInjectingSource::Next(Event* out) {
+  if (pending_dup_.has_value()) {
+    *out = *pending_dup_;
+    pending_dup_.reset();
+    ++stats_.events_out;
+    return true;
+  }
+  Event e;
+  while (inner_->Next(&e)) {
+    ++stats_.events_in;
+    if (spec_.drop_prob > 0.0 && rng_.NextBool(spec_.drop_prob)) {
+      ++stats_.dropped;
+      continue;
+    }
+    if (burst_remaining_ == 0 && spec_.burst_prob > 0.0 &&
+        rng_.NextBool(spec_.burst_prob)) {
+      ++stats_.bursts;
+      burst_remaining_ = spec_.burst_len;
+      burst_start_ = e.arrival_time;
+    }
+    if (burst_remaining_ > 0) {
+      --burst_remaining_;
+      // The whole burst lands at one instant (arrival stays monotone: the
+      // pinned instant is the burst head's arrival) with event times pushed
+      // back, i.e. a sudden spike of lateness.
+      e.arrival_time = burst_start_;
+      if (spec_.burst_spread_us > 0) {
+        e.event_time -= rng_.NextInt(0, spec_.burst_spread_us);
+        if (e.event_time < 0) e.event_time = 0;
+      }
+    }
+    if (spec_.timestamp_corrupt_prob > 0.0 &&
+        rng_.NextBool(spec_.timestamp_corrupt_prob)) {
+      CorruptTimestamps(&e);
+    }
+    if (spec_.value_corrupt_prob > 0.0 &&
+        rng_.NextBool(spec_.value_corrupt_prob)) {
+      CorruptValue(&e);
+    }
+    if (spec_.stall_prob > 0.0 && rng_.NextBool(spec_.stall_prob)) {
+      ++stats_.stalls;
+      if (spec_.stall_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(spec_.stall_us));
+      }
+    }
+    if (spec_.duplicate_prob > 0.0 && rng_.NextBool(spec_.duplicate_prob)) {
+      ++stats_.duplicated;
+      pending_dup_ = e;  // Same id: a true at-least-once duplicate.
+    }
+    *out = e;
+    ++stats_.events_out;
+    return true;
+  }
+  return false;
+}
+
+void FaultInjectingSource::Reset() {
+  inner_->Reset();
+  rng_ = Rng(spec_.seed);
+  stats_ = FaultInjectionStats{};
+  pending_dup_.reset();
+  burst_remaining_ = 0;
+  burst_start_ = 0;
+}
+
+}  // namespace streamq

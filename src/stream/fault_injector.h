@@ -1,0 +1,115 @@
+#ifndef STREAMQ_STREAM_FAULT_INJECTOR_H_
+#define STREAMQ_STREAM_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "stream/source.h"
+
+namespace streamq {
+
+/// Configuration for FaultInjectingSource: per-tuple probabilities for each
+/// fault class, all independent and all off by default. With every
+/// probability at zero the injector is a transparent pass-through.
+///
+/// All randomness flows from `seed` through one deterministic Rng, so a
+/// given (inner stream, spec) pair always produces the identical faulty
+/// stream — chaos runs are replayable bit-for-bit.
+struct FaultSpec {
+  uint64_t seed = 42;
+
+  /// Tuple vanishes (sensor outage, UDP loss).
+  double drop_prob = 0.0;
+
+  /// Tuple is delivered twice, back to back, same id (at-least-once
+  /// upstream retrying).
+  double duplicate_prob = 0.0;
+
+  /// Tuple's timestamps are corrupted; the sub-mode is picked uniformly:
+  /// negative event time, event time near the int64 ceiling (overflow
+  /// bait for window arithmetic), or a clock regression where
+  /// arrival_time < event_time. Every variant is rejected by
+  /// ValidateEvent, so pipelines running with IngestValidation::kOff feel
+  /// the full blast and validated ones count-and-drop it.
+  double timestamp_corrupt_prob = 0.0;
+
+  /// Tuple's value becomes NaN or +/-Inf (sensor glitch).
+  double value_corrupt_prob = 0.0;
+
+  /// The source sleeps `stall_us` of wall time before delivering (upstream
+  /// hiccup; exercises queue backoff and feed timeouts).
+  double stall_prob = 0.0;
+  DurationUs stall_us = Millis(1);
+
+  /// Starts a burst: the next `burst_len` tuples all arrive at the same
+  /// instant (the burst start), each with its event time pushed back by a
+  /// uniform amount up to `burst_spread_us` — a buffered upstream flushing
+  /// at once, i.e. a sudden disorder spike.
+  double burst_prob = 0.0;
+  int64_t burst_len = 32;
+  DurationUs burst_spread_us = Millis(100);
+
+  Status Validate() const;
+};
+
+/// Per-fault-class accounting. events_out = events_in - dropped +
+/// duplicated; the remaining counters classify (non-exclusively) what was
+/// mutated on the way through.
+struct FaultInjectionStats {
+  int64_t events_in = 0;
+  int64_t events_out = 0;
+  int64_t dropped = 0;
+  int64_t duplicated = 0;
+  int64_t timestamp_corrupted = 0;
+  int64_t value_corrupted = 0;
+  int64_t stalls = 0;
+  int64_t bursts = 0;
+
+  std::string ToString() const;
+};
+
+/// EventSource decorator that injects deterministic, seeded faults into an
+/// inner stream: drops, duplicates, timestamp corruption, value corruption,
+/// wall-clock stalls, and disorder bursts (see FaultSpec). The chaos
+/// harness wraps any workload with this and asserts the pipeline degrades
+/// instead of crashing — bounded memory, monotone watermarks, exact
+/// accounting.
+///
+/// The injector does not own the inner source; Reset() resets both the
+/// inner stream and the fault Rng, replaying the identical faulty stream.
+class FaultInjectingSource : public EventSource {
+ public:
+  /// `spec` must Validate(); aborts otherwise (harness misconfiguration).
+  FaultInjectingSource(EventSource* inner, const FaultSpec& spec);
+
+  bool Next(Event* out) override;
+  void Reset() override;
+
+  /// Unknown: drops and duplicates change the count unpredictably.
+  int64_t size_hint() const override { return -1; }
+
+  const FaultInjectionStats& stats() const { return stats_; }
+  const FaultSpec& spec() const { return spec_; }
+
+ private:
+  void CorruptTimestamps(Event* e);
+  void CorruptValue(Event* e);
+
+  EventSource* inner_;
+  FaultSpec spec_;
+  Rng rng_;
+  FaultInjectionStats stats_;
+  /// Duplicate waiting to be delivered on the next pull.
+  std::optional<Event> pending_dup_;
+  /// Remaining tuples in the current burst and its pinned arrival instant.
+  int64_t burst_remaining_ = 0;
+  TimestampUs burst_start_ = 0;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_STREAM_FAULT_INJECTOR_H_

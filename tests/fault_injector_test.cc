@@ -1,0 +1,208 @@
+// FaultInjectingSource unit tests: determinism (same seed, same faulty
+// stream), transparency when every probability is zero, per-fault-class
+// accounting, burst arrival monotonicity, duplicate identity, and spec
+// validation.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "stream/event.h"
+#include "stream/fault_injector.h"
+#include "stream/source.h"
+#include "tests/test_util.h"
+
+namespace streamq {
+namespace {
+
+std::vector<Event> Workload(int64_t n = 2000, uint64_t seed = 7) {
+  return testutil::DisorderedWorkload(n, seed).arrival_order;
+}
+
+std::vector<Event> Drain(EventSource* source) {
+  std::vector<Event> out;
+  Event e;
+  while (source->Next(&e)) out.push_back(e);
+  return out;
+}
+
+/// Bitwise event equality: value compared by bit pattern so NaN == NaN.
+bool SameEvent(const Event& a, const Event& b) {
+  uint64_t va, vb;
+  std::memcpy(&va, &a.value, sizeof(va));
+  std::memcpy(&vb, &b.value, sizeof(vb));
+  return a.id == b.id && a.key == b.key && a.event_time == b.event_time &&
+         a.arrival_time == b.arrival_time && va == vb;
+}
+
+FaultSpec EverythingSpec() {
+  FaultSpec spec;
+  spec.seed = 1234;
+  spec.drop_prob = 0.05;
+  spec.duplicate_prob = 0.05;
+  spec.timestamp_corrupt_prob = 0.02;
+  spec.value_corrupt_prob = 0.02;
+  spec.burst_prob = 0.01;
+  spec.burst_len = 16;
+  spec.burst_spread_us = Millis(50);
+  return spec;
+}
+
+TEST(FaultInjectorTest, SameSeedReplaysTheIdenticalFaultyStream) {
+  VectorSource inner(Workload());
+  FaultInjectingSource faulty(&inner, EverythingSpec());
+  const std::vector<Event> first = Drain(&faulty);
+  const FaultInjectionStats first_stats = faulty.stats();
+
+  faulty.Reset();
+  const std::vector<Event> second = Drain(&faulty);
+
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_TRUE(SameEvent(first[i], second[i])) << "at " << i;
+  }
+  EXPECT_EQ(first_stats.events_in, faulty.stats().events_in);
+  EXPECT_EQ(first_stats.events_out, faulty.stats().events_out);
+  EXPECT_EQ(first_stats.dropped, faulty.stats().dropped);
+  EXPECT_EQ(first_stats.duplicated, faulty.stats().duplicated);
+  EXPECT_EQ(first_stats.timestamp_corrupted,
+            faulty.stats().timestamp_corrupted);
+  EXPECT_EQ(first_stats.value_corrupted, faulty.stats().value_corrupted);
+  EXPECT_EQ(first_stats.bursts, faulty.stats().bursts);
+}
+
+TEST(FaultInjectorTest, AllZeroSpecIsTransparent) {
+  const std::vector<Event> original = Workload();
+  VectorSource inner(original);
+  FaultInjectingSource faulty(&inner, FaultSpec{});
+  const std::vector<Event> out = Drain(&faulty);
+
+  ASSERT_EQ(out.size(), original.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_TRUE(SameEvent(out[i], original[i])) << "at " << i;
+  }
+  const FaultInjectionStats& s = faulty.stats();
+  EXPECT_EQ(s.events_in, static_cast<int64_t>(original.size()));
+  EXPECT_EQ(s.events_out, s.events_in);
+  EXPECT_EQ(s.dropped + s.duplicated + s.timestamp_corrupted +
+                s.value_corrupted + s.stalls + s.bursts,
+            0);
+}
+
+TEST(FaultInjectorTest, DropsReduceOutputByExactlyTheDropCount) {
+  FaultSpec spec;
+  spec.drop_prob = 0.25;
+  VectorSource inner(Workload());
+  FaultInjectingSource faulty(&inner, spec);
+  const std::vector<Event> out = Drain(&faulty);
+  const FaultInjectionStats& s = faulty.stats();
+  EXPECT_GT(s.dropped, 0);
+  EXPECT_EQ(s.events_out, s.events_in - s.dropped);
+  EXPECT_EQ(static_cast<int64_t>(out.size()), s.events_out);
+}
+
+TEST(FaultInjectorTest, DuplicatesArriveBackToBackWithTheSameIdentity) {
+  FaultSpec spec;
+  spec.duplicate_prob = 1.0;
+  const std::vector<Event> original = Workload(500);
+  VectorSource inner(original);
+  FaultInjectingSource faulty(&inner, spec);
+  const std::vector<Event> out = Drain(&faulty);
+  const FaultInjectionStats& s = faulty.stats();
+
+  EXPECT_EQ(s.duplicated, static_cast<int64_t>(original.size()));
+  EXPECT_EQ(s.events_out, s.events_in + s.duplicated);
+  ASSERT_EQ(out.size(), 2 * original.size());
+  for (size_t i = 0; i < out.size(); i += 2) {
+    EXPECT_TRUE(SameEvent(out[i], out[i + 1])) << "pair at " << i;
+  }
+}
+
+TEST(FaultInjectorTest, CorruptedTimestampsAreExactlyTheValidationFailures) {
+  FaultSpec spec;
+  spec.timestamp_corrupt_prob = 0.1;
+  VectorSource inner(Workload());
+  FaultInjectingSource faulty(&inner, spec);
+  const std::vector<Event> out = Drain(&faulty);
+  int64_t invalid = 0;
+  for (const Event& e : out) {
+    if (!ValidateEvent(e).ok()) ++invalid;
+  }
+  EXPECT_GT(faulty.stats().timestamp_corrupted, 0);
+  EXPECT_EQ(invalid, faulty.stats().timestamp_corrupted);
+}
+
+TEST(FaultInjectorTest, CorruptedValuesAreExactlyTheNonFiniteOnes) {
+  FaultSpec spec;
+  spec.value_corrupt_prob = 0.1;
+  VectorSource inner(Workload());
+  FaultInjectingSource faulty(&inner, spec);
+  const std::vector<Event> out = Drain(&faulty);
+  int64_t non_finite = 0;
+  for (const Event& e : out) {
+    if (!std::isfinite(e.value)) ++non_finite;
+  }
+  EXPECT_GT(faulty.stats().value_corrupted, 0);
+  EXPECT_EQ(non_finite, faulty.stats().value_corrupted);
+}
+
+TEST(FaultInjectorTest, BurstsKeepArrivalOrderMonotone) {
+  FaultSpec spec;
+  spec.burst_prob = 0.02;
+  spec.burst_len = 32;
+  spec.burst_spread_us = Millis(200);
+  VectorSource inner(Workload());
+  FaultInjectingSource faulty(&inner, spec);
+  const std::vector<Event> out = Drain(&faulty);
+
+  EXPECT_GT(faulty.stats().bursts, 0);
+  for (size_t i = 1; i < out.size(); ++i) {
+    ASSERT_GE(out[i].arrival_time, out[i - 1].arrival_time) << "at " << i;
+  }
+  // A burst pushes event times back, never past arrival: the faulty stream
+  // is disordered harder but still physically possible.
+  for (const Event& e : out) {
+    ASSERT_LE(e.event_time, e.arrival_time);
+    ASSERT_TRUE(ValidateEvent(e).ok());
+  }
+}
+
+TEST(FaultInjectorTest, StallsSleepButPreserveTheStream) {
+  FaultSpec spec;
+  spec.stall_prob = 1.0;
+  spec.stall_us = 1;  // Keep the wall cost of 100 sleeps negligible.
+  const std::vector<Event> original = Workload(100);
+  VectorSource inner(original);
+  FaultInjectingSource faulty(&inner, spec);
+  const std::vector<Event> out = Drain(&faulty);
+  EXPECT_EQ(faulty.stats().stalls, static_cast<int64_t>(original.size()));
+  ASSERT_EQ(out.size(), original.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_TRUE(SameEvent(out[i], original[i]));
+  }
+}
+
+TEST(FaultInjectorTest, ValidateRejectsMalformedSpecs) {
+  FaultSpec spec;
+  EXPECT_TRUE(spec.Validate().ok());
+  spec.drop_prob = 1.5;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = FaultSpec{};
+  spec.burst_prob = -0.1;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = FaultSpec{};
+  spec.burst_len = 0;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = FaultSpec{};
+  spec.stall_us = -1;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec = FaultSpec{};
+  spec.burst_spread_us = -1;
+  EXPECT_FALSE(spec.Validate().ok());
+}
+
+}  // namespace
+}  // namespace streamq

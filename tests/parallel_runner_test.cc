@@ -7,8 +7,11 @@
 // shard-invariant; with no late tuples at all, entire runs are.
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <tuple>
@@ -56,12 +59,43 @@ TEST(SpscQueueTest, TwoThreadsTransferEverythingInOrder) {
   std::vector<int> received;
   received.reserve(kCount);
   std::thread consumer([&q, &received] {
-    for (int i = 0; i < kCount; ++i) received.push_back(q.Pop());
+    int out = 0;
+    while (q.Pop(&out)) received.push_back(out);
   });
-  for (int i = 0; i < kCount; ++i) q.Push(int(i));
+  for (int i = 0; i < kCount; ++i) EXPECT_TRUE(q.Push(int(i)));
+  q.Close();
   consumer.join();
   ASSERT_EQ(received.size(), static_cast<size_t>(kCount));
   for (int i = 0; i < kCount; ++i) ASSERT_EQ(received[i], i);
+}
+
+TEST(SpscQueueTest, CloseStopsPushesButDrainsPops) {
+  SpscQueue<int> q(4);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  q.Close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.TryPush(3));  // Closed: no new elements.
+  EXPECT_FALSE(q.Push(3));     // Blocking push returns instead of spinning.
+  int out = 0;
+  EXPECT_TRUE(q.Pop(&out));  // Published elements survive the close…
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(q.Pop(&out));  // …then the drained queue reports done.
+}
+
+TEST(SpscQueueTest, TryPushForTimesOutOnFullRingAndKeepsValue) {
+  SpscQueue<std::unique_ptr<int>> q(1);
+  ASSERT_TRUE(q.TryPush(std::make_unique<int>(1)));  // Ring now full.
+  auto value = std::make_unique<int>(2);
+  EXPECT_FALSE(q.TryPushFor(std::move(value), /*timeout_us=*/2000));
+  ASSERT_NE(value, nullptr);  // Only consumed on success.
+  EXPECT_EQ(*value, 2);
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(q.TryPop(&out));
+  EXPECT_TRUE(q.TryPushFor(std::move(value), /*timeout_us=*/2000));
+  EXPECT_EQ(value, nullptr);
 }
 
 // ------------------------------------------------- ParallelMultiQueryRunner
@@ -130,6 +164,55 @@ TEST(ParallelMultiQueryRunnerTest, TinyQueueStillDeliversEverything) {
   EXPECT_GT(reports[0].results.size(), 5u);  // ~9 windows in a 0.4 s stream.
 }
 
+// ------------------------------------------------------ failure containment
+
+/// Observer whose worker-side hook throws after `fuse` releases: simulates
+/// a worker pipeline blowing up mid-run (the hook runs inside
+/// QueryExecutor::FeedBatch on the worker thread).
+class ExplodingObserver : public PipelineObserver {
+ public:
+  explicit ExplodingObserver(int fuse) : remaining_(fuse) {}
+
+  void OnHandlerRelease(int64_t released, size_t buffered_after,
+                        TimestampUs watermark) override {
+    (void)released;
+    (void)buffered_after;
+    (void)watermark;
+    if (remaining_.fetch_sub(1) <= 0) {
+      throw std::runtime_error("injected worker fault");
+    }
+  }
+
+ private:
+  std::atomic<int> remaining_;
+};
+
+TEST(ParallelMultiQueryRunnerTest, WorkerExceptionDegradesInsteadOfCrashing) {
+  const auto w = testutil::DisorderedWorkload(8000);
+  ExplodingObserver observer(/*fuse=*/100);
+  ParallelMultiQueryRunner runner;
+  runner.AddQuery(HandlerQuery("q0", 0.95));
+  runner.AddQuery(HandlerQuery("q1", 0.95));
+  runner.SetObserver(&observer);
+  VectorSource source(w.arrival_order);
+  const auto reports = runner.Run(&source);  // Must return, not terminate.
+  ASSERT_EQ(reports.size(), 2u);
+  int failed = 0;
+  for (const RunReport& r : reports) {
+    if (!r.status.ok()) {
+      ++failed;
+      EXPECT_EQ(r.status.code(), StatusCode::kInternal);
+      EXPECT_NE(r.status.message().find("injected worker fault"),
+                std::string::npos)
+          << r.status.ToString();
+      // The degraded report still covers the prefix processed pre-fault.
+      EXPECT_LT(r.events_processed,
+                static_cast<int64_t>(w.arrival_order.size()));
+    }
+  }
+  EXPECT_GE(failed, 1);  // The fuse fires on at least one worker.
+}
+
 // --------------------------------------------------------- ShardedKeyedRunner
 
 ContinuousQuery KeyedQuery() {
@@ -155,6 +238,19 @@ GeneratedWorkload BoundedDelayWorkload(int64_t n = 6000) {
   cfg.delay.b = 30000.0;  // < K = 50ms: nothing is ever late.
   cfg.seed = 7;
   return GenerateWorkload(cfg);
+}
+
+TEST(ShardedKeyedRunnerTest, WorkerExceptionDegradesInsteadOfCrashing) {
+  const auto w = BoundedDelayWorkload();
+  ExplodingObserver observer(/*fuse=*/50);
+  ShardedKeyedRunner runner(KeyedQuery(), /*num_shards=*/3);
+  runner.SetObserver(&observer);
+  VectorSource source(w.arrival_order);
+  const RunReport merged = runner.Run(&source);  // Must return, not crash.
+  EXPECT_FALSE(merged.status.ok());
+  EXPECT_EQ(merged.status.code(), StatusCode::kInternal);
+  EXPECT_LT(merged.events_processed,
+            static_cast<int64_t>(w.arrival_order.size()));
 }
 
 TEST(ShardedKeyedRunnerTest, ShardOfIsStableAndCoversAllShards) {

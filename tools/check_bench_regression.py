@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
-"""Soft throughput-regression guard for the R-F18/R-F19 benchmarks.
+"""Soft throughput-regression guard for the R-F18/R-F19/R-F20 benchmarks.
 
-Reads a freshly produced benchmark CSV (f18_hotpath.csv or
-f19_disorder.csv, auto-detected from the header) plus the committed
+Reads a freshly produced benchmark CSV (f18_hotpath.csv, f19_disorder.csv
+or f20_degradation.csv, auto-detected from the header) plus the committed
 baseline and applies per-suite checks:
 
 R-F18 (window-operator hot path):
@@ -27,7 +27,19 @@ R-F19 (disorder-stage layout):
      >= 1.3x target is a soft warning (the margin is real but modest, and
      shared runners are noisy).
 
-Both suites: baseline drift (soft) -- fast-engine ns/tuple beyond
+R-F20 (bounded-memory degradation):
+  1. Memory bound (hard): every capped row's max_buffer must be <= cap.
+     The cap is the PR's contract; exceeding it means shedding leaks.
+  2. Cap overhead (hard): in the overhead section the never-binding cap
+     must cost <= OVERHEAD_BOUND x the uncapped run measured in the SAME
+     run (interleaved min-of-N, so the pair is machine-comparable), with
+     identical checksums (a non-binding cap must not change output).
+  3. Shed accounting (hard): in the shed section every capped policy row
+     must actually shed (shed + forced > 0 -- the config is built so the
+     cap binds; zero means the cap silently stopped applying), and the
+     uncapped reference must shed nothing.
+
+All suites: baseline drift (soft) -- fast-engine ns/tuple beyond
 DRIFT_FACTOR x the committed baseline prints a GitHub warning annotation
 but does not fail the job; absolute timings are machine-dependent.
 
@@ -50,6 +62,9 @@ RING_BUFFER_GATED_SIZES = {"size=1e4", "size=1e5", "size=1e6"}
 KEYED_BATCH_TARGET = 1.3
 KEYED_DEEP_PAIR = ("bursty16-deep-perevent", "bursty16-deep-batch256")
 
+# f20: a never-binding cap may cost at most 2% over the uncapped hot path.
+OVERHEAD_BOUND = 1.02
+
 # Kinds with inline AggregateState folds. Heavy kinds (median/quantile/
 # distinct) keep the polymorphic accumulator, so their hot-engine win is
 # only the flat store -- too small to enforce a ratio on.
@@ -67,6 +82,8 @@ def load(path, key_cols):
 def sniff_suite(path):
     with open(path, newline="") as f:
         header = next(csv.reader(f))
+    if "policy" in header:
+        return "f20"
     return "f19" if "section" in header else "f18"
 
 
@@ -187,6 +204,70 @@ def check_f19(args):
     return "f19", configs, failures, warnings
 
 
+def check_f20(args):
+    key_cols = ("section", "config", "policy")
+    current = load(args.current, key_cols)
+    configs = sorted({k[:2] for k in current})
+    failures = []
+    warnings = []
+
+    # 1. The memory bound holds on every capped row.
+    for key, row in current.items():
+        cap = int(row["cap"])
+        if cap > 0 and int(row["max_buffer"]) > cap:
+            failures.append(
+                f"{'/'.join(key)}: max_buffer {row['max_buffer']} exceeds "
+                f"cap {cap}")
+
+    # 2. Overhead pair: same output, <= OVERHEAD_BOUND x cost, same run.
+    for section, config in configs:
+        if section != "overhead":
+            continue
+        uncapped = current.get((section, config, "uncapped"))
+        capped = current.get((section, config, "emit-early"))
+        if uncapped is None or capped is None:
+            failures.append(f"{section}/{config}: missing overhead row")
+            continue
+        if uncapped["checksum"] != capped["checksum"]:
+            failures.append(
+                f"{section}/{config}: non-binding cap changed output "
+                f"(checksum {capped['checksum']} vs {uncapped['checksum']})")
+        u_ns = float(uncapped["ns_per_tuple"])
+        c_ns = float(capped["ns_per_tuple"])
+        if c_ns > u_ns * OVERHEAD_BOUND:
+            failures.append(
+                f"{section}/{config}: capped {c_ns:.2f} ns/tuple vs uncapped "
+                f"{u_ns:.2f} ({c_ns / u_ns:.3f}x, bound {OVERHEAD_BOUND}x)")
+
+    # 3. Shed accounting: capped policies must bind, uncapped must not.
+    for key, row in current.items():
+        if key[0] != "shed":
+            continue
+        lost = int(row["shed"]) + int(row["forced"])
+        if key[2] == "uncapped" and lost != 0:
+            failures.append(f"{'/'.join(key)}: uncapped run shed {lost} tuples")
+        if key[2] != "uncapped" and lost == 0:
+            failures.append(
+                f"{'/'.join(key)}: cap {row['cap']} never bound "
+                f"(shed+forced == 0)")
+
+    # 4. Soft drift vs. committed baseline.
+    if args.baseline:
+        baseline = load(args.baseline, key_cols)
+        for key, row in current.items():
+            base = baseline.get(key)
+            if base is None:
+                continue
+            cur_ns = float(row["ns_per_tuple"])
+            base_ns = float(base["ns_per_tuple"])
+            if cur_ns > base_ns * DRIFT_FACTOR:
+                warnings.append(
+                    f"{'/'.join(key)}: {cur_ns:.2f} ns/tuple vs baseline "
+                    f"{base_ns:.2f} ({cur_ns / base_ns:.2f}x)")
+
+    return "f20", configs, failures, warnings
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("--current", required=True)
@@ -194,7 +275,9 @@ def main():
     args = parser.parse_args()
 
     suite = sniff_suite(args.current)
-    if suite == "f19":
+    if suite == "f20":
+        suite, configs, failures, warnings = check_f20(args)
+    elif suite == "f19":
         suite, configs, failures, warnings = check_f19(args)
     else:
         suite, configs, failures, warnings = check_f18(args)
