@@ -24,6 +24,20 @@
 ///                          on stderr while the stream is running
 ///   --metrics-format=<f>   prom (default) | json
 ///
+/// Parallel runtime (all require --threads, which requires --per-key):
+///   --threads=<n>          run on the sharded keyed runner with n worker
+///                          threads (default 0 = sequential executor)
+///   --vshards=<v>          virtual shards multiplexed over the workers
+///                          (0 = one per worker); must be >= threads
+///   --rebalance            migrate hot shards between workers at safe
+///                          points (single-source runs only)
+///   --mpsc=<p>             feed through p producer threads over lock-free
+///                          MPSC queues; the trace is partitioned into p
+///                          key-disjoint sub-streams (p >= 2)
+///   --pin-cores            pin worker/producer threads to cores
+///                          (best-effort)
+///   --arena=<on|off>       slab-arena batch memory (default on)
+///
 /// Robustness / degradation:
 ///   --buffer-cap=<n>       hard cap on buffered tuples (0 = unbounded)
 ///   --shed=<policy>        emit-early (default) | drop-newest | drop-oldest
@@ -47,9 +61,11 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "core/executor.h"
 #include "core/metrics_observer.h"
+#include "core/parallel_runner.h"
 #include "quality/oracle.h"
 #include "quality/quality_metrics.h"
 #include "stream/disorder_metrics.h"
@@ -77,6 +93,12 @@ struct Flags {
   int64_t print_results = 0;
   std::string metrics_out;
   std::string metrics_format = "prom";
+  int64_t threads = 0;
+  int64_t vshards = 0;
+  bool rebalance = false;
+  bool pin_cores = false;
+  int64_t mpsc = 0;
+  std::string arena = "on";
   int64_t buffer_cap = 0;
   std::string shed = "emit-early";
   int64_t max_slack_ms = 0;
@@ -180,6 +202,18 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->metrics_out = value;
     } else if (ParseFlag(arg, "--metrics-format", &value)) {
       flags->metrics_format = value;
+    } else if (std::strcmp(arg, "--rebalance") == 0) {
+      flags->rebalance = true;
+    } else if (std::strcmp(arg, "--pin-cores") == 0) {
+      flags->pin_cores = true;
+    } else if (ParseFlag(arg, "--threads", &value)) {
+      flags->threads = std::atoll(value.c_str());
+    } else if (ParseFlag(arg, "--vshards", &value)) {
+      flags->vshards = std::atoll(value.c_str());
+    } else if (ParseFlag(arg, "--mpsc", &value)) {
+      flags->mpsc = std::atoll(value.c_str());
+    } else if (ParseFlag(arg, "--arena", &value)) {
+      flags->arena = value;
     } else if (ParseFlag(arg, "--buffer-cap", &value)) {
       flags->buffer_cap = std::atoll(value.c_str());
     } else if (ParseFlag(arg, "--shed", &value)) {
@@ -229,6 +263,53 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
     std::fprintf(stderr, "bad fault flags: %s\n",
                  fault_ok.ToString().c_str());
     return false;
+  }
+  if (flags->threads < 0) {
+    std::fprintf(stderr, "bad --threads: %lld (want >= 0)\n",
+                 static_cast<long long>(flags->threads));
+    return false;
+  }
+  if (flags->arena != "on" && flags->arena != "off") {
+    std::fprintf(stderr, "bad --arena: %s (want on or off)\n",
+                 flags->arena.c_str());
+    return false;
+  }
+  if (flags->threads == 0) {
+    if (flags->vshards != 0 || flags->rebalance || flags->pin_cores ||
+        flags->mpsc != 0) {
+      std::fprintf(stderr,
+                   "--vshards/--rebalance/--pin-cores/--mpsc require "
+                   "--threads=<n>\n");
+      return false;
+    }
+    return true;
+  }
+  if (!flags->per_key) {
+    std::fprintf(stderr,
+                 "--threads shards the key space, so it requires --per-key\n");
+    return false;
+  }
+  if (flags->vshards != 0 && flags->vshards < flags->threads) {
+    std::fprintf(stderr, "bad --vshards: %lld (want 0 or >= --threads)\n",
+                 static_cast<long long>(flags->vshards));
+    return false;
+  }
+  if (flags->mpsc != 0) {
+    if (flags->mpsc < 2) {
+      std::fprintf(stderr, "bad --mpsc: %lld (want >= 2 producers)\n",
+                   static_cast<long long>(flags->mpsc));
+      return false;
+    }
+    if (flags->rebalance) {
+      std::fprintf(stderr, "--rebalance requires a single-source run; "
+                           "drop --mpsc\n");
+      return false;
+    }
+    if (FaultsEnabled(flags->fault)) {
+      std::fprintf(stderr,
+                   "fault injection wraps a single source; drop --mpsc\n");
+      return false;
+    }
   }
   return true;
 }
@@ -342,21 +423,65 @@ int main(int argc, char** argv) {
   }
   builder.ValidateIngest(validation);
 
-  const ContinuousQuery query = builder.Build();
+  ContinuousQuery query = builder.Build();
+  if (flags.threads > 0 && flags.arena == "on") {
+    // Arena mode also backs the reorder buffers with recycled bucket slabs.
+    query.handler = query.handler.WithArena();
+  }
   std::printf("query: %s\n", query.Describe().c_str());
 
   // --- Run.
-  QueryExecutor exec(query);
   CliObserver observer;
   const bool want_metrics = !flags.metrics_out.empty();
-  if (want_metrics) exec.SetObserver(&observer);
   VectorSource source(std::move(events));
   RunReport report;
-  if (FaultsEnabled(flags.fault)) {
+  if (flags.threads > 0) {
+    ParallelOptions popts;
+    popts.use_arena = flags.arena == "on";
+    popts.pin_cores = flags.pin_cores;
+    popts.virtual_shards = static_cast<size_t>(flags.vshards);
+    popts.rebalance = flags.rebalance;
+    ShardedKeyedRunner runner(query, static_cast<size_t>(flags.threads),
+                              popts);
+    if (want_metrics) runner.SetObserver(&observer);
+    if (flags.mpsc > 0) {
+      // Key-disjoint partitions: every key's events flow through exactly one
+      // producer, which keeps per-key first emissions interleaving-invariant
+      // (see ShardedKeyedRunner::RunMultiSource).
+      const size_t parts = static_cast<size_t>(flags.mpsc);
+      std::vector<std::vector<Event>> partitioned(parts);
+      for (const Event& e : source.events()) {
+        partitioned[ShardedKeyedRunner::ShardOf(e.key, parts)].push_back(e);
+      }
+      std::vector<VectorSource> part_sources;
+      part_sources.reserve(parts);
+      for (std::vector<Event>& part : partitioned) {
+        part_sources.emplace_back(std::move(part));
+      }
+      std::vector<EventSource*> sources;
+      sources.reserve(parts);
+      for (VectorSource& s : part_sources) sources.push_back(&s);
+      report = runner.RunMultiSource(sources);
+    } else if (FaultsEnabled(flags.fault)) {
+      FaultInjectingSource faulty(&source, flags.fault);
+      report = runner.Run(&faulty);
+      std::printf("faults: %s\n", faulty.stats().ToString().c_str());
+    } else {
+      report = runner.Run(&source);
+    }
+    if (flags.rebalance) {
+      std::printf("rebalance: %lld shard migration(s)\n",
+                  static_cast<long long>(runner.migrations()));
+    }
+  } else if (FaultsEnabled(flags.fault)) {
+    QueryExecutor exec(query);
+    if (want_metrics) exec.SetObserver(&observer);
     FaultInjectingSource faulty(&source, flags.fault);
     report = exec.Run(&faulty);
     std::printf("faults: %s\n", faulty.stats().ToString().c_str());
   } else {
+    QueryExecutor exec(query);
+    if (want_metrics) exec.SetObserver(&observer);
     report = exec.Run(&source);
   }
   std::printf("%s\n", report.ToString().c_str());

@@ -1,0 +1,23 @@
+#include "common/arena.h"
+
+#include <cstdio>
+
+namespace streamq {
+
+std::string ArenaStats::ToString() const {
+  char buf[256];
+  std::snprintf(
+      buf, sizeof(buf),
+      "ArenaStats{slabs: %lld acquired / %lld reused / %lld recycled / "
+      "%lld dropped, batches: %lld shared / %lld reused, pools: %zu slabs + "
+      "%zu batches}",
+      static_cast<long long>(slab_acquires),
+      static_cast<long long>(slab_reuses),
+      static_cast<long long>(slab_recycles),
+      static_cast<long long>(slab_drops),
+      static_cast<long long>(batch_shares),
+      static_cast<long long>(batch_reuses), free_slabs, free_batches);
+  return buf;
+}
+
+}  // namespace streamq

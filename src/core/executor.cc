@@ -24,6 +24,9 @@ std::string RunReport::ToString() const {
       static_cast<long long>(window_stats.late_dropped),
       static_cast<long long>(handler_stats.events_shed));
   std::string out = buf;
+  if (!runtime_config.empty()) {
+    out += " runtime=[" + runtime_config + "]";
+  }
   if (!status.ok()) {
     out += " status=" + status.ToString();
   }

@@ -47,6 +47,12 @@ struct RunReport {
   /// Handler slack at end of run (instrumentation).
   DurationUs final_slack = 0;
 
+  /// Runtime configuration the run executed under (thread count, feed
+  /// mode, arena/pinning switches, migrations...). Filled by the threaded
+  /// runners so a persisted report says how it was produced; empty for
+  /// plain sequential runs.
+  std::string runtime_config;
+
   std::string ToString() const;
 };
 

@@ -1,0 +1,183 @@
+#ifndef STREAMQ_CORE_MPSC_QUEUE_H_
+#define STREAMQ_CORE_MPSC_QUEUE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/time.h"
+#include "core/queue_backoff.h"
+
+namespace streamq {
+
+/// Bounded multi-producer / single-consumer ring queue.
+///
+/// Vyukov-style: every slot carries a sequence counter. A producer claims a
+/// slot by CAS-advancing `tail_`, writes the value, then publishes it by
+/// bumping the slot's sequence (release); the consumer reads the sequence
+/// (acquire) to know when a claimed slot is actually filled, so producers
+/// never block each other past the one CAS, and there are no locks anywhere.
+/// The single consumer owns `head_` exclusively. Capacity is rounded up to
+/// a power of two (minimum 2: with one slot the "published" and "free next
+/// lap" sequence values coincide and a full ring would look free) so index
+/// wrapping is a mask.
+///
+/// Contract mirrors SpscQueue (the runners treat them interchangeably):
+///
+///  * Close() is sticky and one-way; any side may call it. After close,
+///    pushes fail fast, while pops still drain everything *published*
+///    before the close was observed. A push that already claimed its slot
+///    when the close landed completes normally — the consumer waits for
+///    claimed-but-unpublished slots before declaring the queue drained, so
+///    nothing accepted is ever lost.
+///  * Push() blocks with the shared spin→yield→sleep backoff; TryPushFor()
+///    adds a lazy wall-clock deadline on top so callers can distinguish
+///    "slow" from "gone".
+///  * Pop() returns false only when the queue is closed *and* drained.
+///
+/// Use one consumer thread only. Any number of producers.
+template <typename T>
+class MpscQueue {
+ public:
+  explicit MpscQueue(size_t min_capacity)
+      : capacity_(RoundUpPow2(min_capacity < 2 ? 2 : min_capacity)),
+        mask_(capacity_ - 1),
+        slots_(new Slot[capacity_]) {
+    for (size_t i = 0; i < capacity_; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  size_t capacity() const { return capacity_; }
+
+  /// Approximate occupancy (instrumentation only; racy by nature).
+  size_t size() const {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    const size_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+  /// Marks the queue closed (sticky; any thread may call it). Elements
+  /// already published stay poppable.
+  void Close() { closed_.store(true, std::memory_order_release); }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Producer side. Returns false when the ring is full or the queue is
+  /// closed; `value` is only consumed (moved from) on success.
+  bool TryPush(T&& value) {
+    if (closed()) return false;
+    size_t tail = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Slot& slot = slots_[tail & mask_];
+      const size_t seq = slot.seq.load(std::memory_order_acquire);
+      const intptr_t dif =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(tail);
+      if (dif == 0) {
+        // Slot is free at this lap; race other producers for it.
+        if (tail_.compare_exchange_weak(tail, tail + 1,
+                                        std::memory_order_relaxed)) {
+          slot.value = std::move(value);
+          slot.seq.store(tail + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS updated `tail` to the fresh value; retry with it.
+      } else if (dif < 0) {
+        return false;  // A full lap behind: the ring is full.
+      } else {
+        tail = tail_.load(std::memory_order_relaxed);  // Lost a race; reload.
+      }
+    }
+  }
+
+  /// Producer side; blocks (spin → yield → sleep) until the consumer makes
+  /// room. Returns false — with `value` dropped — only if the queue closes
+  /// while waiting.
+  bool Push(T value) {
+    QueueBackoff backoff;
+    while (!TryPush(std::move(value))) {
+      if (closed()) return false;
+      backoff.Pause();
+    }
+    return true;
+  }
+
+  /// Producer side with a deadline: blocks at most ~`timeout_us` wall
+  /// microseconds. Returns false on timeout or close; `value` is only
+  /// consumed on success, so the caller can retry or requeue it.
+  bool TryPushFor(T&& value, DurationUs timeout_us) {
+    QueueBackoff backoff;
+    TimestampUs deadline = 0;  // Resolved lazily: the fast path never reads
+                               // the clock.
+    while (!TryPush(std::move(value))) {
+      if (closed()) return false;
+      if (backoff.spins >= QueueBackoff::kSpinLimit) {
+        const TimestampUs now = WallClockMicros();
+        if (deadline == 0) {
+          deadline = now + timeout_us;
+        } else if (now >= deadline) {
+          return false;
+        }
+      }
+      backoff.Pause();
+    }
+    return true;
+  }
+
+  /// Consumer side. Returns false when no *published* element is ready
+  /// (even if closed: close never discards published elements).
+  bool TryPop(T* out) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    Slot& slot = slots_[head & mask_];
+    const size_t seq = slot.seq.load(std::memory_order_acquire);
+    if (static_cast<intptr_t>(seq) - static_cast<intptr_t>(head + 1) < 0) {
+      return false;  // Not yet published (empty, or claimed and in flight).
+    }
+    *out = std::move(slot.value);
+    slot.seq.store(head + capacity_, std::memory_order_release);
+    head_.store(head + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Consumer side; blocks (spin → yield → sleep) until an element is
+  /// available. Returns false only when the queue is closed *and* drained —
+  /// including slots claimed before the close but published after it, which
+  /// are waited for, not dropped.
+  bool Pop(T* out) {
+    QueueBackoff backoff;
+    while (!TryPop(out)) {
+      if (closed() &&
+          head_.load(std::memory_order_relaxed) ==
+              tail_.load(std::memory_order_acquire)) {
+        // No claimed slots remain; one final poll closes the races where a
+        // producer published between our TryPop and the closed/tail reads.
+        return TryPop(out);
+      }
+      backoff.Pause();
+    }
+    return true;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<size_t> seq{0};
+    T value{};
+  };
+
+  const size_t capacity_;
+  const size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  alignas(64) std::atomic<size_t> head_{0};  // Next slot to pop (consumer).
+  alignas(64) std::atomic<size_t> tail_{0};  // Next slot to claim (producers).
+  alignas(64) std::atomic<bool> closed_{false};
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_CORE_MPSC_QUEUE_H_

@@ -1,14 +1,20 @@
 #include "core/parallel_runner.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
 #include <exception>
 #include <string>
 #include <thread>
 #include <tuple>
 #include <utility>
 
+#include "common/arena.h"
+#include "common/cpu_affinity.h"
 #include "common/logging.h"
 #include "common/time.h"
+#include "core/mpsc_queue.h"
+#include "core/queue_backoff.h"
 #include "core/spsc_queue.h"
 #include "stream/event.h"
 
@@ -16,68 +22,81 @@ namespace streamq {
 
 namespace {
 
-/// One batch crossing a thread boundary. Shared because the independent
-/// runner publishes the same batch to every worker; nullptr is the
-/// end-of-stream sentinel.
-using BatchPtr = std::shared_ptr<const std::vector<Event>>;
-using BatchQueue = SpscQueue<BatchPtr>;
+using EventBatch = EventArena::Batch;
+using EventSlab = EventArena::Slab;
 
-/// Worker loop shared by both runners: drain the queue into the executor,
-/// then flush. Exceptions are contained on the worker thread — the queue is
-/// closed (so the driver stops feeding), drained (so a blocked driver gets
-/// room and the shared batches are released), and the failure lands in
-/// `*status` for the merged report instead of std::terminate.
-void RunWorker(QueryExecutor* exec, BatchQueue* q, Status* status) {
-  try {
-    BatchPtr batch;
-    while (q->Pop(&batch)) {
-      if (batch == nullptr) break;  // End-of-stream sentinel.
-      exec->FeedBatch(*batch);
-      batch.reset();
-    }
-    exec->Finish();
-  } catch (const std::exception& ex) {
-    *status = Status::Internal(std::string("worker failed: ") + ex.what());
-  } catch (...) {
-    *status = Status::Internal("worker failed: non-standard exception");
-  }
-  if (!status->ok()) {
-    q->Close();
-    BatchPtr drain;
-    while (q->TryPop(&drain)) drain.reset();
-  }
+/// One run-scoped arena for everything crossing the queues: feed scratch,
+/// shard sub-batches, and the batch nodes themselves. use_arena=false keeps
+/// the same code path but disables pooling, so every batch is one heap
+/// allocation freed by whichever thread drops it last — the reference
+/// malloc path.
+EventArena MakeRunArena(const ParallelOptions& options) {
+  EventArena::Options a;
+  a.slab_capacity = options.batch_size;
+  const bool pool = options.use_arena;
+  a.max_free_slabs = pool ? 1024 : 0;
+  a.max_free_batches = pool ? 1024 : 0;
+  return EventArena(a);
 }
 
-/// Driver-side delivery of one batch with bounded patience. Fast path: one
+void MaybePin(const ParallelOptions& options, int core) {
+  // Placement is a hint: a refused mask (cgroup cpuset, unsupported OS)
+  // must never fail the run.
+  if (options.pin_cores) (void)PinCurrentThreadToCore(core);
+}
+
+const char* DescribePin(const ParallelOptions& options) {
+  if (!options.pin_cores) return "off";
+  return CpuPinningSupported() ? "on" : "unsupported";
+}
+
+/// Driver-side delivery of one item with bounded patience. Fast path: one
 /// lock-free TryPush. On a full ring: one backpressure-stall notification,
 /// then deadline pushes with exponentially growing timeouts. Returns false
 /// when the worker was abandoned — either it closed the queue itself
 /// (failure; its own status explains why) or it stayed wedged past every
-/// deadline, in which case `*driver_status` gets ResourceExhausted and the
+/// deadline, in which case `*fail_status` gets ResourceExhausted and the
 /// queue is closed so the worker sees early end-of-stream.
-bool FeedQueue(BatchQueue* q, BatchPtr batch, size_t worker,
+template <typename Queue, typename Item>
+bool FeedQueue(Queue* q, Item item, size_t worker,
                const ParallelOptions& options, PipelineObserver* observer,
-               Status* driver_status) {
-  if (q->TryPush(std::move(batch))) return true;
+               std::atomic<int64_t>* stall_counter, Status* fail_status) {
+  if (q->TryPush(std::move(item))) return true;
   if (q->closed()) return false;
+  stall_counter->fetch_add(1, std::memory_order_relaxed);
   if (observer != nullptr) observer->OnBackpressureStall(worker);
   DurationUs timeout = options.feed_timeout_us;
   for (int attempt = 0; attempt < options.feed_max_attempts; ++attempt) {
-    // TryPushFor only consumes `batch` on success, so retry keeps it.
-    if (q->TryPushFor(std::move(batch), timeout)) return true;
+    // TryPushFor only consumes `item` on success, so retry keeps it.
+    if (q->TryPushFor(std::move(item), timeout)) return true;
     if (q->closed()) return false;
     timeout *= 2;
   }
-  *driver_status = Status::ResourceExhausted(
+  *fail_status = Status::ResourceExhausted(
       "worker " + std::to_string(worker) +
       " stuck: queue full past feed timeout");
   q->Close();
   return false;
 }
 
-/// End-of-stream, unless the worker is already gone.
-void SendEos(BatchQueue* q) {
-  if (!q->closed()) q->Push(nullptr);
+/// First abandoner records the driver status and drops the worker from the
+/// feed set; with several producers the CAS makes exactly one of them win,
+/// so `*driver_status` is written once, race-free.
+void AbandonWorker(std::atomic<bool>* feeding_flag,
+                   std::atomic<size_t>* feeding_count, Status* driver_status,
+                   Status fail) {
+  bool expected = true;
+  if (feeding_flag->compare_exchange_strong(expected, false)) {
+    if (!fail.ok()) *driver_status = std::move(fail);
+    feeding_count->fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+/// End-of-stream sentinel (empty batch / kStop item), unless the worker is
+/// already gone.
+template <typename Queue>
+void SendEos(Queue* q) {
+  if (!q->closed()) q->Push({});
 }
 
 /// Report status priority: a worker fault explains more than the driver's
@@ -92,74 +111,131 @@ void ApplyRunStatus(RunReport* report, const Status& worker_status,
   }
 }
 
-}  // namespace
+// --- Independent (multi-query) runner ------------------------------------
 
-void ParallelMultiQueryRunner::AddQuery(const ContinuousQuery& query) {
-  STREAMQ_CHECK_OK(query.Validate());
-  queries_.push_back(query);
+/// Worker loop: drain the queue into the executor, then flush. Exceptions
+/// are contained on the worker thread — the queue is closed (so producers
+/// stop feeding), drained (so a blocked producer gets room and the shared
+/// batches are released), and the failure lands in `*status` for the
+/// merged report instead of std::terminate.
+template <typename Queue>
+void RunWorker(QueryExecutor* exec, Queue* q, Status* status) {
+  try {
+    EventBatch batch;
+    while (q->Pop(&batch)) {
+      if (!batch) break;  // End-of-stream sentinel.
+      exec->FeedBatch(*batch);
+      batch.reset();
+    }
+    exec->Finish();
+  } catch (const std::exception& ex) {
+    *status = Status::Internal(std::string("worker failed: ") + ex.what());
+  } catch (...) {
+    *status = Status::Internal("worker failed: non-standard exception");
+  }
+  if (!status->ok()) {
+    q->Close();
+    EventBatch drain;
+    while (q->TryPop(&drain)) drain.reset();
+  }
 }
 
-std::vector<RunReport> ParallelMultiQueryRunner::Run(EventSource* source) {
-  STREAMQ_CHECK(!queries_.empty()) << "no queries added";
-  const size_t n = queries_.size();
+template <typename Queue>
+std::vector<RunReport> RunIndependent(const std::vector<ContinuousQuery>& queries,
+                                      std::span<EventSource* const> sources,
+                                      const ParallelOptions& options,
+                                      PipelineObserver* observer) {
+  const size_t n = queries.size();
+  const size_t num_producers = sources.size();
 
   std::vector<std::unique_ptr<QueryExecutor>> executors;
-  std::vector<std::unique_ptr<BatchQueue>> queues;
+  std::vector<std::unique_ptr<Queue>> queues;
   executors.reserve(n);
   queues.reserve(n);
-  for (const ContinuousQuery& q : queries_) {
+  for (const ContinuousQuery& q : queries) {
     executors.push_back(std::make_unique<QueryExecutor>(q));
-    if (observer_ != nullptr) executors.back()->SetObserver(observer_);
-    queues.push_back(std::make_unique<BatchQueue>(options_.queue_capacity));
+    if (observer != nullptr) executors.back()->SetObserver(observer);
+    queues.push_back(std::make_unique<Queue>(options.queue_capacity));
   }
 
+  EventArena arena = MakeRunArena(options);
   const TimestampUs start = WallClockMicros();
 
   std::vector<Status> worker_status(n);
   std::vector<Status> driver_status(n);
+  auto feeding = std::make_unique<std::atomic<bool>[]>(n);
+  auto stalls = std::make_unique<std::atomic<int64_t>[]>(n);
+  for (size_t i = 0; i < n; ++i) {
+    feeding[i].store(true, std::memory_order_relaxed);
+    stalls[i].store(0, std::memory_order_relaxed);
+  }
+  std::atomic<size_t> feeding_count{n};
+  std::atomic<int64_t> events_pulled{0};
+
   std::vector<std::thread> workers;
   workers.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    workers.emplace_back(RunWorker, executors[i].get(), queues[i].get(),
-                         &worker_status[i]);
+    workers.emplace_back([&, i] {
+      MaybePin(options, static_cast<int>(i));
+      RunWorker(executors[i].get(), queues[i].get(), &worker_status[i]);
+    });
   }
 
-  // Driver: pull arrival-ordered batches and publish each to every worker
+  // Producer: pull arrival-ordered batches and publish each to every worker
   // still accepting input. A failed or stuck worker is abandoned (see
-  // FeedQueue), never waited on forever.
-  std::vector<bool> feeding(n, true);
-  size_t feeding_count = n;
-  std::vector<Event> chunk;
-  chunk.reserve(options_.batch_size);
-  int64_t events_pulled = 0;
-  while (feeding_count > 0 &&
-         source->NextBatch(&chunk, options_.batch_size) > 0) {
-    auto batch = std::make_shared<const std::vector<Event>>(std::move(chunk));
-    events_pulled += static_cast<int64_t>(batch->size());
-    if (observer_ != nullptr) {
-      observer_->OnSourceBatch(static_cast<int64_t>(batch->size()));
-    }
-    for (size_t i = 0; i < n; ++i) {
-      if (!feeding[i]) continue;
-      BatchPtr copy = batch;
-      if (!FeedQueue(queues[i].get(), std::move(copy), i, options_, observer_,
-                     &driver_status[i])) {
-        feeding[i] = false;
-        --feeding_count;
-        continue;
+  // FeedQueue), never waited on forever. The scratch slab swap-cycles with
+  // the arena's batch nodes, so the steady state allocates nothing.
+  auto produce = [&](EventSource* source, size_t producer) {
+    MaybePin(options, static_cast<int>(n + producer));
+    EventArena local = arena;  // Shared handle onto the same pools.
+    EventSlab chunk = local.Acquire();
+    while (feeding_count.load(std::memory_order_relaxed) > 0 &&
+           source->NextBatch(&chunk, options.batch_size) > 0) {
+      const int64_t pulled = static_cast<int64_t>(chunk.size());
+      events_pulled.fetch_add(pulled, std::memory_order_relaxed);
+      if (observer != nullptr) observer->OnSourceBatch(pulled);
+      EventBatch batch = local.Share(&chunk);
+      for (size_t i = 0; i < n; ++i) {
+        if (!feeding[i].load(std::memory_order_relaxed)) continue;
+        EventBatch copy = batch;
+        Status fail;
+        if (!FeedQueue(queues[i].get(), std::move(copy), i, options, observer,
+                       &stalls[i], &fail)) {
+          AbandonWorker(&feeding[i], &feeding_count, &driver_status[i],
+                        std::move(fail));
+          continue;
+        }
+        if (observer != nullptr) observer->OnQueueDepth(i, queues[i]->size());
       }
-      if (observer_ != nullptr) observer_->OnQueueDepth(i, queues[i]->size());
     }
-    chunk = std::vector<Event>();
-    chunk.reserve(options_.batch_size);
+    local.Recycle(std::move(chunk));
+  };
+
+  if (num_producers == 1) {
+    produce(sources[0], 0);  // Single source: drive from the caller thread.
+  } else {
+    std::vector<std::thread> producers;
+    producers.reserve(num_producers);
+    for (size_t p = 0; p < num_producers; ++p) {
+      producers.emplace_back([&, p] { produce(sources[p], p); });
+    }
+    for (std::thread& t : producers) t.join();
   }
+
   for (auto& q : queues) SendEos(q.get());
   for (std::thread& t : workers) t.join();
 
   const double wall_seconds = ToSeconds(WallClockMicros() - start);
-  if (observer_ != nullptr) {
-    observer_->OnRunCompleted(events_pulled, wall_seconds);
+  if (observer != nullptr) {
+    observer->OnRunCompleted(events_pulled.load(std::memory_order_relaxed),
+                             wall_seconds);
   }
+
+  char cfg[160];
+  std::snprintf(cfg, sizeof(cfg),
+                "workers=%zu producers=%zu feed=%s arena=%s pin=%s", n,
+                num_producers, num_producers > 1 ? "mpsc" : "spsc",
+                options.use_arena ? "on" : "off", DescribePin(options));
 
   std::vector<RunReport> reports;
   reports.reserve(n);
@@ -171,109 +247,448 @@ std::vector<RunReport> ParallelMultiQueryRunner::Run(EventSource* source) {
         wall_seconds > 0.0
             ? static_cast<double>(r.events_processed) / wall_seconds
             : 0.0;
+    r.runtime_config = cfg;
     ApplyRunStatus(&r, worker_status[i], driver_status[i]);
     reports.push_back(std::move(r));
   }
   return reports;
 }
 
-ShardedKeyedRunner::ShardedKeyedRunner(const ContinuousQuery& query,
-                                       size_t num_shards,
-                                       ParallelOptions options)
-    : query_(query), num_shards_(num_shards), options_(options) {
-  STREAMQ_CHECK_GT(num_shards, 0u);
-  STREAMQ_CHECK_OK(query.Validate());
-  STREAMQ_CHECK(query.handler.per_key)
-      << "ShardedKeyedRunner requires a per-key disorder handler";
-  // Per-key watermarks make a window's first emission depend only on its
-  // key's subsequence, which is what makes sharding result-preserving.
-  query_.window.per_key_watermarks = true;
+// --- Sharded keyed runner -------------------------------------------------
+
+/// What crosses a keyed worker's queue. kBatch carries events for one
+/// virtual shard; the markers drive the migration/termination protocol:
+/// kRelease publishes "every batch this worker will ever see for this
+/// shard has been fed" (the watermark-aligned migration safe point),
+/// kFinish flushes one shard's executor, kStop ends the worker. A
+/// default-constructed item is kStop, so SendEos works unchanged.
+enum class FeedKind : uint8_t { kStop, kBatch, kRelease, kFinish };
+
+struct FeedItem {
+  EventBatch batch;
+  uint32_t shard = 0;
+  FeedKind kind = FeedKind::kStop;
+};
+
+/// Keyed worker loop. `executors` is the full virtual-shard table (shared,
+/// but a shard is only ever touched by its current owner: batches for it
+/// arrive on exactly one queue at a time, and ownership moves only through
+/// the kRelease handshake, which sequences old-owner writes
+/// before new-owner reads). `owned` tracks which shards this worker is
+/// currently responsible for, so an abandoned worker can still flush its
+/// partial results like the legacy runner did.
+template <typename Queue>
+void RunShardWorker(Queue* q, QueryExecutor* const* executors,
+                    size_t num_virtual, std::atomic<uint32_t>* released,
+                    Status* status, std::atomic<int64_t>* processed,
+                    std::atomic<bool>* exited) {
+  std::vector<uint8_t> owned(num_virtual, 0);
+  try {
+    FeedItem item;
+    bool stop = false;
+    while (!stop && q->Pop(&item)) {
+      switch (item.kind) {
+        case FeedKind::kBatch:
+          owned[item.shard] = 1;
+          executors[item.shard]->FeedBatch(*item.batch);
+          processed->fetch_add(static_cast<int64_t>(item.batch->size()),
+                               std::memory_order_relaxed);
+          item.batch.reset();
+          break;
+        case FeedKind::kRelease:
+          // Everything before this marker in the queue has been fed;
+          // publish the handoff (release pairs with the driver's acquire).
+          owned[item.shard] = 0;
+          released[item.shard].store(1, std::memory_order_release);
+          break;
+        case FeedKind::kFinish:
+          owned[item.shard] = 0;
+          executors[item.shard]->Finish();
+          break;
+        case FeedKind::kStop:
+          stop = true;
+          break;
+      }
+    }
+    // A clean kStop arrives after kFinish markers cleared every owned
+    // shard, making this a no-op. An abandoned worker (queue closed by the
+    // driver) lands here after processing its backlog: finish what it
+    // still owns so the partial results surface, as the legacy runner did.
+    for (size_t v = 0; v < num_virtual; ++v) {
+      if (owned[v] != 0) executors[v]->Finish();
+    }
+  } catch (const std::exception& ex) {
+    *status = Status::Internal(std::string("worker failed: ") + ex.what());
+  } catch (...) {
+    *status = Status::Internal("worker failed: non-standard exception");
+  }
+  if (!status->ok()) {
+    q->Close();
+    FeedItem drain;
+    while (q->TryPop(&drain)) {
+      // Honor handoff markers even in the failure drain: this worker will
+      // never touch the shard again, and the driver may be waiting.
+      if (drain.kind == FeedKind::kRelease) {
+        released[drain.shard].store(1, std::memory_order_release);
+      }
+      drain.batch.reset();
+    }
+  }
+  exited->store(true, std::memory_order_release);
 }
 
-size_t ShardedKeyedRunner::ShardOf(int64_t key, size_t num_shards) {
-  // splitmix64 finalizer.
-  uint64_t x = static_cast<uint64_t>(key);
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  x ^= x >> 31;
-  return static_cast<size_t>(x % num_shards);
-}
+struct KeyedOutcome {
+  RunReport merged;
+  std::vector<WorkerLoad> loads;
+  int64_t migrations = 0;
+};
 
-RunReport ShardedKeyedRunner::Run(EventSource* source) {
-  const size_t n = num_shards_;
+template <typename Queue>
+KeyedOutcome RunSharded(const ContinuousQuery& query, size_t num_workers,
+                        std::span<EventSource* const> sources,
+                        const ParallelOptions& options,
+                        PipelineObserver* observer) {
+  const size_t W = num_workers;
+  const size_t V =
+      options.virtual_shards == 0 ? W : options.virtual_shards;
+  STREAMQ_CHECK_GE(V, W) << "virtual_shards must cover every worker";
+  const size_t num_producers = sources.size();
 
   std::vector<std::unique_ptr<QueryExecutor>> executors;
-  std::vector<std::unique_ptr<BatchQueue>> queues;
-  executors.reserve(n);
-  queues.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    executors.push_back(std::make_unique<QueryExecutor>(query_));
-    if (observer_ != nullptr) executors.back()->SetObserver(observer_);
-    queues.push_back(std::make_unique<BatchQueue>(options_.queue_capacity));
+  executors.reserve(V);
+  std::vector<QueryExecutor*> exec_ptrs(V);
+  for (size_t v = 0; v < V; ++v) {
+    executors.push_back(std::make_unique<QueryExecutor>(query));
+    if (observer != nullptr) executors.back()->SetObserver(observer);
+    exec_ptrs[v] = executors.back().get();
+  }
+  std::vector<std::unique_ptr<Queue>> queues;
+  queues.reserve(W);
+  for (size_t w = 0; w < W; ++w) {
+    queues.push_back(std::make_unique<Queue>(options.queue_capacity));
   }
 
+  auto released = std::make_unique<std::atomic<uint32_t>[]>(V);
+  for (size_t v = 0; v < V; ++v) released[v].store(0, std::memory_order_relaxed);
+  auto feeding = std::make_unique<std::atomic<bool>[]>(W);
+  auto exited = std::make_unique<std::atomic<bool>[]>(W);
+  auto processed = std::make_unique<std::atomic<int64_t>[]>(W);
+  auto routed_events = std::make_unique<std::atomic<int64_t>[]>(W);
+  auto routed_batches = std::make_unique<std::atomic<int64_t>[]>(W);
+  auto stalls = std::make_unique<std::atomic<int64_t>[]>(W);
+  for (size_t w = 0; w < W; ++w) {
+    feeding[w].store(true, std::memory_order_relaxed);
+    exited[w].store(false, std::memory_order_relaxed);
+    processed[w].store(0, std::memory_order_relaxed);
+    routed_events[w].store(0, std::memory_order_relaxed);
+    routed_batches[w].store(0, std::memory_order_relaxed);
+    stalls[w].store(0, std::memory_order_relaxed);
+  }
+  std::atomic<size_t> feeding_count{W};
+  std::vector<Status> worker_status(W);
+  std::vector<Status> driver_status(W);
+
+  /// shard -> worker. Starts round-robin (identity when V == W, matching
+  /// the legacy static routing bit for bit); the rebalancer is the only
+  /// writer, and only in the single-producer path.
+  std::vector<uint32_t> placement(V);
+  for (size_t v = 0; v < V; ++v) placement[v] = static_cast<uint32_t>(v % W);
+
+  EventArena arena = MakeRunArena(options);
   const TimestampUs start = WallClockMicros();
 
-  std::vector<Status> worker_status(n);
-  std::vector<Status> driver_status(n);
   std::vector<std::thread> workers;
-  workers.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    workers.emplace_back(RunWorker, executors[i].get(), queues[i].get(),
-                         &worker_status[i]);
+  workers.reserve(W);
+  for (size_t w = 0; w < W; ++w) {
+    workers.emplace_back([&, w] {
+      MaybePin(options, static_cast<int>(w));
+      RunShardWorker(queues[w].get(), exec_ptrs.data(), V, released.get(),
+                     &worker_status[w], &processed[w], &exited[w]);
+    });
   }
 
-  // Driver: pull arrival-ordered batches, partition by key hash, and send
-  // each shard its (arrival-ordered) sub-batch. A failed or stuck shard is
-  // abandoned (see FeedQueue); the others keep their keys flowing.
-  std::vector<bool> feeding(n, true);
-  size_t feeding_count = n;
-  std::vector<Event> chunk;
-  chunk.reserve(options_.batch_size);
-  std::vector<std::vector<Event>> shard_chunks(n);
-  while (feeding_count > 0 &&
-         source->NextBatch(&chunk, options_.batch_size) > 0) {
-    if (observer_ != nullptr) {
-      observer_->OnSourceBatch(static_cast<int64_t>(chunk.size()));
-    }
-    for (const Event& e : chunk) {
-      shard_chunks[ShardOf(e.key, n)].push_back(e);
-    }
-    for (size_t i = 0; i < n; ++i) {
-      if (shard_chunks[i].empty()) continue;
-      if (!feeding[i]) {
-        shard_chunks[i].clear();
-        continue;
+  int64_t migrations = 0;
+
+  if (num_producers == 1) {
+    // --- Single-producer drive; rebalancing lives here -------------------
+    EventSource* source = sources[0];
+    std::vector<EventSlab> shard_slabs(V);
+    std::vector<uint32_t> touched;
+    touched.reserve(std::min<size_t>(V, 256));
+    // Per-shard decayed load (rebalance decisions) and the raw counts
+    // accumulated since the last check. Both derive only from routed
+    // events, so decisions — hence placements and output — are a pure
+    // function of the source stream.
+    std::vector<double> shard_load(V, 0.0);
+    std::vector<int64_t> shard_recent(V, 0);
+    std::vector<double> worker_load(W, 0.0);
+
+    bool migrating = false;
+    uint32_t mig_shard = 0;
+    uint32_t mig_from = 0;
+    uint32_t mig_to = 0;
+    std::vector<EventBatch> mig_pending;
+    int64_t batch_counter = 0;
+
+    auto deliver = [&](uint32_t v, EventBatch batch) {
+      const size_t w = placement[v];
+      if (!feeding[w].load(std::memory_order_relaxed)) return;  // Degraded.
+      const int64_t count = static_cast<int64_t>(batch->size());
+      FeedItem item;
+      item.batch = std::move(batch);
+      item.shard = v;
+      item.kind = FeedKind::kBatch;
+      Status fail;
+      if (!FeedQueue(queues[w].get(), std::move(item), w, options, observer,
+                     &stalls[w], &fail)) {
+        AbandonWorker(&feeding[w], &feeding_count, &driver_status[w],
+                      std::move(fail));
+        return;
       }
-      const auto sub_batch_events =
-          static_cast<int64_t>(shard_chunks[i].size());
-      BatchPtr batch = std::make_shared<const std::vector<Event>>(
-          std::move(shard_chunks[i]));
-      if (!FeedQueue(queues[i].get(), std::move(batch), i, options_,
-                     observer_, &driver_status[i])) {
-        feeding[i] = false;
-        --feeding_count;
-      } else if (observer_ != nullptr) {
-        observer_->OnShardBatch(i, sub_batch_events);
-        observer_->OnQueueDepth(i, queues[i]->size());
+      routed_events[w].fetch_add(count, std::memory_order_relaxed);
+      routed_batches[w].fetch_add(1, std::memory_order_relaxed);
+      if (observer != nullptr) {
+        observer->OnShardBatch(w, count);
+        observer->OnQueueDepth(w, queues[w]->size());
       }
-      shard_chunks[i] = std::vector<Event>();
+    };
+
+    // The old owner acknowledged the handoff (or died): flush the batches
+    // buffered while the shard was in flight to its new worker, in routed
+    // order. placement[mig_shard] already points at the target.
+    auto complete_migration = [&] {
+      for (EventBatch& b : mig_pending) deliver(mig_shard, std::move(b));
+      mig_pending.clear();
+      migrating = false;
+    };
+
+    auto maybe_start_migration = [&] {
+      for (size_t v = 0; v < V; ++v) {
+        shard_load[v] = shard_load[v] * options.rebalance_decay +
+                        static_cast<double>(shard_recent[v]);
+        shard_recent[v] = 0;
+      }
+      std::fill(worker_load.begin(), worker_load.end(), 0.0);
+      for (size_t v = 0; v < V; ++v) worker_load[placement[v]] += shard_load[v];
+      size_t wmax = 0;
+      size_t wmin = 0;
+      for (size_t w = 1; w < W; ++w) {
+        if (worker_load[w] > worker_load[wmax]) wmax = w;
+        if (worker_load[w] < worker_load[wmin]) wmin = w;
+      }
+      if (wmax == wmin) return;
+      if (!feeding[wmax].load(std::memory_order_relaxed) ||
+          !feeding[wmin].load(std::memory_order_relaxed)) {
+        return;
+      }
+      if (worker_load[wmax] <=
+          options.rebalance_threshold * worker_load[wmin]) {
+        return;
+      }
+      // Move the largest shard that still fits in the gap, so the transfer
+      // shrinks the imbalance instead of flipping it onto the target.
+      const double gap = worker_load[wmax] - worker_load[wmin];
+      int64_t best = -1;
+      for (size_t v = 0; v < V; ++v) {
+        if (placement[v] != wmax) continue;
+        if (shard_load[v] <= 0.0 || shard_load[v] >= gap) continue;
+        if (best < 0 || shard_load[v] > shard_load[static_cast<size_t>(best)]) {
+          best = static_cast<int64_t>(v);
+        }
+      }
+      if (best < 0) return;
+      const auto shard = static_cast<uint32_t>(best);
+      // Re-arm the flag *before* the marker is visible, then hand the
+      // in-band marker to the current owner.
+      released[shard].store(0, std::memory_order_relaxed);
+      FeedItem marker;
+      marker.shard = shard;
+      marker.kind = FeedKind::kRelease;
+      Status fail;
+      if (!FeedQueue(queues[wmax].get(), std::move(marker), wmax, options,
+                     observer, &stalls[wmax], &fail)) {
+        AbandonWorker(&feeding[wmax], &feeding_count, &driver_status[wmax],
+                      std::move(fail));
+        return;
+      }
+      migrating = true;
+      mig_shard = shard;
+      mig_from = static_cast<uint32_t>(wmax);
+      mig_to = static_cast<uint32_t>(wmin);
+      placement[shard] = mig_to;
+      ++migrations;
+    };
+
+    EventSlab chunk = arena.Acquire();
+    while (feeding_count.load(std::memory_order_relaxed) > 0 &&
+           source->NextBatch(&chunk, options.batch_size) > 0) {
+      if (observer != nullptr) {
+        observer->OnSourceBatch(static_cast<int64_t>(chunk.size()));
+      }
+      for (const Event& e : chunk) {
+        const auto v = static_cast<uint32_t>(
+            ShardedKeyedRunner::ShardOf(e.key, V));
+        EventSlab& slab = shard_slabs[v];
+        if (slab.empty()) touched.push_back(v);
+        slab.push_back(e);
+        ++shard_recent[v];
+      }
+      chunk.clear();
+      for (const uint32_t v : touched) {
+        if (migrating && v == mig_shard) {
+          // In flight between workers: buffer until the old owner
+          // acknowledges the release marker.
+          mig_pending.push_back(arena.Share(&shard_slabs[v]));
+          continue;
+        }
+        deliver(v, arena.Share(&shard_slabs[v]));
+      }
+      touched.clear();
+      ++batch_counter;
+      if (migrating &&
+          released[mig_shard].load(std::memory_order_acquire) != 0) {
+        complete_migration();
+      }
+      if (options.rebalance &&
+          batch_counter % options.rebalance_interval_batches == 0) {
+        // A decision point must not depend on how fast the old owner
+        // drains: if the handoff is still in flight, wait for the
+        // acknowledgement (or the owner's death) before deciding, so the
+        // decision sequence — hence migration count and placements — stays
+        // a pure function of the routed stream. The wait is bounded: the
+        // marker is already in the old owner's queue.
+        if (migrating) {
+          QueueBackoff backoff;
+          while (released[mig_shard].load(std::memory_order_acquire) == 0 &&
+                 !exited[mig_from].load(std::memory_order_acquire)) {
+            backoff.Pause();
+          }
+          complete_migration();
+        }
+        maybe_start_migration();
+      }
     }
-    chunk.clear();
+    arena.Recycle(std::move(chunk));
+    for (EventSlab& slab : shard_slabs) {
+      if (slab.capacity() > 0) arena.Recycle(std::move(slab));
+    }
+
+    // Settle an in-flight migration before the terminal flush: wait for
+    // the old owner's acknowledgement (or its exit — a dead owner can
+    // never touch the shard again, which is just as safe).
+    if (migrating) {
+      QueueBackoff backoff;
+      while (released[mig_shard].load(std::memory_order_acquire) == 0 &&
+             !exited[mig_from].load(std::memory_order_acquire)) {
+        backoff.Pause();
+      }
+      complete_migration();
+    }
+  } else {
+    // --- Multi-producer drive: static placement over MPSC queues ---------
+    STREAMQ_CHECK(!options.rebalance)
+        << "rebalance requires a single-source run";
+    std::vector<std::thread> producers;
+    producers.reserve(num_producers);
+    for (size_t p = 0; p < num_producers; ++p) {
+      producers.emplace_back([&, p] {
+        MaybePin(options, static_cast<int>(W + p));
+        EventArena local = arena;
+        EventSource* source = sources[p];
+        std::vector<EventSlab> shard_slabs(V);
+        std::vector<uint32_t> touched;
+        touched.reserve(std::min<size_t>(V, 256));
+        EventSlab chunk = local.Acquire();
+        while (feeding_count.load(std::memory_order_relaxed) > 0 &&
+               source->NextBatch(&chunk, options.batch_size) > 0) {
+          if (observer != nullptr) {
+            observer->OnSourceBatch(static_cast<int64_t>(chunk.size()));
+          }
+          for (const Event& e : chunk) {
+            const auto v = static_cast<uint32_t>(
+                ShardedKeyedRunner::ShardOf(e.key, V));
+            EventSlab& slab = shard_slabs[v];
+            if (slab.empty()) touched.push_back(v);
+            slab.push_back(e);
+          }
+          chunk.clear();
+          for (const uint32_t v : touched) {
+            const size_t w = placement[v];  // Static; never written here.
+            if (!feeding[w].load(std::memory_order_relaxed)) {
+              shard_slabs[v].clear();
+              continue;
+            }
+            const int64_t count =
+                static_cast<int64_t>(shard_slabs[v].size());
+            FeedItem item;
+            item.batch = local.Share(&shard_slabs[v]);
+            item.shard = v;
+            item.kind = FeedKind::kBatch;
+            Status fail;
+            if (!FeedQueue(queues[w].get(), std::move(item), w, options,
+                           observer, &stalls[w], &fail)) {
+              AbandonWorker(&feeding[w], &feeding_count, &driver_status[w],
+                            std::move(fail));
+              continue;
+            }
+            routed_events[w].fetch_add(count, std::memory_order_relaxed);
+            routed_batches[w].fetch_add(1, std::memory_order_relaxed);
+            if (observer != nullptr) {
+              observer->OnShardBatch(w, count);
+              observer->OnQueueDepth(w, queues[w]->size());
+            }
+          }
+          touched.clear();
+        }
+        local.Recycle(std::move(chunk));
+        for (EventSlab& slab : shard_slabs) {
+          if (slab.capacity() > 0) local.Recycle(std::move(slab));
+        }
+      });
+    }
+    for (std::thread& t : producers) t.join();
+  }
+
+  // Terminal flush: every shard gets a kFinish on its current owner's
+  // queue (owners flush in parallel), then the stop sentinels.
+  for (size_t v = 0; v < V; ++v) {
+    const size_t w = placement[v];
+    if (!feeding[w].load(std::memory_order_relaxed)) continue;
+    FeedItem fin;
+    fin.shard = static_cast<uint32_t>(v);
+    fin.kind = FeedKind::kFinish;
+    Status fail;
+    if (!FeedQueue(queues[w].get(), std::move(fin), w, options, observer,
+                   &stalls[w], &fail)) {
+      AbandonWorker(&feeding[w], &feeding_count, &driver_status[w],
+                    std::move(fail));
+    }
   }
   for (auto& q : queues) SendEos(q.get());
   for (std::thread& t : workers) t.join();
 
   const double wall_seconds = ToSeconds(WallClockMicros() - start);
 
+  char cfg[200];
+  std::snprintf(
+      cfg, sizeof(cfg),
+      "workers=%zu vshards=%zu producers=%zu feed=%s arena=%s pin=%s "
+      "rebalance=%s migrations=%lld",
+      W, V, num_producers, num_producers > 1 ? "mpsc" : "spsc",
+      options.use_arena ? "on" : "off", DescribePin(options),
+      options.rebalance ? "on" : "off", static_cast<long long>(migrations));
+
   // Merge shard reports into one.
-  RunReport merged;
-  merged.query_name = query_.name;
+  KeyedOutcome out;
+  out.migrations = migrations;
+  RunReport& merged = out.merged;
+  merged.query_name = query.name;
   merged.wall_seconds = wall_seconds;
-  for (size_t i = 0; i < n; ++i) {
-    RunReport r = executors[i]->Report();
-    ApplyRunStatus(&r, worker_status[i], driver_status[i]);
+  merged.runtime_config = cfg;
+  for (size_t v = 0; v < V; ++v) {
+    RunReport r = executors[v]->Report();
+    const size_t w = placement[v];
+    ApplyRunStatus(&r, worker_status[w], driver_status[w]);
     if (merged.status.ok() && !r.status.ok()) merged.status = r.status;
     merged.events_processed += r.events_processed;
     merged.events_rejected += r.events_rejected;
@@ -312,10 +727,100 @@ RunReport ShardedKeyedRunner::Run(EventSource* source) {
                      return std::tie(a.bounds.start, a.key, a.revision_index) <
                             std::tie(b.bounds.start, b.key, b.revision_index);
                    });
-  if (observer_ != nullptr) {
-    observer_->OnRunCompleted(merged.events_processed, wall_seconds);
+  if (observer != nullptr) {
+    observer->OnRunCompleted(merged.events_processed, wall_seconds);
   }
-  return merged;
+
+  out.loads.resize(W);
+  for (size_t w = 0; w < W; ++w) {
+    out.loads[w].events_routed =
+        routed_events[w].load(std::memory_order_relaxed);
+    out.loads[w].batches_routed =
+        routed_batches[w].load(std::memory_order_relaxed);
+    out.loads[w].events_processed =
+        processed[w].load(std::memory_order_relaxed);
+    out.loads[w].stalls = stalls[w].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+}  // namespace
+
+void ParallelMultiQueryRunner::AddQuery(const ContinuousQuery& query) {
+  STREAMQ_CHECK_OK(query.Validate());
+  queries_.push_back(query);
+}
+
+std::vector<RunReport> ParallelMultiQueryRunner::Run(EventSource* source) {
+  STREAMQ_CHECK(!queries_.empty()) << "no queries added";
+  EventSource* one[1] = {source};
+  return RunIndependent<SpscQueue<EventBatch>>(
+      queries_, std::span<EventSource* const>(one, 1), options_, observer_);
+}
+
+std::vector<RunReport> ParallelMultiQueryRunner::RunMultiSource(
+    std::span<EventSource* const> sources) {
+  STREAMQ_CHECK(!queries_.empty()) << "no queries added";
+  STREAMQ_CHECK(!sources.empty()) << "no sources";
+  if (sources.size() == 1) {
+    return RunIndependent<SpscQueue<EventBatch>>(queries_, sources, options_,
+                                                 observer_);
+  }
+  return RunIndependent<MpscQueue<EventBatch>>(queries_, sources, options_,
+                                               observer_);
+}
+
+ShardedKeyedRunner::ShardedKeyedRunner(const ContinuousQuery& query,
+                                       size_t num_workers,
+                                       ParallelOptions options)
+    : query_(query), num_workers_(num_workers), options_(options) {
+  STREAMQ_CHECK_GT(num_workers, 0u);
+  STREAMQ_CHECK_OK(query.Validate());
+  STREAMQ_CHECK(query.handler.per_key)
+      << "ShardedKeyedRunner requires a per-key disorder handler";
+  if (options_.virtual_shards != 0) {
+    STREAMQ_CHECK_GE(options_.virtual_shards, num_workers)
+        << "virtual_shards must cover every worker";
+  }
+  // Per-key watermarks make a window's first emission depend only on its
+  // key's subsequence, which is what makes sharding result-preserving.
+  query_.window.per_key_watermarks = true;
+}
+
+size_t ShardedKeyedRunner::ShardOf(int64_t key, size_t num_shards) {
+  // splitmix64 finalizer.
+  uint64_t x = static_cast<uint64_t>(key);
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<size_t>(x % num_shards);
+}
+
+RunReport ShardedKeyedRunner::Run(EventSource* source) {
+  EventSource* one[1] = {source};
+  KeyedOutcome out = RunSharded<SpscQueue<FeedItem>>(
+      query_, num_workers_, std::span<EventSource* const>(one, 1), options_,
+      observer_);
+  loads_ = std::move(out.loads);
+  migrations_ = out.migrations;
+  return std::move(out.merged);
+}
+
+RunReport ShardedKeyedRunner::RunMultiSource(
+    std::span<EventSource* const> sources) {
+  STREAMQ_CHECK(!sources.empty()) << "no sources";
+  STREAMQ_CHECK(!options_.rebalance || sources.size() == 1)
+      << "rebalance requires a single-source run";
+  KeyedOutcome out =
+      sources.size() == 1
+          ? RunSharded<SpscQueue<FeedItem>>(query_, num_workers_, sources,
+                                            options_, observer_)
+          : RunSharded<MpscQueue<FeedItem>>(query_, num_workers_, sources,
+                                            options_, observer_);
+  loads_ = std::move(out.loads);
+  migrations_ = out.migrations;
+  return std::move(out.merged);
 }
 
 }  // namespace streamq

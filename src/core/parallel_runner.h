@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/continuous_query.h"
@@ -35,6 +36,58 @@ struct ParallelOptions {
   /// report) instead of blocking forever. With the defaults the driver
   /// waits ~7.75 s total per worker.
   int feed_max_attempts = 5;
+
+  /// Allocation mode for batches crossing the queues. On (default): slab
+  /// arena with whole-batch recycling — the steady state allocates nothing;
+  /// feed scratch, queue batches and (via the handler spec) reorder-buffer
+  /// buckets all cycle through pooled storage. Off: one heap allocation
+  /// per batch, freed by whichever thread drops the last reference — the
+  /// reference malloc path the f21 benchmark compares against. Pure
+  /// allocation-path switch: results are identical either way.
+  bool use_arena = true;
+
+  /// Pin worker thread i to logical core i (mod core count), and producer
+  /// threads to the cores after the workers. Best-effort placement hint:
+  /// failures and unsupported platforms are recorded in runtime_config,
+  /// never fatal.
+  bool pin_cores = false;
+
+  /// ShardedKeyedRunner only: number of virtual shards multiplexed over
+  /// the worker threads (0 = one per worker, the static legacy topology,
+  /// bit-for-bit identical routing to earlier releases). With more virtual
+  /// shards than workers, each shard is a self-contained executor the
+  /// rebalancer can migrate between workers without splitting any key's
+  /// state. Must be >= the worker count when nonzero.
+  size_t virtual_shards = 0;
+
+  /// ShardedKeyedRunner, single-source runs only: periodically migrate the
+  /// hottest shard off the most loaded worker at a watermark-aligned safe
+  /// point (see DESIGN §11.3). Decisions depend only on routed-event
+  /// counts, so a rebalanced run is deterministic — same placements, same
+  /// migrations, same merged output — for a given source.
+  bool rebalance = false;
+
+  /// Source batches between rebalance checks.
+  int64_t rebalance_interval_batches = 32;
+
+  /// Trigger: migrate when max worker load > threshold * min worker load.
+  double rebalance_threshold = 1.25;
+
+  /// Exponential decay applied to per-shard load at each check (recent
+  /// traffic dominates; old skew fades).
+  double rebalance_decay = 0.5;
+};
+
+/// Post-run, per-worker accounting from the driver and workers: what was
+/// routed to each worker's queue, what it reported processing, and how
+/// often the driver stalled on its queue. For the independent runner every
+/// worker is routed the whole stream; for the keyed runner this is the
+/// placement-weighted load the rebalancer acts on.
+struct WorkerLoad {
+  int64_t events_routed = 0;
+  int64_t batches_routed = 0;
+  int64_t events_processed = 0;
+  int64_t stalls = 0;
 };
 
 /// Runs N independent continuous queries over one arrival-ordered stream,
@@ -66,6 +119,16 @@ class ParallelMultiQueryRunner {
   /// wedging the driver. The process never terminates on a worker fault.
   std::vector<RunReport> Run(EventSource* source);
 
+  /// Multi-producer feed: one producer thread per source pushes batches
+  /// into lock-free MPSC worker queues, with the same failure-safety
+  /// contract as Run(). Each query sees all sources' events, interleaved
+  /// in queue-arrival order — use when the "stream" is physically many
+  /// feeds (network sockets, partitioned logs) whose interleaving is
+  /// already arbitrary. Unlike Run(), the interleaving is scheduling-
+  /// dependent, so per-query results are only deterministic up to source
+  /// interleaving.
+  std::vector<RunReport> RunMultiSource(std::span<EventSource* const> sources);
+
   const ParallelOptions& options() const { return options_; }
 
   /// Installs one observer on every worker pipeline plus the driver's queue
@@ -82,23 +145,30 @@ class ParallelMultiQueryRunner {
 
 /// Runs ONE keyed query with its key space sharded across worker threads.
 ///
-/// Each shard owns a full pipeline (per-key disorder handler + window
-/// operator with per-key watermarks) and receives exactly the arrival-order
-/// subsequence of tuples whose key hashes to it. Because a per-key handler's
-/// buffering and a per-key-watermark window's *first emission* for key k
-/// depend only on key k's own subsequence, every window's first emission
-/// (bounds, key, value, tuple_count) is identical to the unsharded run.
-/// What sharding may legitimately change: each shard's merged watermark is
-/// at least the global one (fewer keys to wait for), so terminal-flush
-/// emission times and revision/purge timing can differ. Results are merged
-/// and sorted by (window start, key, revision index) for a deterministic
-/// output order.
+/// The key space hashes onto V >= W *virtual shards* (ParallelOptions::
+/// virtual_shards; V == W when 0), each a full pipeline (per-key disorder
+/// handler + window operator with per-key watermarks) multiplexed onto W
+/// worker threads. Each shard receives exactly the arrival-order
+/// subsequence of tuples whose key hashes to it. Because a per-key
+/// handler's buffering and a per-key-watermark window's *first emission*
+/// for key k depend only on key k's own subsequence, every window's first
+/// emission (bounds, key, value, tuple_count) is identical to the
+/// unsharded run — and independent of shard→worker placement, which is
+/// what makes rebalancing output-preserving: migration moves a whole shard
+/// (executor and all) between workers at a watermark-aligned safe point,
+/// never splitting a key's state. What sharding may legitimately change:
+/// each shard's merged watermark is at least the global one (fewer keys to
+/// wait for), so terminal-flush emission times and revision/purge timing
+/// can differ. Results are merged and sorted by (window start, key,
+/// revision index) for a deterministic output order.
 class ShardedKeyedRunner {
  public:
   /// `query` must use a per-key disorder handler (handler.per_key); the
   /// window operator is forced to per_key_watermarks to make first
-  /// emissions shard-invariant (see class comment).
-  ShardedKeyedRunner(const ContinuousQuery& query, size_t num_shards,
+  /// emissions shard-invariant (see class comment). `num_workers` is the
+  /// worker-thread count (historically "shards": it doubles as the virtual
+  /// shard count when options.virtual_shards is 0).
+  ShardedKeyedRunner(const ContinuousQuery& query, size_t num_workers,
                      ParallelOptions options = {});
 
   /// Runs the query to completion and returns one merged report: counters
@@ -106,12 +176,29 @@ class ShardedKeyedRunner {
   /// (aggregate memory bound), final_slack = max over shards.
   RunReport Run(EventSource* source);
 
-  size_t num_shards() const { return num_shards_; }
+  /// Multi-producer feed over lock-free MPSC worker queues: one producer
+  /// thread per source routes its own events (static placement; rebalance
+  /// must be off). Sources must partition the key space — each key's
+  /// events all arriving through one source — for the per-key subsequences
+  /// (hence first emissions) to be interleaving-invariant; with key-
+  /// disjoint sources the merged first-emission output is byte-identical
+  /// to Run() over the merged stream.
+  RunReport RunMultiSource(std::span<EventSource* const> sources);
+
+  size_t num_shards() const { return num_workers_; }
+  size_t num_workers() const { return num_workers_; }
 
   /// Shard assignment: splitmix64-style mix of the key, mod num_shards.
   /// Raw keys are often sequential, so a plain modulo would alias key
   /// patterns onto shards; the mix makes placement uniform regardless.
   static size_t ShardOf(int64_t key, size_t num_shards);
+
+  /// Per-worker accounting for the most recent Run/RunMultiSource, indexed
+  /// by worker; empty before the first run.
+  const std::vector<WorkerLoad>& worker_loads() const { return loads_; }
+
+  /// Shard migrations performed by the most recent run.
+  int64_t migrations() const { return migrations_; }
 
   /// Installs one observer on every shard pipeline plus the driver's
   /// per-shard routing counters. Must be thread-safe and outlive Run().
@@ -119,9 +206,11 @@ class ShardedKeyedRunner {
 
  private:
   ContinuousQuery query_;
-  size_t num_shards_;
+  size_t num_workers_;
   ParallelOptions options_;
   PipelineObserver* observer_ = nullptr;
+  std::vector<WorkerLoad> loads_;
+  int64_t migrations_ = 0;
 };
 
 }  // namespace streamq

@@ -2,13 +2,12 @@
 #define STREAMQ_CORE_SPSC_QUEUE_H_
 
 #include <atomic>
-#include <chrono>
 #include <cstddef>
-#include <thread>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/time.h"
+#include "core/queue_backoff.h"
 
 namespace streamq {
 
@@ -79,7 +78,7 @@ class SpscQueue {
   /// room. Returns false — with `value` dropped — only if the queue closes
   /// while waiting.
   bool Push(T value) {
-    Backoff backoff;
+    QueueBackoff backoff;
     while (!TryPush(std::move(value))) {
       if (closed()) return false;
       backoff.Pause();
@@ -91,12 +90,12 @@ class SpscQueue {
   /// microseconds. Returns false on timeout or close; `value` is only
   /// consumed on success, so the caller can retry or requeue it.
   bool TryPushFor(T&& value, DurationUs timeout_us) {
-    Backoff backoff;
+    QueueBackoff backoff;
     TimestampUs deadline = 0;  // Resolved lazily: the fast path never reads
                                // the clock.
     while (!TryPush(std::move(value))) {
       if (closed()) return false;
-      if (backoff.spins >= Backoff::kSpinLimit) {
+      if (backoff.spins >= QueueBackoff::kSpinLimit) {
         const TimestampUs now = WallClockMicros();
         if (deadline == 0) {
           deadline = now + timeout_us;
@@ -122,7 +121,7 @@ class SpscQueue {
   /// Consumer side; blocks (spin → yield → sleep) until an element is
   /// available. Returns false only when the queue is closed *and* drained.
   bool Pop(T* out) {
-    Backoff backoff;
+    QueueBackoff backoff;
     while (!TryPop(out)) {
       // Check closed before the final empty test: a producer that pushes
       // and then closes is never missed (push precedes close).
@@ -133,32 +132,6 @@ class SpscQueue {
   }
 
  private:
-  struct Backoff {
-    static constexpr int kSpinLimit = 64;
-
-    int spins = 0;
-    void Pause() {
-      ++spins;
-      if (spins < kSpinLimit) return;  // On-core while the wait is short.
-      if (spins < 4096) {
-        std::this_thread::yield();
-        return;
-      }
-      // The peer has been unresponsive for thousands of iterations: stop
-      // burning the core. Short naps first (a GC-less pipeline usually
-      // resumes fast), longer ones once the stall is clearly persistent.
-      std::this_thread::sleep_for(
-          std::chrono::microseconds(spins < 65536 ? 50 : 500));
-    }
-  };
-
-  static size_t RoundUpPow2(size_t n) {
-    STREAMQ_CHECK_GT(n, 0u);
-    size_t p = 1;
-    while (p < n) p <<= 1;
-    return p;
-  }
-
   std::vector<T> slots_;
   size_t mask_;
   alignas(64) std::atomic<size_t> head_{0};  // Next slot to pop (consumer).

@@ -31,6 +31,10 @@ class BufferedHandlerBase : public DisorderHandler {
     buffer_.SetEngine(engine);
   }
 
+  void set_buffer_arena(EventArena* arena) override {
+    buffer_.SetArena(arena);
+  }
+
   void set_buffer_cap(size_t max_buffered_events, ShedPolicy policy) override {
     max_buffered_events_ = max_buffered_events;
     shed_policy_ = policy;

@@ -54,6 +54,12 @@ DisorderHandlerSpec DisorderHandlerSpec::WithMaxSlack(
   return s;
 }
 
+DisorderHandlerSpec DisorderHandlerSpec::WithArena(bool enabled) const {
+  DisorderHandlerSpec s = *this;
+  s.use_arena = enabled;
+  return s;
+}
+
 Status DisorderHandlerSpec::Validate() const {
   if (max_slack < 0) {
     return Status::InvalidArgument("spec: max_slack must be >= 0");
@@ -271,6 +277,9 @@ std::unique_ptr<DisorderHandler> BuildHandler(const DisorderHandlerSpec& spec) {
   }
   if (spec.max_slack > 0) {
     handler->set_max_slack(spec.max_slack);
+  }
+  if (spec.use_arena) {
+    handler->set_buffer_arena(&GlobalEventArena());
   }
   return handler;
 }

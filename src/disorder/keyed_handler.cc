@@ -171,6 +171,9 @@ KeyedDisorderHandler::Shard* KeyedDisorderHandler::Route(int64_t key) {
     if (has_buffer_engine_) {
       owned->handler->set_buffer_engine(buffer_engine_);
     }
+    if (buffer_arena_ != nullptr) {
+      owned->handler->set_buffer_arena(buffer_arena_);
+    }
     if (max_slack_ > 0) {
       owned->handler->set_max_slack(max_slack_);
     }
@@ -433,6 +436,13 @@ void KeyedDisorderHandler::set_buffer_engine(ReorderBuffer::Engine engine) {
   buffer_engine_ = engine;
   for (const auto& shard : shards_) {
     shard->handler->set_buffer_engine(engine);
+  }
+}
+
+void KeyedDisorderHandler::set_buffer_arena(EventArena* arena) {
+  buffer_arena_ = arena;
+  for (const auto& shard : shards_) {
+    shard->handler->set_buffer_arena(arena);
   }
 }
 

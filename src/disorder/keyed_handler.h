@@ -75,6 +75,12 @@ class KeyedDisorderHandler : public DisorderHandler {
   /// future. Only legal before the first arrival.
   void set_buffer_engine(ReorderBuffer::Engine engine) override;
 
+  /// Propagates the slab arena to every inner handler, existing and
+  /// future — the case the arena exists for: keyed workloads create and
+  /// destroy per-key buffers continuously, and pooling their bucket
+  /// storage removes that churn from the heap.
+  void set_buffer_arena(EventArena* arena) override;
+
   /// Global buffer budget across all keys: the keyed handler enforces the
   /// cap itself (the inner handlers stay uncapped) by shedding from the
   /// fullest shard before dispatching an arrival that would overflow it.
@@ -138,6 +144,8 @@ class KeyedDisorderHandler : public DisorderHandler {
   PipelineObserver* shard_observer_ = nullptr;
   bool has_buffer_engine_ = false;
   ReorderBuffer::Engine buffer_engine_ = ReorderBuffer::Engine::kRing;
+  /// Arena handed to every inner handler (including ones created later).
+  EventArena* buffer_arena_ = nullptr;
 
   /// Global buffer budget (0 = unbounded) and the policy applied when it
   /// is exhausted.

@@ -1,5 +1,6 @@
 #include "disorder/reorder_buffer.h"
 
+#include "common/arena.h"
 #include "common/logging.h"
 
 namespace streamq {
@@ -30,6 +31,36 @@ void ReorderBuffer::SetEngine(Engine engine) {
   if (engine == engine_) return;
   STREAMQ_CHECK(empty());
   engine_ = engine;
+}
+
+void ReorderBuffer::SetArena(EventArena* arena) {
+  if (arena == arena_) return;
+  STREAMQ_CHECK(empty());
+  arena_ = arena;
+}
+
+ReorderBuffer::~ReorderBuffer() {
+  // Return every owned buffer — the live heap, live buckets, and empty
+  // buckets that still hold capacity — so storage survives shard churn.
+  if (arena_ == nullptr) return;
+  if (heap_.capacity() > 0) arena_->Recycle(std::move(heap_));
+  for (RingBucket& b : ring_) {
+    if (b.events.capacity() > 0) arena_->Recycle(std::move(b.events));
+  }
+}
+
+void ReorderBuffer::ReserveHeapStorage() {
+  // Arena-attached heaps start from a pooled buffer (often with a previous
+  // life's full capacity); the malloc path keeps vector growth as-is.
+  if (arena_ != nullptr) heap_ = arena_->AcquireAtLeast(kBucketMaxCapacity);
+}
+
+void ReorderBuffer::ReserveBucket(RingBucket* b) {
+  if (arena_ != nullptr) {
+    b->events = arena_->AcquireAtLeast(RingBucketReserve());
+  } else {
+    b->events.reserve(RingBucketReserve());
+  }
 }
 
 void ReorderBuffer::PushBatch(std::span<const Event> events) {
@@ -242,7 +273,7 @@ void ReorderBuffer::RingPush(Event e) {
   } else if (b.sorted && Less(e, b.events.back())) {
     b.sorted = false;
   }
-  if (b.events.capacity() == 0) b.events.reserve(RingBucketReserve());
+  if (b.events.capacity() == 0) ReserveBucket(&b);
   b.events.push_back(std::move(e));
   ++ring_size_;
   if (ring_size_ > max_size_) max_size_ = ring_size_;
@@ -370,6 +401,13 @@ void ReorderBuffer::RingGrowCapacity(uint64_t span) {
       ring_[RingIndex(q)] = std::move(ob);
     }
   }
+  if (arena_ != nullptr) {
+    // Empty buckets left behind by the remap still hold capacity; pool it
+    // for the new ring's virgin buckets instead of freeing.
+    for (RingBucket& ob : old) {
+      if (ob.events.capacity() > 0) arena_->Recycle(std::move(ob.events));
+    }
+  }
 }
 
 void ReorderBuffer::RingRebucket(int new_shift) {
@@ -402,7 +440,7 @@ void ReorderBuffer::RingRebucket(int new_shift) {
     } else if (b.sorted && Less(e, b.events.back())) {
       b.sorted = false;
     }
-    if (b.events.capacity() == 0) b.events.reserve(RingBucketReserve());
+    if (b.events.capacity() == 0) ReserveBucket(&b);
     b.events.push_back(std::move(e));
   }
 }

@@ -46,6 +46,17 @@ class ReorderBuffer {
 
   Engine engine() const { return engine_; }
 
+  /// Attaches a slab arena: bucket and heap storage is acquired from — and,
+  /// on destruction, recycled into — the arena instead of the heap, so the
+  /// steady state allocates nothing even as shards come and go. Only legal
+  /// while the buffer is empty; nullptr detaches. The arena must outlive
+  /// the buffer (GlobalEventArena always does).
+  void SetArena(EventArena* arena);
+
+  EventArena* arena() const { return arena_; }
+
+  ~ReorderBuffer();
+
   /// Inserts one event. Takes the event by value and moves it into the
   /// buffer so the hot path pays a single copy at the call boundary.
   void Push(Event e) {
@@ -99,6 +110,7 @@ class ReorderBuffer {
   // --- Heap engine -------------------------------------------------------
 
   void HeapPush(Event e) {
+    if (heap_.capacity() == 0) ReserveHeapStorage();
     heap_.push_back(std::move(e));
     SiftUp(heap_.size() - 1);
     if (heap_.size() > max_size_) max_size_ = heap_.size();
@@ -108,6 +120,7 @@ class ReorderBuffer {
   void SiftUp(size_t i);
   void SiftDown(size_t i);
   void Heapify();
+  void ReserveHeapStorage();
 
   // --- Ring engine -------------------------------------------------------
 
@@ -138,6 +151,8 @@ class ReorderBuffer {
 
   void RingPush(Event e);
   void RingPopMin(Event* out);
+  /// First allocation for a virgin bucket: from the arena when attached.
+  void ReserveBucket(RingBucket* b);
   size_t RingPopUpTo(TimestampUs threshold, std::vector<Event>* out);
   size_t RingDrainInto(std::vector<Event>* out);
 
@@ -163,6 +178,7 @@ class ReorderBuffer {
   void RingAdvanceMin();
 
   Engine engine_;
+  EventArena* arena_ = nullptr;
   size_t max_size_ = 0;
 
   // Heap engine state.

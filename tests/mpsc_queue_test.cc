@@ -1,0 +1,173 @@
+// MpscQueue: bounded lock-free multi-producer/single-consumer ring.
+//
+// The contract mirrors SpscQueue (close-then-drain, TryPushFor keeps the
+// value on failure) with one addition: any number of producers may push
+// concurrently. The stress tests here are the ones the TSan job leans on.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/mpsc_queue.h"
+
+namespace streamq {
+namespace {
+
+TEST(MpscQueueTest, CapacityRoundsUpToPowerOfTwoWithFloorOfTwo) {
+  MpscQueue<int> q3(3);
+  EXPECT_EQ(q3.capacity(), 4u);
+  MpscQueue<int> q4(4);
+  EXPECT_EQ(q4.capacity(), 4u);
+  // One slot can't distinguish "published" from "free next lap" in the
+  // sequence scheme, so the floor is 2.
+  MpscQueue<int> q1(1);
+  EXPECT_EQ(q1.capacity(), 2u);
+}
+
+TEST(MpscQueueTest, FifoSingleThread) {
+  MpscQueue<int> q(4);
+  int out = 0;
+  EXPECT_FALSE(q.TryPop(&out));
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.TryPush(int(i)));
+  EXPECT_FALSE(q.TryPush(99));  // Full.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.TryPop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.TryPop(&out));  // Empty again.
+}
+
+TEST(MpscQueueTest, CloseStopsPushesButDrainsPops) {
+  MpscQueue<int> q(4);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  q.Close();
+  EXPECT_TRUE(q.closed());
+  EXPECT_FALSE(q.TryPush(3));  // Closed: no new elements.
+  EXPECT_FALSE(q.Push(3));     // Blocking push returns instead of spinning.
+  int out = 0;
+  EXPECT_TRUE(q.Pop(&out));  // Published elements survive the close…
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out, 2);
+  EXPECT_FALSE(q.Pop(&out));  // …then the drained queue reports done.
+}
+
+TEST(MpscQueueTest, TryPushForTimesOutOnFullRingAndKeepsValue) {
+  MpscQueue<std::unique_ptr<int>> q(2);
+  ASSERT_TRUE(q.TryPush(std::make_unique<int>(0)));
+  ASSERT_TRUE(q.TryPush(std::make_unique<int>(1)));  // Ring now full.
+  auto value = std::make_unique<int>(2);
+  EXPECT_FALSE(q.TryPushFor(std::move(value), /*timeout_us=*/2000));
+  ASSERT_NE(value, nullptr);  // Only consumed on success.
+  EXPECT_EQ(*value, 2);
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(q.TryPop(&out));
+  EXPECT_TRUE(q.TryPushFor(std::move(value), /*timeout_us=*/2000));
+  EXPECT_EQ(value, nullptr);
+}
+
+/// N producers × everything delivered, each producer's subsequence in
+/// order. Encodes (producer, seq) into one int64 so the consumer can check
+/// per-producer monotonicity without any extra synchronization.
+TEST(MpscQueueTest, ManyProducersTransferEverythingInProducerOrder) {
+  constexpr int kProducers = 4;
+  constexpr int64_t kPerProducer = 20000;
+  MpscQueue<int64_t> q(8);  // Tiny ring: constant full/empty contention.
+
+  std::vector<int64_t> next_seq(kProducers, 0);
+  std::atomic<int64_t> received_total{0};
+  std::thread consumer([&] {
+    int64_t item = 0;
+    while (q.Pop(&item)) {
+      const auto p = static_cast<size_t>(item >> 32);
+      const int64_t seq = item & 0xffffffff;
+      ASSERT_LT(p, static_cast<size_t>(kProducers));
+      ASSERT_EQ(seq, next_seq[p]) << "producer " << p << " reordered";
+      ++next_seq[p];
+      received_total.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int64_t i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push((static_cast<int64_t>(p) << 32) | i));
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  q.Close();
+  consumer.join();
+  EXPECT_EQ(received_total.load(), kProducers * kPerProducer);
+}
+
+/// Producers racing a close: every Push observes either success or the
+/// close — never a hang, never a torn element. The consumer drains whatever
+/// was published; accepted == consumed.
+TEST(MpscQueueTest, CloseUnderProducerContentionLosesNothingAccepted) {
+  constexpr int kProducers = 4;
+  MpscQueue<int> q(16);
+  std::atomic<int64_t> accepted{0};
+  std::atomic<bool> closed_seen{false};
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&] {
+      int i = 0;
+      while (q.Push(i)) {
+        accepted.fetch_add(1, std::memory_order_relaxed);
+        ++i;
+      }
+      closed_seen.store(true, std::memory_order_relaxed);
+    });
+  }
+
+  int64_t consumed = 0;
+  int out = 0;
+  // Let traffic build, then slam the door while everyone is mid-push.
+  for (int n = 0; n < 1000; ++n) {
+    if (q.Pop(&out)) ++consumed;
+  }
+  q.Close();
+  for (std::thread& t : producers) t.join();
+  while (q.TryPop(&out)) ++consumed;
+
+  EXPECT_TRUE(closed_seen.load());
+  EXPECT_EQ(consumed, accepted.load());
+}
+
+/// Move-only payloads survive the multi-producer path: nothing is copied,
+/// nothing leaks (ASan checks the latter).
+TEST(MpscQueueTest, MoveOnlyPayloadAcrossProducers) {
+  constexpr int kProducers = 3;
+  constexpr int kPerProducer = 5000;
+  MpscQueue<std::unique_ptr<int>> q(32);
+  std::atomic<int64_t> sum{0};
+  std::thread consumer([&] {
+    std::unique_ptr<int> item;
+    while (q.Pop(&item)) sum.fetch_add(*item, std::memory_order_relaxed);
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(std::make_unique<int>(1)));
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  q.Close();
+  consumer.join();
+  EXPECT_EQ(sum.load(), kProducers * kPerProducer);
+}
+
+}  // namespace
+}  // namespace streamq

@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
-"""Soft throughput-regression guard for the R-F18/R-F19/R-F20 benchmarks.
+"""Soft throughput-regression guard for the R-F18..R-F21 benchmarks.
 
-Reads a freshly produced benchmark CSV (f18_hotpath.csv, f19_disorder.csv
-or f20_degradation.csv, auto-detected from the header) plus the committed
-baseline and applies per-suite checks:
+Reads a freshly produced benchmark CSV (f18_hotpath.csv, f19_disorder.csv,
+f20_degradation.csv or f21_runtime.csv, auto-detected from the header)
+plus the committed baseline and applies per-suite checks:
 
 R-F18 (window-operator hot path):
   1. Equivalence (hard): `checksum` and `emissions` must agree between the
@@ -39,9 +39,29 @@ R-F20 (bounded-memory degradation):
      cap binds; zero means the cap silently stopped applying), and the
      uncapped reference must shed nothing.
 
-All suites: baseline drift (soft) -- fast-engine ns/tuple beyond
-DRIFT_FACTOR x the committed baseline prints a GitHub warning annotation
-but does not fail the job; absolute timings are machine-dependent.
+R-F21 (extreme-scale runtime):
+  1. Equivalence (hard): within every compared group -- feed arena/malloc
+     per batch size, pipeline arena/malloc, mpsc p1/p2/p4, skew
+     static/rebalance per config -- `checksum` must be identical. All the
+     runtime switches (arena, MPSC feed, rebalancing) are performance
+     switches, never semantic ones.
+  2. Arena win (hard): on the smallest-batch feed row the arena must be
+     >= F21_ARENA_TARGET x the malloc path in the same run (per-batch
+     allocation dominates there); larger batches must never invert beyond
+     F21_NO_INVERSION.
+  3. MPSC scaling (hard): with 2 producers the throttled-feed run must be
+     >= F21_MPSC_TARGET x the single-producer run in the same run; p4
+     falling behind p2 is a soft warning (it is overhead-bound).
+  4. Rebalance win (hard): on the sink-latency skew config the static
+     placement must cost >= F21_SKEW_TARGET x the rebalanced run, and the
+     rebalanced row must report migrations > 0. On the pure-cpu config the
+     rebalancer's bookkeeping staying within F21_REBALANCE_TAX of static
+     is a soft warning check.
+
+All suites: baseline drift (soft) -- fast-engine ns/tuple (f21: keps)
+beyond DRIFT_FACTOR x the committed baseline prints a GitHub warning
+annotation but does not fail the job; absolute timings are
+machine-dependent.
 
 Exit status: 1 on a hard-check failure, 0 otherwise.
 
@@ -65,6 +85,16 @@ KEYED_DEEP_PAIR = ("bursty16-deep-perevent", "bursty16-deep-batch256")
 # f20: a never-binding cap may cost at most 2% over the uncapped hot path.
 OVERHEAD_BOUND = 1.02
 
+# f21: same-run relative targets (machine-independent). The arena target is
+# gated on the smallest feed batch (observed ~1.5x); the MPSC target on the
+# 2-producer row (observed ~1.9x); the skew target on the sink-latency
+# config (observed ~2x). No-inversion bounds leave noise headroom.
+F21_ARENA_TARGET = 1.3
+F21_MPSC_TARGET = 1.3
+F21_SKEW_TARGET = 1.2
+F21_NO_INVERSION = 0.95   # arena >= 0.95x malloc on non-gated batches.
+F21_REBALANCE_TAX = 1.15  # soft: pure-cpu rebalance <= 1.15x static.
+
 # Kinds with inline AggregateState folds. Heavy kinds (median/quantile/
 # distinct) keep the polymorphic accumulator, so their hot-engine win is
 # only the flat store -- too small to enforce a ratio on.
@@ -82,6 +112,8 @@ def load(path, key_cols):
 def sniff_suite(path):
     with open(path, newline="") as f:
         header = next(csv.reader(f))
+    if "vshards" in header:
+        return "f21"
     if "policy" in header:
         return "f20"
     return "f19" if "section" in header else "f18"
@@ -268,6 +300,117 @@ def check_f20(args):
     return "f20", configs, failures, warnings
 
 
+def check_f21(args):
+    key_cols = ("section", "config", "mode")
+    current = load(args.current, key_cols)
+    configs = sorted({k[:2] for k in current})
+    failures = []
+    warnings = []
+
+    def pair(section, config, mode_a, mode_b):
+        a = current.get((section, config, mode_a))
+        b = current.get((section, config, mode_b))
+        if a is None or b is None:
+            failures.append(f"{section}/{config}: missing {mode_a}/{mode_b} row")
+            return None
+        # 1. Equivalence: every compared pair produced identical output.
+        if a["checksum"] != b["checksum"]:
+            failures.append(
+                f"{section}/{config}: checksum mismatch "
+                f"{mode_a}={a['checksum']} {mode_b}={b['checksum']}")
+        return a, b
+
+    # 2. Arena win on the feed rows: hard target on the smallest batch
+    # (where per-batch allocation dominates), no inversion on the rest.
+    feed_batches = sorted(
+        (int(c.split("=")[1]), c) for s, c in configs if s == "feed")
+    for i, (_, config) in enumerate(feed_batches):
+        rows = pair("feed", config, "arena", "malloc")
+        if rows is None:
+            continue
+        arena_keps = float(rows[0]["keps"])
+        malloc_keps = float(rows[1]["keps"])
+        bound = F21_ARENA_TARGET if i == 0 else F21_NO_INVERSION
+        if arena_keps < malloc_keps * bound:
+            failures.append(
+                f"feed/{config}: arena {arena_keps:.1f} keps vs malloc "
+                f"{malloc_keps:.1f} ({arena_keps / malloc_keps:.2f}x, "
+                f"bound {bound}x)")
+
+    # Pipeline: end-to-end the window operator dominates, so equivalence
+    # plus no-inversion only.
+    rows = pair("pipeline", "zipf-keyed", "arena", "malloc")
+    if rows is not None:
+        arena_keps = float(rows[0]["keps"])
+        malloc_keps = float(rows[1]["keps"])
+        if arena_keps < malloc_keps * F21_NO_INVERSION:
+            failures.append(
+                f"pipeline/zipf-keyed: arena {arena_keps:.1f} keps vs malloc "
+                f"{malloc_keps:.1f} ({arena_keps / malloc_keps:.2f}x)")
+
+    # 3. MPSC scaling: two producers' throttle sleeps overlap, so p2 must
+    # clearly beat p1 in the same run; p4 is overhead-bound (soft).
+    rows = pair("mpsc", "throttled-feed", "p1", "p2")
+    if rows is not None:
+        p1_keps = float(rows[0]["keps"])
+        p2_keps = float(rows[1]["keps"])
+        if p2_keps < p1_keps * F21_MPSC_TARGET:
+            failures.append(
+                f"mpsc/throttled-feed: p2 {p2_keps:.1f} keps vs p1 "
+                f"{p1_keps:.1f} ({p2_keps / p1_keps:.2f}x, target "
+                f"{F21_MPSC_TARGET}x)")
+        p4 = current.get(("mpsc", "throttled-feed", "p4"))
+        if p4 is not None:
+            if p4["checksum"] != rows[0]["checksum"]:
+                failures.append(
+                    f"mpsc/throttled-feed: p4 checksum {p4['checksum']} vs "
+                    f"p1 {rows[0]['checksum']}")
+            if float(p4["keps"]) < p2_keps:
+                warnings.append(
+                    f"mpsc/throttled-feed: p4 {float(p4['keps']):.1f} keps "
+                    f"behind p2 {p2_keps:.1f}")
+
+    # 4. Rebalance: pays off under sink latency (hard), costs ~nothing on
+    # pure cpu (soft).
+    rows = pair("skew", "sink-latency", "static", "rebalance")
+    if rows is not None:
+        static_ms = float(rows[0]["wall_ms"])
+        rebal_ms = float(rows[1]["wall_ms"])
+        if static_ms < rebal_ms * F21_SKEW_TARGET:
+            failures.append(
+                f"skew/sink-latency: static {static_ms:.2f} ms vs rebalance "
+                f"{rebal_ms:.2f} ({static_ms / rebal_ms:.2f}x, target "
+                f"{F21_SKEW_TARGET}x)")
+        if int(rows[1]["migrations"]) <= 0:
+            failures.append(
+                "skew/sink-latency: rebalanced run performed no migrations")
+    rows = pair("skew", "pure-cpu", "static", "rebalance")
+    if rows is not None:
+        static_ms = float(rows[0]["wall_ms"])
+        rebal_ms = float(rows[1]["wall_ms"])
+        if rebal_ms > static_ms * F21_REBALANCE_TAX:
+            warnings.append(
+                f"skew/pure-cpu: rebalance {rebal_ms:.2f} ms vs static "
+                f"{static_ms:.2f} ({rebal_ms / static_ms:.2f}x, soft bound "
+                f"{F21_REBALANCE_TAX}x)")
+
+    # 5. Soft drift vs. committed baseline on throughput.
+    if args.baseline:
+        baseline = load(args.baseline, key_cols)
+        for key, row in current.items():
+            base = baseline.get(key)
+            if base is None:
+                continue
+            cur_keps = float(row["keps"])
+            base_keps = float(base["keps"])
+            if cur_keps * DRIFT_FACTOR < base_keps:
+                warnings.append(
+                    f"{'/'.join(key)}: {cur_keps:.1f} keps vs baseline "
+                    f"{base_keps:.1f} ({base_keps / cur_keps:.2f}x slower)")
+
+    return "f21", configs, failures, warnings
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("--current", required=True)
@@ -275,7 +418,9 @@ def main():
     args = parser.parse_args()
 
     suite = sniff_suite(args.current)
-    if suite == "f20":
+    if suite == "f21":
+        suite, configs, failures, warnings = check_f21(args)
+    elif suite == "f20":
         suite, configs, failures, warnings = check_f20(args)
     elif suite == "f19":
         suite, configs, failures, warnings = check_f19(args)
