@@ -1,0 +1,113 @@
+/// R-F22 — Service path: multi-tenant server + network load generator.
+///
+/// One table (CSV: bench_results/f22_service.csv), one row per client
+/// count, fixed tenants. Each cell is a full loadgen run against an
+/// in-process StreamQServer over loopback TCP: register 8 tenants, drive
+/// the same seeded per-tenant workloads through 1..8 rate-paced client
+/// connections, seal every tenant, and fold the per-tenant result
+/// checksums.
+///
+/// Two properties, gated by tools/check_bench_regression.py (f22 suite):
+///
+///   * Determinism — with clients <= tenants every tenant has a single
+///     writer, so each tenant sees the exact same byte stream no matter
+///     how many clients carry it. The combined checksum must be identical
+///     across ALL rows, every row's accounting identity
+///     (in == out + late + shed) must hold, delivery must be exact
+///     (sent == ingested), and errors must be zero.
+///
+///   * Scaling — pacing is per client (each connection sleeps between
+///     batches like a real rate-limited feed), so the sleeps of concurrent
+///     clients overlap and wall time drops ~1/clients even on one core:
+///     the same property the MPSC section of R-F21 gates, here measured
+///     through the full socket + frame + session path. clients=4 must
+///     reach >= 1.3x the throughput of clients=1 (hard; ideal is ~4x);
+///     clients=8 falling behind clients=4 is a soft warning.
+///
+/// The rate (100k events/s per client, batch 512 => one send per ~5.1 ms)
+/// is chosen so the pacing sleep dominates per-batch server work by >10x
+/// on any plausible machine: the sweep measures connection-level
+/// concurrency, not aggregation speed.
+
+#include <cstdint>
+
+#include "bench/bench_util.h"
+#include "net/loadgen.h"
+#include "net/server.h"
+
+namespace streamq {
+namespace bench {
+namespace {
+
+constexpr int kTenants = 8;
+constexpr int64_t kEventsPerTenant = 20000;
+constexpr double kRatePerClient = 100000.0;
+
+void Run() {
+  StreamQServer server;
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::cerr << "server start failed: " << started.ToString() << "\n";
+    std::exit(1);
+  }
+
+  TableWriter table(
+      "R-F22: service path — loadgen throughput and tail latency vs client "
+      "connections (8 tenants, paced clients, loopback TCP)",
+      {"clients", "tenants", "events", "rate_eps", "batch", "wall_ms", "keps",
+       "rtt_p50_us", "rtt_p99_us", "errors", "identities", "deliveries",
+       "checksum"});
+
+  for (int clients : {1, 2, 4, 8}) {
+    LoadGenOptions options;
+    options.port = server.port();
+    options.clients = clients;
+    options.tenants = kTenants;
+    options.events_per_tenant = kEventsPerTenant;
+    options.rate_eps = kRatePerClient;
+    options.batch = 512;
+    options.seed = 42;
+
+    constexpr int kReps = 2;  // Best-of-N: pacing makes reps near-identical,
+                              // the min shrugs off scheduler hiccups.
+    LoadGenReport best;
+    for (int rep = 0; rep < kReps; ++rep) {
+      Result<LoadGenReport> run = RunLoadGen(options);
+      if (!run.ok()) {
+        std::cerr << "loadgen failed (clients=" << clients
+                  << "): " << run.status().ToString() << "\n";
+        std::exit(1);
+      }
+      if (rep == 0 || run.value().wall_s < best.wall_s) {
+        best = std::move(run).value();
+      }
+    }
+
+    table.BeginRow();
+    table.Cell(static_cast<int64_t>(clients));
+    table.Cell(static_cast<int64_t>(kTenants));
+    table.Cell(best.events_sent);
+    table.Cell(kRatePerClient, 0);
+    table.Cell(static_cast<int64_t>(options.batch));
+    table.Cell(best.wall_s * 1000.0, 2);
+    table.Cell(best.throughput_eps / 1000.0, 1);
+    table.Cell(best.rtt_p50_us, 1);
+    table.Cell(best.rtt_p99_us, 1);
+    table.Cell(best.errors);
+    table.Cell(static_cast<int64_t>(best.all_identities_ok ? 1 : 0));
+    table.Cell(static_cast<int64_t>(best.all_deliveries_ok ? 1 : 0));
+    table.Cell(static_cast<int64_t>(best.combined_checksum));
+  }
+
+  EmitTable(table, "f22_service.csv");
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace streamq
+
+int main() {
+  streamq::bench::Run();
+  return 0;
+}

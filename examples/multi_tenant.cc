@@ -6,12 +6,20 @@
 /// (latency-constrained rather than quality-constrained). The example runs
 /// the mixed query set both independently and behind a shared buffer, and
 /// prints the bill: who pays what, under which plan.
+///
+/// Each tenant is described once as a SessionOptions — the same front door
+/// the CLI and the network server use. The independent plan opens one
+/// StreamSession per tenant; the shared plan hands the same option sets'
+/// queries to MultiQueryRunner's shared-handler engine.
 
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
 #include "common/table_writer.h"
 #include "core/multi_query.h"
+#include "core/session_options.h"
+#include "core/stream_session.h"
 #include "quality/oracle.h"
 #include "quality/quality_metrics.h"
 #include "stream/generator.h"
@@ -28,53 +36,80 @@ int main() {
   workload.seed = 21;
   const GeneratedWorkload stream = GenerateWorkload(workload);
 
-  auto make_queries = [] {
-    return std::vector<ContinuousQuery>{
-        QueryBuilder("alerting(q>=0.85)")
-            .Tumbling(Millis(100))
-            .Aggregate("max")
-            .QualityTarget(0.85)
-            .Build(),
-        QueryBuilder("billing(q>=0.99)")
-            .Tumbling(Millis(100))
-            .Aggregate("sum")
-            .QualityTarget(0.99)
-            .Build(),
-        QueryBuilder("capacity(L<=10ms)")
-            .Tumbling(Millis(100))
-            .Aggregate("mean")
-            .LatencyBudget(Millis(10))
-            .Build(),
-    };
-  };
+  std::vector<SessionOptions> tenants;
+  tenants.push_back(SessionOptions()
+                        .Name("alerting(q>=0.85)")
+                        .Window(100)
+                        .Aggregate("max")
+                        .Strategy("aq")
+                        .QualityTarget(0.85));
+  tenants.push_back(SessionOptions()
+                        .Name("billing(q>=0.99)")
+                        .Window(100)
+                        .Aggregate("sum")
+                        .Strategy("aq")
+                        .QualityTarget(0.99));
+  tenants.push_back(SessionOptions()
+                        .Name("capacity(L<=10ms)")
+                        .Window(100)
+                        .Aggregate("mean")
+                        .Strategy("lb")
+                        .LatencyBudget(10));
 
   TableWriter table("multi-tenant plans: independent vs shared buffering",
                     {"plan", "query", "quality", "buf_latency_mean",
                      "peak_buffer"});
-  for (auto plan : {MultiQueryRunner::Plan::kIndependent,
-                    MultiQueryRunner::Plan::kSharedHandler}) {
-    MultiQueryRunner runner(plan);
-    auto queries = make_queries();
+
+  auto add_row = [&](const char* plan, const RunReport& report,
+                     const ContinuousQuery& query) {
+    const OracleEvaluator oracle(stream.arrival_order, query.window.window,
+                                 query.window.aggregate);
+    const QualityReport quality = EvaluateQuality(report.results, oracle);
+    table.BeginRow();
+    table.Cell(plan);
+    table.Cell(report.query_name);
+    table.Cell(quality.MeanQualityIncludingMissed(), 4);
+    table.Cell(FormatDuration(static_cast<DurationUs>(
+        report.handler_stats.buffering_latency_us.mean())));
+    table.Cell(report.handler_stats.max_buffer_size);
+  };
+
+  // Independent plan: one StreamSession per tenant, each with its own
+  // buffer, fed the same stream.
+  for (const SessionOptions& options : tenants) {
+    auto session = StreamSession::Open(options);
+    if (!session.ok()) {
+      std::fprintf(stderr, "open %s: %s\n", options.name.c_str(),
+                   session.status().ToString().c_str());
+      return 1;
+    }
+    VectorSource source(stream.arrival_order);
+    const RunReport report = session.value()->Run(&source);
+    add_row("independent", report, session.value()->query());
+  }
+
+  // Shared plan: every tenant rides one buffer sized for the strictest
+  // contract; queries come from the same SessionOptions.
+  {
+    MultiQueryRunner runner(MultiQueryRunner::Plan::kSharedHandler);
+    std::vector<ContinuousQuery> queries;
+    for (const SessionOptions& options : tenants) {
+      auto query = options.BuildQuery();
+      if (!query.ok()) {
+        std::fprintf(stderr, "build %s: %s\n", options.name.c_str(),
+                     query.status().ToString().c_str());
+        return 1;
+      }
+      queries.push_back(std::move(query).value());
+    }
     for (const ContinuousQuery& q : queries) runner.AddQuery(q);
     VectorSource source(stream.arrival_order);
     const auto reports = runner.Run(&source);
-
     for (size_t i = 0; i < reports.size(); ++i) {
-      const OracleEvaluator oracle(stream.arrival_order,
-                                   queries[i].window.window,
-                                   queries[i].window.aggregate);
-      const QualityReport quality =
-          EvaluateQuality(reports[i].results, oracle);
-      table.BeginRow();
-      table.Cell(plan == MultiQueryRunner::Plan::kIndependent ? "independent"
-                                                              : "shared");
-      table.Cell(reports[i].query_name);
-      table.Cell(quality.MeanQualityIncludingMissed(), 4);
-      table.Cell(FormatDuration(static_cast<DurationUs>(
-          reports[i].handler_stats.buffering_latency_us.mean())));
-      table.Cell(reports[i].handler_stats.max_buffer_size);
+      add_row("shared", reports[i], queries[i]);
     }
   }
+
   table.Print(std::cout);
   std::printf(
       "\nUnder the shared plan every query rides the strictest (billing) "

@@ -6,43 +6,21 @@
 ///   streamq_cli --trace=feed.csv [options]
 ///   streamq_cli --demo            (generate a demo workload instead)
 ///
-/// Options:
-///   --window=<ms>          window size, default 50
-///   --slide=<ms>           slide, default = window (tumbling)
-///   --agg=<name>           count|sum|mean|min|max|var|stddev|median|
-///                          quantile:<q>|distinct, default sum
-///   --strategy=<s>         aq (default) | lb | fixed | mp | watermark | none
-///   --quality=<q>          AQ target, default 0.95
-///   --latency-budget=<ms>  LB budget, default 10
-///   --k=<ms>               fixed K, default 30
-///   --per-key              per-key disorder handling
-///   --lateness=<ms>        allowed lateness (revisions), default 0
+/// Session options (shared with the server's RegisterQuery frames and the
+/// load generator — see core/session_options.h for the full list):
+///   --window=<ms> --slide=<ms> --agg=<name> --strategy=<s> --quality=<q>
+///   --latency-budget=<ms> --k=<ms> --per-key --lateness=<ms>
+///   --threads=<n> --vshards=<v> --rebalance --mpsc=<p> --pin-cores
+///   --arena=<on|off> --buffer-cap=<n> --shed=<policy> --max-slack=<ms>
+///   --validate=<mode>
+///
+/// CLI-only options:
 ///   --audit                score results against the exact oracle
 ///   --results=<n>          print the first n results, default 0
 ///   --metrics-out=<path>   export pipeline metrics after the run ("-" for
 ///                          stdout); also enables a periodic progress line
 ///                          on stderr while the stream is running
 ///   --metrics-format=<f>   prom (default) | json
-///
-/// Parallel runtime (all require --threads, which requires --per-key):
-///   --threads=<n>          run on the sharded keyed runner with n worker
-///                          threads (default 0 = sequential executor)
-///   --vshards=<v>          virtual shards multiplexed over the workers
-///                          (0 = one per worker); must be >= threads
-///   --rebalance            migrate hot shards between workers at safe
-///                          points (single-source runs only)
-///   --mpsc=<p>             feed through p producer threads over lock-free
-///                          MPSC queues; the trace is partitioned into p
-///                          key-disjoint sub-streams (p >= 2)
-///   --pin-cores            pin worker/producer threads to cores
-///                          (best-effort)
-///   --arena=<on|off>       slab-arena batch memory (default on)
-///
-/// Robustness / degradation:
-///   --buffer-cap=<n>       hard cap on buffered tuples (0 = unbounded)
-///   --shed=<policy>        emit-early (default) | drop-newest | drop-oldest
-///   --max-slack=<ms>       clamp on adaptive K (0 = unbounded)
-///   --validate=<mode>      off (default) | drop | strict ingest validation
 ///
 /// Fault injection (all probabilities per tuple, default 0 = off):
 ///   --fault-seed=<n>       fault RNG seed, default 42
@@ -56,6 +34,9 @@
 ///   --fault-burst=<p>      start a disorder burst
 ///   --fault-burst-len=<n>  tuples per burst, default 32
 ///   --fault-burst-spread=<ms>  event-time spread of a burst, default 100
+///
+/// Unknown flags are rejected with a non-zero exit and a closest-match
+/// hint ("unknown flag --thread (did you mean --threads?)").
 
 #include <cstdio>
 #include <cstdlib>
@@ -63,9 +44,9 @@
 #include <string>
 #include <vector>
 
-#include "core/executor.h"
 #include "core/metrics_observer.h"
-#include "core/parallel_runner.h"
+#include "core/session_options.h"
+#include "core/stream_session.h"
 #include "quality/oracle.h"
 #include "quality/quality_metrics.h"
 #include "stream/disorder_metrics.h"
@@ -77,34 +58,26 @@ using namespace streamq;  // Example/tool code only.
 
 namespace {
 
-struct Flags {
+/// Flags the CLI adds on top of the shared SessionOptions vocabulary.
+struct CliFlags {
   std::string trace;
   bool demo = false;
-  int64_t window_ms = 50;
-  int64_t slide_ms = -1;
-  std::string agg = "sum";
-  std::string strategy = "aq";
-  double quality = 0.95;
-  int64_t latency_budget_ms = 10;
-  int64_t k_ms = 30;
-  bool per_key = false;
-  int64_t lateness_ms = 0;
   bool audit = false;
   int64_t print_results = 0;
   std::string metrics_out;
   std::string metrics_format = "prom";
-  int64_t threads = 0;
-  int64_t vshards = 0;
-  bool rebalance = false;
-  bool pin_cores = false;
-  int64_t mpsc = 0;
-  std::string arena = "on";
-  int64_t buffer_cap = 0;
-  std::string shed = "emit-early";
-  int64_t max_slack_ms = 0;
-  std::string validate = "off";
   FaultSpec fault;
 };
+
+/// The CLI-only flag names, for the did-you-mean hint.
+const std::vector<std::string>& CliOnlyFlags() {
+  static const std::vector<std::string> kFlags = {
+      "--trace", "--demo", "--audit", "--results", "--metrics-out",
+      "--metrics-format", "--fault-seed", "--fault-drop", "--fault-dup",
+      "--fault-ts", "--fault-value", "--fault-stall", "--fault-stall-us",
+      "--fault-burst", "--fault-burst-len", "--fault-burst-spread"};
+  return kFlags;
+}
 
 /// True if any fault class is enabled (the injector is only interposed
 /// then, so the default path stays byte-identical to before).
@@ -159,91 +132,99 @@ bool WriteMetrics(const MetricsSnapshot& snapshot, const std::string& path,
   return true;
 }
 
-bool ParseFlag(const char* arg, const char* name, std::string* out) {
+bool TakeFlag(const std::string& arg, const char* name, std::string* out) {
   const size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
-    *out = arg + len + 1;
+  if (arg.compare(0, len, name) == 0 && arg.size() > len &&
+      arg[len] == '=') {
+    *out = arg.substr(len + 1);
     return true;
   }
   return false;
 }
 
-bool ParseFlags(int argc, char** argv, Flags* flags) {
-  for (int i = 1; i < argc; ++i) {
+bool ParseNumeric(const std::string& arg, const char* name,
+                  const std::string& value, double* out) {
+  const Status parsed = ParseDoubleStrict(value, out);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "bad %s: %s\n", name, parsed.ToString().c_str());
+    return false;
+  }
+  (void)arg;
+  return true;
+}
+
+/// Consumes the tokens SessionOptions::ParseTokens did not recognize.
+/// Anything left after the CLI's own flags is a hard error with a
+/// closest-match hint.
+bool ParseCliFlags(const std::vector<std::string>& tokens, CliFlags* flags) {
+  for (const std::string& arg : tokens) {
     std::string value;
-    const char* arg = argv[i];
-    if (std::strcmp(arg, "--demo") == 0) {
+    double num = 0.0;
+    if (arg == "--demo") {
       flags->demo = true;
-    } else if (std::strcmp(arg, "--per-key") == 0) {
-      flags->per_key = true;
-    } else if (std::strcmp(arg, "--audit") == 0) {
+    } else if (arg == "--audit") {
       flags->audit = true;
-    } else if (ParseFlag(arg, "--trace", &value)) {
+    } else if (TakeFlag(arg, "--trace", &value)) {
       flags->trace = value;
-    } else if (ParseFlag(arg, "--window", &value)) {
-      flags->window_ms = std::atoll(value.c_str());
-    } else if (ParseFlag(arg, "--slide", &value)) {
-      flags->slide_ms = std::atoll(value.c_str());
-    } else if (ParseFlag(arg, "--agg", &value)) {
-      flags->agg = value;
-    } else if (ParseFlag(arg, "--strategy", &value)) {
-      flags->strategy = value;
-    } else if (ParseFlag(arg, "--quality", &value)) {
-      flags->quality = std::atof(value.c_str());
-    } else if (ParseFlag(arg, "--latency-budget", &value)) {
-      flags->latency_budget_ms = std::atoll(value.c_str());
-    } else if (ParseFlag(arg, "--k", &value)) {
-      flags->k_ms = std::atoll(value.c_str());
-    } else if (ParseFlag(arg, "--lateness", &value)) {
-      flags->lateness_ms = std::atoll(value.c_str());
-    } else if (ParseFlag(arg, "--results", &value)) {
-      flags->print_results = std::atoll(value.c_str());
-    } else if (ParseFlag(arg, "--metrics-out", &value)) {
+    } else if (TakeFlag(arg, "--results", &value)) {
+      if (!ParseInt64Strict(value, &flags->print_results).ok()) {
+        std::fprintf(stderr, "bad --results: %s\n", value.c_str());
+        return false;
+      }
+    } else if (TakeFlag(arg, "--metrics-out", &value)) {
       flags->metrics_out = value;
-    } else if (ParseFlag(arg, "--metrics-format", &value)) {
+    } else if (TakeFlag(arg, "--metrics-format", &value)) {
       flags->metrics_format = value;
-    } else if (std::strcmp(arg, "--rebalance") == 0) {
-      flags->rebalance = true;
-    } else if (std::strcmp(arg, "--pin-cores") == 0) {
-      flags->pin_cores = true;
-    } else if (ParseFlag(arg, "--threads", &value)) {
-      flags->threads = std::atoll(value.c_str());
-    } else if (ParseFlag(arg, "--vshards", &value)) {
-      flags->vshards = std::atoll(value.c_str());
-    } else if (ParseFlag(arg, "--mpsc", &value)) {
-      flags->mpsc = std::atoll(value.c_str());
-    } else if (ParseFlag(arg, "--arena", &value)) {
-      flags->arena = value;
-    } else if (ParseFlag(arg, "--buffer-cap", &value)) {
-      flags->buffer_cap = std::atoll(value.c_str());
-    } else if (ParseFlag(arg, "--shed", &value)) {
-      flags->shed = value;
-    } else if (ParseFlag(arg, "--max-slack", &value)) {
-      flags->max_slack_ms = std::atoll(value.c_str());
-    } else if (ParseFlag(arg, "--validate", &value)) {
-      flags->validate = value;
-    } else if (ParseFlag(arg, "--fault-seed", &value)) {
-      flags->fault.seed = static_cast<uint64_t>(std::atoll(value.c_str()));
-    } else if (ParseFlag(arg, "--fault-drop", &value)) {
-      flags->fault.drop_prob = std::atof(value.c_str());
-    } else if (ParseFlag(arg, "--fault-dup", &value)) {
-      flags->fault.duplicate_prob = std::atof(value.c_str());
-    } else if (ParseFlag(arg, "--fault-ts", &value)) {
-      flags->fault.timestamp_corrupt_prob = std::atof(value.c_str());
-    } else if (ParseFlag(arg, "--fault-value", &value)) {
-      flags->fault.value_corrupt_prob = std::atof(value.c_str());
-    } else if (ParseFlag(arg, "--fault-stall", &value)) {
-      flags->fault.stall_prob = std::atof(value.c_str());
-    } else if (ParseFlag(arg, "--fault-stall-us", &value)) {
-      flags->fault.stall_us = std::atoll(value.c_str());
-    } else if (ParseFlag(arg, "--fault-burst", &value)) {
-      flags->fault.burst_prob = std::atof(value.c_str());
-    } else if (ParseFlag(arg, "--fault-burst-len", &value)) {
-      flags->fault.burst_len = std::atoll(value.c_str());
-    } else if (ParseFlag(arg, "--fault-burst-spread", &value)) {
-      flags->fault.burst_spread_us = Millis(std::atoll(value.c_str()));
+    } else if (TakeFlag(arg, "--fault-seed", &value)) {
+      int64_t seed = 0;
+      if (!ParseInt64Strict(value, &seed).ok()) {
+        std::fprintf(stderr, "bad --fault-seed: %s\n", value.c_str());
+        return false;
+      }
+      flags->fault.seed = static_cast<uint64_t>(seed);
+    } else if (TakeFlag(arg, "--fault-drop", &value)) {
+      if (!ParseNumeric(arg, "--fault-drop", value, &num)) return false;
+      flags->fault.drop_prob = num;
+    } else if (TakeFlag(arg, "--fault-dup", &value)) {
+      if (!ParseNumeric(arg, "--fault-dup", value, &num)) return false;
+      flags->fault.duplicate_prob = num;
+    } else if (TakeFlag(arg, "--fault-ts", &value)) {
+      if (!ParseNumeric(arg, "--fault-ts", value, &num)) return false;
+      flags->fault.timestamp_corrupt_prob = num;
+    } else if (TakeFlag(arg, "--fault-value", &value)) {
+      if (!ParseNumeric(arg, "--fault-value", value, &num)) return false;
+      flags->fault.value_corrupt_prob = num;
+    } else if (TakeFlag(arg, "--fault-stall", &value)) {
+      if (!ParseNumeric(arg, "--fault-stall", value, &num)) return false;
+      flags->fault.stall_prob = num;
+    } else if (TakeFlag(arg, "--fault-stall-us", &value)) {
+      if (!ParseInt64Strict(value, &flags->fault.stall_us).ok()) {
+        std::fprintf(stderr, "bad --fault-stall-us: %s\n", value.c_str());
+        return false;
+      }
+    } else if (TakeFlag(arg, "--fault-burst", &value)) {
+      if (!ParseNumeric(arg, "--fault-burst", value, &num)) return false;
+      flags->fault.burst_prob = num;
+    } else if (TakeFlag(arg, "--fault-burst-len", &value)) {
+      if (!ParseInt64Strict(value, &flags->fault.burst_len).ok()) {
+        std::fprintf(stderr, "bad --fault-burst-len: %s\n", value.c_str());
+        return false;
+      }
+    } else if (TakeFlag(arg, "--fault-burst-spread", &value)) {
+      int64_t ms = 0;
+      if (!ParseInt64Strict(value, &ms).ok()) {
+        std::fprintf(stderr, "bad --fault-burst-spread: %s\n", value.c_str());
+        return false;
+      }
+      flags->fault.burst_spread_us = Millis(ms);
     } else {
-      std::fprintf(stderr, "unknown flag: %s\n", arg);
+      const std::string hint = SuggestFlag(arg, CliOnlyFlags());
+      if (hint.empty()) {
+        std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      } else {
+        std::fprintf(stderr, "unknown flag: %s (did you mean %s?)\n",
+                     arg.c_str(), hint.c_str());
+      }
       return false;
     }
   }
@@ -264,87 +245,35 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
                  fault_ok.ToString().c_str());
     return false;
   }
-  if (flags->threads < 0) {
-    std::fprintf(stderr, "bad --threads: %lld (want >= 0)\n",
-                 static_cast<long long>(flags->threads));
-    return false;
-  }
-  if (flags->arena != "on" && flags->arena != "off") {
-    std::fprintf(stderr, "bad --arena: %s (want on or off)\n",
-                 flags->arena.c_str());
-    return false;
-  }
-  if (flags->threads == 0) {
-    if (flags->vshards != 0 || flags->rebalance || flags->pin_cores ||
-        flags->mpsc != 0) {
-      std::fprintf(stderr,
-                   "--vshards/--rebalance/--pin-cores/--mpsc require "
-                   "--threads=<n>\n");
-      return false;
-    }
-    return true;
-  }
-  if (!flags->per_key) {
-    std::fprintf(stderr,
-                 "--threads shards the key space, so it requires --per-key\n");
-    return false;
-  }
-  if (flags->vshards != 0 && flags->vshards < flags->threads) {
-    std::fprintf(stderr, "bad --vshards: %lld (want 0 or >= --threads)\n",
-                 static_cast<long long>(flags->vshards));
-    return false;
-  }
-  if (flags->mpsc != 0) {
-    if (flags->mpsc < 2) {
-      std::fprintf(stderr, "bad --mpsc: %lld (want >= 2 producers)\n",
-                   static_cast<long long>(flags->mpsc));
-      return false;
-    }
-    if (flags->rebalance) {
-      std::fprintf(stderr, "--rebalance requires a single-source run; "
-                           "drop --mpsc\n");
-      return false;
-    }
-    if (FaultsEnabled(flags->fault)) {
-      std::fprintf(stderr,
-                   "fault injection wraps a single source; drop --mpsc\n");
-      return false;
-    }
-  }
-  return true;
-}
-
-bool ParseShedPolicy(const std::string& name, ShedPolicy* out) {
-  if (name == "emit-early") {
-    *out = ShedPolicy::kEmitEarly;
-  } else if (name == "drop-newest") {
-    *out = ShedPolicy::kDropNewest;
-  } else if (name == "drop-oldest") {
-    *out = ShedPolicy::kDropOldest;
-  } else {
-    return false;
-  }
-  return true;
-}
-
-bool ParseValidation(const std::string& name, IngestValidation* out) {
-  if (name == "off") {
-    *out = IngestValidation::kOff;
-  } else if (name == "drop") {
-    *out = IngestValidation::kDrop;
-  } else if (name == "strict") {
-    *out = IngestValidation::kStrict;
-  } else {
-    return false;
-  }
   return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  Flags flags;
-  if (!ParseFlags(argc, argv, &flags)) return 2;
+  // Session flags go through the shared parser; whatever it does not
+  // recognize comes back for the CLI-only pass.
+  SessionOptions options;
+  options.Name("cli");
+  std::vector<std::string> leftover;
+  const Status parsed = SessionOptions::ParseArgs(argc, argv, &options,
+                                                  &leftover);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s\n", parsed.ToString().c_str());
+    return 2;
+  }
+  CliFlags flags;
+  if (!ParseCliFlags(leftover, &flags)) return 2;
+  const Status valid = options.Validate();
+  if (!valid.ok()) {
+    std::fprintf(stderr, "%s\n", valid.ToString().c_str());
+    return 2;
+  }
+  if (options.mpsc > 0 && FaultsEnabled(flags.fault)) {
+    std::fprintf(stderr,
+                 "fault injection wraps a single source; drop --mpsc\n");
+    return 2;
+  }
 
   // --- Load or generate the stream.
   std::vector<Event> events;
@@ -368,121 +297,30 @@ int main(int argc, char** argv) {
   }
   std::printf("stream: %s\n", ComputeDisorderStats(events).ToString().c_str());
 
-  // --- Build the query.
-  const DurationUs window = Millis(flags.window_ms);
-  const DurationUs slide =
-      flags.slide_ms > 0 ? Millis(flags.slide_ms) : window;
-  QueryBuilder builder("cli");
-  builder.Sliding(window, slide);
-  auto agg = ParseAggregateSpec(flags.agg);
-  if (!agg.ok()) {
-    std::fprintf(stderr, "bad --agg: %s\n", agg.status().ToString().c_str());
+  // --- Open the session (builds the query and the runtime in one step).
+  auto session = StreamSession::Open(options);
+  if (!session.ok()) {
+    std::fprintf(stderr, "%s\n", session.status().ToString().c_str());
     return 2;
   }
-  builder.Aggregate(agg.value());
-  builder.AllowedLateness(Millis(flags.lateness_ms));
-
-  if (flags.strategy == "aq") {
-    builder.QualityTarget(flags.quality);
-  } else if (flags.strategy == "lb") {
-    builder.LatencyBudget(Millis(flags.latency_budget_ms));
-  } else if (flags.strategy == "fixed") {
-    builder.FixedSlack(Millis(flags.k_ms));
-  } else if (flags.strategy == "mp") {
-    builder.AdaptiveMaxSlack();
-  } else if (flags.strategy == "watermark") {
-    WatermarkReorderer::Options wm;
-    wm.bound = Millis(flags.k_ms);
-    wm.allowed_lateness = Millis(flags.lateness_ms);
-    builder.Watermark(wm);
-  } else if (flags.strategy == "none") {
-    builder.NoDisorderHandling();
-  } else {
-    std::fprintf(stderr, "unknown --strategy: %s\n", flags.strategy.c_str());
-    return 2;
-  }
-  if (flags.per_key) builder.PerKey();
-
-  ShedPolicy shed_policy = ShedPolicy::kEmitEarly;
-  if (!ParseShedPolicy(flags.shed, &shed_policy)) {
-    std::fprintf(stderr,
-                 "unknown --shed: %s (want emit-early, drop-newest or "
-                 "drop-oldest)\n",
-                 flags.shed.c_str());
-    return 2;
-  }
-  if (flags.buffer_cap > 0) {
-    builder.BufferCap(static_cast<size_t>(flags.buffer_cap), shed_policy);
-  }
-  if (flags.max_slack_ms > 0) builder.MaxSlack(Millis(flags.max_slack_ms));
-  IngestValidation validation = IngestValidation::kOff;
-  if (!ParseValidation(flags.validate, &validation)) {
-    std::fprintf(stderr, "unknown --validate: %s (want off, drop or strict)\n",
-                 flags.validate.c_str());
-    return 2;
-  }
-  builder.ValidateIngest(validation);
-
-  ContinuousQuery query = builder.Build();
-  if (flags.threads > 0 && flags.arena == "on") {
-    // Arena mode also backs the reorder buffers with recycled bucket slabs.
-    query.handler = query.handler.WithArena();
-  }
-  std::printf("query: %s\n", query.Describe().c_str());
+  std::printf("query: %s\n", session.value()->query().Describe().c_str());
 
   // --- Run.
   CliObserver observer;
   const bool want_metrics = !flags.metrics_out.empty();
+  if (want_metrics) session.value()->SetObserver(&observer);
   VectorSource source(std::move(events));
   RunReport report;
-  if (flags.threads > 0) {
-    ParallelOptions popts;
-    popts.use_arena = flags.arena == "on";
-    popts.pin_cores = flags.pin_cores;
-    popts.virtual_shards = static_cast<size_t>(flags.vshards);
-    popts.rebalance = flags.rebalance;
-    ShardedKeyedRunner runner(query, static_cast<size_t>(flags.threads),
-                              popts);
-    if (want_metrics) runner.SetObserver(&observer);
-    if (flags.mpsc > 0) {
-      // Key-disjoint partitions: every key's events flow through exactly one
-      // producer, which keeps per-key first emissions interleaving-invariant
-      // (see ShardedKeyedRunner::RunMultiSource).
-      const size_t parts = static_cast<size_t>(flags.mpsc);
-      std::vector<std::vector<Event>> partitioned(parts);
-      for (const Event& e : source.events()) {
-        partitioned[ShardedKeyedRunner::ShardOf(e.key, parts)].push_back(e);
-      }
-      std::vector<VectorSource> part_sources;
-      part_sources.reserve(parts);
-      for (std::vector<Event>& part : partitioned) {
-        part_sources.emplace_back(std::move(part));
-      }
-      std::vector<EventSource*> sources;
-      sources.reserve(parts);
-      for (VectorSource& s : part_sources) sources.push_back(&s);
-      report = runner.RunMultiSource(sources);
-    } else if (FaultsEnabled(flags.fault)) {
-      FaultInjectingSource faulty(&source, flags.fault);
-      report = runner.Run(&faulty);
-      std::printf("faults: %s\n", faulty.stats().ToString().c_str());
-    } else {
-      report = runner.Run(&source);
-    }
-    if (flags.rebalance) {
-      std::printf("rebalance: %lld shard migration(s)\n",
-                  static_cast<long long>(runner.migrations()));
-    }
-  } else if (FaultsEnabled(flags.fault)) {
-    QueryExecutor exec(query);
-    if (want_metrics) exec.SetObserver(&observer);
+  if (FaultsEnabled(flags.fault)) {
     FaultInjectingSource faulty(&source, flags.fault);
-    report = exec.Run(&faulty);
+    report = session.value()->Run(&faulty);
     std::printf("faults: %s\n", faulty.stats().ToString().c_str());
   } else {
-    QueryExecutor exec(query);
-    if (want_metrics) exec.SetObserver(&observer);
-    report = exec.Run(&source);
+    report = session.value()->Run(&source);
+  }
+  if (options.rebalance) {
+    std::printf("rebalance: %lld shard migration(s)\n",
+                static_cast<long long>(session.value()->migrations()));
   }
   std::printf("%s\n", report.ToString().c_str());
   if (!report.status.ok()) {
@@ -506,6 +344,7 @@ int main(int argc, char** argv) {
 
   // --- Optional oracle audit.
   if (flags.audit) {
+    const ContinuousQuery& query = session.value()->query();
     const OracleEvaluator oracle(source.events(), query.window.window,
                                  query.window.aggregate);
     const QualityReport quality = EvaluateQuality(report.results, oracle);

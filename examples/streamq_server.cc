@@ -1,0 +1,114 @@
+/// streamq_server — the long-running streamq service: accepts the
+/// length-prefixed frame protocol (src/net/frame.h) on localhost TCP and
+/// runs one isolated StreamSession per registered tenant.
+///
+/// Usage:
+///   streamq_server [--port=<p>] [--max-frame-mb=<n>] [--quiet]
+///
+///   --port=<p>          listen port on 127.0.0.1 (default 0 = ephemeral;
+///                       the bound port is printed either way)
+///   --max-frame-mb=<n>  per-frame payload cap in MiB, default 16
+///   --quiet             suppress the final stats line
+///
+/// The process runs until a client sends a kShutdown frame (e.g.
+/// `streamq_loadgen --shutdown`) or it receives SIGINT/SIGTERM. Query
+/// registration happens over the wire: RegisterQuery frames carry the same
+/// `--flag=value` session vocabulary the CLI parses, so anything the CLI
+/// can run, a tenant can register.
+
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/session_options.h"
+#include "net/server.h"
+
+using namespace streamq;  // Example/tool code only.
+
+namespace {
+
+StreamQServer* g_server = nullptr;
+
+void HandleSignal(int) {
+  if (g_server != nullptr) g_server->Stop();
+}
+
+const std::vector<std::string>& ServerFlags() {
+  static const std::vector<std::string> kFlags = {"--port", "--max-frame-mb",
+                                                  "--quiet"};
+  return kFlags;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerOptions options;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    const std::string flag = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    int64_t num = 0;
+    if (flag == "--port") {
+      if (!ParseInt64Strict(value, &num).ok() || num < 0 || num > 65535) {
+        std::fprintf(stderr, "bad --port: %s\n", value.c_str());
+        return 2;
+      }
+      options.port = static_cast<uint16_t>(num);
+    } else if (flag == "--max-frame-mb") {
+      if (!ParseInt64Strict(value, &num).ok() || num < 1) {
+        std::fprintf(stderr, "bad --max-frame-mb: %s\n", value.c_str());
+        return 2;
+      }
+      options.max_frame_payload = static_cast<size_t>(num) << 20;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      const std::string hint = SuggestFlag(arg, ServerFlags());
+      if (hint.empty()) {
+        std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      } else {
+        std::fprintf(stderr, "unknown flag: %s (did you mean %s?)\n",
+                     arg.c_str(), hint.c_str());
+      }
+      return 2;
+    }
+  }
+
+  StreamQServer server(options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  g_server = &server;
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  // The port line is machine-readable on purpose: harnesses launch with
+  // --port=0 and scrape the bound port from the first stdout line.
+  std::printf("streamq_server listening on 127.0.0.1:%u\n", server.port());
+  std::fflush(stdout);
+
+  server.WaitForShutdownRequest();
+  server.Stop();
+  g_server = nullptr;
+
+  if (!quiet) {
+    const ServerStats stats = server.stats();
+    std::printf(
+        "served %lld connection(s), %lld frame(s), %lld event(s); "
+        "%lld tenant(s) registered, %lld unregistered; "
+        "%lld protocol error(s), %lld application error(s)\n",
+        static_cast<long long>(stats.connections_accepted),
+        static_cast<long long>(stats.frames_processed),
+        static_cast<long long>(stats.events_ingested),
+        static_cast<long long>(stats.tenants_registered),
+        static_cast<long long>(stats.tenants_unregistered),
+        static_cast<long long>(stats.protocol_errors),
+        static_cast<long long>(stats.application_errors));
+  }
+  return 0;
+}

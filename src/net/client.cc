@@ -1,0 +1,107 @@
+#include "net/client.h"
+
+#include <utility>
+
+namespace streamq {
+
+Result<std::unique_ptr<StreamQClient>> StreamQClient::Connect(
+    uint16_t port, DurationUs reply_timeout) {
+  STREAMQ_ASSIGN_OR_RETURN(Socket sock, ConnectLoopback(port));
+  STREAMQ_RETURN_NOT_OK(sock.SetRecvTimeout(reply_timeout));
+  return std::unique_ptr<StreamQClient>(
+      new StreamQClient(std::move(sock), reply_timeout));
+}
+
+Status StreamQClient::RegisterQuery(uint32_t tenant,
+                                    const SessionOptions& options) {
+  Frame request{FrameType::kRegisterQuery, tenant, options.Serialize()};
+  STREAMQ_ASSIGN_OR_RETURN(Frame reply, RoundTrip(request));
+  (void)reply;
+  return Status::OK();
+}
+
+Status StreamQClient::Ingest(uint32_t tenant, std::span<const Event> events) {
+  Frame request{FrameType::kIngest, tenant, {}};
+  EncodeEventBatch(events, &request.payload);
+  STREAMQ_ASSIGN_OR_RETURN(Frame reply, RoundTrip(request));
+  (void)reply;
+  return Status::OK();
+}
+
+Status StreamQClient::Heartbeat(uint32_t tenant, TimestampUs event_time_bound,
+                                TimestampUs stream_time) {
+  Frame request{FrameType::kHeartbeat, tenant, {}};
+  AppendI64(event_time_bound, &request.payload);
+  AppendI64(stream_time, &request.payload);
+  STREAMQ_ASSIGN_OR_RETURN(Frame reply, RoundTrip(request));
+  (void)reply;
+  return Status::OK();
+}
+
+Result<SnapshotStats> StreamQClient::Snapshot(uint32_t tenant) {
+  STREAMQ_ASSIGN_OR_RETURN(
+      Frame reply, RoundTrip(Frame{FrameType::kSnapshot, tenant, {}}));
+  if (reply.type != FrameType::kReport) {
+    return Status::IOError("snapshot reply was not a report frame");
+  }
+  SnapshotStats stats;
+  STREAMQ_RETURN_NOT_OK(DecodeSnapshotStats(reply.payload, &stats));
+  return stats;
+}
+
+Result<SnapshotStats> StreamQClient::Unregister(uint32_t tenant) {
+  STREAMQ_ASSIGN_OR_RETURN(
+      Frame reply, RoundTrip(Frame{FrameType::kUnregister, tenant, {}}));
+  if (reply.type != FrameType::kReport) {
+    return Status::IOError("unregister reply was not a report frame");
+  }
+  SnapshotStats stats;
+  STREAMQ_RETURN_NOT_OK(DecodeSnapshotStats(reply.payload, &stats));
+  return stats;
+}
+
+Status StreamQClient::Shutdown() {
+  STREAMQ_ASSIGN_OR_RETURN(Frame reply,
+                           RoundTrip(Frame{FrameType::kShutdown, 0, {}}));
+  (void)reply;
+  return Status::OK();
+}
+
+Result<Frame> StreamQClient::RoundTrip(const Frame& request) {
+  std::string wire;
+  AppendFrame(request, &wire);
+  STREAMQ_RETURN_NOT_OK(sock_.SendAll(wire.data(), wire.size()));
+  return AwaitReply();
+}
+
+Result<Frame> StreamQClient::SendRawAndAwaitReply(std::string_view bytes) {
+  STREAMQ_RETURN_NOT_OK(sock_.SendAll(bytes.data(), bytes.size()));
+  return AwaitReply();
+}
+
+Result<Frame> StreamQClient::AwaitReply() {
+  char buf[64 * 1024];
+  for (;;) {
+    Frame frame;
+    bool have_frame = false;
+    STREAMQ_RETURN_NOT_OK(decoder_.Next(&frame, &have_frame));
+    if (have_frame) {
+      if (!IsReplyFrameType(frame.type)) {
+        return Status::IOError("server sent a request-typed frame");
+      }
+      if (frame.type == FrameType::kError) {
+        Status decoded = DecodeError(frame.payload);
+        if (decoded.ok()) {
+          return Status::IOError("error frame carried an OK status");
+        }
+        return decoded;
+      }
+      return frame;
+    }
+    STREAMQ_ASSIGN_OR_RETURN(size_t n, sock_.Recv(buf, sizeof(buf)));
+    if (n == 0) return Status::IOError("connection closed by server");
+    decoder_.Feed(std::string_view(buf, n));
+  }
+}
+
+}  // namespace streamq

@@ -1,0 +1,70 @@
+#ifndef STREAMQ_NET_CLIENT_H_
+#define STREAMQ_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "core/session_options.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "stream/event.h"
+
+namespace streamq {
+
+/// Blocking request/reply client for the streamq frame protocol. One
+/// connection, one outstanding request at a time — exactly the discipline
+/// the load generator and tests need. Not thread-safe.
+class StreamQClient {
+ public:
+  /// Connects to the server on 127.0.0.1:`port`. `reply_timeout` bounds
+  /// every round trip so a wedged server fails the call instead of hanging
+  /// the caller.
+  static Result<std::unique_ptr<StreamQClient>> Connect(
+      uint16_t port, DurationUs reply_timeout = Seconds(30));
+
+  /// Registers `tenant` with a session built from `options` — serialized
+  /// into the same `--flag=value` text the CLI parses.
+  Status RegisterQuery(uint32_t tenant, const SessionOptions& options);
+
+  /// Sends a batch of events to `tenant`'s session.
+  Status Ingest(uint32_t tenant, std::span<const Event> events);
+
+  /// Source heartbeat for sequential sessions.
+  Status Heartbeat(uint32_t tenant, TimestampUs event_time_bound,
+                   TimestampUs stream_time);
+
+  /// Live accounting snapshot for `tenant`.
+  Result<SnapshotStats> Snapshot(uint32_t tenant);
+
+  /// Finishes `tenant`'s session and returns its final sealed report
+  /// stats; the tenant id is free afterwards.
+  Result<SnapshotStats> Unregister(uint32_t tenant);
+
+  /// Asks the server process to shut down.
+  Status Shutdown();
+
+  /// Sends one fully-formed request frame and waits for the reply. kError
+  /// replies come back as the decoded Status.
+  Result<Frame> RoundTrip(const Frame& request);
+
+  /// Test hook: writes raw bytes on the connection (malformed-frame
+  /// injection) and waits for one reply frame.
+  Result<Frame> SendRawAndAwaitReply(std::string_view bytes);
+
+ private:
+  StreamQClient(Socket sock, DurationUs reply_timeout)
+      : sock_(std::move(sock)), reply_timeout_(reply_timeout) {}
+
+  /// Reads until one complete frame (or timeout / EOF / decode error).
+  Result<Frame> AwaitReply();
+
+  Socket sock_;
+  DurationUs reply_timeout_;
+  FrameDecoder decoder_;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_NET_CLIENT_H_

@@ -1,0 +1,337 @@
+#include "net/server.h"
+
+#include <utility>
+
+namespace streamq {
+
+StreamQServer::StreamQServer(ServerOptions options)
+    : options_(options) {}
+
+StreamQServer::~StreamQServer() { Stop(); }
+
+Status StreamQServer::Start() {
+  if (running_) return Status::FailedPrecondition("server already running");
+  STREAMQ_RETURN_NOT_OK(listener_.Listen(options_.port));
+  stop_ = false;
+  running_ = true;
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void StreamQServer::WaitForShutdownRequest() {
+  std::unique_lock<std::mutex> lock(shutdown_mu_);
+  shutdown_cv_.wait(lock, [this] { return shutdown_requested_ || stop_; });
+}
+
+void StreamQServer::Stop() {
+  if (!running_.exchange(false)) return;
+  stop_ = true;
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    shutdown_cv_.notify_all();
+  }
+  listener_.Close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Unblock every connection thread sitting in Recv, then join.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (auto& conn : connections_) conn->sock.ShutdownReadWrite();
+  }
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    connections.swap(connections_);
+  }
+  for (auto& conn : connections) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  // Seal any sessions their tenants never unregistered, so driver threads
+  // are joined before the registry is torn down.
+  std::map<uint32_t, std::shared_ptr<Tenant>> tenants;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    tenants.swap(tenants_);
+  }
+  for (auto& [id, tenant] : tenants) {
+    std::lock_guard<std::mutex> lock(tenant->mu);
+    if (tenant->session && !tenant->session->finished()) {
+      tenant->session->Finish();
+    }
+  }
+}
+
+ServerStats StreamQServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+size_t StreamQServer::active_tenants() const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  return tenants_.size();
+}
+
+void StreamQServer::AcceptLoop() {
+  while (!stop_) {
+    Result<Socket> accepted = listener_.Accept(options_.accept_poll);
+    if (!accepted.ok()) {
+      if (accepted.status().code() == StatusCode::kResourceExhausted) {
+        continue;  // Poll timeout: re-check the stop flag.
+      }
+      break;  // Listener closed (Stop) or fatal.
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->sock = std::move(accepted).value();
+    (void)conn->sock.SetRecvTimeout(options_.recv_poll);
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.connections_accepted;
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stop_) break;
+    conn->thread = std::thread([this, raw] { ConnectionLoop(raw); });
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void StreamQServer::ConnectionLoop(Connection* conn) {
+  FrameDecoder decoder(options_.max_frame_payload);
+  char buf[64 * 1024];
+  while (!stop_) {
+    Result<size_t> received = conn->sock.Recv(buf, sizeof(buf));
+    if (!received.ok()) {
+      if (received.status().code() == StatusCode::kResourceExhausted) {
+        continue;  // Recv timeout: re-check the stop flag.
+      }
+      return;  // Connection error.
+    }
+    if (received.value() == 0) return;  // Orderly EOF.
+    decoder.Feed(std::string_view(buf, received.value()));
+    for (;;) {
+      Frame request;
+      bool have_frame = false;
+      const Status framing = decoder.Next(&request, &have_frame);
+      if (!framing.ok()) {
+        // Framing is unrecoverable: one error reply, then drop the
+        // connection. No session was touched, so other tenants (and even
+        // this tenant's session) are unaffected.
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.protocol_errors;
+        }
+        std::string wire;
+        AppendFrame(ErrorReply(0, framing, /*protocol=*/false), &wire);
+        (void)conn->sock.SendAll(wire.data(), wire.size());
+        return;
+      }
+      if (!have_frame) break;
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.frames_processed;
+      }
+      if (!IsRequestFrameType(request.type)) {
+        // Reply-typed frames from a client are nonsense; treat like framing
+        // corruption and drop the connection after answering.
+        std::string wire;
+        AppendFrame(ErrorReply(request.tenant,
+                               Status::InvalidArgument(
+                                   "reply-typed frame sent by client"),
+                               /*protocol=*/true),
+                    &wire);
+        (void)conn->sock.SendAll(wire.data(), wire.size());
+        return;
+      }
+      const Frame reply = HandleFrame(request);
+      std::string wire;
+      AppendFrame(reply, &wire);
+      if (!conn->sock.SendAll(wire.data(), wire.size()).ok()) return;
+      if (request.type == FrameType::kShutdown) {
+        std::lock_guard<std::mutex> lock(shutdown_mu_);
+        shutdown_requested_ = true;
+        shutdown_cv_.notify_all();
+        return;
+      }
+    }
+  }
+}
+
+Frame StreamQServer::HandleFrame(const Frame& request) {
+  switch (request.type) {
+    case FrameType::kRegisterQuery:
+      return HandleRegister(request);
+    case FrameType::kIngest:
+      return HandleIngest(request);
+    case FrameType::kHeartbeat:
+      return HandleHeartbeat(request);
+    case FrameType::kSnapshot:
+      return HandleSnapshot(request, /*unregister=*/false);
+    case FrameType::kUnregister:
+      return HandleSnapshot(request, /*unregister=*/true);
+    case FrameType::kShutdown:
+      return Frame{FrameType::kOk, request.tenant, {}};
+    default:
+      return ErrorReply(request.tenant,
+                        Status::InvalidArgument("unhandled frame type"),
+                        /*protocol=*/true);
+  }
+}
+
+Frame StreamQServer::HandleRegister(const Frame& request) {
+  Result<SessionOptions> options = SessionOptions::Deserialize(request.payload);
+  if (!options.ok()) {
+    return ErrorReply(request.tenant, options.status(), /*protocol=*/true);
+  }
+  Result<std::unique_ptr<StreamSession>> session =
+      StreamSession::Open(options.value());
+  if (!session.ok()) {
+    return ErrorReply(request.tenant, session.status(), /*protocol=*/true);
+  }
+  auto tenant = std::make_shared<Tenant>();
+  tenant->session = std::move(session).value();
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    const auto [it, inserted] = tenants_.emplace(request.tenant, tenant);
+    (void)it;
+    if (!inserted) {
+      return ErrorReply(
+          request.tenant,
+          Status::AlreadyExists("tenant " + std::to_string(request.tenant) +
+                                " already registered"),
+          /*protocol=*/true);
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.tenants_registered;
+  }
+  return Frame{FrameType::kOk, request.tenant, {}};
+}
+
+Frame StreamQServer::HandleIngest(const Frame& request) {
+  std::shared_ptr<Tenant> tenant = FindTenant(request.tenant);
+  if (!tenant) {
+    return ErrorReply(request.tenant,
+                      Status::NotFound("tenant " +
+                                       std::to_string(request.tenant) +
+                                       " not registered"),
+                      /*protocol=*/true);
+  }
+  std::vector<Event> events;
+  const Status decoded = DecodeEventBatch(request.payload, &events);
+  if (!decoded.ok()) {
+    // Malformed batch: rejected before it reaches the session, so the
+    // tenant's accounting is untouched.
+    return ErrorReply(request.tenant, decoded, /*protocol=*/true);
+  }
+  Status ingest;
+  {
+    std::lock_guard<std::mutex> lock(tenant->mu);
+    if (tenant->session->finished()) {
+      return ErrorReply(request.tenant,
+                        Status::FailedPrecondition("session finished"),
+                        /*protocol=*/true);
+    }
+    ingest = tenant->session->Ingest(events);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.events_ingested += static_cast<int64_t>(events.size());
+  }
+  if (!ingest.ok()) {
+    // Application-level (e.g. strict validation): the batch was accounted,
+    // the session keeps running, and the client learns the sticky status.
+    return ErrorReply(request.tenant, ingest, /*protocol=*/false);
+  }
+  return Frame{FrameType::kOk, request.tenant, {}};
+}
+
+Frame StreamQServer::HandleHeartbeat(const Frame& request) {
+  std::shared_ptr<Tenant> tenant = FindTenant(request.tenant);
+  if (!tenant) {
+    return ErrorReply(request.tenant,
+                      Status::NotFound("tenant " +
+                                       std::to_string(request.tenant) +
+                                       " not registered"),
+                      /*protocol=*/true);
+  }
+  PayloadReader reader(request.payload);
+  int64_t bound = 0;
+  int64_t stream_time = 0;
+  Status parsed = reader.ReadI64(&bound);
+  if (parsed.ok()) parsed = reader.ReadI64(&stream_time);
+  if (parsed.ok()) parsed = reader.ExpectEnd();
+  if (!parsed.ok()) {
+    return ErrorReply(request.tenant, parsed, /*protocol=*/true);
+  }
+  Status beat;
+  {
+    std::lock_guard<std::mutex> lock(tenant->mu);
+    if (tenant->session->finished()) {
+      return ErrorReply(request.tenant,
+                        Status::FailedPrecondition("session finished"),
+                        /*protocol=*/true);
+    }
+    beat = tenant->session->Heartbeat(bound, stream_time);
+  }
+  if (!beat.ok()) return ErrorReply(request.tenant, beat, /*protocol=*/false);
+  return Frame{FrameType::kOk, request.tenant, {}};
+}
+
+Frame StreamQServer::HandleSnapshot(const Frame& request, bool unregister) {
+  std::shared_ptr<Tenant> tenant = FindTenant(request.tenant);
+  if (!tenant) {
+    return ErrorReply(request.tenant,
+                      Status::NotFound("tenant " +
+                                       std::to_string(request.tenant) +
+                                       " not registered"),
+                      /*protocol=*/true);
+  }
+  if (!request.payload.empty()) {
+    return ErrorReply(request.tenant,
+                      Status::InvalidArgument("unexpected payload"),
+                      /*protocol=*/true);
+  }
+  SnapshotStats stats;
+  {
+    std::lock_guard<std::mutex> lock(tenant->mu);
+    StreamSession* session = tenant->session.get();
+    if (unregister && !session->finished()) session->Finish();
+    stats = SnapshotFromReport(session->Snapshot(),
+                               session->events_ingested(),
+                               session->finished());
+  }
+  if (unregister) {
+    {
+      std::lock_guard<std::mutex> lock(registry_mu_);
+      tenants_.erase(request.tenant);
+    }
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.tenants_unregistered;
+  }
+  Frame reply{FrameType::kReport, request.tenant, {}};
+  EncodeSnapshotStats(stats, &reply.payload);
+  return reply;
+}
+
+Frame StreamQServer::ErrorReply(uint32_t tenant, const Status& status,
+                                bool protocol) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    if (protocol) {
+      ++stats_.protocol_errors;
+    } else {
+      ++stats_.application_errors;
+    }
+  }
+  Frame reply{FrameType::kError, tenant, {}};
+  EncodeError(status, &reply.payload);
+  return reply;
+}
+
+std::shared_ptr<StreamQServer::Tenant> StreamQServer::FindTenant(uint32_t id) {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  const auto it = tenants_.find(id);
+  return it == tenants_.end() ? nullptr : it->second;
+}
+
+}  // namespace streamq

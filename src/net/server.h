@@ -1,0 +1,151 @@
+#ifndef STREAMQ_NET_SERVER_H_
+#define STREAMQ_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/stream_session.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace streamq {
+
+struct ServerOptions {
+  /// Port to bind on 127.0.0.1 (0 = ephemeral; read it back via port()).
+  uint16_t port = 0;
+
+  /// Per-frame payload bound; larger length prefixes are protocol errors.
+  size_t max_frame_payload = kDefaultMaxFramePayload;
+
+  /// Accept-poll granularity (how quickly Stop() is observed).
+  DurationUs accept_poll = Millis(100);
+
+  /// Connection recv timeout: the read loop wakes this often to check the
+  /// stop flag, then resumes.
+  DurationUs recv_poll = Millis(200);
+};
+
+/// Monotonic server-wide counters (snapshot via StreamQServer::stats()).
+struct ServerStats {
+  int64_t connections_accepted = 0;
+  int64_t frames_processed = 0;
+  /// Malformed traffic: framing errors, unknown tenants/types, bad
+  /// payloads, rejected registrations. The smoke gates hold this at zero
+  /// for well-behaved load.
+  int64_t protocol_errors = 0;
+  /// Application-level error replies on well-formed frames (e.g. strict
+  /// ingest validation tripping) — a tenant hurting itself, not the
+  /// protocol.
+  int64_t application_errors = 0;
+  int64_t events_ingested = 0;
+  int64_t tenants_registered = 0;
+  int64_t tenants_unregistered = 0;
+};
+
+/// The streamq service: a long-running multi-tenant continuous-query server
+/// speaking the frame protocol (net/frame.h) over localhost TCP.
+///
+/// Every tenant is one StreamSession opened through the same
+/// SessionOptions front door the CLI uses — RegisterQuery payloads are
+/// literally the CLI's `--flag=value` vocabulary. Tenants are fully
+/// isolated: each has its own session (own handler, window store, arena
+/// wiring, optional sharded runner) and its own mutex, so one tenant's
+/// malformed frames, validation rejects, or shed events cannot perturb
+/// another tenant's pipeline — the per-tenant `in == out + late + shed`
+/// identity and result bytes match a solo run exactly.
+///
+/// Threading: one accept thread plus one thread per connection. A frame
+/// addressed to tenant T locks only T's mutex, so concurrent clients
+/// driving different tenants run in parallel; two connections driving the
+/// same tenant serialize (and interleave at batch granularity).
+///
+/// Failure containment: a connection whose byte stream breaks framing
+/// (bad magic, oversized length, unknown type) gets one kError reply and
+/// is closed — a corrupt length-prefixed stream has no resync point. A
+/// well-formed frame with a bad payload (unparseable options, mangled
+/// event batch, unknown tenant) gets a kError reply and the connection
+/// lives on. Neither path touches any session.
+class StreamQServer {
+ public:
+  explicit StreamQServer(ServerOptions options = {});
+  ~StreamQServer();
+
+  StreamQServer(const StreamQServer&) = delete;
+  StreamQServer& operator=(const StreamQServer&) = delete;
+
+  /// Binds, listens, and starts the accept thread.
+  Status Start();
+
+  /// Bound port (valid after Start; the ephemeral-port answer).
+  uint16_t port() const { return listener_.port(); }
+
+  /// Blocks until a client sends kShutdown (or Stop is called).
+  void WaitForShutdownRequest();
+
+  /// Stops accepting, unblocks and joins every connection thread, and
+  /// finishes any still-registered sessions. Idempotent.
+  void Stop();
+
+  bool running() const { return running_; }
+
+  ServerStats stats() const;
+
+  size_t active_tenants() const;
+
+ private:
+  /// One registered tenant: the session plus the mutex serializing access
+  /// to it. Held by shared_ptr so a frame in flight survives a concurrent
+  /// unregister (it then sees a finished session and reports the error).
+  struct Tenant {
+    std::mutex mu;
+    std::unique_ptr<StreamSession> session;
+  };
+
+  struct Connection {
+    Socket sock;
+    std::thread thread;
+  };
+
+  void AcceptLoop();
+  void ConnectionLoop(Connection* conn);
+
+  /// Dispatches one well-formed frame; returns the reply frame.
+  Frame HandleFrame(const Frame& request);
+  Frame HandleRegister(const Frame& request);
+  Frame HandleIngest(const Frame& request);
+  Frame HandleHeartbeat(const Frame& request);
+  Frame HandleSnapshot(const Frame& request, bool unregister);
+
+  Frame ErrorReply(uint32_t tenant, const Status& status, bool protocol);
+
+  std::shared_ptr<Tenant> FindTenant(uint32_t id);
+
+  ServerOptions options_;
+  Listener listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+
+  mutable std::mutex registry_mu_;
+  std::map<uint32_t, std::shared_ptr<Tenant>> tenants_;
+
+  std::mutex conn_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  mutable std::mutex stats_mu_;
+  ServerStats stats_;
+
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_requested_ = false;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_NET_SERVER_H_

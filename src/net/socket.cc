@@ -1,0 +1,163 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace streamq {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in LoopbackAddr(uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::ShutdownReadWrite() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Status Socket::SendAll(const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd_, p + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<size_t> Socket::Recv(void* buf, size_t size) {
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, size, 0);
+    if (n >= 0) return static_cast<size_t>(n);
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::ResourceExhausted("recv timeout");
+    }
+    return Errno("recv");
+  }
+}
+
+Status Socket::SetRecvTimeout(DurationUs timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout / 1000000);
+  tv.tv_usec = static_cast<suseconds_t>(timeout % 1000000);
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0) {
+    return Errno("setsockopt(SO_RCVTIMEO)");
+  }
+  return Status::OK();
+}
+
+Status Socket::SetNoDelay() {
+  const int one = 1;
+  if (::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return Errno("setsockopt(TCP_NODELAY)");
+  }
+  return Status::OK();
+}
+
+Result<Socket> ConnectLoopback(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  Socket sock(fd);
+  const sockaddr_in addr = LoopbackAddr(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    return Errno("connect to 127.0.0.1:" + std::to_string(port));
+  }
+  (void)sock.SetNoDelay();  // Best-effort.
+  return sock;
+}
+
+Status Listener::Listen(uint16_t port, int backlog) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return Errno("socket");
+  const int one = 1;
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = LoopbackAddr(port);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status st = Errno("bind 127.0.0.1:" + std::to_string(port));
+    Close();
+    return st;
+  }
+  if (::listen(fd_, backlog) != 0) {
+    const Status st = Errno("listen");
+    Close();
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    const Status st = Errno("getsockname");
+    Close();
+    return st;
+  }
+  port_ = ntohs(bound.sin_port);
+  return Status::OK();
+}
+
+Result<Socket> Listener::Accept(DurationUs timeout) {
+  if (fd_ < 0) return Status::IOError("accept on closed listener");
+  pollfd pfd{};
+  pfd.fd = fd_;
+  pfd.events = POLLIN;
+  const int ready = ::poll(&pfd, 1, static_cast<int>(timeout / 1000));
+  if (ready < 0) {
+    if (errno == EINTR) return Status::ResourceExhausted("accept interrupted");
+    return Errno("poll");
+  }
+  if (ready == 0) return Status::ResourceExhausted("accept timeout");
+  const int fd = ::accept(fd_, nullptr, nullptr);
+  if (fd < 0) return Errno("accept");
+  Socket sock(fd);
+  (void)sock.SetNoDelay();  // Best-effort.
+  return sock;
+}
+
+void Listener::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace streamq

@@ -1,0 +1,87 @@
+#ifndef STREAMQ_NET_SOCKET_H_
+#define STREAMQ_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+#include "common/time.h"
+
+namespace streamq {
+
+/// Thin RAII wrappers over POSIX loopback TCP — just enough socket for the
+/// streamq server and clients, with Status-based errors and no external
+/// dependencies. IPv4 127.0.0.1 only by design: the protocol is a local
+/// service/loadgen split, not an internet-facing endpoint.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  void Close();
+
+  /// Half-closes both directions without releasing the fd — unblocks a
+  /// thread sitting in Recv on this socket (used for shutdown).
+  void ShutdownReadWrite();
+
+  /// Writes all of `data`, looping over partial sends. EINTR is retried.
+  Status SendAll(const void* data, size_t size);
+
+  /// Reads up to `size` bytes. Returns the count (0 = orderly EOF), or
+  /// ResourceExhausted on a receive-timeout, or IOError.
+  Result<size_t> Recv(void* buf, size_t size);
+
+  /// Receive timeout for Recv (0 disables — block indefinitely).
+  Status SetRecvTimeout(DurationUs timeout);
+
+  /// Disables Nagle; the protocol is request/reply over loopback, where
+  /// coalescing only adds latency.
+  Status SetNoDelay();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connects to 127.0.0.1:`port`.
+Result<Socket> ConnectLoopback(uint16_t port);
+
+/// Listening socket on 127.0.0.1 with poll-based accept so the accept loop
+/// can observe a stop flag.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { Close(); }
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and listens.
+  Status Listen(uint16_t port, int backlog = 64);
+
+  /// The bound port (after Listen; useful with port 0).
+  uint16_t port() const { return port_; }
+
+  /// Waits up to `timeout` for a connection. ResourceExhausted when none
+  /// arrived in time (poll again), IOError when the listener is dead.
+  Result<Socket> Accept(DurationUs timeout);
+
+  void Close();
+
+  bool valid() const { return fd_ >= 0; }
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_NET_SOCKET_H_

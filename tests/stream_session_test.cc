@@ -1,0 +1,238 @@
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/executor.h"
+#include "core/session_options.h"
+#include "core/stream_session.h"
+#include "stream/generator.h"
+#include "stream/source.h"
+
+namespace streamq {
+namespace {
+
+std::vector<Event> TestStream(int64_t n = 30000, uint64_t seed = 7) {
+  WorkloadConfig config;
+  config.num_events = n;
+  config.num_keys = 8;
+  config.seed = seed;
+  return GenerateWorkload(config).arrival_order;
+}
+
+bool IdentityHolds(const RunReport& report) {
+  const DisorderHandlerStats& h = report.handler_stats;
+  return h.events_in == h.events_out + h.events_late + h.events_shed;
+}
+
+std::vector<WindowResult> Sorted(std::vector<WindowResult> results) {
+  std::sort(results.begin(), results.end(),
+            [](const WindowResult& a, const WindowResult& b) {
+              if (a.bounds.start != b.bounds.start) {
+                return a.bounds.start < b.bounds.start;
+              }
+              if (a.key != b.key) return a.key < b.key;
+              return a.value < b.value;
+            });
+  return results;
+}
+
+TEST(StreamSession, OpenRejectsInvalidOptions) {
+  SessionOptions options;
+  options.Threads(2);  // Missing per_key.
+  auto session = StreamSession::Open(options);
+  EXPECT_EQ(session.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StreamSession, SequentialRunMatchesHandRolledExecutor) {
+  const std::vector<Event> events = TestStream();
+  SessionOptions options;
+  options.Name("facade").Window(100).Aggregate("sum").QualityTarget(0.9);
+
+  auto session = StreamSession::Open(options);
+  ASSERT_TRUE(session.ok());
+  VectorSource source(events);
+  const RunReport via_session = session.value()->Run(&source);
+
+  // The facade must assemble exactly what the old hand-rolled wiring did.
+  auto query = options.BuildQuery();
+  ASSERT_TRUE(query.ok());
+  QueryExecutor executor(query.value());
+  VectorSource source2(events);
+  const RunReport direct = executor.Run(&source2);
+
+  EXPECT_EQ(via_session.results, direct.results);
+  EXPECT_EQ(via_session.events_processed, direct.events_processed);
+  EXPECT_EQ(via_session.handler_stats.events_late,
+            direct.handler_stats.events_late);
+  EXPECT_TRUE(IdentityHolds(via_session));
+  EXPECT_TRUE(session.value()->finished());
+}
+
+TEST(StreamSession, SequentialIncrementalMatchesWholeStreamRun) {
+  const std::vector<Event> events = TestStream();
+  SessionOptions options;
+  options.Window(100).QualityTarget(0.95);
+
+  auto whole = StreamSession::Open(options);
+  ASSERT_TRUE(whole.ok());
+  VectorSource source(events);
+  const RunReport run_report = whole.value()->Run(&source);
+
+  auto incremental = StreamSession::Open(options);
+  ASSERT_TRUE(incremental.ok());
+  // Feed in the same chunk size Run uses so the comparison is exact.
+  for (size_t i = 0; i < events.size(); i += QueryExecutor::kDefaultRunBatchSize) {
+    const size_t n = std::min(QueryExecutor::kDefaultRunBatchSize, events.size() - i);
+    ASSERT_TRUE(incremental.value()
+                    ->Ingest(std::span<const Event>(events.data() + i, n))
+                    .ok());
+  }
+  const RunReport inc_report = incremental.value()->Finish();
+
+  EXPECT_EQ(inc_report.results, run_report.results);
+  EXPECT_EQ(inc_report.events_processed, run_report.events_processed);
+  EXPECT_EQ(incremental.value()->events_ingested(),
+            static_cast<int64_t>(events.size()));
+  EXPECT_TRUE(IdentityHolds(inc_report));
+}
+
+TEST(StreamSession, SnapshotReadsLiveProgressSequential) {
+  const std::vector<Event> events = TestStream(5000);
+  SessionOptions options;
+  auto session = StreamSession::Open(options);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()
+                  ->Ingest(std::span<const Event>(events.data(), 2000))
+                  .ok());
+  const RunReport live = session.value()->Snapshot();
+  EXPECT_EQ(live.events_processed, 2000);
+  EXPECT_FALSE(session.value()->finished());
+  session.value()->Finish();
+  EXPECT_TRUE(session.value()->finished());
+}
+
+TEST(StreamSession, ThreadedIncrementalMatchesThreadedRun) {
+  const std::vector<Event> events = TestStream();
+  SessionOptions options;
+  options.Window(100).QualityTarget(0.9).PerKey().Threads(2);
+
+  auto whole = StreamSession::Open(options);
+  ASSERT_TRUE(whole.ok());
+  VectorSource source(events);
+  const RunReport run_report = whole.value()->Run(&source);
+  ASSERT_TRUE(run_report.status.ok());
+
+  auto incremental = StreamSession::Open(options);
+  ASSERT_TRUE(incremental.ok());
+  for (size_t i = 0; i < events.size(); i += 1000) {
+    const size_t n = std::min<size_t>(1000, events.size() - i);
+    ASSERT_TRUE(incremental.value()
+                    ->Ingest(std::span<const Event>(events.data() + i, n))
+                    .ok());
+  }
+  const RunReport inc_report = incremental.value()->Finish();
+  ASSERT_TRUE(inc_report.status.ok());
+
+  // Shard-local processing is deterministic for a fixed arrival order, so
+  // the merged result multisets must agree exactly.
+  EXPECT_EQ(Sorted(inc_report.results), Sorted(run_report.results));
+  EXPECT_EQ(inc_report.events_processed, run_report.events_processed);
+  EXPECT_TRUE(IdentityHolds(inc_report));
+  EXPECT_EQ(incremental.value()->events_ingested(),
+            static_cast<int64_t>(events.size()));
+}
+
+TEST(StreamSession, ThreadedSnapshotMidRunReportsPending) {
+  const std::vector<Event> events = TestStream(4000);
+  SessionOptions options;
+  options.PerKey().Threads(2);
+  auto session = StreamSession::Open(options);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()->Ingest(events).ok());
+  const RunReport live = session.value()->Snapshot();
+  EXPECT_EQ(live.runtime_config, "pending");
+  EXPECT_EQ(live.events_processed, static_cast<int64_t>(events.size()));
+  const RunReport final_report = session.value()->Finish();
+  EXPECT_TRUE(IdentityHolds(final_report));
+  // After Finish, Snapshot returns the sealed report.
+  EXPECT_EQ(session.value()->Snapshot().results, final_report.results);
+}
+
+TEST(StreamSession, RunIsExclusiveWithIncremental) {
+  const std::vector<Event> events = TestStream(1000);
+  SessionOptions options;
+  auto session = StreamSession::Open(options);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()
+                  ->Ingest(std::span<const Event>(events.data(), 100))
+                  .ok());
+  VectorSource source(events);
+  const RunReport report = session.value()->Run(&source);
+  EXPECT_EQ(report.status.code(), StatusCode::kFailedPrecondition);
+
+  auto ran = StreamSession::Open(options);
+  ASSERT_TRUE(ran.ok());
+  VectorSource source2(events);
+  ASSERT_TRUE(ran.value()->Run(&source2).status.ok());
+  VectorSource source3(events);
+  EXPECT_EQ(ran.value()->Run(&source3).status.code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ran.value()->Ingest(events).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(StreamSession, FinishIsIdempotent) {
+  SessionOptions options;
+  auto session = StreamSession::Open(options);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()->Ingest(TestStream(500)).ok());
+  const RunReport& first = session.value()->Finish();
+  const RunReport& second = session.value()->Finish();
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(first.results, second.results);
+}
+
+TEST(StreamSession, HeartbeatDrainsSequentialAndRejectsThreaded) {
+  SessionOptions options;
+  options.Window(100).FixedK(10);
+  auto session = StreamSession::Open(options);
+  ASSERT_TRUE(session.ok());
+  std::vector<Event> events;
+  for (int i = 0; i < 100; ++i) {
+    Event e;
+    e.id = i;
+    e.key = 0;
+    e.event_time = i * Millis(1);
+    e.arrival_time = e.event_time;
+    e.value = 1.0;
+    events.push_back(e);
+  }
+  ASSERT_TRUE(session.value()->Ingest(events).ok());
+  // A heartbeat far past the data must flush completed windows mid-stream.
+  ASSERT_TRUE(session.value()->Heartbeat(Millis(1000), Millis(1000)).ok());
+  const RunReport live = session.value()->Snapshot();
+  EXPECT_GT(live.results.size(), 0u);
+
+  SessionOptions threaded;
+  threaded.PerKey().Threads(2);
+  auto tsession = StreamSession::Open(threaded);
+  ASSERT_TRUE(tsession.ok());
+  EXPECT_EQ(tsession.value()->Heartbeat(0, 0).code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(StreamSession, DestructorFinishesThreadedSession) {
+  // A threaded session abandoned mid-stream must join its driver thread
+  // instead of crashing or leaking (the server relies on this on Stop()).
+  SessionOptions options;
+  options.PerKey().Threads(2);
+  auto session = StreamSession::Open(options);
+  ASSERT_TRUE(session.ok());
+  ASSERT_TRUE(session.value()->Ingest(TestStream(2000)).ok());
+  session.value().reset();  // Must not hang.
+}
+
+}  // namespace
+}  // namespace streamq
