@@ -1,0 +1,153 @@
+/// R-F23 — Amend-capable window engine + speculative emit-then-amend.
+///
+/// One table (CSV: bench_results/f23_amend.csv), one row per
+/// (workload, kind, mode):
+///
+///   * mode=hot-buffered — the incumbent: Fixed(1s) K-slack reordering in
+///     front of the kHot flat-store engine. Slack is generous enough that
+///     no tuple of the standard workloads is late, so its finals are the
+///     exact reference answer. Its settle latency IS the buffering delay:
+///     every window waits out the full slack before firing.
+///
+///   * mode=amend-buffered — same buffered feed, kAmend B-tree store.
+///     Isolates the amend store's overhead on the in-order path (the price
+///     of amend capability when nothing needs amending).
+///
+///   * mode=amend-speculative — the PR's mode: no reorder buffer, the
+///     output watermark trails the frontier by the amend-rate controller's
+///     adaptive hold, late tuples amend materialized windows in place and
+///     republish revisions. First-emission latency is the headline win;
+///     the amend rate is what it paid for it.
+///
+/// Equivalence evidence rides in the CSV: `final_checksum` folds the last
+/// revision of every (window, key) — all three modes must agree row for
+/// row within a (workload, kind) group, or the speculation repaired to the
+/// wrong answer. Kinds are restricted to order-insensitive exact
+/// aggregates (count / max / median) where final-answer identity is exact
+/// regardless of merge order; sum-family kinds agree only to FP rounding
+/// and are latency-benchmarked elsewhere (R-F18).
+///
+/// The latency gate in tools/check_bench_regression.py: on rows where
+/// >= 10% of tuples arrived behind the speculative watermark (late_frac),
+/// speculative first-emission p50 must be <= 0.5x the buffered settle p50
+/// measured in the SAME run — machine-independent, like the other f-suite
+/// relative gates.
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/continuous_query.h"
+#include "core/executor.h"
+#include "quality/speculation.h"
+#include "stream/generator.h"
+
+namespace streamq {
+namespace bench {
+namespace {
+
+using Engine = WindowedAggregation::Engine;
+
+constexpr int64_t kNumEvents = 200000;
+constexpr DurationUs kBufferedSlack = Seconds(1);
+
+struct ModeSpec {
+  const char* name;
+  bool speculative;
+  Engine engine;
+};
+
+const ModeSpec kModes[] = {
+    {"hot-buffered", false, Engine::kHot},
+    {"amend-buffered", false, Engine::kAmend},
+    {"amend-speculative", true, Engine::kAmend},
+};
+
+ContinuousQuery BuildQuery(const ModeSpec& mode, const std::string& kind) {
+  QueryBuilder builder("f23");
+  builder.Sliding(Millis(500), Millis(100)).Aggregate(kind);
+  builder.WindowEngine(mode.engine);
+  // Lateness far beyond every workload's delay tail, in all modes: each
+  // run integrates every tuple (buffered runs amend the rare tuple that
+  // outlives the slack), so the final answers must be identical.
+  builder.AllowedLateness(Seconds(100));
+  if (mode.speculative) {
+    builder.Speculative(0.95);
+  } else {
+    builder.FixedSlack(kBufferedSlack);
+  }
+  return builder.Build();
+}
+
+struct RunOutcome {
+  double ns_per_tuple = 0.0;
+  RunReport report;
+  SpeculationReport speculation;
+  uint64_t final_checksum = 0;
+};
+
+RunOutcome RunMode(const ModeSpec& mode, const std::string& kind,
+                   const GeneratedWorkload& workload) {
+  const ContinuousQuery query = BuildQuery(mode, kind);
+  QueryExecutor exec(query);
+  VectorSource source(workload.arrival_order);
+  RunOutcome out;
+  const auto t0 = std::chrono::steady_clock::now();
+  out.report = exec.Run(&source);
+  const auto t1 = std::chrono::steady_clock::now();
+  out.ns_per_tuple =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() /
+      static_cast<double>(workload.arrival_order.size());
+  out.speculation = AnalyzeSpeculation(out.report.results);
+  out.final_checksum = FinalChecksum(out.report.results);
+  return out;
+}
+
+void Run() {
+  TableWriter table(
+      "R-F23: amend-capable window engine — buffered kHot vs kAmend vs "
+      "speculative emit-then-amend",
+      {"workload", "kind", "mode", "ns_per_tuple", "keps", "emissions",
+       "finals", "amend_rate", "late_frac", "first_p50_us", "settle_p50_us",
+       "final_checksum"});
+
+  const std::vector<std::string> kinds = {"count", "max", "median"};
+  for (const NamedWorkload& w : StandardWorkloads(kNumEvents)) {
+    const GeneratedWorkload workload = GenerateWorkload(w.config);
+    for (const std::string& kind : kinds) {
+      for (const ModeSpec& mode : kModes) {
+        const RunOutcome r = RunMode(mode, kind, workload);
+        const auto& hs = r.report.handler_stats;
+        const double late_frac =
+            hs.events_in > 0 ? static_cast<double>(hs.events_late) /
+                                   static_cast<double>(hs.events_in)
+                             : 0.0;
+        table.BeginRow();
+        table.Cell(w.name);
+        table.Cell(kind);
+        table.Cell(mode.name);
+        table.Cell(r.ns_per_tuple, 2);
+        table.Cell(1e6 / r.ns_per_tuple, 1);
+        table.Cell(r.speculation.emissions);
+        table.Cell(r.speculation.windows);
+        table.Cell(r.speculation.amend_rate, 4);
+        table.Cell(late_frac, 4);
+        table.Cell(r.speculation.first_latency_us.p50, 1);
+        table.Cell(r.speculation.settle_latency_us.p50, 1);
+        table.Cell(static_cast<int64_t>(r.final_checksum));
+      }
+    }
+  }
+
+  EmitTable(table, "f23_amend.csv");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace streamq
+
+int main() {
+  streamq::bench::Run();
+  return 0;
+}

@@ -12,7 +12,7 @@
 ///   --latency-budget=<ms> --k=<ms> --per-key --lateness=<ms>
 ///   --threads=<n> --vshards=<v> --rebalance --mpsc=<p> --pin-cores
 ///   --arena=<on|off> --buffer-cap=<n> --shed=<policy> --max-slack=<ms>
-///   --validate=<mode>
+///   --validate=<mode> --window-engine=<legacy|hot|amend> --speculative
 ///
 /// CLI-only options:
 ///   --audit                score results against the exact oracle

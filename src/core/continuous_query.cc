@@ -24,6 +24,13 @@ Status ContinuousQuery::Validate() const {
   if (window.allowed_lateness < 0) {
     return Status::InvalidArgument("allowed_lateness must be >= 0");
   }
+  if (handler.kind == DisorderHandlerSpec::Kind::kSpeculative &&
+      window.engine == WindowedAggregation::Engine::kLegacy) {
+    return Status::InvalidArgument(
+        "speculative emit-then-amend forwards tuples out of order and "
+        "needs an amend-capable window engine: use --window-engine=amend "
+        "(or hot), not legacy");
+  }
   return handler.Validate();
 }
 
@@ -122,6 +129,34 @@ QueryBuilder& QueryBuilder::Watermark(
 QueryBuilder& QueryBuilder::NoDisorderHandling() {
   query_.handler = DisorderHandlerSpec::PassThrough();
   quality_driven_ = false;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Speculative(double target, double gamma) {
+  SpeculativeHandler::Options options;
+  options.target_quality = target;
+  return SpeculativeDriven(options, gamma);
+}
+
+QueryBuilder& QueryBuilder::SpeculativeDriven(
+    const SpeculativeHandler::Options& options, double gamma) {
+  query_.handler = DisorderHandlerSpec::Speculative(options, gamma);
+  // Same aggregate-aware gamma defaulting as the buffered quality path:
+  // the amend-rate budget should price provisional error the way the
+  // aggregate experiences it.
+  quality_driven_ = true;
+  explicit_gamma_ = gamma > 0.0;
+  gamma_override_ = gamma;
+  // Speculation needs an engine that absorbs out-of-order folds; switch
+  // off the legacy reference unless the caller already chose.
+  if (query_.window.engine == WindowedAggregation::Engine::kLegacy) {
+    query_.window.engine = WindowedAggregation::Engine::kAmend;
+  }
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::WindowEngine(WindowedAggregation::Engine engine) {
+  query_.window.engine = engine;
   return *this;
 }
 

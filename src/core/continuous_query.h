@@ -104,6 +104,21 @@ class QueryBuilder {
   /// emit-then-amend strategy).
   QueryBuilder& NoDisorderHandling();
 
+  /// Speculative emit-then-amend: no reorder buffer, an adaptive hold on
+  /// the output watermark driven by the amend-rate controller. Requires an
+  /// amend-capable window engine (WindowEngine kAmend or kHot); rejected
+  /// with kLegacy by Validate. Like QualityTarget, `target` prices the
+  /// provisional results: 1 - target is the amend-rate budget.
+  QueryBuilder& Speculative(double target = 0.95, double gamma = 0.0);
+
+  /// Speculative with full SpeculativeHandler options control.
+  QueryBuilder& SpeculativeDriven(const SpeculativeHandler::Options& options,
+                                  double gamma = 0.0);
+
+  /// Window engine selection (default kHot). kAmend accepts out-of-order
+  /// tuples directly — the engine the speculative strategies pair with.
+  QueryBuilder& WindowEngine(WindowedAggregation::Engine engine);
+
   /// Runs the chosen disorder strategy per key (one buffer per key, merged
   /// minimum watermark). Call after choosing the strategy.
   QueryBuilder& PerKey(bool on = true);

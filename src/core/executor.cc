@@ -11,12 +11,12 @@ std::string RunReport::ToString() const {
   char buf[512];
   std::snprintf(
       buf, sizeof(buf),
-      "RunReport{%s: events=%lld rejected=%lld results=%zu (revisions=%lld) "
+      "RunReport{%s: events=%lld rejected=%lld results=%zu (amended=%lld) "
       "throughput=%.0f ev/s buf_latency_mean=%s late=%lld dropped=%lld "
       "shed=%lld",
       query_name.c_str(), static_cast<long long>(events_processed),
       static_cast<long long>(events_rejected), results.size(),
-      static_cast<long long>(window_stats.revisions), throughput_eps,
+      static_cast<long long>(results_amended), throughput_eps,
       FormatDuration(
           static_cast<DurationUs>(handler_stats.buffering_latency_us.mean()))
           .c_str(),
@@ -143,6 +143,7 @@ RunReport QueryExecutor::Report() const {
           : 0.0;
   report.handler_stats = handler_->stats();
   report.window_stats = window_op_->stats();
+  report.results_amended = report.window_stats.revisions;
   report.results = result_sink_.results;
   report.final_slack = handler_->current_slack();
   return report;

@@ -41,6 +41,13 @@ struct RunReport {
   DisorderHandlerStats handler_stats;
   WindowedAggregation::Stats window_stats;
 
+  /// Results emitted as revisions of an already-materialized window
+  /// (speculative emit-then-amend repairs; late-tuple amendments under
+  /// allowed lateness). Mirrors window_stats.revisions so report consumers
+  /// need not reach into the nested stats; every amended result's final
+  /// revision matches what a fully-buffered run would have emitted.
+  int64_t results_amended = 0;
+
   /// Every emitted result, revisions included, in emission order.
   std::vector<WindowResult> results;
 

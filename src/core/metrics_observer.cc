@@ -69,6 +69,8 @@ MetricsObserver::MetricsObserver(const MetricsRegistry::Options& options)
       setpoint_(registry_.gauge("streamq.handler.setpoint")),
       windows_fired_(registry_.counter("streamq.window.fired_total")),
       window_revisions_(registry_.counter("streamq.window.revisions_total")),
+      window_amends_(registry_.counter("streamq.window.amends_total")),
+      amend_rate_(registry_.gauge("streamq.window.amend_rate")),
       windows_purged_(registry_.counter("streamq.window.purged_total")),
       live_windows_(registry_.gauge("streamq.window.live_windows")),
       window_late_dropped_(
@@ -145,6 +147,17 @@ void MetricsObserver::OnWindowFired(const WindowResult& result) {
   } else {
     windows_fired_->Increment();
   }
+}
+
+void MetricsObserver::OnAmend(const WindowResult& result) {
+  (void)result;
+  window_amends_->Increment();
+  // Fraction of all emissions that were amendments — the signal the
+  // speculative controller trades against latency.
+  const double amends = static_cast<double>(window_amends_->value());
+  const double fired = static_cast<double>(windows_fired_->value());
+  const double total = amends + fired;
+  amend_rate_->Set(total > 0.0 ? amends / total : 0.0);
 }
 
 void MetricsObserver::OnWindowPurged(TimestampUs window_end,

@@ -45,6 +45,7 @@ class MetricsObserver : public PipelineObserver {
 
   // Window operator.
   void OnWindowFired(const WindowResult& result) override;
+  void OnAmend(const WindowResult& result) override;
   void OnWindowPurged(TimestampUs window_end, size_t live_windows) override;
   void OnWindowLateDropped(const Event& e) override;
 
@@ -81,6 +82,8 @@ class MetricsObserver : public PipelineObserver {
   Gauge* setpoint_;
   Counter* windows_fired_;
   Counter* window_revisions_;
+  Counter* window_amends_;
+  Gauge* amend_rate_;
   Counter* windows_purged_;
   Gauge* live_windows_;
   Counter* window_late_dropped_;

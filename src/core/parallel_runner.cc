@@ -712,6 +712,7 @@ KeyedOutcome RunSharded(const ContinuousQuery& query, size_t num_workers,
     merged.window_stats.late_dropped += r.window_stats.late_dropped;
     merged.window_stats.windows_fired += r.window_stats.windows_fired;
     merged.window_stats.revisions += r.window_stats.revisions;
+    merged.results_amended += r.results_amended;
     merged.window_stats.max_live_windows += r.window_stats.max_live_windows;
     merged.final_slack = std::max(merged.final_slack, r.final_slack);
     merged.results.insert(merged.results.end(),

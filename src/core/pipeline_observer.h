@@ -110,6 +110,11 @@ class PipelineObserver {
   /// A window result was emitted (first firing or revision).
   virtual void OnWindowFired(const WindowResult& result) { (void)result; }
 
+  /// A previously-emitted result was amended: `result` is the revision
+  /// emission patching the earlier value (speculative emit-then-amend and
+  /// allowed-lateness refinement). Fires in addition to OnWindowFired.
+  virtual void OnAmend(const WindowResult& result) { (void)result; }
+
   /// Window state was purged; `live_windows` is the count remaining.
   virtual void OnWindowPurged(TimestampUs window_end, size_t live_windows) {
     (void)window_end;

@@ -85,6 +85,21 @@ Status ParseShedPolicyName(const std::string& name, ShedPolicy* out) {
   return Status::OK();
 }
 
+Status ParseWindowEngineName(const std::string& name,
+                             WindowedAggregation::Engine* out) {
+  if (name == "hot") {
+    *out = WindowedAggregation::Engine::kHot;
+  } else if (name == "amend") {
+    *out = WindowedAggregation::Engine::kAmend;
+  } else if (name == "legacy") {
+    *out = WindowedAggregation::Engine::kLegacy;
+  } else {
+    return Status::InvalidArgument("unknown window engine '" + name +
+                                   "' (want hot, amend or legacy)");
+  }
+  return Status::OK();
+}
+
 Status ParseIngestValidationName(const std::string& name,
                                  IngestValidation* out) {
   if (name == "off") {
@@ -135,6 +150,14 @@ SessionOptions& SessionOptions::LatencyBudget(int64_t ms) {
 SessionOptions& SessionOptions::FixedK(int64_t ms) {
   strategy = "fixed";
   k_ms = ms;
+  return *this;
+}
+SessionOptions& SessionOptions::Speculative(bool on) {
+  speculative = on;
+  return *this;
+}
+SessionOptions& SessionOptions::Engine(std::string engine) {
+  window_engine = std::move(engine);
   return *this;
 }
 SessionOptions& SessionOptions::PerKey(bool on) {
@@ -205,8 +228,26 @@ Status SessionOptions::Validate() const {
         "unknown --strategy: " + strategy +
         " (want aq, lb, fixed, mp, watermark or none)");
   }
-  if (strategy == "aq" && (quality <= 0.0 || quality > 1.0)) {
+  if ((strategy == "aq" || speculative) &&
+      (quality <= 0.0 || quality > 1.0)) {
     return Status::InvalidArgument("--quality must be in (0, 1]");
+  }
+  {
+    WindowedAggregation::Engine engine;
+    STREAMQ_RETURN_NOT_OK(ParseWindowEngineName(window_engine, &engine));
+  }
+  if (speculative) {
+    if (strategy != "aq") {
+      return Status::InvalidArgument(
+          "--speculative is its own disorder strategy (emit-then-amend); "
+          "drop --strategy=" + strategy);
+    }
+    if (window_engine == "legacy") {
+      return Status::InvalidArgument(
+          "--speculative emits provisional results and amends them in "
+          "place, which the legacy reference engine cannot do; use "
+          "--window-engine=amend (or hot)");
+    }
   }
   if (strategy == "lb" && latency_budget_ms <= 0) {
     return Status::InvalidArgument("--latency-budget must be > 0 ms");
@@ -270,7 +311,14 @@ Result<ContinuousQuery> SessionOptions::BuildQuery() const {
   builder.Aggregate(agg_spec.value());
   builder.AllowedLateness(Millis(lateness_ms));
 
-  if (strategy == "aq") {
+  {
+    WindowedAggregation::Engine engine = WindowedAggregation::Engine::kHot;
+    (void)ParseWindowEngineName(window_engine, &engine);  // Validated above.
+    builder.WindowEngine(engine);
+  }
+  if (speculative) {
+    builder.Speculative(quality);
+  } else if (strategy == "aq") {
     builder.QualityTarget(quality);
   } else if (strategy == "lb") {
     builder.LatencyBudget(Millis(latency_budget_ms));
@@ -330,6 +378,10 @@ std::vector<std::string> SessionOptions::ToTokens() const {
   if (slide_ms != defaults.slide_ms) emit("--slide", std::to_string(slide_ms));
   if (agg != defaults.agg) emit("--agg", agg);
   if (strategy != defaults.strategy) emit("--strategy", strategy);
+  if (speculative) out.push_back("--speculative");
+  if (window_engine != defaults.window_engine) {
+    emit("--window-engine", window_engine);
+  }
   if (quality != defaults.quality) {
     std::ostringstream q;
     q << quality;
@@ -456,6 +508,10 @@ Status SessionOptions::ParseTokens(std::span<const std::string> tokens,
       st = int_value(&out->latency_budget_ms);
     } else if (t.flag == "--k") {
       st = int_value(&out->k_ms);
+    } else if (t.flag == "--speculative") {
+      out->speculative = true;
+    } else if (t.flag == "--window-engine") {
+      st = string_value(&out->window_engine);
     } else if (t.flag == "--per-key") {
       out->per_key = true;
     } else if (t.flag == "--lateness") {
@@ -508,7 +564,8 @@ Status SessionOptions::ParseArgs(int argc, char** argv, SessionOptions* out,
 const std::vector<std::string>& SessionOptions::KnownFlags() {
   static const std::vector<std::string>* flags = new std::vector<std::string>{
       "--name",      "--window",    "--slide",          "--agg",
-      "--strategy",  "--quality",   "--latency-budget", "--k",
+      "--strategy",  "--speculative", "--window-engine", "--quality",
+      "--latency-budget", "--k",
       "--per-key",   "--lateness",  "--threads",        "--vshards",
       "--rebalance", "--pin-cores", "--mpsc",           "--arena",
       "--buffer-cap", "--shed",     "--max-slack",      "--validate"};
@@ -518,13 +575,18 @@ const std::vector<std::string>& SessionOptions::KnownFlags() {
 std::string SessionOptions::Describe() const {
   std::ostringstream out;
   const int64_t slide = slide_ms > 0 ? slide_ms : window_ms;
-  out << name << ": sliding(" << window_ms << "ms/" << slide << "ms) " << agg
-      << " via " << strategy;
-  if (strategy == "aq") out << "(q*=" << quality << ")";
-  if (strategy == "lb") out << "(L<=" << latency_budget_ms << "ms)";
-  if (strategy == "fixed" || strategy == "watermark") {
-    out << "(k=" << k_ms << "ms)";
+  out << name << ": sliding(" << window_ms << "ms/" << slide << "ms) " << agg;
+  if (speculative) {
+    out << " via speculative(q*=" << quality << ")";
+  } else {
+    out << " via " << strategy;
+    if (strategy == "aq") out << "(q*=" << quality << ")";
+    if (strategy == "lb") out << "(L<=" << latency_budget_ms << "ms)";
+    if (strategy == "fixed" || strategy == "watermark") {
+      out << "(k=" << k_ms << "ms)";
+    }
   }
+  if (window_engine != "hot") out << " [" << window_engine << " engine]";
   if (per_key) out << " per-key";
   if (threads > 0) {
     out << ", " << threads << " thread" << (threads > 1 ? "s" : "");

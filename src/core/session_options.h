@@ -39,6 +39,18 @@ struct SessionOptions {
   /// Disorder handling strategy: aq|lb|fixed|mp|watermark|none.
   std::string strategy = "aq";
 
+  /// Speculative emit-then-amend: skip the reorder buffer, emit provisional
+  /// results at watermark time and patch them with amendment revisions.
+  /// Replaces the buffered strategy (so combining it with a non-default
+  /// --strategy is rejected) and requires an amend-capable window engine —
+  /// --window-engine=legacy is rejected with it. Uses `quality` as the
+  /// amend-rate target, like aq.
+  bool speculative = false;
+
+  /// Window engine: hot (flat store, the default), amend (out-of-order
+  /// B-tree store), legacy (std::map reference).
+  std::string window_engine = "hot";
+
   /// Strategy parameters (each read only by the matching strategy).
   double quality = 0.95;          // aq: result-quality target in (0, 1].
   int64_t latency_budget_ms = 10; // lb: mean buffering-latency budget.
@@ -74,6 +86,8 @@ struct SessionOptions {
   SessionOptions& QualityTarget(double v);
   SessionOptions& LatencyBudget(int64_t ms);
   SessionOptions& FixedK(int64_t ms);
+  SessionOptions& Speculative(bool on = true);
+  SessionOptions& Engine(std::string engine);
   SessionOptions& PerKey(bool on = true);
   SessionOptions& AllowedLateness(int64_t ms);
   SessionOptions& Threads(int64_t n);
@@ -149,6 +163,8 @@ Status ParseDoubleStrict(const std::string& text, double* out);
 Status ParseShedPolicyName(const std::string& name, ShedPolicy* out);
 Status ParseIngestValidationName(const std::string& name,
                                  IngestValidation* out);
+Status ParseWindowEngineName(const std::string& name,
+                             WindowedAggregation::Engine* out);
 
 }  // namespace streamq
 

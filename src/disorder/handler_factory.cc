@@ -137,6 +137,34 @@ Status DisorderHandlerSpec::Validate() const {
             "watermark: allowed_lateness must be >= 0");
       }
       break;
+    case Kind::kSpeculative:
+      if (speculative.target_quality <= 0.0 ||
+          speculative.target_quality > 1.0) {
+        return Status::InvalidArgument(
+            "speculative: target_quality must be in (0, 1]");
+      }
+      if (speculative.adaptation_interval <= 0) {
+        return Status::InvalidArgument(
+            "speculative: adaptation_interval must be > 0");
+      }
+      if (speculative.p_min <= 0.0 || speculative.p_max > 1.0 ||
+          speculative.p_min >= speculative.p_max) {
+        return Status::InvalidArgument(
+            "speculative: need 0 < p_min < p_max <= 1");
+      }
+      if (speculative.max_step <= 0.0) {
+        return Status::InvalidArgument("speculative: max_step must be > 0");
+      }
+      if (speculative.quality_smoothing_alpha <= 0.0 ||
+          speculative.quality_smoothing_alpha > 1.0) {
+        return Status::InvalidArgument(
+            "speculative: quality_smoothing_alpha must be in (0, 1]");
+      }
+      if (aq_quality_gamma < 0.0) {
+        return Status::InvalidArgument(
+            "speculative: quality gamma must be >= 0 (0 = coverage model)");
+      }
+      break;
   }
   return Status::OK();
 }
@@ -169,6 +197,15 @@ DisorderHandlerSpec DisorderHandlerSpec::Watermark(
   DisorderHandlerSpec s;
   s.kind = Kind::kWatermark;
   s.wm = options;
+  return s;
+}
+
+DisorderHandlerSpec DisorderHandlerSpec::Speculative(
+    const SpeculativeHandler::Options& options, double quality_gamma) {
+  DisorderHandlerSpec s;
+  s.kind = Kind::kSpeculative;
+  s.speculative = options;
+  s.aq_quality_gamma = quality_gamma;
   return s;
 }
 
@@ -210,6 +247,10 @@ std::string DisorderHandlerSpec::Describe() const {
       std::snprintf(buf, sizeof(buf), "watermark(bound=%s, lateness=%s)",
                     FormatDuration(wm.bound).c_str(),
                     FormatDuration(wm.allowed_lateness).c_str());
+      return buf;
+    case Kind::kSpeculative:
+      std::snprintf(buf, sizeof(buf), "speculative(q*=%.3f)",
+                    speculative.target_quality);
       return buf;
   }
   return "?";
@@ -260,6 +301,15 @@ std::unique_ptr<DisorderHandler> BuildHandlerInner(
       WatermarkReorderer::Options options = spec.wm;
       options.collect_latency_samples &= samples;
       return std::make_unique<WatermarkReorderer>(options);
+    }
+    case DisorderHandlerSpec::Kind::kSpeculative: {
+      std::unique_ptr<QualityModel> model;
+      if (spec.aq_quality_gamma > 0.0) {
+        model = MakePowerQualityModel(spec.aq_quality_gamma);
+      }
+      SpeculativeHandler::Options options = spec.speculative;
+      options.collect_latency_samples &= samples;
+      return std::make_unique<SpeculativeHandler>(options, std::move(model));
     }
   }
   STREAMQ_LOG(Fatal) << "unknown disorder handler kind";

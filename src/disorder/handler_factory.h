@@ -12,6 +12,7 @@
 #include "disorder/lb_kslack.h"
 #include "disorder/mp_kslack.h"
 #include "disorder/pass_through.h"
+#include "disorder/speculative.h"
 #include "disorder/watermark_reorderer.h"
 
 namespace streamq {
@@ -26,6 +27,7 @@ struct DisorderHandlerSpec {
     kAqKSlack,
     kLbKSlack,
     kWatermark,
+    kSpeculative,
   };
 
   Kind kind = Kind::kAqKSlack;
@@ -34,7 +36,9 @@ struct DisorderHandlerSpec {
   AqKSlack::Options aq;                 // kAqKSlack
   LbKSlack::Options lb;                 // kLbKSlack
   WatermarkReorderer::Options wm;       // kWatermark
-  /// Optional quality-model exponent for AqKSlack; <= 0 means coverage model.
+  SpeculativeHandler::Options speculative;  // kSpeculative
+  /// Optional quality-model exponent for AqKSlack/SpeculativeHandler;
+  /// <= 0 means coverage model.
   double aq_quality_gamma = 0.0;
 
   /// If true, the configured handler runs *per key* (one instance per key,
@@ -82,6 +86,12 @@ struct DisorderHandlerSpec {
   static DisorderHandlerSpec Lb(const LbKSlack::Options& options);
   static DisorderHandlerSpec Watermark(
       const WatermarkReorderer::Options& options);
+  /// Speculative emit-then-amend: no reorder buffer; the output watermark
+  /// trails the frontier by an adaptive hold driven by the amend-rate
+  /// controller. Requires an amend-capable window engine downstream.
+  static DisorderHandlerSpec Speculative(
+      const SpeculativeHandler::Options& options,
+      double quality_gamma = 0.0);
 
   /// Chainable modifiers: return an adjusted copy, so specs compose in one
   /// expression, e.g. DisorderHandlerSpec::Fixed(Seconds(1)).PerKey().

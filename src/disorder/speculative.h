@@ -1,0 +1,139 @@
+#ifndef STREAMQ_DISORDER_SPECULATIVE_H_
+#define STREAMQ_DISORDER_SPECULATIVE_H_
+
+#include <memory>
+
+#include "common/stats.h"
+#include "control/pi_controller.h"
+#include "disorder/disorder_handler.h"
+#include "disorder/quality_model.h"
+
+namespace streamq {
+
+/// Speculative emit-then-amend execution: the buffer-free alternative to
+/// K-slack reordering, for pipelines whose window engine can absorb
+/// out-of-order tuples directly (WindowedAggregation Engine::kAmend).
+///
+/// Every arrival is forwarded downstream *immediately* — no reorder-buffer
+/// transit, so forwarding latency is zero by construction. Disorder is
+/// managed on the *watermark* instead: the output watermark trails the
+/// event-time frontier by an adaptive hold slack K, so windows fire
+/// provisionally K behind the frontier and stragglers that land inside the
+/// hold band simply fold into not-yet-final state. Only tuples behind the
+/// held watermark become amendments (revision emissions) downstream.
+///
+/// The control loop is the paper's AQ loop re-targeted from buffer slack to
+/// amend rate:
+///
+///  1. sketch observed lateness against the frontier (sliding window);
+///  2. feed-forward: target quality q* -> required coverage c* via the
+///     QualityModel — here coverage is the fraction of tuples that beat the
+///     held watermark, i.e. 1 - amend-rate;
+///  3. feedback: measure the interval amend-rate, convert to quality, and
+///     trim the quantile setpoint with a PI controller on the quality
+///     error. K = Quantile_lateness(p) as in AqKSlack.
+///
+/// Raising q* trades latency for fewer amendments (a longer hold); lowering
+/// it buys latency and lets the amend engine repair the difference. With
+/// allowed lateness covering the residual stragglers, *final* result
+/// quality is 1.0 either way — the quality knob here prices provisional
+/// emissions, which is the speculative trade the paper's buffered operator
+/// cannot express.
+///
+/// Accounting matches the non-buffering contract: forwarded tuples are
+/// events_out with zero buffering latency; tuples behind the held watermark
+/// are events_late (they reach the sink via OnLateEvent and show up
+/// downstream as results_amended, not as loss, when lateness allows).
+class SpeculativeHandler : public DisorderHandler {
+ public:
+  struct Options {
+    /// Target provisional-result quality in (0, 1]: the fraction of tuples
+    /// that should land ahead of the held watermark. 1 - target is the
+    /// amend-rate budget.
+    double target_quality = 0.95;
+
+    /// Lateness sketch window (tuples).
+    size_t sketch_window = 4096;
+
+    /// Re-evaluate the hold slack every this many tuples.
+    int64_t adaptation_interval = 256;
+
+    /// PI gains on quality error (quantile-setpoint units).
+    double kp = 0.8;
+    double ki = 0.25;
+
+    /// Trim range around the feed-forward coverage requirement.
+    double trim_limit = 0.25;
+
+    /// Setpoint clamp (upper bound < 1 keeps K finite under heavy tails).
+    double p_min = 0.05;
+    double p_max = 0.999;
+
+    /// Max setpoint change per adaptation step (slew limiting).
+    double max_step = 0.05;
+
+    /// EWMA weight of the per-interval quality measurement.
+    double quality_smoothing_alpha = 0.3;
+
+    bool collect_latency_samples = true;
+  };
+
+  explicit SpeculativeHandler(const Options& options,
+                              std::unique_ptr<QualityModel> quality_model =
+                                  nullptr);
+
+  std::string_view name() const override { return "speculative"; }
+
+  void OnEvent(const Event& e, EventSink* sink) override;
+  void OnHeartbeat(TimestampUs event_time_bound, TimestampUs stream_time,
+                   EventSink* sink) override;
+  void Flush(EventSink* sink) override;
+
+  /// The hold slack: how far the output watermark trails the frontier.
+  DurationUs current_slack() const override { return k_hold_; }
+
+  void set_max_slack(DurationUs max_slack) override {
+    max_slack_ = max_slack;
+  }
+
+  /// Current quantile setpoint p (instrumentation).
+  double setpoint() const { return p_; }
+
+  /// Smoothed measured quality (1.0 before the first adaptation).
+  double measured_quality() const { return measured_quality_; }
+
+  /// Smoothed fraction of tuples landing behind the held watermark — the
+  /// measured amendment rate the controller trades against latency.
+  double amend_rate() const { return amend_rate_; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  /// One control step: measure the interval amend-rate, close the PI loop,
+  /// recompute the hold slack.
+  void Adapt(TimestampUs now);
+
+  Options options_;
+  std::unique_ptr<QualityModel> quality_model_;
+  SlidingWindowQuantile lateness_sketch_;
+  PiController pi_;
+
+  TimestampUs frontier_ = kMinTimestamp;
+  TimestampUs watermark_ = kMinTimestamp;  // frontier_ - k_hold_, monotone.
+  TimestampUs last_arrival_ = 0;
+
+  DurationUs k_hold_ = 0;
+  DurationUs max_slack_ = 0;  // 0 = unclamped.
+  double p_;
+  double measured_quality_ = 1.0;
+  double amend_rate_ = 0.0;
+  bool have_measurement_ = false;
+
+  int64_t interval_events_ = 0;
+  int64_t interval_late_ = 0;
+  int64_t tuple_index_ = 0;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_DISORDER_SPECULATIVE_H_

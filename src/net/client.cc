@@ -60,6 +60,16 @@ Result<SnapshotStats> StreamQClient::Unregister(uint32_t tenant) {
   return stats;
 }
 
+Result<std::string> StreamQClient::Metrics(uint8_t format) {
+  Frame request{FrameType::kMetricsRequest, 0, {}};
+  request.payload.push_back(static_cast<char>(format));
+  STREAMQ_ASSIGN_OR_RETURN(Frame reply, RoundTrip(request));
+  if (reply.type != FrameType::kMetricsReply) {
+    return Status::IOError("metrics reply had the wrong frame type");
+  }
+  return std::move(reply.payload);
+}
+
 Status StreamQClient::Shutdown() {
   STREAMQ_ASSIGN_OR_RETURN(Frame reply,
                            RoundTrip(Frame{FrameType::kShutdown, 0, {}}));

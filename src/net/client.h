@@ -42,6 +42,11 @@ class StreamQClient {
   /// stats; the tenant id is free afterwards.
   Result<SnapshotStats> Unregister(uint32_t tenant);
 
+  /// Server-wide metrics snapshot, rendered as Prometheus exposition text
+  /// (kMetricsFormatPrometheus) or JSON (kMetricsFormatJson). Covers every
+  /// tenant: sessions report into one shared registry.
+  Result<std::string> Metrics(uint8_t format = kMetricsFormatPrometheus);
+
   /// Asks the server process to shut down.
   Status Shutdown();
 

@@ -26,6 +26,7 @@ bool IsRequestFrameType(FrameType type) {
     case FrameType::kSnapshot:
     case FrameType::kUnregister:
     case FrameType::kShutdown:
+    case FrameType::kMetricsRequest:
       return true;
     default:
       return false;
@@ -37,6 +38,7 @@ bool IsReplyFrameType(FrameType type) {
     case FrameType::kOk:
     case FrameType::kError:
     case FrameType::kReport:
+    case FrameType::kMetricsReply:
       return true;
     default:
       return false;

@@ -39,9 +39,13 @@ namespace streamq {
 ///   kSnapshot       empty
 ///   kUnregister     empty
 ///   kShutdown       empty
+///   kMetricsRequest u8 format: 0 = Prometheus text, 1 = JSON. Server-wide
+///                   (tenant 0): the reply snapshots the server's shared
+///                   metrics registry across all tenants
 ///   kOk             empty
 ///   kError          u32 status code, u32 message length, message bytes
 ///   kReport         SnapshotStats binary body (see EncodeSnapshotStats)
+///   kMetricsReply   rendered metrics text (Prometheus or JSON per request)
 enum class FrameType : uint8_t {
   // Requests.
   kRegisterQuery = 1,
@@ -50,11 +54,17 @@ enum class FrameType : uint8_t {
   kSnapshot = 4,
   kUnregister = 5,
   kShutdown = 6,
+  kMetricsRequest = 7,
   // Replies.
   kOk = 16,
   kError = 17,
   kReport = 18,
+  kMetricsReply = 19,
 };
+
+/// kMetricsRequest payload formats.
+inline constexpr uint8_t kMetricsFormatPrometheus = 0;
+inline constexpr uint8_t kMetricsFormatJson = 1;
 
 /// True for the frame types a client may send.
 bool IsRequestFrameType(FrameType type);

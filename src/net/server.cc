@@ -167,6 +167,8 @@ Frame StreamQServer::HandleFrame(const Frame& request) {
       return HandleSnapshot(request, /*unregister=*/false);
     case FrameType::kUnregister:
       return HandleSnapshot(request, /*unregister=*/true);
+    case FrameType::kMetricsRequest:
+      return HandleMetrics(request);
     case FrameType::kShutdown:
       return Frame{FrameType::kOk, request.tenant, {}};
     default:
@@ -188,6 +190,9 @@ Frame StreamQServer::HandleRegister(const Frame& request) {
   }
   auto tenant = std::make_shared<Tenant>();
   tenant->session = std::move(session).value();
+  // Every tenant reports into the one server-wide registry, so a metrics
+  // scrape sees the whole server. Installed before any ingest can race.
+  tenant->session->SetObserver(&metrics_);
   {
     std::lock_guard<std::mutex> lock(registry_mu_);
     const auto [it, inserted] = tenants_.emplace(request.tenant, tenant);
@@ -310,6 +315,28 @@ Frame StreamQServer::HandleSnapshot(const Frame& request, bool unregister) {
   }
   Frame reply{FrameType::kReport, request.tenant, {}};
   EncodeSnapshotStats(stats, &reply.payload);
+  return reply;
+}
+
+Frame StreamQServer::HandleMetrics(const Frame& request) {
+  PayloadReader reader(request.payload);
+  uint8_t format = 0;
+  Status parsed = reader.ReadU8(&format);
+  if (parsed.ok()) parsed = reader.ExpectEnd();
+  if (!parsed.ok()) {
+    return ErrorReply(request.tenant, parsed, /*protocol=*/true);
+  }
+  if (format != kMetricsFormatPrometheus && format != kMetricsFormatJson) {
+    return ErrorReply(request.tenant,
+                      Status::InvalidArgument(
+                          "unknown metrics format " + std::to_string(format) +
+                          " (0 = prometheus, 1 = json)"),
+                      /*protocol=*/true);
+  }
+  const MetricsSnapshot snapshot = metrics_.Snapshot();
+  Frame reply{FrameType::kMetricsReply, request.tenant, {}};
+  reply.payload = format == kMetricsFormatJson ? snapshot.ToJson()
+                                               : snapshot.ToPrometheusText();
   return reply;
 }
 

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/metrics_observer.h"
 #include "core/stream_session.h"
 #include "net/frame.h"
 #include "net/socket.h"
@@ -98,6 +99,11 @@ class StreamQServer {
 
   size_t active_tenants() const;
 
+  /// The server-wide metrics registry every tenant session reports into
+  /// (amend rates, buffering latency, watermark lag, ...). Snapshot-able
+  /// locally or over the wire via kMetricsRequest frames.
+  const MetricsObserver& metrics() const { return metrics_; }
+
  private:
   /// One registered tenant: the session plus the mutex serializing access
   /// to it. Held by shared_ptr so a frame in flight survives a concurrent
@@ -121,6 +127,7 @@ class StreamQServer {
   Frame HandleIngest(const Frame& request);
   Frame HandleHeartbeat(const Frame& request);
   Frame HandleSnapshot(const Frame& request, bool unregister);
+  Frame HandleMetrics(const Frame& request);
 
   Frame ErrorReply(uint32_t tenant, const Status& status, bool protocol);
 
@@ -140,6 +147,10 @@ class StreamQServer {
 
   mutable std::mutex stats_mu_;
   ServerStats stats_;
+
+  /// Shared by every tenant session (MetricsObserver is thread-safe);
+  /// installed at registration, before the first ingest.
+  MetricsObserver metrics_;
 
   std::mutex shutdown_mu_;
   std::condition_variable shutdown_cv_;

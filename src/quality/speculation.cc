@@ -1,0 +1,110 @@
+#include "quality/speculation.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+namespace streamq {
+
+namespace {
+
+using WindowKey = std::pair<TimestampUs, int64_t>;
+
+/// Last emission per (start, key), keyed map keeps (start, key) order.
+std::map<WindowKey, WindowResult> CollapseToFinal(
+    const std::vector<WindowResult>& log) {
+  std::map<WindowKey, WindowResult> finals;
+  for (const WindowResult& r : log) {
+    WindowResult& slot = finals[{r.bounds.start, r.key}];
+    // The log is in emission order, but merged parallel logs interleave
+    // shards: keep the highest revision, breaking ties toward the later
+    // log entry (identical payloads in practice).
+    if (slot.tuple_count == 0 || r.revision_index >= slot.revision_index) {
+      slot = r;
+    }
+  }
+  return finals;
+}
+
+}  // namespace
+
+std::vector<WindowResult> FinalResults(const std::vector<WindowResult>& log) {
+  auto finals = CollapseToFinal(log);
+  std::vector<WindowResult> out;
+  out.reserve(finals.size());
+  for (auto& [key, r] : finals) out.push_back(r);
+  return out;
+}
+
+uint64_t FinalChecksum(const std::vector<WindowResult>& log) {
+  constexpr uint64_t kOffset = 1469598103934665603ULL;
+  constexpr uint64_t kPrime = 1099511628211ULL;
+  uint64_t h = kOffset;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= kPrime;
+    }
+  };
+  for (const WindowResult& r : FinalResults(log)) {
+    mix(static_cast<uint64_t>(r.bounds.start));
+    mix(static_cast<uint64_t>(r.key));
+    mix(static_cast<uint64_t>(r.tuple_count));
+    mix(std::bit_cast<uint64_t>(r.value));
+  }
+  return h;
+}
+
+SpeculationReport AnalyzeSpeculation(const std::vector<WindowResult>& log) {
+  SpeculationReport report;
+  report.emissions = static_cast<int64_t>(log.size());
+
+  std::vector<double> first_latencies;
+  std::map<WindowKey, WindowResult> finals = CollapseToFinal(log);
+  for (const WindowResult& r : log) {
+    if (r.is_revision) {
+      ++report.amendments;
+    } else {
+      first_latencies.push_back(
+          static_cast<double>(r.emit_stream_time - r.bounds.end));
+    }
+  }
+  std::vector<double> settle_latencies;
+  settle_latencies.reserve(finals.size());
+  int64_t never_amended = 0;
+  for (const auto& [key, r] : finals) {
+    settle_latencies.push_back(
+        static_cast<double>(r.emit_stream_time - r.bounds.end));
+    if (r.revision_index == 0) ++never_amended;
+  }
+  report.windows = static_cast<int64_t>(finals.size());
+  report.amend_rate =
+      report.emissions > 0
+          ? static_cast<double>(report.amendments) / report.emissions
+          : 0.0;
+  report.first_emission_final_rate =
+      report.windows > 0
+          ? static_cast<double>(never_amended) / report.windows
+          : 0.0;
+  report.first_latency_us = Summarize(first_latencies);
+  report.settle_latency_us = Summarize(settle_latencies);
+  return report;
+}
+
+std::string SpeculationReport::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "SpeculationReport{windows=%lld emissions=%lld "
+                "amendments=%lld (rate=%.3f, first-final=%.3f) "
+                "first_p50=%.0fus settle_p50=%.0fus}",
+                static_cast<long long>(windows),
+                static_cast<long long>(emissions),
+                static_cast<long long>(amendments), amend_rate,
+                first_emission_final_rate, first_latency_us.p50,
+                settle_latency_us.p50);
+  return buf;
+}
+
+}  // namespace streamq

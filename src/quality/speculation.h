@@ -1,0 +1,55 @@
+#ifndef STREAMQ_QUALITY_SPECULATION_H_
+#define STREAMQ_QUALITY_SPECULATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "window/window.h"
+
+namespace streamq {
+
+/// Analysis helpers for speculative emit-then-amend runs: collapse an
+/// emission log (provisional results + amendment revisions) to the final
+/// answer per window, checksum it for cross-engine identity gates, and
+/// summarize the latency/amend-rate trade the mode makes.
+
+/// The last emission (highest revision_index) for each (window start, key),
+/// ordered by (start, key). This is the answer a consumer that waits out
+/// all amendments observes — the series that must match a fully-buffered
+/// run byte for byte.
+std::vector<WindowResult> FinalResults(const std::vector<WindowResult>& log);
+
+/// Order-insensitive FNV-1a checksum over FinalResults(log): each final
+/// result contributes its window start, key, tuple count and value bits.
+/// Two runs agree iff their final answers are bit-identical per window,
+/// regardless of how many provisional revisions either emitted on the way.
+uint64_t FinalChecksum(const std::vector<WindowResult>& log);
+
+/// How a speculative emission log traded latency against amendments.
+struct SpeculationReport {
+  int64_t windows = 0;       // distinct (window, key) pairs emitted
+  int64_t emissions = 0;     // total emissions, revisions included
+  int64_t amendments = 0;    // emissions with is_revision set
+  /// amendments / emissions — the fraction of published results that were
+  /// later corrections (the controller's quality complement).
+  double amend_rate = 0.0;
+  /// Fraction of windows whose first emission was already final (never
+  /// amended): the "speculation was right" rate.
+  double first_emission_final_rate = 0.0;
+  /// Response latency of *first* emissions: emit_stream_time - bounds.end.
+  /// The latency a consumer acting on provisional answers experiences.
+  DistributionSummary first_latency_us;
+  /// Response latency of the *final* emission per window: how long until
+  /// the answer stopped changing.
+  DistributionSummary settle_latency_us;
+
+  std::string ToString() const;
+};
+
+SpeculationReport AnalyzeSpeculation(const std::vector<WindowResult>& log);
+
+}  // namespace streamq
+
+#endif  // STREAMQ_QUALITY_SPECULATION_H_

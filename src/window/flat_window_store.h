@@ -63,6 +63,10 @@ class FlatWindowStore {
 
    private:
     friend class FlatWindowStore;
+    // The amend store (amend_window_store.h) reuses Bucket verbatim so the
+    // two engines share Slot layout, probe tables and the FoldPlan memo
+    // contract; it needs the same insert/start access this store has.
+    friend class AmendWindowStore;
 
     Slot* Insert(int64_t key);  // Key must be absent.
     void Rehash(size_t new_capacity);

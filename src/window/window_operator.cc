@@ -15,7 +15,11 @@ WindowedAggregation::WindowedAggregation(const Options& options,
   STREAMQ_CHECK_GE(options.allowed_lateness, 0);
   if (options_.engine == Engine::kLegacy) return;
 
-  store_ = std::make_unique<FlatWindowStore>(options_.window.slide);
+  if (options_.engine == Engine::kAmend) {
+    amend_store_ = std::make_unique<AmendWindowStore>(options_.window.slide);
+  } else {
+    store_ = std::make_unique<FlatWindowStore>(options_.window.slide);
+  }
   inline_kind_ = IsInlineAggKind(agg_spec_.kind);
   // Pane sharing folds each same-(pane, key) run once and merges the
   // partial into every covering window: correct for any window family, but
@@ -36,40 +40,52 @@ WindowedAggregation::WindowedAggregation(const Options& options,
       pane_active_ = inline_kind_ && tiling_sliding;
       break;
   }
+  if (options_.engine == Engine::kAmend) {
+    BindEngine<AmendWindowStore>();
+  } else {
+    BindEngine<FlatWindowStore>();
+  }
+}
+
+template <class Store>
+void WindowedAggregation::BindEngine() {
+  wm_fn_ = &WindowedAggregation::HotOnWatermark<Store>;
+  kwm_fn_ = &WindowedAggregation::HotOnKeyedWatermark<Store>;
+  late_fn_ = &WindowedAggregation::HotOnLateEvent<Store>;
   switch (agg_spec_.kind) {
     case AggKind::kCount:
-      BindHotFns<AggKind::kCount>();
+      BindHotFns<AggKind::kCount, Store>();
       break;
     case AggKind::kSum:
-      BindHotFns<AggKind::kSum>();
+      BindHotFns<AggKind::kSum, Store>();
       break;
     case AggKind::kMean:
-      BindHotFns<AggKind::kMean>();
+      BindHotFns<AggKind::kMean, Store>();
       break;
     case AggKind::kMin:
-      BindHotFns<AggKind::kMin>();
+      BindHotFns<AggKind::kMin, Store>();
       break;
     case AggKind::kMax:
-      BindHotFns<AggKind::kMax>();
+      BindHotFns<AggKind::kMax, Store>();
       break;
     case AggKind::kVariance:
-      BindHotFns<AggKind::kVariance>();
+      BindHotFns<AggKind::kVariance, Store>();
       break;
     case AggKind::kStdDev:
-      BindHotFns<AggKind::kStdDev>();
+      BindHotFns<AggKind::kStdDev, Store>();
       break;
     default:
-      one_fn_ = &WindowedAggregation::FoldEventHeavy;
-      batch_fn_ = &WindowedAggregation::FoldBatchHeavy;
+      one_fn_ = &WindowedAggregation::FoldEventHeavy<Store>;
+      batch_fn_ = &WindowedAggregation::FoldBatchHeavy<Store>;
       break;
   }
 }
 
-template <AggKind K>
+template <AggKind K, class Store>
 void WindowedAggregation::BindHotFns() {
-  one_fn_ = &WindowedAggregation::FoldEventHot<K>;
-  batch_fn_ = pane_active_ ? &WindowedAggregation::FoldBatchPaned<K>
-                           : &WindowedAggregation::FoldBatchHot<K>;
+  one_fn_ = &WindowedAggregation::FoldEventHot<K, Store>;
+  batch_fn_ = pane_active_ ? &WindowedAggregation::FoldBatchPaned<K, Store>
+                           : &WindowedAggregation::FoldBatchHot<K, Store>;
 }
 
 // ---------------------------------------------------------------------------
@@ -124,7 +140,10 @@ void WindowedAggregation::Emit(const StateKey& sk, WindowState* state,
     ++stats_.windows_fired;
   }
   sink_->OnResult(r);
-  if (observer_ != nullptr) observer_->OnWindowFired(r);
+  if (observer_ != nullptr) {
+    observer_->OnWindowFired(r);
+    if (revision) observer_->OnAmend(r);
+  }
 }
 
 void WindowedAggregation::LegacyOnWatermark(TimestampUs watermark,
@@ -232,24 +251,28 @@ void WindowedAggregation::LegacyOnLateEvent(const Event& e) {
 }
 
 // ---------------------------------------------------------------------------
-// Hot engine: inline states in a flat store, fold-plan memo, pane-shared
-// batch folding. Result- and stat-equivalent to the legacy engine above
-// (aggregation_equivalence_test pins this byte-for-byte).
+// Hot/amend engines: inline states in a flat (kHot) or finger-B-tree
+// (kAmend) store, fold-plan memo, pane-shared batch folding. Result- and
+// stat-equivalent to the legacy engine above (aggregation_equivalence_test
+// and amend_equivalence_test pin this byte-for-byte).
 // ---------------------------------------------------------------------------
 
+template <class Store>
 WindowedAggregation::Slot* WindowedAggregation::GetOrCreateSlot(
-    TimestampUs window_start, int64_t key) {
+    Store* store, TimestampUs window_start, int64_t key) {
   bool created = false;
-  Slot* s = store_->GetOrCreate(window_start, key, &created);
+  Slot* s = store->GetOrCreate(window_start, key, &created);
   if (created) {
     if (!inline_kind_) s->acc = MakeAggregator(agg_spec_);
     stats_.max_live_windows = std::max(stats_.max_live_windows,
-                                       static_cast<int64_t>(store_->size()));
+                                       static_cast<int64_t>(store->size()));
   }
   return s;
 }
 
-void WindowedAggregation::RebuildPlan(TimestampUs ts, int64_t key) {
+template <class Store>
+void WindowedAggregation::RebuildPlan(Store* store, TimestampUs ts,
+                                      int64_t key) {
   const DurationUs size = options_.window.size;
   const DurationUs slide = options_.window.slide;
   const int64_t q_last = window_internal::FloorDiv(ts, slide);
@@ -269,16 +292,17 @@ void WindowedAggregation::RebuildPlan(TimestampUs ts, int64_t key) {
   }
   plan_.num = static_cast<int>(std::max<int64_t>(num, 0));
   for (int i = 0; i < plan_.num; ++i) {
-    plan_.slots[i] = GetOrCreateSlot((q_first + i) * slide, key);
+    plan_.slots[i] = GetOrCreateSlot(store, (q_first + i) * slide, key);
   }
-  plan_.epoch = store_->epoch();  // After creation-driven bumps.
+  plan_.epoch = store->epoch();  // After creation-driven bumps.
 }
 
-template <AggKind K>
+template <AggKind K, class Store>
 void WindowedAggregation::FoldEventHot(const Event& e) {
+  Store* store = GetStore<Store>();
   ++stats_.events;
   last_activity_ = std::max(last_activity_, e.arrival_time);
-  if (!PlanHits(e)) RebuildPlan(e.event_time, e.key);
+  if (!PlanHits(e, store->epoch())) RebuildPlan(store, e.event_time, e.key);
   if (plan_.num >= 0) {
     for (int i = 0; i < plan_.num; ++i) {
       InlineFold<K>(plan_.slots[i]->state, e.value);
@@ -286,19 +310,20 @@ void WindowedAggregation::FoldEventHot(const Event& e) {
     return;
   }
   ForEachWindow(options_.window, e.event_time,
-                [this, &e](const WindowBounds& w) {
-                  InlineFold<K>(GetOrCreateSlot(w.start, e.key)->state,
+                [this, store, &e](const WindowBounds& w) {
+                  InlineFold<K>(GetOrCreateSlot(store, w.start, e.key)->state,
                                 e.value);
                 });
 }
 
-template <AggKind K>
+template <AggKind K, class Store>
 void WindowedAggregation::FoldBatchHot(std::span<const Event> events) {
-  for (const Event& e : events) FoldEventHot<K>(e);
+  for (const Event& e : events) FoldEventHot<K, Store>(e);
 }
 
-template <AggKind K>
+template <AggKind K, class Store>
 void WindowedAggregation::FoldBatchPaned(std::span<const Event> events) {
+  Store* store = GetStore<Store>();
   // Fold each maximal run of events sharing one covering-window set (same
   // pane, same key) into a single partial, then merge the partial into the
   // size/slide covering windows once — one fold per tuple plus one merge
@@ -308,12 +333,15 @@ void WindowedAggregation::FoldBatchPaned(std::span<const Event> events) {
     const Event& head = events[i];
     ++stats_.events;
     last_activity_ = std::max(last_activity_, head.arrival_time);
-    if (!PlanHits(head)) RebuildPlan(head.event_time, head.key);
+    if (!PlanHits(head, store->epoch())) {
+      RebuildPlan(store, head.event_time, head.key);
+    }
     if (plan_.num < 0) {  // Oversized fanout: per-tuple fallback.
       ForEachWindow(options_.window, head.event_time,
-                    [this, &head](const WindowBounds& w) {
-                      InlineFold<K>(GetOrCreateSlot(w.start, head.key)->state,
-                                    head.value);
+                    [this, store, &head](const WindowBounds& w) {
+                      InlineFold<K>(
+                          GetOrCreateSlot(store, w.start, head.key)->state,
+                          head.value);
                     });
       ++i;
       continue;
@@ -338,22 +366,25 @@ void WindowedAggregation::FoldBatchPaned(std::span<const Event> events) {
   }
 }
 
+template <class Store>
 void WindowedAggregation::FoldEventHeavy(const Event& e) {
+  Store* store = GetStore<Store>();
   ++stats_.events;
   last_activity_ = std::max(last_activity_, e.arrival_time);
-  if (!PlanHits(e)) RebuildPlan(e.event_time, e.key);
+  if (!PlanHits(e, store->epoch())) RebuildPlan(store, e.event_time, e.key);
   if (plan_.num >= 0) {
     for (int i = 0; i < plan_.num; ++i) plan_.slots[i]->acc->Add(e.value);
     return;
   }
   ForEachWindow(options_.window, e.event_time,
-                [this, &e](const WindowBounds& w) {
-                  GetOrCreateSlot(w.start, e.key)->acc->Add(e.value);
+                [this, store, &e](const WindowBounds& w) {
+                  GetOrCreateSlot(store, w.start, e.key)->acc->Add(e.value);
                 });
 }
 
+template <class Store>
 void WindowedAggregation::FoldBatchHeavy(std::span<const Event> events) {
-  for (const Event& e : events) FoldEventHeavy(e);
+  for (const Event& e : events) FoldEventHeavy<Store>(e);
 }
 
 void WindowedAggregation::FoldValueDyn(Slot& slot, double v) {
@@ -387,17 +418,22 @@ void WindowedAggregation::EmitSlot(TimestampUs window_start, Slot& slot,
     ++stats_.windows_fired;
   }
   sink_->OnResult(r);
-  if (observer_ != nullptr) observer_->OnWindowFired(r);
+  if (observer_ != nullptr) {
+    observer_->OnWindowFired(r);
+    if (revision) observer_->OnAmend(r);
+  }
 }
 
+template <class Store>
 void WindowedAggregation::HotOnWatermark(TimestampUs watermark,
                                          TimestampUs stream_time) {
+  Store* store = GetStore<Store>();
   plan_.num = FoldPlan::kInvalid;  // Purges below invalidate slot pointers.
   // Mirrors LegacyOnWatermark entry for entry: buckets ascend by start and
   // SortedByKey ascends by key, reproducing the map's (start, key) order;
   // `live` tracks the post-erase store size the legacy observer call saw.
-  size_t live = store_->size();
-  store_->Scan([&](FlatWindowStore::Bucket& b) {
+  size_t live = store->size();
+  store->Scan([&](typename Store::Bucket& b) {
     const TimestampUs end = b.start() + options_.window.size;
     const bool can_fire = end <= watermark;
     const TimestampUs retire_at =
@@ -407,7 +443,7 @@ void WindowedAggregation::HotOnWatermark(TimestampUs watermark,
     const bool purge = retire_at <= watermark || watermark == kMaxTimestamp;
     if (!can_fire && !purge) {
       // end > watermark and nothing retires: monotone in start, stop.
-      return FlatWindowStore::Visit::kStop;
+      return Store::Visit::kStop;
     }
     for (uint32_t idx : b.SortedByKey()) {
       Slot& s = b.slot(idx);
@@ -427,34 +463,37 @@ void WindowedAggregation::HotOnWatermark(TimestampUs watermark,
         if (observer_ != nullptr) observer_->OnWindowPurged(end, live);
       }
     }
-    return purge ? FlatWindowStore::Visit::kPurge
-                 : FlatWindowStore::Visit::kKeep;
+    return purge ? Store::Visit::kPurge : Store::Visit::kKeep;
   });
 }
 
+template <class Store>
 void WindowedAggregation::HotOnKeyedWatermark(int64_t key,
                                               TimestampUs watermark,
                                               TimestampUs stream_time) {
-  store_->Scan([&](FlatWindowStore::Bucket& b) {
+  Store* store = GetStore<Store>();
+  store->Scan([&](typename Store::Bucket& b) {
     const TimestampUs end = b.start() + options_.window.size;
-    if (end > watermark) return FlatWindowStore::Visit::kStop;
+    if (end > watermark) return Store::Visit::kStop;
     Slot* s = b.Find(key);
     if (s != nullptr && !s->fired) {
       EmitSlot(b.start(), *s, stream_time, /*revision=*/false);
     }
-    return FlatWindowStore::Visit::kKeep;
+    return Store::Visit::kKeep;
   });
 }
 
+template <class Store>
 void WindowedAggregation::HotOnLateEvent(const Event& e) {
+  Store* store = GetStore<Store>();
   for (const WindowBounds& w : AssignWindows(options_.window, e.event_time)) {
-    Slot* s = store_->Find(w.start, e.key);
+    Slot* s = store->Find(w.start, e.key);
     if (s == nullptr) {
       const bool window_open = w.end > last_watermark_;
       if (window_open ||
           (options_.allowed_lateness > 0 &&
            w.end + options_.allowed_lateness > last_watermark_)) {
-        s = GetOrCreateSlot(w.start, e.key);
+        s = GetOrCreateSlot(store, w.start, e.key);
         FoldValueDyn(*s, e.value);
         ++stats_.late_applied;
         if (w.end <= last_watermark_) {
@@ -488,7 +527,7 @@ void WindowedAggregation::HotOnLateEvent(const Event& e) {
 // ---------------------------------------------------------------------------
 
 void WindowedAggregation::OnEvent(const Event& e) {
-  if (store_ != nullptr) {
+  if (one_fn_ != nullptr) {
     (this->*one_fn_)(e);
   } else {
     FoldEvent(e);
@@ -496,7 +535,7 @@ void WindowedAggregation::OnEvent(const Event& e) {
 }
 
 void WindowedAggregation::OnEvents(std::span<const Event> events) {
-  if (store_ != nullptr) {
+  if (batch_fn_ != nullptr) {
     (this->*batch_fn_)(events);
   } else {
     for (const Event& e : events) FoldEvent(e);
@@ -507,8 +546,8 @@ void WindowedAggregation::OnWatermark(TimestampUs watermark,
                                       TimestampUs stream_time) {
   if (watermark <= last_watermark_) return;
   last_watermark_ = watermark;
-  if (store_ != nullptr) {
-    HotOnWatermark(watermark, stream_time);
+  if (wm_fn_ != nullptr) {
+    (this->*wm_fn_)(watermark, stream_time);
   } else {
     LegacyOnWatermark(watermark, stream_time);
   }
@@ -517,8 +556,8 @@ void WindowedAggregation::OnWatermark(TimestampUs watermark,
 void WindowedAggregation::OnKeyedWatermark(int64_t key, TimestampUs watermark,
                                            TimestampUs stream_time) {
   if (!options_.per_key_watermarks) return;
-  if (store_ != nullptr) {
-    HotOnKeyedWatermark(key, watermark, stream_time);
+  if (kwm_fn_ != nullptr) {
+    (this->*kwm_fn_)(key, watermark, stream_time);
   } else {
     LegacyOnKeyedWatermark(key, watermark, stream_time);
   }
@@ -527,8 +566,8 @@ void WindowedAggregation::OnKeyedWatermark(int64_t key, TimestampUs watermark,
 void WindowedAggregation::OnLateEvent(const Event& e) {
   ++stats_.events;
   last_activity_ = std::max(last_activity_, e.arrival_time);
-  if (store_ != nullptr) {
-    HotOnLateEvent(e);
+  if (late_fn_ != nullptr) {
+    (this->*late_fn_)(e);
   } else {
     LegacyOnLateEvent(e);
   }

@@ -14,6 +14,7 @@
 #include "common/time.h"
 #include "core/pipeline_observer.h"
 #include "disorder/event_sink.h"
+#include "window/amend_window_store.h"
 #include "window/flat_window_store.h"
 #include "window/window.h"
 
@@ -61,14 +62,21 @@ class CollectingResultSink : public WindowResultSink {
 ///    the polymorphic accumulator inside the flat store.
 ///  * kLegacy — the original std::map + virtual-Aggregator path, kept as
 ///    the reference implementation the equivalence test pins kHot against.
+///  * kAmend — the same inline-state hot path over an `AmendWindowStore`
+///    (finger-hinted B-tree over window starts) instead of the slide-
+///    aligned ring: tuples may reach OnEvent *out of order* and amend
+///    already-materialized window state directly, which is what the
+///    speculative emit-then-amend execution mode feeds it. Behind an
+///    identical disorder handler it is byte-identical to kHot.
 class WindowedAggregation : public EventSink {
  public:
-  /// Execution engine selection. Both engines produce byte-identical
-  /// results and stats; kLegacy exists as the reference for equivalence
-  /// testing and as an escape hatch.
+  /// Execution engine selection. All engines produce byte-identical
+  /// results and stats under the same sink-call sequence; kLegacy exists
+  /// as the reference for equivalence testing and as an escape hatch.
   enum class Engine {
     kHot,
     kLegacy,
+    kAmend,
   };
 
   /// Pane-shared batch folding policy (kHot engine, light kinds only).
@@ -132,12 +140,16 @@ class WindowedAggregation : public EventSink {
 
   /// Number of window instances currently holding state.
   size_t live_windows() const {
-    return store_ != nullptr ? store_->size() : windows_.size();
+    if (store_ != nullptr) return store_->size();
+    if (amend_store_ != nullptr) return amend_store_->size();
+    return windows_.size();
   }
 
   /// True when this instance runs the devirtualized inline-state fold
-  /// (kHot engine and a light aggregate kind).
-  bool uses_inline_states() const { return store_ != nullptr && inline_kind_; }
+  /// (kHot/kAmend engine and a light aggregate kind).
+  bool uses_inline_states() const {
+    return (store_ != nullptr || amend_store_ != nullptr) && inline_kind_;
+  }
 
   /// True when batches are folded once per pane run and merged.
   bool uses_pane_sharing() const { return pane_active_; }
@@ -171,7 +183,12 @@ class WindowedAggregation : public EventSink {
                               TimestampUs stream_time);
   void LegacyOnLateEvent(const Event& e);
 
-  // ---- Hot engine ----
+  // ---- Hot / amend engines ----
+  //
+  // One body of code, two stores: the fold, watermark and late paths are
+  // templated on the store type (FlatWindowStore for kHot, AmendWindowStore
+  // for kAmend — same Bucket/Slot/Visit vocabulary) and bound once, at
+  // construction, into the member-function pointers the entry points call.
 
   using Slot = FlatWindowStore::Slot;
 
@@ -197,35 +214,49 @@ class WindowedAggregation : public EventSink {
     Slot* slots[kMaxWindows];
   };
 
-  bool PlanHits(const Event& e) const {
+  bool PlanHits(const Event& e, uint64_t store_epoch) const {
     return e.event_time >= plan_.valid_begin &&
            e.event_time < plan_.valid_end && e.key == plan_.key &&
            plan_.num != FoldPlan::kInvalid &&
-           (plan_.num == FoldPlan::kOversized ||
-            plan_.epoch == store_->epoch());
+           (plan_.num == FoldPlan::kOversized || plan_.epoch == store_epoch);
   }
-  void RebuildPlan(TimestampUs ts, int64_t key);
-  Slot* GetOrCreateSlot(TimestampUs window_start, int64_t key);
+  /// The engine's store instance (FlatWindowStore under kHot,
+  /// AmendWindowStore under kAmend).
+  template <class Store>
+  Store* GetStore();
+  template <class Store>
+  void RebuildPlan(Store* store, TimestampUs ts, int64_t key);
+  template <class Store>
+  Slot* GetOrCreateSlot(Store* store, TimestampUs window_start, int64_t key);
   void EmitSlot(TimestampUs window_start, Slot& slot, TimestampUs now,
                 bool revision);
   /// Folds one value into a slot with runtime kind dispatch (cold paths:
   /// late events, plan-miss fallbacks for heavy kinds).
   void FoldValueDyn(Slot& slot, double v);
 
-  template <AggKind K>
+  template <AggKind K, class Store>
   void FoldEventHot(const Event& e);
-  template <AggKind K>
+  template <AggKind K, class Store>
   void FoldBatchHot(std::span<const Event> events);
-  template <AggKind K>
+  template <AggKind K, class Store>
   void FoldBatchPaned(std::span<const Event> events);
+  template <class Store>
   void FoldEventHeavy(const Event& e);
+  template <class Store>
   void FoldBatchHeavy(std::span<const Event> events);
-  template <AggKind K>
+  template <AggKind K, class Store>
   void BindHotFns();
+  /// Resolves all engine entry points for one store type (kind switch for
+  /// the fold pair, direct binds for watermark/late paths).
+  template <class Store>
+  void BindEngine();
 
+  template <class Store>
   void HotOnWatermark(TimestampUs watermark, TimestampUs stream_time);
+  template <class Store>
   void HotOnKeyedWatermark(int64_t key, TimestampUs watermark,
                            TimestampUs stream_time);
+  template <class Store>
   void HotOnLateEvent(const Event& e);
 
   Options options_;
@@ -243,16 +274,31 @@ class WindowedAggregation : public EventSink {
   StateKey cached_key_{};
   WindowState* cached_state_ = nullptr;
 
-  // kHot engine state. Fold dispatch is resolved once, at construction
-  // (one member-function-pointer indirection per event / per batch instead
-  // of a virtual call per tuple per window).
-  std::unique_ptr<FlatWindowStore> store_;  // Null under kLegacy.
+  // kHot/kAmend engine state. Fold and watermark dispatch are resolved
+  // once, at construction (one member-function-pointer indirection per
+  // event / per batch instead of a virtual call per tuple per window, and
+  // no per-call engine branches). All pointers stay null under kLegacy.
+  std::unique_ptr<FlatWindowStore> store_;        // kHot only.
+  std::unique_ptr<AmendWindowStore> amend_store_;  // kAmend only.
   bool inline_kind_ = false;
   bool pane_active_ = false;
   FoldPlan plan_;
   void (WindowedAggregation::*one_fn_)(const Event&) = nullptr;
   void (WindowedAggregation::*batch_fn_)(std::span<const Event>) = nullptr;
+  void (WindowedAggregation::*wm_fn_)(TimestampUs, TimestampUs) = nullptr;
+  void (WindowedAggregation::*kwm_fn_)(int64_t, TimestampUs, TimestampUs) =
+      nullptr;
+  void (WindowedAggregation::*late_fn_)(const Event&) = nullptr;
 };
+
+template <>
+inline FlatWindowStore* WindowedAggregation::GetStore<FlatWindowStore>() {
+  return store_.get();
+}
+template <>
+inline AmendWindowStore* WindowedAggregation::GetStore<AmendWindowStore>() {
+  return amend_store_.get();
+}
 
 }  // namespace streamq
 

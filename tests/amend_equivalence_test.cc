@@ -1,0 +1,356 @@
+// Amend-engine equivalence: the kAmend B-tree store must be
+// indistinguishable from the kLegacy reference (and therefore from kHot)
+// — byte-identical WindowResult sequences and stats — for every aggregate
+// kind, window family, handler spec, and feed granularity. On top, the
+// speculative emit-then-amend mode is pinned two ways: kAmend and kHot
+// produce bit-identical emission logs under the same speculative handler,
+// and the *final revision* per window matches a fully-buffered run
+// byte-for-byte for the order-insensitive exact aggregate kinds.
+
+#include <algorithm>
+#include <bit>
+#include <cctype>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/continuous_query.h"
+#include "core/executor.h"
+#include "quality/speculation.h"
+#include "stream/generator.h"
+#include "window/amend_window_store.h"
+#include "window/window.h"
+#include "window/window_operator.h"
+
+namespace streamq {
+namespace {
+
+using Engine = WindowedAggregation::Engine;
+
+const std::vector<AggKind> kAllKinds = {
+    AggKind::kCount,    AggKind::kSum,    AggKind::kMean,
+    AggKind::kMin,      AggKind::kMax,    AggKind::kVariance,
+    AggKind::kStdDev,   AggKind::kMedian, AggKind::kQuantile,
+    AggKind::kDistinctCount};
+
+struct Shape {
+  const char* name;
+  WindowSpec spec;
+};
+
+const std::vector<Shape>& Shapes() {
+  static const std::vector<Shape> shapes = {
+      {"tumbling", WindowSpec::Tumbling(Millis(40))},
+      {"sliding_tiling", WindowSpec::Sliding(Millis(50), Millis(25))},
+      {"sliding_nontiling", WindowSpec::Sliding(Millis(50), Millis(30))},
+      {"sampling", WindowSpec::Sliding(Millis(20), Millis(50))},
+  };
+  return shapes;
+}
+
+std::vector<DisorderHandlerSpec> HandlerSpecs() {
+  std::vector<DisorderHandlerSpec> specs;
+  specs.push_back(DisorderHandlerSpec::PassThrough());
+  specs.push_back(DisorderHandlerSpec::Fixed(Millis(30)));
+  {
+    WatermarkReorderer::Options wm;
+    wm.bound = Millis(30);
+    wm.period_events = 7;
+    wm.allowed_lateness = Millis(10);
+    specs.push_back(DisorderHandlerSpec::Watermark(wm));
+  }
+  {
+    AqKSlack::Options aq;
+    aq.target_quality = 0.95;
+    specs.push_back(DisorderHandlerSpec::Aq(aq));
+  }
+  specs.push_back(DisorderHandlerSpec::Fixed(Millis(30)).PerKey());
+  {
+    SpeculativeHandler::Options sp;
+    sp.target_quality = 0.95;
+    specs.push_back(DisorderHandlerSpec::Speculative(sp));
+  }
+  return specs;
+}
+
+const std::vector<Event>& TestStream() {
+  static const std::vector<Event>* events = [] {
+    WorkloadConfig cfg;
+    cfg.num_events = 3000;
+    cfg.events_per_second = 10000.0;
+    cfg.num_keys = 4;
+    cfg.delay.model = DelayModel::kExponential;
+    cfg.delay.a = 20000.0;  // Heavy disorder: plenty of late tuples.
+    cfg.seed = 1234;
+    return new std::vector<Event>(GenerateWorkload(cfg).arrival_order);
+  }();
+  return *events;
+}
+
+ContinuousQuery MakeQuery(AggKind kind, const WindowSpec& shape,
+                          const DisorderHandlerSpec& handler, Engine engine,
+                          DurationUs lateness = Millis(20)) {
+  ContinuousQuery q;
+  q.name = "amend_equiv";
+  q.handler = handler;
+  q.window.window = shape;
+  q.window.aggregate.kind = kind;
+  if (kind == AggKind::kQuantile) q.window.aggregate.quantile_q = 0.9;
+  q.window.allowed_lateness = lateness;
+  q.window.emit_revision_per_update = true;
+  q.window.per_key_watermarks = handler.per_key;
+  q.window.engine = engine;
+  return q;
+}
+
+RunReport RunQuery(const ContinuousQuery& q, bool batched) {
+  QueryExecutor exec(q);
+  if (batched) {
+    exec.FeedBatch(std::span<const Event>(TestStream()));
+  } else {
+    for (const Event& e : TestStream()) exec.Feed(e);
+  }
+  exec.Finish();
+  return exec.Report();
+}
+
+void ExpectBitIdentical(const RunReport& want, const RunReport& got) {
+  EXPECT_EQ(want.events_processed, got.events_processed);
+  ASSERT_EQ(want.results.size(), got.results.size());
+  for (size_t i = 0; i < want.results.size(); ++i) {
+    const WindowResult& a = want.results[i];
+    const WindowResult& b = got.results[i];
+    EXPECT_EQ(a.bounds, b.bounds) << "result " << i;
+    EXPECT_EQ(a.key, b.key) << "result " << i;
+    EXPECT_EQ(std::bit_cast<uint64_t>(a.value),
+              std::bit_cast<uint64_t>(b.value))
+        << "result " << i << ": " << a.value << " vs " << b.value;
+    EXPECT_EQ(a.tuple_count, b.tuple_count) << "result " << i;
+    EXPECT_EQ(a.emit_stream_time, b.emit_stream_time) << "result " << i;
+    EXPECT_EQ(a.is_revision, b.is_revision) << "result " << i;
+    EXPECT_EQ(a.revision_index, b.revision_index) << "result " << i;
+  }
+
+  const WindowedAggregation::Stats& wa = want.window_stats;
+  const WindowedAggregation::Stats& wb = got.window_stats;
+  EXPECT_EQ(wa.events, wb.events);
+  EXPECT_EQ(wa.late_applied, wb.late_applied);
+  EXPECT_EQ(wa.late_dropped, wb.late_dropped);
+  EXPECT_EQ(wa.windows_fired, wb.windows_fired);
+  EXPECT_EQ(wa.revisions, wb.revisions);
+  EXPECT_EQ(want.results_amended, got.results_amended);
+  EXPECT_EQ(want.handler_stats.events_out, got.handler_stats.events_out);
+  EXPECT_EQ(want.handler_stats.events_late, got.handler_stats.events_late);
+  EXPECT_EQ(want.final_slack, got.final_slack);
+}
+
+using Param = std::tuple<int, int>;  // (kind index, shape index)
+
+class AmendEquivalenceTest : public ::testing::TestWithParam<Param> {};
+
+// kAmend == kLegacy == kHot, bit for bit, per-event and batched, under
+// every handler spec — including the speculative handler, which feeds the
+// engines out-of-order tuples directly (kLegacy is skipped there: Validate
+// rejects the pairing, so kHot serves as the reference).
+TEST_P(AmendEquivalenceTest, AmendMatchesReferenceBitwise) {
+  const auto [kind_index, shape_index] = GetParam();
+  const AggKind kind = kAllKinds[static_cast<size_t>(kind_index)];
+  const Shape& shape = Shapes()[static_cast<size_t>(shape_index)];
+  for (const DisorderHandlerSpec& handler : HandlerSpecs()) {
+    SCOPED_TRACE(handler.Describe());
+    const bool speculative =
+        handler.kind == DisorderHandlerSpec::Kind::kSpeculative;
+    const ContinuousQuery reference_q =
+        MakeQuery(kind, shape.spec, handler,
+                  speculative ? Engine::kHot : Engine::kLegacy);
+    const ContinuousQuery amend_q =
+        MakeQuery(kind, shape.spec, handler, Engine::kAmend);
+    const RunReport reference = RunQuery(reference_q, /*batched=*/false);
+    ExpectBitIdentical(reference, RunQuery(reference_q, /*batched=*/true));
+    ExpectBitIdentical(reference, RunQuery(amend_q, /*batched=*/false));
+    ExpectBitIdentical(reference, RunQuery(amend_q, /*batched=*/true));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKindsAllShapes, AmendEquivalenceTest,
+    ::testing::Combine(::testing::Range(0, 10), ::testing::Range(0, 4)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      AggregateSpec spec;
+      spec.kind = kAllKinds[static_cast<size_t>(std::get<0>(info.param))];
+      std::string name = spec.Describe();
+      name.erase(std::remove_if(name.begin(), name.end(),
+                                [](char c) { return !std::isalnum(c); }),
+                 name.end());
+      name += "_";
+      name += Shapes()[static_cast<size_t>(std::get<1>(info.param))].name;
+      return name;
+    });
+
+// The speculative contract: with enough allowed lateness for every tuple
+// to land, the *final revision* per window from an emit-then-amend run
+// equals what a fully buffered run produces — byte for byte — for the
+// aggregate kinds whose value is independent of fold order. (Sum-family
+// kinds agree only to rounding, because the two modes fold tuples in
+// different orders; the bench gates them via the same exact-kind subset.)
+TEST(SpeculativeFinalResultTest, FinalRevisionsMatchBufferedBitwise) {
+  const std::vector<AggKind> order_insensitive = {
+      AggKind::kCount, AggKind::kMin, AggKind::kMax, AggKind::kMedian,
+      AggKind::kDistinctCount};
+  for (AggKind kind : order_insensitive) {
+    for (const Shape& shape : Shapes()) {
+      SCOPED_TRACE(std::string(shape.name) + " kind " +
+                   std::to_string(static_cast<int>(kind)));
+      SpeculativeHandler::Options sp;
+      sp.target_quality = 0.9;
+      const ContinuousQuery spec_q =
+          MakeQuery(kind, shape.spec, DisorderHandlerSpec::Speculative(sp),
+                    Engine::kAmend, /*lateness=*/Seconds(100));
+      // Fully buffered reference: slack far beyond the delay tail, so no
+      // tuple is ever late and every first emission is already final.
+      const ContinuousQuery buffered_q =
+          MakeQuery(kind, shape.spec, DisorderHandlerSpec::Fixed(Seconds(1)),
+                    Engine::kHot, /*lateness=*/Seconds(100));
+      const RunReport speculative = RunQuery(spec_q, /*batched=*/true);
+      const RunReport buffered = RunQuery(buffered_q, /*batched=*/true);
+
+      const std::vector<WindowResult> got = FinalResults(speculative.results);
+      const std::vector<WindowResult> want = FinalResults(buffered.results);
+      ASSERT_EQ(want.size(), got.size());
+      for (size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(want[i].bounds, got[i].bounds) << i;
+        EXPECT_EQ(want[i].key, got[i].key) << i;
+        EXPECT_EQ(want[i].tuple_count, got[i].tuple_count) << i;
+        EXPECT_EQ(std::bit_cast<uint64_t>(want[i].value),
+                  std::bit_cast<uint64_t>(got[i].value))
+            << i << ": " << want[i].value << " vs " << got[i].value;
+      }
+      EXPECT_EQ(FinalChecksum(buffered.results),
+                FinalChecksum(speculative.results));
+
+      // The accounting the bench reports: the speculative run published
+      // amendments, the buffered one did not.
+      EXPECT_EQ(buffered.results_amended, 0);
+      EXPECT_EQ(speculative.results_amended,
+                speculative.window_stats.revisions);
+    }
+  }
+}
+
+// The amend store itself: out-of-order inserts land in start order, the
+// back finger keeps in-order appends cheap, and bulk evict via Scan purges
+// whole leaves.
+TEST(AmendWindowStoreTest, OutOfOrderInsertScanAndEvict) {
+  AmendWindowStore store(Millis(10));
+  // Shuffled starts, several keys each.
+  const std::vector<int64_t> starts = {50, 10, 90, 30, 70, 20, 0, 80, 60, 40};
+  for (int64_t s : starts) {
+    for (int64_t key = 0; key < 3; ++key) {
+      bool created = false;
+      auto* slot = store.GetOrCreate(Millis(s), key, &created);
+      ASSERT_NE(slot, nullptr);
+      EXPECT_TRUE(created);
+      slot->key = key;
+    }
+  }
+  EXPECT_EQ(store.size(), starts.size() * 3);
+  EXPECT_EQ(store.live_buckets(), starts.size());
+
+  // Scan must visit in ascending start order.
+  std::vector<TimestampUs> seen;
+  store.Scan([&](AmendWindowStore::Bucket& b) {
+    seen.push_back(b.start());
+    return AmendWindowStore::Visit::kKeep;
+  });
+  std::vector<TimestampUs> want_order = seen;
+  std::sort(want_order.begin(), want_order.end());
+  EXPECT_EQ(seen, want_order);
+  EXPECT_EQ(seen.size(), starts.size());
+
+  // Find hits every inserted pair, misses absent ones.
+  EXPECT_NE(store.Find(Millis(30), 2), nullptr);
+  EXPECT_EQ(store.Find(Millis(30), 3), nullptr);
+  EXPECT_EQ(store.Find(Millis(35), 0), nullptr);
+
+  // Bulk evict everything below 50ms; the rest stays scannable in order.
+  const uint64_t epoch_before = store.epoch();
+  store.Scan([&](AmendWindowStore::Bucket& b) {
+    return b.start() < Millis(50) ? AmendWindowStore::Visit::kPurge
+                                  : AmendWindowStore::Visit::kKeep;
+  });
+  EXPECT_EQ(store.live_buckets(), 5u);
+  EXPECT_EQ(store.size(), 15u);
+  EXPECT_GT(store.epoch(), epoch_before);
+  seen.clear();
+  store.Scan([&](AmendWindowStore::Bucket& b) {
+    seen.push_back(b.start());
+    return AmendWindowStore::Visit::kKeep;
+  });
+  EXPECT_EQ(seen, (std::vector<TimestampUs>{Millis(50), Millis(60), Millis(70),
+                                            Millis(80), Millis(90)}));
+  // Early-out stops the scan.
+  int visited = 0;
+  store.Scan([&](AmendWindowStore::Bucket&) {
+    ++visited;
+    return AmendWindowStore::Visit::kStop;
+  });
+  EXPECT_EQ(visited, 1);
+}
+
+// Leaf splits: enough distinct starts to force several splits, inserted
+// adversarially (alternating front/back), must stay ordered and findable.
+TEST(AmendWindowStoreTest, SplitsPreserveOrderAndFind) {
+  AmendWindowStore store(Millis(1));
+  std::vector<int64_t> starts;
+  for (int64_t i = 0; i < 300; ++i) {
+    starts.push_back(i % 2 == 0 ? i : 600 - i);
+  }
+  for (int64_t s : starts) {
+    bool created = false;
+    store.GetOrCreate(Millis(s), /*key=*/7, &created);
+    EXPECT_TRUE(created) << s;
+  }
+  EXPECT_EQ(store.size(), starts.size());
+  for (int64_t s : starts) {
+    EXPECT_NE(store.Find(Millis(s), 7), nullptr) << s;
+  }
+  std::vector<TimestampUs> seen;
+  store.Scan([&](AmendWindowStore::Bucket& b) {
+    seen.push_back(b.start());
+    return AmendWindowStore::Visit::kKeep;
+  });
+  ASSERT_EQ(seen.size(), starts.size());
+  EXPECT_TRUE(std::is_sorted(seen.begin(), seen.end()));
+}
+
+// Speculative + kLegacy is a configuration error, not a silent downgrade.
+TEST(SpeculativeValidationTest, LegacyEngineRejected) {
+  SpeculativeHandler::Options sp;
+  ContinuousQuery q = MakeQuery(AggKind::kSum, Shapes()[0].spec,
+                                DisorderHandlerSpec::Speculative(sp),
+                                Engine::kLegacy);
+  const Status status = q.Validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("amend"), std::string::npos)
+      << status.ToString();
+}
+
+// The builder's Speculative() upgrades the engine away from the default
+// only when it would otherwise be the legacy reference.
+TEST(SpeculativeValidationTest, BuilderPairsSpeculativeWithAmendEngine) {
+  const ContinuousQuery q = QueryBuilder("spec")
+                                .Sliding(Millis(50), Millis(25))
+                                .Aggregate("count")
+                                .WindowEngine(Engine::kLegacy)
+                                .Speculative(0.9)
+                                .Build();
+  EXPECT_EQ(q.window.engine, Engine::kAmend);
+  EXPECT_EQ(q.handler.kind, DisorderHandlerSpec::Kind::kSpeculative);
+}
+
+}  // namespace
+}  // namespace streamq

@@ -74,7 +74,7 @@ FaultSpec ValidFaults(uint64_t seed) {
   return f;
 }
 
-enum class HandlerKind { kAq, kLb, kFixed, kMp, kWatermark };
+enum class HandlerKind { kAq, kLb, kFixed, kMp, kWatermark, kSpeculative };
 
 ContinuousQuery BuildQuery(HandlerKind kind, bool per_key, Engine engine,
                            size_t cap, ShedPolicy policy,
@@ -102,6 +102,10 @@ ContinuousQuery BuildQuery(HandlerKind kind, bool per_key, Engine engine,
       builder.Watermark(wm);
       break;
     }
+    case HandlerKind::kSpeculative:
+      // Emit-then-amend over the kAmend store (the builder pairs them).
+      builder.Speculative(0.9);
+      break;
   }
   if (per_key) builder.PerKey();
   if (cap != 0) builder.BufferCap(cap, policy);
@@ -162,6 +166,14 @@ constexpr SoakCase kSoakCases[] = {
     {"watermark/global/ring/emit-early", HandlerKind::kWatermark, false,
      Engine::kRing, 512, ShedPolicy::kEmitEarly, IngestValidation::kDrop,
      FullFaults, 0},
+    // Speculative emit-then-amend: no reorder buffer to cap, so disorder
+    // bursts turn into amendment storms — which must stay graceful.
+    {"speculative/global/amend", HandlerKind::kSpeculative, false,
+     Engine::kRing, 0, ShedPolicy::kEmitEarly, IngestValidation::kDrop,
+     FullFaults, Millis(100)},
+    {"speculative/keyed/amend/bursts", HandlerKind::kSpeculative, true,
+     Engine::kRing, 0, ShedPolicy::kEmitEarly, IngestValidation::kDrop,
+     BurstyFaults, 0},
     // Unvalidated runs: the injected faults stay within the valid domain,
     // so kOff pipelines must survive them untouched.
     {"aq/global/ring/uncapped/no-validation", HandlerKind::kAq, false,
@@ -298,6 +310,29 @@ TEST(ChaosSoakTest, ParallelRunnersDegradeGracefullyUnderFaults) {
     EXPECT_EQ(hs.events_in, hs.events_out + hs.events_late + hs.events_shed);
     // max_buffer_size is summed across shards in the merged report.
     EXPECT_LE(hs.max_buffer_size, static_cast<int64_t>(kShards * 512));
+    EXPECT_FALSE(merged.results.empty());
+  }
+
+  // Speculative emit-then-amend sharded across workers: amendments are
+  // produced inside each shard and cross into the merged report through
+  // the watermark-aligned merge; accounting must still reconcile and the
+  // merged amendment count must match the summed revision stats.
+  {
+    VectorSource inner(workload);
+    FaultInjectingSource faulty(&inner, BurstyFaults(31));
+    ShardedKeyedRunner runner(
+        BuildQuery(HandlerKind::kSpeculative, true, Engine::kRing, 0,
+                   ShedPolicy::kEmitEarly, IngestValidation::kDrop),
+        /*shards=*/3);
+    const RunReport merged = runner.Run(&faulty);
+    EXPECT_TRUE(merged.status.ok()) << merged.status.ToString();
+    EXPECT_EQ(merged.events_processed + merged.events_rejected,
+              faulty.stats().events_out);
+    const DisorderHandlerStats& hs = merged.handler_stats;
+    EXPECT_EQ(hs.events_in, merged.events_processed);
+    EXPECT_EQ(hs.events_in, hs.events_out + hs.events_late + hs.events_shed);
+    EXPECT_EQ(hs.max_buffer_size, 0);  // No reorder buffer anywhere.
+    EXPECT_EQ(merged.results_amended, merged.window_stats.revisions);
     EXPECT_FALSE(merged.results.empty());
   }
 }

@@ -25,7 +25,9 @@ TEST(FrameCodec, RoundTripsFramesFedByteByByte) {
       {FrameType::kRegisterQuery, 7, "--window=100 --agg=mean"},
       {FrameType::kIngest, 7, std::string("\x00\x00\x00\x00", 4)},
       {FrameType::kSnapshot, 42, ""},
+      {FrameType::kMetricsRequest, 0, std::string(1, '\x00')},
       {FrameType::kOk, 7, ""},
+      {FrameType::kMetricsReply, 0, "streamq_runs_total 1\n"},
   };
   std::string wire;
   for (const Frame& f : frames) AppendFrame(f, &wire);

@@ -276,6 +276,37 @@ TEST_F(ServerLoopbackTest, ConcurrentTenantsKeepIndependentAccounts) {
   EXPECT_EQ(server_.stats().protocol_errors, 0);
 }
 
+TEST_F(ServerLoopbackTest, MetricsFrameExposesServerWideRegistry) {
+  const std::vector<Event> events = TestStream(31);
+  SessionOptions options;
+  options.Name("metered").Window(100).QualityTarget(0.9);
+
+  auto client = Connect();
+  ASSERT_TRUE(client->RegisterQuery(1, options).ok());
+  IngestInBatches(client.get(), 1, events);
+  ASSERT_TRUE(client->Unregister(1).ok());
+
+  auto prom = client->Metrics(kMetricsFormatPrometheus);
+  ASSERT_TRUE(prom.ok());
+  EXPECT_NE(prom.value().find("streamq_source_events_total"),
+            std::string::npos);
+  EXPECT_NE(prom.value().find("streamq_window_amends_total"),
+            std::string::npos);
+  EXPECT_NE(prom.value().find("streamq_window_amend_rate"), std::string::npos);
+
+  auto json = client->Metrics(kMetricsFormatJson);
+  ASSERT_TRUE(json.ok());
+  EXPECT_EQ(json.value().front(), '{');
+  EXPECT_NE(json.value().find("streamq.window.amends_total"),
+            std::string::npos);
+
+  // Unknown format byte is a protocol error, and the connection survives it.
+  auto bad = client->Metrics(42);
+  EXPECT_FALSE(bad.ok());
+  auto again = client->Metrics(kMetricsFormatPrometheus);
+  EXPECT_TRUE(again.ok());
+}
+
 TEST_F(ServerLoopbackTest, ShutdownFrameUnblocksWait) {
   std::thread waiter([this] { server_.WaitForShutdownRequest(); });
   auto client = Connect();

@@ -232,10 +232,65 @@ TEST(SessionOptions, ParseTokensRejectsMalformedValues) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(SessionOptions, SpeculativeAndEngineFlags) {
+  // Parse, validate and build the speculative emit-then-amend mode.
+  {
+    SessionOptions options;
+    std::vector<std::string> leftover;
+    const std::vector<std::string> tokens = {"--speculative",
+                                             "--window-engine=amend"};
+    ASSERT_TRUE(SessionOptions::ParseTokens(tokens, &options, &leftover).ok());
+    EXPECT_TRUE(leftover.empty());
+    EXPECT_TRUE(options.speculative);
+    EXPECT_EQ(options.window_engine, "amend");
+    ASSERT_TRUE(options.Validate().ok());
+    auto query = options.BuildQuery();
+    ASSERT_TRUE(query.ok()) << query.status().ToString();
+    EXPECT_EQ(query.value().handler.kind,
+              DisorderHandlerSpec::Kind::kSpeculative);
+    EXPECT_EQ(query.value().window.engine,
+              WindowedAggregation::Engine::kAmend);
+    // Round-trips over the wire like every other flag.
+    auto decoded = SessionOptions::Deserialize(options.Serialize());
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_TRUE(decoded.value().speculative);
+    EXPECT_EQ(decoded.value().window_engine, "amend");
+  }
+  // --speculative with the legacy engine is rejected, not ignored.
+  {
+    SessionOptions options;
+    options.Speculative().Engine("legacy");
+    const Status status = options.Validate();
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(status.message().find("amend"), std::string::npos)
+        << status.ToString();
+  }
+  // --speculative replaces the buffered strategies.
+  {
+    SessionOptions options;
+    options.Speculative().Strategy("fixed");
+    EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  }
+  // Engine names are validated.
+  {
+    SessionOptions options;
+    options.Engine("btree");
+    EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  }
+  // The non-speculative engines all build.
+  for (const char* engine : {"hot", "amend", "legacy"}) {
+    SessionOptions options;
+    options.Engine(engine);
+    EXPECT_TRUE(options.BuildQuery().ok()) << engine;
+  }
+}
+
 TEST(SessionOptions, SuggestFlagFindsNearMisses) {
   EXPECT_EQ(SuggestFlag("--thread=2", {}), "--threads");
   EXPECT_EQ(SuggestFlag("--qualty=0.9", {}), "--quality");
   EXPECT_EQ(SuggestFlag("--windw=10", {}), "--window");
+  EXPECT_EQ(SuggestFlag("--window-engin=amend", {}), "--window-engine");
+  EXPECT_EQ(SuggestFlag("--speculativ", {}), "--speculative");
   const std::vector<std::string> extra = {"--trace"};
   EXPECT_EQ(SuggestFlag("--trce=x", extra), "--trace");
   // Far-off garbage should produce no suggestion at all.

@@ -1,9 +1,10 @@
 #!/usr/bin/env python3
-"""Soft throughput-regression guard for the R-F18..R-F22 benchmarks.
+"""Soft throughput-regression guard for the R-F18..R-F23 benchmarks.
 
 Reads a freshly produced benchmark CSV (f18_hotpath.csv, f19_disorder.csv,
-f20_degradation.csv, f21_runtime.csv or f22_service.csv, auto-detected
-from the header) plus the committed baseline and applies per-suite checks:
+f20_degradation.csv, f21_runtime.csv, f22_service.csv or f23_amend.csv,
+auto-detected from the header) plus the committed baseline and applies
+per-suite checks:
 
 R-F18 (window-operator hot path):
   1. Equivalence (hard): `checksum` and `emissions` must agree between the
@@ -68,6 +69,21 @@ R-F22 (service path: server + load generator over loopback):
      pacing sleeps overlap, so this holds even on a single core. 8 falling
      behind 4 is a soft warning.
 
+R-F23 (amend engine + speculative emit-then-amend):
+  1. Final-answer identity (hard): `final_checksum` must agree across all
+     three modes (hot-buffered, amend-buffered, amend-speculative) of
+     every (workload, kind) group -- the last revision per window is the
+     PR's correctness contract, however many provisional emissions the
+     speculative run published on the way.
+  2. Latency win (hard): on speculative rows where >= F23_LATE_GATE of
+     tuples arrived behind the output watermark, first-emission p50 must
+     be <= F23_LATENCY_BOUND x the hot-buffered settle p50 in the SAME
+     run. Emitting provisionally then amending must actually buy latency,
+     or the mode has no reason to exist.
+  3. Store overhead (soft): amend-buffered exceeding F23_STORE_TAX x
+     hot-buffered ns/tuple on the in-order path prints a warning -- the
+     B-tree's amend capability should be close to free when unused.
+
 All suites: baseline drift (soft) -- fast-engine ns/tuple (f21: keps)
 beyond DRIFT_FACTOR x the committed baseline prints a GitHub warning
 annotation but does not fail the job; absolute timings are
@@ -111,6 +127,15 @@ F21_REBALANCE_TAX = 1.15  # soft: pure-cpu rebalance <= 1.15x static.
 F22_SCALING_TARGET = 1.3
 F22_P99_DRIFT = 3.0
 
+# f23: the speculative mode's first emission must halve the buffered
+# settle latency wherever disorder is material (>= 10% of tuples arrive
+# behind the speculative watermark); observed ratios are 0.01-0.15x. The
+# amend store costing more than 1.5x the flat store on the in-order path
+# is a soft warning (observed ~1x either way).
+F23_LATENCY_BOUND = 0.5
+F23_LATE_GATE = 0.10
+F23_STORE_TAX = 1.5
+
 # Kinds with inline AggregateState folds. Heavy kinds (median/quantile/
 # distinct) keep the polymorphic accumulator, so their hot-engine win is
 # only the flat store -- too small to enforce a ratio on.
@@ -128,6 +153,8 @@ def load(path, key_cols):
 def sniff_suite(path):
     with open(path, newline="") as f:
         header = next(csv.reader(f))
+    if "amend_rate" in header:
+        return "f23"
     if "clients" in header:
         return "f22"
     if "vshards" in header:
@@ -496,6 +523,70 @@ def check_f22(args):
     return "f22", configs, failures, warnings
 
 
+def check_f23(args):
+    key_cols = ("workload", "kind", "mode")
+    current = load(args.current, key_cols)
+    configs = sorted({k[:2] for k in current})
+    failures = []
+    warnings = []
+
+    for workload, kind in configs:
+        hot = current.get((workload, kind, "hot-buffered"))
+        amend = current.get((workload, kind, "amend-buffered"))
+        spec = current.get((workload, kind, "amend-speculative"))
+        if hot is None or amend is None or spec is None:
+            failures.append(f"{workload}/{kind}: missing mode row")
+            continue
+
+        # 1. Final-answer identity across all three modes: the speculative
+        # run's last revision per window must equal the fully-buffered
+        # reference bit for bit (as printed).
+        for row, mode in ((amend, "amend-buffered"),
+                          (spec, "amend-speculative")):
+            if row["final_checksum"] != hot["final_checksum"]:
+                failures.append(
+                    f"{workload}/{kind}: final_checksum mismatch "
+                    f"{mode}={row['final_checksum']} "
+                    f"hot-buffered={hot['final_checksum']}")
+
+        # 2. Latency win where disorder is material, same machine same run.
+        if float(spec["late_frac"]) >= F23_LATE_GATE:
+            first = float(spec["first_p50_us"])
+            settle = float(hot["settle_p50_us"])
+            if first > settle * F23_LATENCY_BOUND:
+                failures.append(
+                    f"{workload}/{kind}: speculative first p50 {first:.0f} us "
+                    f"vs buffered settle p50 {settle:.0f} "
+                    f"({first / settle:.2f}x, bound {F23_LATENCY_BOUND}x)")
+
+        # 3. Amend-store tax on the in-order path (soft; noisy).
+        h_ns = float(hot["ns_per_tuple"])
+        a_ns = float(amend["ns_per_tuple"])
+        if a_ns > h_ns * F23_STORE_TAX:
+            warnings.append(
+                f"{workload}/{kind}: amend-buffered {a_ns:.2f} ns/tuple vs "
+                f"hot-buffered {h_ns:.2f} ({a_ns / h_ns:.2f}x, soft bound "
+                f"{F23_STORE_TAX}x)")
+
+    # 4. Soft drift vs. committed baseline on the speculative rows.
+    if args.baseline:
+        baseline = load(args.baseline, key_cols)
+        for key, row in current.items():
+            if key[2] != "amend-speculative":
+                continue
+            base = baseline.get(key)
+            if base is None:
+                continue
+            cur_ns = float(row["ns_per_tuple"])
+            base_ns = float(base["ns_per_tuple"])
+            if cur_ns > base_ns * DRIFT_FACTOR:
+                warnings.append(
+                    f"{'/'.join(key[:2])}: speculative {cur_ns:.2f} ns/tuple "
+                    f"vs baseline {base_ns:.2f} ({cur_ns / base_ns:.2f}x)")
+
+    return "f23", configs, failures, warnings
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("--current", required=True)
@@ -503,7 +594,9 @@ def main():
     args = parser.parse_args()
 
     suite = sniff_suite(args.current)
-    if suite == "f22":
+    if suite == "f23":
+        suite, configs, failures, warnings = check_f23(args)
+    elif suite == "f22":
         suite, configs, failures, warnings = check_f22(args)
     elif suite == "f21":
         suite, configs, failures, warnings = check_f21(args)
