@@ -11,6 +11,7 @@
 ///   --window=<ms> --slide=<ms> --agg=<name> --strategy=<s> --quality=<q>
 ///   --latency-budget=<ms> --k=<ms> --per-key --lateness=<ms>
 ///   --threads=<n> --vshards=<v> --rebalance --mpsc=<p> --pin-cores
+///   --steal --adaptive-batch --numa-arena
 ///   --arena=<on|off> --buffer-cap=<n> --shed=<policy> --max-slack=<ms>
 ///   --validate=<mode> --window-engine=<legacy|hot|amend> --speculative
 ///

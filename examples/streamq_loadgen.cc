@@ -63,10 +63,11 @@ bool AppendCsvRow(const std::string& path, const LoadGenOptions& options,
     std::fprintf(f,
                  "clients,tenants,events_per_tenant,rate_eps,batch,seed,"
                  "disorder_ms,events_sent,wall_s,throughput_eps,rtt_p50_us,"
-                 "rtt_p99_us,errors,identities_ok,deliveries_ok,checksum\n");
+                 "rtt_p99_us,errors,identities_ok,deliveries_ok,migrations,"
+                 "steals,checksum\n");
   }
   std::fprintf(f, "%d,%d,%lld,%.0f,%d,%llu,%.3f,%lld,%.4f,%.1f,%.1f,%.1f,"
-                  "%lld,%d,%d,%llu\n",
+                  "%lld,%d,%d,%lld,%lld,%llu\n",
                options.clients, options.tenants,
                static_cast<long long>(options.events_per_tenant),
                options.rate_eps, options.batch,
@@ -77,6 +78,8 @@ bool AppendCsvRow(const std::string& path, const LoadGenOptions& options,
                static_cast<long long>(report.errors),
                report.all_identities_ok ? 1 : 0,
                report.all_deliveries_ok ? 1 : 0,
+               static_cast<long long>(report.shard_migrations),
+               static_cast<long long>(report.segments_stolen),
                static_cast<unsigned long long>(report.combined_checksum));
   std::fclose(f);
   return true;

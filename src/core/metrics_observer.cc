@@ -79,7 +79,16 @@ MetricsObserver::MetricsObserver(const MetricsRegistry::Options& options)
           registry_.histogram("streamq.queue.depth", DepthBuckets())),
       backpressure_stalls_(
           registry_.counter("streamq.queue.backpressure_stalls_total")),
-      shard_batches_(registry_.counter("streamq.shard.batches_total")) {}
+      shard_batches_(registry_.counter("streamq.shard.batches_total")),
+      segments_stolen_(
+          registry_.counter("streamq.scheduler.segments_stolen_total")),
+      batch_size_(registry_.gauge("streamq.scheduler.batch_size")),
+      batch_adaptations_(
+          registry_.counter("streamq.scheduler.batch_adaptations_total")),
+      arena_node_local_(
+          registry_.counter("streamq.arena.node_local_batches_total")),
+      arena_node_remote_(
+          registry_.counter("streamq.arena.node_remote_batches_total")) {}
 
 void MetricsObserver::OnSourceBatch(int64_t events) {
   source_batches_->Increment();
@@ -173,8 +182,8 @@ void MetricsObserver::OnWindowLateDropped(const Event& e) {
 }
 
 void MetricsObserver::OnQueueDepth(size_t worker, size_t depth) {
-  (void)worker;
   queue_depth_->Record(static_cast<double>(depth));
+  WorkerEntry(worker).queue_depth->Set(static_cast<double>(depth));
 }
 
 void MetricsObserver::OnBackpressureStall(size_t worker) {
@@ -187,6 +196,25 @@ void MetricsObserver::OnShardBatch(size_t shard, int64_t events) {
   ShardCounter(shard)->Increment(events);
 }
 
+void MetricsObserver::OnSegmentSteal(size_t victim, size_t thief,
+                                     size_t shard) {
+  (void)shard;
+  segments_stolen_->Increment();
+  WorkerEntry(thief).segments_stolen->Increment();
+  WorkerEntry(victim).segments_donated->Increment();
+}
+
+void MetricsObserver::OnBatchSizeAdapted(size_t producer, size_t batch) {
+  (void)producer;
+  batch_adaptations_->Increment();
+  batch_size_->Set(static_cast<double>(batch));
+}
+
+void MetricsObserver::OnArenaNodeRelease(size_t worker, bool local) {
+  (void)worker;
+  (local ? arena_node_local_ : arena_node_remote_)->Increment();
+}
+
 Counter* MetricsObserver::ShardCounter(size_t shard) {
   std::lock_guard<std::mutex> lock(shard_mu_);
   if (shard >= shard_events_.size()) {
@@ -197,6 +225,22 @@ Counter* MetricsObserver::ShardCounter(size_t shard) {
         "streamq.shard." + std::to_string(shard) + ".events_total");
   }
   return shard_events_[shard];
+}
+
+MetricsObserver::WorkerMetrics& MetricsObserver::WorkerEntry(size_t worker) {
+  std::lock_guard<std::mutex> lock(shard_mu_);
+  if (worker >= worker_metrics_.size()) {
+    worker_metrics_.resize(worker + 1);
+  }
+  WorkerMetrics& m = worker_metrics_[worker];
+  if (m.queue_depth == nullptr) {
+    const std::string prefix = "streamq.worker." + std::to_string(worker);
+    m.queue_depth = registry_.gauge(prefix + ".queue_depth");
+    m.segments_stolen = registry_.counter(prefix + ".segments_stolen_total");
+    m.segments_donated =
+        registry_.counter(prefix + ".segments_donated_total");
+  }
+  return m;
 }
 
 }  // namespace streamq

@@ -53,8 +53,20 @@ class MetricsObserver : public PipelineObserver {
   void OnQueueDepth(size_t worker, size_t depth) override;
   void OnBackpressureStall(size_t worker) override;
   void OnShardBatch(size_t shard, int64_t events) override;
+  void OnSegmentSteal(size_t victim, size_t thief, size_t shard) override;
+  void OnBatchSizeAdapted(size_t producer, size_t batch) override;
+  void OnArenaNodeRelease(size_t worker, bool local) override;
 
  private:
+  /// Lazily-created per-worker scheduler metrics (same pattern as
+  /// ShardCounter: a lock on the lookup, atomic metrics after).
+  struct WorkerMetrics {
+    Gauge* queue_depth = nullptr;
+    Counter* segments_stolen = nullptr;
+    Counter* segments_donated = nullptr;
+  };
+  WorkerMetrics& WorkerEntry(size_t worker);
+
   Counter* ShardCounter(size_t shard);
 
   MetricsRegistry registry_;
@@ -90,9 +102,15 @@ class MetricsObserver : public PipelineObserver {
   FixedHistogram* queue_depth_;
   Counter* backpressure_stalls_;
   Counter* shard_batches_;
+  Counter* segments_stolen_;
+  Gauge* batch_size_;
+  Counter* batch_adaptations_;
+  Counter* arena_node_local_;
+  Counter* arena_node_remote_;
 
   std::mutex shard_mu_;
   std::vector<Counter*> shard_events_;
+  std::vector<WorkerMetrics> worker_metrics_;
 };
 
 }  // namespace streamq

@@ -63,6 +63,9 @@ class MpscQueue {
     return tail >= head ? tail - head : 0;
   }
 
+  /// Approximate emptiness (same caveats as size()).
+  bool empty() const { return size() == 0; }
+
   /// Marks the queue closed (sticky; any thread may call it). Elements
   /// already published stay poppable.
   void Close() { closed_.store(true, std::memory_order_release); }

@@ -13,6 +13,7 @@
 #include "common/cpu_affinity.h"
 #include "common/logging.h"
 #include "common/time.h"
+#include "core/adaptive_batch.h"
 #include "core/mpsc_queue.h"
 #include "core/queue_backoff.h"
 #include "core/spsc_queue.h"
@@ -25,18 +26,50 @@ namespace {
 using EventBatch = EventArena::Batch;
 using EventSlab = EventArena::Slab;
 
-/// One run-scoped arena for everything crossing the queues: feed scratch,
+/// Run-scoped arena pools for everything crossing the queues: feed scratch,
 /// shard sub-batches, and the batch nodes themselves. use_arena=false keeps
 /// the same code path but disables pooling, so every batch is one heap
 /// allocation freed by whichever thread drops it last — the reference
-/// malloc path.
-EventArena MakeRunArena(const ParallelOptions& options) {
+/// malloc path. Without numa_arena this is one pool (node 0); with it, one
+/// independent pool per detected NUMA node, and each producer mints from
+/// the node it runs on.
+NumaArenaSet<Event> MakeRunArenas(const ParallelOptions& options) {
   EventArena::Options a;
   a.slab_capacity = options.batch_size;
   const bool pool = options.use_arena;
   a.max_free_slabs = pool ? 1024 : 0;
   a.max_free_batches = pool ? 1024 : 0;
-  return EventArena(a);
+  const int nodes =
+      options.numa_arena ? NumaTopology::System().node_count() : 1;
+  return NumaArenaSet<Event>(a, nodes);
+}
+
+/// NUMA node whose pool the calling (producer) thread should mint from.
+/// Sampled once per thread, after any pinning, so a pinned producer's
+/// choice is stable for the run.
+int ProducerNode(const ParallelOptions& options) {
+  return options.numa_arena ? NumaTopology::System().NodeOfCurrentThread()
+                            : 0;
+}
+
+AdaptiveBatcher::Options BatcherOptions(const ParallelOptions& options) {
+  AdaptiveBatcher::Options b;
+  b.min_batch = options.min_batch;
+  b.max_batch = options.max_batch;
+  b.initial = options.batch_size;
+  return b;
+}
+
+/// Mean worker-queue occupancy as a fraction of capacity — the adaptive
+/// batch controller's depth input.
+template <typename Queue>
+double MeanDepthFraction(const std::vector<std::unique_ptr<Queue>>& queues) {
+  double sum = 0.0;
+  for (const auto& q : queues) {
+    sum += static_cast<double>(q->size()) /
+           static_cast<double>(q->capacity());
+  }
+  return queues.empty() ? 0.0 : sum / static_cast<double>(queues.size());
 }
 
 void MaybePin(const ParallelOptions& options, int core) {
@@ -158,7 +191,7 @@ std::vector<RunReport> RunIndependent(const std::vector<ContinuousQuery>& querie
     queues.push_back(std::make_unique<Queue>(options.queue_capacity));
   }
 
-  EventArena arena = MakeRunArena(options);
+  NumaArenaSet<Event> arenas = MakeRunArenas(options);
   const TimestampUs start = WallClockMicros();
 
   std::vector<Status> worker_status(n);
@@ -171,6 +204,7 @@ std::vector<RunReport> RunIndependent(const std::vector<ContinuousQuery>& querie
   }
   std::atomic<size_t> feeding_count{n};
   std::atomic<int64_t> events_pulled{0};
+  std::atomic<size_t> final_batch{options.batch_size};
 
   std::vector<std::thread> workers;
   workers.reserve(n);
@@ -187,10 +221,15 @@ std::vector<RunReport> RunIndependent(const std::vector<ContinuousQuery>& querie
   // the arena's batch nodes, so the steady state allocates nothing.
   auto produce = [&](EventSource* source, size_t producer) {
     MaybePin(options, static_cast<int>(n + producer));
-    EventArena local = arena;  // Shared handle onto the same pools.
+    // Shared handle onto this producer's node-local pools.
+    EventArena local = arenas.ForNode(ProducerNode(options));
+    AdaptiveBatcher batcher(BatcherOptions(options));
+    size_t feed_batch = options.batch_size;
     EventSlab chunk = local.Acquire();
     while (feeding_count.load(std::memory_order_relaxed) > 0 &&
-           source->NextBatch(&chunk, options.batch_size) > 0) {
+           source->NextBatch(&chunk, feed_batch) > 0) {
+      const TimestampUs route_start =
+          options.adaptive_batch ? WallClockMicros() : 0;
       const int64_t pulled = static_cast<int64_t>(chunk.size());
       events_pulled.fetch_add(pulled, std::memory_order_relaxed);
       if (observer != nullptr) observer->OnSourceBatch(pulled);
@@ -207,8 +246,18 @@ std::vector<RunReport> RunIndependent(const std::vector<ContinuousQuery>& querie
         }
         if (observer != nullptr) observer->OnQueueDepth(i, queues[i]->size());
       }
+      if (options.adaptive_batch &&
+          batcher.Observe(MeanDepthFraction(queues),
+                          static_cast<double>(WallClockMicros() -
+                                              route_start))) {
+        feed_batch = batcher.batch();
+        if (observer != nullptr) {
+          observer->OnBatchSizeAdapted(producer, feed_batch);
+        }
+      }
     }
     local.Recycle(std::move(chunk));
+    final_batch.store(feed_batch, std::memory_order_relaxed);
   };
 
   if (num_producers == 1) {
@@ -231,11 +280,14 @@ std::vector<RunReport> RunIndependent(const std::vector<ContinuousQuery>& querie
                              wall_seconds);
   }
 
-  char cfg[160];
+  char cfg[224];
   std::snprintf(cfg, sizeof(cfg),
-                "workers=%zu producers=%zu feed=%s arena=%s pin=%s", n,
-                num_producers, num_producers > 1 ? "mpsc" : "spsc",
-                options.use_arena ? "on" : "off", DescribePin(options));
+                "workers=%zu producers=%zu feed=%s arena=%s pin=%s "
+                "batch_final=%zu numa=%s",
+                n, num_producers, num_producers > 1 ? "mpsc" : "spsc",
+                options.use_arena ? "on" : "off", DescribePin(options),
+                final_batch.load(std::memory_order_relaxed),
+                options.numa_arena ? "on" : "off");
 
   std::vector<RunReport> reports;
   reports.reserve(n);
@@ -268,6 +320,25 @@ struct FeedItem {
   EventBatch batch;
   uint32_t shard = 0;
   FeedKind kind = FeedKind::kStop;
+  /// NUMA node the batch's slab storage was minted on (numa_arena runs);
+  /// lets the receiving worker account local vs remote batches.
+  uint8_t node = 0;
+};
+
+/// Per-worker scheduling context shared between a keyed worker and the
+/// driver. `hungry` is the pull signal for work stealing: the worker raises
+/// it when its queue runs dry, right before blocking, and clears it on the
+/// next item — the driver reads it (relaxed; it is a heuristic, not a
+/// synchronization edge) to pick steal beneficiaries. The NUMA fields are
+/// written by the worker thread only and read by the driver after join.
+struct ShardWorkerSched {
+  std::atomic<uint32_t>* hungry = nullptr;
+  bool count_nodes = false;
+  int node = 0;
+  int64_t local_batches = 0;
+  int64_t remote_batches = 0;
+  PipelineObserver* observer = nullptr;
+  size_t worker = 0;
 };
 
 /// Keyed worker loop. `executors` is the full virtual-shard table (shared,
@@ -281,18 +352,34 @@ template <typename Queue>
 void RunShardWorker(Queue* q, QueryExecutor* const* executors,
                     size_t num_virtual, std::atomic<uint32_t>* released,
                     Status* status, std::atomic<int64_t>* processed,
-                    std::atomic<bool>* exited) {
+                    std::atomic<bool>* exited, ShardWorkerSched* sched) {
   std::vector<uint8_t> owned(num_virtual, 0);
   try {
     FeedItem item;
     bool stop = false;
-    while (!stop && q->Pop(&item)) {
+    while (!stop) {
+      if (!q->TryPop(&item)) {
+        // Queue dry: advertise hunger so a stealing driver can route a
+        // backlogged shard here, then block for the next item.
+        sched->hungry->store(1, std::memory_order_relaxed);
+        const bool got = q->Pop(&item);
+        sched->hungry->store(0, std::memory_order_relaxed);
+        if (!got) break;
+      }
       switch (item.kind) {
         case FeedKind::kBatch:
           owned[item.shard] = 1;
           executors[item.shard]->FeedBatch(*item.batch);
           processed->fetch_add(static_cast<int64_t>(item.batch->size()),
                                std::memory_order_relaxed);
+          if (sched->count_nodes) {
+            const bool local =
+                item.node == static_cast<uint8_t>(sched->node);
+            (local ? sched->local_batches : sched->remote_batches) += 1;
+            if (sched->observer != nullptr) {
+              sched->observer->OnArenaNodeRelease(sched->worker, local);
+            }
+          }
           item.batch.reset();
           break;
         case FeedKind::kRelease:
@@ -341,6 +428,8 @@ struct KeyedOutcome {
   RunReport merged;
   std::vector<WorkerLoad> loads;
   int64_t migrations = 0;
+  int64_t steals = 0;
+  size_t final_batch = 0;
 };
 
 template <typename Queue>
@@ -394,7 +483,17 @@ KeyedOutcome RunSharded(const ContinuousQuery& query, size_t num_workers,
   std::vector<uint32_t> placement(V);
   for (size_t v = 0; v < V; ++v) placement[v] = static_cast<uint32_t>(v % W);
 
-  EventArena arena = MakeRunArena(options);
+  auto hungry = std::make_unique<std::atomic<uint32_t>[]>(W);
+  for (size_t w = 0; w < W; ++w) hungry[w].store(0, std::memory_order_relaxed);
+  std::vector<ShardWorkerSched> sched(W);
+  for (size_t w = 0; w < W; ++w) {
+    sched[w].hungry = &hungry[w];
+    sched[w].count_nodes = options.numa_arena;
+    sched[w].observer = observer;
+    sched[w].worker = w;
+  }
+
+  NumaArenaSet<Event> arenas = MakeRunArenas(options);
   const TimestampUs start = WallClockMicros();
 
   std::vector<std::thread> workers;
@@ -402,16 +501,25 @@ KeyedOutcome RunSharded(const ContinuousQuery& query, size_t num_workers,
   for (size_t w = 0; w < W; ++w) {
     workers.emplace_back([&, w] {
       MaybePin(options, static_cast<int>(w));
+      sched[w].node = options.numa_arena
+                          ? NumaTopology::System().NodeOfCurrentThread()
+                          : 0;
       RunShardWorker(queues[w].get(), exec_ptrs.data(), V, released.get(),
-                     &worker_status[w], &processed[w], &exited[w]);
+                     &worker_status[w], &processed[w], &exited[w], &sched[w]);
     });
   }
 
   int64_t migrations = 0;
+  int64_t steals = 0;
+  std::vector<int64_t> stolen_by(W, 0);
+  std::vector<int64_t> donated_by(W, 0);
+  std::atomic<size_t> final_batch{options.batch_size};
 
   if (num_producers == 1) {
-    // --- Single-producer drive; rebalancing lives here -------------------
+    // --- Single-producer drive; rebalancing and stealing live here -------
     EventSource* source = sources[0];
+    const int driver_node = ProducerNode(options);
+    EventArena arena = arenas.ForNode(driver_node);
     std::vector<EventSlab> shard_slabs(V);
     std::vector<uint32_t> touched;
     touched.reserve(std::min<size_t>(V, 256));
@@ -438,6 +546,7 @@ KeyedOutcome RunSharded(const ContinuousQuery& query, size_t num_workers,
       item.batch = std::move(batch);
       item.shard = v;
       item.kind = FeedKind::kBatch;
+      item.node = static_cast<uint8_t>(driver_node);
       Status fail;
       if (!FeedQueue(queues[w].get(), std::move(item), w, options, observer,
                      &stalls[w], &fail)) {
@@ -460,6 +569,32 @@ KeyedOutcome RunSharded(const ContinuousQuery& query, size_t num_workers,
       for (EventBatch& b : mig_pending) deliver(mig_shard, std::move(b));
       mig_pending.clear();
       migrating = false;
+    };
+
+    // Shared safe-point handoff: re-arm the release flag *before* the
+    // marker is visible, then hand the in-band kRelease marker to the
+    // current owner. From the marker on, batches for the shard are
+    // buffered (mig_pending) until the owner acknowledges. Both the
+    // periodic rebalancer and demand-driven stealing start transfers
+    // through this one path, so at most one handoff is in flight.
+    auto start_handoff = [&](uint32_t shard, size_t from, size_t to) -> bool {
+      released[shard].store(0, std::memory_order_relaxed);
+      FeedItem marker;
+      marker.shard = shard;
+      marker.kind = FeedKind::kRelease;
+      Status fail;
+      if (!FeedQueue(queues[from].get(), std::move(marker), from, options,
+                     observer, &stalls[from], &fail)) {
+        AbandonWorker(&feeding[from], &feeding_count, &driver_status[from],
+                      std::move(fail));
+        return false;
+      }
+      migrating = true;
+      mig_shard = shard;
+      mig_from = static_cast<uint32_t>(from);
+      mig_to = static_cast<uint32_t>(to);
+      placement[shard] = mig_to;
+      return true;
     };
 
     auto maybe_start_migration = [&] {
@@ -497,31 +632,93 @@ KeyedOutcome RunSharded(const ContinuousQuery& query, size_t num_workers,
         }
       }
       if (best < 0) return;
-      const auto shard = static_cast<uint32_t>(best);
-      // Re-arm the flag *before* the marker is visible, then hand the
-      // in-band marker to the current owner.
-      released[shard].store(0, std::memory_order_relaxed);
-      FeedItem marker;
-      marker.shard = shard;
-      marker.kind = FeedKind::kRelease;
-      Status fail;
-      if (!FeedQueue(queues[wmax].get(), std::move(marker), wmax, options,
-                     observer, &stalls[wmax], &fail)) {
-        AbandonWorker(&feeding[wmax], &feeding_count, &driver_status[wmax],
-                      std::move(fail));
-        return;
+      if (start_handoff(static_cast<uint32_t>(best), wmax, wmin)) {
+        ++migrations;
       }
-      migrating = true;
-      mig_shard = shard;
-      mig_from = static_cast<uint32_t>(wmax);
-      mig_to = static_cast<uint32_t>(wmin);
-      placement[shard] = mig_to;
-      ++migrations;
     };
 
+    // Decayed per-shard load as the rebalancer would see it at the next
+    // fold, computed without mutating the fold state: stealing must not
+    // perturb the rebalancer's decision sequence.
+    auto effective_load = [&](size_t v) {
+      return shard_load[v] * options.rebalance_decay +
+             static_cast<double>(shard_recent[v]);
+    };
+
+    // Demand-driven steal: a worker blocked on an empty queue (hungry)
+    // pulls the hottest movable shard from the most-backlogged worker.
+    // Triggers read worker progress (hunger flags, processed counters), so
+    // *when* steals happen is timing-dependent; *what* they produce is not
+    // — placement never affects the merged output (see class comment).
+    auto maybe_steal = [&] {
+      // Thief: a starving worker that is still fed and genuinely drained.
+      size_t thief = W;
+      for (size_t w = 0; w < W; ++w) {
+        if (hungry[w].load(std::memory_order_relaxed) != 0 &&
+            feeding[w].load(std::memory_order_relaxed) &&
+            queues[w]->empty()) {
+          thief = w;
+          break;
+        }
+      }
+      if (thief == W) return;
+      // Victim: the most backlogged worker (routed minus processed) with
+      // at least steal_min_backlog events pending and batches still
+      // queued; a drained victim has nothing worth pulling.
+      size_t victim = W;
+      int64_t victim_backlog = options.steal_min_backlog - 1;
+      for (size_t w = 0; w < W; ++w) {
+        if (w == thief) continue;
+        if (!feeding[w].load(std::memory_order_relaxed)) continue;
+        if (queues[w]->empty()) continue;
+        const int64_t backlog =
+            routed_events[w].load(std::memory_order_relaxed) -
+            processed[w].load(std::memory_order_relaxed);
+        if (backlog > victim_backlog) {
+          victim = w;
+          victim_backlog = backlog;
+        }
+      }
+      if (victim == W) return;
+      // Segment: the hottest shard on the victim that moves at most half
+      // its load. Taking more would flip the imbalance onto the thief and
+      // bounce the shard straight back (and with one shard holding all
+      // the heat, there is nothing stealable — correct: moving it only
+      // relabels the bottleneck).
+      double victim_total = 0.0;
+      for (size_t v = 0; v < V; ++v) {
+        if (placement[v] == victim) victim_total += effective_load(v);
+      }
+      int64_t best = -1;
+      double best_load = 0.0;
+      for (size_t v = 0; v < V; ++v) {
+        if (placement[v] != victim) continue;
+        const double load = effective_load(v);
+        if (load <= 0.0 || load > 0.5 * victim_total) continue;
+        if (best < 0 || load > best_load) {
+          best = static_cast<int64_t>(v);
+          best_load = load;
+        }
+      }
+      if (best < 0) return;
+      if (start_handoff(static_cast<uint32_t>(best), victim, thief)) {
+        ++steals;
+        ++stolen_by[thief];
+        ++donated_by[victim];
+        if (observer != nullptr) {
+          observer->OnSegmentSteal(victim, thief,
+                                   static_cast<size_t>(best));
+        }
+      }
+    };
+
+    AdaptiveBatcher batcher(BatcherOptions(options));
+    size_t feed_batch = options.batch_size;
     EventSlab chunk = arena.Acquire();
     while (feeding_count.load(std::memory_order_relaxed) > 0 &&
-           source->NextBatch(&chunk, options.batch_size) > 0) {
+           source->NextBatch(&chunk, feed_batch) > 0) {
+      const TimestampUs route_start =
+          options.adaptive_batch ? WallClockMicros() : 0;
       if (observer != nullptr) {
         observer->OnSourceBatch(static_cast<int64_t>(chunk.size()));
       }
@@ -545,10 +742,18 @@ KeyedOutcome RunSharded(const ContinuousQuery& query, size_t num_workers,
       }
       touched.clear();
       ++batch_counter;
+      if (options.adaptive_batch &&
+          batcher.Observe(MeanDepthFraction(queues),
+                          static_cast<double>(WallClockMicros() -
+                                              route_start))) {
+        feed_batch = batcher.batch();
+        if (observer != nullptr) observer->OnBatchSizeAdapted(0, feed_batch);
+      }
       if (migrating &&
           released[mig_shard].load(std::memory_order_acquire) != 0) {
         complete_migration();
       }
+      if (options.steal && !migrating) maybe_steal();
       if (options.rebalance &&
           batch_counter % options.rebalance_interval_batches == 0) {
         // A decision point must not depend on how fast the old owner
@@ -558,11 +763,10 @@ KeyedOutcome RunSharded(const ContinuousQuery& query, size_t num_workers,
         // a pure function of the routed stream. The wait is bounded: the
         // marker is already in the old owner's queue.
         if (migrating) {
-          QueueBackoff backoff;
-          while (released[mig_shard].load(std::memory_order_acquire) == 0 &&
-                 !exited[mig_from].load(std::memory_order_acquire)) {
-            backoff.Pause();
-          }
+          BackoffUntil([&] {
+            return released[mig_shard].load(std::memory_order_acquire) != 0 ||
+                   exited[mig_from].load(std::memory_order_acquire);
+          });
           complete_migration();
         }
         maybe_start_migration();
@@ -572,35 +776,41 @@ KeyedOutcome RunSharded(const ContinuousQuery& query, size_t num_workers,
     for (EventSlab& slab : shard_slabs) {
       if (slab.capacity() > 0) arena.Recycle(std::move(slab));
     }
+    final_batch.store(feed_batch, std::memory_order_relaxed);
 
     // Settle an in-flight migration before the terminal flush: wait for
     // the old owner's acknowledgement (or its exit — a dead owner can
     // never touch the shard again, which is just as safe).
     if (migrating) {
-      QueueBackoff backoff;
-      while (released[mig_shard].load(std::memory_order_acquire) == 0 &&
-             !exited[mig_from].load(std::memory_order_acquire)) {
-        backoff.Pause();
-      }
+      BackoffUntil([&] {
+        return released[mig_shard].load(std::memory_order_acquire) != 0 ||
+               exited[mig_from].load(std::memory_order_acquire);
+      });
       complete_migration();
     }
   } else {
     // --- Multi-producer drive: static placement over MPSC queues ---------
     STREAMQ_CHECK(!options.rebalance)
         << "rebalance requires a single-source run";
+    STREAMQ_CHECK(!options.steal) << "steal requires a single-source run";
     std::vector<std::thread> producers;
     producers.reserve(num_producers);
     for (size_t p = 0; p < num_producers; ++p) {
       producers.emplace_back([&, p] {
         MaybePin(options, static_cast<int>(W + p));
-        EventArena local = arena;
+        const int node = ProducerNode(options);
+        EventArena local = arenas.ForNode(node);
         EventSource* source = sources[p];
         std::vector<EventSlab> shard_slabs(V);
         std::vector<uint32_t> touched;
         touched.reserve(std::min<size_t>(V, 256));
+        AdaptiveBatcher batcher(BatcherOptions(options));
+        size_t feed_batch = options.batch_size;
         EventSlab chunk = local.Acquire();
         while (feeding_count.load(std::memory_order_relaxed) > 0 &&
-               source->NextBatch(&chunk, options.batch_size) > 0) {
+               source->NextBatch(&chunk, feed_batch) > 0) {
+          const TimestampUs route_start =
+              options.adaptive_batch ? WallClockMicros() : 0;
           if (observer != nullptr) {
             observer->OnSourceBatch(static_cast<int64_t>(chunk.size()));
           }
@@ -624,6 +834,7 @@ KeyedOutcome RunSharded(const ContinuousQuery& query, size_t num_workers,
             item.batch = local.Share(&shard_slabs[v]);
             item.shard = v;
             item.kind = FeedKind::kBatch;
+            item.node = static_cast<uint8_t>(node);
             Status fail;
             if (!FeedQueue(queues[w].get(), std::move(item), w, options,
                            observer, &stalls[w], &fail)) {
@@ -639,11 +850,21 @@ KeyedOutcome RunSharded(const ContinuousQuery& query, size_t num_workers,
             }
           }
           touched.clear();
+          if (options.adaptive_batch &&
+              batcher.Observe(MeanDepthFraction(queues),
+                              static_cast<double>(WallClockMicros() -
+                                                  route_start))) {
+            feed_batch = batcher.batch();
+            if (observer != nullptr) {
+              observer->OnBatchSizeAdapted(p, feed_batch);
+            }
+          }
         }
         local.Recycle(std::move(chunk));
         for (EventSlab& slab : shard_slabs) {
           if (slab.capacity() > 0) local.Recycle(std::move(slab));
         }
+        final_batch.store(feed_batch, std::memory_order_relaxed);
       });
     }
     for (std::thread& t : producers) t.join();
@@ -669,18 +890,25 @@ KeyedOutcome RunSharded(const ContinuousQuery& query, size_t num_workers,
 
   const double wall_seconds = ToSeconds(WallClockMicros() - start);
 
-  char cfg[200];
+  char cfg[320];
   std::snprintf(
       cfg, sizeof(cfg),
       "workers=%zu vshards=%zu producers=%zu feed=%s arena=%s pin=%s "
-      "rebalance=%s migrations=%lld",
+      "rebalance=%s migrations=%lld steal=%s steals=%lld "
+      "batch_final=%zu numa=%s nodes=%d",
       W, V, num_producers, num_producers > 1 ? "mpsc" : "spsc",
       options.use_arena ? "on" : "off", DescribePin(options),
-      options.rebalance ? "on" : "off", static_cast<long long>(migrations));
+      options.rebalance ? "on" : "off", static_cast<long long>(migrations),
+      options.steal ? "on" : "off", static_cast<long long>(steals),
+      final_batch.load(std::memory_order_relaxed),
+      options.numa_arena ? "on" : "off",
+      options.numa_arena ? NumaTopology::System().node_count() : 1);
 
   // Merge shard reports into one.
   KeyedOutcome out;
   out.migrations = migrations;
+  out.steals = steals;
+  out.final_batch = final_batch.load(std::memory_order_relaxed);
   RunReport& merged = out.merged;
   merged.query_name = query.name;
   merged.wall_seconds = wall_seconds;
@@ -719,6 +947,8 @@ KeyedOutcome RunSharded(const ContinuousQuery& query, size_t num_workers,
                           std::make_move_iterator(r.results.begin()),
                           std::make_move_iterator(r.results.end()));
   }
+  merged.shard_migrations = migrations;
+  merged.segments_stolen = steals;
   merged.throughput_eps =
       wall_seconds > 0.0
           ? static_cast<double>(merged.events_processed) / wall_seconds
@@ -741,11 +971,64 @@ KeyedOutcome RunSharded(const ContinuousQuery& query, size_t num_workers,
     out.loads[w].events_processed =
         processed[w].load(std::memory_order_relaxed);
     out.loads[w].stalls = stalls[w].load(std::memory_order_relaxed);
+    out.loads[w].segments_stolen = stolen_by[w];
+    out.loads[w].segments_donated = donated_by[w];
+    out.loads[w].node_local_batches = sched[w].local_batches;
+    out.loads[w].node_remote_batches = sched[w].remote_batches;
   }
   return out;
 }
 
 }  // namespace
+
+Status ParallelOptions::Validate() const {
+  if (batch_size == 0) {
+    return Status::InvalidArgument("batch_size must be positive");
+  }
+  if (queue_capacity == 0) {
+    return Status::InvalidArgument("queue_capacity must be positive");
+  }
+  if (feed_timeout_us <= 0) {
+    return Status::InvalidArgument("feed_timeout_us must be positive");
+  }
+  if (feed_max_attempts <= 0) {
+    return Status::InvalidArgument("feed_max_attempts must be positive");
+  }
+  if (rebalance_interval_batches <= 0) {
+    return Status::InvalidArgument(
+        "rebalance_interval_batches must be positive (source batches "
+        "between checks; did you mean 32?)");
+  }
+  if (rebalance_threshold < 1.0) {
+    return Status::InvalidArgument(
+        "rebalance_threshold is a max/min load ratio and must be >= 1.0 "
+        "(did you mean 1.25?)");
+  }
+  if (rebalance_decay < 0.0 || rebalance_decay > 1.0) {
+    return Status::InvalidArgument(
+        "rebalance_decay must be in [0, 1] (per-check exponential decay; "
+        "did you mean 0.5?)");
+  }
+  if (steal_min_backlog <= 0) {
+    return Status::InvalidArgument(
+        "steal_min_backlog must be positive (events behind before a steal; "
+        "did you mean 1024?)");
+  }
+  if (min_batch == 0) {
+    return Status::InvalidArgument("min_batch must be positive");
+  }
+  if (max_batch < min_batch) {
+    return Status::InvalidArgument(
+        "max_batch must be >= min_batch (the adaptive controller clamps "
+        "to [min_batch, max_batch])");
+  }
+  if (adaptive_batch && (batch_size < min_batch || batch_size > max_batch)) {
+    return Status::InvalidArgument(
+        "batch_size is the adaptive controller's starting point and must "
+        "lie within [min_batch, max_batch]");
+  }
+  return Status::OK();
+}
 
 void ParallelMultiQueryRunner::AddQuery(const ContinuousQuery& query) {
   STREAMQ_CHECK_OK(query.Validate());
@@ -754,6 +1037,7 @@ void ParallelMultiQueryRunner::AddQuery(const ContinuousQuery& query) {
 
 std::vector<RunReport> ParallelMultiQueryRunner::Run(EventSource* source) {
   STREAMQ_CHECK(!queries_.empty()) << "no queries added";
+  STREAMQ_CHECK_OK(options_.Validate());
   EventSource* one[1] = {source};
   return RunIndependent<SpscQueue<EventBatch>>(
       queries_, std::span<EventSource* const>(one, 1), options_, observer_);
@@ -763,6 +1047,7 @@ std::vector<RunReport> ParallelMultiQueryRunner::RunMultiSource(
     std::span<EventSource* const> sources) {
   STREAMQ_CHECK(!queries_.empty()) << "no queries added";
   STREAMQ_CHECK(!sources.empty()) << "no sources";
+  STREAMQ_CHECK_OK(options_.Validate());
   if (sources.size() == 1) {
     return RunIndependent<SpscQueue<EventBatch>>(queries_, sources, options_,
                                                  observer_);
@@ -776,6 +1061,7 @@ ShardedKeyedRunner::ShardedKeyedRunner(const ContinuousQuery& query,
                                        ParallelOptions options)
     : query_(query), num_workers_(num_workers), options_(options) {
   STREAMQ_CHECK_GT(num_workers, 0u);
+  STREAMQ_CHECK_OK(options_.Validate());
   STREAMQ_CHECK_OK(query.Validate());
   STREAMQ_CHECK(query.handler.per_key)
       << "ShardedKeyedRunner requires a per-key disorder handler";
@@ -805,6 +1091,8 @@ RunReport ShardedKeyedRunner::Run(EventSource* source) {
       observer_);
   loads_ = std::move(out.loads);
   migrations_ = out.migrations;
+  steals_ = out.steals;
+  final_batch_ = out.final_batch;
   return std::move(out.merged);
 }
 
@@ -813,6 +1101,8 @@ RunReport ShardedKeyedRunner::RunMultiSource(
   STREAMQ_CHECK(!sources.empty()) << "no sources";
   STREAMQ_CHECK(!options_.rebalance || sources.size() == 1)
       << "rebalance requires a single-source run";
+  STREAMQ_CHECK(!options_.steal || sources.size() == 1)
+      << "steal requires a single-source run";
   KeyedOutcome out =
       sources.size() == 1
           ? RunSharded<SpscQueue<FeedItem>>(query_, num_workers_, sources,
@@ -821,6 +1111,8 @@ RunReport ShardedKeyedRunner::RunMultiSource(
                                             options_, observer_);
   loads_ = std::move(out.loads);
   migrations_ = out.migrations;
+  steals_ = out.steals;
+  final_batch_ = out.final_batch;
   return std::move(out.merged);
 }
 

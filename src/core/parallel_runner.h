@@ -7,6 +7,7 @@
 #include <span>
 #include <vector>
 
+#include "common/status.h"
 #include "core/continuous_query.h"
 #include "core/executor.h"
 #include "core/pipeline_observer.h"
@@ -76,6 +77,48 @@ struct ParallelOptions {
   /// Exponential decay applied to per-shard load at each check (recent
   /// traffic dominates; old skew fades).
   double rebalance_decay = 0.5;
+
+  /// ShardedKeyedRunner, single-source runs only: demand-driven work
+  /// stealing. Each worker's bounded queue is its deque of ready
+  /// virtual-shard batch segments; when a worker runs dry (blocked on an
+  /// empty deque) while another is backlogged past steal_min_backlog
+  /// events, the driver moves the hottest movable shard from the
+  /// most-backlogged victim to the starving worker through the same
+  /// in-band kRelease safe-point handshake the rebalancer uses (DESIGN
+  /// §14). Stealing moves whole shards — never splitting a key's state —
+  /// so the merged output is byte-identical to a static placement for
+  /// *any* steal schedule; unlike `rebalance`, the trigger reads worker
+  /// progress, so the steal count (recorded in runtime_config and
+  /// WorkerLoad) is timing-dependent even though the results are not.
+  /// Composes with rebalance; both share the single in-flight handoff.
+  bool steal = false;
+
+  /// Steal trigger: the victim must be at least this many routed-but-
+  /// unprocessed events behind before a starving worker may pull from it.
+  int64_t steal_min_backlog = 1024;
+
+  /// Adapt the per-source feed batch size at run time within [min_batch,
+  /// max_batch], starting from batch_size, driven by observed queue depth
+  /// and per-batch service time (core/adaptive_batch.h). Applies to every
+  /// feed path on both runners; results are unaffected — batch size only
+  /// changes throughput, latency, and when scheduler decisions fire.
+  bool adaptive_batch = false;
+  size_t min_batch = 64;
+  size_t max_batch = 8192;
+
+  /// Mint feed slabs from per-NUMA-node arena pools (NumaArenaSet +
+  /// cpu_affinity topology detection): each producer acquires from the
+  /// node it runs on (first-touch page placement) and batch storage always
+  /// returns to its minting node's pool, so migrated or stolen segments
+  /// never drag slab storage across sockets. Single-node machines take the
+  /// identical code path with one pool.
+  bool numa_arena = false;
+
+  /// Field and range checks for everything above, centralized so every
+  /// front end (runner constructors, SessionOptions::Validate, tests)
+  /// rejects the same bad numerics with the same did-you-mean hints. The
+  /// runners check-fail on options that do not validate.
+  Status Validate() const;
 };
 
 /// Post-run, per-worker accounting from the driver and workers: what was
@@ -88,6 +131,15 @@ struct WorkerLoad {
   int64_t batches_routed = 0;
   int64_t events_processed = 0;
   int64_t stalls = 0;
+  /// Shards this worker pulled while starving (steal mode) and shards
+  /// pulled *from* it.
+  int64_t segments_stolen = 0;
+  int64_t segments_donated = 0;
+  /// Feed batches this worker released whose slab storage was minted on
+  /// its own NUMA node vs another node (numa_arena runs only; both zero
+  /// otherwise).
+  int64_t node_local_batches = 0;
+  int64_t node_remote_batches = 0;
 };
 
 /// Runs N independent continuous queries over one arrival-ordered stream,
@@ -197,8 +249,19 @@ class ShardedKeyedRunner {
   /// by worker; empty before the first run.
   const std::vector<WorkerLoad>& worker_loads() const { return loads_; }
 
-  /// Shard migrations performed by the most recent run.
+  /// Shard migrations performed by the most recent run (periodic
+  /// rebalancing; demand-driven steals are counted separately).
   int64_t migrations() const { return migrations_; }
+
+  /// Segments stolen by starving workers during the most recent run
+  /// (options.steal). Timing-dependent by design; the merged output is
+  /// byte-identical to a static run regardless of the schedule.
+  int64_t steals() const { return steals_; }
+
+  /// Feed batch size at the end of the most recent run: the adaptive
+  /// controller's converged setpoint, or options.batch_size when
+  /// adaptive_batch is off.
+  size_t final_batch_size() const { return final_batch_; }
 
   /// Installs one observer on every shard pipeline plus the driver's
   /// per-shard routing counters. Must be thread-safe and outlive Run().
@@ -211,6 +274,8 @@ class ShardedKeyedRunner {
   PipelineObserver* observer_ = nullptr;
   std::vector<WorkerLoad> loads_;
   int64_t migrations_ = 0;
+  int64_t steals_ = 0;
+  size_t final_batch_ = 0;
 };
 
 }  // namespace streamq

@@ -140,6 +140,31 @@ class PipelineObserver {
     (void)shard;
     (void)events;
   }
+
+  /// Starving worker `thief` pulled virtual shard `shard` from the
+  /// backlogged worker `victim` at a watermark-aligned safe point
+  /// (ShardedKeyedRunner with ParallelOptions::steal). Fires when the
+  /// driver publishes the release marker, before the old owner drains.
+  virtual void OnSegmentSteal(size_t victim, size_t thief, size_t shard) {
+    (void)victim;
+    (void)thief;
+    (void)shard;
+  }
+
+  /// Producer `producer`'s adaptive batch controller completed a control
+  /// step; `batch` is the new per-source feed size (the setpoint gauge).
+  virtual void OnBatchSizeAdapted(size_t producer, size_t batch) {
+    (void)producer;
+    (void)batch;
+  }
+
+  /// Worker `worker` released a feed batch whose slab storage was minted
+  /// on its own NUMA node (`local`) or a different node. Per batch, only
+  /// on numa-arena runs.
+  virtual void OnArenaNodeRelease(size_t worker, bool local) {
+    (void)worker;
+    (void)local;
+  }
 };
 
 }  // namespace streamq

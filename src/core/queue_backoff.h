@@ -31,6 +31,16 @@ struct QueueBackoff {
   }
 };
 
+/// Spins with escalating backoff until `done()` returns true. The drivers'
+/// bounded waits (migration settles, handoff acknowledgements) all share
+/// this shape; the predicate must become true through another thread's
+/// progress, which the backoff never blocks.
+template <typename Pred>
+inline void BackoffUntil(Pred&& done) {
+  QueueBackoff backoff;
+  while (!done()) backoff.Pause();
+}
+
 /// Capacity helper for the ring queues: power-of-two sizes make index
 /// wrapping a mask.
 inline size_t RoundUpPow2(size_t n) {

@@ -192,6 +192,18 @@ SessionOptions& SessionOptions::Arena(bool on) {
   arena = on;
   return *this;
 }
+SessionOptions& SessionOptions::Steal(bool on) {
+  steal = on;
+  return *this;
+}
+SessionOptions& SessionOptions::AdaptiveBatch(bool on) {
+  adaptive_batch = on;
+  return *this;
+}
+SessionOptions& SessionOptions::NumaArena(bool on) {
+  numa_arena = on;
+  return *this;
+}
 SessionOptions& SessionOptions::BufferCap(int64_t cap, std::string policy) {
   buffer_cap = cap;
   shed = std::move(policy);
@@ -260,9 +272,11 @@ Status SessionOptions::Validate() const {
   }
   if (threads < 0) return Status::InvalidArgument("--threads must be >= 0");
   if (threads == 0) {
-    if (vshards != 0 || rebalance || pin_cores || mpsc != 0) {
+    if (vshards != 0 || rebalance || pin_cores || mpsc != 0 || steal ||
+        adaptive_batch || numa_arena) {
       return Status::InvalidArgument(
-          "--vshards/--rebalance/--pin-cores/--mpsc require --threads=<n>");
+          "--vshards/--rebalance/--pin-cores/--mpsc/--steal/"
+          "--adaptive-batch/--numa-arena require --threads=<n>");
     }
   } else {
     if (!per_key) {
@@ -281,7 +295,12 @@ Status SessionOptions::Validate() const {
         return Status::InvalidArgument(
             "--rebalance requires a single-source run; drop --mpsc");
       }
+      if (steal) {
+        return Status::InvalidArgument(
+            "--steal requires a single-source run; drop --mpsc");
+      }
     }
+    STREAMQ_RETURN_NOT_OK(BuildParallelOptions().Validate());
   }
   if (buffer_cap < 0) {
     return Status::InvalidArgument("--buffer-cap must be >= 0");
@@ -360,6 +379,9 @@ ParallelOptions SessionOptions::BuildParallelOptions() const {
   popts.pin_cores = pin_cores;
   popts.virtual_shards = static_cast<size_t>(vshards);
   popts.rebalance = rebalance;
+  popts.steal = steal;
+  popts.adaptive_batch = adaptive_batch;
+  popts.numa_arena = numa_arena;
   return popts;
 }
 
@@ -401,6 +423,9 @@ std::vector<std::string> SessionOptions::ToTokens() const {
   if (pin_cores) out.push_back("--pin-cores");
   if (mpsc != defaults.mpsc) emit("--mpsc", std::to_string(mpsc));
   if (arena != defaults.arena) emit("--arena", arena ? "on" : "off");
+  if (steal) out.push_back("--steal");
+  if (adaptive_batch) out.push_back("--adaptive-batch");
+  if (numa_arena) out.push_back("--numa-arena");
   if (buffer_cap != defaults.buffer_cap) {
     emit("--buffer-cap", std::to_string(buffer_cap));
   }
@@ -536,6 +561,12 @@ Status SessionOptions::ParseTokens(std::span<const std::string> tokens,
         return Status::InvalidArgument("bad --arena: " + t.value +
                                        " (want on or off)");
       }
+    } else if (t.flag == "--steal") {
+      out->steal = true;
+    } else if (t.flag == "--adaptive-batch") {
+      out->adaptive_batch = true;
+    } else if (t.flag == "--numa-arena") {
+      out->numa_arena = true;
     } else if (t.flag == "--buffer-cap") {
       st = int_value(&out->buffer_cap);
     } else if (t.flag == "--shed") {
@@ -568,6 +599,7 @@ const std::vector<std::string>& SessionOptions::KnownFlags() {
       "--latency-budget", "--k",
       "--per-key",   "--lateness",  "--threads",        "--vshards",
       "--rebalance", "--pin-cores", "--mpsc",           "--arena",
+      "--steal",     "--adaptive-batch", "--numa-arena",
       "--buffer-cap", "--shed",     "--max-slack",      "--validate"};
   return *flags;
 }
@@ -593,6 +625,9 @@ std::string SessionOptions::Describe() const {
     if (vshards > 0) out << " x " << vshards << " vshards";
     if (mpsc > 0) out << ", " << mpsc << " producers";
     if (rebalance) out << ", rebalance";
+    if (steal) out << ", steal";
+    if (adaptive_batch) out << ", adaptive-batch";
+    if (numa_arena) out << ", numa";
   }
   if (buffer_cap > 0) out << ", cap=" << buffer_cap << "(" << shed << ")";
   if (validate != "off") out << ", validate=" << validate;

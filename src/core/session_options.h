@@ -70,6 +70,9 @@ struct SessionOptions {
   bool pin_cores = false;
   int64_t mpsc = 0;      // 0 = single producer; else >= 2 producer threads.
   bool arena = true;     // slab-arena batch memory on the threaded paths.
+  bool steal = false;    // demand-driven work stealing (single source only).
+  bool adaptive_batch = false;  // adapt feed batch size at run time.
+  bool numa_arena = false;      // per-NUMA-node arena pools.
 
   /// Robustness / degradation.
   int64_t buffer_cap = 0;            // 0 = unbounded.
@@ -96,6 +99,9 @@ struct SessionOptions {
   SessionOptions& PinCores(bool on = true);
   SessionOptions& MpscProducers(int64_t n);
   SessionOptions& Arena(bool on);
+  SessionOptions& Steal(bool on = true);
+  SessionOptions& AdaptiveBatch(bool on = true);
+  SessionOptions& NumaArena(bool on = true);
   SessionOptions& BufferCap(int64_t cap, std::string policy = "emit-early");
   SessionOptions& MaxSlack(int64_t ms);
   SessionOptions& ValidateIngest(std::string mode);

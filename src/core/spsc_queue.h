@@ -55,6 +55,10 @@ class SpscQueue {
     return tail - head;
   }
 
+  /// Approximate emptiness (same caveats as size()); the work-stealing
+  /// driver uses it to tell a drained victim from a backlogged one.
+  bool empty() const { return size() == 0; }
+
   /// Marks the queue closed (sticky; either side may call it). Elements
   /// already in the ring stay poppable.
   void Close() { closed_.store(true, std::memory_order_release); }

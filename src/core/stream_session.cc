@@ -230,4 +230,8 @@ int64_t StreamSession::migrations() const {
   return runner_ != nullptr ? runner_->migrations() : 0;
 }
 
+int64_t StreamSession::steals() const {
+  return runner_ != nullptr ? runner_->steals() : 0;
+}
+
 }  // namespace streamq

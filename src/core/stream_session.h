@@ -92,6 +92,10 @@ class StreamSession {
   /// Shard migrations performed (threaded sessions with rebalance on).
   int64_t migrations() const;
 
+  /// Segments stolen by starving workers (threaded sessions with steal
+  /// on). Timing-dependent; the output is not.
+  int64_t steals() const;
+
   /// Installs an observer on the pipeline. Must be called before Run or
   /// the first Ingest; must be thread-safe for threaded sessions; must
   /// outlive the session.

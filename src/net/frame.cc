@@ -249,7 +249,11 @@ Status DecodeError(std::string_view payload) {
 // --------------------------------------------------------------- snapshots
 
 namespace {
-constexpr uint8_t kSnapshotVersion = 1;
+// v2 appended the scheduler counters (shard_migrations, segments_stolen).
+// Decoding is strict: both peers ship from one tree, so there is no
+// cross-version traffic to tolerate, and a version mismatch should fail
+// loudly instead of zero-filling.
+constexpr uint8_t kSnapshotVersion = 2;
 }  // namespace
 
 void EncodeSnapshotStats(const SnapshotStats& stats, std::string* out) {
@@ -271,6 +275,8 @@ void EncodeSnapshotStats(const SnapshotStats& stats, std::string* out) {
   AppendU64(stats.result_checksum, out);
   AppendF64(stats.mean_buffering_latency_us, out);
   AppendI64(stats.final_slack_us, out);
+  AppendI64(stats.shard_migrations, out);
+  AppendI64(stats.segments_stolen, out);
 }
 
 Status DecodeSnapshotStats(std::string_view payload, SnapshotStats* out) {
@@ -303,6 +309,8 @@ Status DecodeSnapshotStats(std::string_view payload, SnapshotStats* out) {
   STREAMQ_RETURN_NOT_OK(reader.ReadU64(&out->result_checksum));
   STREAMQ_RETURN_NOT_OK(reader.ReadF64(&out->mean_buffering_latency_us));
   STREAMQ_RETURN_NOT_OK(reader.ReadI64(&out->final_slack_us));
+  STREAMQ_RETURN_NOT_OK(reader.ReadI64(&out->shard_migrations));
+  STREAMQ_RETURN_NOT_OK(reader.ReadI64(&out->segments_stolen));
   return reader.ExpectEnd();
 }
 
@@ -348,6 +356,8 @@ SnapshotStats SnapshotFromReport(const RunReport& report, int64_t ingested,
   s.result_checksum = ResultChecksum(report);
   s.mean_buffering_latency_us = report.handler_stats.buffering_latency_us.mean();
   s.final_slack_us = report.final_slack;
+  s.shard_migrations = report.shard_migrations;
+  s.segments_stolen = report.segments_stolen;
   return s;
 }
 

@@ -230,7 +230,8 @@ std::string LoadGenReport::Summary() const {
       << " us, errors " << errors << ", tenants " << tenants.size()
       << ", identities " << (all_identities_ok ? "ok" : "VIOLATED")
       << ", delivery " << (all_deliveries_ok ? "ok" : "INCOMPLETE")
-      << ", checksum " << combined_checksum;
+      << ", migrations " << shard_migrations << ", steals "
+      << segments_stolen << ", checksum " << combined_checksum;
   return out.str();
 }
 
@@ -349,6 +350,8 @@ Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options) {
     outcome.identity_ok = stats.AccountingIdentityHolds();
     report.all_identities_ok &= outcome.identity_ok;
     report.all_deliveries_ok &= outcome.delivery_ok;
+    report.shard_migrations += stats.shard_migrations;
+    report.segments_stolen += stats.segments_stolen;
     checksum = FoldChecksum(checksum, stats.result_checksum);
     report.tenants.push_back(std::move(outcome));
   }

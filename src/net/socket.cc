@@ -108,37 +108,44 @@ Result<Socket> ConnectLoopback(uint16_t port) {
 
 Status Listener::Listen(uint16_t port, int backlog) {
   Close();
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) return Errno("socket");
+  // Built on a local fd and published into fd_ only once listening: the
+  // accept loop must never observe a half-configured socket.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
   const int one = 1;
-  (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
   sockaddr_in addr = LoopbackAddr(port);
-  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
       0) {
     const Status st = Errno("bind 127.0.0.1:" + std::to_string(port));
-    Close();
+    ::close(fd);
     return st;
   }
-  if (::listen(fd_, backlog) != 0) {
+  if (::listen(fd, backlog) != 0) {
     const Status st = Errno("listen");
-    Close();
+    ::close(fd);
     return st;
   }
   sockaddr_in bound{};
   socklen_t len = sizeof(bound);
-  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
     const Status st = Errno("getsockname");
-    Close();
+    ::close(fd);
     return st;
   }
   port_ = ntohs(bound.sin_port);
+  fd_.store(fd, std::memory_order_release);
   return Status::OK();
 }
 
 Result<Socket> Listener::Accept(DurationUs timeout) {
-  if (fd_ < 0) return Status::IOError("accept on closed listener");
+  // One load per call: a concurrent Close() between the poll and the
+  // accept leaves `fd` pointing at a dead descriptor, which both calls
+  // report as an error — the IOError exit the accept loop expects.
+  const int lfd = fd_.load(std::memory_order_acquire);
+  if (lfd < 0) return Status::IOError("accept on closed listener");
   pollfd pfd{};
-  pfd.fd = fd_;
+  pfd.fd = lfd;
   pfd.events = POLLIN;
   const int ready = ::poll(&pfd, 1, static_cast<int>(timeout / 1000));
   if (ready < 0) {
@@ -146,7 +153,10 @@ Result<Socket> Listener::Accept(DurationUs timeout) {
     return Errno("poll");
   }
   if (ready == 0) return Status::ResourceExhausted("accept timeout");
-  const int fd = ::accept(fd_, nullptr, nullptr);
+  if ((pfd.revents & POLLIN) == 0) {
+    return Status::IOError("accept on closed listener");
+  }
+  const int fd = ::accept(lfd, nullptr, nullptr);
   if (fd < 0) return Errno("accept");
   Socket sock(fd);
   (void)sock.SetNoDelay();  // Best-effort.
@@ -154,10 +164,8 @@ Result<Socket> Listener::Accept(DurationUs timeout) {
 }
 
 void Listener::Close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
 }
 
 }  // namespace streamq

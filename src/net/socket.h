@@ -1,6 +1,7 @@
 #ifndef STREAMQ_NET_SOCKET_H_
 #define STREAMQ_NET_SOCKET_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 
@@ -75,10 +76,13 @@ class Listener {
 
   void Close();
 
-  bool valid() const { return fd_ >= 0; }
+  bool valid() const { return fd_.load(std::memory_order_relaxed) >= 0; }
 
  private:
-  int fd_ = -1;
+  /// Atomic because Close() races Accept() by design: Stop() closes the
+  /// listener from another thread to unblock the accept loop, which then
+  /// sees a dead fd and exits on the resulting IOError.
+  std::atomic<int> fd_{-1};
   uint16_t port_ = 0;
 };
 

@@ -183,6 +183,8 @@ TEST(FrameCodec, SnapshotStatsRoundTrip) {
   stats.result_checksum = 0xdeadbeefcafef00dULL;
   stats.mean_buffering_latency_us = 1234.5;
   stats.final_slack_us = 30000;
+  stats.shard_migrations = 6;
+  stats.segments_stolen = 11;
 
   std::string payload;
   EncodeSnapshotStats(stats, &payload);
@@ -204,6 +206,24 @@ TEST(FrameCodec, SnapshotStatsRoundTrip) {
   SnapshotStats wrong;
   EXPECT_EQ(DecodeSnapshotStats(versioned, &wrong).code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST(FrameCodec, SnapshotFromReportCarriesSchedulerCounters) {
+  RunReport report;
+  report.events_processed = 50;
+  report.shard_migrations = 3;
+  report.segments_stolen = 9;
+  const SnapshotStats stats =
+      SnapshotFromReport(report, /*ingested=*/50, /*finished=*/true);
+  EXPECT_EQ(stats.shard_migrations, 3);
+  EXPECT_EQ(stats.segments_stolen, 9);
+
+  std::string payload;
+  EncodeSnapshotStats(stats, &payload);
+  SnapshotStats decoded;
+  ASSERT_TRUE(DecodeSnapshotStats(payload, &decoded).ok());
+  EXPECT_EQ(decoded.shard_migrations, 3);
+  EXPECT_EQ(decoded.segments_stolen, 9);
 }
 
 TEST(FrameCodec, AccountingIdentity) {

@@ -144,6 +144,45 @@ TEST(MpscQueueTest, CloseUnderProducerContentionLosesNothingAccepted) {
   EXPECT_EQ(consumed, accepted.load());
 }
 
+/// Close-then-drain race: the consumer closes FIRST and only then drains,
+/// while producers are still mid-push. Every push that reported success
+/// must be recovered by the post-close drain — a pusher that won the slot
+/// race before the close cannot have its element dropped by the drain
+/// starting "too early". Repeated rounds give the sanitizers many distinct
+/// interleavings of the publish/close/drain edges.
+TEST(MpscQueueTest, CloseThenDrainRaceLosesNothingAccepted) {
+  constexpr int kRounds = 50;
+  constexpr int kProducers = 4;
+  for (int round = 0; round < kRounds; ++round) {
+    MpscQueue<int64_t> q(8);  // Tiny ring: pushes contend with the drain.
+    std::atomic<int64_t> accepted_sum{0};
+    std::vector<std::thread> producers;
+    producers.reserve(kProducers);
+    for (int p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&q, &accepted_sum, p] {
+        int64_t i = 1;
+        while (q.Push((static_cast<int64_t>(p) << 32) | i)) {
+          accepted_sum.fetch_add((static_cast<int64_t>(p) << 32) | i,
+                                 std::memory_order_relaxed);
+          ++i;
+        }
+      });
+    }
+    // Close with producers in flight, then drain. The drain must observe
+    // every accepted element even though some were published after Close
+    // returned (their Push won the reservation race first).
+    q.Close();
+    int64_t drained_sum = 0;
+    int64_t out = 0;
+    while (q.Pop(&out)) drained_sum += out;
+    for (std::thread& t : producers) t.join();
+    // Producers may have squeezed in a final accepted push between the
+    // consumer's last failed Pop and their own close observation.
+    while (q.TryPop(&out)) drained_sum += out;
+    ASSERT_EQ(drained_sum, accepted_sum.load()) << "round " << round;
+  }
+}
+
 /// Move-only payloads survive the multi-producer path: nothing is copied,
 /// nothing leaks (ASan checks the latter).
 TEST(MpscQueueTest, MoveOnlyPayloadAcrossProducers) {

@@ -330,5 +330,81 @@ TEST(SessionOptions, BuildParallelOptionsMirrorsFields) {
   EXPECT_FALSE(popts.pin_cores);
 }
 
+TEST(SessionOptions, SchedulerFlagsParseRoundTripAndValidate) {
+  // Parse the three scheduler flags, round-trip them through the wire
+  // form, and check they land in ParallelOptions.
+  SessionOptions options;
+  std::vector<std::string> leftover;
+  const std::vector<std::string> tokens = {
+      "--per-key", "--threads=2", "--steal", "--adaptive-batch",
+      "--numa-arena"};
+  ASSERT_TRUE(SessionOptions::ParseTokens(tokens, &options, &leftover).ok());
+  EXPECT_TRUE(leftover.empty());
+  EXPECT_TRUE(options.steal);
+  EXPECT_TRUE(options.adaptive_batch);
+  EXPECT_TRUE(options.numa_arena);
+  ASSERT_TRUE(options.Validate().ok());
+
+  auto decoded = SessionOptions::Deserialize(options.Serialize());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded.value().steal);
+  EXPECT_TRUE(decoded.value().adaptive_batch);
+  EXPECT_TRUE(decoded.value().numa_arena);
+  EXPECT_EQ(decoded.value().Serialize(), options.Serialize());
+
+  const ParallelOptions popts = options.BuildParallelOptions();
+  EXPECT_TRUE(popts.steal);
+  EXPECT_TRUE(popts.adaptive_batch);
+  EXPECT_TRUE(popts.numa_arena);
+
+  const std::string text = options.Describe();
+  EXPECT_NE(text.find("steal"), std::string::npos);
+  EXPECT_NE(text.find("adaptive-batch"), std::string::npos);
+  EXPECT_NE(text.find("numa"), std::string::npos);
+}
+
+TEST(SessionOptions, SchedulerFlagsRequireThreadsAndSingleSource) {
+  {
+    // No --threads: all three scheduler flags are parallel-only.
+    SessionOptions options;
+    options.PerKey().Steal();
+    const Status st = options.Validate();
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(st.message().find("--steal"), std::string::npos);
+    EXPECT_NE(st.message().find("--threads"), std::string::npos);
+  }
+  {
+    SessionOptions options;
+    options.PerKey().AdaptiveBatch();
+    EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    SessionOptions options;
+    options.PerKey().NumaArena();
+    EXPECT_EQ(options.Validate().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    // Steal is driver-mediated, so a multi-producer MPSC feed cannot host
+    // it: the combination must be rejected up front, not at run time.
+    SessionOptions options;
+    options.PerKey().Threads(2).MpscProducers(2).Steal();
+    const Status st = options.Validate();
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(st.message().find("--mpsc"), std::string::npos);
+  }
+  {
+    // Valid combination passes.
+    SessionOptions options;
+    options.PerKey().Threads(2).Steal().AdaptiveBatch().NumaArena();
+    EXPECT_TRUE(options.Validate().ok());
+  }
+}
+
+TEST(SessionOptions, SchedulerFlagNearMissesSuggest) {
+  EXPECT_EQ(SuggestFlag("--stea", {}), "--steal");
+  EXPECT_EQ(SuggestFlag("--adaptve-batch", {}), "--adaptive-batch");
+  EXPECT_EQ(SuggestFlag("--numa-aren", {}), "--numa-arena");
+}
+
 }  // namespace
 }  // namespace streamq

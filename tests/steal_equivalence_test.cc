@@ -1,0 +1,414 @@
+// Work stealing, adaptive batch sizing, and NUMA-aware arenas must never
+// change results. The same placement-invariance that makes rebalancing
+// output-preserving (a virtual shard is a whole pipeline, so WHERE it runs
+// cannot affect WHAT it emits) covers demand-driven stealing — and batch
+// size only changes when work happens, never what each shard observes.
+// These tests pin the merged output byte-for-byte against static
+// placement across seeds, worker counts, and handler kinds (including
+// speculative emit-then-amend), force real steals with a sleep-bound sink
+// on a colocated-skew stream, and cover the option validation and NUMA
+// topology plumbing introduced with the scheduler.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/cpu_affinity.h"
+#include "core/adaptive_batch.h"
+#include "core/parallel_runner.h"
+#include "quality/speculation.h"
+#include "stream/generator.h"
+#include "stream/source.h"
+
+namespace streamq {
+namespace {
+
+ContinuousQuery FixedKeyedQuery() {
+  ContinuousQuery q;
+  q.name = "steal_fixed";
+  q.handler = DisorderHandlerSpec::Fixed(Millis(50)).PerKey();
+  q.window.window = WindowSpec::Tumbling(Millis(50));
+  q.window.aggregate.kind = AggKind::kSum;
+  q.window.per_key_watermarks = true;
+  return q;
+}
+
+ContinuousQuery AqKeyedQuery() {
+  AqKSlack::Options aq;
+  aq.target_quality = 0.95;
+  ContinuousQuery q;
+  q.name = "steal_aq";
+  q.handler = DisorderHandlerSpec::Aq(aq).PerKey();
+  q.window.window = WindowSpec::Tumbling(Millis(50));
+  q.window.aggregate.kind = AggKind::kMean;
+  q.window.per_key_watermarks = true;
+  return q;
+}
+
+/// Speculative emit-then-amend per key: revisions exercise the kAmend
+/// emission path, so steal equivalence covers amended results too.
+ContinuousQuery SpeculativeKeyedQuery() {
+  SpeculativeHandler::Options sp;
+  sp.target_quality = 0.9;
+  ContinuousQuery q;
+  q.name = "steal_spec";
+  q.handler = DisorderHandlerSpec::Speculative(sp).PerKey();
+  q.window.window = WindowSpec::Tumbling(Millis(50));
+  q.window.aggregate.kind = AggKind::kSum;
+  q.window.allowed_lateness = Millis(30);
+  q.window.per_key_watermarks = true;
+  q.window.engine = WindowedAggregation::Engine::kAmend;
+  return q;
+}
+
+GeneratedWorkload SkewedWorkload(uint64_t seed, int64_t n = 12000) {
+  WorkloadConfig cfg;
+  cfg.num_events = n;
+  cfg.events_per_second = 10000.0;
+  cfg.num_keys = 64;
+  cfg.key_zipf_s = 1.2;
+  cfg.delay.model = DelayModel::kUniform;
+  cfg.delay.a = 0.0;
+  cfg.delay.b = 25000.0;  // < K = 50ms: nothing is ever late.
+  cfg.seed = seed;
+  return GenerateWorkload(cfg);
+}
+
+void ExpectSameMergedOutcome(const RunReport& a, const RunReport& b) {
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.results, b.results);
+  EXPECT_EQ(a.handler_stats.events_in, b.handler_stats.events_in);
+  EXPECT_EQ(a.handler_stats.events_out, b.handler_stats.events_out);
+  EXPECT_EQ(a.handler_stats.events_late, b.handler_stats.events_late);
+  EXPECT_EQ(a.window_stats.windows_fired, b.window_stats.windows_fired);
+  EXPECT_EQ(a.window_stats.revisions, b.window_stats.revisions);
+  EXPECT_EQ(a.results_amended, b.results_amended);
+}
+
+// --- Steal-vs-static equivalence ------------------------------------------
+
+TEST(StealEquivalenceTest, StealMatchesStaticAcrossSeedsWorkersAndHandlers) {
+  const ContinuousQuery queries[] = {FixedKeyedQuery(), AqKeyedQuery(),
+                                     SpeculativeKeyedQuery()};
+  for (const uint64_t seed : {11u, 29u}) {
+    const auto w = SkewedWorkload(seed, 8000);
+    for (const size_t workers : {2u, 4u}) {
+      for (const ContinuousQuery& q : queries) {
+        ParallelOptions static_opts;
+        static_opts.batch_size = 64;
+        static_opts.virtual_shards = 16;
+        ShardedKeyedRunner static_runner(q, workers, static_opts);
+        VectorSource s1(w.arrival_order);
+        const RunReport static_report = static_runner.Run(&s1);
+        ASSERT_TRUE(static_report.status.ok())
+            << static_report.status.ToString();
+        EXPECT_EQ(static_runner.steals(), 0);
+        EXPECT_EQ(static_report.segments_stolen, 0);
+
+        ParallelOptions steal_opts = static_opts;
+        steal_opts.steal = true;
+        steal_opts.steal_min_backlog = 64;
+        ShardedKeyedRunner steal_runner(q, workers, steal_opts);
+        VectorSource s2(w.arrival_order);
+        const RunReport stolen = steal_runner.Run(&s2);
+        ASSERT_TRUE(stolen.status.ok()) << stolen.status.ToString();
+
+        // Whatever the (timing-dependent) steal schedule was, the merged
+        // output is byte-identical, and the accounting is consistent.
+        ExpectSameMergedOutcome(static_report, stolen);
+        EXPECT_EQ(stolen.segments_stolen, steal_runner.steals());
+        int64_t stolen_total = 0;
+        int64_t donated_total = 0;
+        for (const WorkerLoad& load : steal_runner.worker_loads()) {
+          stolen_total += load.segments_stolen;
+          donated_total += load.segments_donated;
+        }
+        EXPECT_EQ(stolen_total, steal_runner.steals());
+        EXPECT_EQ(donated_total, steal_runner.steals());
+      }
+    }
+  }
+}
+
+TEST(StealEquivalenceTest, StealComposesWithRebalance) {
+  const auto w = SkewedWorkload(7);
+
+  ParallelOptions static_opts;
+  static_opts.batch_size = 64;
+  static_opts.virtual_shards = 16;
+  ShardedKeyedRunner static_runner(FixedKeyedQuery(), 3, static_opts);
+  VectorSource s1(w.arrival_order);
+  const RunReport static_report = static_runner.Run(&s1);
+
+  ParallelOptions both_opts = static_opts;
+  both_opts.rebalance = true;
+  both_opts.rebalance_interval_batches = 8;
+  both_opts.rebalance_threshold = 1.1;
+  both_opts.steal = true;
+  both_opts.steal_min_backlog = 64;
+  ShardedKeyedRunner both_runner(FixedKeyedQuery(), 3, both_opts);
+  VectorSource s2(w.arrival_order);
+  const RunReport both = both_runner.Run(&s2);
+  ASSERT_TRUE(both.status.ok()) << both.status.ToString();
+
+  ExpectSameMergedOutcome(static_report, both);
+  EXPECT_EQ(both.shard_migrations, both_runner.migrations());
+}
+
+/// Sleeps in the sink, making shard service time dwarf routing time: the
+/// one way to make workers starve (and steal) deterministically enough to
+/// assert on, even on a single-core machine.
+class SlowSinkObserver : public PipelineObserver {
+ public:
+  void OnHandlerRelease(int64_t released, size_t, TimestampUs) override {
+    std::this_thread::sleep_for(std::chrono::microseconds(released));
+  }
+};
+
+TEST(StealEquivalenceTest, StarvedWorkersActuallySteal) {
+  // Keys whose shards all start on worker 0 (placement v % workers), so
+  // workers 1..3 begin with nothing to do and go hungry immediately.
+  constexpr size_t kWorkers = 4;
+  constexpr size_t kVShards = 16;
+  std::vector<int64_t> hot_keys;
+  for (int64_t k = 0; hot_keys.size() < 12; ++k) {
+    if (ShardedKeyedRunner::ShardOf(k, kVShards) % kWorkers == 0) {
+      hot_keys.push_back(k);
+    }
+  }
+  std::vector<Event> events;
+  events.reserve(16000);
+  for (int64_t i = 0; i < 16000; ++i) {
+    Event e;
+    e.id = i;
+    e.event_time = i * 100;  // 10k events/s of stream time, in order.
+    e.arrival_time = e.event_time;
+    e.key = hot_keys[static_cast<size_t>(i) % hot_keys.size()];
+    e.value = 1.0;
+    events.push_back(e);
+  }
+
+  ParallelOptions opts;
+  opts.batch_size = 64;
+  opts.virtual_shards = kVShards;
+  opts.steal = true;
+  opts.steal_min_backlog = 128;
+  SlowSinkObserver slow;
+
+  ShardedKeyedRunner steal_runner(FixedKeyedQuery(), kWorkers, opts);
+  steal_runner.SetObserver(&slow);
+  VectorSource s1(events);
+  const RunReport stolen = steal_runner.Run(&s1);
+  ASSERT_TRUE(stolen.status.ok()) << stolen.status.ToString();
+  EXPECT_GT(steal_runner.steals(), 0);
+  EXPECT_NE(stolen.runtime_config.find("steal=on"), std::string::npos);
+  EXPECT_NE(stolen.runtime_config.find("steals="), std::string::npos);
+
+  ParallelOptions static_opts = opts;
+  static_opts.steal = false;
+  ShardedKeyedRunner static_runner(FixedKeyedQuery(), kWorkers, static_opts);
+  VectorSource s2(events);
+  const RunReport static_report = static_runner.Run(&s2);
+  ExpectSameMergedOutcome(static_report, stolen);
+}
+
+TEST(StealEquivalenceTest, StealRejectsMultiSourceRuns) {
+  ParallelOptions opts;
+  opts.steal = true;
+  ShardedKeyedRunner runner(FixedKeyedQuery(), 2, opts);
+  const auto w = SkewedWorkload(3, 500);
+  std::vector<Event> a;
+  std::vector<Event> b;
+  for (const Event& e : w.arrival_order) {
+    (e.key % 2 == 0 ? a : b).push_back(e);
+  }
+  VectorSource sa(a);
+  VectorSource sb(b);
+  EventSource* sources[2] = {&sa, &sb};
+  EXPECT_DEATH(runner.RunMultiSource(sources),
+               "steal requires a single-source run");
+}
+
+// --- Adaptive batch sizing ------------------------------------------------
+
+TEST(StealEquivalenceTest, AdaptiveBatchDoesNotChangeResults) {
+  const auto w = SkewedWorkload(17);
+
+  ParallelOptions fixed_opts;
+  fixed_opts.batch_size = 256;
+  fixed_opts.virtual_shards = 16;
+  ShardedKeyedRunner fixed_runner(FixedKeyedQuery(), 3, fixed_opts);
+  VectorSource s1(w.arrival_order);
+  const RunReport fixed_report = fixed_runner.Run(&s1);
+  EXPECT_EQ(fixed_runner.final_batch_size(), 256u);
+
+  ParallelOptions ad_opts = fixed_opts;
+  ad_opts.adaptive_batch = true;
+  ad_opts.min_batch = 32;
+  ad_opts.max_batch = 2048;
+  ShardedKeyedRunner ad_runner(FixedKeyedQuery(), 3, ad_opts);
+  VectorSource s2(w.arrival_order);
+  const RunReport adapted = ad_runner.Run(&s2);
+  ASSERT_TRUE(adapted.status.ok()) << adapted.status.ToString();
+
+  ExpectSameMergedOutcome(fixed_report, adapted);
+  EXPECT_GE(ad_runner.final_batch_size(), 32u);
+  EXPECT_LE(ad_runner.final_batch_size(), 2048u);
+  EXPECT_NE(adapted.runtime_config.find("batch_final="), std::string::npos);
+}
+
+TEST(AdaptiveBatcherTest, ControllerStaysWithinRailsAndTracksPressure) {
+  AdaptiveBatcher::Options o;
+  o.min_batch = 64;
+  o.max_batch = 4096;
+  o.initial = 512;
+  o.interval_batches = 4;
+  AdaptiveBatcher full(o);
+  // Saturated queues: the controller must shrink the batch, never past
+  // the floor.
+  for (int i = 0; i < 400; ++i) full.Observe(1.0, 0.0);
+  EXPECT_LT(full.batch(), 512u);
+  EXPECT_GE(full.batch(), 64u);
+  EXPECT_GT(full.adaptations(), 0);
+
+  AdaptiveBatcher empty(o);
+  // Starved queues with cheap service: grow, never past the ceiling.
+  for (int i = 0; i < 400; ++i) empty.Observe(0.0, 0.0);
+  EXPECT_GT(empty.batch(), 512u);
+  EXPECT_LE(empty.batch(), 4096u);
+
+  AdaptiveBatcher slow(o);
+  // Service time far past the guard dominates the depth term: shrink even
+  // with empty queues.
+  for (int i = 0; i < 400; ++i) slow.Observe(0.0, 50000.0);
+  EXPECT_LT(slow.batch(), 512u);
+}
+
+// --- NUMA arena pools -----------------------------------------------------
+
+TEST(StealEquivalenceTest, NumaArenaDoesNotChangeResults) {
+  const auto w = SkewedWorkload(23);
+
+  ParallelOptions plain_opts;
+  plain_opts.batch_size = 64;
+  plain_opts.virtual_shards = 16;
+  ShardedKeyedRunner plain_runner(FixedKeyedQuery(), 3, plain_opts);
+  VectorSource s1(w.arrival_order);
+  const RunReport plain = plain_runner.Run(&s1);
+
+  ParallelOptions numa_opts = plain_opts;
+  numa_opts.numa_arena = true;
+  ShardedKeyedRunner numa_runner(FixedKeyedQuery(), 3, numa_opts);
+  VectorSource s2(w.arrival_order);
+  const RunReport numa = numa_runner.Run(&s2);
+  ASSERT_TRUE(numa.status.ok()) << numa.status.ToString();
+
+  ExpectSameMergedOutcome(plain, numa);
+  EXPECT_NE(numa.runtime_config.find("numa=on"), std::string::npos);
+  // Every batch lands somewhere in the node accounting.
+  int64_t local = 0;
+  int64_t remote = 0;
+  int64_t batches = 0;
+  for (const WorkerLoad& load : numa_runner.worker_loads()) {
+    local += load.node_local_batches;
+    remote += load.node_remote_batches;
+    batches += load.batches_routed;
+  }
+  EXPECT_EQ(local + remote, batches);
+}
+
+TEST(NumaTopologyTest, SystemTopologyIsSane) {
+  const NumaTopology& topo = NumaTopology::System();
+  EXPECT_GE(topo.node_count(), 1);
+  const int node = topo.NodeOfCurrentThread();
+  EXPECT_GE(node, 0);
+  EXPECT_LT(node, topo.node_count());
+}
+
+TEST(NumaTopologyTest, FromCpuListsParsesRangesAndSingles) {
+  auto topo = NumaTopology::FromCpuLists({"0-3,8", "4-7,9-11"});
+  ASSERT_TRUE(topo.ok()) << topo.status().ToString();
+  EXPECT_EQ(topo.value().node_count(), 2);
+  EXPECT_EQ(topo.value().NodeOfCore(0), 0);
+  EXPECT_EQ(topo.value().NodeOfCore(3), 0);
+  EXPECT_EQ(topo.value().NodeOfCore(8), 0);
+  EXPECT_EQ(topo.value().NodeOfCore(4), 1);
+  EXPECT_EQ(topo.value().NodeOfCore(11), 1);
+  // Unknown and out-of-range cores fall back to node 0 — never an index
+  // fault on a machine with more cores than the parsed lists cover.
+  EXPECT_EQ(topo.value().NodeOfCore(64), 0);
+  EXPECT_EQ(topo.value().NodeOfCore(-1), 0);
+}
+
+TEST(NumaTopologyTest, FromCpuListsRejectsGarbage) {
+  EXPECT_FALSE(NumaTopology::FromCpuLists({"0-"}).ok());
+  EXPECT_FALSE(NumaTopology::FromCpuLists({"3-1"}).ok());
+  EXPECT_FALSE(NumaTopology::FromCpuLists({"x,2"}).ok());
+  // No lists at all degrades to the one-node fallback instead of failing.
+  auto none = NumaTopology::FromCpuLists({});
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none.value().node_count(), 1);
+}
+
+// --- Option validation ----------------------------------------------------
+
+TEST(ParallelOptionsValidateTest, RejectsBadNumericsWithHints) {
+  ParallelOptions ok;
+  EXPECT_TRUE(ok.Validate().ok());
+
+  ParallelOptions o1;
+  o1.rebalance_interval_batches = 0;
+  const Status s1 = o1.Validate();
+  EXPECT_FALSE(s1.ok());
+  EXPECT_NE(s1.message().find("did you mean 32?"), std::string::npos);
+
+  ParallelOptions o2;
+  o2.rebalance_threshold = 0.8;
+  const Status s2 = o2.Validate();
+  EXPECT_FALSE(s2.ok());
+  EXPECT_NE(s2.message().find("did you mean 1.25?"), std::string::npos);
+
+  ParallelOptions o3;
+  o3.rebalance_decay = 1.5;
+  const Status s3 = o3.Validate();
+  EXPECT_FALSE(s3.ok());
+  EXPECT_NE(s3.message().find("did you mean 0.5?"), std::string::npos);
+
+  ParallelOptions o4;
+  o4.steal_min_backlog = -1;
+  const Status s4 = o4.Validate();
+  EXPECT_FALSE(s4.ok());
+  EXPECT_NE(s4.message().find("did you mean 1024?"), std::string::npos);
+
+  ParallelOptions o5;
+  o5.batch_size = 0;
+  EXPECT_FALSE(o5.Validate().ok());
+
+  ParallelOptions o6;
+  o6.max_batch = 16;  // < min_batch (64).
+  EXPECT_FALSE(o6.Validate().ok());
+
+  ParallelOptions o7;
+  o7.adaptive_batch = true;
+  o7.batch_size = 16;  // Outside [min_batch, max_batch].
+  EXPECT_FALSE(o7.Validate().ok());
+
+  ParallelOptions o8;
+  o8.feed_max_attempts = 0;
+  EXPECT_FALSE(o8.Validate().ok());
+}
+
+TEST(ParallelOptionsValidateTest, RunnerConstructorChecksOptions) {
+  ParallelOptions bad;
+  bad.rebalance_threshold = 0.5;
+  EXPECT_DEATH(ShardedKeyedRunner(FixedKeyedQuery(), 2, bad),
+               "rebalance_threshold");
+}
+
+}  // namespace
+}  // namespace streamq

@@ -1,10 +1,10 @@
 #!/usr/bin/env python3
-"""Soft throughput-regression guard for the R-F18..R-F23 benchmarks.
+"""Soft throughput-regression guard for the R-F18..R-F24 benchmarks.
 
 Reads a freshly produced benchmark CSV (f18_hotpath.csv, f19_disorder.csv,
-f20_degradation.csv, f21_runtime.csv, f22_service.csv or f23_amend.csv,
-auto-detected from the header) plus the committed baseline and applies
-per-suite checks:
+f20_degradation.csv, f21_runtime.csv, f22_service.csv, f23_amend.csv or
+f24_scheduler.csv, auto-detected from the header) plus the committed
+baseline and applies per-suite checks:
 
 R-F18 (window-operator hot path):
   1. Equivalence (hard): `checksum` and `emissions` must agree between the
@@ -84,6 +84,22 @@ R-F23 (amend engine + speculative emit-then-amend):
      hot-buffered ns/tuple on the in-order path prints a warning -- the
      B-tree's amend capability should be close to free when unused.
 
+R-F24 (pull-based scheduler):
+  1. Equivalence (hard): within every section all modes -- steal
+     static/steal/steal+rebal, the fixed-batch sweep plus adaptive, numa
+     flat/numa -- must produce identical `checksum`s. The scheduler
+     switches are performance switches, never semantic ones.
+  2. Steal win (hard): on the sink-latency colocated-skew config the
+     static placement must cost >= F24_STEAL_TARGET x the stealing run in
+     the same run, the stealing run must report steals > 0, and the
+     steal+rebalance composition must hold the same bar.
+  3. Adaptive batch (hard): the PI controller's throughput must land
+     within F24_ADAPTIVE_TAX of the best fixed batch size in the same
+     run, without being told which size that is.
+  4. NUMA tax (soft): per-node arena pools exceeding F24_NUMA_TAX x the
+     flat arena's wall clock prints a warning (single-node hosts degrade
+     the set to one pool, so this is bookkeeping overhead only).
+
 All suites: baseline drift (soft) -- fast-engine ns/tuple (f21: keps)
 beyond DRIFT_FACTOR x the committed baseline prints a GitHub warning
 annotation but does not fail the job; absolute timings are
@@ -127,6 +143,17 @@ F21_REBALANCE_TAX = 1.15  # soft: pure-cpu rebalance <= 1.15x static.
 F22_SCALING_TARGET = 1.3
 F22_P99_DRIFT = 3.0
 
+# f24: same-run relative targets. The steal target mirrors the f21 skew
+# target — both schedulers attack the same colocated-hot-shard case, so
+# demand-driven stealing must match the rebalancer's bar (observed ~2.2x).
+# The adaptive controller must land within 10% of the best fixed batch
+# size without being told which one it is. The NUMA arena bookkeeping
+# staying near the flat arena is a soft check (single-node CI degrades it
+# to one pool).
+F24_STEAL_TARGET = 1.2
+F24_ADAPTIVE_TAX = 1.1
+F24_NUMA_TAX = 1.2  # soft: numa <= 1.2x flat wall on a single node.
+
 # f23: the speculative mode's first emission must halve the buffered
 # settle latency wherever disorder is material (>= 10% of tuples arrive
 # behind the speculative watermark); observed ratios are 0.01-0.15x. The
@@ -157,6 +184,8 @@ def sniff_suite(path):
         return "f23"
     if "clients" in header:
         return "f22"
+    if "batch_end" in header:  # before f21: both carry vshards.
+        return "f24"
     if "vshards" in header:
         return "f21"
     if "policy" in header:
@@ -456,6 +485,109 @@ def check_f21(args):
     return "f21", configs, failures, warnings
 
 
+def check_f24(args):
+    key_cols = ("section", "config", "mode")
+    current = load(args.current, key_cols)
+    configs = sorted({k[:2] for k in current})
+    failures = []
+    warnings = []
+
+    def rows_in(section):
+        return {k[2]: current[k] for k in current if k[0] == section}
+
+    # 1. Equivalence (hard): within every section all modes produced
+    # identical merged output — steal schedule, batch size, and arena
+    # placement are performance switches, never semantic ones.
+    for section, _ in configs:
+        modes = rows_in(section)
+        checksums = {row["checksum"] for row in modes.values()}
+        if len(checksums) > 1:
+            failures.append(
+                f"{section}: checksum differs across modes "
+                f"{sorted(checksums)}")
+
+    # 2. Steal win (hard): under per-tuple sink latency the colocated
+    # static placement must cost >= F24_STEAL_TARGET x the stealing run,
+    # the stealing run must actually steal, and composing with the
+    # rebalancer must hold the same bar.
+    steal_rows = rows_in("steal")
+    static = steal_rows.get("static")
+    steal = steal_rows.get("steal")
+    both = steal_rows.get("steal+rebal")
+    if static is None or steal is None or both is None:
+        failures.append("steal: missing static/steal/steal+rebal row")
+    else:
+        static_ms = float(static["wall_ms"])
+        steal_ms = float(steal["wall_ms"])
+        if static_ms < steal_ms * F24_STEAL_TARGET:
+            failures.append(
+                f"steal/sink-latency: static {static_ms:.2f} ms vs steal "
+                f"{steal_ms:.2f} ({static_ms / steal_ms:.2f}x, target "
+                f"{F24_STEAL_TARGET}x)")
+        if int(steal["steals"]) <= 0:
+            failures.append(
+                "steal/sink-latency: stealing run performed no steals")
+        both_ms = float(both["wall_ms"])
+        if static_ms < both_ms * F24_STEAL_TARGET:
+            failures.append(
+                f"steal/sink-latency: static {static_ms:.2f} ms vs "
+                f"steal+rebal {both_ms:.2f} ({static_ms / both_ms:.2f}x, "
+                f"target {F24_STEAL_TARGET}x)")
+
+    # 3. Adaptive batch (hard): the controller must land within
+    # F24_ADAPTIVE_TAX of the best fixed size in the same run, without
+    # being told which size that is.
+    batch_rows = rows_in("batch")
+    adaptive = batch_rows.get("adaptive")
+    fixed = {m: r for m, r in batch_rows.items() if m.startswith("fixed-")}
+    if adaptive is None or not fixed:
+        failures.append("batch: missing adaptive or fixed rows")
+    else:
+        best_mode, best_row = max(
+            fixed.items(), key=lambda kv: float(kv[1]["keps"]))
+        best_keps = float(best_row["keps"])
+        adaptive_keps = float(adaptive["keps"])
+        if adaptive_keps * F24_ADAPTIVE_TAX < best_keps:
+            failures.append(
+                f"batch/zipf-keyed: adaptive {adaptive_keps:.1f} keps "
+                f"(settled at {adaptive['batch_end']}) vs best fixed "
+                f"{best_mode} {best_keps:.1f} "
+                f"({best_keps / adaptive_keps:.2f}x, bound "
+                f"{F24_ADAPTIVE_TAX}x)")
+
+    # 4. NUMA arena tax (soft): on a single-node host the per-node pools
+    # degrade to one, so the bookkeeping must stay near the flat arena.
+    numa_rows = rows_in("numa")
+    flat = numa_rows.get("flat")
+    numa = numa_rows.get("numa")
+    if flat is None or numa is None:
+        failures.append("numa: missing flat/numa row")
+    else:
+        flat_ms = float(flat["wall_ms"])
+        numa_ms = float(numa["wall_ms"])
+        if numa_ms > flat_ms * F24_NUMA_TAX:
+            warnings.append(
+                f"numa/zipf-keyed: numa {numa_ms:.2f} ms vs flat "
+                f"{flat_ms:.2f} ({numa_ms / flat_ms:.2f}x, soft bound "
+                f"{F24_NUMA_TAX}x)")
+
+    # 5. Soft drift vs. committed baseline on throughput.
+    if args.baseline:
+        baseline = load(args.baseline, key_cols)
+        for key, row in current.items():
+            base = baseline.get(key)
+            if base is None:
+                continue
+            cur_keps = float(row["keps"])
+            base_keps = float(base["keps"])
+            if cur_keps * DRIFT_FACTOR < base_keps:
+                warnings.append(
+                    f"{'/'.join(key)}: {cur_keps:.1f} keps vs baseline "
+                    f"{base_keps:.1f} ({base_keps / cur_keps:.2f}x slower)")
+
+    return "f24", configs, failures, warnings
+
+
 def check_f22(args):
     key_cols = ("clients",)
     current = load(args.current, key_cols)
@@ -594,7 +726,9 @@ def main():
     args = parser.parse_args()
 
     suite = sniff_suite(args.current)
-    if suite == "f23":
+    if suite == "f24":
+        suite, configs, failures, warnings = check_f24(args)
+    elif suite == "f23":
         suite, configs, failures, warnings = check_f23(args)
     elif suite == "f22":
         suite, configs, failures, warnings = check_f22(args)
