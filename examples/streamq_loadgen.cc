@@ -24,11 +24,32 @@
 ///   --workload-eps=<eps>  event-time rate of each workload, default 10000
 ///   --csv=<path>     append one result row (header written when new)
 ///
+/// Resilience options (the R-F25 fault-tolerance experiment):
+///   --retry             drive through ResilientClient: sequenced idempotent
+///                       ingest + automatic reconnect (needs clients <=
+///                       tenants); checksums stay identical to a fault-free
+///                       run even under --chaos
+///   --retry-attempts=<n>  attempts per operation, default 8
+///   --chaos=<pct>       shorthand: reset/short-write/corrupt/truncate each
+///                       at pct/100 probability per send
+///   --chaos-reset=<p> --chaos-short-write=<p> --chaos-corrupt=<p>
+///   --chaos-truncate=<p> --chaos-stall=<p>    per-op probabilities in [0,1)
+///   --chaos-accept-close=<p>  serve mode only: the in-process server closes
+///                       freshly accepted connections with probability p
+///   --chaos-seed=<n>    fault-schedule seed (replayable), default 42
+///
+/// Admission-control options (forwarded to the --serve in-process server):
+///   --quota-rate=<eps>      per-tenant token-bucket refill, 0 = unlimited
+///   --quota-burst=<n>       bucket capacity, 0 = one second of rate
+///   --quota-max-sessions=<n>   concurrent registered tenants, 0 = unlimited
+///   --quota-max-buffered=<n>   per-tenant in-flight event cap, 0 = unlimited
+///
 /// Any session flag (--window, --strategy, --quality, --threads, ... — see
 /// core/session_options.h) is forwarded into every tenant's RegisterQuery.
 /// Exactly one run is one (clients, tenants) cell; sweeps loop outside.
 
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <sys/stat.h>
 #include <vector>
@@ -46,7 +67,12 @@ const std::vector<std::string>& LoadGenFlags() {
   static const std::vector<std::string> kFlags = {
       "--port", "--serve", "--shutdown", "--clients", "--tenants",
       "--events", "--rate", "--warmup-s", "--measure-s", "--batch",
-      "--seed", "--keys", "--disorder", "--workload-eps", "--csv"};
+      "--seed", "--keys", "--disorder", "--workload-eps", "--csv",
+      "--retry", "--retry-attempts", "--chaos", "--chaos-reset",
+      "--chaos-short-write", "--chaos-corrupt", "--chaos-truncate",
+      "--chaos-stall", "--chaos-accept-close", "--chaos-seed",
+      "--quota-rate", "--quota-burst", "--quota-max-sessions",
+      "--quota-max-buffered"};
   return kFlags;
 }
 
@@ -64,10 +90,12 @@ bool AppendCsvRow(const std::string& path, const LoadGenOptions& options,
                  "clients,tenants,events_per_tenant,rate_eps,batch,seed,"
                  "disorder_ms,events_sent,wall_s,throughput_eps,rtt_p50_us,"
                  "rtt_p99_us,errors,identities_ok,deliveries_ok,migrations,"
-                 "steals,checksum\n");
+                 "steals,faults,retries,reconnects,replayed,deduped,"
+                 "throttled,checksum\n");
   }
   std::fprintf(f, "%d,%d,%lld,%.0f,%d,%llu,%.3f,%lld,%.4f,%.1f,%.1f,%.1f,"
-                  "%lld,%d,%d,%lld,%lld,%llu\n",
+                  "%lld,%d,%d,%lld,%lld,%lld,%lld,%lld,%lld,%lld,%lld,"
+                  "%llu\n",
                options.clients, options.tenants,
                static_cast<long long>(options.events_per_tenant),
                options.rate_eps, options.batch,
@@ -80,6 +108,12 @@ bool AppendCsvRow(const std::string& path, const LoadGenOptions& options,
                report.all_deliveries_ok ? 1 : 0,
                static_cast<long long>(report.shard_migrations),
                static_cast<long long>(report.segments_stolen),
+               static_cast<long long>(report.faults_injected),
+               static_cast<long long>(report.retries),
+               static_cast<long long>(report.reconnects),
+               static_cast<long long>(report.replayed),
+               static_cast<long long>(report.deduped),
+               static_cast<long long>(report.throttled),
                static_cast<unsigned long long>(report.combined_checksum));
   std::fclose(f);
   return true;
@@ -104,6 +138,7 @@ int main(int argc, char** argv) {
   bool shutdown = false;
   bool have_port = false;
   std::string csv_path;
+  ServerOptions server_options;
   for (const std::string& arg : leftover) {
     const size_t eq = arg.find('=');
     const std::string flag = arg.substr(0, eq);
@@ -164,6 +199,51 @@ int main(int argc, char** argv) {
       options.workload_eps = fnum;
     } else if (flag == "--csv") {
       csv_path = value;
+    } else if (arg == "--retry") {
+      options.retry = true;
+    } else if (flag == "--retry-attempts") {
+      if (!want_int("--retry-attempts")) return 2;
+      options.retry_policy.max_attempts = static_cast<int>(num);
+    } else if (flag == "--chaos") {
+      if (!want_double("--chaos")) return 2;
+      const double p = fnum / 100.0;
+      options.chaos.reset_prob = p;
+      options.chaos.short_write_prob = p;
+      options.chaos.corrupt_prob = p;
+      options.chaos.truncate_prob = p;
+    } else if (flag == "--chaos-reset") {
+      if (!want_double("--chaos-reset")) return 2;
+      options.chaos.reset_prob = fnum;
+    } else if (flag == "--chaos-short-write") {
+      if (!want_double("--chaos-short-write")) return 2;
+      options.chaos.short_write_prob = fnum;
+    } else if (flag == "--chaos-corrupt") {
+      if (!want_double("--chaos-corrupt")) return 2;
+      options.chaos.corrupt_prob = fnum;
+    } else if (flag == "--chaos-truncate") {
+      if (!want_double("--chaos-truncate")) return 2;
+      options.chaos.truncate_prob = fnum;
+    } else if (flag == "--chaos-stall") {
+      if (!want_double("--chaos-stall")) return 2;
+      options.chaos.stall_prob = fnum;
+    } else if (flag == "--chaos-accept-close") {
+      if (!want_double("--chaos-accept-close")) return 2;
+      options.chaos.accept_close_prob = fnum;
+    } else if (flag == "--chaos-seed") {
+      if (!want_int("--chaos-seed")) return 2;
+      options.chaos.seed = static_cast<uint64_t>(num);
+    } else if (flag == "--quota-rate") {
+      if (!want_double("--quota-rate")) return 2;
+      server_options.quota_rate_eps = fnum;
+    } else if (flag == "--quota-burst") {
+      if (!want_double("--quota-burst")) return 2;
+      server_options.quota_burst = fnum;
+    } else if (flag == "--quota-max-sessions") {
+      if (!want_int("--quota-max-sessions")) return 2;
+      server_options.quota_max_sessions = num;
+    } else if (flag == "--quota-max-buffered") {
+      if (!want_int("--quota-max-buffered")) return 2;
+      server_options.quota_max_buffered = num;
     } else {
       const std::string hint = SuggestFlag(arg, LoadGenFlags());
       if (hint.empty()) {
@@ -200,8 +280,19 @@ int main(int argc, char** argv) {
   }
 
   // --serve: host the server in-process — one command, full loop, exactly
-  // what the CI smoke step runs.
-  StreamQServer server;
+  // what the CI smoke step runs. Accept-close chaos is a server-side fault,
+  // so it gets its own injector here (only that class: the client-side
+  // injector inside RunLoadGen covers the rest, and the control connection
+  // must not be corrupted once established).
+  std::optional<ChaosInjector> accept_chaos;
+  if (serve && options.chaos.accept_close_prob > 0.0) {
+    ChaosSpec accept_spec;
+    accept_spec.seed = options.chaos.seed;
+    accept_spec.accept_close_prob = options.chaos.accept_close_prob;
+    accept_chaos.emplace(accept_spec);
+    server_options.chaos = &*accept_chaos;
+  }
+  StreamQServer server(server_options);
   if (serve) {
     const Status started = server.Start();
     if (!started.ok()) {

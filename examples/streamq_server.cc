@@ -3,11 +3,16 @@
 /// runs one isolated StreamSession per registered tenant.
 ///
 /// Usage:
-///   streamq_server [--port=<p>] [--max-frame-mb=<n>] [--quiet]
+///   streamq_server [--port=<p>] [--max-frame-mb=<n>] [--quota-*] [--quiet]
 ///
 ///   --port=<p>          listen port on 127.0.0.1 (default 0 = ephemeral;
 ///                       the bound port is printed either way)
 ///   --max-frame-mb=<n>  per-frame payload cap in MiB, default 16
+///   --quota-rate=<eps>  per-tenant token-bucket ingest rate; overflow gets
+///                       a kOverloaded reply with retry-after (0 = off)
+///   --quota-burst=<n>   token-bucket capacity (0 = one second of rate)
+///   --quota-max-sessions=<n>   concurrent registered tenants (0 = off)
+///   --quota-max-buffered=<n>   per-tenant in-flight event cap (0 = off)
 ///   --quiet             suppress the final stats line
 ///
 /// The process runs until a client sends a kShutdown frame (e.g.
@@ -35,8 +40,9 @@ void HandleSignal(int) {
 }
 
 const std::vector<std::string>& ServerFlags() {
-  static const std::vector<std::string> kFlags = {"--port", "--max-frame-mb",
-                                                  "--quiet"};
+  static const std::vector<std::string> kFlags = {
+      "--port", "--max-frame-mb", "--quota-rate", "--quota-burst",
+      "--quota-max-sessions", "--quota-max-buffered", "--quiet"};
   return kFlags;
 }
 
@@ -64,6 +70,32 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.max_frame_payload = static_cast<size_t>(num) << 20;
+    } else if (flag == "--quota-rate") {
+      double rate = 0.0;
+      if (!ParseDoubleStrict(value, &rate).ok() || rate < 0.0) {
+        std::fprintf(stderr, "bad --quota-rate: %s\n", value.c_str());
+        return 2;
+      }
+      options.quota_rate_eps = rate;
+    } else if (flag == "--quota-burst") {
+      double burst = 0.0;
+      if (!ParseDoubleStrict(value, &burst).ok() || burst < 0.0) {
+        std::fprintf(stderr, "bad --quota-burst: %s\n", value.c_str());
+        return 2;
+      }
+      options.quota_burst = burst;
+    } else if (flag == "--quota-max-sessions") {
+      if (!ParseInt64Strict(value, &num).ok() || num < 0) {
+        std::fprintf(stderr, "bad --quota-max-sessions: %s\n", value.c_str());
+        return 2;
+      }
+      options.quota_max_sessions = num;
+    } else if (flag == "--quota-max-buffered") {
+      if (!ParseInt64Strict(value, &num).ok() || num < 0) {
+        std::fprintf(stderr, "bad --quota-max-buffered: %s\n", value.c_str());
+        return 2;
+      }
+      options.quota_max_buffered = num;
     } else if (arg == "--quiet") {
       quiet = true;
     } else {

@@ -65,9 +65,15 @@ class BlockingQueueSource : public EventSource {
   /// One-shot stream; the runners never rewind their source.
   void Reset() override {}
 
+  /// Current depth (events pushed but not yet pulled by the runner).
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
  private:
   const size_t max_events_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<Event> queue_;
@@ -224,6 +230,15 @@ const RunReport& StreamSession::Finish() {
   queue_->Close();
   if (driver_.joinable()) driver_.join();
   return final_report_;
+}
+
+int64_t StreamSession::BufferedEvents() const {
+  if (finished_) return 0;
+  if (!threaded()) {
+    if (executor_ == nullptr) return 0;
+    return static_cast<int64_t>(executor_->handler_view().buffered());
+  }
+  return queue_ != nullptr ? static_cast<int64_t>(queue_->size()) : 0;
 }
 
 int64_t StreamSession::migrations() const {

@@ -89,6 +89,12 @@ class StreamSession {
   /// are arrivals, just not processed ones).
   int64_t events_ingested() const { return events_ingested_; }
 
+  /// Live in-flight occupancy, the quantity server admission control caps:
+  /// sequential sessions report the reorder-buffer population, threaded
+  /// ones the ingest-queue depth (events accepted but not yet consumed by
+  /// the runner). Cheap enough to call per ingest frame.
+  int64_t BufferedEvents() const;
+
   /// Shard migrations performed (threaded sessions with rebalance on).
   int64_t migrations() const;
 

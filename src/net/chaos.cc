@@ -1,0 +1,135 @@
+#include "net/chaos.h"
+
+#include <chrono>
+#include <cstring>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace streamq {
+
+namespace {
+
+Status ValidateProb(double p, const char* name) {
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument(std::string(name) + " must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ChaosSpec::Validate() const {
+  STREAMQ_RETURN_NOT_OK(ValidateProb(reset_prob, "reset_prob"));
+  STREAMQ_RETURN_NOT_OK(ValidateProb(short_write_prob, "short_write_prob"));
+  STREAMQ_RETURN_NOT_OK(ValidateProb(corrupt_prob, "corrupt_prob"));
+  STREAMQ_RETURN_NOT_OK(ValidateProb(truncate_prob, "truncate_prob"));
+  STREAMQ_RETURN_NOT_OK(ValidateProb(stall_prob, "stall_prob"));
+  STREAMQ_RETURN_NOT_OK(ValidateProb(accept_close_prob, "accept_close_prob"));
+  if (stall_us < 0) return Status::InvalidArgument("stall_us must be >= 0");
+  return Status::OK();
+}
+
+std::string ChaosStats::ToString() const {
+  std::ostringstream out;
+  out << "sends=" << sends << " recvs=" << recvs << " resets=" << resets
+      << " short_writes=" << short_writes << " corruptions=" << corruptions
+      << " truncations=" << truncations << " stalls=" << stalls
+      << " accept_closes=" << accept_closes;
+  return out.str();
+}
+
+ChaosInjector::ChaosInjector(const ChaosSpec& spec) : spec_(spec) {
+  STREAMQ_CHECK_OK(spec.Validate());
+}
+
+ChaosStats ChaosInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+uint64_t ChaosInjector::MintStreamSeed() {
+  // Same decorrelation recipe as the keyed workload generators: golden-ratio
+  // multiply keeps consecutive stream ids from producing correlated draws.
+  const uint64_t n = next_stream_.fetch_add(1, std::memory_order_relaxed);
+  return spec_.seed ^ ((n + 1) * 0x9E3779B97F4A7C15ULL);
+}
+
+void ChaosInjector::Bump(int64_t ChaosStats::* field) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++(stats_.*field);
+}
+
+ChaosTransport::ChaosTransport(Socket sock, ChaosInjector* injector)
+    : sock_(std::move(sock)), injector_(injector) {
+  if (injector_ != nullptr) {
+    const uint64_t seed = injector_->MintStreamSeed();
+    rng_ = Rng(seed);
+    recv_rng_ = Rng(seed ^ 0x94D049BB133111EBULL);
+  }
+}
+
+Status ChaosTransport::SendAll(const void* data, size_t size) {
+  if (injector_ == nullptr || !injector_->armed() ||
+      !injector_->spec().Enabled()) {
+    return sock_.SendAll(data, size);
+  }
+  if (broken_) return Status::IOError("chaos: connection reset");
+  injector_->CountSend();
+  const ChaosSpec& spec = injector_->spec();
+  if (rng_.NextBool(spec.reset_prob)) {
+    injector_->CountReset();
+    broken_ = true;
+    sock_.ShutdownReadWrite();
+    return Status::IOError("chaos: connection reset before send");
+  }
+  if (size > 1 && rng_.NextBool(spec.short_write_prob)) {
+    injector_->CountShortWrite();
+    const size_t prefix = static_cast<size_t>(
+        rng_.NextInt(1, static_cast<int64_t>(size) - 1));
+    (void)sock_.SendAll(data, prefix);
+    broken_ = true;
+    sock_.ShutdownReadWrite();
+    return Status::IOError("chaos: connection reset after short write of " +
+                           std::to_string(prefix) + "/" +
+                           std::to_string(size) + " bytes");
+  }
+  if (size > 1 && rng_.NextBool(spec.truncate_prob)) {
+    // The cruelest class: the caller sees success, the tail is gone, and
+    // the connection stays up — the peer hangs inside a partial frame.
+    injector_->CountTruncation();
+    const size_t prefix = static_cast<size_t>(
+        rng_.NextInt(1, static_cast<int64_t>(size) - 1));
+    return sock_.SendAll(data, prefix);
+  }
+  if (size > 0 && rng_.NextBool(spec.corrupt_prob)) {
+    injector_->CountCorruption();
+    std::vector<char> copy(static_cast<const char*>(data),
+                           static_cast<const char*>(data) + size);
+    const size_t at = static_cast<size_t>(
+        rng_.NextInt(0, static_cast<int64_t>(size) - 1));
+    copy[at] = static_cast<char>(copy[at] ^ (1u << rng_.NextInt(0, 7)));
+    return sock_.SendAll(copy.data(), copy.size());
+  }
+  return sock_.SendAll(data, size);
+}
+
+Result<size_t> ChaosTransport::Recv(void* buf, size_t size) {
+  if (injector_ == nullptr || !injector_->armed() ||
+      !injector_->spec().Enabled()) {
+    return sock_.Recv(buf, size);
+  }
+  if (broken_) return Status::IOError("chaos: connection reset");
+  injector_->CountRecv();
+  const ChaosSpec& spec = injector_->spec();
+  if (recv_rng_.NextBool(spec.stall_prob)) {
+    injector_->CountStall();
+    std::this_thread::sleep_for(std::chrono::microseconds(spec.stall_us));
+  }
+  return sock_.Recv(buf, size);
+}
+
+}  // namespace streamq

@@ -1,0 +1,196 @@
+#ifndef STREAMQ_NET_CHAOS_H_
+#define STREAMQ_NET_CHAOS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "net/socket.h"
+
+namespace streamq {
+
+/// Transport-level chaos: per-operation probabilities for each fault class,
+/// all independent and all off by default. The transport analogue of
+/// FaultSpec (stream/fault_injector.h) — where that one mutates tuples on
+/// the way into a pipeline, this one breaks the wire underneath the frame
+/// protocol: connections reset mid-conversation, writes land partially,
+/// bytes flip, reads stall.
+///
+/// All randomness flows from `seed`: the shared ChaosInjector mints one
+/// decorrelated Rng stream per wrapped transport, so a given (workload,
+/// spec) pair replays the identical fault schedule — chaos soaks are
+/// seeded experiments, not flaky tests.
+struct ChaosSpec {
+  uint64_t seed = 42;
+
+  /// Per send: the connection is hard-reset before any byte leaves (both
+  /// directions shut down; the peer sees EOF, the caller an IOError).
+  double reset_prob = 0.0;
+
+  /// Per send: a strict prefix of the buffer is written, then the
+  /// connection resets — the peer is left holding a partial frame.
+  double short_write_prob = 0.0;
+
+  /// Per send: one byte of the outgoing copy is flipped. The frame layer
+  /// must catch this (magic/type/flags checks, payload integrity hashes on
+  /// sequenced frames) — silent acceptance would break checksum identity.
+  double corrupt_prob = 0.0;
+
+  /// Per send: a strict prefix is written and the tail silently dropped,
+  /// but the connection stays open — the peer stalls mid-frame until its
+  /// recv timeout fires (the desync path StreamQClient must fail cleanly).
+  double truncate_prob = 0.0;
+
+  /// Per recv: the read sleeps `stall_us` of wall time first (congested
+  /// peer; exercises reply timeouts and retry deadlines).
+  double stall_prob = 0.0;
+  DurationUs stall_us = Millis(2);
+
+  /// Per accept (server side): the freshly accepted connection is closed
+  /// immediately — the client's next round trip fails and must reconnect.
+  double accept_close_prob = 0.0;
+
+  Status Validate() const;
+
+  /// True when any fault class has nonzero probability.
+  bool Enabled() const {
+    return reset_prob > 0 || short_write_prob > 0 || corrupt_prob > 0 ||
+           truncate_prob > 0 || stall_prob > 0 || accept_close_prob > 0;
+  }
+};
+
+/// Exact per-class fault accounting, aggregated across every transport
+/// wrapped by one injector.
+struct ChaosStats {
+  int64_t sends = 0;
+  int64_t recvs = 0;
+  int64_t resets = 0;
+  int64_t short_writes = 0;
+  int64_t corruptions = 0;
+  int64_t truncations = 0;
+  int64_t stalls = 0;
+  int64_t accept_closes = 0;
+
+  /// Connection-fatal faults (the peer or caller must reconnect).
+  int64_t fatal() const { return resets + short_writes + accept_closes; }
+  /// Every injected fault, fatal or not.
+  int64_t total() const {
+    return resets + short_writes + corruptions + truncations + stalls +
+           accept_closes;
+  }
+
+  bool operator==(const ChaosStats& other) const = default;
+
+  std::string ToString() const;
+};
+
+/// Shared fault decider + counter sink for a set of ChaosTransports (e.g.
+/// every driver connection of a loadgen run). Thread-safe: each transport
+/// draws from its own decorrelated Rng stream, counters aggregate under a
+/// mutex. Does not own the transports.
+class ChaosInjector {
+ public:
+  /// `spec` must Validate(); aborts otherwise (harness misconfiguration).
+  explicit ChaosInjector(const ChaosSpec& spec);
+
+  const ChaosSpec& spec() const { return spec_; }
+
+  ChaosStats stats() const;
+
+  /// Chaos window control: a disarmed injector turns every transport it
+  /// wraps (and the server accept path) into a transparent pass-through
+  /// without touching its fault schedule or counters, so a harness can
+  /// inject during the measured phase and then seal/collect final
+  /// accounting over a clean wire. Re-arming resumes the schedule where
+  /// it left off.
+  void Arm() { armed_.store(true, std::memory_order_relaxed); }
+  void Disarm() { armed_.store(false, std::memory_order_relaxed); }
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Deterministic per-transport sub-seed: the n-th transport wrapped by
+  /// this injector always gets the same Rng stream, independent of what
+  /// the other transports drew.
+  uint64_t MintStreamSeed();
+
+  /// Counter sinks (called by ChaosTransport / the server accept path).
+  void CountSend() { Bump(&ChaosStats::sends); }
+  void CountRecv() { Bump(&ChaosStats::recvs); }
+  void CountReset() { Bump(&ChaosStats::resets); }
+  void CountShortWrite() { Bump(&ChaosStats::short_writes); }
+  void CountCorruption() { Bump(&ChaosStats::corruptions); }
+  void CountTruncation() { Bump(&ChaosStats::truncations); }
+  void CountStall() { Bump(&ChaosStats::stalls); }
+  void CountAcceptClose() { Bump(&ChaosStats::accept_closes); }
+
+ private:
+  void Bump(int64_t ChaosStats::* field);
+
+  const ChaosSpec spec_;
+  std::atomic<bool> armed_{true};
+  std::atomic<uint64_t> next_stream_{0};
+  mutable std::mutex mu_;
+  ChaosStats stats_;
+};
+
+/// A Socket wrapped with seeded fault injection. With a null injector (or
+/// an all-zero spec) it is a transparent pass-through, so the server and
+/// client are always built over ChaosTransport and pay nothing when chaos
+/// is off.
+///
+/// Fault semantics:
+///   reset        SendAll shuts the socket down both ways and fails; every
+///                later op fails too (the connection is dead).
+///   short write  a strict prefix hits the wire, then reset.
+///   corrupt      one byte of a local copy is flipped; the full (wrong)
+///                buffer is sent and the connection stays up.
+///   truncate     a strict prefix hits the wire, the tail vanishes, the
+///                connection stays up — the peer hangs mid-frame.
+///   stall        Recv sleeps spec.stall_us before reading.
+class ChaosTransport {
+ public:
+  ChaosTransport() = default;
+  /// Wraps `sock`; `injector` may be null (pass-through) and must outlive
+  /// the transport otherwise.
+  explicit ChaosTransport(Socket sock, ChaosInjector* injector = nullptr);
+
+  ChaosTransport(ChaosTransport&&) = default;
+  ChaosTransport& operator=(ChaosTransport&&) = default;
+
+  bool valid() const { return sock_.valid(); }
+  void Close() { sock_.Close(); }
+  void ShutdownReadWrite() { sock_.ShutdownReadWrite(); }
+
+  /// Socket::SendAll with injected resets / short writes / corruption /
+  /// truncation per the spec.
+  Status SendAll(const void* data, size_t size);
+
+  /// Socket::Recv with injected stalls.
+  Result<size_t> Recv(void* buf, size_t size);
+
+  Status SetRecvTimeout(DurationUs timeout) {
+    return sock_.SetRecvTimeout(timeout);
+  }
+
+  /// The wrapped socket (tests poking at the raw fd).
+  Socket& socket() { return sock_; }
+
+ private:
+  Socket sock_;
+  ChaosInjector* injector_ = nullptr;
+  Rng rng_;
+  /// Recv decisions draw from their own stream so the number of reads
+  /// (poll-loop wakeups vary with timing) can never perturb the send-side
+  /// fault schedule — that schedule must replay exactly from the seed.
+  Rng recv_rng_;
+  /// Set by an injected reset: the connection is dead by our own hand and
+  /// every later op reports IOError without touching the socket.
+  bool broken_ = false;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_NET_CHAOS_H_

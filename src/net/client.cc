@@ -5,18 +5,27 @@
 namespace streamq {
 
 Result<std::unique_ptr<StreamQClient>> StreamQClient::Connect(
-    uint16_t port, DurationUs reply_timeout) {
+    uint16_t port, DurationUs reply_timeout, ChaosInjector* chaos) {
   STREAMQ_ASSIGN_OR_RETURN(Socket sock, ConnectLoopback(port));
   STREAMQ_RETURN_NOT_OK(sock.SetRecvTimeout(reply_timeout));
-  return std::unique_ptr<StreamQClient>(
-      new StreamQClient(std::move(sock), reply_timeout));
+  return std::unique_ptr<StreamQClient>(new StreamQClient(
+      ChaosTransport(std::move(sock), chaos), reply_timeout));
 }
 
 Status StreamQClient::RegisterQuery(uint32_t tenant,
                                     const SessionOptions& options) {
   Frame request{FrameType::kRegisterQuery, tenant, options.Serialize()};
   STREAMQ_ASSIGN_OR_RETURN(Frame reply, RoundTrip(request));
-  (void)reply;
+  if (reply.type == FrameType::kOverloaded) {
+    OverloadInfo info;
+    STREAMQ_RETURN_NOT_OK(DecodeOverloaded(reply.payload, &info));
+    return Status::ResourceExhausted("overloaded (retry after " +
+                                     std::to_string(info.retry_after_ms) +
+                                     "ms): " + info.message);
+  }
+  if (reply.type != FrameType::kOk) {
+    return Status::IOError("register reply had the wrong frame type");
+  }
   return Status::OK();
 }
 
@@ -36,6 +45,103 @@ Status StreamQClient::Heartbeat(uint32_t tenant, TimestampUs event_time_bound,
   STREAMQ_ASSIGN_OR_RETURN(Frame reply, RoundTrip(request));
   (void)reply;
   return Status::OK();
+}
+
+Result<SessionGrant> StreamQClient::OpenSession(uint32_t tenant,
+                                                uint64_t token,
+                                                const SessionOptions& options) {
+  if (token == 0) {
+    return Status::InvalidArgument("session token must be nonzero");
+  }
+  Frame request{FrameType::kOpenSession, tenant, {}};
+  EncodeOpenSession(token, options.Serialize(), &request.payload);
+  STREAMQ_ASSIGN_OR_RETURN(Frame reply, RoundTrip(request));
+  if (reply.type == FrameType::kOverloaded) {
+    OverloadInfo info;
+    STREAMQ_RETURN_NOT_OK(DecodeOverloaded(reply.payload, &info));
+    return Status::ResourceExhausted("overloaded (retry after " +
+                                     std::to_string(info.retry_after_ms) +
+                                     "ms): " + info.message);
+  }
+  if (reply.type != FrameType::kSessionAccepted) {
+    return Status::IOError("open-session reply had the wrong frame type");
+  }
+  SessionGrant grant;
+  const Status decoded = DecodeSessionGrant(reply.payload, &grant);
+  if (!decoded.ok()) {
+    // A corrupt grant leaves us unsure what the server armed; only a fresh
+    // conversation can resolve it.
+    broken_ = true;
+    return decoded;
+  }
+  if (grant.token != token) {
+    broken_ = true;
+    return Status::IOError("session grant echoed a different token");
+  }
+  return grant;
+}
+
+Result<SeqReply> StreamQClient::SeqRoundTrip(const Frame& request) {
+  STREAMQ_ASSIGN_OR_RETURN(Frame reply, RoundTrip(request));
+  SeqReply out;
+  if (reply.type == FrameType::kOverloaded) {
+    OverloadInfo info;
+    STREAMQ_RETURN_NOT_OK(DecodeOverloaded(reply.payload, &info));
+    out.throttled = true;
+    out.retry_after_ms = info.retry_after_ms;
+    return out;
+  }
+  if (reply.type != FrameType::kAck) {
+    return Status::IOError("sequenced reply was not an ack");
+  }
+  AckInfo ack;
+  const Status decoded = DecodeAck(reply.payload, &ack);
+  if (!decoded.ok()) {
+    broken_ = true;
+    return decoded;
+  }
+  out.acked_seq = ack.acked_seq;
+  out.replayed = ack.replayed != 0;
+  return out;
+}
+
+Result<SeqReply> StreamQClient::SeqIngest(uint32_t tenant, uint64_t token,
+                                          uint64_t seq,
+                                          std::span<const Event> events) {
+  Frame request{FrameType::kSeqIngest, tenant, {}};
+  std::string body;
+  EncodeEventBatch(events, &body);
+  AppendSeqEnvelope(token, seq, body, &request.payload);
+  STREAMQ_ASSIGN_OR_RETURN(SeqReply reply, SeqRoundTrip(request));
+  if (!reply.throttled && reply.acked_seq != seq) {
+    // An ack for a seq we did not send means the conversation is skewed
+    // (e.g. a corrupted ack that still passed framing); resync over a new
+    // connection.
+    broken_ = true;
+    return Status::IOError("ack for unexpected seq " +
+                           std::to_string(reply.acked_seq) + " (sent " +
+                           std::to_string(seq) + ")");
+  }
+  return reply;
+}
+
+Result<SeqReply> StreamQClient::SeqHeartbeat(uint32_t tenant, uint64_t token,
+                                             uint64_t seq,
+                                             TimestampUs event_time_bound,
+                                             TimestampUs stream_time) {
+  Frame request{FrameType::kSeqHeartbeat, tenant, {}};
+  std::string body;
+  AppendI64(event_time_bound, &body);
+  AppendI64(stream_time, &body);
+  AppendSeqEnvelope(token, seq, body, &request.payload);
+  STREAMQ_ASSIGN_OR_RETURN(SeqReply reply, SeqRoundTrip(request));
+  if (!reply.throttled && reply.acked_seq != seq) {
+    broken_ = true;
+    return Status::IOError("ack for unexpected seq " +
+                           std::to_string(reply.acked_seq) + " (sent " +
+                           std::to_string(seq) + ")");
+  }
+  return reply;
 }
 
 Result<SnapshotStats> StreamQClient::Snapshot(uint32_t tenant) {
@@ -78,39 +184,96 @@ Status StreamQClient::Shutdown() {
 }
 
 Result<Frame> StreamQClient::RoundTrip(const Frame& request) {
+  if (broken_) {
+    return Status::IOError(
+        "connection is broken (earlier transport fault); reconnect");
+  }
   std::string wire;
   AppendFrame(request, &wire);
-  STREAMQ_RETURN_NOT_OK(sock_.SendAll(wire.data(), wire.size()));
-  return AwaitReply();
+  const Status sent = sock_.SendAll(wire.data(), wire.size());
+  if (!sent.ok()) {
+    broken_ = true;
+    return sent;
+  }
+  return AwaitReply(static_cast<int64_t>(request.tenant));
 }
 
 Result<Frame> StreamQClient::SendRawAndAwaitReply(std::string_view bytes) {
-  STREAMQ_RETURN_NOT_OK(sock_.SendAll(bytes.data(), bytes.size()));
+  if (broken_) {
+    return Status::IOError(
+        "connection is broken (earlier transport fault); reconnect");
+  }
+  const Status sent = sock_.SendAll(bytes.data(), bytes.size());
+  if (!sent.ok()) {
+    broken_ = true;
+    return sent;
+  }
   return AwaitReply();
 }
 
-Result<Frame> StreamQClient::AwaitReply() {
+Result<Frame> StreamQClient::AwaitReply(int64_t expected_tenant) {
   char buf[64 * 1024];
   for (;;) {
     Frame frame;
     bool have_frame = false;
-    STREAMQ_RETURN_NOT_OK(decoder_.Next(&frame, &have_frame));
+    const Status framing = decoder_.Next(&frame, &have_frame);
+    if (!framing.ok()) {
+      broken_ = true;  // Sticky decoder failure: no resync point.
+      return framing;
+    }
     if (have_frame) {
+      // The echo check runs before kError interpretation: a misrouted
+      // request usually comes back as some other tenant's error verdict,
+      // and that verdict must read as a transport fault (retryable over a
+      // new connection), not as protocol state.
+      if (expected_tenant >= 0 &&
+          frame.tenant != static_cast<uint32_t>(expected_tenant)) {
+        broken_ = true;
+        return Status::IOError(
+            "reply tenant " + std::to_string(frame.tenant) +
+            " does not echo request tenant " +
+            std::to_string(expected_tenant) +
+            "; header corrupted in flight, reconnect");
+      }
       if (!IsReplyFrameType(frame.type)) {
+        broken_ = true;
         return Status::IOError("server sent a request-typed frame");
       }
       if (frame.type == FrameType::kError) {
         Status decoded = DecodeError(frame.payload);
         if (decoded.ok()) {
+          broken_ = true;
           return Status::IOError("error frame carried an OK status");
         }
         return decoded;
       }
       return frame;
     }
-    STREAMQ_ASSIGN_OR_RETURN(size_t n, sock_.Recv(buf, sizeof(buf)));
-    if (n == 0) return Status::IOError("connection closed by server");
-    decoder_.Feed(std::string_view(buf, n));
+    Result<size_t> received = sock_.Recv(buf, sizeof(buf));
+    if (!received.ok()) {
+      if (received.status().code() == StatusCode::kResourceExhausted &&
+          decoder_.buffered_bytes() > 0) {
+        // Timeout mid-frame: the stream stalled inside a partial reply
+        // (truncated send, wedged server). The bytes already buffered have
+        // no resync point, so fail the connection cleanly instead of
+        // leaving a desynchronized decoder for the next call to trip over.
+        broken_ = true;
+        return Status::IOError(
+            "reply timed out mid-frame with " +
+            std::to_string(decoder_.buffered_bytes()) +
+            " bytes buffered; stream desynchronized, reconnect");
+      }
+      // Even a clean (no partial frame) timeout leaves this request
+      // unanswered; a later reply would pair with the wrong round trip.
+      // Either way the connection is done.
+      broken_ = true;
+      return received.status();
+    }
+    if (received.value() == 0) {
+      broken_ = true;
+      return Status::IOError("connection closed by server");
+    }
+    decoder_.Feed(std::string_view(buf, received.value()));
   }
 }
 

@@ -7,22 +7,42 @@
 #include <string>
 
 #include "core/session_options.h"
+#include "net/chaos.h"
 #include "net/frame.h"
 #include "net/socket.h"
 #include "stream/event.h"
 
 namespace streamq {
 
+/// Reply to a sequenced request (kSeqIngest / kSeqHeartbeat): either an ack
+/// (possibly for a replayed frame the server deduped) or an admission-
+/// control throttle carrying the server's retry-after.
+struct SeqReply {
+  bool throttled = false;
+  uint32_t retry_after_ms = 0;
+  uint64_t acked_seq = 0;
+  bool replayed = false;
+};
+
 /// Blocking request/reply client for the streamq frame protocol. One
 /// connection, one outstanding request at a time — exactly the discipline
 /// the load generator and tests need. Not thread-safe.
+///
+/// The connection is fail-fast: any transport error, decode failure, or
+/// mid-frame reply timeout marks the stream broken, and every later round
+/// trip fails with IOError immediately. There is no resync point inside a
+/// corrupt length-prefixed stream, so the only safe recovery is a new
+/// connection — which is the retry layer's job (net/retry.h), not this
+/// class's.
 class StreamQClient {
  public:
   /// Connects to the server on 127.0.0.1:`port`. `reply_timeout` bounds
   /// every round trip so a wedged server fails the call instead of hanging
-  /// the caller.
+  /// the caller. A non-null `chaos` wraps the connection in seeded
+  /// transport faults (must outlive the client).
   static Result<std::unique_ptr<StreamQClient>> Connect(
-      uint16_t port, DurationUs reply_timeout = Seconds(30));
+      uint16_t port, DurationUs reply_timeout = Seconds(30),
+      ChaosInjector* chaos = nullptr);
 
   /// Registers `tenant` with a session built from `options` — serialized
   /// into the same `--flag=value` text the CLI parses.
@@ -34,6 +54,22 @@ class StreamQClient {
   /// Source heartbeat for sequential sessions.
   Status Heartbeat(uint32_t tenant, TimestampUs event_time_bound,
                    TimestampUs stream_time);
+
+  /// Idempotent open/resume of a sequenced session (kOpenSession). `token`
+  /// is client-minted and nonzero; re-opening with the same token resumes
+  /// and returns the server's epoch and last-acked seq.
+  Result<SessionGrant> OpenSession(uint32_t tenant, uint64_t token,
+                                   const SessionOptions& options);
+
+  /// Sequence-numbered idempotent ingest: the server applies the batch at
+  /// most once per `seq` and acks, or throttles without applying.
+  Result<SeqReply> SeqIngest(uint32_t tenant, uint64_t token, uint64_t seq,
+                             std::span<const Event> events);
+
+  /// Sequence-numbered heartbeat.
+  Result<SeqReply> SeqHeartbeat(uint32_t tenant, uint64_t token, uint64_t seq,
+                                TimestampUs event_time_bound,
+                                TimestampUs stream_time);
 
   /// Live accounting snapshot for `tenant`.
   Result<SnapshotStats> Snapshot(uint32_t tenant);
@@ -58,16 +94,31 @@ class StreamQClient {
   /// injection) and waits for one reply frame.
   Result<Frame> SendRawAndAwaitReply(std::string_view bytes);
 
+  /// True once the stream is unusable (transport error, decode failure, or
+  /// a reply timeout that struck mid-frame). A broken client only ever
+  /// returns IOError; reconnect to recover.
+  bool broken() const { return broken_; }
+
  private:
-  StreamQClient(Socket sock, DurationUs reply_timeout)
+  StreamQClient(ChaosTransport sock, DurationUs reply_timeout)
       : sock_(std::move(sock)), reply_timeout_(reply_timeout) {}
 
   /// Reads until one complete frame (or timeout / EOF / decode error).
-  Result<Frame> AwaitReply();
+  /// With `expected_tenant` >= 0, a reply whose header does not echo that
+  /// tenant id fails the connection: the tenant field rides outside every
+  /// payload integrity hash, so a mismatch means a corrupted header
+  /// misrouted the request (or mangled the reply) — either way the frame
+  /// may have been handled as another tenant and only a fresh
+  /// conversation is trustworthy.
+  Result<Frame> AwaitReply(int64_t expected_tenant = -1);
 
-  Socket sock_;
+  /// Decodes a sequenced reply: kAck or kOverloaded.
+  Result<SeqReply> SeqRoundTrip(const Frame& request);
+
+  ChaosTransport sock_;
   DurationUs reply_timeout_;
   FrameDecoder decoder_;
+  bool broken_ = false;
 };
 
 }  // namespace streamq

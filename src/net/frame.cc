@@ -27,6 +27,9 @@ bool IsRequestFrameType(FrameType type) {
     case FrameType::kUnregister:
     case FrameType::kShutdown:
     case FrameType::kMetricsRequest:
+    case FrameType::kOpenSession:
+    case FrameType::kSeqIngest:
+    case FrameType::kSeqHeartbeat:
       return true;
     default:
       return false;
@@ -39,6 +42,9 @@ bool IsReplyFrameType(FrameType type) {
     case FrameType::kError:
     case FrameType::kReport:
     case FrameType::kMetricsReply:
+    case FrameType::kSessionAccepted:
+    case FrameType::kAck:
+    case FrameType::kOverloaded:
       return true;
     default:
       return false;
@@ -246,14 +252,142 @@ Status DecodeError(std::string_view payload) {
   return Status(static_cast<StatusCode>(code), std::move(message));
 }
 
+// ------------------------------------------------- resilience protocol
+
+uint64_t HashBytes(std::string_view bytes, uint64_t seed) {
+  uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+void EncodeOpenSession(uint64_t token, const std::string& options_text,
+                       std::string* out) {
+  const size_t start = out->size();
+  AppendU64(token, out);
+  // The hash binds the token too: a token byte flipped in flight would
+  // otherwise arm the server session under a key its owner can never
+  // present again.
+  AppendU64(HashBytes(options_text,
+                      HashBytes(std::string_view(*out).substr(start))),
+            out);
+  out->append(options_text);
+}
+
+Status DecodeOpenSession(std::string_view payload, uint64_t* token,
+                         std::string* options_text) {
+  PayloadReader reader(payload);
+  uint64_t hash = 0;
+  STREAMQ_RETURN_NOT_OK(reader.ReadU64(token));
+  STREAMQ_RETURN_NOT_OK(reader.ReadU64(&hash));
+  STREAMQ_RETURN_NOT_OK(reader.ReadBytes(reader.remaining(), options_text));
+  if (*token == 0) {
+    return Status::InvalidArgument("open-session token must be nonzero");
+  }
+  if (hash != HashBytes(*options_text, HashBytes(payload.substr(0, 8)))) {
+    return Status::IOError("open-session payload failed integrity check");
+  }
+  return Status::OK();
+}
+
+void EncodeSessionGrant(const SessionGrant& grant, std::string* out) {
+  const size_t start = out->size();
+  AppendU64(grant.token, out);
+  AppendU32(grant.epoch, out);
+  AppendU64(grant.last_acked_seq, out);
+  AppendU64(HashBytes(std::string_view(*out).substr(start)), out);
+}
+
+Status DecodeSessionGrant(std::string_view payload, SessionGrant* out) {
+  PayloadReader reader(payload);
+  STREAMQ_RETURN_NOT_OK(reader.ReadU64(&out->token));
+  STREAMQ_RETURN_NOT_OK(reader.ReadU32(&out->epoch));
+  STREAMQ_RETURN_NOT_OK(reader.ReadU64(&out->last_acked_seq));
+  uint64_t hash = 0;
+  STREAMQ_RETURN_NOT_OK(reader.ReadU64(&hash));
+  STREAMQ_RETURN_NOT_OK(reader.ExpectEnd());
+  if (hash != HashBytes(payload.substr(0, payload.size() - 8))) {
+    return Status::IOError("session grant failed integrity check");
+  }
+  return Status::OK();
+}
+
+void AppendSeqEnvelope(uint64_t token, uint64_t seq, std::string_view body,
+                       std::string* out) {
+  const size_t start = out->size();
+  AppendU64(token, out);
+  AppendU64(seq, out);
+  // The hash binds token and seq along with the body: all three steer
+  // server-side session state (routing, dedup), so none may survive a
+  // byte flip and still decode cleanly.
+  AppendU64(HashBytes(body, HashBytes(std::string_view(*out).substr(start))),
+            out);
+  out->append(body);
+}
+
+Status DecodeSeqEnvelope(std::string_view payload, SeqEnvelope* out,
+                         std::string_view* body) {
+  PayloadReader reader(payload);
+  uint64_t hash = 0;
+  STREAMQ_RETURN_NOT_OK(reader.ReadU64(&out->token));
+  STREAMQ_RETURN_NOT_OK(reader.ReadU64(&out->seq));
+  STREAMQ_RETURN_NOT_OK(reader.ReadU64(&hash));
+  *body = payload.substr(payload.size() - reader.remaining());
+  if (hash != HashBytes(*body, HashBytes(payload.substr(0, 16)))) {
+    return Status::IOError("sequenced frame failed integrity check");
+  }
+  return Status::OK();
+}
+
+void EncodeAck(const AckInfo& ack, std::string* out) {
+  const size_t start = out->size();
+  AppendU64(ack.acked_seq, out);
+  out->push_back(static_cast<char>(ack.replayed));
+  AppendU64(HashBytes(std::string_view(*out).substr(start)), out);
+}
+
+Status DecodeAck(std::string_view payload, AckInfo* out) {
+  PayloadReader reader(payload);
+  STREAMQ_RETURN_NOT_OK(reader.ReadU64(&out->acked_seq));
+  STREAMQ_RETURN_NOT_OK(reader.ReadU8(&out->replayed));
+  uint64_t hash = 0;
+  STREAMQ_RETURN_NOT_OK(reader.ReadU64(&hash));
+  STREAMQ_RETURN_NOT_OK(reader.ExpectEnd());
+  if (out->replayed > 1) {
+    return Status::IOError("ack replayed flag out of range");
+  }
+  if (hash != HashBytes(payload.substr(0, payload.size() - 8))) {
+    return Status::IOError("ack failed integrity check");
+  }
+  return Status::OK();
+}
+
+void EncodeOverloaded(const OverloadInfo& info, std::string* out) {
+  AppendU32(info.retry_after_ms, out);
+  AppendU32(static_cast<uint32_t>(info.message.size()), out);
+  out->append(info.message);
+}
+
+Status DecodeOverloaded(std::string_view payload, OverloadInfo* out) {
+  PayloadReader reader(payload);
+  uint32_t msg_len = 0;
+  STREAMQ_RETURN_NOT_OK(reader.ReadU32(&out->retry_after_ms));
+  STREAMQ_RETURN_NOT_OK(reader.ReadU32(&msg_len));
+  STREAMQ_RETURN_NOT_OK(reader.ReadBytes(msg_len, &out->message));
+  return reader.ExpectEnd();
+}
+
 // --------------------------------------------------------------- snapshots
 
 namespace {
-// v2 appended the scheduler counters (shard_migrations, segments_stolen).
+// v2 appended the scheduler counters (shard_migrations, segments_stolen);
+// v3 the resilience counters (epoch, last_acked_seq, replay/dedup/throttle).
 // Decoding is strict: both peers ship from one tree, so there is no
 // cross-version traffic to tolerate, and a version mismatch should fail
 // loudly instead of zero-filling.
-constexpr uint8_t kSnapshotVersion = 2;
+constexpr uint8_t kSnapshotVersion = 3;
 }  // namespace
 
 void EncodeSnapshotStats(const SnapshotStats& stats, std::string* out) {
@@ -277,6 +411,11 @@ void EncodeSnapshotStats(const SnapshotStats& stats, std::string* out) {
   AppendI64(stats.final_slack_us, out);
   AppendI64(stats.shard_migrations, out);
   AppendI64(stats.segments_stolen, out);
+  AppendU32(stats.epoch, out);
+  AppendU64(stats.last_acked_seq, out);
+  AppendI64(stats.frames_replayed, out);
+  AppendI64(stats.frames_deduped, out);
+  AppendI64(stats.frames_throttled, out);
 }
 
 Status DecodeSnapshotStats(std::string_view payload, SnapshotStats* out) {
@@ -311,6 +450,11 @@ Status DecodeSnapshotStats(std::string_view payload, SnapshotStats* out) {
   STREAMQ_RETURN_NOT_OK(reader.ReadI64(&out->final_slack_us));
   STREAMQ_RETURN_NOT_OK(reader.ReadI64(&out->shard_migrations));
   STREAMQ_RETURN_NOT_OK(reader.ReadI64(&out->segments_stolen));
+  STREAMQ_RETURN_NOT_OK(reader.ReadU32(&out->epoch));
+  STREAMQ_RETURN_NOT_OK(reader.ReadU64(&out->last_acked_seq));
+  STREAMQ_RETURN_NOT_OK(reader.ReadI64(&out->frames_replayed));
+  STREAMQ_RETURN_NOT_OK(reader.ReadI64(&out->frames_deduped));
+  STREAMQ_RETURN_NOT_OK(reader.ReadI64(&out->frames_throttled));
   return reader.ExpectEnd();
 }
 

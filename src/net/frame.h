@@ -42,10 +42,28 @@ namespace streamq {
 ///   kMetricsRequest u8 format: 0 = Prometheus text, 1 = JSON. Server-wide
 ///                   (tenant 0): the reply snapshots the server's shared
 ///                   metrics registry across all tenants
+///   kOpenSession    u64 client token (nonzero), then SessionOptions text.
+///                   Idempotent open/resume for the sequenced protocol: a
+///                   fresh tenant is registered under the token; re-opening
+///                   with the same token resumes (epoch += 1) and returns
+///                   the last acked sequence number so a reconnecting
+///                   client knows where the server really is. A different
+///                   token is rejected — the token doubles as the guard
+///                   against misdirected frames.
+///   kSeqIngest      sequenced envelope (u64 token, u64 seq, u64 FNV-1a of
+///                   the body) wrapping a kIngest event-batch body
+///   kSeqHeartbeat   sequenced envelope wrapping a kHeartbeat body
 ///   kOk             empty
 ///   kError          u32 status code, u32 message length, message bytes
 ///   kReport         SnapshotStats binary body (see EncodeSnapshotStats)
 ///   kMetricsReply   rendered metrics text (Prometheus or JSON per request)
+///   kSessionAccepted u64 token, u32 epoch, u64 last_acked_seq
+///   kAck            u64 acked seq (echo of the request), u8 replayed —
+///                   1 when the frame was a duplicate the server suppressed
+///   kOverloaded     u32 retry-after ms, u32 message length, message bytes.
+///                   Admission control saying "not now": the frame was NOT
+///                   applied and the same seq must be retried after the
+///                   given backoff
 enum class FrameType : uint8_t {
   // Requests.
   kRegisterQuery = 1,
@@ -55,11 +73,17 @@ enum class FrameType : uint8_t {
   kUnregister = 5,
   kShutdown = 6,
   kMetricsRequest = 7,
+  kOpenSession = 8,
+  kSeqIngest = 9,
+  kSeqHeartbeat = 10,
   // Replies.
   kOk = 16,
   kError = 17,
   kReport = 18,
   kMetricsReply = 19,
+  kSessionAccepted = 20,
+  kAck = 21,
+  kOverloaded = 22,
 };
 
 /// kMetricsRequest payload formats.
@@ -163,6 +187,72 @@ Status DecodeEventBatch(std::string_view payload, std::vector<Event>* out);
 void EncodeError(const Status& status, std::string* out);
 Status DecodeError(std::string_view payload);
 
+// ------------------------------------------------- resilience protocol
+
+/// FNV-1a over raw bytes: the integrity hash carried by sequenced frames.
+/// The chaos transport can flip payload bytes that still decode cleanly
+/// (an event value, a sequence number) — without an end-to-end hash such a
+/// frame would be applied and silently break checksum identity. Passing
+/// `seed` (a previous HashBytes result) chains the stream across
+/// non-contiguous spans.
+uint64_t HashBytes(std::string_view bytes,
+                   uint64_t seed = 1469598103934665603ull);
+
+/// kOpenSession payload: client-minted nonzero token + options text.
+void EncodeOpenSession(uint64_t token, const std::string& options_text,
+                       std::string* out);
+Status DecodeOpenSession(std::string_view payload, uint64_t* token,
+                         std::string* options_text);
+
+/// kSessionAccepted payload: what the server knows about the session.
+/// `epoch` counts opens (1 on first registration, +1 per resume);
+/// `last_acked_seq` is where a resuming client should resync its window.
+struct SessionGrant {
+  uint64_t token = 0;
+  uint32_t epoch = 0;
+  uint64_t last_acked_seq = 0;
+
+  bool operator==(const SessionGrant& other) const = default;
+};
+
+void EncodeSessionGrant(const SessionGrant& grant, std::string* out);
+Status DecodeSessionGrant(std::string_view payload, SessionGrant* out);
+
+/// Sequenced request envelope: token + monotone seq + FNV-1a of the body,
+/// then the body (a kIngest or kHeartbeat payload). Decode verifies the
+/// hash and returns the body view into `payload`.
+struct SeqEnvelope {
+  uint64_t token = 0;
+  uint64_t seq = 0;
+};
+
+void AppendSeqEnvelope(uint64_t token, uint64_t seq, std::string_view body,
+                       std::string* out);
+Status DecodeSeqEnvelope(std::string_view payload, SeqEnvelope* out,
+                         std::string_view* body);
+
+/// kAck payload.
+struct AckInfo {
+  uint64_t acked_seq = 0;
+  uint8_t replayed = 0;
+
+  bool operator==(const AckInfo& other) const = default;
+};
+
+void EncodeAck(const AckInfo& ack, std::string* out);
+Status DecodeAck(std::string_view payload, AckInfo* out);
+
+/// kOverloaded payload: admission control's "not now".
+struct OverloadInfo {
+  uint32_t retry_after_ms = 0;
+  std::string message;
+
+  bool operator==(const OverloadInfo& other) const = default;
+};
+
+void EncodeOverloaded(const OverloadInfo& info, std::string* out);
+Status DecodeOverloaded(std::string_view payload, OverloadInfo* out);
+
 /// Per-tenant accounting snapshot crossing the wire in kReport frames:
 /// the counters behind the `in == out + late + shed` identity, the result
 /// checksum (byte-equality witness across runs), and summary latency.
@@ -188,6 +278,17 @@ struct SnapshotStats {
   /// single-threaded sessions.
   int64_t shard_migrations = 0;
   int64_t segments_stolen = 0;
+  /// Resilience accounting (v3 fields); all zero for plain (non-sequenced)
+  /// tenants. `frames_replayed` counts sequenced frames that arrived with
+  /// seq <= last acked, `frames_deduped` the ones suppressed without
+  /// touching the session — equal by construction (the no-double-apply
+  /// invariant the chaos soak gates on). `frames_throttled` counts
+  /// kOverloaded replies from admission control.
+  uint32_t epoch = 0;
+  uint64_t last_acked_seq = 0;
+  int64_t frames_replayed = 0;
+  int64_t frames_deduped = 0;
+  int64_t frames_throttled = 0;
 
   /// The conservation identity every finished session must satisfy:
   /// in == out + late + shed (drops are a subset of late; force-released

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <cmath>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <thread>
 
@@ -32,6 +33,8 @@ struct ClientResult {
   std::vector<int64_t> events_sent_per_tenant;  // Indexed by tenant - 1.
   int64_t errors = 0;
   std::vector<double> rtt_us;
+  /// Retry-mode taxonomy (zero in plain mode).
+  ResilienceStats resilience;
 };
 
 WorkloadConfig TenantWorkload(const LoadGenOptions& options, uint32_t tenant,
@@ -61,19 +64,15 @@ uint64_t FoldChecksum(uint64_t h, uint64_t v) {
   return h;
 }
 
-void DriveClient(const LoadGenOptions& options,
-                 const std::vector<Assignment>& assignments,
-                 Clock::time_point deadline, bool duration_mode,
-                 ClientResult* result) {
-  result->events_sent_per_tenant.assign(options.tenants, 0);
-  Result<std::unique_ptr<StreamQClient>> connected =
-      StreamQClient::Connect(options.port);
-  if (!connected.ok()) {
-    result->status = connected.status();
-    return;
-  }
-  StreamQClient& client = *connected.value();
-
+/// The shared measured-phase loop: walks each assignment's batch stripe in
+/// order (cycling with time-shifted laps in duration mode), pacing and
+/// recording RTTs. `send` is Status(tenant, span) — the plain or resilient
+/// ingest path.
+template <typename SendFn>
+void DriveLoop(const LoadGenOptions& options,
+               const std::vector<Assignment>& assignments,
+               Clock::time_point deadline, bool duration_mode,
+               const SendFn& send, ClientResult* result) {
   // Cursor per assignment: next batch index within this client's stripe.
   struct Cursor {
     int64_t next_batch = 0;  // Global batch index into the tenant stream.
@@ -147,7 +146,7 @@ void DriveClient(const LoadGenOptions& options,
     }
 
     const Clock::time_point t0 = Clock::now();
-    const Status sent = client.Ingest(a.tenant, to_send);
+    const Status sent = send(a.tenant, to_send);
     const Clock::time_point t1 = Clock::now();
     result->rtt_us.push_back(
         std::chrono::duration<double, std::micro>(t1 - t0).count());
@@ -161,6 +160,71 @@ void DriveClient(const LoadGenOptions& options,
     cur.next_batch += a.num_writers;
   }
   result->status = Status::OK();
+}
+
+void DriveClient(const LoadGenOptions& options,
+                 const std::vector<Assignment>& assignments,
+                 Clock::time_point deadline, bool duration_mode,
+                 ClientResult* result) {
+  result->events_sent_per_tenant.assign(options.tenants, 0);
+  Result<std::unique_ptr<StreamQClient>> connected =
+      StreamQClient::Connect(options.port);
+  if (!connected.ok()) {
+    result->status = connected.status();
+    return;
+  }
+  StreamQClient& client = *connected.value();
+  DriveLoop(
+      options, assignments, deadline, duration_mode,
+      [&client](uint32_t tenant, std::span<const Event> events) {
+        return client.Ingest(tenant, events);
+      },
+      result);
+}
+
+/// Retry-mode driver: a ResilientClient opens its own tenants (sequenced
+/// sessions; registration must ride the same retrying connection so a
+/// chaos fault during open is survivable), then runs the shared loop over
+/// idempotent SeqIngest.
+void DriveResilientClient(const LoadGenOptions& options,
+                          const std::vector<Assignment>& assignments,
+                          Clock::time_point deadline, bool duration_mode,
+                          int client_index, ChaosInjector* injector,
+                          ClientResult* result) {
+  result->events_sent_per_tenant.assign(options.tenants, 0);
+  RetryPolicy policy = options.retry_policy;
+  // Decorrelate token minting and jitter across driver clients.
+  policy.seed ^= (static_cast<uint64_t>(client_index) + 1) *
+                 0x9E3779B97F4A7C15ULL;
+  // A truncated frame leaves the peer waiting for bytes that never come,
+  // so the reply timeout is what bounds each injected hang; the fault-free
+  // default of 30 s would stretch a chaos run by minutes.
+  const DurationUs reply_timeout =
+      options.chaos.Enabled() ? Millis(500) : Seconds(30);
+  Result<std::unique_ptr<ResilientClient>> connected =
+      ResilientClient::Connect(options.port, policy, injector, reply_timeout);
+  if (!connected.ok()) {
+    result->status = connected.status();
+    return;
+  }
+  ResilientClient& client = *connected.value();
+  for (const Assignment& a : assignments) {
+    SessionOptions session = options.session;
+    session.Name("tenant-" + std::to_string(a.tenant));
+    const Status opened = client.Open(a.tenant, session);
+    if (!opened.ok()) {
+      result->status = opened;
+      result->resilience = client.stats();
+      return;
+    }
+  }
+  DriveLoop(
+      options, assignments, deadline, duration_mode,
+      [&client](uint32_t tenant, std::span<const Event> events) {
+        return client.Ingest(tenant, events);
+      },
+      result);
+  result->resilience = client.stats();
 }
 
 /// Warmup: scratch tenants (one per client, ids far above the measured
@@ -219,6 +283,20 @@ Status LoadGenOptions::Validate() const {
   if (workload_eps <= 0.0) {
     return Status::InvalidArgument("--workload-eps must be > 0");
   }
+  if (retry) {
+    STREAMQ_RETURN_NOT_OK(retry_policy.Validate());
+    if (clients > tenants) {
+      return Status::InvalidArgument(
+          "--retry needs --clients <= --tenants: sequenced ingest requires "
+          "a single writer per tenant");
+    }
+  }
+  STREAMQ_RETURN_NOT_OK(chaos.Validate());
+  if (chaos.Enabled() && !retry) {
+    return Status::InvalidArgument(
+        "--chaos-* fault injection requires --retry (a plain client cannot "
+        "survive transport faults)");
+  }
   return session.Validate();
 }
 
@@ -231,7 +309,10 @@ std::string LoadGenReport::Summary() const {
       << ", identities " << (all_identities_ok ? "ok" : "VIOLATED")
       << ", delivery " << (all_deliveries_ok ? "ok" : "INCOMPLETE")
       << ", migrations " << shard_migrations << ", steals "
-      << segments_stolen << ", checksum " << combined_checksum;
+      << segments_stolen << ", faults " << faults_injected << ", retries "
+      << retries << ", reconnects " << reconnects << ", replayed "
+      << replayed << ", deduped " << deduped << ", throttled " << throttled
+      << ", checksum " << combined_checksum;
   return out.str();
 }
 
@@ -240,15 +321,40 @@ Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options) {
   const bool duration_mode = options.events_per_tenant == 0;
 
   // Control connection: registration and final collection stay off the
-  // measured path.
-  STREAMQ_ASSIGN_OR_RETURN(std::unique_ptr<StreamQClient> control,
-                           StreamQClient::Connect(options.port));
-  for (int t = 1; t <= options.tenants; ++t) {
-    SessionOptions session = options.session;
-    session.Name("tenant-" + std::to_string(t));
-    STREAMQ_RETURN_NOT_OK(
-        control->RegisterQuery(static_cast<uint32_t>(t), session));
+  // measured path — and off the chaos path, so sealing each tenant's
+  // report is reliable even at high fault rates. Connecting retries a few
+  // times because a chaos-configured server may close fresh accepts.
+  std::unique_ptr<StreamQClient> control;
+  for (int attempt = 0;; ++attempt) {
+    Result<std::unique_ptr<StreamQClient>> connected =
+        StreamQClient::Connect(options.port);
+    if (connected.ok()) {
+      // An accept-close fault only shows on the first round trip (the TCP
+      // handshake happens in the kernel), so probe before trusting it.
+      if (connected.value()->Metrics().ok()) {
+        control = std::move(connected).value();
+        break;
+      }
+      if (attempt >= 8) {
+        return Status::IOError("control connection kept failing its probe");
+      }
+      continue;
+    }
+    if (attempt >= 8) return connected.status();
   }
+  if (!options.retry) {
+    // Retry mode instead opens sequenced sessions from the driver threads,
+    // so registration itself survives injected faults.
+    for (int t = 1; t <= options.tenants; ++t) {
+      SessionOptions session = options.session;
+      session.Name("tenant-" + std::to_string(t));
+      STREAMQ_RETURN_NOT_OK(
+          control->RegisterQuery(static_cast<uint32_t>(t), session));
+    }
+  }
+
+  std::optional<ChaosInjector> injector;
+  if (options.chaos.Enabled()) injector.emplace(options.chaos);
 
   // Deterministic per-tenant workloads (generated once, shared read-only).
   const int64_t per_tenant = duration_mode
@@ -299,10 +405,18 @@ Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options) {
     std::vector<std::thread> threads;
     threads.reserve(static_cast<size_t>(options.clients));
     for (int c = 0; c < options.clients; ++c) {
-      threads.emplace_back(DriveClient, std::cref(options),
-                           std::cref(per_client[static_cast<size_t>(c)]),
-                           deadline, duration_mode,
-                           &results[static_cast<size_t>(c)]);
+      if (options.retry) {
+        threads.emplace_back(DriveResilientClient, std::cref(options),
+                             std::cref(per_client[static_cast<size_t>(c)]),
+                             deadline, duration_mode, c,
+                             injector ? &*injector : nullptr,
+                             &results[static_cast<size_t>(c)]);
+      } else {
+        threads.emplace_back(DriveClient, std::cref(options),
+                             std::cref(per_client[static_cast<size_t>(c)]),
+                             deadline, duration_mode,
+                             &results[static_cast<size_t>(c)]);
+      }
     }
     for (std::thread& t : threads) t.join();
   }
@@ -317,12 +431,15 @@ Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options) {
     STREAMQ_RETURN_NOT_OK(r.status);
     report.batches_sent += r.batches_sent;
     report.errors += r.errors;
+    report.retries += r.resilience.retries;
+    report.reconnects += r.resilience.reconnects;
     for (int t = 0; t < options.tenants; ++t) {
       sent_per_tenant[static_cast<size_t>(t)] +=
           r.events_sent_per_tenant[static_cast<size_t>(t)];
     }
     rtts.insert(rtts.end(), r.rtt_us.begin(), r.rtt_us.end());
   }
+  if (injector) report.faults_injected = injector->stats().total();
   for (int64_t n : sent_per_tenant) report.events_sent += n;
   report.wall_s = wall_s;
   report.throughput_eps =
@@ -352,6 +469,9 @@ Result<LoadGenReport> RunLoadGen(const LoadGenOptions& options) {
     report.all_deliveries_ok &= outcome.delivery_ok;
     report.shard_migrations += stats.shard_migrations;
     report.segments_stolen += stats.segments_stolen;
+    report.replayed += stats.frames_replayed;
+    report.deduped += stats.frames_deduped;
+    report.throttled += stats.frames_throttled;
     checksum = FoldChecksum(checksum, stats.result_checksum);
     report.tenants.push_back(std::move(outcome));
   }

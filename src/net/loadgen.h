@@ -7,7 +7,9 @@
 
 #include "common/status.h"
 #include "core/session_options.h"
+#include "net/chaos.h"
 #include "net/frame.h"
+#include "net/retry.h"
 
 namespace streamq {
 
@@ -74,6 +76,20 @@ struct LoadGenOptions {
   /// tenant-<id>); the same SessionOptions vocabulary as the CLI.
   SessionOptions session;
 
+  /// Drive through ResilientClient: sequenced idempotent ingest with
+  /// automatic reconnect and backoff. Requires clients <= tenants (the
+  /// sequence number needs a single writer per tenant). Checksums stay
+  /// byte-identical to a fault-free run even under --chaos faults.
+  bool retry = false;
+
+  /// Backoff/attempt schedule for retry mode.
+  RetryPolicy retry_policy;
+
+  /// Transport fault injection on every driver connection (requires
+  /// retry mode; the control connection stays chaos-free so final
+  /// collection is reliable). All-zero probabilities = off.
+  ChaosSpec chaos;
+
   Status Validate() const;
 };
 
@@ -116,6 +132,19 @@ struct LoadGenReport {
   /// tenants registered with --threads plus --rebalance/--steal.
   int64_t shard_migrations = 0;
   int64_t segments_stolen = 0;
+
+  /// Resilience taxonomy (all zero unless retry/chaos mode):
+  /// connection-killing faults the injector fired (resets + short writes +
+  /// accept closes), client-side retried attempts and reconnects, and the
+  /// server's sequenced-protocol accounting summed over tenant reports
+  /// (replayed == deduped is the no-double-apply invariant; throttled
+  /// counts admission-control pushbacks).
+  int64_t faults_injected = 0;
+  int64_t retries = 0;
+  int64_t reconnects = 0;
+  int64_t replayed = 0;
+  int64_t deduped = 0;
+  int64_t throttled = 0;
 
   bool all_identities_ok = false;
   bool all_deliveries_ok = false;

@@ -1,0 +1,293 @@
+#include "net/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <functional>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace streamq {
+
+namespace {
+
+void SleepUs(DurationUs us) {
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace
+
+Status RetryPolicy::Validate() const {
+  if (max_attempts < 1) {
+    return Status::InvalidArgument("max_attempts must be >= 1");
+  }
+  if (initial_backoff < 0 || max_backoff < initial_backoff) {
+    return Status::InvalidArgument(
+        "backoff bounds must satisfy 0 <= initial <= max");
+  }
+  if (multiplier < 1.0) {
+    return Status::InvalidArgument("multiplier must be >= 1");
+  }
+  if (jitter < 0.0 || jitter >= 1.0) {
+    return Status::InvalidArgument("jitter must be in [0, 1)");
+  }
+  if (deadline <= 0) return Status::InvalidArgument("deadline must be > 0");
+  return Status::OK();
+}
+
+std::string ResilienceStats::ToString() const {
+  std::ostringstream out;
+  out << "ops=" << ops << " retries=" << retries
+      << " reconnects=" << reconnects << " replayed_acks=" << replayed_acks
+      << " throttled=" << throttled
+      << " backoff=" << FormatDuration(backoff_total_us);
+  return out.str();
+}
+
+Result<std::unique_ptr<ResilientClient>> ResilientClient::Connect(
+    uint16_t port, RetryPolicy policy, ChaosInjector* chaos,
+    DurationUs reply_timeout) {
+  STREAMQ_RETURN_NOT_OK(policy.Validate());
+  std::unique_ptr<ResilientClient> client(
+      new ResilientClient(port, policy, chaos, reply_timeout));
+  // First connection attempt up front, so a dead server fails Connect the
+  // way the plain client does; faults after this are retried per policy.
+  STREAMQ_RETURN_NOT_OK(client->EnsureConnected());
+  return client;
+}
+
+ResilientClient::ResilientClient(uint16_t port, RetryPolicy policy,
+                                 ChaosInjector* chaos,
+                                 DurationUs reply_timeout)
+    : port_(port),
+      policy_(policy),
+      chaos_(chaos),
+      reply_timeout_(reply_timeout),
+      rng_(policy.seed) {}
+
+bool ResilientClient::Retryable(StatusCode code) {
+  switch (code) {
+    // Transport faults, timeouts, decode failures, and server-side framing
+    // rejections (a corrupted frame looks like a client bug to the server).
+    case StatusCode::kIOError:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kInternal:
+    case StatusCode::kCancelled:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return true;
+    // Protocol-state verdicts: retrying the same frame cannot change them.
+    default:
+      return false;
+  }
+}
+
+void ResilientClient::Backoff(DurationUs* backoff) {
+  const double scale =
+      1.0 + policy_.jitter * (2.0 * rng_.NextDouble() - 1.0);
+  const DurationUs sleep =
+      static_cast<DurationUs>(static_cast<double>(*backoff) * scale);
+  SleepUs(sleep);
+  stats_.backoff_total_us += sleep;
+  *backoff = std::min<DurationUs>(
+      policy_.max_backoff,
+      static_cast<DurationUs>(static_cast<double>(*backoff) *
+                              policy_.multiplier));
+}
+
+Status ResilientClient::EnsureConnected() {
+  if (client_ != nullptr && !client_->broken()) return Status::OK();
+  client_.reset();
+  Result<std::unique_ptr<StreamQClient>> connected =
+      StreamQClient::Connect(port_, reply_timeout_, chaos_);
+  if (!connected.ok()) return connected.status();
+  client_ = std::move(connected).value();
+  if (ever_connected_) ++stats_.reconnects;
+  ever_connected_ = true;
+  // Resume every open sequenced session by token. The server can only be
+  // at next_seq - 1 (in-flight frame lost) or next_seq (applied, ack
+  // lost); either way resending from next_seq is correct — the second
+  // case dedups.
+  for (auto& [id, st] : tenants_) {
+    if (!st.open) continue;
+    Result<SessionGrant> grant = client_->OpenSession(id, st.token,
+                                                      st.options);
+    if (!grant.ok()) return grant.status();
+    st.epoch = grant.value().epoch;
+  }
+  return Status::OK();
+}
+
+Status ResilientClient::Execute(
+    const std::function<Status(StreamQClient*, int64_t*)>& op) {
+  const TimestampUs deadline = WallClockMicros() + policy_.deadline;
+  DurationUs backoff = policy_.initial_backoff;
+  int attempts = 0;
+  Status last = Status::IOError("never attempted");
+  for (;;) {
+    if (WallClockMicros() >= deadline) {
+      return Status::ResourceExhausted("retry deadline exceeded: " +
+                                       last.ToString());
+    }
+    Status ready = EnsureConnected();
+    if (ready.ok()) {
+      int64_t throttle_ms = -1;  // -1 = the op was not throttled.
+      const Status st = op(client_.get(), &throttle_ms);
+      if (st.ok()) return st;
+      if (throttle_ms >= 0) {
+        // Admission control said "not now": honor the server's backoff.
+        // Clamped — the advisory rides an unhashed reply field, so a
+        // corrupted value must degrade to a long pause, not a wedged
+        // client (the deadline still bounds the total).
+        ++stats_.throttled;
+        const DurationUs wait = std::min<DurationUs>(
+            Seconds(5), Millis(std::max<int64_t>(1, throttle_ms)));
+        if (WallClockMicros() + wait >= deadline) {
+          return Status::ResourceExhausted(
+              "retry deadline exceeded while throttled: " + st.ToString());
+        }
+        SleepUs(wait);
+        stats_.backoff_total_us += wait;
+        continue;
+      }
+      if (!Retryable(st.code())) return st;
+      last = st;
+    } else {
+      if (!Retryable(ready.code())) return ready;
+      last = ready;
+    }
+    ++attempts;
+    if (attempts >= policy_.max_attempts) {
+      return Status(last.code(), "gave up after " +
+                                     std::to_string(attempts) +
+                                     " attempts: " + last.message());
+    }
+    ++stats_.retries;
+    Backoff(&backoff);
+  }
+}
+
+Status ResilientClient::Open(uint32_t tenant, const SessionOptions& options) {
+  const auto [it, inserted] = tenants_.try_emplace(tenant);
+  TenantState& st = it->second;
+  if (!inserted && st.open) {
+    return Status::AlreadyExists("tenant " + std::to_string(tenant) +
+                                 " already open on this client");
+  }
+  st.token = rng_.NextUint64() | 1;  // Nonzero by construction.
+  st.options = options;
+  const Status done = Execute(
+      [&](StreamQClient* c, int64_t* throttle_ms) -> Status {
+        Result<SessionGrant> grant = c->OpenSession(tenant, st.token,
+                                                    options);
+        if (!grant.ok()) {
+          if (grant.status().code() == StatusCode::kResourceExhausted) {
+            // Session quota: the reply's retry-after is folded into the
+            // message; wait the server's advisory default.
+            *throttle_ms = 5;
+          }
+          return grant.status();
+        }
+        st.epoch = grant.value().epoch;
+        st.next_seq = grant.value().last_acked_seq + 1;
+        st.open = true;
+        return Status::OK();
+      });
+  if (done.ok()) {
+    ++stats_.ops;
+  } else if (!st.open) {
+    tenants_.erase(tenant);  // Nothing armed; a later Open mints fresh.
+  }
+  return done;
+}
+
+Status ResilientClient::Ingest(uint32_t tenant,
+                               std::span<const Event> events) {
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end() || !it->second.open) {
+    return Status::FailedPrecondition("tenant " + std::to_string(tenant) +
+                                      " is not open; call Open first");
+  }
+  TenantState& st = it->second;
+  const uint64_t seq = st.next_seq;
+  const Status done = Execute(
+      [&](StreamQClient* c, int64_t* throttle_ms) -> Status {
+        Result<SeqReply> reply = c->SeqIngest(tenant, st.token, seq, events);
+        if (!reply.ok()) return reply.status();
+        if (reply.value().throttled) {
+          *throttle_ms = reply.value().retry_after_ms;
+          return Status::ResourceExhausted("throttled by admission control");
+        }
+        if (reply.value().replayed) ++stats_.replayed_acks;
+        return Status::OK();
+      });
+  if (done.ok()) {
+    st.next_seq = seq + 1;
+    ++stats_.ops;
+  }
+  return done;
+}
+
+Status ResilientClient::Heartbeat(uint32_t tenant,
+                                  TimestampUs event_time_bound,
+                                  TimestampUs stream_time) {
+  const auto it = tenants_.find(tenant);
+  if (it == tenants_.end() || !it->second.open) {
+    return Status::FailedPrecondition("tenant " + std::to_string(tenant) +
+                                      " is not open; call Open first");
+  }
+  TenantState& st = it->second;
+  const uint64_t seq = st.next_seq;
+  const Status done = Execute(
+      [&](StreamQClient* c, int64_t* throttle_ms) -> Status {
+        (void)throttle_ms;
+        Result<SeqReply> reply = c->SeqHeartbeat(
+            tenant, st.token, seq, event_time_bound, stream_time);
+        if (!reply.ok()) return reply.status();
+        if (reply.value().replayed) ++stats_.replayed_acks;
+        return Status::OK();
+      });
+  if (done.ok()) {
+    st.next_seq = seq + 1;
+    ++stats_.ops;
+  }
+  return done;
+}
+
+Result<SnapshotStats> ResilientClient::Snapshot(uint32_t tenant) {
+  SnapshotStats out;
+  const Status done = Execute(
+      [&](StreamQClient* c, int64_t*) -> Status {
+        Result<SnapshotStats> stats = c->Snapshot(tenant);
+        if (!stats.ok()) return stats.status();
+        out = std::move(stats).value();
+        return Status::OK();
+      });
+  if (!done.ok()) return done;
+  ++stats_.ops;
+  return out;
+}
+
+Result<SnapshotStats> ResilientClient::Unregister(uint32_t tenant) {
+  SnapshotStats out;
+  const Status done = Execute(
+      [&](StreamQClient* c, int64_t*) -> Status {
+        Result<SnapshotStats> stats = c->Unregister(tenant);
+        if (!stats.ok()) return stats.status();
+        out = std::move(stats).value();
+        return Status::OK();
+      });
+  if (!done.ok()) return done;
+  tenants_.erase(tenant);
+  ++stats_.ops;
+  return out;
+}
+
+uint32_t ResilientClient::epoch(uint32_t tenant) const {
+  const auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.epoch;
+}
+
+}  // namespace streamq

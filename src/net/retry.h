@@ -1,0 +1,154 @@
+#ifndef STREAMQ_NET_RETRY_H_
+#define STREAMQ_NET_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "net/client.h"
+
+namespace streamq {
+
+/// Bounded exponential backoff with seeded jitter and an overall per-op
+/// deadline — the schedule ResilientClient runs every operation under.
+struct RetryPolicy {
+  /// Attempts per operation (1 = no retry). Throttles (kOverloaded) do not
+  /// consume attempts — the server asked us to wait, nothing failed — but
+  /// they do burn deadline.
+  int max_attempts = 8;
+
+  /// First backoff; doubles (times `multiplier`) per retry up to
+  /// `max_backoff`.
+  DurationUs initial_backoff = Millis(2);
+  DurationUs max_backoff = Millis(250);
+  double multiplier = 2.0;
+
+  /// Uniform jitter fraction: each sleep is scaled by a seeded draw from
+  /// [1 - jitter, 1 + jitter], decorrelating clients that fail together.
+  double jitter = 0.25;
+
+  /// Overall wall-clock budget per operation, retries and throttle waits
+  /// included.
+  DurationUs deadline = Seconds(60);
+
+  /// Seeds the jitter stream and the client-minted session tokens.
+  uint64_t seed = 42;
+
+  Status Validate() const;
+};
+
+/// Client-side resilience accounting (the loadgen CSV taxonomy).
+struct ResilienceStats {
+  /// Public operations completed (Open/Ingest/Heartbeat/...).
+  int64_t ops = 0;
+  /// Failed attempts that were retried.
+  int64_t retries = 0;
+  /// Connections re-established after a transport fault.
+  int64_t reconnects = 0;
+  /// Acks flagged replayed=1 — retransmissions the server deduped.
+  int64_t replayed_acks = 0;
+  /// kOverloaded replies honored (slept the server's retry-after).
+  int64_t throttled = 0;
+  /// Total wall time spent sleeping between attempts.
+  DurationUs backoff_total_us = 0;
+
+  std::string ToString() const;
+};
+
+/// A StreamQClient wrapped in automatic reconnect + idempotent sequenced
+/// replay: every Ingest/Heartbeat carries a monotone per-tenant sequence
+/// number, so a retry after an ambiguous failure (reset mid-round-trip —
+/// did the server apply the batch or not?) is safe: the server dedups
+/// anything it already acked, and the final per-tenant checksums are
+/// byte-identical to a fault-free run.
+///
+/// On reconnect the client re-opens every open tenant with its original
+/// token (kOpenSession is idempotent by token; the server bumps the epoch
+/// and reports its last-acked seq), then resends the in-flight frame
+/// blindly — dedup, not client-side bookkeeping, is the correctness
+/// mechanism, which keeps the replay machinery on the hot path where the
+/// chaos soak can gate on it.
+///
+/// Not thread-safe: one ResilientClient per driving thread, like the
+/// blocking client underneath.
+class ResilientClient {
+ public:
+  /// `chaos` (optional, not owned) injects transport faults into every
+  /// connection this client establishes — including reconnects.
+  static Result<std::unique_ptr<ResilientClient>> Connect(
+      uint16_t port, RetryPolicy policy = {}, ChaosInjector* chaos = nullptr,
+      DurationUs reply_timeout = Seconds(30));
+
+  /// Opens tenant's sequenced session (client-minted token; idempotent
+  /// across retries and reconnects).
+  Status Open(uint32_t tenant, const SessionOptions& options);
+
+  /// Sequence-numbered idempotent ingest with retry/reconnect/backoff.
+  Status Ingest(uint32_t tenant, std::span<const Event> events);
+
+  /// Sequence-numbered heartbeat with retry/reconnect/backoff.
+  Status Heartbeat(uint32_t tenant, TimestampUs event_time_bound,
+                   TimestampUs stream_time);
+
+  /// Read-only snapshot with retry.
+  Result<SnapshotStats> Snapshot(uint32_t tenant);
+
+  /// Finishes and unregisters the tenant (with retry; NOT idempotent — a
+  /// replayed unregister whose first try succeeded returns NotFound, so
+  /// prefer a clean control path for final collection when chaos is on).
+  Result<SnapshotStats> Unregister(uint32_t tenant);
+
+  const ResilienceStats& stats() const { return stats_; }
+
+  /// Server-reported epoch for an open tenant (1 = never resumed).
+  uint32_t epoch(uint32_t tenant) const;
+
+ private:
+  struct TenantState {
+    uint64_t token = 0;
+    uint32_t epoch = 0;
+    uint64_t next_seq = 1;
+    bool open = false;
+    SessionOptions options;
+  };
+
+  ResilientClient(uint16_t port, RetryPolicy policy, ChaosInjector* chaos,
+                  DurationUs reply_timeout);
+
+  /// (Re)connects if the current connection is absent or broken, then
+  /// re-opens every open tenant (resume by token).
+  Status EnsureConnected();
+
+  /// The retry loop every public operation runs under. The op lambda
+  /// returns OK when done; on a server throttle it sets *throttle_ms >= 0
+  /// and returns non-OK (the wait is server-directed and consumes no
+  /// attempt). Everything else is classified by Retryable().
+  Status Execute(const std::function<Status(StreamQClient*, int64_t*)>& op);
+
+  /// Sleeps `backoff` scaled by seeded jitter, growing `*backoff` for the
+  /// next round; charges stats_.
+  void Backoff(DurationUs* backoff);
+
+  /// True when `code` is worth retrying over a fresh connection.
+  static bool Retryable(StatusCode code);
+
+  uint16_t port_;
+  RetryPolicy policy_;
+  ChaosInjector* chaos_;
+  DurationUs reply_timeout_;
+  std::unique_ptr<StreamQClient> client_;
+  Rng rng_;
+  bool ever_connected_ = false;
+  std::map<uint32_t, TenantState> tenants_;
+  ResilienceStats stats_;
+};
+
+}  // namespace streamq
+
+#endif  // STREAMQ_NET_RETRY_H_

@@ -1,8 +1,25 @@
 #include "net/server.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
+#include <vector>
+
+#include "common/logging.h"
 
 namespace streamq {
+
+namespace {
+
+/// Effective token-bucket capacity: an unset burst defaults to one second
+/// of refill.
+double EffectiveBurst(const ServerOptions& options) {
+  return options.quota_burst > 0 ? options.quota_burst
+                                 : options.quota_rate_eps;
+}
+
+}  // namespace
 
 StreamQServer::StreamQServer(ServerOptions options)
     : options_(options) {}
@@ -21,6 +38,25 @@ Status StreamQServer::Start() {
 void StreamQServer::WaitForShutdownRequest() {
   std::unique_lock<std::mutex> lock(shutdown_mu_);
   shutdown_cv_.wait(lock, [this] { return shutdown_requested_ || stop_; });
+}
+
+void StreamQServer::BeginDrain() {
+  if (!running_ || draining_.exchange(true)) return;
+  // New connections stop here; established ones keep their loops — the
+  // drain contract is "finish what's in flight", not "cut the wire".
+  listener_.Close();
+}
+
+void StreamQServer::Drain(DurationUs grace) {
+  BeginDrain();
+  const TimestampUs deadline = WallClockMicros() + grace;
+  while (live_connections_.load(std::memory_order_acquire) > 0 &&
+         WallClockMicros() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  // Stop() flush-finishes every still-registered session before the
+  // registry is torn down, which is the "flush live sessions" half.
+  Stop();
 }
 
 void StreamQServer::Stop() {
@@ -71,6 +107,11 @@ size_t StreamQServer::active_tenants() const {
 }
 
 void StreamQServer::AcceptLoop() {
+  // Accept-failure decisions draw from their own decorrelated chaos stream
+  // so the per-connection transports replay identically regardless of how
+  // many accepts were faulted.
+  Rng accept_rng(options_.chaos != nullptr ? options_.chaos->MintStreamSeed()
+                                           : 0);
   while (!stop_) {
     Result<Socket> accepted = listener_.Accept(options_.accept_poll);
     if (!accepted.ok()) {
@@ -79,9 +120,28 @@ void StreamQServer::AcceptLoop() {
       }
       break;  // Listener closed (Stop) or fatal.
     }
+    Socket accepted_sock = std::move(accepted).value();
+    if (options_.chaos != nullptr && options_.chaos->armed() &&
+        options_.chaos->spec().Enabled()) {
+      // Injected accept failure: the handshake succeeded, then the server
+      // dropped the connection on the floor — the client's next round trip
+      // fails and its retry layer reconnects.
+      if (accept_rng.NextBool(options_.chaos->spec().accept_close_prob)) {
+        options_.chaos->CountAcceptClose();
+        accepted_sock.Close();
+        continue;
+      }
+    }
     auto conn = std::make_unique<Connection>();
-    conn->sock = std::move(accepted).value();
-    (void)conn->sock.SetRecvTimeout(options_.recv_poll);
+    conn->sock = ChaosTransport(std::move(accepted_sock), options_.chaos);
+    const Status timeout_set = conn->sock.SetRecvTimeout(options_.recv_poll);
+    if (!timeout_set.ok()) {
+      // Without the timeout this connection's read loop cannot poll the
+      // stop flag, so Stop() latency degrades to connection close. Worth a
+      // log line, not worth refusing the connection.
+      STREAMQ_LOG(Warning) << "connection recv timeout not set: "
+                           << timeout_set.ToString();
+    }
     Connection* raw = conn.get();
     {
       std::lock_guard<std::mutex> lock(stats_mu_);
@@ -89,12 +149,19 @@ void StreamQServer::AcceptLoop() {
     }
     std::lock_guard<std::mutex> lock(conn_mu_);
     if (stop_) break;
+    live_connections_.fetch_add(1, std::memory_order_acq_rel);
     conn->thread = std::thread([this, raw] { ConnectionLoop(raw); });
     connections_.push_back(std::move(conn));
   }
 }
 
 void StreamQServer::ConnectionLoop(Connection* conn) {
+  /// Drain() watches this count to know when in-flight conversations are
+  /// done; decrement on every exit path.
+  struct LiveGuard {
+    std::atomic<int64_t>* count;
+    ~LiveGuard() { count->fetch_sub(1, std::memory_order_acq_rel); }
+  } live_guard{&live_connections_};
   FrameDecoder decoder(options_.max_frame_payload);
   char buf[64 * 1024];
   while (!stop_) {
@@ -169,6 +236,11 @@ Frame StreamQServer::HandleFrame(const Frame& request) {
       return HandleSnapshot(request, /*unregister=*/true);
     case FrameType::kMetricsRequest:
       return HandleMetrics(request);
+    case FrameType::kOpenSession:
+      return HandleOpenSession(request);
+    case FrameType::kSeqIngest:
+    case FrameType::kSeqHeartbeat:
+      return HandleSequenced(request);
     case FrameType::kShutdown:
       return Frame{FrameType::kOk, request.tenant, {}};
     default:
@@ -179,6 +251,16 @@ Frame StreamQServer::HandleFrame(const Frame& request) {
 }
 
 Frame StreamQServer::HandleRegister(const Frame& request) {
+  if (draining_) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.sessions_rejected;
+    }
+    return ErrorReply(request.tenant,
+                      Status::FailedPrecondition(
+                          "server draining; not accepting new sessions"),
+                      /*protocol=*/false);
+  }
   Result<SessionOptions> options = SessionOptions::Deserialize(request.payload);
   if (!options.ok()) {
     return ErrorReply(request.tenant, options.status(), /*protocol=*/true);
@@ -195,6 +277,24 @@ Frame StreamQServer::HandleRegister(const Frame& request) {
   tenant->session->SetObserver(&metrics_);
   {
     std::lock_guard<std::mutex> lock(registry_mu_);
+    // Session quota is enforced under the same lock as the insert, so a
+    // registration race cannot overshoot it.
+    if (options_.quota_max_sessions > 0 &&
+        static_cast<int64_t>(tenants_.size()) >= options_.quota_max_sessions) {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.sessions_rejected;
+      ++stats_.frames_throttled;
+      metrics_.registry().counter("streamq.server.frames_throttled")
+          ->Increment();
+      Frame reply{FrameType::kOverloaded, request.tenant, {}};
+      EncodeOverloaded(
+          OverloadInfo{options_.retry_after_ms,
+                       "session quota: " +
+                           std::to_string(options_.quota_max_sessions) +
+                           " tenants already registered"},
+          &reply.payload);
+      return reply;
+    }
     const auto [it, inserted] = tenants_.emplace(request.tenant, tenant);
     (void)it;
     if (!inserted) {
@@ -210,6 +310,245 @@ Frame StreamQServer::HandleRegister(const Frame& request) {
     ++stats_.tenants_registered;
   }
   return Frame{FrameType::kOk, request.tenant, {}};
+}
+
+Frame StreamQServer::HandleOpenSession(const Frame& request) {
+  uint64_t token = 0;
+  std::string options_text;
+  const Status decoded = DecodeOpenSession(request.payload, &token,
+                                           &options_text);
+  if (!decoded.ok()) {
+    if (decoded.code() == StatusCode::kIOError) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.integrity_failures;
+    }
+    return ErrorReply(request.tenant, decoded, /*protocol=*/true);
+  }
+  // Resume path: the tenant already exists. Idempotent by token — a client
+  // whose first open succeeded but whose grant was lost on the wire simply
+  // opens again and lands here.
+  if (std::shared_ptr<Tenant> tenant = FindTenant(request.tenant)) {
+    std::lock_guard<std::mutex> lock(tenant->mu);
+    if (tenant->token == 0) {
+      return ErrorReply(request.tenant,
+                        Status::FailedPrecondition(
+                            "tenant " + std::to_string(request.tenant) +
+                            " is registered without the sequenced protocol"),
+                        /*protocol=*/false);
+    }
+    if (tenant->token != token) {
+      return ErrorReply(request.tenant,
+                        Status::FailedPrecondition("session token mismatch"),
+                        /*protocol=*/false);
+    }
+    if (tenant->session->finished()) {
+      return ErrorReply(request.tenant,
+                        Status::FailedPrecondition("session finished"),
+                        /*protocol=*/false);
+    }
+    ++tenant->epoch;
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.sessions_resumed;
+    }
+    metrics_.registry().counter("streamq.server.sessions_resumed")
+        ->Increment();
+    Frame reply{FrameType::kSessionAccepted, request.tenant, {}};
+    EncodeSessionGrant(
+        SessionGrant{token, tenant->epoch, tenant->last_acked_seq},
+        &reply.payload);
+    return reply;
+  }
+  // Fresh open: identical admission to kRegisterQuery, then sequenced
+  // state is armed (token bucket starts full).
+  Frame registered = HandleRegister(
+      Frame{FrameType::kRegisterQuery, request.tenant, options_text});
+  if (registered.type != FrameType::kOk) return registered;
+  std::shared_ptr<Tenant> tenant = FindTenant(request.tenant);
+  if (!tenant) {
+    // Racing unregister between the two steps; the client retries.
+    return ErrorReply(request.tenant,
+                      Status::NotFound("tenant vanished during open"),
+                      /*protocol=*/false);
+  }
+  Frame reply{FrameType::kSessionAccepted, request.tenant, {}};
+  {
+    std::lock_guard<std::mutex> lock(tenant->mu);
+    tenant->token = token;
+    tenant->epoch = 1;
+    tenant->bucket_tokens = EffectiveBurst(options_);
+    tenant->bucket_refill_us = WallClockMicros();
+    EncodeSessionGrant(SessionGrant{token, tenant->epoch, 0}, &reply.payload);
+  }
+  return reply;
+}
+
+Frame StreamQServer::OverloadedReply(uint32_t tenant, uint32_t retry_after_ms,
+                                     const std::string& why, Tenant* state) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.frames_throttled;
+  }
+  if (state != nullptr) ++state->frames_throttled;
+  metrics_.registry().counter("streamq.server.frames_throttled")->Increment();
+  Frame reply{FrameType::kOverloaded, tenant, {}};
+  EncodeOverloaded(OverloadInfo{retry_after_ms, why}, &reply.payload);
+  return reply;
+}
+
+Status StreamQServer::AdmitBatch(Tenant* tenant, int64_t count,
+                                 uint32_t* retry_after_ms) {
+  if (options_.quota_rate_eps > 0) {
+    const TimestampUs now = WallClockMicros();
+    const double elapsed_s =
+        static_cast<double>(now - tenant->bucket_refill_us) / 1e6;
+    const double burst = EffectiveBurst(options_);
+    tenant->bucket_tokens = std::min(
+        burst, tenant->bucket_tokens + elapsed_s * options_.quota_rate_eps);
+    tenant->bucket_refill_us = now;
+    if (static_cast<double>(count) > tenant->bucket_tokens) {
+      const double deficit =
+          static_cast<double>(count) - tenant->bucket_tokens;
+      const double wait_ms = deficit / options_.quota_rate_eps * 1e3;
+      *retry_after_ms =
+          static_cast<uint32_t>(std::max(1.0, std::min(wait_ms, 60e3)));
+      return Status::ResourceExhausted(
+          "rate quota: batch of " + std::to_string(count) + " exceeds " +
+          std::to_string(static_cast<int64_t>(tenant->bucket_tokens)) +
+          " available tokens");
+    }
+    tenant->bucket_tokens -= static_cast<double>(count);
+  }
+  if (options_.quota_max_buffered > 0) {
+    const int64_t buffered = tenant->session->BufferedEvents();
+    if (buffered + count > options_.quota_max_buffered) {
+      *retry_after_ms = options_.retry_after_ms;
+      return Status::ResourceExhausted(
+          "buffer quota: " + std::to_string(buffered) + " buffered + " +
+          std::to_string(count) + " would exceed " +
+          std::to_string(options_.quota_max_buffered));
+    }
+  }
+  return Status::OK();
+}
+
+Frame StreamQServer::HandleSequenced(const Frame& request) {
+  SeqEnvelope env;
+  std::string_view body;
+  const Status decoded = DecodeSeqEnvelope(request.payload, &env, &body);
+  if (!decoded.ok()) {
+    if (decoded.code() == StatusCode::kIOError) {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.integrity_failures;
+      metrics_.registry().counter("streamq.server.integrity_failures")
+          ->Increment();
+    }
+    return ErrorReply(request.tenant, decoded, /*protocol=*/true);
+  }
+  std::shared_ptr<Tenant> tenant = FindTenant(request.tenant);
+  if (!tenant) {
+    return ErrorReply(request.tenant,
+                      Status::NotFound("tenant " +
+                                       std::to_string(request.tenant) +
+                                       " not registered"),
+                      /*protocol=*/true);
+  }
+  std::lock_guard<std::mutex> lock(tenant->mu);
+  if (tenant->token == 0) {
+    return ErrorReply(request.tenant,
+                      Status::FailedPrecondition(
+                          "tenant is not using the sequenced protocol"),
+                      /*protocol=*/false);
+  }
+  if (env.token != tenant->token) {
+    // Also catches a corrupted tenant id steering the frame into another
+    // live tenant: 64-bit tokens do not collide.
+    return ErrorReply(request.tenant,
+                      Status::FailedPrecondition("session token mismatch"),
+                      /*protocol=*/false);
+  }
+  if (env.seq == 0) {
+    return ErrorReply(request.tenant,
+                      Status::InvalidArgument("sequence numbers start at 1"),
+                      /*protocol=*/true);
+  }
+  if (env.seq <= tenant->last_acked_seq) {
+    // Replay of a frame already applied (its ack was lost, or the client
+    // resent blindly after reconnect): suppress, count, re-ack. This is
+    // the idempotence that keeps retried runs byte-identical.
+    ++tenant->frames_replayed;
+    ++tenant->frames_deduped;
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.frames_replayed;
+      ++stats_.frames_deduped;
+    }
+    metrics_.registry().counter("streamq.server.frames_replayed")
+        ->Increment();
+    metrics_.registry().counter("streamq.server.frames_deduped")->Increment();
+    Frame reply{FrameType::kAck, request.tenant, {}};
+    EncodeAck(AckInfo{env.seq, 1}, &reply.payload);
+    return reply;
+  }
+  if (env.seq != tenant->last_acked_seq + 1) {
+    return ErrorReply(
+        request.tenant,
+        Status::FailedPrecondition(
+            "sequence gap: got " + std::to_string(env.seq) +
+            " after acked " + std::to_string(tenant->last_acked_seq)),
+        /*protocol=*/false);
+  }
+  if (tenant->session->finished()) {
+    return ErrorReply(request.tenant,
+                      Status::FailedPrecondition("session finished"),
+                      /*protocol=*/false);
+  }
+  if (request.type == FrameType::kSeqIngest) {
+    std::vector<Event> events;
+    const Status batch = DecodeEventBatch(body, &events);
+    if (!batch.ok()) {
+      // Seq not consumed: the client resends the same number after fixing
+      // (or reconnecting through) whatever mangled the batch.
+      return ErrorReply(request.tenant, batch, /*protocol=*/true);
+    }
+    uint32_t retry_after_ms = 0;
+    const Status admitted =
+        AdmitBatch(tenant.get(), static_cast<int64_t>(events.size()),
+                   &retry_after_ms);
+    if (!admitted.ok()) {
+      return OverloadedReply(request.tenant, retry_after_ms,
+                             admitted.message(), tenant.get());
+    }
+    const Status ingest = tenant->session->Ingest(events);
+    tenant->last_acked_seq = env.seq;
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      stats_.events_ingested += static_cast<int64_t>(events.size());
+    }
+    if (!ingest.ok()) {
+      // Applied-but-unhappy (e.g. strict validation): the seq advanced —
+      // a retry would double-apply — so the client learns the sticky
+      // status and must not resend this frame.
+      return ErrorReply(request.tenant, ingest, /*protocol=*/false);
+    }
+  } else {
+    PayloadReader reader(body);
+    int64_t bound = 0, stream_time = 0;
+    Status parsed = reader.ReadI64(&bound);
+    if (parsed.ok()) parsed = reader.ReadI64(&stream_time);
+    if (parsed.ok()) parsed = reader.ExpectEnd();
+    if (!parsed.ok()) {
+      return ErrorReply(request.tenant, parsed, /*protocol=*/true);
+    }
+    const Status beat = tenant->session->Heartbeat(bound, stream_time);
+    tenant->last_acked_seq = env.seq;
+    if (!beat.ok()) {
+      return ErrorReply(request.tenant, beat, /*protocol=*/false);
+    }
+  }
+  Frame reply{FrameType::kAck, request.tenant, {}};
+  EncodeAck(AckInfo{env.seq, 0}, &reply.payload);
+  return reply;
 }
 
 Frame StreamQServer::HandleIngest(const Frame& request) {
@@ -304,6 +643,11 @@ Frame StreamQServer::HandleSnapshot(const Frame& request, bool unregister) {
     stats = SnapshotFromReport(session->Snapshot(),
                                session->events_ingested(),
                                session->finished());
+    stats.epoch = tenant->epoch;
+    stats.last_acked_seq = tenant->last_acked_seq;
+    stats.frames_replayed = tenant->frames_replayed;
+    stats.frames_deduped = tenant->frames_deduped;
+    stats.frames_throttled = tenant->frames_throttled;
   }
   if (unregister) {
     {

@@ -10,8 +10,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/rng.h"
 #include "core/metrics_observer.h"
 #include "core/stream_session.h"
+#include "net/chaos.h"
 #include "net/frame.h"
 #include "net/socket.h"
 
@@ -30,6 +32,36 @@ struct ServerOptions {
   /// Connection recv timeout: the read loop wakes this often to check the
   /// stop flag, then resumes.
   DurationUs recv_poll = Millis(200);
+
+  // ------------------------------------------- admission control / quotas
+
+  /// Per-tenant token-bucket ingest rate (events/second). 0 = unlimited.
+  /// A sequenced ingest whose batch exceeds the available tokens is NOT
+  /// applied; the client gets kOverloaded with a computed retry-after and
+  /// must resend the same sequence number.
+  double quota_rate_eps = 0.0;
+
+  /// Token-bucket capacity in events. 0 with a nonzero rate defaults to
+  /// one second of refill (== quota_rate_eps). The accepted-event bound
+  /// the f25 overload gate checks is exactly rate * wall + burst.
+  double quota_burst = 0.0;
+
+  /// Max in-flight (buffered but unprocessed) events per tenant; a batch
+  /// that would exceed it is throttled. 0 = unlimited.
+  int64_t quota_max_buffered = 0;
+
+  /// Max concurrently registered tenants; opens beyond it are throttled.
+  /// 0 = unlimited.
+  int64_t quota_max_sessions = 0;
+
+  /// Advisory backoff carried by kOverloaded replies when no better value
+  /// is computable (session/buffer quota; the rate bucket derives its own).
+  uint32_t retry_after_ms = 5;
+
+  /// Optional transport chaos: accepted connections are wrapped in
+  /// ChaosTransport over this injector, and accept failures are injected
+  /// per its spec. Null = clean wire. Not owned; must outlive the server.
+  ChaosInjector* chaos = nullptr;
 };
 
 /// Monotonic server-wide counters (snapshot via StreamQServer::stats()).
@@ -47,6 +79,23 @@ struct ServerStats {
   int64_t events_ingested = 0;
   int64_t tenants_registered = 0;
   int64_t tenants_unregistered = 0;
+  /// Resilience accounting. Replayed counts sequenced frames arriving at
+  /// or below the tenant's last-acked seq; deduped counts the ones
+  /// suppressed without touching the session. The two are equal by
+  /// construction — the no-double-apply invariant the chaos soak asserts.
+  int64_t frames_replayed = 0;
+  int64_t frames_deduped = 0;
+  /// kOverloaded replies (rate, buffer, or session quota).
+  int64_t frames_throttled = 0;
+  /// kOpenSession frames that resumed an existing sequenced session
+  /// (epoch bumps — one per client reconnect that re-opened).
+  int64_t sessions_resumed = 0;
+  /// Opens/registrations rejected by admission control (session quota or
+  /// draining).
+  int64_t sessions_rejected = 0;
+  /// Sequenced frames whose payload failed the end-to-end integrity hash
+  /// (transport corruption caught before it could touch a session).
+  int64_t integrity_failures = 0;
 };
 
 /// The streamq service: a long-running multi-tenant continuous-query server
@@ -93,6 +142,18 @@ class StreamQServer {
   /// finishes any still-registered sessions. Idempotent.
   void Stop();
 
+  /// Graceful-drain phase 1: closes the listener and rejects new session
+  /// registrations/opens, while connections already established keep
+  /// ingesting, snapshotting and unregistering. Idempotent.
+  void BeginDrain();
+
+  /// Full graceful drain: BeginDrain, then wait up to `grace` for every
+  /// live connection to finish (clients close when done), then Stop —
+  /// which flushes any still-registered session before teardown.
+  void Drain(DurationUs grace = Seconds(5));
+
+  bool draining() const { return draining_; }
+
   bool running() const { return running_; }
 
   ServerStats stats() const;
@@ -111,10 +172,23 @@ class StreamQServer {
   struct Tenant {
     std::mutex mu;
     std::unique_ptr<StreamSession> session;
+    /// Sequenced-protocol state (all zero for plain kRegisterQuery
+    /// tenants). The token is client-minted at open; a frame carrying a
+    /// different token is rejected, which also guards against corrupted
+    /// tenant ids steering a frame into the wrong session.
+    uint64_t token = 0;
+    uint32_t epoch = 0;
+    uint64_t last_acked_seq = 0;
+    int64_t frames_replayed = 0;
+    int64_t frames_deduped = 0;
+    int64_t frames_throttled = 0;
+    /// Token bucket (quota_rate_eps > 0): current tokens and last refill.
+    double bucket_tokens = 0.0;
+    TimestampUs bucket_refill_us = 0;
   };
 
   struct Connection {
-    Socket sock;
+    ChaosTransport sock;
     std::thread thread;
   };
 
@@ -128,8 +202,17 @@ class StreamQServer {
   Frame HandleHeartbeat(const Frame& request);
   Frame HandleSnapshot(const Frame& request, bool unregister);
   Frame HandleMetrics(const Frame& request);
+  Frame HandleOpenSession(const Frame& request);
+  Frame HandleSequenced(const Frame& request);
 
   Frame ErrorReply(uint32_t tenant, const Status& status, bool protocol);
+  Frame OverloadedReply(uint32_t tenant, uint32_t retry_after_ms,
+                        const std::string& why, Tenant* state);
+
+  /// Token-bucket + buffered-events admission for a sequenced batch of
+  /// `count` events. OK = admit; ResourceExhausted carries the computed
+  /// retry-after (ms) in `*retry_after_ms`. Caller holds tenant->mu.
+  Status AdmitBatch(Tenant* tenant, int64_t count, uint32_t* retry_after_ms);
 
   std::shared_ptr<Tenant> FindTenant(uint32_t id);
 
@@ -138,6 +221,9 @@ class StreamQServer {
   std::thread accept_thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
+  std::atomic<bool> draining_{false};
+  /// Connections whose loop is currently running (Drain waits on zero).
+  std::atomic<int64_t> live_connections_{0};
 
   mutable std::mutex registry_mu_;
   std::map<uint32_t, std::shared_ptr<Tenant>> tenants_;

@@ -165,7 +165,14 @@ Result<Socket> Listener::Accept(DurationUs timeout) {
 
 void Listener::Close() {
   const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
-  if (fd >= 0) ::close(fd);
+  if (fd >= 0) {
+    // A concurrent poll() in the accept loop keeps the socket alive past
+    // close(), and a live listening socket keeps completing handshakes
+    // into its backlog. shutdown() kills the backlog immediately so a
+    // drained server stops admitting connections the moment Close returns.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
 }
 
 }  // namespace streamq

@@ -1,0 +1,470 @@
+/// Fault-tolerance tests for the service layer: chaos transport schedules,
+/// the sequenced idempotent-replay protocol, client retry/reconnect, server
+/// admission control, and graceful drain.
+///
+/// The headline soak runs the same workload over a clean wire and over a
+/// wire with >= 5% injected faults on both sides, and requires the final
+/// per-tenant reports — result checksums included — to be byte-identical,
+/// with the server's replay and dedup counters exactly equal (the
+/// no-double-apply invariant).
+
+#include <chrono>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/session_options.h"
+#include "net/chaos.h"
+#include "net/client.h"
+#include "net/frame.h"
+#include "net/retry.h"
+#include "net/server.h"
+#include "net/socket.h"
+#include "stream/generator.h"
+
+namespace streamq {
+namespace {
+
+std::vector<Event> TestStream(uint64_t seed, int64_t n) {
+  WorkloadConfig config;
+  config.num_events = n;
+  config.num_keys = 8;
+  config.seed = seed;
+  return GenerateWorkload(config).arrival_order;
+}
+
+SessionOptions TestSession(const std::string& name) {
+  SessionOptions options;
+  options.Name(name).Window(100);
+  return options;
+}
+
+/// Fast-cycling retry schedule so injected faults cost milliseconds.
+RetryPolicy FastPolicy() {
+  RetryPolicy policy;
+  policy.max_attempts = 12;
+  policy.initial_backoff = Millis(1);
+  policy.max_backoff = Millis(16);
+  policy.deadline = Seconds(120);
+  policy.seed = 9;
+  return policy;
+}
+
+/// Round-robin the tenants' batch streams through one client — the exact
+/// same application order for every run, chaos or not.
+void IngestRoundRobin(ResilientClient* client,
+                      const std::vector<std::vector<Event>>& streams,
+                      size_t batch) {
+  size_t offset = 0;
+  bool more = true;
+  while (more) {
+    more = false;
+    for (size_t t = 0; t < streams.size(); ++t) {
+      const std::vector<Event>& stream = streams[t];
+      if (offset >= stream.size()) continue;
+      const size_t n = std::min(batch, stream.size() - offset);
+      ASSERT_TRUE(
+          client
+              ->Ingest(static_cast<uint32_t>(t + 1),
+                       std::span<const Event>(stream.data() + offset, n))
+              .ok());
+      more = true;
+    }
+    offset += batch;
+  }
+}
+
+// ---------------------------------------------------------- frame codecs
+
+TEST(ResilienceCodecTest, RoundTripsAndRejectsCorruption) {
+  std::string payload;
+  EncodeOpenSession(0xdeadbeefULL, "--window=100", &payload);
+  uint64_t token = 0;
+  std::string options_text;
+  ASSERT_TRUE(DecodeOpenSession(payload, &token, &options_text).ok());
+  EXPECT_EQ(token, 0xdeadbeefULL);
+  EXPECT_EQ(options_text, "--window=100");
+  std::string bad = payload;
+  bad[bad.size() / 2] ^= 0x10;
+  EXPECT_FALSE(DecodeOpenSession(bad, &token, &options_text).ok());
+  bad = payload;
+  bad[3] ^= 0x20;  // A token byte: flipped in flight it would arm the
+                   // session under a key the client can never present.
+  EXPECT_FALSE(DecodeOpenSession(bad, &token, &options_text).ok());
+
+  const SessionGrant grant{0xdeadbeefULL, 3, 41};
+  payload.clear();
+  EncodeSessionGrant(grant, &payload);
+  SessionGrant decoded_grant;
+  ASSERT_TRUE(DecodeSessionGrant(payload, &decoded_grant).ok());
+  EXPECT_EQ(decoded_grant, grant);
+  bad = payload;
+  bad[1] ^= 0x01;
+  EXPECT_FALSE(DecodeSessionGrant(bad, &decoded_grant).ok());
+
+  const std::string body = "ingest-bytes";
+  payload.clear();
+  AppendSeqEnvelope(0xfeedULL, 7, body, &payload);
+  SeqEnvelope env;
+  std::string_view body_view;
+  ASSERT_TRUE(DecodeSeqEnvelope(payload, &env, &body_view).ok());
+  EXPECT_EQ(env.token, 0xfeedULL);
+  EXPECT_EQ(env.seq, 7u);
+  EXPECT_EQ(body_view, body);
+  bad = payload;
+  bad.back() ^= 0x40;  // Flip a bit inside the body: the hash must catch it.
+  EXPECT_FALSE(DecodeSeqEnvelope(bad, &env, &body_view).ok());
+  bad = payload;
+  bad[2] ^= 0x08;  // Flip a bit inside the token: equally fatal — a token
+                   // or seq that decodes cleanly but wrong would misroute
+                   // dedup decisions.
+  EXPECT_FALSE(DecodeSeqEnvelope(bad, &env, &body_view).ok());
+  bad = payload;
+  bad[9] ^= 0x01;  // And inside the seq.
+  EXPECT_FALSE(DecodeSeqEnvelope(bad, &env, &body_view).ok());
+
+  const AckInfo ack{9, 1};
+  payload.clear();
+  EncodeAck(ack, &payload);
+  AckInfo decoded_ack;
+  ASSERT_TRUE(DecodeAck(payload, &decoded_ack).ok());
+  EXPECT_EQ(decoded_ack, ack);
+  bad = payload;
+  bad[0] ^= 0x02;
+  EXPECT_FALSE(DecodeAck(bad, &decoded_ack).ok());
+
+  const OverloadInfo info{250, "rate quota"};
+  payload.clear();
+  EncodeOverloaded(info, &payload);
+  OverloadInfo decoded_info;
+  ASSERT_TRUE(DecodeOverloaded(payload, &decoded_info).ok());
+  EXPECT_EQ(decoded_info, info);
+}
+
+// ----------------------------------------------------- chaos determinism
+
+/// The fault schedule is a pure function of (spec, send sequence): two runs
+/// of the identical workload see identical per-class fault counts.
+TEST(ChaosTransportTest, FaultScheduleReplaysFromSeed) {
+  ChaosSpec spec;
+  spec.seed = 1234;
+  spec.reset_prob = 0.03;
+  spec.short_write_prob = 0.03;
+  spec.corrupt_prob = 0.03;
+  spec.truncate_prob = 0.03;
+
+  auto run = [&spec]() {
+    StreamQServer server;  // Clean server: all chaos is client-side.
+    EXPECT_TRUE(server.Start().ok());
+    ChaosInjector injector(spec);
+    auto client = ResilientClient::Connect(server.port(), FastPolicy(),
+                                           &injector, Millis(250));
+    EXPECT_TRUE(client.ok());
+    EXPECT_TRUE(client.value()->Open(1, TestSession("tenant-1")).ok());
+    const std::vector<Event> events = TestStream(5, 4000);
+    for (size_t i = 0; i < events.size(); i += 200) {
+      const size_t n = std::min<size_t>(200, events.size() - i);
+      EXPECT_TRUE(client.value()
+                      ->Ingest(1, std::span<const Event>(events.data() + i, n))
+                      .ok());
+    }
+    server.Stop();
+    return injector.stats();
+  };
+
+  const ChaosStats first = run();
+  const ChaosStats second = run();
+  EXPECT_GT(first.total(), 0) << first.ToString();
+  EXPECT_EQ(first.resets, second.resets);
+  EXPECT_EQ(first.short_writes, second.short_writes);
+  EXPECT_EQ(first.corruptions, second.corruptions);
+  EXPECT_EQ(first.truncations, second.truncations);
+  EXPECT_EQ(first.sends, second.sends);
+}
+
+// ------------------------------------------------------------ chaos soak
+
+/// The acceptance soak: >= 5% aggregate fault rate on both sides of the
+/// wire, byte-identical per-tenant results vs. the fault-free run, and
+/// replayed == deduped exactly.
+TEST(ChaosSoakTest, ChecksumsIdenticalToFaultFreeRunAtFivePercentFaults) {
+  const size_t kBatch = 250;
+  std::vector<std::vector<Event>> streams;
+  streams.push_back(TestStream(21, 10000));
+  streams.push_back(TestStream(22, 10000));
+
+  // Fault-free baseline.
+  std::vector<SnapshotStats> baseline;
+  {
+    StreamQServer server;
+    ASSERT_TRUE(server.Start().ok());
+    auto client = ResilientClient::Connect(server.port(), FastPolicy());
+    ASSERT_TRUE(client.ok());
+    for (size_t t = 1; t <= streams.size(); ++t) {
+      ASSERT_TRUE(client.value()
+                      ->Open(static_cast<uint32_t>(t),
+                             TestSession("tenant-" + std::to_string(t)))
+                      .ok());
+    }
+    IngestRoundRobin(client.value().get(), streams, kBatch);
+    for (size_t t = 1; t <= streams.size(); ++t) {
+      auto stats = client.value()->Snapshot(static_cast<uint32_t>(t));
+      ASSERT_TRUE(stats.ok());
+      baseline.push_back(stats.value());
+    }
+    server.Stop();
+  }
+
+  // Chaos run: the same injector wraps the client's connections AND every
+  // connection the server accepts, so requests, acks, and grants all cross
+  // a hostile wire.
+  ChaosSpec spec;
+  spec.seed = 77;
+  spec.reset_prob = 0.02;
+  spec.short_write_prob = 0.02;
+  spec.corrupt_prob = 0.02;
+  spec.truncate_prob = 0.02;
+  spec.accept_close_prob = 0.05;
+  ChaosInjector injector(spec);
+  ServerOptions server_options;
+  server_options.chaos = &injector;
+  StreamQServer server(server_options);
+  ASSERT_TRUE(server.Start().ok());
+  auto client = ResilientClient::Connect(server.port(), FastPolicy(),
+                                         &injector, Millis(250));
+  ASSERT_TRUE(client.ok());
+  for (size_t t = 1; t <= streams.size(); ++t) {
+    ASSERT_TRUE(client.value()
+                    ->Open(static_cast<uint32_t>(t),
+                           TestSession("tenant-" + std::to_string(t)))
+                    .ok());
+  }
+  IngestRoundRobin(client.value().get(), streams, kBatch);
+
+  for (size_t t = 1; t <= streams.size(); ++t) {
+    auto stats = client.value()->Snapshot(static_cast<uint32_t>(t));
+    ASSERT_TRUE(stats.ok());
+    const SnapshotStats& base = baseline[t - 1];
+    EXPECT_EQ(stats.value().result_checksum, base.result_checksum)
+        << "tenant " << t << " diverged from the fault-free run";
+    EXPECT_EQ(stats.value().events_ingested, base.events_ingested);
+    EXPECT_EQ(stats.value().events_out, base.events_out);
+    EXPECT_EQ(stats.value().events_late, base.events_late);
+    EXPECT_EQ(stats.value().events_shed, base.events_shed);
+    EXPECT_EQ(stats.value().results, base.results);
+  }
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.frames_replayed, stats.frames_deduped)
+      << "a replayed frame was applied instead of deduped";
+  EXPECT_GT(injector.stats().total(), 0) << injector.stats().ToString();
+  // Reconnect resumes bump the epoch; the invariant either way is that
+  // dedup exactly absorbed every replay.
+  EXPECT_GE(stats.sessions_resumed, client.value()->stats().reconnects);
+  server.Stop();
+}
+
+// ------------------------------------------------------ admission control
+
+TEST(AdmissionControlTest, TokenBucketHoldsRateQuotaExactly) {
+  ServerOptions server_options;
+  server_options.quota_rate_eps = 5000.0;
+  server_options.quota_burst = 500.0;
+  StreamQServer server(server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = ResilientClient::Connect(server.port(), FastPolicy());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.value()->Open(1, TestSession("tenant-1")).ok());
+
+  const std::vector<Event> events = TestStream(31, 3000);
+  const auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < events.size(); i += 250) {
+    const size_t n = std::min<size_t>(250, events.size() - i);
+    ASSERT_TRUE(client.value()
+                    ->Ingest(1, std::span<const Event>(events.data() + i, n))
+                    .ok());
+  }
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  auto stats = client.value()->Snapshot(1);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().events_ingested, 3000);
+  // accepted <= rate * wall + burst, i.e. the bucket stretched the run.
+  EXPECT_GE(server_options.quota_rate_eps * wall_s +
+                server_options.quota_burst,
+            3000.0);
+  EXPECT_GT(stats.value().frames_throttled, 0);
+  EXPECT_GT(client.value()->stats().throttled, 0);
+  EXPECT_EQ(server.stats().frames_throttled, stats.value().frames_throttled);
+  server.Stop();
+}
+
+TEST(AdmissionControlTest, SessionQuotaRejectsThenAdmits) {
+  ServerOptions server_options;
+  server_options.quota_max_sessions = 1;
+  StreamQServer server(server_options);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = StreamQClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  auto grant = client.value()->OpenSession(1, 0x11, TestSession("tenant-1"));
+  ASSERT_TRUE(grant.ok());
+  EXPECT_EQ(grant.value().epoch, 1u);
+
+  // Second sequenced open and a plain register both bounce off the quota.
+  auto rejected = client.value()->OpenSession(2, 0x21, TestSession("t2"));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kResourceExhausted);
+  const Status plain = client.value()->RegisterQuery(3, TestSession("t3"));
+  ASSERT_FALSE(plain.ok());
+  EXPECT_EQ(plain.code(), StatusCode::kResourceExhausted);
+  EXPECT_GE(server.stats().sessions_rejected, 2);
+
+  ASSERT_TRUE(client.value()->Unregister(1).ok());
+  EXPECT_TRUE(
+      client.value()->OpenSession(2, 0x21, TestSession("t2")).ok());
+  server.Stop();
+}
+
+// --------------------------------------------------- sequenced semantics
+
+TEST(SequencedProtocolTest, BlindReplayDedupsGapAndWrongTokenRejected) {
+  StreamQServer server;
+  ASSERT_TRUE(server.Start().ok());
+  auto client = StreamQClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+
+  const uint64_t token = 0xabcdef01;
+  auto grant = client.value()->OpenSession(1, token, TestSession("tenant-1"));
+  ASSERT_TRUE(grant.ok());
+  EXPECT_EQ(grant.value().epoch, 1u);
+  EXPECT_EQ(grant.value().last_acked_seq, 0u);
+
+  const std::vector<Event> events = TestStream(41, 100);
+  auto first = client.value()->SeqIngest(1, token, 1, events);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first.value().replayed);
+  EXPECT_EQ(first.value().acked_seq, 1u);
+
+  // Blind resend of the same seq: acked as a replay, applied zero times.
+  auto replay = client.value()->SeqIngest(1, token, 1, events);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay.value().replayed);
+  auto snapshot = client.value()->Snapshot(1);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_EQ(snapshot.value().events_ingested, 100);
+  EXPECT_EQ(snapshot.value().frames_replayed, 1);
+  EXPECT_EQ(snapshot.value().frames_deduped, 1);
+  EXPECT_EQ(snapshot.value().last_acked_seq, 1u);
+
+  // A gap is a protocol-state error, not something to retry into.
+  auto gap = client.value()->SeqIngest(1, token, 5, events);
+  ASSERT_FALSE(gap.ok());
+  EXPECT_EQ(gap.status().code(), StatusCode::kFailedPrecondition);
+
+  // A frame carrying the wrong token never reaches the session.
+  auto stolen = client.value()->SeqIngest(1, token ^ 1, 2, events);
+  ASSERT_FALSE(stolen.ok());
+  EXPECT_EQ(stolen.status().code(), StatusCode::kFailedPrecondition);
+
+  // Idempotent re-open with the original token resumes (epoch bump, seq
+  // reported); a different token is rejected.
+  auto resumed = client.value()->OpenSession(1, token, TestSession("tenant-1"));
+  ASSERT_TRUE(resumed.ok());
+  EXPECT_EQ(resumed.value().epoch, 2u);
+  EXPECT_EQ(resumed.value().last_acked_seq, 1u);
+  EXPECT_FALSE(
+      client.value()->OpenSession(1, token ^ 2, TestSession("tenant-1")).ok());
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.frames_replayed, 1);
+  EXPECT_EQ(stats.frames_deduped, 1);
+  server.Stop();
+}
+
+// -------------------------------------------------- mid-frame timeout (b)
+
+TEST(ClientDesyncTest, MidFrameTimeoutFailsCleanlyAndStaysBroken) {
+  Listener listener;
+  ASSERT_TRUE(listener.Listen(0).ok());
+
+  std::thread peer([&listener] {
+    auto accepted = listener.Accept(Seconds(5));
+    ASSERT_TRUE(accepted.ok());
+    Socket sock = std::move(accepted).value();
+    char buf[4096];
+    (void)sock.Recv(buf, sizeof(buf));  // Swallow the request.
+    // Reply with a frame header promising 100 payload bytes, deliver 10,
+    // and go silent: the client is now stuck mid-frame.
+    Frame partial{FrameType::kOk, 1, std::string(100, 'x')};
+    std::string wire;
+    AppendFrame(partial, &wire);
+    ASSERT_TRUE(sock.SendAll(wire.data(), 22).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(600));
+  });
+
+  auto client = StreamQClient::Connect(listener.port(), Millis(150));
+  ASSERT_TRUE(client.ok());
+  const Status timed_out =
+      client.value()->RegisterQuery(1, TestSession("tenant-1"));
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_EQ(timed_out.code(), StatusCode::kIOError);
+  EXPECT_NE(timed_out.ToString().find("desynchronized"), std::string::npos)
+      << timed_out.ToString();
+  EXPECT_TRUE(client.value()->broken());
+
+  // Every later call fails fast instead of reading garbage.
+  const Status after = client.value()->Ingest(1, {});
+  ASSERT_FALSE(after.ok());
+  EXPECT_EQ(after.code(), StatusCode::kIOError);
+  peer.join();
+}
+
+// -------------------------------------------------------- graceful drain
+
+TEST(DrainTest, RejectsNewSessionsWhileExistingTenantsFinish) {
+  StreamQServer server;
+  ASSERT_TRUE(server.Start().ok());
+  auto client = StreamQClient::Connect(server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client.value()->RegisterQuery(1, TestSession("tenant-1")).ok());
+  const std::vector<Event> events = TestStream(51, 500);
+  ASSERT_TRUE(client.value()->Ingest(1, events).ok());
+
+  server.BeginDrain();
+  EXPECT_TRUE(server.draining());
+
+  // New sessions are refused on existing connections, and the closed
+  // listener refuses new connections outright.
+  const Status reg = client.value()->RegisterQuery(2, TestSession("t2"));
+  ASSERT_FALSE(reg.ok());
+  EXPECT_EQ(reg.code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(client.value()->OpenSession(3, 0x31, TestSession("t3")).ok());
+  // A brand-new connection is either refused outright or never serviced
+  // (the accept loop is gone), so its first round trip must fail.
+  auto late = StreamQClient::Connect(server.port(), Millis(200));
+  if (late.ok()) {
+    EXPECT_FALSE(late.value()->RegisterQuery(4, TestSession("t4")).ok());
+  }
+
+  // The registered tenant keeps working to completion.
+  ASSERT_TRUE(client.value()->Ingest(1, events).ok());
+  auto report = client.value()->Unregister(1);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.value().events_ingested, 1000);
+  EXPECT_GE(server.stats().sessions_rejected, 2);
+
+  client.value().reset();  // Last live connection goes away...
+  server.Drain(Seconds(2));  // ...so the drain completes promptly.
+  EXPECT_FALSE(server.running());
+}
+
+}  // namespace
+}  // namespace streamq

@@ -100,6 +100,26 @@ R-F24 (pull-based scheduler):
      flat arena's wall clock prints a warning (single-node hosts degrade
      the set to one pool, so this is bookkeeping overhead only).
 
+R-F25 (resilience: chaos transport, idempotent replay, admission control):
+  1. Exactly-once under faults (hard): the combined per-tenant result
+     checksum must be identical across EVERY row -- fault-free, 1% and 5%
+     chaos, throttled, and chaos-plus-throttled runs all converge to
+     byte-identical results -- with errors zero, accounting identities
+     holding and delivery exact in every row. Every row must also report
+     replayed == deduped: a retransmit the server applied instead of
+     suppressing would break checksum identity silently on some future
+     workload even if it happened to be harmless here.
+  2. Chaos is real (hard): every row with fault_pct > 0 must report
+     faults > 0 (the seeded schedule actually fired), the 5% chaos row
+     must inject more faults than the 1% row, and the 5% rows must
+     report replayed > 0 -- ack-side faults force genuine retransmits, so
+     a zero means the dedup path silently stopped being exercised.
+  3. Quotas hold exactly (hard): a token bucket admitting at rate R with
+     burst B cannot accept N events per tenant in less than (N - B) / R
+     seconds, so every quota row must satisfy wall >= F25_QUOTA_SLACK x
+     that bound and report throttled > 0: admission control genuinely
+     stretched the run.
+
 All suites: baseline drift (soft) -- fast-engine ns/tuple (f21: keps)
 beyond DRIFT_FACTOR x the committed baseline prints a GitHub warning
 annotation but does not fail the job; absolute timings are
@@ -163,6 +183,11 @@ F23_LATENCY_BOUND = 0.5
 F23_LATE_GATE = 0.10
 F23_STORE_TAX = 1.5
 
+# f25: the wall-clock floor a correct token bucket imposes is exact
+# ((events/tenant - burst) / rate); the slack only absorbs timer
+# granularity, since the measured wall starts before the first send.
+F25_QUOTA_SLACK = 0.95
+
 # Kinds with inline AggregateState folds. Heavy kinds (median/quantile/
 # distinct) keep the polymorphic accumulator, so their hot-engine win is
 # only the flat store -- too small to enforce a ratio on.
@@ -182,6 +207,8 @@ def sniff_suite(path):
         header = next(csv.reader(f))
     if "amend_rate" in header:
         return "f23"
+    if "fault_pct" in header:  # before f22: both carry clients.
+        return "f25"
     if "clients" in header:
         return "f22"
     if "batch_end" in header:  # before f21: both carry vshards.
@@ -655,6 +682,93 @@ def check_f22(args):
     return "f22", configs, failures, warnings
 
 
+def check_f25(args):
+    key_cols = ("section", "fault_pct")
+    current = load(args.current, key_cols)
+    configs = sorted(current)
+    failures = []
+    warnings = []
+
+    # 1. Exactly-once under faults: every row — clean, chaotic, throttled,
+    # both — must land on the same combined result checksum, with clean
+    # accounting and every server-side replay absorbed by dedup.
+    checksums = {current[k]["checksum"] for k in configs}
+    if len(checksums) > 1:
+        failures.append(
+            f"checksum differs across fault/quota rows: {sorted(checksums)}")
+    for key in configs:
+        row = current[key]
+        label = f"{key[0]}/fault={key[1]}"
+        if int(row["errors"]) != 0:
+            failures.append(f"{label}: {row['errors']} error(s)")
+        if row["identities"] != "1":
+            failures.append(f"{label}: accounting identity violated")
+        if row["deliveries"] != "1":
+            failures.append(f"{label}: incomplete delivery")
+        if int(row["replayed"]) != int(row["deduped"]):
+            failures.append(
+                f"{label}: replayed {row['replayed']} != deduped "
+                f"{row['deduped']} — a retransmit was applied twice")
+
+    # 2. Chaos is real: faulted rows must actually inject, more chaos must
+    # inject more, and ack-side faults must force genuine retransmits.
+    for key in configs:
+        row = current[key]
+        pct = float(key[1])
+        faults = int(row["faults"])
+        if pct > 0 and faults == 0:
+            failures.append(
+                f"{key[0]}/fault={key[1]}: fault schedule never fired")
+        if pct >= 5.0 and int(row["replayed"]) == 0:
+            failures.append(
+                f"{key[0]}/fault={key[1]}: replayed == 0 — the dedup path "
+                "was not exercised")
+    low = current.get(("chaos", "1.0"))
+    high = current.get(("chaos", "5.0"))
+    if low is None or high is None:
+        failures.append("missing chaos 1% or 5% row")
+    elif int(high["faults"]) <= int(low["faults"]):
+        failures.append(
+            f"5% chaos injected {high['faults']} faults vs {low['faults']} "
+            "at 1% — the fault-rate knob is not scaling")
+
+    # 3. Quotas hold exactly: the bucket's wall-clock floor is arithmetic,
+    # not a tuning target — a quota row finishing faster than the bucket
+    # allows means admitted events were never debited.
+    for key in configs:
+        row = current[key]
+        rate = float(row["quota_eps"])
+        if rate <= 0:
+            continue
+        if int(row["throttled"]) == 0:
+            failures.append(
+                f"{key[0]}/fault={key[1]}: quota set but nothing throttled")
+        per_tenant = float(row["events"]) / float(row["tenants"])
+        floor_s = (per_tenant - float(row["burst"])) / rate
+        wall_s = float(row["wall_ms"]) / 1000.0
+        if wall_s < floor_s * F25_QUOTA_SLACK:
+            failures.append(
+                f"{key[0]}/fault={key[1]}: wall {wall_s:.3f}s beat the "
+                f"token-bucket floor {floor_s:.3f}s — quota not enforced")
+
+    # 4. Soft drift vs. committed baseline on the fault-free goodput row.
+    if args.baseline:
+        baseline = load(args.baseline, key_cols)
+        for key in (("chaos", "0.0"), ("overload", "0.0")):
+            row, base = current.get(key), baseline.get(key)
+            if row is None or base is None:
+                continue
+            cur_keps = float(row["keps"])
+            base_keps = float(base["keps"])
+            if cur_keps * DRIFT_FACTOR < base_keps:
+                warnings.append(
+                    f"{key[0]}/fault={key[1]}: {cur_keps:.1f} keps vs "
+                    f"baseline {base_keps:.1f} "
+                    f"({base_keps / cur_keps:.2f}x slower)")
+
+    return "f25", configs, failures, warnings
+
+
 def check_f23(args):
     key_cols = ("workload", "kind", "mode")
     current = load(args.current, key_cols)
@@ -726,7 +840,9 @@ def main():
     args = parser.parse_args()
 
     suite = sniff_suite(args.current)
-    if suite == "f24":
+    if suite == "f25":
+        suite, configs, failures, warnings = check_f25(args)
+    elif suite == "f24":
         suite, configs, failures, warnings = check_f24(args)
     elif suite == "f23":
         suite, configs, failures, warnings = check_f23(args)
